@@ -1,0 +1,113 @@
+// Ablation: the VP module's design choices.
+//
+//  (a) dynamic vs static background under illumination drift — the reason
+//      the paper uses a "constantly updated" background;
+//  (b) morphological opening on/off under weather noise — the reason the
+//      paper applies erosion-then-dilation.
+// Metric: foreground IoU against the ground-truth moving-vehicle mask.
+
+#include "bench_common.h"
+
+#include "sim/camera.h"
+#include "vision/background_subtraction.h"
+
+using namespace safecross;
+
+namespace {
+
+// Ground-truth moving-vehicle mask in camera space.
+vision::Image truth_mask(const sim::TrafficSimulator& sim, const sim::CameraModel& cam) {
+  vision::Image mask(cam.config().width, cam.config().height, 0.0f);
+  for (const auto& v : sim.vehicles()) {
+    if (v.speed < 0.5) continue;
+    sim::fill_convex_quad(mask, cam.vehicle_quad_image(sim, v), 1.0f);
+  }
+  return mask;
+}
+
+struct PixelScore {
+  std::size_t tp = 0, fp = 0, fn = 0;
+
+  void add(const vision::Image& mask, const vision::Image& truth) {
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      const bool m = mask.data()[i] > 0.5f;
+      const bool t = truth.data()[i] > 0.5f;
+      tp += m && t;
+      fp += m && !t;
+      fn += !m && t;
+    }
+  }
+  double precision() const { return tp + fp ? static_cast<double>(tp) / (tp + fp) : 1.0; }
+  double recall() const { return tp + fn ? static_cast<double>(tp) / (tp + fn) : 1.0; }
+  double iou() const { return tp + fp + fn ? static_cast<double>(tp) / (tp + fp + fn) : 1.0; }
+};
+
+struct Arm {
+  const char* name;
+  bool dynamic_bg;
+  bool opening;
+  bool drift;          // slow global illumination ramp (dawn)
+  vision::Weather weather;
+};
+
+PixelScore run_arm(const Arm& arm) {
+  sim::TrafficSimulator sim(sim::weather_params(arm.weather), 4711);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  Rng rng(99);
+  vision::BackgroundSubtractionConfig cfg;
+  cfg.apply_opening = arm.opening;
+  std::unique_ptr<vision::BackgroundSubtractor> bg;
+  if (arm.dynamic_bg) {
+    bg = std::make_unique<vision::RunningAverageBackground>(cfg);
+  } else {
+    bg = std::make_unique<vision::StaticBackground>(cfg);
+  }
+
+  PixelScore score;
+  for (int i = 0; i < 30 * 90; ++i) {  // 90 sim-seconds
+    sim.step();
+    vision::Image frame = cam.render(sim, rng);
+    if (arm.drift) {
+      // Dawn: +0.25 brightness over the run — well past the foreground
+      // threshold, so a frozen background must fail.
+      const float lift = 0.25f * static_cast<float>(i) / (30.0f * 90.0f);
+      for (std::size_t p = 0; p < frame.size(); ++p) {
+        frame.data()[p] = std::min(1.0f, frame.data()[p] + lift);
+      }
+    }
+    const vision::Image mask = bg->apply(frame);
+    if (i < 60) continue;  // warm-up
+    if (i % 10 != 0) continue;
+    score.add(mask, truth_mask(sim, cam));
+  }
+  return score;
+}
+
+}  // namespace
+
+int main() {
+  bench::quiet_logs();
+  bench::print_header(
+      "Ablation: background-subtraction design choices (foreground pixel scores)");
+
+  const Arm arms[] = {
+      {"dynamic bg + opening, daytime", true, true, false, vision::Weather::Daytime},
+      {"dynamic bg + opening, daytime+drift", true, true, true, vision::Weather::Daytime},
+      {"STATIC bg + opening, daytime+drift", false, true, true, vision::Weather::Daytime},
+      {"dynamic bg + opening, snow", true, true, false, vision::Weather::Snow},
+      {"dynamic bg, NO opening, snow", true, false, false, vision::Weather::Snow},
+      {"dynamic bg + opening, rain", true, true, false, vision::Weather::Rain},
+      {"dynamic bg, NO opening, rain", true, false, false, vision::Weather::Rain},
+  };
+
+  std::printf("  %-40s %10s %10s %10s\n", "configuration", "precision", "recall", "IoU");
+  for (const Arm& arm : arms) {
+    const PixelScore s = run_arm(arm);
+    std::printf("  %-40s %10.4f %10.4f %10.4f\n", arm.name, s.precision(), s.recall(), s.iou());
+  }
+  std::printf("\n  shape check: the static background collapses under illumination drift\n"
+              "  (precision -> ~0 as the whole frame turns foreground); removing the\n"
+              "  opening floods the mask with weather speckle (precision drops hard in\n"
+              "  rain/snow) at a modest recall gain on small far vehicles.\n");
+  return 0;
+}

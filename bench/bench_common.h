@@ -1,0 +1,73 @@
+#pragma once
+// Shared helpers for the table-reproduction benches: scaled dataset
+// generation, pretty table printing, and the paper's reference numbers.
+//
+// SAFECROSS_SCALE (env, default 1.0) scales training-set sizes: 1.0 is
+// calibrated so the whole bench suite finishes in minutes on one core;
+// larger values buy accuracy closer to saturation.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "dataset/builder.h"
+#include "fewshot/trainer.h"
+
+namespace safecross::bench {
+
+inline double env_scale() {
+  const char* s = std::getenv("SAFECROSS_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0.0 ? v : 1.0;
+}
+
+inline std::size_t scaled(std::size_t base) {
+  const double v = static_cast<double>(base) * env_scale();
+  return static_cast<std::size_t>(v < 4.0 ? 4.0 : v);
+}
+
+/// Default *scaled* training-set sizes. Rain stays at the paper's 34 —
+/// its scarcity is the point of the FL experiments.
+inline std::size_t default_segments(dataset::Weather w) {
+  switch (w) {
+    case dataset::Weather::Daytime: return scaled(420);
+    case dataset::Weather::Rain: return 34;
+    case dataset::Weather::Snow: return scaled(180);
+    case dataset::Weather::Night: return scaled(120);  // extension scenes
+    case dataset::Weather::Fog: return scaled(120);
+  }
+  return 0;
+}
+
+inline dataset::BuiltDataset build(dataset::Weather w, std::size_t segments, std::uint64_t seed) {
+  dataset::BuildRequest req;
+  req.weather = w;
+  req.target_segments = segments;
+  req.max_sim_hours = 24.0;
+  req.seed = seed;
+  return dataset::build_dataset(req);
+}
+
+inline std::vector<const dataset::VideoSegment*> ptrs(
+    const std::vector<dataset::VideoSegment>& v) {
+  std::vector<const dataset::VideoSegment*> out;
+  out.reserve(v.size());
+  for (const auto& s : v) out.push_back(&s);
+  return out;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_row(const std::string& label, double ours, double paper,
+                      const char* unit = "") {
+  std::printf("  %-38s ours %8.4f%s   paper %8.4f%s\n", label.c_str(), ours, unit, paper, unit);
+}
+
+inline void quiet_logs() { set_log_level(LogLevel::Warn); }
+
+}  // namespace safecross::bench

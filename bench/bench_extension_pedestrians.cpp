@@ -1,0 +1,63 @@
+// Extension beyond the paper (§VI-B "blind spot pedestrian warning"):
+// pedestrians on the exit crosswalks, hidden from the committed turner by
+// the junction geometry, are visible to the roadside camera. A
+// crosswalk-zone occupancy check on the VP output (the same machinery as
+// the vehicular danger zone) yields the warning; we score it against the
+// simulator's ground-truth conflict flag.
+
+#include "bench_common.h"
+
+#include "sim/camera.h"
+
+using namespace safecross;
+
+int main() {
+  bench::quiet_logs();
+  bench::print_header("Extension: blind-spot pedestrian warning (crosswalk-zone check)");
+
+  std::printf("  %-10s %10s %10s %10s %10s %10s\n", "weather", "samples", "conflicts",
+              "precision", "recall", "accuracy");
+  for (const auto w : {vision::Weather::Daytime, vision::Weather::Snow}) {
+    sim::TrafficConfig tc;
+    tc.pedestrian_rate = 0.08;
+    sim::TrafficSimulator sim(sim::weather_params(w), 2026, {}, tc);
+    const sim::CameraModel cam(sim.intersection().geometry());
+
+    // Fine grid so walkers register (the vehicular pipeline's 36x24 cells
+    // are 3.3 m — a walker is sub-cell there).
+    const int gw = 54, gh = 36;
+    const auto& g = sim.intersection().geometry();
+    const double exit_x = g.center_x + 0.5 * g.lane_width;
+    const int zone_x0 = static_cast<int>((exit_x - 2.5) / g.world_width * gw);
+    const int zone_x1 = static_cast<int>((exit_x + 2.5) / g.world_width * gw);
+    const int zone_y = static_cast<int>(sim.crosswalk_y(0) / g.world_height * gh);
+
+    std::size_t tp = 0, fp = 0, fn = 0, tn = 0, conflicts = 0;
+    for (int i = 0; i < 30 * 1200; ++i) {
+      sim.step();
+      if (i % 5 != 0) continue;
+      const vision::Image grid = cam.rasterize_topdown(sim, gw, gh);
+      bool warned = false;
+      for (int x = zone_x0; x <= zone_x1; ++x) {
+        for (int y = zone_y - 1; y <= zone_y + 1; ++y) {
+          if (x >= 0 && y >= 0 && x < gw && y < gh && grid.at(x, y) > 0.5f) warned = true;
+        }
+      }
+      const bool truth = sim.pedestrian_conflict(sim::Approach::EastboundLeft);
+      conflicts += truth ? 1 : 0;
+      tp += warned && truth;
+      fp += warned && !truth;
+      fn += !warned && truth;
+      tn += !warned && !truth;
+    }
+    const std::size_t total = tp + fp + fn + tn;
+    std::printf("  %-10s %10zu %10zu %10.4f %10.4f %10.4f\n", vision::weather_name(w), total,
+                conflicts, tp + fp ? static_cast<double>(tp) / (tp + fp) : 1.0,
+                tp + fn ? static_cast<double>(tp) / (tp + fn) : 1.0,
+                static_cast<double>(tp + tn) / total);
+  }
+  std::printf("\n  shape check: the roadside view catches crosswalk pedestrians the turning\n"
+              "  driver cannot see; occasional false warnings come from turning vehicles\n"
+              "  crossing the zone cells themselves.\n");
+  return 0;
+}

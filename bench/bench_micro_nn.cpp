@@ -1,0 +1,108 @@
+// Microbenchmarks (google-benchmark) of the nn substrate: the layer
+// costs behind the training benches, and whole-model inference latency
+// (what the MS module's "steady inference" cost abstracts).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "models/c3d.h"
+#include "models/slowfast.h"
+#include "models/tsn.h"
+#include "nn/conv2d.h"
+#include "nn/conv3d.h"
+
+namespace {
+
+using namespace safecross;
+using nn::Tensor;
+
+Tensor random_tensor(std::vector<int> shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(rng.uniform(-1, 1));
+  return t;
+}
+
+void BM_Conv2DForward(benchmark::State& state) {
+  nn::Conv2DConfig cfg;
+  cfg.in_channels = 8;
+  cfg.out_channels = 16;
+  nn::Conv2D conv(cfg);
+  const Tensor x = random_tensor({4, 8, 24, 36}, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x, false));
+  }
+}
+BENCHMARK(BM_Conv2DForward)->Unit(benchmark::kMillisecond);
+
+void BM_Conv2DBackward(benchmark::State& state) {
+  nn::Conv2DConfig cfg;
+  cfg.in_channels = 8;
+  cfg.out_channels = 16;
+  nn::Conv2D conv(cfg);
+  const Tensor x = random_tensor({4, 8, 24, 36}, 2);
+  const Tensor y = conv.forward(x, true);
+  const Tensor g = random_tensor(y.shape(), 3);
+  for (auto _ : state) {
+    conv.zero_grad();
+    benchmark::DoNotOptimize(conv.backward(g));
+  }
+}
+BENCHMARK(BM_Conv2DBackward)->Unit(benchmark::kMillisecond);
+
+void BM_Conv3DForward(benchmark::State& state) {
+  nn::Conv3DConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 4;
+  nn::Conv3D conv(cfg);
+  const Tensor x = random_tensor({4, 2, 32, 12, 18}, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x, false));
+  }
+}
+BENCHMARK(BM_Conv3DForward)->Unit(benchmark::kMillisecond);
+
+void BM_Conv3DBackward(benchmark::State& state) {
+  nn::Conv3DConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 4;
+  nn::Conv3D conv(cfg);
+  const Tensor x = random_tensor({4, 2, 32, 12, 18}, 5);
+  const Tensor y = conv.forward(x, true);
+  const Tensor g = random_tensor(y.shape(), 6);
+  for (auto _ : state) {
+    conv.zero_grad();
+    benchmark::DoNotOptimize(conv.backward(g));
+  }
+}
+BENCHMARK(BM_Conv3DBackward)->Unit(benchmark::kMillisecond);
+
+// Whole-model single-clip inference (the paper's real-time requirement:
+// one decision per incoming 32-frame window).
+template <typename Model, typename Config>
+void model_inference(benchmark::State& state, Config cfg) {
+  Model model(cfg);
+  const Tensor clip = random_tensor({1, 1, 32, 24, 36}, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(clip, false));
+  }
+}
+
+void BM_SlowFastInference(benchmark::State& state) {
+  model_inference<models::SlowFast>(state, models::SlowFastConfig{});
+}
+BENCHMARK(BM_SlowFastInference)->Unit(benchmark::kMillisecond);
+
+void BM_C3DInference(benchmark::State& state) {
+  model_inference<models::C3D>(state, models::C3DConfig{});
+}
+BENCHMARK(BM_C3DInference)->Unit(benchmark::kMillisecond);
+
+void BM_TSNInference(benchmark::State& state) {
+  model_inference<models::TSN>(state, models::TSNConfig{});
+}
+BENCHMARK(BM_TSNInference)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

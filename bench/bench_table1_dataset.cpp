@@ -1,0 +1,48 @@
+// Table I — dataset overview.
+//
+// Generates the full paper-sized dataset from the simulator (the
+// substitution for the Belarus surveillance feed): 1966 daytime, 34 rain,
+// 855 snow segments of 32 frames at 30 Hz, labeled turn-left /
+// no-turn-left, and prints the Table I summary plus the four-category
+// breakdown the labeling rules produce.
+
+#include "bench_common.h"
+
+#include "common/timer.h"
+
+int main() {
+  using namespace safecross;
+  bench::quiet_logs();
+  bench::print_header("Table I: overview of dataset (simulated substitute)");
+
+  std::printf("  %-10s %10s %10s %12s %10s %12s %12s\n", "scenario", "segments", "paper",
+              "sim-hours", "paper-h", "class0/danger", "class1/safe");
+
+  std::size_t cat_totals[4] = {0, 0, 0, 0};
+  for (const auto w :
+       {dataset::Weather::Daytime, dataset::Weather::Rain, dataset::Weather::Snow}) {
+    Timer t;
+    const auto ds = bench::build(w, dataset::paper_segment_count(w), 1000 + static_cast<int>(w));
+    std::size_t danger = 0, safe = 0;
+    for (const auto& s : ds.segments) (s.binary_label() == 0 ? danger : safe)++;
+    const auto hist = dataset::category_histogram(ds.segments);
+    for (int c = 0; c < 4; ++c) cat_totals[c] += hist[static_cast<std::size_t>(c)];
+    std::printf("  %-10s %10zu %10zu %11.2fh %9.1fh %13zu %12zu   (%.1fs wall)\n",
+                vision::weather_name(w), ds.segments.size(), dataset::paper_segment_count(w),
+                ds.sim_hours, dataset::paper_time_span_hours(w), danger, safe,
+                t.elapsed_ms() / 1000.0);
+  }
+
+  std::printf("\n  segment length: 32 frames @ 30 Hz (paper: 32 frames @ 30 Hz)\n");
+  std::printf("  classes: turn left & no turn left (paper: same)\n");
+  std::printf("  four-category breakdown across all weathers:\n");
+  for (int c = 0; c < 4; ++c) {
+    std::printf("    %-22s %zu\n",
+                dataset::category_name(static_cast<dataset::SegmentCategory>(c)),
+                cat_totals[c]);
+  }
+  std::printf("  note: the paper's time spans reflect footage availability (180 days of\n"
+              "  recording); our simulator reaches the same segment counts in the hours\n"
+              "  shown because arrivals are continuous.\n");
+  return 0;
+}

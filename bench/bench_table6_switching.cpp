@@ -1,0 +1,80 @@
+// Table VI + Fig. 7 — model switching: Stop-and-Start ("End-start") vs
+// PipeSwitch, for the paper's three workloads, on the discrete-event GPU
+// model. Also prints the PipeSwitch transfer/compute overlap timeline
+// (Fig. 7) and validates the mechanism with the REAL threaded pipelined
+// executor (actual memcpy + wall-clock compute waits).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "switching/executor.h"
+#include "switching/grouping.h"
+
+using namespace safecross;
+using namespace safecross::switching;
+
+namespace {
+
+void print_timeline(const SwitchResult& r, std::size_t max_rows = 12) {
+  std::printf("    %-9s %10s %10s  %s\n", "engine", "start ms", "end ms", "label");
+  std::size_t shown = 0;
+  for (const auto& e : r.timeline) {
+    if (shown++ >= max_rows) {
+      std::printf("    ... (%zu more entries)\n", r.timeline.size() - max_rows);
+      break;
+    }
+    const char* eng = e.engine == TimelineEntry::Engine::Transfer  ? "transfer"
+                      : e.engine == TimelineEntry::Engine::Compute ? "compute"
+                                                                   : "setup";
+    std::printf("    %-9s %10.3f %10.3f  %s\n", eng, e.start_ms, e.end_ms, e.label.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::quiet_logs();
+  bench::print_header("Table VI: comparison between model switching approaches");
+
+  const GpuModelConfig gpu;
+  const double paper_ss[3] = {5614.75, 4081.15, 3612.25};
+  const double paper_ps[3] = {6.06, 5.30, 4.32};
+  const ModelProfile profiles[3] = {slowfast_r50_profile(), resnet152_profile(),
+                                    inception_v3_profile()};
+
+  std::printf("  %-20s %14s %12s %14s %12s\n", "model", "End-start ms", "paper", "PipeSwitch ms",
+              "paper");
+  SwitchResult slowfast_ps;
+  for (int i = 0; i < 3; ++i) {
+    const SwitchResult ss = simulate_stop_and_start(profiles[i], gpu);
+    const auto groups = optimal_grouping(profiles[i], gpu);
+    const SwitchResult ps = simulate_pipeswitch(profiles[i], groups, gpu);
+    if (i == 0) slowfast_ps = ps;
+    std::printf("  %-20s %14.2f %12.2f %14.2f %12.2f\n", profiles[i].name.c_str(),
+                ss.switching_delay_ms(), paper_ss[i], ps.switching_delay_ms(), paper_ps[i]);
+  }
+  std::printf("\n  shape check: Stop-and-Start is seconds (context init + library load +\n"
+              "  cold kernels); PipeSwitch is < 10 ms for every model.\n");
+
+  bench::print_header("Fig. 7: PipeSwitch pipelined transmission/execution timeline (SlowFast)");
+  print_timeline(slowfast_ps);
+
+  bench::print_header("Mechanism check: real threaded pipelined executor");
+  ExecutorConfig exec_cfg;
+  exec_cfg.bandwidth_gbps = 4.0;
+  PipelinedExecutor exec(exec_cfg);
+  // A synthetic ~144 MB / ~42 ms-compute model: transfer and compute
+  // nearly balanced, so pipelining can hide almost half the wall time.
+  ModelProfile demo;
+  demo.name = "demo";
+  for (int i = 0; i < 12; ++i) demo.layers.push_back({"l" + std::to_string(i), 12'000'000, 3.5, 0});
+  const ExecutorResult seq = exec.run_sequential(demo);
+  const ExecutorResult pip = exec.run_pipelined(demo, optimal_grouping(demo, GpuModelConfig{}));
+  std::printf("  sequential: wall %.1f ms (transfer %.1f + compute %.1f)\n", seq.wall_ms,
+              seq.transfer_ms, seq.compute_ms);
+  std::printf("  pipelined:  wall %.1f ms (transfer %.1f busy, compute %.1f busy)\n", pip.wall_ms,
+              pip.transfer_ms, pip.compute_ms);
+  std::printf("  overlap saved %.0f%% of the sequential wall time (real threads, real memcpy).\n",
+              100.0 * (1.0 - pip.wall_ms / seq.wall_ms));
+  return 0;
+}

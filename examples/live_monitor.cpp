@@ -1,0 +1,64 @@
+// Live deployment: SafeCross watching an intersection it has never seen
+// (fresh traffic seed), issuing blind-area warnings in real time while
+// the simulator's ground truth scores every decision.
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "core/monitor.h"
+#include "dataset/builder.h"
+
+using namespace safecross;
+
+int main() {
+  set_log_level(LogLevel::Warn);
+
+  // Train the daytime basic model.
+  dataset::BuildRequest req;
+  req.weather = dataset::Weather::Daytime;
+  req.target_segments = 150;
+  req.seed = 5;
+  const auto day = dataset::build_dataset(req);
+  std::vector<const dataset::VideoSegment*> train;
+  for (const auto& s : day.segments) train.push_back(&s);
+
+  core::SafeCrossConfig cfg;
+  cfg.basic_train.epochs = 5;
+  core::SafeCross sc(cfg);
+  std::printf("training on %zu segments...\n", train.size());
+  sc.train_basic(train);
+
+  // Deploy on fresh traffic.
+  sim::TrafficSimulator live(sim::weather_params(dataset::Weather::Daytime), 987654);
+  const sim::CameraModel cam(live.intersection().geometry());
+  core::RealtimeMonitor monitor(sc, live, cam, core::MonitorConfig{}, 42);
+
+  std::printf("monitoring live traffic (20 sim-minutes)...\n\n");
+  int printed = 0;
+  while (live.time() < 20 * 60.0) {
+    const auto tick = monitor.step();
+    if (tick.decision_made && printed < 12) {
+      std::printf("  t=%7.1fs  blind=%d  P(danger)=%.2f -> %-18s truth=%s%s\n", tick.sim_time,
+                  tick.blind_area ? 1 : 0, tick.decision.prob_danger,
+                  tick.decision.warn ? "WARN (hold)" : "clear (turn ok)",
+                  tick.danger_truth ? "danger" : "safe",
+                  (tick.decision.predicted_class == 0) == tick.danger_truth ? ""
+                                                                            : "  <- wrong");
+      ++printed;
+    }
+  }
+
+  std::printf("\nscorecard after %.0f sim-minutes:\n", live.time() / 60.0);
+  std::printf("  decisions        %zu\n", monitor.decisions());
+  std::printf("  warnings issued  %zu\n", monitor.warnings());
+  std::printf("  accuracy         %.3f\n", monitor.accuracy());
+  std::printf("  missed threats   %zu (said safe while a threat approached)\n",
+              monitor.missed_threats());
+  std::printf("                   (these cluster at horizon-entry moments: a fast vehicle\n"
+              "                    entering the camera's field of view is ground-truth danger\n"
+              "                    a few frames before the occupancy window can show it)\n");
+  std::printf("  false warnings   %zu (held a turn that was safe)\n", monitor.false_warnings());
+  std::printf("  left turns completed at the junction: %llu\n",
+              static_cast<unsigned long long>(live.completed_turns()));
+  return 0;
+}

@@ -1,0 +1,53 @@
+#pragma once
+// Minimal leveled logger for SafeCross.
+//
+// Thread-safe (each log line is emitted under a mutex), cheap when the
+// level is filtered out. Intended for human-readable diagnostics from the
+// simulator, trainers and the switching engine; benchmark binaries set the
+// level to Warn to keep their stdout machine-parsable.
+
+#include <sstream>
+#include <string>
+
+namespace safecross {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold. Messages below this level are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one formatted line ("[LEVEL] message") to stderr.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() {
+    if (enabled()) log_line(level_, os_.str());
+  }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (enabled()) os_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled() const { return level_ >= log_level(); }
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::Debug); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::Info); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::Warn); }
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::Error); }
+
+}  // namespace safecross

@@ -1,0 +1,84 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace safecross {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) throw std::invalid_argument("percentile of empty vector");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : k_(num_classes), cells_(num_classes * num_classes, 0) {
+  if (num_classes == 0) throw std::invalid_argument("ConfusionMatrix needs >= 1 class");
+}
+
+void ConfusionMatrix::add(std::size_t true_class, std::size_t predicted_class) {
+  if (true_class >= k_ || predicted_class >= k_) {
+    throw std::out_of_range("ConfusionMatrix::add class out of range");
+  }
+  ++cells_[true_class * k_ + predicted_class];
+  ++total_;
+}
+
+double ConfusionMatrix::top1_accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < k_; ++i) correct += at(i, i);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const {
+  std::size_t row = 0;
+  for (std::size_t p = 0; p < k_; ++p) row += at(cls, p);
+  return row ? static_cast<double>(at(cls, cls)) / static_cast<double>(row) : 0.0;
+}
+
+double ConfusionMatrix::precision(std::size_t cls) const {
+  std::size_t col = 0;
+  for (std::size_t t = 0; t < k_; ++t) col += at(t, cls);
+  return col ? static_cast<double>(at(cls, cls)) / static_cast<double>(col) : 0.0;
+}
+
+double ConfusionMatrix::mean_class_accuracy() const {
+  double sum = 0.0;
+  std::size_t populated = 0;
+  for (std::size_t c = 0; c < k_; ++c) {
+    std::size_t row = 0;
+    for (std::size_t p = 0; p < k_; ++p) row += at(c, p);
+    if (row == 0) continue;
+    sum += static_cast<double>(at(c, c)) / static_cast<double>(row);
+    ++populated;
+  }
+  return populated ? sum / static_cast<double>(populated) : 0.0;
+}
+
+}  // namespace safecross

@@ -1,0 +1,64 @@
+#pragma once
+// Small statistics helpers: running mean/stddev (Welford), percentiles,
+// and confusion-matrix based classification metrics shared by the model
+// evaluation code and the benchmark harnesses.
+
+#include <cstddef>
+#include <vector>
+
+namespace safecross {
+
+/// Welford online accumulator for mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p in [0,100]; linear interpolation between order statistics.
+/// Sorts a copy; fine for benchmark-sized vectors.
+double percentile(std::vector<double> values, double p);
+
+/// Confusion matrix for an n-class classifier.
+/// rows = true class, cols = predicted class.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(std::size_t true_class, std::size_t predicted_class);
+  std::size_t num_classes() const { return k_; }
+  std::size_t total() const { return total_; }
+  std::size_t at(std::size_t t, std::size_t p) const { return cells_[t * k_ + p]; }
+
+  /// Overall fraction correct (paper's "Top1 acc").
+  double top1_accuracy() const;
+
+  /// Mean of per-class recalls (paper's "Mean_class_acc"). Classes with
+  /// no samples are skipped.
+  double mean_class_accuracy() const;
+
+  /// Recall of one class (diagonal / row sum); 0 if the row is empty.
+  double recall(std::size_t cls) const;
+
+  /// Precision of one class (diagonal / column sum); 0 if the column is empty.
+  double precision(std::size_t cls) const;
+
+ private:
+  std::size_t k_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> cells_;
+};
+
+}  // namespace safecross

@@ -1,0 +1,30 @@
+#pragma once
+// Wall-clock timing helpers used by the detection benchmarks (Table II)
+// and the switching engine's real pipelined executor.
+
+#include <chrono>
+
+namespace safecross {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds since construction/reset.
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds since construction/reset.
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace safecross

@@ -1,0 +1,61 @@
+#include "core/model_store.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+#include "nn/serialize.h"
+
+namespace safecross::core {
+
+namespace {
+
+constexpr dataset::Weather kAllWeathers[] = {
+    dataset::Weather::Daytime, dataset::Weather::Rain, dataset::Weather::Snow,
+    dataset::Weather::Night, dataset::Weather::Fog};
+
+}  // namespace
+
+ModelStore::ModelStore(std::filesystem::path directory) : dir_(std::move(directory)) {}
+
+std::filesystem::path ModelStore::path_for(dataset::Weather weather) const {
+  return dir_ / (std::string(vision::weather_name(weather)) + ".safecross");
+}
+
+void ModelStore::save(SafeCross& safecross) const {
+  std::filesystem::create_directories(dir_);
+  for (const auto weather : kAllWeathers) {
+    if (!safecross.has_model(weather)) continue;
+    models::VideoClassifier& model = safecross.model_for(weather);
+    std::ofstream os(path_for(weather), std::ios::binary);
+    if (!os) throw std::runtime_error("ModelStore: cannot write " + path_for(weather).string());
+    nn::save_params(os, model.params());
+    nn::save_tensors(os, model.buffers());
+    log_info() << "model-store: saved " << vision::weather_name(weather) << " ("
+               << nn::param_count(model.params()) << " params)";
+  }
+}
+
+std::vector<dataset::Weather> ModelStore::available() const {
+  std::vector<dataset::Weather> out;
+  for (const auto weather : kAllWeathers) {
+    if (std::filesystem::exists(path_for(weather))) out.push_back(weather);
+  }
+  return out;
+}
+
+std::vector<dataset::Weather> ModelStore::load(SafeCross& safecross,
+                                               const SafeCrossConfig& config) const {
+  std::vector<dataset::Weather> loaded;
+  for (const auto weather : available()) {
+    auto model = std::make_unique<models::SlowFast>(config.model);
+    std::ifstream is(path_for(weather), std::ios::binary);
+    if (!is) throw std::runtime_error("ModelStore: cannot read " + path_for(weather).string());
+    nn::load_params(is, model->params());
+    nn::load_tensors(is, model->buffers());
+    safecross.set_model(weather, std::move(model));
+    loaded.push_back(weather);
+  }
+  return loaded;
+}
+
+}  // namespace safecross::core

@@ -1,0 +1,42 @@
+#pragma once
+// On-disk persistence for a SafeCross deployment: one checkpoint file per
+// weather model (parameters + BatchNorm running statistics), so a
+// roadside unit can reboot without retraining and new intersections can
+// start from a shipped model set.
+//
+// Layout: <dir>/<weather>.safecross, each file = params block + buffers
+// block in the nn checkpoint format. All weather models share the
+// deployment's SlowFast architecture, so the SafeCrossConfig provided at
+// load time reconstructs the graphs.
+
+#include <filesystem>
+#include <vector>
+
+#include "core/safecross.h"
+
+namespace safecross::core {
+
+class ModelStore {
+ public:
+  explicit ModelStore(std::filesystem::path directory);
+
+  /// Persist every model the framework currently holds. Creates the
+  /// directory if needed; overwrites existing checkpoints.
+  void save(SafeCross& safecross) const;
+
+  /// Load every checkpoint present in the directory into a fresh
+  /// framework built from `config` (architectures must match the saved
+  /// ones). Returns the loaded weathers.
+  std::vector<dataset::Weather> load(SafeCross& safecross,
+                                     const SafeCrossConfig& config) const;
+
+  /// Weathers with a checkpoint on disk.
+  std::vector<dataset::Weather> available() const;
+
+  std::filesystem::path path_for(dataset::Weather weather) const;
+
+ private:
+  std::filesystem::path dir_;
+};
+
+}  // namespace safecross::core

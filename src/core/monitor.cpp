@@ -1,0 +1,54 @@
+#include "core/monitor.h"
+
+namespace safecross::core {
+
+RealtimeMonitor::RealtimeMonitor(SafeCross& safecross, sim::TrafficSimulator& sim,
+                                 const sim::CameraModel& camera, MonitorConfig config,
+                                 std::uint64_t seed)
+    : safecross_(safecross),
+      sim_(sim),
+      config_(config),
+      collector_(sim, camera, config.vp, seed) {
+  safecross_.on_scene_change(sim.weather().weather);
+}
+
+RealtimeMonitor::Tick RealtimeMonitor::step() {
+  collector_.step();
+  ++frames_since_decision_;
+
+  Tick tick;
+  tick.sim_time = sim_.time();
+  tick.blind_area = sim_.blind_area_present(config_.vp.approach);
+  tick.danger_truth = sim_.dangerous_to_turn(config_.vp.approach);
+
+  const sim::Vehicle* subject = sim_.subject(config_.vp.approach);
+  tick.subject_waiting =
+      subject != nullptr && subject->state == sim::DriverState::HoldingAtStop;
+
+  const bool window_full =
+      collector_.window().size() >= static_cast<std::size_t>(config_.vp.frames_per_segment);
+  const bool warmed_up =
+      collector_.frames_processed() >= static_cast<std::size_t>(config_.warmup_frames);
+  if (tick.subject_waiting && window_full && warmed_up &&
+      frames_since_decision_ >= config_.decision_stride) {
+    frames_since_decision_ = 0;
+    const std::vector<vision::Image> window(collector_.window().begin(),
+                                            collector_.window().end());
+    tick.decision = safecross_.classify(window);
+    tick.decision_made = true;
+
+    ++decisions_;
+    if (tick.decision.warn) ++warnings_;
+    const bool said_danger = tick.decision.predicted_class == 0;
+    if (said_danger == tick.danger_truth) {
+      ++correct_;
+    } else if (tick.danger_truth) {
+      ++missed_threats_;
+    } else {
+      ++false_warnings_;
+    }
+  }
+  return tick;
+}
+
+}  // namespace safecross::core

@@ -1,0 +1,67 @@
+#pragma once
+// RealtimeMonitor: SafeCross deployed over a live intersection feed.
+//
+// Each step advances the simulator one frame, runs the VP path (via the
+// SegmentCollector's rolling window), and — whenever a subject vehicle is
+// waiting with a full window available — asks the active model for a
+// turn/no-turn decision at a fixed stride. Decisions are scored against
+// the simulator's ground truth, giving online precision/recall for the
+// warning service.
+
+#include "core/safecross.h"
+#include "dataset/collector.h"
+
+namespace safecross::core {
+
+struct MonitorConfig {
+  dataset::CollectorConfig vp;  // vp.approach selects which turners to guard
+  int decision_stride = 8;  // frames between decisions while a subject waits
+  // No decisions until this many frames have streamed: the background
+  // model and the traffic state need a moment before windows are
+  // representative (vehicles "appear" at the world edge during the first
+  // seconds, which reads as threats materializing from nowhere).
+  int warmup_frames = 90;
+};
+
+class RealtimeMonitor {
+ public:
+  RealtimeMonitor(SafeCross& safecross, sim::TrafficSimulator& sim,
+                  const sim::CameraModel& camera, MonitorConfig config, std::uint64_t seed);
+
+  struct Tick {
+    double sim_time = 0.0;
+    bool subject_waiting = false;
+    bool decision_made = false;
+    SafeCross::Decision decision;
+    bool danger_truth = false;
+    bool blind_area = false;
+  };
+
+  /// Advance one frame; returns what happened.
+  Tick step();
+
+  // --- online scorecard ---
+  std::size_t decisions() const { return decisions_; }
+  std::size_t warnings() const { return warnings_; }
+  std::size_t correct() const { return correct_; }
+  std::size_t missed_threats() const { return missed_threats_; }    // said safe, was danger
+  std::size_t false_warnings() const { return false_warnings_; }    // said danger, was safe
+  double accuracy() const {
+    return decisions_ ? static_cast<double>(correct_) / decisions_ : 0.0;
+  }
+
+ private:
+  SafeCross& safecross_;
+  sim::TrafficSimulator& sim_;
+  MonitorConfig config_;
+  dataset::SegmentCollector collector_;
+  int frames_since_decision_ = 0;
+
+  std::size_t decisions_ = 0;
+  std::size_t warnings_ = 0;
+  std::size_t correct_ = 0;
+  std::size_t missed_threats_ = 0;
+  std::size_t false_warnings_ = 0;
+};
+
+}  // namespace safecross::core

@@ -1,0 +1,90 @@
+#include "core/weather_detect.h"
+
+#include <cmath>
+
+#include "vision/blobs.h"
+#include "vision/morphology.h"
+
+namespace safecross::core {
+
+WeatherDetector::WeatherDetector(WeatherDetectorConfig config) : config_(config) {}
+
+void WeatherDetector::reset() {
+  prev_ = vision::Image();
+  frames_ = 0;
+  density_sum_ = 0.0;
+  elongation_sum_ = 0.0;
+  height_sum_ = 0.0;
+  brightness_sum_ = 0.0;
+  contrast_sum_ = 0.0;
+  brightness_samples_ = 0;
+  elongation_samples_ = 0;
+}
+
+void WeatherDetector::observe(const vision::Image& frame) {
+  // Photometric features are per-frame (no pair needed).
+  double sum = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    sum += frame.data()[i];
+    sq += static_cast<double>(frame.data()[i]) * frame.data()[i];
+  }
+  const double mean = sum / static_cast<double>(frame.size());
+  brightness_sum_ += mean;
+  contrast_sum_ += std::sqrt(std::max(0.0, sq / static_cast<double>(frame.size()) - mean * mean));
+  ++brightness_samples_;
+
+  if (prev_.empty()) {
+    prev_ = frame;
+    return;
+  }
+  const vision::Image raw =
+      vision::Image::absdiff(frame, prev_).threshold(config_.diff_threshold);
+  prev_ = frame;
+  // Opening keeps coherent motion (vehicles); what it REMOVES is the
+  // transient speckle we are after.
+  const vision::Image opened = vision::opening(raw);
+  vision::Image speckle(raw.width(), raw.height());
+  std::size_t speckle_px = 0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const bool s = raw.data()[i] > 0.5f && opened.data()[i] <= 0.5f;
+    speckle.data()[i] = s ? 1.0f : 0.0f;
+    if (s) ++speckle_px;
+  }
+  ++frames_;
+  density_sum_ += static_cast<double>(speckle_px) / static_cast<double>(raw.size());
+
+  for (const vision::Blob& b : vision::find_blobs(speckle, /*min_area=*/2)) {
+    elongation_sum_ += static_cast<double>(b.height()) / static_cast<double>(b.width());
+    height_sum_ += b.height();
+    ++elongation_samples_;
+  }
+}
+
+WeatherEstimate WeatherDetector::estimate() const {
+  WeatherEstimate e;
+  if (brightness_samples_ > 0) {
+    e.mean_brightness = brightness_sum_ / brightness_samples_;
+    e.mean_contrast = contrast_sum_ / brightness_samples_;
+  }
+  if (frames_ == 0) return e;
+  e.speckle_density = density_sum_ / frames_;
+  e.mean_elongation =
+      elongation_samples_ > 0 ? elongation_sum_ / elongation_samples_ : 1.0;
+  e.mean_blob_height = elongation_samples_ > 0 ? height_sum_ / elongation_samples_ : 0.0;
+  e.confident = frames_ >= config_.min_frames;
+  // Decision ladder: darkness first (nothing else looks like night), then
+  // transient speckle (precipitation), then washed-out contrast (fog).
+  if (e.mean_brightness < config_.night_brightness) {
+    e.weather = vision::Weather::Night;
+  } else if (e.speckle_density >= config_.density_precip) {
+    e.weather = e.mean_blob_height >= config_.rain_blob_height ? vision::Weather::Rain
+                                                               : vision::Weather::Snow;
+  } else if (e.mean_brightness > config_.fog_brightness) {
+    e.weather = vision::Weather::Fog;
+  } else {
+    e.weather = vision::Weather::Daytime;
+  }
+  return e;
+}
+
+}  // namespace safecross::core

@@ -1,0 +1,63 @@
+#pragma once
+// Heuristic weather detection from camera frames — the trigger for the
+// MS module (the paper switches models "when the scene changes" but
+// leaves the change detector to the deployment; this is ours).
+//
+// Rain streaks and snow flakes are *transient*: they appear in one frame
+// and are gone in the next, unlike vehicles which move coherently.
+// Frame-differencing + morphological opening isolates the transient
+// speckle; its density separates clear weather from precipitation, and
+// the speckle blobs' elongation (streaks are tall, flakes are round)
+// separates rain from snow.
+
+#include "vision/danger_zone.h"  // Weather
+#include "vision/image.h"
+
+namespace safecross::core {
+
+struct WeatherDetectorConfig {
+  float diff_threshold = 0.055f;  // |f_t - f_{t-1}| transient cutoff
+  float density_precip = 0.0015f; // speckle density above => precipitation
+  float rain_blob_height = 3.3f;  // mean speckle blob height (px) above => rain
+                                  // (streaks are tall; flakes are compact)
+  float night_brightness = 0.30f; // mean frame brightness below => night
+  float fog_brightness = 0.42f;   // mean brightness above (with no speckle)
+                                  // => fog: the grey veil lifts the whole
+                                  // frame toward its albedo
+  int min_frames = 5;             // frames required before estimating
+};
+
+struct WeatherEstimate {
+  vision::Weather weather = vision::Weather::Daytime;
+  double speckle_density = 0.0;  // fraction of pixels that are transient speckle
+  double mean_elongation = 1.0;  // mean blob height/width among speckle blobs
+  double mean_blob_height = 0.0;  // mean speckle blob height in pixels
+  double mean_brightness = 0.0;   // mean pixel intensity (night signature)
+  double mean_contrast = 0.0;     // mean per-frame intensity stddev (fog kills it)
+  bool confident = false;        // enough frames observed
+};
+
+class WeatherDetector {
+ public:
+  explicit WeatherDetector(WeatherDetectorConfig config = {});
+
+  /// Feed one camera frame (call once per frame, in order).
+  void observe(const vision::Image& frame);
+
+  WeatherEstimate estimate() const;
+  void reset();
+
+ private:
+  WeatherDetectorConfig config_;
+  vision::Image prev_;
+  int frames_ = 0;
+  double density_sum_ = 0.0;
+  double elongation_sum_ = 0.0;
+  double height_sum_ = 0.0;
+  double brightness_sum_ = 0.0;
+  double contrast_sum_ = 0.0;
+  int brightness_samples_ = 0;
+  int elongation_samples_ = 0;
+};
+
+}  // namespace safecross::core

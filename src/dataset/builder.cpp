@@ -1,0 +1,51 @@
+#include "dataset/builder.h"
+
+#include "common/logging.h"
+
+namespace safecross::dataset {
+
+std::size_t paper_segment_count(Weather weather) {
+  switch (weather) {
+    case Weather::Daytime: return 1966;
+    case Weather::Rain: return 34;
+    case Weather::Snow: return 855;
+    case Weather::Night:
+    case Weather::Fog:
+      return 0;  // extension scenes; not in the paper's Table I
+  }
+  return 0;
+}
+
+double paper_time_span_hours(Weather weather) {
+  switch (weather) {
+    case Weather::Daytime: return 6.0;
+    case Weather::Rain: return 1.0;
+    case Weather::Snow: return 3.0;
+    case Weather::Night:
+    case Weather::Fog:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+BuiltDataset build_dataset(const BuildRequest& request) {
+  sim::WeatherParams weather = sim::weather_params(request.weather);
+  sim::TrafficSimulator sim(weather, request.seed);
+  const sim::CameraModel camera(sim.intersection().geometry());
+  SegmentCollector collector(sim, camera, request.collector, request.seed ^ 0xC0113C7u);
+
+  const double max_seconds = request.max_sim_hours * 3600.0;
+  while (collector.segments().size() < request.target_segments && sim.time() < max_seconds) {
+    collector.step();
+  }
+
+  BuiltDataset out;
+  out.sim_hours = sim.time() / 3600.0;
+  out.frames = collector.frames_processed();
+  out.segments = collector.take_segments();
+  log_info() << "dataset[" << vision::weather_name(request.weather) << "]: "
+             << out.segments.size() << " segments in " << out.sim_hours << " sim-hours";
+  return out;
+}
+
+}  // namespace safecross::dataset

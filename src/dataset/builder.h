@@ -1,0 +1,37 @@
+#pragma once
+// Batch dataset generation: run one simulator per weather condition until
+// the requested number of segments (or a simulated-time cap) is reached.
+// Default target counts reproduce the paper's Table I
+// (1966 daytime / 34 rain / 855 snow); training benches typically scale
+// them down with `scale`.
+
+#include <cstdint>
+
+#include "dataset/collector.h"
+
+namespace safecross::dataset {
+
+struct BuildRequest {
+  Weather weather = Weather::Daytime;
+  std::size_t target_segments = 100;
+  double max_sim_hours = 12.0;   // hard stop even if the target isn't met
+  std::uint64_t seed = 1;
+  CollectorConfig collector;
+};
+
+struct BuiltDataset {
+  std::vector<VideoSegment> segments;
+  double sim_hours = 0.0;       // simulated time actually consumed
+  std::size_t frames = 0;
+};
+
+/// Generate one weather condition's segments.
+BuiltDataset build_dataset(const BuildRequest& request);
+
+/// Paper Table I target segment counts per weather.
+std::size_t paper_segment_count(Weather weather);
+
+/// Paper Table I recording time spans (hours) per weather.
+double paper_time_span_hours(Weather weather);
+
+}  // namespace safecross::dataset

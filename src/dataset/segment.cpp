@@ -1,0 +1,38 @@
+#include "dataset/segment.h"
+
+#include "common/rng.h"
+
+namespace safecross::dataset {
+
+const char* category_name(SegmentCategory c) {
+  switch (c) {
+    case SegmentCategory::TurnNoBlind: return "turn/no-blind";
+    case SegmentCategory::NoTurnNoBlind: return "no-turn/no-blind";
+    case SegmentCategory::TurnBlind: return "turn/blind";
+    case SegmentCategory::NoTurnBlind: return "no-turn/blind";
+  }
+  return "?";
+}
+
+DatasetSplit split_811(std::size_t count, std::uint64_t seed) {
+  std::vector<std::size_t> idx(count);
+  for (std::size_t i = 0; i < count; ++i) idx[i] = i;
+  safecross::Rng rng(seed);
+  safecross::shuffle(idx, rng);
+  DatasetSplit split;
+  const std::size_t n_val = count / 10;
+  const std::size_t n_test = count / 10;
+  const std::size_t n_train = count - n_val - n_test;
+  split.train.assign(idx.begin(), idx.begin() + n_train);
+  split.val.assign(idx.begin() + n_train, idx.begin() + n_train + n_val);
+  split.test.assign(idx.begin() + n_train + n_val, idx.end());
+  return split;
+}
+
+std::vector<std::size_t> category_histogram(const std::vector<VideoSegment>& segments) {
+  std::vector<std::size_t> hist(4, 0);
+  for (const VideoSegment& s : segments) ++hist[static_cast<std::size_t>(s.category())];
+  return hist;
+}
+
+}  // namespace safecross::dataset

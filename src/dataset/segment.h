@@ -1,0 +1,65 @@
+#pragma once
+// Video segments and their labels (paper §IV-B).
+//
+// A segment is 32 consecutive top-down occupancy frames. The paper's four
+// categories come from two independent bits:
+//   * turned      — the driver made the left turn; the segment's last
+//                   frame is the keyframe (front wheel on the lane line).
+//   * blind_area  — a big vehicle waited on the opposite side during the
+//                   segment ("segment with a blind area").
+// For classification the paper collapses to two classes:
+//   class 0 = danger to turn left, class 1 = safe to turn left,
+// labeled from driver behaviour (waited vs turned).
+
+#include <string>
+#include <vector>
+
+#include "sim/traffic.h"  // Approach
+#include "vision/danger_zone.h"  // Weather
+#include "vision/image.h"
+
+namespace safecross::dataset {
+
+using vision::Weather;
+
+enum class SegmentCategory {
+  TurnNoBlind = 0,
+  NoTurnNoBlind = 1,
+  TurnBlind = 2,
+  NoTurnBlind = 3,
+};
+
+const char* category_name(SegmentCategory c);
+
+struct VideoSegment {
+  std::vector<vision::Image> frames;  // top-down occupancy, oldest first
+  Weather weather = Weather::Daytime;
+  sim::Approach approach = sim::Approach::EastboundLeft;
+  bool turned = false;
+  bool blind_area = false;
+  bool danger_truth = false;  // simulator ground truth at the last frame
+  double sim_time = 0.0;      // simulation time of the last frame
+
+  SegmentCategory category() const {
+    if (turned) return blind_area ? SegmentCategory::TurnBlind : SegmentCategory::TurnNoBlind;
+    return blind_area ? SegmentCategory::NoTurnBlind : SegmentCategory::NoTurnNoBlind;
+  }
+
+  /// Paper's binary label: 0 = danger (driver waited), 1 = safe (turned).
+  int binary_label() const { return turned ? 1 : 0; }
+};
+
+/// Simple dataset view: indices into a segment vector.
+struct DatasetSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> val;
+  std::vector<std::size_t> test;
+};
+
+/// Shuffle and split 8:1:1 (the paper's train:val:test ratio).
+DatasetSplit split_811(std::size_t count, std::uint64_t seed);
+
+/// Per-category counts over a segment set.
+std::vector<std::size_t> category_histogram(const std::vector<VideoSegment>& segments);
+
+}  // namespace safecross::dataset

@@ -1,0 +1,51 @@
+#include "fewshot/crossval.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace safecross::fewshot {
+
+CrossValResult k_fold_cross_validate(const ModelFactory& factory,
+                                     const std::vector<const VideoSegment*>& pool, int k,
+                                     const TrainConfig& train_config, std::uint64_t seed) {
+  if (k < 2) throw std::invalid_argument("k_fold_cross_validate: k must be >= 2");
+  if (pool.size() < static_cast<std::size_t>(k)) {
+    throw std::invalid_argument("k_fold_cross_validate: pool smaller than k");
+  }
+
+  std::vector<std::size_t> order(pool.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  safecross::Rng rng(seed);
+  safecross::shuffle(order, rng);
+
+  CrossValResult result;
+  result.folds = static_cast<std::size_t>(k);
+  double sum = 0.0, sq = 0.0, mc_sum = 0.0;
+  for (int fold = 0; fold < k; ++fold) {
+    std::vector<const VideoSegment*> train, test;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (static_cast<int>(i % static_cast<std::size_t>(k)) == fold) {
+        test.push_back(pool[order[i]]);
+      } else {
+        train.push_back(pool[order[i]]);
+      }
+    }
+    auto model = factory();
+    TrainConfig cfg = train_config;
+    cfg.seed = seed ^ (0x1000u + static_cast<std::uint64_t>(fold));
+    train_classifier(*model, train, cfg);
+    const EvalResult eval = evaluate(*model, test);
+    sum += eval.top1();
+    sq += eval.top1() * eval.top1();
+    mc_sum += eval.mean_class();
+    result.total_evaluated += test.size();
+  }
+  result.mean_top1 = sum / k;
+  result.mean_class_acc = mc_sum / k;
+  result.stddev_top1 = std::sqrt(std::max(0.0, sq / k - result.mean_top1 * result.mean_top1));
+  return result;
+}
+
+}  // namespace safecross::fewshot

@@ -1,0 +1,35 @@
+#pragma once
+// K-fold cross-validation for tiny pools.
+//
+// The paper's rain condition has 34 segments: a single 8:1:1 split tests
+// on 3 samples and quantizes accuracy to thirds. K-fold gives every
+// segment one turn in the test fold and averages — the right evaluation
+// for the FL module's data regime.
+
+#include <functional>
+
+#include "fewshot/trainer.h"
+
+namespace safecross::fewshot {
+
+struct CrossValResult {
+  double mean_top1 = 0.0;
+  double mean_class_acc = 0.0;
+  double stddev_top1 = 0.0;
+  std::size_t folds = 0;
+  std::size_t total_evaluated = 0;
+};
+
+/// Factory for a fresh (or freshly adapted) model per fold — e.g.
+/// `[&] { return base.clone(); }` for transfer, or a lambda constructing
+/// a new randomly initialized model for the from-scratch arm.
+using ModelFactory = std::function<std::unique_ptr<models::VideoClassifier>()>;
+
+/// Split `pool` into k folds (shuffled by `seed`); for each fold, train a
+/// fresh model from the factory on the other k-1 folds and evaluate on
+/// the held-out one.
+CrossValResult k_fold_cross_validate(const ModelFactory& factory,
+                                     const std::vector<const VideoSegment*>& pool, int k,
+                                     const TrainConfig& train_config, std::uint64_t seed);
+
+}  // namespace safecross::fewshot

@@ -1,0 +1,46 @@
+#include "fewshot/episodes.h"
+
+#include <stdexcept>
+
+namespace safecross::fewshot {
+
+std::vector<std::vector<const VideoSegment*>> by_class(
+    const std::vector<const VideoSegment*>& pool, int num_classes) {
+  std::vector<std::vector<const VideoSegment*>> classes(static_cast<std::size_t>(num_classes));
+  for (const VideoSegment* seg : pool) {
+    const int label = seg->binary_label();
+    if (label < 0 || label >= num_classes) throw std::out_of_range("by_class: label out of range");
+    classes[static_cast<std::size_t>(label)].push_back(seg);
+  }
+  return classes;
+}
+
+Episode sample_episode(const Task& task, const EpisodeConfig& config, safecross::Rng& rng) {
+  const auto classes = by_class(task.pool, config.n_way);
+  for (int c = 0; c < config.n_way; ++c) {
+    if (classes[static_cast<std::size_t>(c)].empty()) {
+      throw std::runtime_error("sample_episode: task '" + task.name + "' has no samples of class " +
+                               std::to_string(c));
+    }
+  }
+  Episode ep;
+  for (int c = 0; c < config.n_way; ++c) {
+    const auto& cls = classes[static_cast<std::size_t>(c)];
+    // With replacement when the class pool is smaller than the demand.
+    const bool replace = cls.size() < static_cast<std::size_t>(config.k_shot + config.query_per_class);
+    if (replace) {
+      for (int i = 0; i < config.k_shot; ++i) ep.support.push_back(cls[rng.uniform_int(cls.size())]);
+      for (int i = 0; i < config.query_per_class; ++i) ep.query.push_back(cls[rng.uniform_int(cls.size())]);
+    } else {
+      std::vector<const VideoSegment*> shuffled = cls;
+      safecross::shuffle(shuffled, rng);
+      for (int i = 0; i < config.k_shot; ++i) ep.support.push_back(shuffled[static_cast<std::size_t>(i)]);
+      for (int i = 0; i < config.query_per_class; ++i) {
+        ep.query.push_back(shuffled[static_cast<std::size_t>(config.k_shot + i)]);
+      }
+    }
+  }
+  return ep;
+}
+
+}  // namespace safecross::fewshot

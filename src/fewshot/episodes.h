@@ -1,0 +1,46 @@
+#pragma once
+// Episode construction for N-way K-shot learning (paper §III-D).
+//
+// An episode pairs a *support set* (K labeled segments per class, used
+// for adaptation) with a *query set* (evaluation within the episode).
+// Episodes are sampled from a task's segment pool; the paper's tasks are
+// scene sets {S_1..S_M} — here, simulator runs with different seeds and
+// weather conditions.
+
+#include <vector>
+
+#include "common/rng.h"
+#include "dataset/segment.h"
+
+namespace safecross::fewshot {
+
+using dataset::VideoSegment;
+
+struct Episode {
+  std::vector<const VideoSegment*> support;
+  std::vector<const VideoSegment*> query;
+};
+
+struct EpisodeConfig {
+  int n_way = 2;     // classes per episode (SafeCross is binary)
+  int k_shot = 5;    // support segments per class
+  int query_per_class = 5;
+};
+
+/// A task: one scene's segment pool (e.g. one simulated intersection /
+/// weather condition).
+struct Task {
+  std::vector<const VideoSegment*> pool;
+  std::string name;
+};
+
+/// Sample an episode from a task's pool. Classes with fewer than
+/// k_shot + query_per_class samples reuse segments (sampling with
+/// replacement) — matching the paper's tiny rain set (34 segments).
+Episode sample_episode(const Task& task, const EpisodeConfig& config, safecross::Rng& rng);
+
+/// Per-class index of a pool (class label -> segment pointers).
+std::vector<std::vector<const VideoSegment*>> by_class(
+    const std::vector<const VideoSegment*>& pool, int num_classes);
+
+}  // namespace safecross::fewshot

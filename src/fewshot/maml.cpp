@@ -1,0 +1,89 @@
+#include "fewshot/maml.h"
+
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace safecross::fewshot {
+
+namespace {
+
+/// One full-set gradient evaluation: zero grads, forward, CE loss,
+/// backward. Returns the loss; the gradients stay on the model's params.
+float eval_gradients(models::VideoClassifier& model,
+                     const std::vector<const VideoSegment*>& set) {
+  std::vector<std::size_t> order(set.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<int> labels;
+  const nn::Tensor batch = make_batch(set, order, 0, order.size(), labels);
+  model.zero_grad();
+  const nn::Tensor scores = model.forward(batch, /*training=*/true);
+  nn::SoftmaxCrossEntropy ce;
+  const float loss = ce.forward(scores, labels);
+  model.backward(ce.grad());
+  return loss;
+}
+
+}  // namespace
+
+Maml::Maml(MamlConfig config) : config_(config), rng_(config.seed) {}
+
+std::unique_ptr<models::VideoClassifier> Maml::adapt(
+    models::VideoClassifier& model, const std::vector<const VideoSegment*>& support, int steps,
+    float lr) {
+  if (support.empty()) throw std::invalid_argument("Maml::adapt: empty support set");
+  std::unique_ptr<models::VideoClassifier> adapted = model.clone();
+  nn::SGD opt(adapted->params(), lr, /*momentum=*/0.0f);
+  for (int k = 0; k < steps; ++k) {
+    eval_gradients(*adapted, support);  // Eq. 1: theta_i^k update
+    opt.step();
+  }
+  return adapted;
+}
+
+float Maml::meta_train(models::VideoClassifier& model, const std::vector<Task>& tasks) {
+  if (tasks.empty()) throw std::invalid_argument("Maml::meta_train: no tasks");
+  const std::vector<nn::Param*> meta_params = model.params();
+  float last_query_loss = 0.0f;
+
+  for (int it = 0; it < config_.meta_iterations; ++it) {
+    // Accumulate query gradients across the task batch.
+    std::vector<nn::Tensor> grad_acc;
+    grad_acc.reserve(meta_params.size());
+    for (nn::Param* p : meta_params) grad_acc.push_back(nn::Tensor::zeros_like(p->value));
+
+    double batch_loss = 0.0;
+    for (int t = 0; t < config_.tasks_per_batch; ++t) {
+      const Task& task = tasks[rng_.uniform_int(tasks.size())];
+      const Episode ep = sample_episode(task, config_.episode, rng_);
+      auto adapted = adapt(model, ep.support, config_.inner_steps, config_.inner_lr);
+      batch_loss += eval_gradients(*adapted, ep.query);  // grad at theta_i^k
+      const std::vector<nn::Param*> adapted_params = adapted->params();
+      for (std::size_t i = 0; i < grad_acc.size(); ++i) {
+        grad_acc[i].add_scaled(adapted_params[i]->grad, 1.0f / config_.tasks_per_batch);
+      }
+    }
+    // Eq. 2 (first-order): theta <- theta - beta * mean query gradient.
+    for (std::size_t i = 0; i < meta_params.size(); ++i) {
+      meta_params[i]->value.add_scaled(grad_acc[i], -config_.outer_lr);
+    }
+    last_query_loss = static_cast<float>(batch_loss / config_.tasks_per_batch);
+    if (config_.verbose) {
+      log_info() << "maml iter " << it + 1 << "/" << config_.meta_iterations
+                 << " query-loss=" << last_query_loss;
+    }
+  }
+  return last_query_loss;
+}
+
+std::unique_ptr<models::VideoClassifier> fewshot_transfer(
+    models::VideoClassifier& base, const std::vector<const VideoSegment*>& target_train,
+    const TrainConfig& config) {
+  std::unique_ptr<models::VideoClassifier> adapted = base.clone();
+  train_classifier(*adapted, target_train, config);
+  return adapted;
+}
+
+}  // namespace safecross::fewshot

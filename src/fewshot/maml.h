@@ -1,0 +1,62 @@
+#pragma once
+// Model-Agnostic Meta-Learning for the FL module (paper §III-D, Eq. 1-2).
+//
+// Implemented as first-order MAML (FOMAML): the inner loop performs k
+// plain-SGD updates on the episode's support set (Eq. 1); the outer loop
+// applies the *query-set gradient evaluated at the adapted parameters*
+// to the meta-initialization (Eq. 2 without the second-order term —
+// standard practice, and the paper's pipeline is insensitive to the
+// distinction at this scale).
+//
+// The paper's deployment flow is also provided: `fewshot_transfer` takes
+// the daytime basic model as the (meta-)initialization and adapts it to a
+// rare-weather pool (rain/snow), producing the per-weather model the MS
+// module switches to.
+
+#include <memory>
+
+#include "fewshot/episodes.h"
+#include "fewshot/trainer.h"
+
+namespace safecross::fewshot {
+
+struct MamlConfig {
+  EpisodeConfig episode;
+  int inner_steps = 5;       // k gradient updates in Eq. 1
+  float inner_lr = 0.05f;    // alpha
+  float outer_lr = 0.02f;    // beta
+  int meta_iterations = 20;
+  int tasks_per_batch = 2;   // tasks averaged per outer update
+  std::uint64_t seed = 0xFE57u;
+  bool verbose = false;
+};
+
+class Maml {
+ public:
+  explicit Maml(MamlConfig config = {});
+
+  /// Outer loop: improve `model` as a meta-initialization over the task
+  /// distribution. Returns the mean query loss of the final iteration.
+  float meta_train(models::VideoClassifier& model, const std::vector<Task>& tasks);
+
+  /// Inner loop (Eq. 1): clone `model` and take `steps` SGD updates on
+  /// the support set (full-support batches).
+  static std::unique_ptr<models::VideoClassifier> adapt(
+      models::VideoClassifier& model, const std::vector<const VideoSegment*>& support, int steps,
+      float lr);
+
+  const MamlConfig& config() const { return config_; }
+
+ private:
+  MamlConfig config_;
+  safecross::Rng rng_;
+};
+
+/// Paper deployment flow: adapt the (daytime) basic model to a rare-
+/// weather pool by fine-tuning from its weights — the "with few-shot
+/// learning" arm of Tables III and V.
+std::unique_ptr<models::VideoClassifier> fewshot_transfer(
+    models::VideoClassifier& base, const std::vector<const VideoSegment*>& target_train,
+    const TrainConfig& config);
+
+}  // namespace safecross::fewshot

@@ -1,0 +1,122 @@
+#include "fewshot/trainer.h"
+
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "models/tensor_ops.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace safecross::fewshot {
+
+std::vector<const VideoSegment*> select(const std::vector<VideoSegment>& segments,
+                                        const std::vector<std::size_t>& indices) {
+  std::vector<const VideoSegment*> out;
+  out.reserve(indices.size());
+  for (const std::size_t i : indices) out.push_back(&segments.at(i));
+  return out;
+}
+
+nn::Tensor make_batch(const std::vector<const VideoSegment*>& segments,
+                      const std::vector<std::size_t>& order, std::size_t begin, std::size_t end,
+                      std::vector<int>& labels_out) {
+  if (begin >= end || end > order.size()) throw std::invalid_argument("make_batch: bad range");
+  std::vector<const std::vector<vision::Image>*> clips;
+  clips.reserve(end - begin);
+  labels_out.clear();
+  for (std::size_t i = begin; i < end; ++i) {
+    const VideoSegment* seg = segments[order[i]];
+    clips.push_back(&seg->frames);
+    labels_out.push_back(seg->binary_label());
+  }
+  return models::clips_to_batch(clips);
+}
+
+float train_classifier(models::VideoClassifier& model,
+                       const std::vector<const VideoSegment*>& train_set,
+                       const TrainConfig& config) {
+  if (train_set.empty()) throw std::invalid_argument("train_classifier: empty training set");
+  nn::SGD opt(model.params(), config.lr, config.momentum, config.weight_decay);
+  nn::SoftmaxCrossEntropy ce;
+  nn::MulticlassHinge hinge;
+  safecross::Rng rng(config.seed);
+
+  std::vector<std::size_t> order(train_set.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  float last_epoch_loss = 0.0f;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    safecross::shuffle(order, rng);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < order.size();
+         begin += static_cast<std::size_t>(config.batch_size)) {
+      const std::size_t end =
+          std::min(order.size(), begin + static_cast<std::size_t>(config.batch_size));
+      std::vector<int> labels;
+      const nn::Tensor batch = make_batch(train_set, order, begin, end, labels);
+
+      model.zero_grad();
+      const nn::Tensor scores = model.forward(batch, /*training=*/true);
+      float loss;
+      nn::Tensor grad;
+      if (config.hinge_loss) {
+        loss = hinge.forward(scores, labels);
+        grad = hinge.grad();
+      } else {
+        loss = ce.forward(scores, labels);
+        grad = ce.grad();
+      }
+      model.backward(grad);
+      opt.step();
+      epoch_loss += loss;
+      ++batches;
+    }
+    last_epoch_loss = static_cast<float>(epoch_loss / std::max<std::size_t>(1, batches));
+    if (config.verbose) {
+      log_info() << model.name() << " epoch " << epoch + 1 << "/" << config.epochs
+                 << " loss=" << last_epoch_loss;
+    }
+  }
+  return last_epoch_loss;
+}
+
+EvalResult evaluate(models::VideoClassifier& model,
+                    const std::vector<const VideoSegment*>& eval_set, bool hinge_loss) {
+  if (eval_set.empty()) throw std::invalid_argument("evaluate: empty eval set");
+  EvalResult result{safecross::ConfusionMatrix(static_cast<std::size_t>(model.num_classes())),
+                    0.0f};
+  nn::SoftmaxCrossEntropy ce;
+  nn::MulticlassHinge hinge;
+
+  std::vector<std::size_t> order(eval_set.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  constexpr std::size_t kEvalBatch = 16;
+  double total_loss = 0.0;
+  std::size_t batches = 0;
+  for (std::size_t begin = 0; begin < order.size(); begin += kEvalBatch) {
+    const std::size_t end = std::min(order.size(), begin + kEvalBatch);
+    std::vector<int> labels;
+    const nn::Tensor batch = make_batch(eval_set, order, begin, end, labels);
+    const nn::Tensor scores = model.forward(batch, /*training=*/false);
+    const std::vector<int>* preds;
+    if (hinge_loss) {
+      total_loss += hinge.forward(scores, labels);
+      preds = &hinge.predictions();
+    } else {
+      total_loss += ce.forward(scores, labels);
+      preds = &ce.predictions();
+    }
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      result.confusion.add(static_cast<std::size_t>(labels[i]),
+                           static_cast<std::size_t>((*preds)[i]));
+    }
+    ++batches;
+  }
+  result.mean_loss = static_cast<float>(total_loss / std::max<std::size_t>(1, batches));
+  return result;
+}
+
+}  // namespace safecross::fewshot

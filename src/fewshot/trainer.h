@@ -1,0 +1,55 @@
+#pragma once
+// Supervised training and evaluation of video classifiers on labeled
+// segments. Used directly for the basic (daytime) model and the
+// "without few-shot learning" ablation arms, and as the inner machinery
+// of the MAML adapters.
+
+#include <vector>
+
+#include "common/stats.h"
+#include "dataset/segment.h"
+#include "models/video_classifier.h"
+
+namespace safecross::fewshot {
+
+using dataset::VideoSegment;
+
+struct TrainConfig {
+  int epochs = 12;
+  int batch_size = 8;
+  float lr = 0.02f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  bool hinge_loss = false;  // C3D's linear-SVM criterion
+  std::uint64_t seed = 99u;
+  bool verbose = false;
+};
+
+struct EvalResult {
+  safecross::ConfusionMatrix confusion;
+  float mean_loss = 0.0f;
+
+  double top1() const { return confusion.top1_accuracy(); }
+  double mean_class() const { return confusion.mean_class_accuracy(); }
+};
+
+/// Views into a segment store by index list (from dataset::DatasetSplit).
+std::vector<const VideoSegment*> select(const std::vector<VideoSegment>& segments,
+                                        const std::vector<std::size_t>& indices);
+
+/// Pack a batch of segments into a (N, 1, T, H, W) tensor + labels.
+nn::Tensor make_batch(const std::vector<const VideoSegment*>& segments,
+                      const std::vector<std::size_t>& order, std::size_t begin, std::size_t end,
+                      std::vector<int>& labels_out);
+
+/// SGD training loop over shuffled minibatches. Returns final epoch's
+/// mean training loss.
+float train_classifier(models::VideoClassifier& model,
+                       const std::vector<const VideoSegment*>& train_set,
+                       const TrainConfig& config);
+
+/// Evaluate (eval mode, no grad) on a segment set.
+EvalResult evaluate(models::VideoClassifier& model,
+                    const std::vector<const VideoSegment*>& eval_set, bool hinge_loss = false);
+
+}  // namespace safecross::fewshot

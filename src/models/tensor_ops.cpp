@@ -1,0 +1,142 @@
+#include "models/tensor_ops.h"
+
+#include <stdexcept>
+
+namespace safecross::models {
+
+Tensor concat_channels(const Tensor& a, const Tensor& b) {
+  if (a.ndim() != b.ndim() || a.ndim() < 2) {
+    throw std::invalid_argument("concat_channels: rank mismatch");
+  }
+  for (std::size_t d = 0; d < a.ndim(); ++d) {
+    if (d != 1 && a.dim(d) != b.dim(d)) {
+      throw std::invalid_argument("concat_channels: non-channel dims must match");
+    }
+  }
+  std::vector<int> shape(a.shape());
+  shape[1] = a.dim(1) + b.dim(1);
+  Tensor out(shape);
+  const int n = a.dim(0);
+  std::size_t inner = 1;
+  for (std::size_t d = 2; d < a.ndim(); ++d) inner *= static_cast<std::size_t>(a.dim(d));
+  const std::size_t a_block = static_cast<std::size_t>(a.dim(1)) * inner;
+  const std::size_t b_block = static_cast<std::size_t>(b.dim(1)) * inner;
+  for (int i = 0; i < n; ++i) {
+    float* dst = out.data() + static_cast<std::size_t>(i) * (a_block + b_block);
+    std::copy(a.data() + i * a_block, a.data() + (i + 1) * a_block, dst);
+    std::copy(b.data() + i * b_block, b.data() + (i + 1) * b_block, dst + a_block);
+  }
+  return out;
+}
+
+std::pair<Tensor, Tensor> split_channels(const Tensor& grad, int channels_a) {
+  if (grad.ndim() < 2 || channels_a <= 0 || channels_a >= grad.dim(1)) {
+    throw std::invalid_argument("split_channels: bad channel split");
+  }
+  std::vector<int> sa(grad.shape());
+  std::vector<int> sb(grad.shape());
+  sa[1] = channels_a;
+  sb[1] = grad.dim(1) - channels_a;
+  Tensor a(sa), b(sb);
+  const int n = grad.dim(0);
+  std::size_t inner = 1;
+  for (std::size_t d = 2; d < grad.ndim(); ++d) inner *= static_cast<std::size_t>(grad.dim(d));
+  const std::size_t a_block = static_cast<std::size_t>(channels_a) * inner;
+  const std::size_t b_block = static_cast<std::size_t>(sb[1]) * inner;
+  for (int i = 0; i < n; ++i) {
+    const float* src = grad.data() + static_cast<std::size_t>(i) * (a_block + b_block);
+    std::copy(src, src + a_block, a.data() + i * a_block);
+    std::copy(src + a_block, src + a_block + b_block, b.data() + i * b_block);
+  }
+  return {std::move(a), std::move(b)};
+}
+
+namespace {
+std::vector<int> strided_indices(int t, int stride, int offset) {
+  std::vector<int> idx;
+  for (int i = offset; i < t; i += stride) idx.push_back(i);
+  if (idx.empty()) throw std::invalid_argument("subsample_time: no frames selected");
+  return idx;
+}
+}  // namespace
+
+Tensor select_frames(const Tensor& x, const std::vector<int>& frame_indices) {
+  if (x.ndim() != 5) throw std::invalid_argument("select_frames expects (N, C, T, H, W)");
+  const int n = x.dim(0), c = x.dim(1), t = x.dim(2), h = x.dim(3), w = x.dim(4);
+  const int ot = static_cast<int>(frame_indices.size());
+  Tensor out({n, c, ot, h, w});
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  for (int i = 0; i < n; ++i) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int k = 0; k < ot; ++k) {
+        const int src_t = frame_indices[static_cast<std::size_t>(k)];
+        if (src_t < 0 || src_t >= t) throw std::out_of_range("select_frames: index out of range");
+        const float* src =
+            x.data() + ((static_cast<std::size_t>(i) * c + ch) * t + src_t) * plane;
+        float* dst = out.data() + ((static_cast<std::size_t>(i) * c + ch) * ot + k) * plane;
+        std::copy(src, src + plane, dst);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor subsample_time(const Tensor& x, int stride, int offset) {
+  if (x.ndim() != 5) throw std::invalid_argument("subsample_time expects (N, C, T, H, W)");
+  return select_frames(x, strided_indices(x.dim(2), stride, offset));
+}
+
+Tensor subsample_time_backward(const Tensor& grad, const std::vector<int>& full_shape, int stride,
+                               int offset) {
+  if (grad.ndim() != 5 || full_shape.size() != 5) {
+    throw std::invalid_argument("subsample_time_backward expects rank-5 shapes");
+  }
+  Tensor out(full_shape, 0.0f);
+  const int n = full_shape[0], c = full_shape[1], t = full_shape[2], h = full_shape[3],
+            w = full_shape[4];
+  const std::vector<int> idx = strided_indices(t, stride, offset);
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  const int ot = grad.dim(2);
+  if (ot != static_cast<int>(idx.size())) {
+    throw std::invalid_argument("subsample_time_backward: frame count mismatch");
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int k = 0; k < ot; ++k) {
+        const float* src =
+            grad.data() + ((static_cast<std::size_t>(i) * c + ch) * ot + k) * plane;
+        float* dst = out.data() + ((static_cast<std::size_t>(i) * c + ch) * t + idx[k]) * plane;
+        std::copy(src, src + plane, dst);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor clip_to_tensor(const std::vector<vision::Image>& frames) {
+  return clips_to_batch({&frames});
+}
+
+Tensor clips_to_batch(const std::vector<const std::vector<vision::Image>*>& clips) {
+  if (clips.empty() || clips[0]->empty()) throw std::invalid_argument("clips_to_batch: empty");
+  const int t = static_cast<int>(clips[0]->size());
+  const int h = (*clips[0])[0].height();
+  const int w = (*clips[0])[0].width();
+  Tensor out({static_cast<int>(clips.size()), 1, t, h, w});
+  float* dst = out.data();
+  for (const auto* clip : clips) {
+    if (static_cast<int>(clip->size()) != t) {
+      throw std::invalid_argument("clips_to_batch: clip length mismatch");
+    }
+    for (const vision::Image& frame : *clip) {
+      if (frame.width() != w || frame.height() != h) {
+        throw std::invalid_argument("clips_to_batch: frame size mismatch");
+      }
+      std::copy(frame.data(), frame.data() + frame.size(), dst);
+      dst += frame.size();
+    }
+  }
+  return out;
+}
+
+}  // namespace safecross::models

@@ -1,0 +1,44 @@
+#pragma once
+// Structural tensor operations the model graphs need beyond plain layer
+// chaining: channel concat/split (SlowFast lateral fusion), temporal
+// subsampling (slow pathway / C3D / TSN frame selection), and clip
+// batching helpers. Each forward op has an explicit adjoint used in the
+// manual backward passes.
+
+#include <vector>
+
+#include "nn/tensor.h"
+#include "vision/image.h"
+
+namespace safecross::models {
+
+using nn::Tensor;
+
+/// Concatenate along the channel axis (dim 1) of two tensors that agree
+/// on every other dimension. Works for any rank >= 2.
+Tensor concat_channels(const Tensor& a, const Tensor& b);
+
+/// Adjoint of concat_channels: split grad into the two channel blocks.
+std::pair<Tensor, Tensor> split_channels(const Tensor& grad, int channels_a);
+
+/// Select every `stride`-th time step of a (N, C, T, H, W) tensor,
+/// starting at `offset`: the SlowFast slow-pathway input.
+Tensor subsample_time(const Tensor& x, int stride, int offset = 0);
+
+/// Adjoint of subsample_time: scatter grads back to the full time axis.
+Tensor subsample_time_backward(const Tensor& grad, const std::vector<int>& full_shape, int stride,
+                               int offset = 0);
+
+/// Pick explicit frame indices from (N, C, T, H, W) -> (N, C, |idx|, H, W)
+/// (TSN's sparse segment sampling).
+Tensor select_frames(const Tensor& x, const std::vector<int>& frame_indices);
+
+/// Pack a clip (T grayscale images of identical size) into a
+/// (1, 1, T, H, W) tensor.
+Tensor clip_to_tensor(const std::vector<vision::Image>& frames);
+
+/// Pack several clips into a (N, 1, T, H, W) batch (all clips must agree
+/// on T, H, W).
+Tensor clips_to_batch(const std::vector<const std::vector<vision::Image>*>& clips);
+
+}  // namespace safecross::models

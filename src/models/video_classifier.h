@@ -1,0 +1,38 @@
+#pragma once
+// Common interface of the video classification models (SlowFast, C3D,
+// TSN). Input is a (N, 1, T, H, W) clip batch of top-down occupancy
+// frames; output is (N, K) class logits/scores.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace safecross::models {
+
+class VideoClassifier {
+ public:
+  virtual ~VideoClassifier() = default;
+
+  /// (N, 1, T, H, W) -> (N, num_classes) scores.
+  virtual nn::Tensor forward(const nn::Tensor& clips, bool training) = 0;
+
+  /// Propagate d(loss)/d(scores); accumulates parameter gradients.
+  virtual void backward(const nn::Tensor& grad_scores) = 0;
+
+  virtual std::vector<nn::Param*> params() = 0;
+  virtual std::vector<nn::Tensor*> buffers() = 0;
+  virtual std::string name() const = 0;
+  virtual int num_classes() const = 0;
+
+  /// Structurally identical copy with the same weights and buffers —
+  /// the primitive MAML's inner loop and PipeSwitch's standby models use.
+  virtual std::unique_ptr<VideoClassifier> clone() = 0;
+
+  void zero_grad() {
+    for (nn::Param* p : params()) p->zero_grad();
+  }
+};
+
+}  // namespace safecross::models

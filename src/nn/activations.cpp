@@ -1,0 +1,34 @@
+#include "nn/activations.h"
+
+#include <stdexcept>
+
+namespace safecross::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    if (out[i] < 0.0f) out[i] = 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    if (cached_input_[i] <= 0.0f) grad[i] = 0.0f;
+  }
+  return grad;
+}
+
+Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+  if (input.ndim() < 2) throw std::invalid_argument("Flatten expects (N, ...)");
+  in_shape_.assign(input.shape().begin(), input.shape().end());
+  int features = 1;
+  for (std::size_t d = 1; d < input.ndim(); ++d) features *= input.dim(d);
+  return input.reshaped({input.dim(0), features});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) { return grad_output.reshaped(in_shape_); }
+
+}  // namespace safecross::nn

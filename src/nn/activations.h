@@ -1,0 +1,29 @@
+#pragma once
+// Elementwise activations and shape adapters.
+
+#include "nn/layer.h"
+
+namespace safecross::nn {
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Flattens (N, ...) to (N, F); backward restores the original shape.
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<int> in_shape_;
+};
+
+}  // namespace safecross::nn

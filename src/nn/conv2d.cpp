@@ -1,0 +1,139 @@
+#include "nn/conv2d.h"
+
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+
+namespace safecross::nn {
+
+Conv2D::Conv2D(Conv2DConfig config)
+    : config_(config),
+      weight_(Tensor({config.out_channels, config.in_channels, config.kernel, config.kernel})),
+      bias_(Tensor({config.out_channels})) {
+  if (config.kernel < 1 || config.stride < 1 || config.padding < 0) {
+    throw std::invalid_argument("Conv2D: invalid geometry");
+  }
+}
+
+int Conv2D::out_size(int in, int kernel, int stride, int padding) {
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+
+std::vector<Param*> Conv2D::params() {
+  if (config_.bias) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
+  if (input.ndim() != 4 || input.dim(1) != config_.in_channels) {
+    throw std::invalid_argument("Conv2D: expected (N, " + std::to_string(config_.in_channels) +
+                                ", H, W), got " + input.shape_str());
+  }
+  cached_input_ = input;
+  const int n = input.dim(0), c_in = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int k = config_.kernel, s = config_.stride, p = config_.padding;
+  const int c_out = config_.out_channels;
+  const int oh = out_size(h, k, s, p);
+  const int ow = out_size(w, k, s, p);
+  if (oh <= 0 || ow <= 0) throw std::invalid_argument("Conv2D: output would be empty");
+
+  Tensor out({n, c_out, oh, ow});
+  const float* x = input.data();
+  const float* wgt = weight_.value.data();
+  const float* b = bias_.value.data();
+  float* y = out.data();
+
+  safecross::ThreadPool::global().parallel_for(
+      static_cast<std::size_t>(n) * c_out, [&](std::size_t job) {
+        const int bi = static_cast<int>(job) / c_out;
+        const int oc = static_cast<int>(job) % c_out;
+        for (int oy = 0; oy < oh; ++oy) {
+          for (int ox = 0; ox < ow; ++ox) {
+            float acc = config_.bias ? b[oc] : 0.0f;
+            for (int ic = 0; ic < c_in; ++ic) {
+              for (int ky = 0; ky < k; ++ky) {
+                const int iy = oy * s - p + ky;
+                if (iy < 0 || iy >= h) continue;
+                for (int kx = 0; kx < k; ++kx) {
+                  const int ix = ox * s - p + kx;
+                  if (ix < 0 || ix >= w) continue;
+                  acc += x[((static_cast<std::size_t>(bi) * c_in + ic) * h + iy) * w + ix] *
+                         wgt[((static_cast<std::size_t>(oc) * c_in + ic) * k + ky) * k + kx];
+                }
+              }
+            }
+            y[((static_cast<std::size_t>(bi) * c_out + oc) * oh + oy) * ow + ox] = acc;
+          }
+        }
+      });
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  const int n = input.dim(0), c_in = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int k = config_.kernel, s = config_.stride, p = config_.padding;
+  const int c_out = config_.out_channels;
+  const int oh = grad_output.dim(2), ow = grad_output.dim(3);
+
+  Tensor grad_input({n, c_in, h, w}, 0.0f);
+  const float* x = input.data();
+  const float* go = grad_output.data();
+  const float* wgt = weight_.value.data();
+  float* gi = grad_input.data();
+  float* gw = weight_.grad.data();
+  float* gb = bias_.grad.data();
+
+  // Weight/bias gradients, parallel over output channels (each job owns
+  // disjoint slices of gw/gb).
+  safecross::ThreadPool::global().parallel_for(static_cast<std::size_t>(c_out), [&](std::size_t ocj) {
+    const int oc = static_cast<int>(ocj);
+    for (int bi = 0; bi < n; ++bi) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          const float g = go[((static_cast<std::size_t>(bi) * c_out + oc) * oh + oy) * ow + ox];
+          if (config_.bias) gb[oc] += g;
+          for (int ic = 0; ic < c_in; ++ic) {
+            for (int ky = 0; ky < k; ++ky) {
+              const int iy = oy * s - p + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < k; ++kx) {
+                const int ix = ox * s - p + kx;
+                if (ix < 0 || ix >= w) continue;
+                gw[((static_cast<std::size_t>(oc) * c_in + ic) * k + ky) * k + kx] +=
+                    g * x[((static_cast<std::size_t>(bi) * c_in + ic) * h + iy) * w + ix];
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+
+  // Input gradient, parallel over batch (each job owns one batch slice).
+  safecross::ThreadPool::global().parallel_for(static_cast<std::size_t>(n), [&](std::size_t bij) {
+    const int bi = static_cast<int>(bij);
+    for (int oc = 0; oc < c_out; ++oc) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          const float g = go[((static_cast<std::size_t>(bi) * c_out + oc) * oh + oy) * ow + ox];
+          for (int ic = 0; ic < c_in; ++ic) {
+            for (int ky = 0; ky < k; ++ky) {
+              const int iy = oy * s - p + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < k; ++kx) {
+                const int ix = ox * s - p + kx;
+                if (ix < 0 || ix >= w) continue;
+                gi[((static_cast<std::size_t>(bi) * c_in + ic) * h + iy) * w + ix] +=
+                    g * wgt[((static_cast<std::size_t>(oc) * c_in + ic) * k + ky) * k + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+  return grad_input;
+}
+
+}  // namespace safecross::nn

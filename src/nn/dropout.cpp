@@ -1,0 +1,35 @@
+#include "nn/dropout.h"
+
+#include <stdexcept>
+
+namespace safecross::nn {
+
+Dropout::Dropout(float rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  if (rate < 0.0f || rate >= 1.0f) throw std::invalid_argument("Dropout rate must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  was_training_ = training;
+  if (!training || rate_ == 0.0f) return input;
+  const float keep = 1.0f - rate_;
+  mask_.assign(input.numel(), 0.0f);
+  Tensor out = input;
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    if (rng_.bernoulli(keep)) {
+      mask_[i] = 1.0f / keep;
+      out[i] *= mask_[i];
+    } else {
+      out[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (!was_training_ || rate_ == 0.0f) return grad_output;
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) grad[i] *= mask_[i];
+  return grad;
+}
+
+}  // namespace safecross::nn

@@ -1,0 +1,24 @@
+#pragma once
+// Inverted dropout: active only in training mode; eval is the identity.
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace safecross::nn {
+
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(float rate, std::uint64_t seed = 0x0D120907u);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  float rate_;
+  safecross::Rng rng_;
+  std::vector<float> mask_;
+  bool was_training_ = false;
+};
+
+}  // namespace safecross::nn

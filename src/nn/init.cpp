@@ -1,0 +1,35 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace safecross::nn {
+
+void he_init(Tensor& weight, std::size_t fan_in, safecross::Rng& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in ? fan_in : 1));
+  for (std::size_t i = 0; i < weight.numel(); ++i) {
+    weight[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+void xavier_init(Tensor& weight, std::size_t fan_in, std::size_t fan_out, safecross::Rng& rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (std::size_t i = 0; i < weight.numel(); ++i) {
+    weight[i] = static_cast<float>(rng.uniform(-limit, limit));
+  }
+}
+
+void init_params(const std::vector<Param*>& params, safecross::Rng& rng) {
+  for (Param* p : params) {
+    // Rank >= 2 tensors are weights: He init with fan_in = product of all
+    // dims but the first (output) dim. Rank-1 tensors keep their
+    // constructor defaults (bias = 0, BatchNorm gamma = 1).
+    if (p->value.ndim() < 2) continue;
+    std::size_t fan_in = 1;
+    for (std::size_t d = 1; d < p->value.ndim(); ++d) {
+      fan_in *= static_cast<std::size_t>(p->value.dim(d));
+    }
+    he_init(p->value, fan_in, rng);
+  }
+}
+
+}  // namespace safecross::nn

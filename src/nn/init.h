@@ -1,0 +1,24 @@
+#pragma once
+// Weight initialization. He (Kaiming) initialization for conv/linear
+// weights feeding ReLU networks; zeros for biases.
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace safecross::nn {
+
+/// Fill with N(0, sqrt(2 / fan_in)).
+void he_init(Tensor& weight, std::size_t fan_in, safecross::Rng& rng);
+
+/// Fill with U(-limit, limit), limit = sqrt(6 / (fan_in + fan_out)).
+void xavier_init(Tensor& weight, std::size_t fan_in, std::size_t fan_out, safecross::Rng& rng);
+
+/// Initialize every parameter of a layer tree: tensors whose first
+/// dimension is the output count get He init with fan_in inferred from the
+/// remaining dims; rank-1 tensors (biases) are zeroed, except BatchNorm
+/// gammas which init to 1 (handled by the layer's own constructor and
+/// left untouched here — rank-1 params are zeroed only if their name says
+/// bias is safe, so we simply skip rank-1 with value already nonzero).
+void init_params(const std::vector<Param*>& params, safecross::Rng& rng);
+
+}  // namespace safecross::nn

@@ -1,0 +1,29 @@
+#include "nn/layer.h"
+
+#include <stdexcept>
+
+namespace safecross::nn {
+
+std::size_t param_count(const std::vector<Param*>& params) {
+  std::size_t n = 0;
+  for (const Param* p : params) n += p->value.numel();
+  return n;
+}
+
+void copy_param_values(const std::vector<Param*>& from, const std::vector<Param*>& to) {
+  if (from.size() != to.size()) throw std::invalid_argument("copy_param_values: count mismatch");
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    Tensor::check_same_shape(from[i]->value, to[i]->value, "copy_param_values");
+    to[i]->value = from[i]->value;
+  }
+}
+
+void copy_buffers(const std::vector<Tensor*>& from, const std::vector<Tensor*>& to) {
+  if (from.size() != to.size()) throw std::invalid_argument("copy_buffers: count mismatch");
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    Tensor::check_same_shape(*from[i], *to[i], "copy_buffers");
+    *to[i] = *from[i];
+  }
+}
+
+}  // namespace safecross::nn

@@ -1,0 +1,62 @@
+#pragma once
+// Layer abstraction: explicit forward/backward with cached activations.
+//
+// Each layer owns its parameters (value + gradient pairs). backward()
+// consumes the gradient w.r.t. the layer's last output, accumulates
+// parameter gradients, and returns the gradient w.r.t. the last input.
+// A layer instance therefore supports one in-flight forward/backward
+// pair — exactly the pattern the trainers use.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace safecross::nn {
+
+/// A trainable parameter: value and its accumulated gradient.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(Tensor v) : value(std::move(v)), grad(Tensor::zeros_like(value)) {}
+  Param() = default;
+
+  void zero_grad() { grad.zero(); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Non-trainable state that must survive cloning (e.g. BatchNorm
+  /// running statistics).
+  virtual std::vector<Tensor*> buffers() { return {}; }
+
+  virtual std::string name() const = 0;
+
+  void zero_grad() {
+    for (Param* p : params()) p->zero_grad();
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Total parameter element count across a parameter list.
+std::size_t param_count(const std::vector<Param*>& params);
+
+/// Copy parameter values (not gradients) elementwise; lists must be
+/// structurally identical (same count, same shapes).
+void copy_param_values(const std::vector<Param*>& from, const std::vector<Param*>& to);
+
+/// Copy buffers (running stats etc.) between structurally identical lists.
+void copy_buffers(const std::vector<Tensor*>& from, const std::vector<Tensor*>& to);
+
+}  // namespace safecross::nn

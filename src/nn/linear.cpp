@@ -1,0 +1,72 @@
+#include "nn/linear.h"
+
+#include <stdexcept>
+
+namespace safecross::nn {
+
+Linear::Linear(int in_features, int out_features, bool bias)
+    : in_(in_features),
+      out_(out_features),
+      has_bias_(bias),
+      weight_(Tensor({out_features, in_features})),
+      bias_(Tensor({out_features})) {
+  if (in_features < 1 || out_features < 1) throw std::invalid_argument("Linear: invalid sizes");
+}
+
+std::vector<Param*> Linear::params() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+Tensor Linear::forward(const Tensor& input, bool /*training*/) {
+  if (input.ndim() != 2 || input.dim(1) != in_) {
+    throw std::invalid_argument("Linear: expected (N, " + std::to_string(in_) + "), got " +
+                                input.shape_str());
+  }
+  cached_input_ = input;
+  const int n = input.dim(0);
+  Tensor out({n, out_});
+  const float* x = input.data();
+  const float* w = weight_.value.data();
+  const float* b = bias_.value.data();
+  float* y = out.data();
+  for (int bi = 0; bi < n; ++bi) {
+    for (int o = 0; o < out_; ++o) {
+      float acc = has_bias_ ? b[o] : 0.0f;
+      const float* xr = x + static_cast<std::size_t>(bi) * in_;
+      const float* wr = w + static_cast<std::size_t>(o) * in_;
+      for (int i = 0; i < in_; ++i) acc += xr[i] * wr[i];
+      y[static_cast<std::size_t>(bi) * out_ + o] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  const int n = cached_input_.dim(0);
+  Tensor grad_input({n, in_}, 0.0f);
+  const float* x = cached_input_.data();
+  const float* go = grad_output.data();
+  const float* w = weight_.value.data();
+  float* gi = grad_input.data();
+  float* gw = weight_.grad.data();
+  float* gb = bias_.grad.data();
+  for (int bi = 0; bi < n; ++bi) {
+    const float* xr = x + static_cast<std::size_t>(bi) * in_;
+    const float* gr = go + static_cast<std::size_t>(bi) * out_;
+    float* gir = gi + static_cast<std::size_t>(bi) * in_;
+    for (int o = 0; o < out_; ++o) {
+      const float g = gr[o];
+      if (has_bias_) gb[o] += g;
+      const float* wr = w + static_cast<std::size_t>(o) * in_;
+      float* gwr = gw + static_cast<std::size_t>(o) * in_;
+      for (int i = 0; i < in_; ++i) {
+        gwr[i] += g * xr[i];
+        gir[i] += g * wr[i];
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace safecross::nn

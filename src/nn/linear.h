@@ -1,0 +1,30 @@
+#pragma once
+// Fully-connected layer: (N, in) -> (N, out), y = x W^T + b.
+
+#include "nn/layer.h"
+
+namespace safecross::nn {
+
+class Linear final : public Layer {
+ public:
+  Linear(int in_features, int out_features, bool bias = true);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return "Linear"; }
+
+  int in_features() const { return in_; }
+  int out_features() const { return out_; }
+  Param& weight() { return weight_; }
+
+ private:
+  int in_;
+  int out_;
+  bool has_bias_;
+  Param weight_;  // (out, in)
+  Param bias_;    // (out)
+  Tensor cached_input_;
+};
+
+}  // namespace safecross::nn

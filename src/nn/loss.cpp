@@ -1,0 +1,123 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace safecross::nn {
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.ndim() != 2) throw std::invalid_argument("softmax expects (N, K)");
+  const int n = logits.dim(0);
+  const int k = logits.dim(1);
+  Tensor out({n, k});
+  for (int i = 0; i < n; ++i) {
+    const float* row = logits.data() + static_cast<std::size_t>(i) * k;
+    float* orow = out.data() + static_cast<std::size_t>(i) * k;
+    const float mx = *std::max_element(row, row + k);
+    double sum = 0.0;
+    for (int j = 0; j < k; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      sum += orow[j];
+    }
+    for (int j = 0; j < k; ++j) orow[j] = static_cast<float>(orow[j] / sum);
+  }
+  return out;
+}
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits, const std::vector<int>& labels) {
+  if (logits.ndim() != 2 || static_cast<std::size_t>(logits.dim(0)) != labels.size()) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: logits/labels mismatch");
+  }
+  const int n = logits.dim(0);
+  const int k = logits.dim(1);
+  probs_ = softmax(logits);
+  labels_ = labels;
+  predictions_.assign(n, 0);
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (labels[i] < 0 || labels[i] >= k) {
+      throw std::out_of_range("SoftmaxCrossEntropy: label out of range");
+    }
+    const float* row = probs_.data() + static_cast<std::size_t>(i) * k;
+    predictions_[i] = static_cast<int>(std::max_element(row, row + k) - row);
+    loss -= std::log(std::max(row[labels[i]], 1e-12f));
+  }
+  return static_cast<float>(loss / n);
+}
+
+Tensor SoftmaxCrossEntropy::grad() const {
+  const int n = probs_.dim(0);
+  const int k = probs_.dim(1);
+  Tensor g = probs_;
+  for (int i = 0; i < n; ++i) {
+    g[static_cast<std::size_t>(i) * k + labels_[i]] -= 1.0f;
+  }
+  g.scale(1.0f / static_cast<float>(n));
+  return g;
+}
+
+float MulticlassHinge::forward(const Tensor& scores, const std::vector<int>& labels) {
+  if (scores.ndim() != 2 || static_cast<std::size_t>(scores.dim(0)) != labels.size()) {
+    throw std::invalid_argument("MulticlassHinge: scores/labels mismatch");
+  }
+  scores_ = scores;
+  labels_ = labels;
+  const int n = scores.dim(0);
+  const int k = scores.dim(1);
+  predictions_.assign(n, 0);
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const float* row = scores.data() + static_cast<std::size_t>(i) * k;
+    predictions_[i] = static_cast<int>(std::max_element(row, row + k) - row);
+    const float correct = row[labels[i]];
+    for (int j = 0; j < k; ++j) {
+      if (j == labels[i]) continue;
+      loss += std::max(0.0f, margin_ + row[j] - correct);
+    }
+  }
+  return static_cast<float>(loss / n);
+}
+
+Tensor MulticlassHinge::grad() const {
+  const int n = scores_.dim(0);
+  const int k = scores_.dim(1);
+  Tensor g({n, k}, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    const float* row = scores_.data() + static_cast<std::size_t>(i) * k;
+    float* grow = g.data() + static_cast<std::size_t>(i) * k;
+    const float correct = row[labels_[i]];
+    int violations = 0;
+    for (int j = 0; j < k; ++j) {
+      if (j == labels_[i]) continue;
+      if (margin_ + row[j] - correct > 0.0f) {
+        grow[j] = 1.0f;
+        ++violations;
+      }
+    }
+    grow[labels_[i]] = -static_cast<float>(violations);
+  }
+  g.scale(1.0f / static_cast<float>(n));
+  return g;
+}
+
+float MeanSquaredError::forward(const Tensor& pred, const Tensor& target) {
+  Tensor::check_same_shape(pred, target, "MeanSquaredError");
+  pred_ = pred;
+  target_ = target;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const double d = pred[i] - target[i];
+    sum += d * d;
+  }
+  return static_cast<float>(sum / static_cast<double>(pred.numel()));
+}
+
+Tensor MeanSquaredError::grad() const {
+  Tensor g = pred_;
+  const float scale = 2.0f / static_cast<float>(pred_.numel());
+  for (std::size_t i = 0; i < g.numel(); ++i) g[i] = scale * (pred_[i] - target_[i]);
+  return g;
+}
+
+}  // namespace safecross::nn

@@ -1,0 +1,63 @@
+#pragma once
+// Losses. SoftmaxCrossEntropy is the training criterion for every
+// classifier in the paper; the YOLO-lite detector uses a composite
+// objectness/box loss built from these pieces.
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace safecross::nn {
+
+/// Numerically-stable softmax over the last axis of a (N, K) tensor.
+Tensor softmax(const Tensor& logits);
+
+/// Combined softmax + cross-entropy for (N, K) logits and N integer
+/// labels. forward() returns the mean loss; grad() returns dLoss/dLogits
+/// for the same batch (softmax(x) - onehot(y)) / N.
+class SoftmaxCrossEntropy {
+ public:
+  float forward(const Tensor& logits, const std::vector<int>& labels);
+  Tensor grad() const;
+
+  /// Argmax prediction per row of the last forward's logits.
+  const std::vector<int>& predictions() const { return predictions_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+  std::vector<int> predictions_;
+};
+
+/// Multiclass hinge loss (Crammer–Singer), the criterion of a linear SVM
+/// head — C3D in the paper "uses SVM to classify video", so our C3D
+/// baseline trains its final layer with this.
+/// loss_i = sum_{j != y_i} max(0, margin + s_j - s_{y_i}).
+class MulticlassHinge {
+ public:
+  explicit MulticlassHinge(float margin = 1.0f) : margin_(margin) {}
+
+  float forward(const Tensor& scores, const std::vector<int>& labels);
+  Tensor grad() const;
+  const std::vector<int>& predictions() const { return predictions_; }
+
+ private:
+  float margin_;
+  Tensor scores_;
+  std::vector<int> labels_;
+  std::vector<int> predictions_;
+};
+
+/// Mean squared error between prediction and target; grad is
+/// 2 (pred - target) / numel.
+class MeanSquaredError {
+ public:
+  float forward(const Tensor& pred, const Tensor& target);
+  Tensor grad() const;
+
+ private:
+  Tensor pred_;
+  Tensor target_;
+};
+
+}  // namespace safecross::nn

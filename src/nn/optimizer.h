@@ -1,0 +1,58 @@
+#pragma once
+// Gradient-descent optimizers over explicit parameter lists.
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace safecross::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (Param* p : params_) p->zero_grad();
+  }
+
+ protected:
+  std::vector<Param*> params_;
+};
+
+/// SGD with classical momentum and decoupled L2 weight decay.
+class SGD final : public Optimizer {
+ public:
+  SGD(std::vector<Param*> params, float lr, float momentum = 0.0f, float weight_decay = 0.0f);
+
+  void step() override;
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float lr = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void step() override;
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  long t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace safecross::nn

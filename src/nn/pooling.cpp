@@ -1,0 +1,159 @@
+#include "nn/pooling.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace safecross::nn {
+
+MaxPool2D::MaxPool2D(int window, int stride) : window_(window), stride_(stride) {
+  if (window < 1 || stride < 1) throw std::invalid_argument("MaxPool2D: invalid geometry");
+}
+
+Tensor MaxPool2D::forward(const Tensor& input, bool /*training*/) {
+  if (input.ndim() != 4) throw std::invalid_argument("MaxPool2D expects (N, C, H, W)");
+  cached_input_ = input;
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int oh = (h - window_) / stride_ + 1;
+  const int ow = (w - window_) / stride_ + 1;
+  if (oh <= 0 || ow <= 0) throw std::invalid_argument("MaxPool2D: output would be empty");
+  out_shape_ = {n, c, oh, ow};
+  Tensor out(out_shape_);
+  argmax_.assign(out.numel(), 0);
+  const float* x = input.data();
+  float* y = out.data();
+  std::size_t o = 0;
+  for (int bi = 0; bi < n; ++bi) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox, ++o) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (int ky = 0; ky < window_; ++ky) {
+            for (int kx = 0; kx < window_; ++kx) {
+              const int iy = oy * stride_ + ky;
+              const int ix = ox * stride_ + kx;
+              const std::size_t idx =
+                  ((static_cast<std::size_t>(bi) * c + ch) * h + iy) * w + ix;
+              if (x[idx] > best) {
+                best = x[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          y[o] = best;
+          argmax_[o] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  Tensor grad_input = Tensor::zeros_like(cached_input_);
+  float* gi = grad_input.data();
+  const float* go = grad_output.data();
+  for (std::size_t o = 0; o < grad_output.numel(); ++o) gi[argmax_[o]] += go[o];
+  return grad_input;
+}
+
+MaxPool3D::MaxPool3D(int window_t, int window_s, int stride_t, int stride_s)
+    : wt_(window_t), ws_(window_s), st_(stride_t), ss_(stride_s) {
+  if (wt_ < 1 || ws_ < 1 || st_ < 1 || ss_ < 1) {
+    throw std::invalid_argument("MaxPool3D: invalid geometry");
+  }
+}
+
+Tensor MaxPool3D::forward(const Tensor& input, bool /*training*/) {
+  if (input.ndim() != 5) throw std::invalid_argument("MaxPool3D expects (N, C, T, H, W)");
+  cached_input_ = input;
+  const int n = input.dim(0), c = input.dim(1), t = input.dim(2), h = input.dim(3),
+            w = input.dim(4);
+  const int ot = (t - wt_) / st_ + 1;
+  const int oh = (h - ws_) / ss_ + 1;
+  const int ow = (w - ws_) / ss_ + 1;
+  if (ot <= 0 || oh <= 0 || ow <= 0) throw std::invalid_argument("MaxPool3D: output empty");
+  out_shape_ = {n, c, ot, oh, ow};
+  Tensor out(out_shape_);
+  argmax_.assign(out.numel(), 0);
+  const float* x = input.data();
+  float* y = out.data();
+  std::size_t o = 0;
+  for (int bi = 0; bi < n; ++bi) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int oz = 0; oz < ot; ++oz) {
+        for (int oy = 0; oy < oh; ++oy) {
+          for (int ox = 0; ox < ow; ++ox, ++o) {
+            float best = -std::numeric_limits<float>::infinity();
+            std::size_t best_idx = 0;
+            for (int kz = 0; kz < wt_; ++kz) {
+              for (int ky = 0; ky < ws_; ++ky) {
+                for (int kx = 0; kx < ws_; ++kx) {
+                  const int iz = oz * st_ + kz;
+                  const int iy = oy * ss_ + ky;
+                  const int ix = ox * ss_ + kx;
+                  const std::size_t idx =
+                      (((static_cast<std::size_t>(bi) * c + ch) * t + iz) * h + iy) * w + ix;
+                  if (x[idx] > best) {
+                    best = x[idx];
+                    best_idx = idx;
+                  }
+                }
+              }
+            }
+            y[o] = best;
+            argmax_[o] = best_idx;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool3D::backward(const Tensor& grad_output) {
+  Tensor grad_input = Tensor::zeros_like(cached_input_);
+  float* gi = grad_input.data();
+  const float* go = grad_output.data();
+  for (std::size_t o = 0; o < grad_output.numel(); ++o) gi[argmax_[o]] += go[o];
+  return grad_input;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool /*training*/) {
+  if (input.ndim() < 3) throw std::invalid_argument("GlobalAvgPool expects (N, C, ...)");
+  in_shape_.assign(input.shape().begin(), input.shape().end());
+  const int n = input.dim(0), c = input.dim(1);
+  std::size_t spatial = 1;
+  for (std::size_t d = 2; d < input.ndim(); ++d) spatial *= static_cast<std::size_t>(input.dim(d));
+  Tensor out({n, c});
+  const float* x = input.data();
+  float* y = out.data();
+  for (int bi = 0; bi < n; ++bi) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float* base = x + (static_cast<std::size_t>(bi) * c + ch) * spatial;
+      double sum = 0.0;
+      for (std::size_t i = 0; i < spatial; ++i) sum += base[i];
+      y[static_cast<std::size_t>(bi) * c + ch] = static_cast<float>(sum / spatial);
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  Tensor grad_input(in_shape_, 0.0f);
+  const int n = in_shape_[0], c = in_shape_[1];
+  std::size_t spatial = 1;
+  for (std::size_t d = 2; d < in_shape_.size(); ++d) spatial *= static_cast<std::size_t>(in_shape_[d]);
+  const float* go = grad_output.data();
+  float* gi = grad_input.data();
+  for (int bi = 0; bi < n; ++bi) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float g = go[static_cast<std::size_t>(bi) * c + ch] / static_cast<float>(spatial);
+      float* base = gi + (static_cast<std::size_t>(bi) * c + ch) * spatial;
+      for (std::size_t i = 0; i < spatial; ++i) base[i] = g;
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace safecross::nn

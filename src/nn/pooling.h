@@ -1,0 +1,54 @@
+#pragma once
+// Pooling layers: 2-D/3-D max pooling and global average pooling.
+
+#include "nn/layer.h"
+
+namespace safecross::nn {
+
+/// Max pooling over (N, C, H, W) with a square window.
+class MaxPool2D final : public Layer {
+ public:
+  MaxPool2D(int window, int stride);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "MaxPool2D"; }
+
+ private:
+  int window_;
+  int stride_;
+  Tensor cached_input_;
+  std::vector<std::size_t> argmax_;  // winning input flat index per output cell
+  std::vector<int> out_shape_;
+};
+
+/// Max pooling over (N, C, T, H, W) with independent temporal/spatial
+/// windows (window of 1 disables pooling along that axis).
+class MaxPool3D final : public Layer {
+ public:
+  MaxPool3D(int window_t, int window_s, int stride_t, int stride_s);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "MaxPool3D"; }
+
+ private:
+  int wt_, ws_, st_, ss_;
+  Tensor cached_input_;
+  std::vector<std::size_t> argmax_;
+  std::vector<int> out_shape_;
+};
+
+/// Global average pooling: (N, C, ...) -> (N, C), averaging every
+/// trailing dimension.
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  std::vector<int> in_shape_;
+};
+
+}  // namespace safecross::nn

@@ -1,0 +1,107 @@
+#include "nn/serialize.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace safecross::nn {
+
+namespace {
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("checkpoint: unexpected end of stream");
+  return v;
+}
+
+}  // namespace
+
+void save_params(std::ostream& os, const std::vector<Param*>& params) {
+  write_pod(os, kCheckpointMagic);
+  write_pod(os, static_cast<std::uint64_t>(params.size()));
+  for (const Param* p : params) {
+    const Tensor& t = p->value;
+    write_pod(os, static_cast<std::uint32_t>(t.ndim()));
+    for (std::size_t d = 0; d < t.ndim(); ++d) {
+      write_pod(os, static_cast<std::int32_t>(t.dim(d)));
+    }
+    os.write(reinterpret_cast<const char*>(t.data()),
+             static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("checkpoint: write failed");
+}
+
+void load_params(std::istream& is, const std::vector<Param*>& params) {
+  if (read_pod<std::uint32_t>(is) != kCheckpointMagic) {
+    throw std::runtime_error("checkpoint: bad magic");
+  }
+  const auto count = read_pod<std::uint64_t>(is);
+  if (count != params.size()) {
+    throw std::runtime_error("checkpoint: parameter count mismatch");
+  }
+  for (Param* p : params) {
+    const auto rank = read_pod<std::uint32_t>(is);
+    if (rank != p->value.ndim()) throw std::runtime_error("checkpoint: rank mismatch");
+    for (std::size_t d = 0; d < rank; ++d) {
+      if (read_pod<std::int32_t>(is) != p->value.dim(d)) {
+        throw std::runtime_error("checkpoint: shape mismatch");
+      }
+    }
+    is.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    if (!is) throw std::runtime_error("checkpoint: unexpected end of stream");
+  }
+}
+
+void save_tensors(std::ostream& os, const std::vector<Tensor*>& tensors) {
+  write_pod(os, kCheckpointMagic);
+  write_pod(os, static_cast<std::uint64_t>(tensors.size()));
+  for (const Tensor* t : tensors) {
+    write_pod(os, static_cast<std::uint32_t>(t->ndim()));
+    for (std::size_t d = 0; d < t->ndim(); ++d) {
+      write_pod(os, static_cast<std::int32_t>(t->dim(d)));
+    }
+    os.write(reinterpret_cast<const char*>(t->data()),
+             static_cast<std::streamsize>(t->numel() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("checkpoint: write failed");
+}
+
+void load_tensors(std::istream& is, const std::vector<Tensor*>& tensors) {
+  if (read_pod<std::uint32_t>(is) != kCheckpointMagic) {
+    throw std::runtime_error("checkpoint: bad magic");
+  }
+  if (read_pod<std::uint64_t>(is) != tensors.size()) {
+    throw std::runtime_error("checkpoint: tensor count mismatch");
+  }
+  for (Tensor* t : tensors) {
+    const auto rank = read_pod<std::uint32_t>(is);
+    if (rank != t->ndim()) throw std::runtime_error("checkpoint: rank mismatch");
+    for (std::size_t d = 0; d < rank; ++d) {
+      if (read_pod<std::int32_t>(is) != t->dim(d)) {
+        throw std::runtime_error("checkpoint: shape mismatch");
+      }
+    }
+    is.read(reinterpret_cast<char*>(t->data()),
+            static_cast<std::streamsize>(t->numel() * sizeof(float)));
+    if (!is) throw std::runtime_error("checkpoint: unexpected end of stream");
+  }
+}
+
+std::size_t serialized_size(const std::vector<Param*>& params) {
+  std::size_t bytes = sizeof(std::uint32_t) + sizeof(std::uint64_t);
+  for (const Param* p : params) {
+    bytes += sizeof(std::uint32_t) + p->value.ndim() * sizeof(std::int32_t) +
+             p->value.numel() * sizeof(float);
+  }
+  return bytes;
+}
+
+}  // namespace safecross::nn

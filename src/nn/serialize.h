@@ -1,0 +1,34 @@
+#pragma once
+// Binary (de)serialization of parameter lists — the on-"GPU" model images
+// the switching engine transfers, and simple checkpointing for trainers.
+//
+// Format: magic, count, then per tensor: rank, dims..., float data.
+// Little-endian host order (this is a single-machine reproduction).
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace safecross::nn {
+
+constexpr std::uint32_t kCheckpointMagic = 0x5AFEC805u;
+
+/// Write all parameter values (not gradients) to the stream.
+void save_params(std::ostream& os, const std::vector<Param*>& params);
+
+/// Read values back into an identically-structured parameter list.
+/// Throws std::runtime_error on magic/shape mismatch.
+void load_params(std::istream& is, const std::vector<Param*>& params);
+
+/// Byte size save_params would emit (used by the switching engine to size
+/// PCIe transfers per layer).
+std::size_t serialized_size(const std::vector<Param*>& params);
+
+/// Same format for bare tensor lists (e.g. BatchNorm running statistics,
+/// which are state but not parameters). Shares the magic/count framing.
+void save_tensors(std::ostream& os, const std::vector<Tensor*>& tensors);
+void load_tensors(std::istream& is, const std::vector<Tensor*>& tensors);
+
+}  // namespace safecross::nn

@@ -1,0 +1,88 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace safecross::nn {
+
+namespace {
+std::size_t shape_numel(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (const int d : shape) {
+    if (d <= 0) throw std::invalid_argument("Tensor dimensions must be positive");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape, float fill)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
+
+Tensor::Tensor(std::initializer_list<int> shape, float fill)
+    : Tensor(std::vector<int>(shape), fill) {}
+
+std::size_t Tensor::flat_index(std::initializer_list<int> idx) const {
+  if (idx.size() != shape_.size()) throw std::invalid_argument("Tensor::at rank mismatch");
+  std::size_t flat = 0;
+  std::size_t d = 0;
+  for (const int i : idx) {
+    if (i < 0 || i >= shape_[d]) throw std::out_of_range("Tensor::at index out of range");
+    flat = flat * static_cast<std::size_t>(shape_[d]) + static_cast<std::size_t>(i);
+    ++d;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<int> idx) { return data_[flat_index(idx)]; }
+float Tensor::at(std::initializer_list<int> idx) const { return data_[flat_index(idx)]; }
+
+Tensor Tensor::reshaped(std::vector<int> new_shape) const {
+  if (shape_numel(new_shape) != numel()) {
+    throw std::invalid_argument("Tensor::reshaped numel mismatch");
+  }
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::add_scaled(const Tensor& other, float alpha) {
+  check_same_shape(*this, other, "add_scaled");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Tensor::scale(float alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+double Tensor::sum() const { return std::accumulate(data_.begin(), data_.end(), 0.0); }
+
+float Tensor::max() const {
+  if (data_.empty()) throw std::runtime_error("Tensor::max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+void Tensor::check_same_shape(const Tensor& a, const Tensor& b, const char* context) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(context) + ": shape mismatch " + a.shape_str() +
+                                " vs " + b.shape_str());
+  }
+}
+
+}  // namespace safecross::nn

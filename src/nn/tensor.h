@@ -1,0 +1,69 @@
+#pragma once
+// Dense N-dimensional float tensor.
+//
+// The deliberate minimum needed to train the paper's video classifiers on
+// CPU: contiguous row-major storage, shape bookkeeping, and a handful of
+// elementwise helpers. Layers index raw data() directly in their hot
+// loops; Tensor does not attempt views, broadcasting, or autograd —
+// gradients are propagated explicitly by each Layer.
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace safecross::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape, float fill = 0.0f);
+  Tensor(std::initializer_list<int> shape, float fill = 0.0f);
+
+  static Tensor zeros_like(const Tensor& other) { return Tensor(other.shape_, 0.0f); }
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(std::size_t i) const { return shape_.at(i); }
+  std::size_t ndim() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Multi-index accessor (slow; for tests and non-hot paths).
+  float& at(std::initializer_list<int> idx);
+  float at(std::initializer_list<int> idx) const;
+
+  /// Same data, new shape (numel must match).
+  Tensor reshaped(std::vector<int> new_shape) const;
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  /// In-place axpy: this += alpha * other (shapes must match).
+  void add_scaled(const Tensor& other, float alpha);
+
+  /// Elementwise scale.
+  void scale(float alpha);
+
+  double sum() const;
+  float max() const;
+
+  /// Human-readable "[2, 3, 4]" shape string for error messages.
+  std::string shape_str() const;
+
+  /// Throws std::invalid_argument unless shapes match exactly.
+  static void check_same_shape(const Tensor& a, const Tensor& b, const char* context);
+
+ private:
+  std::size_t flat_index(std::initializer_list<int> idx) const;
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace safecross::nn

@@ -1,0 +1,281 @@
+#include "sim/camera.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace safecross::sim {
+
+using vision::Homography;
+using vision::Image;
+using vision::Point2;
+
+namespace {
+
+// Deterministic per-pixel hash noise in [0, 1) for static scene texture.
+float hash_noise(int x, int y) {
+  std::uint32_t h = static_cast<std::uint32_t>(x) * 374761393u + static_cast<std::uint32_t>(y) * 668265263u;
+  h = (h ^ (h >> 13)) * 1274126177u;
+  return static_cast<float>(h ^ (h >> 16)) / 4294967296.0f;
+}
+
+}  // namespace
+
+void fill_convex_quad(Image& img, const std::array<Point2, 4>& quad, float value) {
+  double min_x = quad[0].x, max_x = quad[0].x, min_y = quad[0].y, max_y = quad[0].y;
+  for (const auto& p : quad) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const int x0 = std::max(0, static_cast<int>(std::floor(min_x)));
+  const int x1 = std::min(img.width() - 1, static_cast<int>(std::ceil(max_x)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(min_y)));
+  const int y1 = std::min(img.height() - 1, static_cast<int>(std::ceil(max_y)));
+
+  // Point-in-convex-polygon: consistent sign of all edge cross products.
+  auto inside = [&](double px, double py) {
+    int sign = 0;
+    for (int i = 0; i < 4; ++i) {
+      const Point2& a = quad[i];
+      const Point2& b = quad[(i + 1) % 4];
+      const double cross = (b.x - a.x) * (py - a.y) - (b.y - a.y) * (px - a.x);
+      if (std::fabs(cross) < 1e-12) continue;
+      const int s = cross > 0 ? 1 : -1;
+      if (sign == 0) {
+        sign = s;
+      } else if (s != sign) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      if (inside(x + 0.5, y + 0.5)) img.at(x, y) = value;
+    }
+  }
+}
+
+CameraModel::CameraModel(IntersectionGeometry geometry, CameraConfig config)
+    : geometry_(geometry), config_(config) {
+  const double w = config_.width;
+  const double h = config_.height;
+  const double far_y = config_.far_y_fraction * h;
+  const double inset = config_.far_x_margin * w;
+  // Near edge (ground y = world_height, close to the camera) spans the
+  // full image width at the bottom; far edge is inset and high.
+  const std::vector<Point2> ground = {{0.0, geometry_.world_height},
+                                      {geometry_.world_width, geometry_.world_height},
+                                      {0.0, 0.0},
+                                      {geometry_.world_width, 0.0}};
+  const std::vector<Point2> image = {{0.0, h - 1.0},
+                                     {w - 1.0, h - 1.0},
+                                     {inset, far_y},
+                                     {w - 1.0 - inset, far_y}};
+  ground_to_image_ = Homography::fit(ground, image);
+  background_ = render_background();
+  depth_ = render_depth();
+}
+
+vision::Image CameraModel::render_depth() const {
+  Image depth(config_.width, config_.height, 0.0f);
+  const Homography image_to_ground = ground_to_image_.inverse();
+  const float far_limit = static_cast<float>(geometry_.world_height);
+  for (int y = 0; y < config_.height; ++y) {
+    for (int x = 0; x < config_.width; ++x) {
+      const Point2 p = image_to_ground.apply({static_cast<double>(x), static_cast<double>(y)});
+      if (p.y < 0.0 || p.y > geometry_.world_height) {
+        depth.at(x, y) = far_limit;  // sky / beyond the scene
+      } else {
+        depth.at(x, y) = static_cast<float>(geometry_.world_height - p.y);
+      }
+    }
+  }
+  return depth;
+}
+
+vision::Image CameraModel::render_background() const {
+  const auto& g = geometry_;
+  Image bg(config_.width, config_.height, 0.0f);
+  const Homography image_to_ground = ground_to_image_.inverse();
+  const double road_half = 2.0 * g.lane_width;
+  const double ns_half = 1.0 * g.lane_width;
+  for (int y = 0; y < config_.height; ++y) {
+    for (int x = 0; x < config_.width; ++x) {
+      const Point2 p = image_to_ground.apply({static_cast<double>(x), static_cast<double>(y)});
+      float v;
+      if (p.y < 0.0 || p.y > g.world_height || p.x < -20.0 || p.x > g.world_width + 20.0) {
+        v = 0.55f;  // sky / beyond the scene
+      } else {
+        const bool on_ew = std::fabs(p.y - g.center_y) <= road_half;
+        const bool on_ns = std::fabs(p.x - g.center_x) <= ns_half;
+        if (on_ew || on_ns) {
+          v = 0.35f;  // asphalt
+          // Dashed lane markings on the EW road, skipping the junction box.
+          if (on_ew && !on_ns) {
+            for (int k = -1; k <= 1; ++k) {
+              const double line_y = g.center_y + k * g.lane_width;
+              if (std::fabs(p.y - line_y) < 0.15 &&
+                  (static_cast<int>(std::floor(p.x / 3.0)) % 2 == 0)) {
+                v = 0.8f;
+              }
+            }
+          }
+        } else {
+          v = 0.18f;  // grass / sidewalks
+        }
+      }
+      // Static texture so the scene is not flat (helps make sparse optical
+      // flow latch onto the background, as in the paper's Fig. 8b).
+      bg.at(x, y) = v + 0.05f * (hash_noise(x, y) - 0.5f);
+    }
+  }
+  return bg;
+}
+
+std::array<Point2, 4> CameraModel::vehicle_quad_image(const TrafficSimulator& sim,
+                                                      const Vehicle& v) const {
+  const Point2 front = sim.position(v);
+  const Point2 dir = sim.heading(v);
+  const Point2 center{front.x - dir.x * v.length / 2.0, front.y - dir.y * v.length / 2.0};
+  const Point2 perp{-dir.y, dir.x};
+  const double hl = v.length / 2.0;
+  const double hw = v.width / 2.0;
+  std::array<Point2, 4> ground_quad = {
+      Point2{center.x + dir.x * hl + perp.x * hw, center.y + dir.y * hl + perp.y * hw},
+      Point2{center.x + dir.x * hl - perp.x * hw, center.y + dir.y * hl - perp.y * hw},
+      Point2{center.x - dir.x * hl - perp.x * hw, center.y - dir.y * hl - perp.y * hw},
+      Point2{center.x - dir.x * hl + perp.x * hw, center.y - dir.y * hl + perp.y * hw}};
+  std::array<Point2, 4> out;
+  for (int i = 0; i < 4; ++i) out[i] = ground_to_image_.apply(ground_quad[i]);
+  return out;
+}
+
+vision::Image CameraModel::render(const TrafficSimulator& sim, safecross::Rng& rng) const {
+  Image frame = background_;
+  const auto& w = sim.weather();
+  for (const Vehicle& v : sim.vehicles()) {
+    // Compress vehicle/road contrast in bad weather.
+    const float value = 0.35f + (static_cast<float>(v.intensity) - 0.35f) * w.contrast;
+    fill_convex_quad(frame, vehicle_quad_image(sim, v), value);
+  }
+
+  // Pedestrians: small upright blobs on the crosswalks.
+  for (const Pedestrian& p : sim.pedestrians()) {
+    const Point2 g = sim.pedestrian_position(p);
+    std::array<Point2, 4> quad;
+    const double half = 0.35;
+    const Point2 corners[4] = {{-half, -half}, {half, -half}, {half, half}, {-half, half}};
+    for (int i = 0; i < 4; ++i) {
+      quad[static_cast<std::size_t>(i)] =
+          ground_to_image_.apply({g.x + corners[i].x, g.y + corners[i].y});
+    }
+    fill_convex_quad(frame, quad, 0.35f + (0.85f - 0.35f) * w.contrast);
+  }
+
+  // Global illumination (night), then headlights above it.
+  if (w.ambient < 1.0f) {
+    for (std::size_t i = 0; i < frame.size(); ++i) frame.data()[i] *= w.ambient;
+  }
+  if (w.headlights) {
+    for (const Vehicle& v : sim.vehicles()) {
+      // A bright patch just ahead of the front bumper.
+      const Point2 front = sim.position(v);
+      const Point2 dir = sim.heading(v);
+      const Point2 perp{-dir.y, dir.x};
+      const double reach = 3.0, half_w = v.width * 0.6;
+      std::array<Point2, 4> beam;
+      const Point2 corners[4] = {{0.2, half_w}, {0.2, -half_w}, {reach, -half_w}, {reach, half_w}};
+      for (int i = 0; i < 4; ++i) {
+        const Point2 g{front.x + dir.x * corners[i].x + perp.x * corners[i].y,
+                       front.y + dir.y * corners[i].x + perp.y * corners[i].y};
+        beam[static_cast<std::size_t>(i)] = ground_to_image_.apply(g);
+      }
+      fill_convex_quad(frame, beam, 0.92f);
+    }
+  }
+  // Fog: exponential extinction toward a grey veil, by ground distance.
+  if (w.fog_density > 0.0f) {
+    constexpr float veil = 0.72f;
+    for (int y = 0; y < frame.height(); ++y) {
+      for (int x = 0; x < frame.width(); ++x) {
+        const float t = 1.0f - std::exp(-w.fog_density * depth_.at(x, y));
+        frame.at(x, y) += (veil - frame.at(x, y)) * t;
+      }
+    }
+  }
+  const double kpx = static_cast<double>(config_.width) * config_.height / 1000.0;
+  const int streaks = static_cast<int>(w.rain_streaks_per_kpx * kpx);
+  for (int i = 0; i < streaks; ++i) {
+    int sx = rng.uniform_int(0, config_.width - 1);
+    int sy = rng.uniform_int(0, config_.height - 1);
+    const int len = rng.uniform_int(4, 8);
+    for (int t = 0; t < len; ++t) {
+      const int px = sx + t / 3;
+      const int py = sy + t;
+      if (px < 0 || py < 0 || px >= config_.width || py >= config_.height) break;
+      frame.at(px, py) = std::min(1.0f, frame.at(px, py) + 0.22f);
+    }
+  }
+  const int flakes = static_cast<int>(w.snow_flakes_per_kpx * kpx);
+  for (int i = 0; i < flakes; ++i) {
+    const int px = rng.uniform_int(0, config_.width - 1);
+    const int py = rng.uniform_int(0, config_.height - 1);
+    frame.at(px, py) = std::min(1.0f, frame.at(px, py) + 0.4f);
+    if (px + 1 < config_.width && rng.bernoulli(0.5)) {
+      frame.at(px + 1, py) = std::min(1.0f, frame.at(px + 1, py) + 0.3f);
+    }
+  }
+
+  // Sensor noise, then the low-quality blur.
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    frame.data()[i] = std::clamp(
+        frame.data()[i] + static_cast<float>(rng.normal(0.0, w.sensor_noise)), 0.0f, 1.0f);
+  }
+  if (config_.low_quality_blur) frame = frame.box_blur3();
+  return frame;
+}
+
+vision::Image CameraModel::rasterize_topdown(const TrafficSimulator& sim, int grid_w, int grid_h,
+                                             double min_speed) const {
+  Image grid(grid_w, grid_h, 0.0f);
+  const double sx = static_cast<double>(grid_w) / geometry_.world_width;
+  const double sy = static_cast<double>(grid_h) / geometry_.world_height;
+  for (const Vehicle& v : sim.vehicles()) {
+    if (v.speed < min_speed) continue;  // background subtraction only sees motion
+    const Point2 front = sim.position(v);
+    const Point2 dir = sim.heading(v);
+    const Point2 center{front.x - dir.x * v.length / 2.0, front.y - dir.y * v.length / 2.0};
+    const Point2 perp{-dir.y, dir.x};
+    const double hl = v.length / 2.0;
+    const double hw = v.width / 2.0;
+    std::array<Point2, 4> quad;
+    const double ex[4] = {hl, hl, -hl, -hl};
+    const double ey[4] = {hw, -hw, -hw, hw};
+    for (int i = 0; i < 4; ++i) {
+      quad[i] = {(center.x + dir.x * ex[i] + perp.x * ey[i]) * sx,
+                 (center.y + dir.y * ex[i] + perp.y * ey[i]) * sy};
+    }
+    fill_convex_quad(grid, quad, 1.0f);
+  }
+  // Pedestrians are sub-cell: mark the cell under each walker (they are
+  // always moving, so background subtraction sees them).
+  for (const Pedestrian& p : sim.pedestrians()) {
+    const Point2 g = sim.pedestrian_position(p);
+    const int cx = static_cast<int>(g.x * sx);
+    const int cy = static_cast<int>(g.y * sy);
+    if (cx >= 0 && cy >= 0 && cx < grid_w && cy < grid_h) grid.at(cx, cy) = 1.0f;
+  }
+  return grid;
+}
+
+vision::Homography CameraModel::image_to_grid(int grid_w, int grid_h) const {
+  const double sx = static_cast<double>(grid_w) / geometry_.world_width;
+  const double sy = static_cast<double>(grid_h) / geometry_.world_height;
+  const Homography scale({sx, 0.0, 0.0, 0.0, sy, 0.0, 0.0, 0.0, 1.0});
+  return scale * ground_to_image_.inverse();
+}
+
+}  // namespace safecross::sim

@@ -1,0 +1,79 @@
+#pragma once
+// Roadside surveillance camera model.
+//
+// Renders the simulated intersection into a grayscale frame the way the
+// paper's decades-old camera sees it: an oblique perspective (far edge of
+// the scene compressed), low resolution, static scene texture, per-frame
+// sensor noise, and weather artefacts (rain streaks / snow flakes). The
+// projection is an exact planar homography, so the VP pipeline can invert
+// it to produce the paper's 2-D top-down representation.
+//
+// Also provides the ground-truth top-down rasterizer (the "ideal VP"
+// output) used for fast dataset generation.
+
+#include "common/rng.h"
+#include "sim/traffic.h"
+#include "vision/homography.h"
+#include "vision/image.h"
+
+namespace safecross::sim {
+
+struct CameraConfig {
+  int width = 256;           // quarter-ish scale of the paper's 1376x776 feed
+  int height = 144;
+  double far_y_fraction = 0.24;   // image y (fraction) of the scene's far edge
+  double far_x_margin = 0.26;     // horizontal inset of the far edge (perspective)
+  bool low_quality_blur = true;   // extra box blur to mimic an old camera
+};
+
+class CameraModel {
+ public:
+  explicit CameraModel(IntersectionGeometry geometry, CameraConfig config = {});
+
+  const CameraConfig& config() const { return config_; }
+
+  /// Ground (metres) -> image (pixels) homography.
+  const vision::Homography& ground_to_image() const { return ground_to_image_; }
+
+  /// The static scene (roads, markings, grass, sky) without vehicles or
+  /// per-frame noise.
+  const vision::Image& background() const { return background_; }
+
+  /// Full camera frame at the simulator's current state.
+  vision::Image render(const TrafficSimulator& sim, safecross::Rng& rng) const;
+
+  /// Ground-truth occupancy of moving vehicles on a gw x gh top-down grid
+  /// covering the whole world rectangle (the ideal output of the VP
+  /// pipeline; used by the fast dataset path).
+  vision::Image rasterize_topdown(const TrafficSimulator& sim, int grid_w, int grid_h,
+                                  double min_speed = 0.5) const;
+
+  /// Homography mapping camera-image pixels to top-down grid cells, for
+  /// warping foreground masks into the 2-D representation (Fig. 3c).
+  vision::Homography image_to_grid(int grid_w, int grid_h) const;
+
+  /// Image-space footprint corners of one vehicle (for tests/diagnostics).
+  std::array<vision::Point2, 4> vehicle_quad_image(const TrafficSimulator& sim,
+                                                   const Vehicle& v) const;
+
+  /// Per-pixel distance (metres) from the camera's near edge to the
+  /// ground point under the pixel (sky pixels get the far limit). Drives
+  /// the fog extinction model.
+  const vision::Image& depth_map() const { return depth_; }
+
+ private:
+  vision::Image render_background() const;
+  vision::Image render_depth() const;
+
+  IntersectionGeometry geometry_;
+  CameraConfig config_;
+  vision::Homography ground_to_image_;
+  vision::Image background_;
+  vision::Image depth_;
+};
+
+/// Fill a convex quadrilateral into `img` with `value` (used by both the
+/// camera renderer and the top-down rasterizer).
+void fill_convex_quad(vision::Image& img, const std::array<vision::Point2, 4>& quad, float value);
+
+}  // namespace safecross::sim

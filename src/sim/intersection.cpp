@@ -1,0 +1,123 @@
+#include "sim/intersection.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace safecross::sim {
+
+const char* route_name(RouteId id) {
+  switch (id) {
+    case RouteId::WestboundThrough: return "wb-through";
+    case RouteId::WestboundLeftWait: return "wb-left";
+    case RouteId::EastboundLeft: return "eb-left";
+    case RouteId::EastboundThrough: return "eb-through";
+  }
+  return "?";
+}
+
+Path::Path(std::vector<Point2> points) : points_(std::move(points)) {
+  if (points_.size() < 2) throw std::invalid_argument("Path needs >= 2 points");
+  cumulative_.resize(points_.size(), 0.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double dx = points_[i].x - points_[i - 1].x;
+    const double dy = points_[i].y - points_[i - 1].y;
+    cumulative_[i] = cumulative_[i - 1] + std::sqrt(dx * dx + dy * dy);
+  }
+  total_length_ = cumulative_.back();
+}
+
+Point2 Path::position(double s) const {
+  if (s <= 0.0) return points_.front();
+  if (s >= total_length_) return points_.back();
+  // Binary search for the segment containing s.
+  std::size_t lo = 0, hi = points_.size() - 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cumulative_[mid] <= s) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double seg_len = cumulative_[hi] - cumulative_[lo];
+  const double f = seg_len > 0.0 ? (s - cumulative_[lo]) / seg_len : 0.0;
+  return {points_[lo].x + f * (points_[hi].x - points_[lo].x),
+          points_[lo].y + f * (points_[hi].y - points_[lo].y)};
+}
+
+Point2 Path::tangent(double s) const {
+  const double eps = 0.25;
+  const Point2 a = position(std::max(0.0, s - eps));
+  const Point2 b = position(std::min(total_length_, s + eps));
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double norm = std::sqrt(dx * dx + dy * dy);
+  if (norm < 1e-9) return {1.0, 0.0};
+  return {dx / norm, dy / norm};
+}
+
+namespace {
+
+// Quarter-circle arc from `from` to `to` around `center`, as a polyline.
+void append_arc(std::vector<Point2>& pts, const Point2& center, const Point2& from,
+                const Point2& to, int segments = 10) {
+  const double a0 = std::atan2(from.y - center.y, from.x - center.x);
+  double a1 = std::atan2(to.y - center.y, to.x - center.x);
+  // Take the short way around.
+  while (a1 - a0 > std::numbers::pi) a1 -= 2.0 * std::numbers::pi;
+  while (a1 - a0 < -std::numbers::pi) a1 += 2.0 * std::numbers::pi;
+  const double r0 = std::hypot(from.x - center.x, from.y - center.y);
+  const double r1 = std::hypot(to.x - center.x, to.y - center.y);
+  for (int i = 1; i <= segments; ++i) {
+    const double f = static_cast<double>(i) / segments;
+    const double a = a0 + f * (a1 - a0);
+    const double r = r0 + f * (r1 - r0);
+    pts.push_back({center.x + r * std::cos(a), center.y + r * std::sin(a)});
+  }
+}
+
+}  // namespace
+
+Intersection::Intersection(IntersectionGeometry geometry) : geometry_(geometry) {
+  const auto& g = geometry_;
+  routes_.reserve(kNumRoutes);
+  stop_line_s_.resize(kNumRoutes, 0.0);
+
+  // WestboundThrough: straight, travel -x along the wb through lane.
+  {
+    std::vector<Point2> pts{{g.world_width, g.wb_through_y()}, {0.0, g.wb_through_y()}};
+    routes_.emplace_back(std::move(pts));
+    stop_line_s_[static_cast<int>(RouteId::WestboundThrough)] = g.world_width - g.wb_stop_x();
+  }
+  // WestboundLeftWait: -x along wb left lane, stop, then turn left
+  // (southbound, +y, exiting on the west side of the south road).
+  {
+    std::vector<Point2> pts{{g.world_width, g.wb_left_y()}, {g.wb_stop_x(), g.wb_left_y()}};
+    const Point2 turn_end{g.center_x - 0.5 * g.lane_width, g.center_y + 2.0 * g.lane_width};
+    const Point2 center{g.wb_stop_x(), g.center_y + 2.0 * g.lane_width};
+    append_arc(pts, center, {g.wb_stop_x(), g.wb_left_y()}, turn_end);
+    pts.push_back({turn_end.x, g.world_height});
+    routes_.emplace_back(std::move(pts));
+    stop_line_s_[static_cast<int>(RouteId::WestboundLeftWait)] = g.world_width - g.wb_stop_x();
+  }
+  // EastboundLeft: +x along eb left lane, stop, turn left (northbound, -y,
+  // exiting on the east side of the north road).
+  {
+    std::vector<Point2> pts{{0.0, g.eb_left_y()}, {g.eb_stop_x(), g.eb_left_y()}};
+    const Point2 turn_end{g.center_x + 0.5 * g.lane_width, g.center_y - 2.0 * g.lane_width};
+    const Point2 center{g.eb_stop_x(), g.center_y - 2.0 * g.lane_width};
+    append_arc(pts, center, {g.eb_stop_x(), g.eb_left_y()}, turn_end);
+    pts.push_back({turn_end.x, 0.0});
+    routes_.emplace_back(std::move(pts));
+    stop_line_s_[static_cast<int>(RouteId::EastboundLeft)] = g.eb_stop_x();
+  }
+  // EastboundThrough: straight +x.
+  {
+    std::vector<Point2> pts{{0.0, g.eb_through_y()}, {g.world_width, g.eb_through_y()}};
+    routes_.emplace_back(std::move(pts));
+    stop_line_s_[static_cast<int>(RouteId::EastboundThrough)] = g.eb_stop_x();
+  }
+}
+
+}  // namespace safecross::sim

@@ -1,0 +1,93 @@
+#pragma once
+// Intersection geometry: a 4-way junction of a horizontal (east-west)
+// main road, in ground coordinates (metres, x right, y down — matching
+// image conventions).
+//
+// The paper's scenario (Fig. 1/2) is expressed with four routes:
+//   * WestboundThrough  — oncoming straight traffic, travels -x along the
+//     lane the *threat* vehicles use (the blind area lives here).
+//   * WestboundLeftWait — opposite-side vehicles waiting to turn left;
+//     these are the view *blockers* (trucks/vans).
+//   * EastboundLeft     — the subject vehicles attempting the left turn
+//     the paper warns about.
+//   * EastboundThrough  — background traffic for scene realism.
+//
+// Every route is a polyline path with arc-smoothed turns; vehicles follow
+// it by arc length.
+
+#include <vector>
+
+#include "vision/homography.h"
+
+namespace safecross::sim {
+
+using vision::Point2;
+
+enum class RouteId {
+  WestboundThrough = 0,
+  WestboundLeftWait = 1,
+  EastboundLeft = 2,
+  EastboundThrough = 3,
+};
+constexpr int kNumRoutes = 4;
+
+const char* route_name(RouteId id);
+
+/// A path as a dense polyline; position is found by arc length.
+class Path {
+ public:
+  explicit Path(std::vector<Point2> points);
+
+  double length() const { return total_length_; }
+
+  /// Position at arc length s (clamped to [0, length]).
+  Point2 position(double s) const;
+
+  /// Unit tangent (heading) at arc length s.
+  Point2 tangent(double s) const;
+
+ private:
+  std::vector<Point2> points_;
+  std::vector<double> cumulative_;  // arc length at each vertex
+  double total_length_ = 0.0;
+};
+
+struct IntersectionGeometry {
+  double world_width = 120.0;   // metres
+  double world_height = 80.0;
+
+  double center_x = 60.0;
+  double center_y = 40.0;
+  double lane_width = 3.7;
+
+  // Lane centre y-coordinates (y grows downward/south).
+  // Eastbound (travel +x) lanes sit south of the centre line.
+  double eb_through_y() const { return center_y + 1.5 * lane_width; }
+  double eb_left_y() const { return center_y + 0.5 * lane_width; }
+  // Westbound (travel -x) lanes sit north of the centre line.
+  double wb_left_y() const { return center_y - 0.5 * lane_width; }
+  double wb_through_y() const { return center_y - 1.5 * lane_width; }
+
+  // Stop lines: edges of the crossing road's footprint.
+  double eb_stop_x() const { return center_x - 2.0 * lane_width; }
+  double wb_stop_x() const { return center_x + 2.0 * lane_width; }
+};
+
+class Intersection {
+ public:
+  explicit Intersection(IntersectionGeometry geometry = {});
+
+  const IntersectionGeometry& geometry() const { return geometry_; }
+  const Path& route(RouteId id) const { return routes_.at(static_cast<std::size_t>(id)); }
+
+  /// Arc length along a route at which its stop line sits (entry to the
+  /// conflict area). Vehicles yielding must hold at this s.
+  double stop_line_s(RouteId id) const { return stop_line_s_.at(static_cast<std::size_t>(id)); }
+
+ private:
+  IntersectionGeometry geometry_;
+  std::vector<Path> routes_;
+  std::vector<double> stop_line_s_;
+};
+
+}  // namespace safecross::sim

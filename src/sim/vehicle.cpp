@@ -1,0 +1,55 @@
+#include "sim/vehicle.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace safecross::sim {
+
+const char* vehicle_type_name(VehicleType t) {
+  switch (t) {
+    case VehicleType::Car: return "car";
+    case VehicleType::Van: return "van";
+    case VehicleType::Truck: return "truck";
+  }
+  return "?";
+}
+
+VehicleDims vehicle_dims(VehicleType t) {
+  switch (t) {
+    case VehicleType::Car: return {4.5, 1.8};
+    case VehicleType::Van: return {6.5, 2.2};
+    case VehicleType::Truck: return {10.0, 2.5};
+  }
+  return {4.5, 1.8};
+}
+
+bool is_view_blocking(VehicleType t) { return t != VehicleType::Car; }
+
+void advance_vehicle(Vehicle& v, double dt, double gap_to_obstruction, double accel_limit,
+                     double brake_limit) {
+  // Desired: free speed, unless the obstruction forces braking.
+  double accel = accel_limit * (1.0 - v.speed / std::max(v.free_speed, 0.1));
+
+  if (gap_to_obstruction < 1e9) {
+    // Brake so that we can stop `min_gap` short of the obstruction with
+    // comfortable deceleration; emergency-brake if closer than that.
+    const double min_gap = 2.0;
+    const double gap = gap_to_obstruction - min_gap;
+    if (gap <= 0.0) {
+      accel = -brake_limit;
+    } else {
+      // Speed admissible at this distance under comfortable braking
+      // (60% of the friction limit): v_adm = sqrt(2 * 0.6 b * gap).
+      const double v_adm = std::sqrt(2.0 * 0.6 * brake_limit * gap);
+      if (v.speed > v_adm) {
+        const double needed = (v.speed * v.speed - v_adm * v_adm) / (2.0 * gap);
+        accel = -std::min(brake_limit, needed);
+      }
+    }
+  }
+
+  v.speed = std::clamp(v.speed + accel * dt, 0.0, v.free_speed * 1.05);
+  v.s += v.speed * dt;
+}
+
+}  // namespace safecross::sim

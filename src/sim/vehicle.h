@@ -1,0 +1,64 @@
+#pragma once
+// Vehicle kinematics and driver behaviour.
+//
+// Vehicles follow their route path by arc length with a simple
+// longitudinal controller: accelerate toward the free-flow speed, brake
+// (friction-limited, so weather matters) for the leader and for hold
+// points (stop lines while yielding). Left-turning routes hold at the
+// stop line until their gap-acceptance check passes.
+
+#include <cstdint>
+
+#include "sim/intersection.h"
+#include "sim/weather.h"
+
+namespace safecross::sim {
+
+enum class VehicleType { Car, Van, Truck };
+
+const char* vehicle_type_name(VehicleType t);
+
+/// Footprint length/width in metres.
+struct VehicleDims {
+  double length;
+  double width;
+};
+
+VehicleDims vehicle_dims(VehicleType t);
+
+/// A vehicle "big" enough to create a blind area behind it (the paper's
+/// "big car on the opposite side" labeling rule).
+bool is_view_blocking(VehicleType t);
+
+enum class DriverState {
+  Cruising,       // free driving / car-following
+  HoldingAtStop,  // stopped at the stop line waiting for a gap
+  Proceeding,     // gap accepted, committed through the turn
+  Done,           // past the end of its route
+};
+
+struct Vehicle {
+  std::uint64_t id = 0;
+  RouteId route = RouteId::WestboundThrough;
+  VehicleType type = VehicleType::Car;
+  double s = 0.0;            // arc length of the *front bumper* along the route
+  double speed = 0.0;        // m/s
+  double free_speed = 13.9;  // desired cruise speed, m/s
+  double length = 4.5;
+  double width = 1.8;
+  double intensity = 0.7;    // rendered brightness (contrast proxy)
+  DriverState state = DriverState::Cruising;
+  double hold_time = 0.0;    // seconds spent in HoldingAtStop
+  double aggressiveness = 0.0;  // shrinks (positive) or grows the critical gap
+
+  double rear_s() const { return s - length; }
+};
+
+/// Longitudinal update for one step: chooses an acceleration given the
+/// distance to the obstruction ahead (leader rear or hold point) and
+/// friction-limited braking, then integrates. `stop_at_s` < 0 means no
+/// hold point.
+void advance_vehicle(Vehicle& v, double dt, double gap_to_obstruction, double accel_limit,
+                     double brake_limit);
+
+}  // namespace safecross::sim

@@ -1,0 +1,59 @@
+#include "sim/weather.h"
+
+namespace safecross::sim {
+
+WeatherParams weather_params(Weather weather) {
+  WeatherParams p;
+  p.weather = weather;
+  switch (weather) {
+    case Weather::Daytime:
+      break;  // defaults
+    case Weather::Rain:
+      p.friction = 0.4f;
+      p.speed_factor = 0.85f;
+      p.gap_margin_s = 1.0f;
+      p.driver_sigma_s = 1.1f;
+      p.sensor_noise = 0.035f;
+      p.rain_streaks_per_kpx = 1.2f;
+      p.contrast = 0.75f;
+      p.through_rate = 0.08f;
+      break;
+    case Weather::Snow:
+      p.friction = 0.25f;
+      p.speed_factor = 0.65f;
+      p.gap_margin_s = 2.0f;
+      p.driver_sigma_s = 1.5f;
+      p.sensor_noise = 0.030f;
+      p.snow_flakes_per_kpx = 2.0f;
+      p.contrast = 0.65f;
+      // Slow columns of traffic: headways compress in snow, putting many
+      // gaps in the marginal band where drivers disagree.
+      p.through_rate = 0.11f;
+      break;
+    case Weather::Night:
+      p.friction = 0.65f;
+      p.speed_factor = 0.95f;
+      p.gap_margin_s = 0.8f;
+      p.driver_sigma_s = 1.2f;
+      p.sensor_noise = 0.030f;  // gain-cranked sensor
+      p.contrast = 0.55f;
+      p.ambient = 0.35f;
+      p.headlights = true;
+      p.through_rate = 0.05f;   // light night traffic
+      p.left_turn_rate = 0.03f;
+      break;
+    case Weather::Fog:
+      p.friction = 0.55f;
+      p.speed_factor = 0.70f;
+      p.gap_margin_s = 1.5f;
+      p.driver_sigma_s = 1.3f;
+      p.sensor_noise = 0.020f;
+      p.contrast = 0.80f;       // near-field contrast ok; distance kills it
+      p.fog_density = 0.025f;   // ~63% extinction at 40 m
+      p.through_rate = 0.07f;
+      break;
+  }
+  return p;
+}
+
+}  // namespace safecross::sim

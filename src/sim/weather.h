@@ -1,0 +1,42 @@
+#pragma once
+// Weather model (§III of the paper): weather changes both vehicle physics
+// (friction → braking and approach speeds, driver gap acceptance) and the
+// camera image (rain streaks, snow speckle, reduced contrast). The
+// per-weather constants below are the knobs the rest of the simulator and
+// the renderer consume.
+
+#include "vision/danger_zone.h"  // Weather enum
+
+namespace safecross::sim {
+
+using vision::Weather;
+
+struct WeatherParams {
+  Weather weather = Weather::Daytime;
+
+  // --- physics ---
+  float friction = 0.7f;          // tyre/road friction coefficient
+  float speed_factor = 1.0f;      // scales free-flow speeds
+  float gap_margin_s = 0.0f;      // extra critical-gap seconds drivers demand
+  float driver_sigma_s = 0.9f;    // driver-to-driver spread of the demanded gap;
+                                  // grows in unfamiliar (wet/icy) conditions
+
+  // --- camera / sensor ---
+  float sensor_noise = 0.015f;    // stddev of per-pixel Gaussian noise
+  float rain_streaks_per_kpx = 0.0f;  // bright streaks per 1000 pixels/frame
+  float snow_flakes_per_kpx = 0.0f;   // bright dots per 1000 pixels/frame
+  float contrast = 1.0f;          // vehicle/background contrast multiplier
+  float ambient = 1.0f;           // global scene brightness (night << 1)
+  bool headlights = false;        // render bright spots at vehicle fronts
+  float fog_density = 0.0f;       // per-metre extinction; fades far content
+
+  // --- traffic demand (vehicles per second per route) ---
+  float through_rate = 0.10f;     // oncoming straight traffic
+  float left_turn_rate = 0.05f;   // subject-side left turners
+  float blocker_rate = 0.04f;     // opposite-side left-waiting (truck/van) arrivals
+};
+
+/// Canonical parameter set for each weather condition.
+WeatherParams weather_params(Weather weather);
+
+}  // namespace safecross::sim

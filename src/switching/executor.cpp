@@ -1,0 +1,115 @@
+#include "switching/executor.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "common/timer.h"
+
+namespace safecross::switching {
+
+namespace {
+
+void wait_ms(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+PipelinedExecutor::PipelinedExecutor(ExecutorConfig config) : config_(config) {}
+
+void PipelinedExecutor::ensure_buffers(std::size_t bytes) {
+  if (source_.size() < bytes) {
+    source_.assign(bytes, 0xAB);
+    staging_.assign(bytes, 0);
+  }
+}
+
+double PipelinedExecutor::transfer_group(std::size_t offset, std::size_t bytes) {
+  safecross::Timer t;
+  std::memcpy(staging_.data() + offset, source_.data() + offset, bytes);
+  const double target_ms = static_cast<double>(bytes) / (config_.bandwidth_gbps * 1e9) * 1e3;
+  const double elapsed = t.elapsed_ms();
+  if (elapsed < target_ms) wait_ms(target_ms - elapsed);  // throttle to link speed
+  return t.elapsed_ms();
+}
+
+ExecutorResult PipelinedExecutor::run_sequential(const ModelProfile& profile) {
+  ensure_buffers(profile.total_bytes());
+  ExecutorResult r;
+  safecross::Timer wall;
+  std::size_t offset = 0;
+  for (const LayerDesc& l : profile.layers) {
+    r.transfer_ms += transfer_group(offset, l.param_bytes);
+    offset += l.param_bytes;
+  }
+  safecross::Timer c;
+  for (const LayerDesc& l : profile.layers) wait_ms(l.compute_ms * config_.compute_scale);
+  r.compute_ms = c.elapsed_ms();
+  r.wall_ms = wall.elapsed_ms();
+  return r;
+}
+
+ExecutorResult PipelinedExecutor::run_pipelined(const ModelProfile& profile,
+                                                const std::vector<int>& groups) {
+  ensure_buffers(profile.total_bytes());
+
+  // Pre-compute each group's byte range and compute cost.
+  struct Group {
+    std::size_t offset;
+    std::size_t bytes;
+    double compute_ms;
+  };
+  std::vector<Group> plan;
+  {
+    std::size_t layer = 0;
+    std::size_t offset = 0;
+    for (const int size : groups) {
+      Group g{offset, 0, 0.0};
+      for (int i = 0; i < size; ++i, ++layer) {
+        g.bytes += profile.layers[layer].param_bytes;
+        g.compute_ms += profile.layers[layer].compute_ms;
+      }
+      offset += g.bytes;
+      plan.push_back(g);
+    }
+  }
+
+  ExecutorResult r;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t ready = 0;  // groups fully transferred
+
+  safecross::Timer wall;
+  std::thread transfer([&] {
+    for (const Group& g : plan) {
+      r.transfer_ms += transfer_group(g.offset, g.bytes);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++ready;
+      }
+      cv.notify_one();
+    }
+  });
+
+  safecross::Timer busy;
+  double compute_busy = 0.0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return ready > i; });
+    }
+    safecross::Timer c;
+    wait_ms(plan[i].compute_ms * config_.compute_scale);
+    compute_busy += c.elapsed_ms();
+  }
+  transfer.join();
+  r.compute_ms = compute_busy;
+  r.wall_ms = wall.elapsed_ms();
+  return r;
+}
+
+}  // namespace safecross::switching

@@ -1,0 +1,76 @@
+#include "switching/gpu_model.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace safecross::switching {
+
+double transfer_ms(std::size_t bytes, const GpuModelConfig& config) {
+  return static_cast<double>(bytes) / (config.pcie_gbps * 1e9) * 1e3;
+}
+
+SwitchResult simulate_stop_and_start(const ModelProfile& profile, const GpuModelConfig& config) {
+  SwitchResult r;
+  double t = 0.0;
+  auto span = [&](TimelineEntry::Engine e, double dur, const std::string& label) {
+    r.timeline.push_back({e, t, t + dur, label});
+    t += dur;
+  };
+
+  // Fresh process: CUDA context + library import + module construction.
+  span(TimelineEntry::Engine::Setup, config.cuda_context_init_ms, "cuda-context-init");
+  span(TimelineEntry::Engine::Setup, profile.framework_load_ms, "library+module-load");
+  // Whole model transferred before inference starts (one DMA per layer,
+  // as a naive framework does).
+  for (const LayerDesc& l : profile.layers) {
+    span(TimelineEntry::Engine::Transfer, config.transfer_setup_ms + transfer_ms(l.param_bytes, config),
+         "xfer:" + l.name);
+  }
+  // First inference: steady kernels + cold-start extras.
+  for (const LayerDesc& l : profile.layers) {
+    span(TimelineEntry::Engine::Compute,
+         l.compute_ms + config.kernel_cold_factor * l.cold_extra_ms, "compute:" + l.name);
+  }
+  r.completion_ms = t;
+  r.steady_infer_ms = profile.total_compute_ms();
+  return r;
+}
+
+SwitchResult simulate_pipeswitch(const ModelProfile& profile, const std::vector<int>& groups,
+                                 const GpuModelConfig& config) {
+  const int total_layers =
+      std::accumulate(groups.begin(), groups.end(), 0);
+  if (total_layers != static_cast<int>(profile.layers.size())) {
+    throw std::invalid_argument("simulate_pipeswitch: grouping does not cover all layers");
+  }
+
+  SwitchResult r;
+  // Warm worker: no context/library costs; memory pool pre-allocated, so
+  // no cold kernel selection either (PipeSwitch workers keep the cudnn
+  // plans cached for the models they serve).
+  double transfer_done = 0.0;
+  double compute_done = 0.0;
+  std::size_t layer = 0;
+  for (const int group_size : groups) {
+    std::size_t bytes = 0;
+    double compute = 0.0;
+    std::string label = profile.layers[layer].name;
+    for (int i = 0; i < group_size; ++i, ++layer) {
+      bytes += profile.layers[layer].param_bytes;
+      compute += profile.layers[layer].compute_ms;
+    }
+    const double xfer = config.transfer_setup_ms + transfer_ms(bytes, config);
+    r.timeline.push_back(
+        {TimelineEntry::Engine::Transfer, transfer_done, transfer_done + xfer, "xfer:" + label});
+    transfer_done += xfer;
+    const double start = std::max(transfer_done, compute_done) + config.group_sync_ms;
+    r.timeline.push_back(
+        {TimelineEntry::Engine::Compute, start, start + compute, "compute:" + label});
+    compute_done = start + compute;
+  }
+  r.completion_ms = compute_done;
+  r.steady_infer_ms = profile.total_compute_ms();
+  return r;
+}
+
+}  // namespace safecross::switching

@@ -1,0 +1,60 @@
+#pragma once
+// Discrete-event GPU execution model for model switching (Table VI).
+//
+// Models the costs PipeSwitch (OSDI'20) identifies:
+//   * Stop-and-Start: kill the old task's process, then pay CUDA context
+//     initialization + framework/library load + module construction, the
+//     full weight transfer over PCIe, and first-inference cold kernels
+//     (cudnn algorithm selection / JIT) before the first result returns.
+//   * PipeSwitch: a warm worker (live CUDA context, pre-imported
+//     libraries, pre-allocated GPU memory pool) receives the new model's
+//     weights in *groups* pipelined with layer-by-layer computation of
+//     the first inference: group i computes as soon as (a) it has been
+//     transferred and (b) group i-1 finished computing.
+//
+// The reported metric matches the paper's: switching delay = time from
+// the switch request to first-inference completion, minus the model's
+// steady-state inference latency.
+
+#include <vector>
+
+#include "switching/profile.h"
+
+namespace safecross::switching {
+
+struct GpuModelConfig {
+  double pcie_gbps = 12.5;            // effective PCIe 3.0 x16 bandwidth
+  double cuda_context_init_ms = 2800; // process start + CUDA context
+  double transfer_setup_ms = 0.02;    // per DMA call
+  double group_sync_ms = 0.05;        // transfer/compute synchronization
+  double kernel_cold_factor = 1.0;    // scales cold_extra_ms
+};
+
+/// One scheduled interval on an engine.
+struct TimelineEntry {
+  enum class Engine { Transfer, Compute, Setup };
+  Engine engine;
+  double start_ms;
+  double end_ms;
+  std::string label;
+};
+
+struct SwitchResult {
+  double completion_ms = 0.0;     // request -> first inference done
+  double steady_infer_ms = 0.0;   // warm per-inference latency
+  double switching_delay_ms() const { return completion_ms - steady_infer_ms; }
+  std::vector<TimelineEntry> timeline;
+};
+
+/// Transfer time of a byte payload at the configured PCIe bandwidth.
+double transfer_ms(std::size_t bytes, const GpuModelConfig& config);
+
+/// Stop-and-Start ("End-start" in the paper's Table VI).
+SwitchResult simulate_stop_and_start(const ModelProfile& profile, const GpuModelConfig& config);
+
+/// PipeSwitch with the given grouping: `groups[i]` is the number of
+/// consecutive layers in group i (must sum to the layer count).
+SwitchResult simulate_pipeswitch(const ModelProfile& profile, const std::vector<int>& groups,
+                                 const GpuModelConfig& config);
+
+}  // namespace safecross::switching

@@ -1,0 +1,110 @@
+#include "switching/grouping.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace safecross::switching {
+
+std::vector<int> per_layer_grouping(const ModelProfile& profile) {
+  return std::vector<int>(profile.layers.size(), 1);
+}
+
+std::vector<int> whole_model_grouping(const ModelProfile& profile) {
+  return {static_cast<int>(profile.layers.size())};
+}
+
+std::vector<int> fixed_grouping(const ModelProfile& profile, int layers_per_group) {
+  std::vector<int> groups;
+  int remaining = static_cast<int>(profile.layers.size());
+  while (remaining > 0) {
+    const int g = std::min(layers_per_group, remaining);
+    groups.push_back(g);
+    remaining -= g;
+  }
+  return groups;
+}
+
+double pipelined_makespan(const ModelProfile& profile, const std::vector<int>& groups,
+                          const GpuModelConfig& config) {
+  double transfer_done = 0.0;
+  double compute_done = 0.0;
+  std::size_t layer = 0;
+  for (const int group_size : groups) {
+    std::size_t bytes = 0;
+    double compute = 0.0;
+    for (int i = 0; i < group_size; ++i, ++layer) {
+      bytes += profile.layers[layer].param_bytes;
+      compute += profile.layers[layer].compute_ms;
+    }
+    transfer_done += config.transfer_setup_ms + transfer_ms(bytes, config);
+    compute_done = std::max(transfer_done, compute_done) + config.group_sync_ms + compute;
+  }
+  return compute_done;
+}
+
+std::vector<int> optimal_grouping(const ModelProfile& profile, const GpuModelConfig& config,
+                                  int max_groups) {
+  const int n = static_cast<int>(profile.layers.size());
+  if (n == 0) return {};
+  const int g_cap = max_groups > 0 ? std::min(max_groups, n) : n;
+
+  // Key structural fact making this an exact DP: after covering the first
+  // i layers with g groups, the transfer engine's frontier is
+  //   T(i, g) = bytes_prefix[i] / bw + g * setup
+  // regardless of WHERE the boundaries fell. Only the compute frontier
+  // depends on the partition, and its transition is monotone — so
+  // minimizing the compute frontier per (i, g) state is optimal. This
+  // realizes the paper's pruned search exactly: every partition a
+  // branch-and-bound would visit is dominated by a DP state.
+  std::vector<double> bytes_prefix(n + 1, 0.0), comp_prefix(n + 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    bytes_prefix[i + 1] =
+        bytes_prefix[i] + static_cast<double>(profile.layers[i].param_bytes);
+    comp_prefix[i + 1] = comp_prefix[i] + profile.layers[i].compute_ms;
+  }
+  const auto xfer_of = [&](double bytes) { return bytes / (config.pcie_gbps * 1e9) * 1e3; };
+
+  constexpr double kInf = std::numeric_limits<double>::max();
+  // dp[g][i] = minimal compute frontier covering layers [0, i) in g groups.
+  std::vector<std::vector<double>> dp(g_cap + 1, std::vector<double>(n + 1, kInf));
+  std::vector<std::vector<int>> parent(g_cap + 1, std::vector<int>(n + 1, -1));
+  dp[0][0] = 0.0;
+
+  double best = kInf;
+  int best_g = 1;
+  for (int g = 1; g <= g_cap; ++g) {
+    for (int i = g; i <= n; ++i) {
+      const double transfer_done = xfer_of(bytes_prefix[i]) + g * config.transfer_setup_ms;
+      double best_state = kInf;
+      int best_k = -1;
+      for (int k = g - 1; k < i; ++k) {
+        if (dp[g - 1][k] == kInf) continue;
+        const double start = std::max(transfer_done, dp[g - 1][k]) + config.group_sync_ms;
+        const double done = start + (comp_prefix[i] - comp_prefix[k]);
+        if (done < best_state) {
+          best_state = done;
+          best_k = k;
+        }
+      }
+      dp[g][i] = best_state;
+      parent[g][i] = best_k;
+    }
+    if (dp[g][n] < best) {
+      best = dp[g][n];
+      best_g = g;
+    }
+  }
+
+  // Reconstruct boundaries.
+  std::vector<int> groups;
+  int i = n;
+  for (int g = best_g; g >= 1; --g) {
+    const int k = parent[g][i];
+    groups.push_back(i - k);
+    i = k;
+  }
+  std::reverse(groups.begin(), groups.end());
+  return groups;
+}
+
+}  // namespace safecross::switching

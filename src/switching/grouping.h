@@ -1,0 +1,37 @@
+#pragma once
+// Optimal model-aware layer grouping (paper §III-E-3).
+//
+// Uploading per layer maximizes overlap but pays a DMA-setup and a
+// synchronization cost per group; uploading the whole model as one group
+// has no overlap at all. PipeSwitch groups consecutive layers to balance
+// the two. We search the grouping that minimizes the pipelined makespan
+// with a branch-and-bound over group boundaries (the paper's "pruning
+// method"): partial schedules whose transfer-or-compute frontier already
+// exceeds the best-known completion are cut.
+
+#include <vector>
+
+#include "switching/gpu_model.h"
+
+namespace safecross::switching {
+
+/// Every layer its own group.
+std::vector<int> per_layer_grouping(const ModelProfile& profile);
+
+/// One group holding the whole model (no pipelining).
+std::vector<int> whole_model_grouping(const ModelProfile& profile);
+
+/// Fixed-size consecutive groups of `layers_per_group`.
+std::vector<int> fixed_grouping(const ModelProfile& profile, int layers_per_group);
+
+/// Branch-and-bound search for the makespan-minimizing grouping.
+/// `max_groups` bounds the search (0 = unbounded).
+std::vector<int> optimal_grouping(const ModelProfile& profile, const GpuModelConfig& config,
+                                  int max_groups = 0);
+
+/// Pipelined completion time of a given grouping (same model as
+/// simulate_pipeswitch, without building the timeline).
+double pipelined_makespan(const ModelProfile& profile, const std::vector<int>& groups,
+                          const GpuModelConfig& config);
+
+}  // namespace safecross::switching

@@ -1,0 +1,82 @@
+#include "switching/memory_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace safecross::switching {
+
+GpuMemoryPool::GpuMemoryPool(std::size_t capacity_bytes) : capacity_(capacity_bytes) {
+  if (capacity_bytes == 0) throw std::invalid_argument("GpuMemoryPool: zero capacity");
+  free_list_.push_back({0, capacity_bytes});
+}
+
+std::optional<GpuMemoryPool::Region> GpuMemoryPool::allocate(const std::string& tag,
+                                                             std::size_t bytes) {
+  if (bytes == 0) throw std::invalid_argument("GpuMemoryPool: zero-byte allocation");
+  if (live_.count(tag) > 0) {
+    throw std::logic_error("GpuMemoryPool: tag '" + tag + "' already live");
+  }
+  // First fit.
+  for (std::size_t i = 0; i < free_list_.size(); ++i) {
+    FreeBlock& block = free_list_[i];
+    if (block.bytes < bytes) continue;
+    const Region region{block.offset, bytes};
+    if (block.bytes == bytes) {
+      free_list_.erase(free_list_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      block.offset += bytes;
+      block.bytes -= bytes;
+    }
+    live_.emplace(tag, region);
+    used_ += bytes;
+    return region;
+  }
+  return std::nullopt;
+}
+
+void GpuMemoryPool::release(const std::string& tag) {
+  const auto it = live_.find(tag);
+  if (it == live_.end()) {
+    throw std::invalid_argument("GpuMemoryPool: unknown tag '" + tag + "'");
+  }
+  const Region region = it->second;
+  live_.erase(it);
+  used_ -= region.bytes;
+  const auto pos = std::lower_bound(
+      free_list_.begin(), free_list_.end(), region.offset,
+      [](const FreeBlock& b, std::size_t off) { return b.offset < off; });
+  free_list_.insert(pos, {region.offset, region.bytes});
+  coalesce();
+}
+
+void GpuMemoryPool::coalesce() {
+  std::vector<FreeBlock> merged;
+  for (const FreeBlock& b : free_list_) {
+    if (!merged.empty() && merged.back().offset + merged.back().bytes == b.offset) {
+      merged.back().bytes += b.bytes;
+    } else {
+      merged.push_back(b);
+    }
+  }
+  free_list_ = std::move(merged);
+}
+
+std::optional<GpuMemoryPool::Region> GpuMemoryPool::region_of(const std::string& tag) const {
+  const auto it = live_.find(tag);
+  if (it == live_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t GpuMemoryPool::largest_free_block() const {
+  std::size_t best = 0;
+  for (const FreeBlock& b : free_list_) best = std::max(best, b.bytes);
+  return best;
+}
+
+double GpuMemoryPool::fragmentation() const {
+  const std::size_t total_free = free_bytes();
+  if (total_free == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_block()) / static_cast<double>(total_free);
+}
+
+}  // namespace safecross::switching

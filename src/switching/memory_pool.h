@@ -1,0 +1,68 @@
+#pragma once
+// Unified GPU memory pool — PipeSwitch's second pillar (besides
+// pipelining): the worker allocates ALL GPU memory once at startup and
+// hands out model weight regions from its own free list, so switching
+// never touches cudaMalloc/cudaFree (whose latency and fragmentation are
+// part of stop-and-start's cost).
+//
+// First-fit free-list allocator with immediate coalescing of adjacent
+// free blocks. Offsets model device addresses; no real memory is held.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace safecross::switching {
+
+class GpuMemoryPool {
+ public:
+  explicit GpuMemoryPool(std::size_t capacity_bytes);
+
+  struct Region {
+    std::size_t offset = 0;
+    std::size_t bytes = 0;
+  };
+
+  /// Allocate a region for a named model image. Returns std::nullopt when
+  /// no free block fits (the caller must evict first). Re-using a live
+  /// tag throws.
+  std::optional<Region> allocate(const std::string& tag, std::size_t bytes);
+
+  /// Release a tag's region; adjacent free blocks coalesce. Unknown tags
+  /// throw.
+  void release(const std::string& tag);
+
+  bool holds(const std::string& tag) const { return live_.count(tag) > 0; }
+  std::optional<Region> region_of(const std::string& tag) const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  std::size_t free_bytes() const { return capacity_ - used_; }
+
+  /// Size of the largest contiguous free block.
+  std::size_t largest_free_block() const;
+
+  /// External fragmentation in [0, 1]: 1 - largest_free / total_free
+  /// (0 when fully compact or fully used).
+  double fragmentation() const;
+
+  /// Number of live regions.
+  std::size_t live_count() const { return live_.size(); }
+
+ private:
+  struct FreeBlock {
+    std::size_t offset;
+    std::size_t bytes;
+  };
+
+  void coalesce();
+
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::vector<FreeBlock> free_list_;  // kept sorted by offset
+  std::map<std::string, Region> live_;
+};
+
+}  // namespace safecross::switching

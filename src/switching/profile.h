@@ -1,0 +1,54 @@
+#pragma once
+// Model layer profiles for the MS (model switching) module.
+//
+// PipeSwitch reasons about a model as an ordered list of layers, each
+// with a parameter payload (bytes to move over PCIe) and a compute cost
+// (kernel time of that layer during the first inference). Profiles come
+// from two sources:
+//   * canonical profiles of the paper's Table VI workloads
+//     (SlowFast-R50 4x16, ResNet152, Inception v3), built from the
+//     published per-stage parameter counts;
+//   * profile_from_params — extract a profile from one of our real nn
+//     models (used by tests and the real pipelined executor).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace safecross::switching {
+
+struct LayerDesc {
+  std::string name;
+  std::size_t param_bytes = 0;
+  double compute_ms = 0.0;     // steady-state kernel time of this layer
+  double cold_extra_ms = 0.0;  // extra first-run cost (cudnn autotune/JIT)
+};
+
+struct ModelProfile {
+  std::string name;
+  std::vector<LayerDesc> layers;
+  double framework_load_ms = 0.0;  // import torch + build the module graph
+
+  std::size_t total_bytes() const;
+  double total_compute_ms() const;
+  double total_cold_extra_ms() const;
+};
+
+/// SlowFast R50 4x16 (the paper's SafeCross backbone): ~34M params across
+/// two pathways; heavy cold-start (3-D conv algorithm selection).
+ModelProfile slowfast_r50_profile();
+
+/// ResNet152: ~60.2M params, 155 weighted layers.
+ModelProfile resnet152_profile();
+
+/// Inception v3: ~23.9M params.
+ModelProfile inception_v3_profile();
+
+/// Build a profile from a live parameter list; compute cost is estimated
+/// at `ms_per_mparam` per million parameters (crude but monotone).
+ModelProfile profile_from_params(const std::string& name, const std::vector<nn::Param*>& params,
+                                 double ms_per_mparam = 0.05);
+
+}  // namespace safecross::switching

@@ -1,0 +1,70 @@
+#include "vision/background_subtraction.h"
+
+#include "vision/morphology.h"
+
+namespace safecross::vision {
+
+namespace {
+
+Image make_mask(const Image& frame, const Image& background,
+                const BackgroundSubtractionConfig& config) {
+  Image mask = Image::absdiff(frame, background).threshold(config.threshold);
+  if (config.apply_opening) mask = opening(mask);
+  return mask;
+}
+
+}  // namespace
+
+RunningAverageBackground::RunningAverageBackground(BackgroundSubtractionConfig config)
+    : config_(config) {}
+
+Image RunningAverageBackground::apply(const Image& frame) {
+  if (background_.empty()) {
+    background_ = frame;
+    frames_seen_ = 1;
+    return Image(frame.width(), frame.height(), 0.0f);
+  }
+  // Update first so stationary objects melt into the background over time
+  // ("we do not need information from vehicles that are not moving").
+  const float a = config_.learning_rate;
+  for (std::size_t i = 0; i < background_.size(); ++i) {
+    background_.data()[i] = (1.0f - a) * background_.data()[i] + a * frame.data()[i];
+  }
+  ++frames_seen_;
+  if (frames_seen_ <= config_.warmup_frames) {
+    return Image(frame.width(), frame.height(), 0.0f);
+  }
+  return make_mask(frame, background_, config_);
+}
+
+void RunningAverageBackground::reset() {
+  background_ = Image();
+  frames_seen_ = 0;
+}
+
+StaticBackground::StaticBackground(BackgroundSubtractionConfig config) : config_(config) {}
+
+Image StaticBackground::apply(const Image& frame) {
+  if (background_.empty()) {
+    background_ = frame;
+    frames_seen_ = 1;
+    return Image(frame.width(), frame.height(), 0.0f);
+  }
+  ++frames_seen_;
+  if (frames_seen_ <= config_.warmup_frames) {
+    // Average the warm-up frames into the frozen background.
+    const float w = 1.0f / static_cast<float>(frames_seen_);
+    for (std::size_t i = 0; i < background_.size(); ++i) {
+      background_.data()[i] = (1.0f - w) * background_.data()[i] + w * frame.data()[i];
+    }
+    return Image(frame.width(), frame.height(), 0.0f);
+  }
+  return make_mask(frame, background_, config_);
+}
+
+void StaticBackground::reset() {
+  background_ = Image();
+  frames_seen_ = 0;
+}
+
+}  // namespace safecross::vision

@@ -1,0 +1,71 @@
+#pragma once
+// Background subtraction — the paper's chosen detection method (§III-B).
+//
+// Two models are provided:
+//  * RunningAverageBackground — the "dynamic background" the paper uses:
+//    B_t = (1-alpha) * B_{t-1} + alpha * F_t, foreground where
+//    |F_t - B_t| > threshold. Constantly updated, so slow illumination
+//    drift (dawn/dusk, falling snow accumulating) is absorbed.
+//  * StaticBackground — ablation baseline: background frozen after a
+//    warm-up period (bench_ablation_bgsub contrasts the two).
+//
+// apply() optionally runs morphological opening (erosion then dilation)
+// to suppress single-pixel sensor noise, exactly as described in §III-B.
+
+#include "vision/image.h"
+
+namespace safecross::vision {
+
+struct BackgroundSubtractionConfig {
+  float learning_rate = 0.05f;   // alpha for the running average
+  float threshold = 0.12f;       // |frame - background| foreground cutoff
+  bool apply_opening = true;     // erosion-then-dilation noise removal
+  int warmup_frames = 10;        // frames before foreground is emitted
+};
+
+class BackgroundSubtractor {
+ public:
+  virtual ~BackgroundSubtractor() = default;
+
+  /// Feed one frame; returns the binary foreground mask (all zeros during
+  /// warm-up).
+  virtual Image apply(const Image& frame) = 0;
+
+  /// Current background estimate (empty before the first frame).
+  virtual const Image& background() const = 0;
+
+  virtual void reset() = 0;
+};
+
+class RunningAverageBackground final : public BackgroundSubtractor {
+ public:
+  explicit RunningAverageBackground(BackgroundSubtractionConfig config = {});
+
+  Image apply(const Image& frame) override;
+  const Image& background() const override { return background_; }
+  void reset() override;
+
+  int frames_seen() const { return frames_seen_; }
+
+ private:
+  BackgroundSubtractionConfig config_;
+  Image background_;
+  int frames_seen_ = 0;
+};
+
+/// Background frozen after `warmup_frames` averaged frames.
+class StaticBackground final : public BackgroundSubtractor {
+ public:
+  explicit StaticBackground(BackgroundSubtractionConfig config = {});
+
+  Image apply(const Image& frame) override;
+  const Image& background() const override { return background_; }
+  void reset() override;
+
+ private:
+  BackgroundSubtractionConfig config_;
+  Image background_;
+  int frames_seen_ = 0;
+};
+
+}  // namespace safecross::vision

@@ -1,0 +1,62 @@
+#include "vision/blobs.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace safecross::vision {
+
+std::vector<Blob> find_blobs(const Image& mask, int min_area) {
+  const int w = mask.width();
+  const int h = mask.height();
+  std::vector<char> visited(static_cast<std::size_t>(w) * h, 0);
+  std::vector<Blob> blobs;
+  std::vector<std::pair<int, int>> stack;
+
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const std::size_t idx = static_cast<std::size_t>(y) * w + x;
+      if (visited[idx] || mask.at(x, y) <= 0.5f) continue;
+      // Flood fill one component.
+      Blob blob;
+      blob.min_x = blob.max_x = x;
+      blob.min_y = blob.max_y = y;
+      double sum_x = 0.0, sum_y = 0.0;
+      stack.clear();
+      stack.emplace_back(x, y);
+      visited[idx] = 1;
+      while (!stack.empty()) {
+        const auto [cx, cy] = stack.back();
+        stack.pop_back();
+        ++blob.area;
+        sum_x += cx;
+        sum_y += cy;
+        blob.min_x = std::min(blob.min_x, cx);
+        blob.max_x = std::max(blob.max_x, cx);
+        blob.min_y = std::min(blob.min_y, cy);
+        blob.max_y = std::max(blob.max_y, cy);
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0) continue;
+            const int nx = cx + dx;
+            const int ny = cy + dy;
+            if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
+            const std::size_t nidx = static_cast<std::size_t>(ny) * w + nx;
+            if (visited[nidx] || mask.at(nx, ny) <= 0.5f) continue;
+            visited[nidx] = 1;
+            stack.emplace_back(nx, ny);
+          }
+        }
+      }
+      if (blob.area >= min_area) {
+        blob.centroid_x = static_cast<float>(sum_x / blob.area);
+        blob.centroid_y = static_cast<float>(sum_y / blob.area);
+        blobs.push_back(blob);
+      }
+    }
+  }
+  std::sort(blobs.begin(), blobs.end(),
+            [](const Blob& a, const Blob& b) { return a.area > b.area; });
+  return blobs;
+}
+
+}  // namespace safecross::vision

@@ -1,0 +1,32 @@
+#pragma once
+// Connected-component labeling of binary foreground masks.
+//
+// Produces one Blob per 8-connected foreground region: bounding box,
+// pixel count, and centroid. The detection benchmarks use blob centroids
+// to decide whether a method "detected the vehicle in the danger zone".
+
+#include <vector>
+
+#include "vision/image.h"
+
+namespace safecross::vision {
+
+struct Blob {
+  int min_x = 0, min_y = 0, max_x = 0, max_y = 0;  // inclusive bounding box
+  int area = 0;                                     // foreground pixel count
+  float centroid_x = 0.0f;
+  float centroid_y = 0.0f;
+
+  int width() const { return max_x - min_x + 1; }
+  int height() const { return max_y - min_y + 1; }
+  bool contains(float x, float y) const {
+    return x >= static_cast<float>(min_x) && x <= static_cast<float>(max_x) &&
+           y >= static_cast<float>(min_y) && y <= static_cast<float>(max_y);
+  }
+};
+
+/// Extract 8-connected components with at least `min_area` pixels,
+/// sorted by decreasing area.
+std::vector<Blob> find_blobs(const Image& mask, int min_area = 1);
+
+}  // namespace safecross::vision

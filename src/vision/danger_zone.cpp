@@ -1,0 +1,86 @@
+#include "vision/danger_zone.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace safecross::vision {
+
+const char* weather_name(Weather w) {
+  switch (w) {
+    case Weather::Daytime: return "daytime";
+    case Weather::Rain: return "rain";
+    case Weather::Snow: return "snow";
+    case Weather::Night: return "night";
+    case Weather::Fog: return "fog";
+  }
+  return "?";
+}
+
+float danger_zone_reach_m(const DangerZoneParams& params) {
+  constexpr float g = 9.81f;
+  const float exposure = params.reaction_time + params.turn_clear_time;
+  const float travel = params.oncoming_speed * exposure;
+  // v^2 / (2 mu g): distance the threat needs to stop if the turner is
+  // committed — it must be outside travel + braking for the turn to be safe.
+  const float braking = params.oncoming_speed * params.oncoming_speed /
+                        (2.0f * params.friction * g);
+  return travel + braking;
+}
+
+DangerZoneParams DangerZoneModel::for_weather(Weather weather) {
+  DangerZoneParams p;
+  switch (weather) {
+    case Weather::Daytime:
+      p.friction = 0.7f;
+      break;
+    case Weather::Rain:
+      p.friction = 0.4f;   // wet asphalt
+      break;
+    case Weather::Snow:
+      p.friction = 0.25f;  // packed snow
+      break;
+    case Weather::Night:
+      p.friction = 0.65f;  // cold, dry asphalt; the problem is seeing, not stopping
+      break;
+    case Weather::Fog:
+      p.friction = 0.55f;  // damp road under fog
+      break;
+  }
+  return p;
+}
+
+Rect DangerZoneModel::zone_rect(float blocker_rear_x, float lane_center_y,
+                                const DangerZoneParams& params, int oncoming_dir) {
+  const float reach = danger_zone_reach_m(params);
+  Rect r;
+  // Threats emerge from behind the blocker, i.e. upstream of the
+  // oncoming lane's direction of travel.
+  if (oncoming_dir >= 0) {
+    r.min_x = blocker_rear_x - reach;
+    r.max_x = blocker_rear_x;
+  } else {
+    r.min_x = blocker_rear_x;
+    r.max_x = blocker_rear_x + reach;
+  }
+  r.min_y = lane_center_y - params.lane_width * 0.75f;
+  r.max_y = lane_center_y + params.lane_width * 0.75f;
+  return r;
+}
+
+bool zone_occupied(const Image& topdown_mask, const Rect& zone, float metres_per_pixel) {
+  if (metres_per_pixel <= 0.0f) return false;
+  const int x0 = std::max(0, static_cast<int>(std::floor(zone.min_x / metres_per_pixel)));
+  const int x1 = std::min(topdown_mask.width() - 1,
+                          static_cast<int>(std::ceil(zone.max_x / metres_per_pixel)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(zone.min_y / metres_per_pixel)));
+  const int y1 = std::min(topdown_mask.height() - 1,
+                          static_cast<int>(std::ceil(zone.max_y / metres_per_pixel)));
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      if (topdown_mask.at(x, y) > 0.5f) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace safecross::vision

@@ -1,0 +1,123 @@
+#include "vision/homography.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace safecross::vision {
+
+namespace {
+
+// Solve the square system A x = b in place via Gaussian elimination with
+// partial pivoting. A is n x n row-major.
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b, int n) {
+  for (int col = 0; col < n; ++col) {
+    // Pivot.
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col])) pivot = r;
+    }
+    if (std::fabs(a[pivot * n + col]) < 1e-12) {
+      throw std::runtime_error("Homography fit: degenerate point configuration");
+    }
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) std::swap(a[col * n + c], a[pivot * n + c]);
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (int r = col + 1; r < n; ++r) {
+      const double f = a[r * n + col] / a[col * n + col];
+      for (int c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (int r = n - 1; r >= 0; --r) {
+    double sum = b[r];
+    for (int c = r + 1; c < n; ++c) sum -= a[r * n + c] * x[c];
+    x[r] = sum / a[r * n + r];
+  }
+  return x;
+}
+
+}  // namespace
+
+Homography::Homography() : h_{1, 0, 0, 0, 1, 0, 0, 0, 1} {}
+
+Homography Homography::fit(const std::vector<Point2>& src, const std::vector<Point2>& dst) {
+  if (src.size() != dst.size() || src.size() < 4) {
+    throw std::invalid_argument("Homography::fit needs >= 4 matched point pairs");
+  }
+  // DLT with h33 fixed to 1: each pair gives two rows of an
+  // over-determined 8-unknown system; solve the normal equations.
+  const int n = static_cast<int>(src.size());
+  std::vector<double> ata(64, 0.0);
+  std::vector<double> atb(8, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double x = src[i].x, y = src[i].y;
+    const double u = dst[i].x, v = dst[i].y;
+    const double row1[8] = {x, y, 1, 0, 0, 0, -u * x, -u * y};
+    const double row2[8] = {0, 0, 0, x, y, 1, -v * x, -v * y};
+    for (int r = 0; r < 8; ++r) {
+      for (int c = 0; c < 8; ++c) {
+        ata[r * 8 + c] += row1[r] * row1[c] + row2[r] * row2[c];
+      }
+      atb[r] += row1[r] * u + row2[r] * v;
+    }
+  }
+  const std::vector<double> h8 = solve_linear(std::move(ata), std::move(atb), 8);
+  return Homography({h8[0], h8[1], h8[2], h8[3], h8[4], h8[5], h8[6], h8[7], 1.0});
+}
+
+Point2 Homography::apply(const Point2& p) const {
+  const double w = h_[6] * p.x + h_[7] * p.y + h_[8];
+  if (std::fabs(w) < 1e-12) return {0.0, 0.0};
+  return {(h_[0] * p.x + h_[1] * p.y + h_[2]) / w,
+          (h_[3] * p.x + h_[4] * p.y + h_[5]) / w};
+}
+
+Homography Homography::inverse() const {
+  // Adjugate / determinant of the 3x3.
+  const auto& m = h_;
+  std::array<double, 9> inv{};
+  inv[0] = m[4] * m[8] - m[5] * m[7];
+  inv[1] = m[2] * m[7] - m[1] * m[8];
+  inv[2] = m[1] * m[5] - m[2] * m[4];
+  inv[3] = m[5] * m[6] - m[3] * m[8];
+  inv[4] = m[0] * m[8] - m[2] * m[6];
+  inv[5] = m[2] * m[3] - m[0] * m[5];
+  inv[6] = m[3] * m[7] - m[4] * m[6];
+  inv[7] = m[1] * m[6] - m[0] * m[7];
+  inv[8] = m[0] * m[4] - m[1] * m[3];
+  const double det = m[0] * inv[0] + m[1] * inv[3] + m[2] * inv[6];
+  if (std::fabs(det) < 1e-15) throw std::runtime_error("Homography not invertible");
+  for (auto& v : inv) v /= det;
+  return Homography(inv);
+}
+
+Homography operator*(const Homography& a, const Homography& b) {
+  std::array<double, 9> m{};
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      double sum = 0.0;
+      for (int k = 0; k < 3; ++k) sum += a.h_[r * 3 + k] * b.h_[k * 3 + c];
+      m[r * 3 + c] = sum;
+    }
+  }
+  return Homography(m);
+}
+
+Image Homography::warp(const Image& src, int dst_width, int dst_height) const {
+  const Homography inv = inverse();
+  Image out(dst_width, dst_height, 0.0f);
+  for (int y = 0; y < dst_height; ++y) {
+    for (int x = 0; x < dst_width; ++x) {
+      const Point2 s = inv.apply({static_cast<double>(x), static_cast<double>(y)});
+      if (s.x < 0 || s.y < 0 || s.x > src.width() - 1 || s.y > src.height() - 1) continue;
+      out.at(x, y) = src.sample_bilinear(static_cast<float>(s.x), static_cast<float>(s.y));
+    }
+  }
+  return out;
+}
+
+}  // namespace safecross::vision

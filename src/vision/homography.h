@@ -1,0 +1,51 @@
+#pragma once
+// Planar homography estimation and warping.
+//
+// The VP pipeline's last stage (Fig. 3c) remaps the camera view onto a
+// top-down 2-D representation of the intersection. The road surface is a
+// plane, so a 3x3 homography maps camera pixels to ground coordinates.
+// We estimate it from >= 4 point correspondences via the normalized DLT
+// and solve the linear system with Gaussian elimination.
+
+#include <array>
+#include <vector>
+
+#include "vision/image.h"
+
+namespace safecross::vision {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Row-major 3x3 projective transform.
+class Homography {
+ public:
+  Homography();  // identity
+
+  explicit Homography(const std::array<double, 9>& h) : h_(h) {}
+
+  /// Least-squares DLT fit from point correspondences (src -> dst).
+  /// Requires at least 4 non-degenerate pairs; throws otherwise.
+  static Homography fit(const std::vector<Point2>& src, const std::vector<Point2>& dst);
+
+  Point2 apply(const Point2& p) const;
+
+  Homography inverse() const;
+
+  /// Composition: (a * b).apply(p) == a.apply(b.apply(p)).
+  friend Homography operator*(const Homography& a, const Homography& b);
+
+  const std::array<double, 9>& matrix() const { return h_; }
+
+  /// Warp `src` into a dst_width x dst_height image: for each destination
+  /// pixel, apply the *inverse* mapping and bilinearly sample the source.
+  /// `this` must map src coordinates to dst coordinates.
+  Image warp(const Image& src, int dst_width, int dst_height) const;
+
+ private:
+  std::array<double, 9> h_;
+};
+
+}  // namespace safecross::vision

@@ -1,0 +1,69 @@
+#pragma once
+// Grayscale float image. The whole VP pipeline (Fig. 3 of the paper)
+// operates on single-channel images: raw camera luminance in, binary
+// foreground masks and top-down occupancy maps out.
+//
+// Pixel values are conventionally in [0, 1]; binary masks use {0, 1}.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace safecross::vision {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, float fill = 0.0f);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return data_.size(); }
+
+  float& at(int x, int y) { return data_[static_cast<std::size_t>(y) * width_ + x]; }
+  float at(int x, int y) const { return data_[static_cast<std::size_t>(y) * width_ + x]; }
+
+  /// Bounds-checked read; returns `outside` for out-of-range coordinates.
+  float at_clamped(int x, int y, float outside = 0.0f) const;
+
+  /// Bilinear sample at fractional coordinates (clamped to the border).
+  float sample_bilinear(float x, float y) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void fill(float v);
+
+  /// Elementwise |a - b|. Images must have identical dimensions.
+  static Image absdiff(const Image& a, const Image& b);
+
+  /// Binary mask: 1 where pixel > threshold, else 0.
+  Image threshold(float thresh) const;
+
+  /// Count of pixels strictly greater than `thresh`.
+  std::size_t count_above(float thresh) const;
+
+  /// Mean pixel value (0 for an empty image).
+  float mean() const;
+
+  /// Nearest-neighbour resize.
+  Image resized_nearest(int new_width, int new_height) const;
+
+  /// Area-averaging downscale (used to shrink camera frames to DNN input).
+  Image resized_area(int new_width, int new_height) const;
+
+  /// 3x3 box blur (border pixels use the available neighbourhood).
+  Image box_blur3() const;
+
+  /// Multi-line ASCII rendering (" .:-=+*#%@" ramp), one row per scanline,
+  /// downsampled to at most `max_cols` columns. For examples/diagnostics.
+  std::string to_ascii(int max_cols = 96) const;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace safecross::vision

@@ -1,0 +1,24 @@
+#pragma once
+// Binary mathematical morphology on {0,1} masks (§III-B: "opening
+// morphology, erosion then dilation, on the entire scene").
+//
+// The structuring element is a square of odd side `kernel` (default 3x3).
+
+#include "vision/image.h"
+
+namespace safecross::vision {
+
+/// A pixel survives erosion only if every pixel under the kernel is set.
+Image erode(const Image& mask, int kernel = 3);
+
+/// A pixel is set after dilation if any pixel under the kernel is set.
+Image dilate(const Image& mask, int kernel = 3);
+
+/// Opening = erode then dilate: removes speckle noise smaller than the
+/// kernel while (mostly) preserving larger structures.
+Image opening(const Image& mask, int kernel = 3);
+
+/// Closing = dilate then erode: fills small holes inside structures.
+Image closing(const Image& mask, int kernel = 3);
+
+}  // namespace safecross::vision

@@ -1,0 +1,185 @@
+#include "vision/optical_flow.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace safecross::vision {
+
+float FlowVector::magnitude() const { return std::sqrt(u * u + v * v); }
+
+namespace {
+
+// Central-difference gradients with clamped borders.
+void gradients(const Image& img, Image& gx, Image& gy) {
+  const int w = img.width();
+  const int h = img.height();
+  gx = Image(w, h);
+  gy = Image(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      gx.at(x, y) = 0.5f * (img.at_clamped(x + 1, y, img.at(x, y)) -
+                            img.at_clamped(x - 1, y, img.at(x, y)));
+      gy.at(x, y) = 0.5f * (img.at_clamped(x, y + 1, img.at(x, y)) -
+                            img.at_clamped(x, y - 1, img.at(x, y)));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<FlowVector> good_features(const Image& frame, const SparseFlowConfig& config) {
+  Image gx, gy;
+  gradients(frame, gx, gy);
+  const int w = frame.width();
+  const int h = frame.height();
+  const int r = config.window / 2;
+
+  // Shi–Tomasi response: min eigenvalue of [[Sxx,Sxy],[Sxy,Syy]].
+  Image response(w, h, 0.0f);
+  float best = 0.0f;
+  for (int y = r; y < h - r; ++y) {
+    for (int x = r; x < w - r; ++x) {
+      float sxx = 0, syy = 0, sxy = 0;
+      for (int dy = -r; dy <= r; ++dy) {
+        for (int dx = -r; dx <= r; ++dx) {
+          const float ix = gx.at(x + dx, y + dy);
+          const float iy = gy.at(x + dx, y + dy);
+          sxx += ix * ix;
+          syy += iy * iy;
+          sxy += ix * iy;
+        }
+      }
+      const float trace = sxx + syy;
+      const float det = sxx * syy - sxy * sxy;
+      const float disc = std::sqrt(std::max(0.0f, trace * trace / 4.0f - det));
+      const float min_eig = trace / 2.0f - disc;
+      response.at(x, y) = min_eig;
+      best = std::max(best, min_eig);
+    }
+  }
+
+  // Collect candidates above the quality threshold, strongest first.
+  struct Candidate {
+    float score;
+    int x, y;
+  };
+  std::vector<Candidate> candidates;
+  const float cutoff = best * config.quality_level;
+  for (int y = r; y < h - r; ++y) {
+    for (int x = r; x < w - r; ++x) {
+      if (response.at(x, y) > cutoff) candidates.push_back({response.at(x, y), x, y});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.score > b.score; });
+
+  // Greedy min-distance suppression.
+  std::vector<FlowVector> corners;
+  const int min_d2 = config.min_distance * config.min_distance;
+  for (const auto& c : candidates) {
+    if (static_cast<int>(corners.size()) >= config.max_corners) break;
+    bool ok = true;
+    for (const auto& k : corners) {
+      const float dx = k.x - static_cast<float>(c.x);
+      const float dy = k.y - static_cast<float>(c.y);
+      if (dx * dx + dy * dy < static_cast<float>(min_d2)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) corners.push_back({static_cast<float>(c.x), static_cast<float>(c.y), 0, 0});
+  }
+  return corners;
+}
+
+std::vector<FlowVector> sparse_optical_flow(const Image& prev, const Image& next,
+                                            const SparseFlowConfig& config) {
+  std::vector<FlowVector> corners = good_features(prev, config);
+  Image gx, gy;
+  gradients(prev, gx, gy);
+  const int r = config.window / 2;
+
+  for (auto& c : corners) {
+    // Single-level Lucas–Kanade: solve the 2x2 normal equations of
+    // I_x u + I_y v = -I_t over the window.
+    float sxx = 0, syy = 0, sxy = 0, sxt = 0, syt = 0;
+    const int cx = static_cast<int>(c.x);
+    const int cy = static_cast<int>(c.y);
+    for (int dy = -r; dy <= r; ++dy) {
+      for (int dx = -r; dx <= r; ++dx) {
+        const int px = cx + dx;
+        const int py = cy + dy;
+        const float ix = gx.at_clamped(px, py);
+        const float iy = gy.at_clamped(px, py);
+        const float it = next.at_clamped(px, py) - prev.at_clamped(px, py);
+        sxx += ix * ix;
+        syy += iy * iy;
+        sxy += ix * iy;
+        sxt += ix * it;
+        syt += iy * it;
+      }
+    }
+    const float det = sxx * syy - sxy * sxy;
+    if (std::fabs(det) < 1e-9f) {
+      c.u = c.v = 0.0f;  // aperture problem: untrackable
+      continue;
+    }
+    c.u = (-syy * sxt + sxy * syt) / det;
+    c.v = (sxy * sxt - sxx * syt) / det;
+  }
+  return corners;
+}
+
+DenseFlowField dense_optical_flow(const Image& prev, const Image& next,
+                                  const DenseFlowConfig& config) {
+  const int w = prev.width();
+  const int h = prev.height();
+  Image ix, iy;
+  gradients(prev, ix, iy);
+  Image it(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) it.at(x, y) = next.at(x, y) - prev.at(x, y);
+  }
+
+  DenseFlowField flow{Image(w, h, 0.0f), Image(w, h, 0.0f)};
+  const float a2 = config.alpha * config.alpha;
+  Image ubar(w, h), vbar(w, h);
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    // 4-neighbour averages of the current flow estimate.
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        ubar.at(x, y) = 0.25f * (flow.u.at_clamped(x - 1, y) + flow.u.at_clamped(x + 1, y) +
+                                 flow.u.at_clamped(x, y - 1) + flow.u.at_clamped(x, y + 1));
+        vbar.at(x, y) = 0.25f * (flow.v.at_clamped(x - 1, y) + flow.v.at_clamped(x + 1, y) +
+                                 flow.v.at_clamped(x, y - 1) + flow.v.at_clamped(x, y + 1));
+      }
+    }
+    // Horn–Schunck update.
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const float gxv = ix.at(x, y);
+        const float gyv = iy.at(x, y);
+        const float num = gxv * ubar.at(x, y) + gyv * vbar.at(x, y) + it.at(x, y);
+        const float den = a2 + gxv * gxv + gyv * gyv;
+        const float s = num / den;
+        flow.u.at(x, y) = ubar.at(x, y) - gxv * s;
+        flow.v.at(x, y) = vbar.at(x, y) - gyv * s;
+      }
+    }
+  }
+  return flow;
+}
+
+Image DenseFlowField::magnitude_mask(float thresh) const {
+  Image out(u.width(), u.height());
+  for (int y = 0; y < u.height(); ++y) {
+    for (int x = 0; x < u.width(); ++x) {
+      const float uu = u.at(x, y);
+      const float vv = v.at(x, y);
+      out.at(x, y) = std::sqrt(uu * uu + vv * vv) > thresh ? 1.0f : 0.0f;
+    }
+  }
+  return out;
+}
+
+}  // namespace safecross::vision

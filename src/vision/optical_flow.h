@@ -1,0 +1,58 @@
+#pragma once
+// Optical flow baselines for the detection comparison (Table II, Fig. 8).
+//
+//  * Sparse: Shi–Tomasi corner selection + pyramidal-free Lucas–Kanade.
+//    Fast, but tracks only strong corners — on a noisy far-field camera
+//    it latches onto background texture and misses low-contrast vehicles
+//    (the paper's Fig. 8b failure).
+//  * Dense: Horn–Schunck global smoothness flow. Finds coherent motion
+//    everywhere (Fig. 8c success) at ~2 orders of magnitude higher cost.
+
+#include <vector>
+
+#include "vision/image.h"
+
+namespace safecross::vision {
+
+struct FlowVector {
+  float x = 0.0f;   // sample location
+  float y = 0.0f;
+  float u = 0.0f;   // displacement
+  float v = 0.0f;
+
+  float magnitude() const;
+};
+
+struct SparseFlowConfig {
+  int max_corners = 200;
+  float quality_level = 0.05f;  // fraction of the best corner response
+  int min_distance = 5;         // pixels between accepted corners
+  int window = 7;               // LK window side (odd)
+};
+
+/// Shi–Tomasi "good features to track": minimum eigenvalue of the
+/// structure tensor over a window, non-maximum suppressed.
+std::vector<FlowVector> good_features(const Image& frame, const SparseFlowConfig& config = {});
+
+/// Lucas–Kanade flow at the given corner locations between prev and next.
+std::vector<FlowVector> sparse_optical_flow(const Image& prev, const Image& next,
+                                            const SparseFlowConfig& config = {});
+
+struct DenseFlowConfig {
+  int iterations = 60;
+  float alpha = 1.0f;  // smoothness weight
+};
+
+struct DenseFlowField {
+  Image u;  // x displacement per pixel
+  Image v;  // y displacement per pixel
+
+  /// Binary mask of pixels whose flow magnitude exceeds `thresh`.
+  Image magnitude_mask(float thresh) const;
+};
+
+/// Horn–Schunck dense optical flow.
+DenseFlowField dense_optical_flow(const Image& prev, const Image& next,
+                                  const DenseFlowConfig& config = {});
+
+}  // namespace safecross::vision

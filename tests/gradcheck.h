@@ -1,0 +1,92 @@
+#pragma once
+// Numerical gradient checking for layers and whole models.
+//
+// Central differences on a scalar loss L = sum(w_i * out_i) with fixed
+// random weights w: analytic gradients (via backward) must match
+// (L(x+h) - L(x-h)) / 2h within tolerance, both for inputs and for every
+// parameter.
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace safecross::testing {
+
+/// Weighted-sum "loss" over a tensor with deterministic weights.
+inline double weighted_sum(const nn::Tensor& t, const std::vector<float>& weights) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) s += static_cast<double>(t[i]) * weights[i];
+  return s;
+}
+
+inline std::vector<float> make_weights(std::size_t n, safecross::Rng& rng) {
+  std::vector<float> w(n);
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return w;
+}
+
+/// Check d(sum w*f(x))/dx and d/dparams for a forward/backward pair.
+/// `forward` must be deterministic (run layers in eval=false only if they
+/// are deterministic, e.g. no dropout).
+inline void check_gradients(const std::function<nn::Tensor(const nn::Tensor&)>& forward,
+                            const std::function<nn::Tensor(const nn::Tensor&)>& backward,
+                            std::vector<nn::Param*> params, nn::Tensor input, double h = 1e-3,
+                            double tol = 5e-2, std::size_t max_checks = 40) {
+  safecross::Rng rng(1234);
+  nn::Tensor out = forward(input);
+  const std::vector<float> w = make_weights(out.numel(), rng);
+
+  // Analytic gradients.
+  for (nn::Param* p : params) p->zero_grad();
+  nn::Tensor grad_out(out.shape());
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) grad_out[i] = w[i];
+  const nn::Tensor grad_in = backward(grad_out);
+
+  // Numeric input gradients on a sample of coordinates. Skipped when the
+  // backward under test does not expose input gradients (whole models
+  // return a dummy tensor — only parameter gradients are checked there).
+  const bool check_input = grad_in.numel() == input.numel();
+  const std::size_t stride_in = std::max<std::size_t>(1, input.numel() / max_checks);
+  for (std::size_t i = 0; check_input && i < input.numel(); i += stride_in) {
+    const float orig = input[i];
+    input[i] = orig + static_cast<float>(h);
+    const double lp = weighted_sum(forward(input), w);
+    input[i] = orig - static_cast<float>(h);
+    const double lm = weighted_sum(forward(input), w);
+    input[i] = orig;
+    const double numeric = (lp - lm) / (2 * h);
+    EXPECT_NEAR(grad_in[i], numeric, tol * std::max(1.0, std::fabs(numeric)))
+        << "input grad mismatch at flat index " << i;
+  }
+
+  // Numeric parameter gradients.
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    nn::Param* p = params[pi];
+    const std::size_t stride_p = std::max<std::size_t>(1, p->value.numel() / max_checks);
+    for (std::size_t i = 0; i < p->value.numel(); i += stride_p) {
+      const float orig = p->value[i];
+      p->value[i] = orig + static_cast<float>(h);
+      const double lp = weighted_sum(forward(input), w);
+      p->value[i] = orig - static_cast<float>(h);
+      const double lm = weighted_sum(forward(input), w);
+      p->value[i] = orig;
+      const double numeric = (lp - lm) / (2 * h);
+      EXPECT_NEAR(p->grad[i], numeric, tol * std::max(1.0, std::fabs(numeric)))
+          << "param " << pi << " grad mismatch at flat index " << i;
+    }
+  }
+}
+
+/// Random tensor in [-1, 1].
+inline nn::Tensor random_tensor(std::vector<int> shape, std::uint64_t seed) {
+  safecross::Rng rng(seed);
+  nn::Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+}  // namespace safecross::testing

@@ -1,0 +1,101 @@
+#include "vision/background_subtraction.h"
+
+#include <gtest/gtest.h>
+
+namespace safecross::vision {
+namespace {
+
+// A moving 3x3 bright block over a dark scene.
+Image frame_with_block(int w, int h, int bx, int by) {
+  Image img(w, h, 0.1f);
+  for (int y = by; y < by + 3 && y < h; ++y) {
+    for (int x = bx; x < bx + 3 && x < w; ++x) img.at(x, y) = 0.9f;
+  }
+  return img;
+}
+
+TEST(BackgroundSubtraction, WarmupProducesEmptyMask) {
+  BackgroundSubtractionConfig cfg;
+  cfg.warmup_frames = 5;
+  RunningAverageBackground bg(cfg);
+  for (int i = 0; i < 5; ++i) {
+    const Image mask = bg.apply(Image(16, 16, 0.1f));
+    EXPECT_EQ(mask.count_above(0.5f), 0u) << "frame " << i;
+  }
+}
+
+TEST(BackgroundSubtraction, DetectsMovingBlock) {
+  BackgroundSubtractionConfig cfg;
+  cfg.warmup_frames = 5;
+  cfg.apply_opening = false;
+  RunningAverageBackground bg(cfg);
+  for (int i = 0; i < 10; ++i) bg.apply(Image(32, 16, 0.1f));
+  // A block appears where the background was flat.
+  const Image mask = bg.apply(frame_with_block(32, 16, 10, 6));
+  EXPECT_GE(mask.count_above(0.5f), 6u);
+  EXPECT_FLOAT_EQ(mask.at(11, 7), 1.0f);
+  EXPECT_FLOAT_EQ(mask.at(2, 2), 0.0f);
+}
+
+TEST(BackgroundSubtraction, StationaryObjectMeltsIntoBackground) {
+  BackgroundSubtractionConfig cfg;
+  cfg.warmup_frames = 2;
+  cfg.learning_rate = 0.2f;
+  cfg.apply_opening = false;
+  RunningAverageBackground bg(cfg);
+  for (int i = 0; i < 5; ++i) bg.apply(Image(16, 16, 0.1f));
+  // The same block parked for many frames fades from the mask.
+  std::size_t last = 0;
+  for (int i = 0; i < 60; ++i) last = bg.apply(frame_with_block(16, 16, 5, 5)).count_above(0.5f);
+  EXPECT_EQ(last, 0u);
+}
+
+TEST(BackgroundSubtraction, StaticBackgroundKeepsDetectingParkedObject) {
+  BackgroundSubtractionConfig cfg;
+  cfg.warmup_frames = 3;
+  cfg.apply_opening = false;
+  StaticBackground bg(cfg);
+  for (int i = 0; i < 5; ++i) bg.apply(Image(16, 16, 0.1f));
+  std::size_t last = 0;
+  for (int i = 0; i < 60; ++i) last = bg.apply(frame_with_block(16, 16, 5, 5)).count_above(0.5f);
+  EXPECT_GE(last, 6u);  // static model never absorbs it
+}
+
+TEST(BackgroundSubtraction, OpeningSuppressesSinglePixelNoise) {
+  BackgroundSubtractionConfig cfg;
+  cfg.warmup_frames = 2;
+  cfg.apply_opening = true;
+  RunningAverageBackground bg(cfg);
+  for (int i = 0; i < 5; ++i) bg.apply(Image(16, 16, 0.1f));
+  Image noisy(16, 16, 0.1f);
+  noisy.at(8, 8) = 0.9f;  // single-pixel "sensor noise"
+  const Image mask = bg.apply(noisy);
+  EXPECT_EQ(mask.count_above(0.5f), 0u);
+}
+
+TEST(BackgroundSubtraction, ResetForgetsBackground) {
+  RunningAverageBackground bg;
+  bg.apply(Image(8, 8, 0.5f));
+  EXPECT_FALSE(bg.background().empty());
+  bg.reset();
+  EXPECT_TRUE(bg.background().empty());
+  EXPECT_EQ(bg.frames_seen(), 0);
+}
+
+TEST(BackgroundSubtraction, DynamicBackgroundTracksIlluminationDrift) {
+  BackgroundSubtractionConfig cfg;
+  cfg.warmup_frames = 2;
+  cfg.learning_rate = 0.1f;
+  cfg.apply_opening = false;
+  RunningAverageBackground bg(cfg);
+  // Slowly brightening scene (dawn): no foreground should fire.
+  std::size_t false_positives = 0;
+  for (int i = 0; i < 100; ++i) {
+    const float level = 0.1f + 0.003f * static_cast<float>(i);
+    false_positives += bg.apply(Image(16, 16, level)).count_above(0.5f);
+  }
+  EXPECT_EQ(false_positives, 0u);
+}
+
+}  // namespace
+}  // namespace safecross::vision

@@ -1,0 +1,81 @@
+#include "vision/blobs.h"
+
+#include <gtest/gtest.h>
+
+namespace safecross::vision {
+namespace {
+
+TEST(Blobs, FindsSingleComponent) {
+  Image img(8, 8, 0.0f);
+  for (int y = 2; y <= 4; ++y) {
+    for (int x = 3; x <= 5; ++x) img.at(x, y) = 1.0f;
+  }
+  const auto blobs = find_blobs(img);
+  ASSERT_EQ(blobs.size(), 1u);
+  EXPECT_EQ(blobs[0].area, 9);
+  EXPECT_EQ(blobs[0].min_x, 3);
+  EXPECT_EQ(blobs[0].max_x, 5);
+  EXPECT_EQ(blobs[0].width(), 3);
+  EXPECT_EQ(blobs[0].height(), 3);
+  EXPECT_FLOAT_EQ(blobs[0].centroid_x, 4.0f);
+  EXPECT_FLOAT_EQ(blobs[0].centroid_y, 3.0f);
+}
+
+TEST(Blobs, SeparatesDisconnectedComponents) {
+  Image img(10, 4, 0.0f);
+  img.at(0, 0) = 1.0f;
+  img.at(9, 3) = 1.0f;
+  const auto blobs = find_blobs(img);
+  EXPECT_EQ(blobs.size(), 2u);
+}
+
+TEST(Blobs, DiagonalPixelsAreOneComponent) {
+  Image img(4, 4, 0.0f);
+  img.at(1, 1) = 1.0f;
+  img.at(2, 2) = 1.0f;  // 8-connectivity joins diagonals
+  const auto blobs = find_blobs(img);
+  ASSERT_EQ(blobs.size(), 1u);
+  EXPECT_EQ(blobs[0].area, 2);
+}
+
+TEST(Blobs, MinAreaFiltersSmallBlobs) {
+  Image img(8, 8, 0.0f);
+  img.at(0, 0) = 1.0f;  // area 1
+  for (int x = 3; x <= 6; ++x) img.at(x, 4) = 1.0f;  // area 4
+  const auto blobs = find_blobs(img, 2);
+  ASSERT_EQ(blobs.size(), 1u);
+  EXPECT_EQ(blobs[0].area, 4);
+}
+
+TEST(Blobs, SortedByDecreasingArea) {
+  Image img(16, 4, 0.0f);
+  img.at(0, 0) = 1.0f;
+  for (int x = 4; x <= 8; ++x) img.at(x, 2) = 1.0f;
+  for (int x = 11; x <= 12; ++x) img.at(x, 1) = 1.0f;
+  const auto blobs = find_blobs(img);
+  ASSERT_EQ(blobs.size(), 3u);
+  EXPECT_GE(blobs[0].area, blobs[1].area);
+  EXPECT_GE(blobs[1].area, blobs[2].area);
+}
+
+TEST(Blobs, EmptyMaskYieldsNoBlobs) {
+  EXPECT_TRUE(find_blobs(Image(5, 5, 0.0f)).empty());
+}
+
+TEST(Blobs, FullMaskIsOneBlob) {
+  const auto blobs = find_blobs(Image(6, 5, 1.0f));
+  ASSERT_EQ(blobs.size(), 1u);
+  EXPECT_EQ(blobs[0].area, 30);
+}
+
+TEST(Blobs, ContainsChecksBoundingBox) {
+  Image img(8, 8, 0.0f);
+  img.at(2, 2) = img.at(3, 2) = 1.0f;
+  const auto blobs = find_blobs(img);
+  ASSERT_EQ(blobs.size(), 1u);
+  EXPECT_TRUE(blobs[0].contains(2.5f, 2.0f));
+  EXPECT_FALSE(blobs[0].contains(5.0f, 5.0f));
+}
+
+}  // namespace
+}  // namespace safecross::vision

@@ -1,0 +1,160 @@
+#include "sim/camera.h"
+
+#include <gtest/gtest.h>
+
+namespace safecross::sim {
+namespace {
+
+TEST(Camera, BackgroundHasSkyRoadAndGrassBands) {
+  CameraModel cam{IntersectionGeometry{}};
+  const vision::Image& bg = cam.background();
+  // Top rows are sky (bright-ish), bottom rows on the road corridor darker.
+  EXPECT_GT(bg.at(bg.width() / 2, 2), 0.45f);
+  // A pixel on the EW road (center of image, lowish) should be asphalt-dark.
+  EXPECT_LT(bg.at(bg.width() / 2, bg.height() / 2), 0.5f);
+}
+
+TEST(Camera, GroundToImageMapsNearEdgeToBottom) {
+  IntersectionGeometry g;
+  CameraModel cam(g);
+  const auto h = cam.ground_to_image();
+  const vision::Point2 near = h.apply({g.world_width / 2, g.world_height});
+  const vision::Point2 far = h.apply({g.world_width / 2, 0.0});
+  EXPECT_GT(near.y, far.y);  // near edge lower in the image
+}
+
+TEST(Camera, PerspectiveCompressesFarEdge) {
+  IntersectionGeometry g;
+  CameraModel cam(g);
+  const auto h = cam.ground_to_image();
+  const double near_w =
+      h.apply({g.world_width, g.world_height}).x - h.apply({0, g.world_height}).x;
+  const double far_w = h.apply({g.world_width, 0}).x - h.apply({0, 0}).x;
+  EXPECT_GT(near_w, far_w);
+}
+
+TEST(Camera, RenderShowsMovingVehicle) {
+  TrafficSimulator sim(weather_params(Weather::Daytime), 3);
+  CameraModel cam(sim.intersection().geometry());
+  for (int i = 0; i < 900; ++i) sim.step();
+  ASSERT_FALSE(sim.vehicles().empty());
+  Rng rng(1);
+  const vision::Image frame = cam.render(sim, rng);
+  // The frame differs from the background where vehicles are.
+  const vision::Image diff = vision::Image::absdiff(frame, cam.background());
+  EXPECT_GT(diff.count_above(0.2f), 5u);
+}
+
+TEST(Camera, RenderIsNoisyButBounded) {
+  TrafficSimulator sim(weather_params(Weather::Rain), 3);
+  CameraModel cam(sim.intersection().geometry());
+  sim.step();
+  Rng rng(2);
+  const vision::Image frame = cam.render(sim, rng);
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_GE(frame.data()[i], 0.0f);
+    EXPECT_LE(frame.data()[i], 1.0f);
+  }
+}
+
+TEST(Camera, RainFramesHaveMoreTransients) {
+  TrafficSimulator day(weather_params(Weather::Daytime), 3);
+  TrafficSimulator rain(weather_params(Weather::Rain), 3);
+  CameraModel cam(day.intersection().geometry());
+  Rng rng_a(5), rng_b(5);
+  day.step();
+  rain.step();
+  const vision::Image f_day1 = cam.render(day, rng_a);
+  const vision::Image f_day2 = cam.render(day, rng_a);
+  const vision::Image f_rain1 = cam.render(rain, rng_b);
+  const vision::Image f_rain2 = cam.render(rain, rng_b);
+  const auto transients = [](const vision::Image& a, const vision::Image& b) {
+    return vision::Image::absdiff(a, b).count_above(0.12f);
+  };
+  EXPECT_GT(transients(f_rain1, f_rain2), transients(f_day1, f_day2));
+}
+
+TEST(Camera, TopdownRasterizesMovingVehiclesOnly) {
+  TrafficSimulator sim(weather_params(Weather::Daytime), 3);
+  CameraModel cam(sim.intersection().geometry());
+  for (int i = 0; i < 900; ++i) sim.step();
+  const vision::Image grid = cam.rasterize_topdown(sim, 36, 24);
+  std::size_t moving = 0;
+  for (const Vehicle& v : sim.vehicles()) {
+    if (v.speed >= 0.5) ++moving;
+  }
+  if (moving > 0) {
+    EXPECT_GT(grid.count_above(0.5f), 0u);
+  }
+  // Occupancy can never exceed the total vehicle footprint bound.
+  EXPECT_LT(grid.count_above(0.5f), grid.size() / 2);
+}
+
+TEST(Camera, TopdownCellsMatchVehiclePositions) {
+  TrafficSimulator sim(weather_params(Weather::Daytime), 3);
+  CameraModel cam(sim.intersection().geometry());
+  for (int i = 0; i < 900; ++i) sim.step();
+  const int gw = 60, gh = 40;  // 2 m per cell
+  const vision::Image grid = cam.rasterize_topdown(sim, gw, gh);
+  const auto& g = sim.intersection().geometry();
+  for (const Vehicle& v : sim.vehicles()) {
+    if (v.speed < 0.5) continue;
+    const auto pos = sim.position(v);
+    const auto dir = sim.heading(v);
+    // Sample the vehicle's center point.
+    const double cx = (pos.x - dir.x * v.length / 2) * gw / g.world_width;
+    const double cy = (pos.y - dir.y * v.length / 2) * gh / g.world_height;
+    const int ix = std::clamp(static_cast<int>(cx), 0, gw - 1);
+    const int iy = std::clamp(static_cast<int>(cy), 0, gh - 1);
+    EXPECT_GT(grid.at(ix, iy), 0.5f) << "vehicle " << v.id << " missing from grid";
+  }
+}
+
+TEST(Camera, ImageToGridWarpsVehicleMaskOntoOccupiedCells) {
+  TrafficSimulator sim(weather_params(Weather::Daytime), 11);
+  CameraConfig cc;
+  cc.low_quality_blur = false;
+  CameraModel cam(sim.intersection().geometry(), cc);
+  for (int i = 0; i < 900; ++i) sim.step();
+
+  // Build an ideal foreground mask directly from the vehicle quads.
+  vision::Image mask(cc.width, cc.height, 0.0f);
+  for (const Vehicle& v : sim.vehicles()) {
+    if (v.speed < 0.5) continue;
+    fill_convex_quad(mask, cam.vehicle_quad_image(sim, v), 1.0f);
+  }
+  if (mask.count_above(0.5f) == 0) GTEST_SKIP() << "no moving vehicles in view";
+
+  const int gw = 36, gh = 24;
+  const vision::Image warped = cam.image_to_grid(gw, gh).warp(mask, gw, gh).threshold(0.5f);
+  const vision::Image truth = cam.rasterize_topdown(sim, gw, gh);
+  // Warped mask must overlap the ground-truth occupancy substantially.
+  std::size_t overlap = 0, truth_cells = 0;
+  for (int y = 0; y < gh; ++y) {
+    for (int x = 0; x < gw; ++x) {
+      if (truth.at(x, y) > 0.5f) {
+        ++truth_cells;
+        if (warped.at(x, y) > 0.5f) ++overlap;
+      }
+    }
+  }
+  ASSERT_GT(truth_cells, 0u);
+  EXPECT_GT(static_cast<double>(overlap) / truth_cells, 0.5);
+}
+
+TEST(FillConvexQuad, FillsAxisAlignedRect) {
+  vision::Image img(10, 10, 0.0f);
+  fill_convex_quad(img, {vision::Point2{2, 2}, {7, 2}, {7, 5}, {2, 5}}, 1.0f);
+  EXPECT_GT(img.at(4, 3), 0.5f);
+  EXPECT_FLOAT_EQ(img.at(8, 8), 0.0f);
+  EXPECT_GE(img.count_above(0.5f), 12u);
+}
+
+TEST(FillConvexQuad, HandlesOffscreenQuads) {
+  vision::Image img(10, 10, 0.0f);
+  fill_convex_quad(img, {vision::Point2{-20, -20}, {-10, -20}, {-10, -10}, {-20, -10}}, 1.0f);
+  EXPECT_EQ(img.count_above(0.5f), 0u);
+}
+
+}  // namespace
+}  // namespace safecross::sim

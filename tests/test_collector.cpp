@@ -1,0 +1,124 @@
+#include "dataset/collector.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/builder.h"
+
+namespace safecross::dataset {
+namespace {
+
+TEST(Collector, CollectsSegmentsWithCorrectLength) {
+  sim::TrafficSimulator sim(sim::weather_params(Weather::Daytime), 3);
+  sim::CameraModel cam(sim.intersection().geometry());
+  CollectorConfig cfg;
+  SegmentCollector collector(sim, cam, cfg, 9);
+  while (collector.segments().size() < 5 && sim.time() < 1200.0) collector.step();
+  ASSERT_GE(collector.segments().size(), 5u);
+  for (const VideoSegment& s : collector.segments()) {
+    EXPECT_EQ(s.frames.size(), 32u);
+    for (const auto& f : s.frames) {
+      EXPECT_EQ(f.width(), cfg.grid_w);
+      EXPECT_EQ(f.height(), cfg.grid_h);
+    }
+    EXPECT_EQ(s.weather, Weather::Daytime);
+  }
+}
+
+TEST(Collector, ProducesBothClasses) {
+  sim::TrafficSimulator sim(sim::weather_params(Weather::Daytime), 4);
+  sim::CameraModel cam(sim.intersection().geometry());
+  SegmentCollector collector(sim, cam, {}, 10);
+  while (collector.segments().size() < 40 && sim.time() < 3600.0) collector.step();
+  std::size_t danger = 0, safe = 0;
+  for (const VideoSegment& s : collector.segments()) {
+    (s.binary_label() == 0 ? danger : safe)++;
+  }
+  EXPECT_GT(danger, 0u);
+  EXPECT_GT(safe, 0u);
+}
+
+TEST(Collector, FramesAreBinaryOccupancy) {
+  sim::TrafficSimulator sim(sim::weather_params(Weather::Daytime), 5);
+  sim::CameraModel cam(sim.intersection().geometry());
+  SegmentCollector collector(sim, cam, {}, 11);
+  while (collector.segments().size() < 2 && sim.time() < 1200.0) collector.step();
+  ASSERT_GE(collector.segments().size(), 1u);
+  for (const auto& f : collector.segments()[0].frames) {
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      EXPECT_TRUE(f.data()[i] == 0.0f || f.data()[i] == 1.0f);
+    }
+  }
+}
+
+TEST(Collector, RainFramesNoisierThanDaytime) {
+  auto noise_cells = [](Weather w) {
+    sim::TrafficSimulator sim(sim::weather_params(w), 6);
+    sim::CameraModel cam(sim.intersection().geometry());
+    SegmentCollector collector(sim, cam, {}, 12);
+    std::size_t cells = 0;
+    for (int i = 0; i < 200; ++i) {
+      collector.step();
+      cells += collector.last_frame().count_above(0.5f);
+    }
+    return cells;
+  };
+  EXPECT_GT(noise_cells(Weather::Rain), noise_cells(Weather::Daytime));
+}
+
+TEST(Collector, FullVPPipelineProducesSegments) {
+  sim::TrafficSimulator sim(sim::weather_params(Weather::Daytime), 7);
+  sim::CameraModel cam(sim.intersection().geometry());
+  CollectorConfig cfg;
+  cfg.mode = PipelineMode::FullVP;
+  SegmentCollector collector(sim, cam, cfg, 13);
+  while (collector.segments().size() < 1 && sim.time() < 600.0) collector.step();
+  ASSERT_GE(collector.segments().size(), 1u);
+  EXPECT_EQ(collector.segments()[0].frames.size(), 32u);
+}
+
+TEST(Collector, TakeSegmentsDrains) {
+  sim::TrafficSimulator sim(sim::weather_params(Weather::Daytime), 8);
+  sim::CameraModel cam(sim.intersection().geometry());
+  SegmentCollector collector(sim, cam, {}, 14);
+  while (collector.segments().size() < 2 && sim.time() < 1200.0) collector.step();
+  const auto taken = collector.take_segments();
+  EXPECT_GE(taken.size(), 2u);
+  EXPECT_TRUE(collector.segments().empty());
+}
+
+TEST(Builder, ReachesTargetOrTimeCap) {
+  BuildRequest req;
+  req.weather = Weather::Daytime;
+  req.target_segments = 10;
+  req.max_sim_hours = 0.5;
+  req.seed = 15;
+  const BuiltDataset ds = build_dataset(req);
+  EXPECT_GE(ds.segments.size(), 10u);
+  EXPECT_GT(ds.frames, 0u);
+}
+
+TEST(Builder, PaperTableOneConstants) {
+  EXPECT_EQ(paper_segment_count(Weather::Daytime), 1966u);
+  EXPECT_EQ(paper_segment_count(Weather::Rain), 34u);
+  EXPECT_EQ(paper_segment_count(Weather::Snow), 855u);
+  EXPECT_DOUBLE_EQ(paper_time_span_hours(Weather::Daytime), 6.0);
+  EXPECT_DOUBLE_EQ(paper_time_span_hours(Weather::Rain), 1.0);
+  EXPECT_DOUBLE_EQ(paper_time_span_hours(Weather::Snow), 3.0);
+}
+
+TEST(Builder, TurnSegmentsEndAtKeyframe) {
+  // A turned segment's last frames should show the subject moving through
+  // the junction box; we check the weaker invariant that turn segments
+  // exist and carry the turned flag.
+  BuildRequest req;
+  req.target_segments = 30;
+  req.max_sim_hours = 1.0;
+  req.seed = 16;
+  const BuiltDataset ds = build_dataset(req);
+  bool any_turned = false;
+  for (const auto& s : ds.segments) any_turned |= s.turned;
+  EXPECT_TRUE(any_turned);
+}
+
+}  // namespace
+}  // namespace safecross::dataset

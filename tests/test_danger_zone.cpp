@@ -1,0 +1,86 @@
+#include "vision/danger_zone.h"
+
+#include <gtest/gtest.h>
+
+namespace safecross::vision {
+namespace {
+
+TEST(DangerZone, ReachGrowsWithSpeed) {
+  DangerZoneParams slow;
+  slow.oncoming_speed = 8.0f;
+  DangerZoneParams fast;
+  fast.oncoming_speed = 20.0f;
+  EXPECT_GT(danger_zone_reach_m(fast), danger_zone_reach_m(slow));
+}
+
+TEST(DangerZone, ReachGrowsAsFrictionDrops) {
+  DangerZoneParams dry = DangerZoneModel::for_weather(Weather::Daytime);
+  DangerZoneParams wet = DangerZoneModel::for_weather(Weather::Rain);
+  DangerZoneParams icy = DangerZoneModel::for_weather(Weather::Snow);
+  EXPECT_LT(danger_zone_reach_m(dry), danger_zone_reach_m(wet));
+  EXPECT_LT(danger_zone_reach_m(wet), danger_zone_reach_m(icy));
+}
+
+TEST(DangerZone, ReachIncludesTravelPlusBraking) {
+  DangerZoneParams p;
+  p.oncoming_speed = 10.0f;
+  p.reaction_time = 1.0f;
+  p.turn_clear_time = 2.0f;
+  p.friction = 0.5f;
+  const float travel = 10.0f * 3.0f;
+  const float braking = 100.0f / (2.0f * 0.5f * 9.81f);
+  EXPECT_NEAR(danger_zone_reach_m(p), travel + braking, 1e-4);
+}
+
+TEST(DangerZone, ZoneRectExtendsUpstreamPositiveDir) {
+  DangerZoneParams p = DangerZoneModel::for_weather(Weather::Daytime);
+  const Rect r = DangerZoneModel::zone_rect(50.0f, 10.0f, p, /*oncoming_dir=*/+1);
+  EXPECT_FLOAT_EQ(r.max_x, 50.0f);
+  EXPECT_LT(r.min_x, 50.0f - 30.0f);
+  EXPECT_TRUE(r.contains(40.0f, 10.0f));
+  EXPECT_FALSE(r.contains(60.0f, 10.0f));
+}
+
+TEST(DangerZone, ZoneRectExtendsUpstreamNegativeDir) {
+  DangerZoneParams p = DangerZoneModel::for_weather(Weather::Daytime);
+  const Rect r = DangerZoneModel::zone_rect(50.0f, 10.0f, p, /*oncoming_dir=*/-1);
+  EXPECT_FLOAT_EQ(r.min_x, 50.0f);
+  EXPECT_GT(r.max_x, 80.0f);
+}
+
+TEST(DangerZone, ZoneSpansLaneWidth) {
+  DangerZoneParams p;
+  p.lane_width = 4.0f;
+  const Rect r = DangerZoneModel::zone_rect(50.0f, 10.0f, p);
+  EXPECT_TRUE(r.contains(45.0f, 10.0f + 2.9f));
+  EXPECT_FALSE(r.contains(45.0f, 10.0f + 3.5f));
+}
+
+TEST(DangerZone, OccupiedDetectsPixelInZone) {
+  Image mask(32, 16, 0.0f);
+  mask.at(10, 5) = 1.0f;  // ground cell (10, 5) at 2 m/px => (20 m, 10 m)
+  Rect zone{15.0f, 8.0f, 25.0f, 12.0f};
+  EXPECT_TRUE(zone_occupied(mask, zone, 2.0f));
+}
+
+TEST(DangerZone, EmptyZoneNotOccupied) {
+  Image mask(32, 16, 0.0f);
+  mask.at(1, 1) = 1.0f;  // far from the zone
+  Rect zone{30.0f, 20.0f, 40.0f, 24.0f};
+  EXPECT_FALSE(zone_occupied(mask, zone, 2.0f));
+}
+
+TEST(DangerZone, ZeroScaleIsNotOccupied) {
+  Image mask(4, 4, 1.0f);
+  Rect zone{0.0f, 0.0f, 10.0f, 10.0f};
+  EXPECT_FALSE(zone_occupied(mask, zone, 0.0f));
+}
+
+TEST(DangerZone, WeatherNames) {
+  EXPECT_STREQ(weather_name(Weather::Daytime), "daytime");
+  EXPECT_STREQ(weather_name(Weather::Rain), "rain");
+  EXPECT_STREQ(weather_name(Weather::Snow), "snow");
+}
+
+}  // namespace
+}  // namespace safecross::vision

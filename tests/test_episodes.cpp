@@ -1,0 +1,106 @@
+#include "fewshot/episodes.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace safecross::fewshot {
+namespace {
+
+std::vector<VideoSegment> make_pool(int danger, int safe) {
+  std::vector<VideoSegment> pool;
+  for (int i = 0; i < danger; ++i) {
+    VideoSegment s;
+    s.turned = false;
+    pool.push_back(s);
+  }
+  for (int i = 0; i < safe; ++i) {
+    VideoSegment s;
+    s.turned = true;
+    pool.push_back(s);
+  }
+  return pool;
+}
+
+Task make_task(const std::vector<VideoSegment>& pool, const std::string& name) {
+  Task t;
+  t.name = name;
+  for (const auto& s : pool) t.pool.push_back(&s);
+  return t;
+}
+
+TEST(Episodes, ByClassPartitionsPool) {
+  const auto pool = make_pool(3, 5);
+  const Task task = make_task(pool, "t");
+  const auto classes = by_class(task.pool, 2);
+  EXPECT_EQ(classes[0].size(), 3u);
+  EXPECT_EQ(classes[1].size(), 5u);
+}
+
+TEST(Episodes, SampleEpisodeHasRequestedSizes) {
+  const auto pool = make_pool(20, 20);
+  const Task task = make_task(pool, "t");
+  EpisodeConfig cfg;
+  cfg.k_shot = 4;
+  cfg.query_per_class = 3;
+  safecross::Rng rng(1);
+  const Episode ep = sample_episode(task, cfg, rng);
+  EXPECT_EQ(ep.support.size(), 8u);
+  EXPECT_EQ(ep.query.size(), 6u);
+}
+
+TEST(Episodes, SupportIsClassBalanced) {
+  const auto pool = make_pool(20, 20);
+  const Task task = make_task(pool, "t");
+  EpisodeConfig cfg;
+  cfg.k_shot = 5;
+  safecross::Rng rng(2);
+  const Episode ep = sample_episode(task, cfg, rng);
+  int danger = 0;
+  for (const auto* s : ep.support) danger += s->binary_label() == 0 ? 1 : 0;
+  EXPECT_EQ(danger, 5);
+}
+
+TEST(Episodes, WithoutReplacementAvoidsDuplicatesWhenPoolIsLarge) {
+  const auto pool = make_pool(30, 30);
+  const Task task = make_task(pool, "t");
+  EpisodeConfig cfg;
+  cfg.k_shot = 5;
+  cfg.query_per_class = 5;
+  safecross::Rng rng(3);
+  const Episode ep = sample_episode(task, cfg, rng);
+  std::set<const VideoSegment*> seen(ep.support.begin(), ep.support.end());
+  for (const auto* q : ep.query) {
+    EXPECT_EQ(seen.count(q), 0u) << "query leaked into support";
+  }
+}
+
+TEST(Episodes, TinyPoolFallsBackToReplacement) {
+  // The paper's rain pool: so few samples that episodes must reuse them.
+  const auto pool = make_pool(2, 2);
+  const Task task = make_task(pool, "rain");
+  EpisodeConfig cfg;
+  cfg.k_shot = 5;
+  cfg.query_per_class = 5;
+  safecross::Rng rng(4);
+  const Episode ep = sample_episode(task, cfg, rng);
+  EXPECT_EQ(ep.support.size(), 10u);
+  EXPECT_EQ(ep.query.size(), 10u);
+}
+
+TEST(Episodes, MissingClassThrows) {
+  const auto pool = make_pool(4, 0);
+  const Task task = make_task(pool, "one-sided");
+  EpisodeConfig cfg;
+  safecross::Rng rng(5);
+  EXPECT_THROW(sample_episode(task, cfg, rng), std::runtime_error);
+}
+
+TEST(Episodes, ByClassRejectsOutOfRangeLabels) {
+  const auto pool = make_pool(1, 1);
+  const Task task = make_task(pool, "t");
+  EXPECT_THROW(by_class(task.pool, 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace safecross::fewshot

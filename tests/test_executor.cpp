@@ -1,0 +1,66 @@
+#include "switching/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "switching/grouping.h"
+
+namespace safecross::switching {
+namespace {
+
+ModelProfile executor_profile() {
+  // ~24 MB and ~24 ms compute: big enough that overlap is measurable,
+  // small enough for fast tests.
+  ModelProfile p;
+  p.name = "exec-test";
+  for (int i = 0; i < 8; ++i) {
+    p.layers.push_back({"l" + std::to_string(i), 3'000'000, 3.0, 0.0});
+  }
+  return p;
+}
+
+TEST(Executor, SequentialWallIsTransferPlusCompute) {
+  PipelinedExecutor exec({/*bandwidth_gbps=*/4.0, /*compute_scale=*/1.0});
+  const ModelProfile p = executor_profile();
+  const ExecutorResult r = exec.run_sequential(p);
+  EXPECT_GE(r.wall_ms, r.transfer_ms + r.compute_ms - 2.0);
+}
+
+TEST(Executor, PipelinedOverlapsTransferAndCompute) {
+  PipelinedExecutor exec({/*bandwidth_gbps=*/4.0, /*compute_scale=*/1.0});
+  const ModelProfile p = executor_profile();
+  const ExecutorResult seq = exec.run_sequential(p);
+  const ExecutorResult pip = exec.run_pipelined(p, per_layer_grouping(p));
+  // Real threads, real sleeps: the pipelined wall time must be
+  // measurably below sequential (ideal: max of the two busy times).
+  EXPECT_LT(pip.wall_ms, seq.wall_ms * 0.85);
+  EXPECT_GE(pip.wall_ms, std::max(pip.transfer_ms, pip.compute_ms) - 2.0);
+}
+
+TEST(Executor, PipelinedRespectsGroupOrdering) {
+  PipelinedExecutor exec({4.0, 1.0});
+  const ModelProfile p = executor_profile();
+  // Whole-model grouping degenerates to sequential behaviour.
+  const ExecutorResult whole = exec.run_pipelined(p, whole_model_grouping(p));
+  EXPECT_GE(whole.wall_ms, whole.transfer_ms + whole.compute_ms - 3.0);
+}
+
+TEST(Executor, ThrottleEnforcesBandwidth) {
+  PipelinedExecutor slow({/*bandwidth_gbps=*/1.0, 1.0});
+  PipelinedExecutor fast({/*bandwidth_gbps=*/16.0, 1.0});
+  const ModelProfile p = executor_profile();
+  const double t_slow = slow.run_sequential(p).transfer_ms;
+  const double t_fast = fast.run_sequential(p).transfer_ms;
+  EXPECT_GT(t_slow, t_fast * 2.0);
+  // 24 MB at 1 GB/s is ~24 ms.
+  EXPECT_GE(t_slow, 20.0);
+}
+
+TEST(Executor, ComputeScaleShortensComputePhase) {
+  PipelinedExecutor full({8.0, 1.0});
+  PipelinedExecutor tenth({8.0, 0.1});
+  const ModelProfile p = executor_profile();
+  EXPECT_GT(full.run_sequential(p).compute_ms, tenth.run_sequential(p).compute_ms * 3.0);
+}
+
+}  // namespace
+}  // namespace safecross::switching

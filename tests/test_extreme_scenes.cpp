@@ -1,0 +1,104 @@
+// Rendering and physics properties of the extension scenes (Night, Fog).
+
+#include <gtest/gtest.h>
+
+#include "sim/camera.h"
+#include "sim/traffic.h"
+
+namespace safecross::sim {
+namespace {
+
+vision::Image render_scene(Weather w, std::uint64_t seed, int steps = 600) {
+  TrafficSimulator sim(weather_params(w), seed);
+  const CameraModel cam(sim.intersection().geometry());
+  Rng rng(seed ^ 0xE0);
+  for (int i = 0; i < steps; ++i) sim.step();
+  return cam.render(sim, rng);
+}
+
+TEST(ExtremeScenes, NightFramesAreDark) {
+  const float night = render_scene(Weather::Night, 3).mean();
+  const float day = render_scene(Weather::Daytime, 3).mean();
+  EXPECT_LT(night, day * 0.6f);
+}
+
+TEST(ExtremeScenes, HeadlightsCreateBrightSpotsAtNight) {
+  TrafficSimulator sim(weather_params(Weather::Night), 5);
+  const CameraModel cam(sim.intersection().geometry());
+  Rng rng(6);
+  for (int i = 0; i < 900; ++i) sim.step();
+  if (sim.vehicles().empty()) GTEST_SKIP() << "no vehicles in view";
+  const vision::Image frame = cam.render(sim, rng);
+  // Despite ambient 0.35, headlight patches push pixels near white.
+  EXPECT_GT(frame.count_above(0.8f), 0u);
+}
+
+TEST(ExtremeScenes, FogRaisesBrightnessTowardVeil) {
+  const float fog = render_scene(Weather::Fog, 7).mean();
+  const float day = render_scene(Weather::Daytime, 7).mean();
+  EXPECT_GT(fog, day);
+}
+
+TEST(ExtremeScenes, FogKillsFarFieldContrastMoreThanNear) {
+  TrafficSimulator day_sim(weather_params(Weather::Daytime), 9);
+  TrafficSimulator fog_sim(weather_params(Weather::Fog), 9);
+  const CameraModel cam(day_sim.intersection().geometry());
+  Rng rng_a(10), rng_b(10);
+  day_sim.step();
+  fog_sim.step();
+  const vision::Image day = cam.render(day_sim, rng_a);
+  const vision::Image fog = cam.render(fog_sim, rng_b);
+  auto band_stddev = [](const vision::Image& img, int y0, int y1) {
+    double sum = 0.0, sq = 0.0;
+    int n = 0;
+    for (int y = y0; y < y1; ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        sum += img.at(x, y);
+        sq += static_cast<double>(img.at(x, y)) * img.at(x, y);
+        ++n;
+      }
+    }
+    const double mean = sum / n;
+    return std::sqrt(std::max(0.0, sq / n - mean * mean));
+  };
+  // Far field: just below the horizon line (rows ~30-45% of frame).
+  const int h = day.height();
+  const double far_ratio = band_stddev(fog, static_cast<int>(0.3 * h), static_cast<int>(0.45 * h)) /
+                           band_stddev(day, static_cast<int>(0.3 * h), static_cast<int>(0.45 * h));
+  const double near_ratio = band_stddev(fog, static_cast<int>(0.8 * h), h) /
+                            band_stddev(day, static_cast<int>(0.8 * h), h);
+  EXPECT_LT(far_ratio, near_ratio);
+}
+
+TEST(ExtremeScenes, DepthMapIncreasesTowardHorizon) {
+  const CameraModel cam{IntersectionGeometry{}};
+  const vision::Image& depth = cam.depth_map();
+  const int x = depth.width() / 2;
+  // Near the bottom (close to the camera) depth is small; far rows large.
+  EXPECT_LT(depth.at(x, depth.height() - 2), 10.0f);
+  EXPECT_GT(depth.at(x, static_cast<int>(0.35 * depth.height())), 40.0f);
+}
+
+TEST(ExtremeScenes, PhysicsOrderingAcrossWeathers) {
+  // Friction: daytime > night > fog > rain > snow.
+  EXPECT_GT(weather_params(Weather::Daytime).friction, weather_params(Weather::Night).friction);
+  EXPECT_GT(weather_params(Weather::Night).friction, weather_params(Weather::Fog).friction);
+  EXPECT_GT(weather_params(Weather::Fog).friction, weather_params(Weather::Rain).friction);
+  EXPECT_GT(weather_params(Weather::Rain).friction, weather_params(Weather::Snow).friction);
+  // Fog slows traffic harder than night.
+  EXPECT_LT(weather_params(Weather::Fog).speed_factor,
+            weather_params(Weather::Night).speed_factor);
+}
+
+TEST(ExtremeScenes, DangerZoneReachReflectsFriction) {
+  using vision::DangerZoneModel;
+  using vision::danger_zone_reach_m;
+  const float day = danger_zone_reach_m(DangerZoneModel::for_weather(Weather::Daytime));
+  const float night = danger_zone_reach_m(DangerZoneModel::for_weather(Weather::Night));
+  const float fog = danger_zone_reach_m(DangerZoneModel::for_weather(Weather::Fog));
+  EXPECT_GT(night, day);
+  EXPECT_GT(fog, night);
+}
+
+}  // namespace
+}  // namespace safecross::sim

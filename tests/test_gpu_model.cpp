@@ -1,0 +1,109 @@
+#include "switching/gpu_model.h"
+
+#include <gtest/gtest.h>
+
+#include "switching/grouping.h"
+
+namespace safecross::switching {
+namespace {
+
+ModelProfile small_profile() {
+  ModelProfile p;
+  p.name = "small";
+  p.framework_load_ms = 100.0;
+  p.layers.push_back({"a", 8'000'000, 1.0, 10.0});
+  p.layers.push_back({"b", 4'000'000, 0.5, 5.0});
+  p.layers.push_back({"c", 12'000'000, 1.5, 15.0});
+  return p;
+}
+
+TEST(GpuModel, TransferTimeMatchesBandwidth) {
+  GpuModelConfig gpu;
+  gpu.pcie_gbps = 10.0;
+  EXPECT_NEAR(transfer_ms(10'000'000'000ull, gpu), 1000.0, 1e-6);
+}
+
+TEST(GpuModel, StopAndStartIncludesAllColdCosts) {
+  GpuModelConfig gpu;
+  gpu.cuda_context_init_ms = 1000.0;
+  gpu.transfer_setup_ms = 0.0;
+  const ModelProfile p = small_profile();
+  const SwitchResult r = simulate_stop_and_start(p, gpu);
+  const double expected = 1000.0 + 100.0 + transfer_ms(p.total_bytes(), gpu) +
+                          p.total_compute_ms() + p.total_cold_extra_ms();
+  EXPECT_NEAR(r.completion_ms, expected, 1e-6);
+  EXPECT_NEAR(r.switching_delay_ms(), expected - p.total_compute_ms(), 1e-6);
+}
+
+TEST(GpuModel, PipeSwitchSkipsContextAndColdCosts) {
+  GpuModelConfig gpu;
+  const ModelProfile p = small_profile();
+  const SwitchResult ss = simulate_stop_and_start(p, gpu);
+  const SwitchResult ps = simulate_pipeswitch(p, per_layer_grouping(p), gpu);
+  EXPECT_LT(ps.completion_ms, ss.completion_ms / 50.0);
+}
+
+TEST(GpuModel, PipeSwitchRejectsBadGrouping) {
+  GpuModelConfig gpu;
+  const ModelProfile p = small_profile();
+  EXPECT_THROW(simulate_pipeswitch(p, {1, 1}, gpu), std::invalid_argument);
+}
+
+TEST(GpuModel, PipeSwitchComputeWaitsForTransfer) {
+  GpuModelConfig gpu;
+  gpu.group_sync_ms = 0.0;
+  gpu.transfer_setup_ms = 0.0;
+  const ModelProfile p = small_profile();
+  const SwitchResult r = simulate_pipeswitch(p, per_layer_grouping(p), gpu);
+  // Each compute entry must start at/after its transfer ended.
+  double xfer_end[3] = {};
+  double comp_start[3] = {};
+  int xi = 0, ci = 0;
+  for (const auto& e : r.timeline) {
+    if (e.engine == TimelineEntry::Engine::Transfer) xfer_end[xi++] = e.end_ms;
+    if (e.engine == TimelineEntry::Engine::Compute) comp_start[ci++] = e.start_ms;
+  }
+  ASSERT_EQ(xi, 3);
+  ASSERT_EQ(ci, 3);
+  for (int i = 0; i < 3; ++i) EXPECT_GE(comp_start[i] + 1e-9, xfer_end[i]);
+}
+
+TEST(GpuModel, PipeSwitchComputeIsOrdered) {
+  GpuModelConfig gpu;
+  const ModelProfile p = small_profile();
+  const SwitchResult r = simulate_pipeswitch(p, per_layer_grouping(p), gpu);
+  double prev_end = -1.0;
+  for (const auto& e : r.timeline) {
+    if (e.engine != TimelineEntry::Engine::Compute) continue;
+    EXPECT_GE(e.start_ms + 1e-9, prev_end);
+    prev_end = e.end_ms;
+  }
+}
+
+TEST(GpuModel, TableSixShape) {
+  // The reproduction's core claim: stop-and-start is seconds, PipeSwitch
+  // single-digit milliseconds, for all three Table VI workloads.
+  GpuModelConfig gpu;
+  for (const ModelProfile& p :
+       {slowfast_r50_profile(), resnet152_profile(), inception_v3_profile()}) {
+    const double ss = simulate_stop_and_start(p, gpu).switching_delay_ms();
+    const double ps =
+        simulate_pipeswitch(p, optimal_grouping(p, gpu), gpu).switching_delay_ms();
+    EXPECT_GT(ss, 3000.0) << p.name;
+    EXPECT_LT(ss, 7000.0) << p.name;
+    EXPECT_LT(ps, 10.0) << p.name;  // the paper's "<10 ms" claim
+    EXPECT_GT(ps, 0.0) << p.name;
+  }
+}
+
+TEST(GpuModel, SlowfastIsSlowestStopAndStart) {
+  GpuModelConfig gpu;
+  const double sf = simulate_stop_and_start(slowfast_r50_profile(), gpu).switching_delay_ms();
+  const double rn = simulate_stop_and_start(resnet152_profile(), gpu).switching_delay_ms();
+  const double iv = simulate_stop_and_start(inception_v3_profile(), gpu).switching_delay_ms();
+  EXPECT_GT(sf, rn);
+  EXPECT_GT(rn, iv);
+}
+
+}  // namespace
+}  // namespace safecross::switching

@@ -1,0 +1,128 @@
+#include "switching/grouping.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace safecross::switching {
+namespace {
+
+ModelProfile uniform_profile(int layers, std::size_t bytes_each, double compute_each) {
+  ModelProfile p;
+  p.name = "uniform";
+  for (int i = 0; i < layers; ++i) {
+    p.layers.push_back({"l" + std::to_string(i), bytes_each, compute_each, 0.0});
+  }
+  return p;
+}
+
+TEST(Grouping, HelpersCoverAllLayers) {
+  const ModelProfile p = uniform_profile(10, 1000, 0.1);
+  const auto per_layer = per_layer_grouping(p);
+  EXPECT_EQ(std::accumulate(per_layer.begin(), per_layer.end(), 0), 10);
+  EXPECT_EQ(whole_model_grouping(p), std::vector<int>{10});
+  const auto fixed = fixed_grouping(p, 3);
+  EXPECT_EQ(std::accumulate(fixed.begin(), fixed.end(), 0), 10);
+  EXPECT_EQ(fixed.back(), 1);  // 3+3+3+1
+}
+
+TEST(Grouping, MakespanOfSingleGroupIsSequential) {
+  GpuModelConfig gpu;
+  gpu.transfer_setup_ms = 0.0;
+  gpu.group_sync_ms = 0.0;
+  const ModelProfile p = uniform_profile(4, 10'000'000, 2.0);
+  const double makespan = pipelined_makespan(p, whole_model_grouping(p), gpu);
+  const double expected = transfer_ms(40'000'000, gpu) + 8.0;
+  EXPECT_NEAR(makespan, expected, 1e-9);
+}
+
+TEST(Grouping, PipeliningBeatsWholeModel) {
+  GpuModelConfig gpu;
+  const ModelProfile p = uniform_profile(20, 10'000'000, 1.0);
+  const double whole = pipelined_makespan(p, whole_model_grouping(p), gpu);
+  const double per_layer = pipelined_makespan(p, per_layer_grouping(p), gpu);
+  EXPECT_LT(per_layer, whole);
+}
+
+TEST(Grouping, OptimalNeverWorseThanBaselines) {
+  GpuModelConfig gpu;
+  for (const ModelProfile& p :
+       {slowfast_r50_profile(), resnet152_profile(), inception_v3_profile(),
+        uniform_profile(30, 5'000'000, 0.3)}) {
+    const auto opt = optimal_grouping(p, gpu);
+    const double best = pipelined_makespan(p, opt, gpu);
+    EXPECT_LE(best, pipelined_makespan(p, per_layer_grouping(p), gpu) + 1e-9) << p.name;
+    EXPECT_LE(best, pipelined_makespan(p, whole_model_grouping(p), gpu) + 1e-9) << p.name;
+    for (int k : {2, 4, 8}) {
+      EXPECT_LE(best, pipelined_makespan(p, fixed_grouping(p, k), gpu) + 1e-9)
+          << p.name << " vs fixed-" << k;
+    }
+  }
+}
+
+TEST(Grouping, OptimalCoversAllLayers) {
+  GpuModelConfig gpu;
+  const ModelProfile p = resnet152_profile();
+  const auto opt = optimal_grouping(p, gpu);
+  EXPECT_EQ(std::accumulate(opt.begin(), opt.end(), 0), static_cast<int>(p.layers.size()));
+  for (const int g : opt) EXPECT_GT(g, 0);
+}
+
+TEST(Grouping, MaxGroupsRespected) {
+  GpuModelConfig gpu;
+  const ModelProfile p = uniform_profile(20, 5'000'000, 0.5);
+  const auto opt = optimal_grouping(p, gpu, /*max_groups=*/3);
+  EXPECT_LE(opt.size(), 3u);
+  EXPECT_EQ(std::accumulate(opt.begin(), opt.end(), 0), 20);
+}
+
+TEST(Grouping, HighSetupCostMergesGroups) {
+  GpuModelConfig cheap;
+  cheap.transfer_setup_ms = 0.001;
+  GpuModelConfig costly;
+  costly.transfer_setup_ms = 5.0;  // DMA calls hurt: prefer fewer groups
+  const ModelProfile p = uniform_profile(16, 4'000'000, 0.4);
+  const auto g_cheap = optimal_grouping(p, cheap);
+  const auto g_costly = optimal_grouping(p, costly);
+  EXPECT_LT(g_costly.size(), g_cheap.size());
+}
+
+TEST(Grouping, EmptyProfileYieldsEmptyGrouping) {
+  GpuModelConfig gpu;
+  ModelProfile empty;
+  EXPECT_TRUE(optimal_grouping(empty, gpu).empty());
+}
+
+TEST(Grouping, OptimalMatchesBruteForceOnSmallProfiles) {
+  GpuModelConfig gpu;
+  gpu.transfer_setup_ms = 0.3;
+  gpu.group_sync_ms = 0.2;
+  // Irregular 8-layer profile; brute force all 2^7 boundary subsets.
+  ModelProfile p;
+  p.name = "irregular";
+  const std::size_t bytes[8] = {8'000'000, 1'000'000, 16'000'000, 2'000'000,
+                                4'000'000, 12'000'000, 500'000,   20'000'000};
+  const double comp[8] = {0.9, 0.1, 1.4, 0.2, 0.5, 1.2, 0.05, 2.0};
+  for (int i = 0; i < 8; ++i) p.layers.push_back({"l", bytes[i], comp[i], 0.0});
+
+  double brute_best = 1e18;
+  for (int mask = 0; mask < 128; ++mask) {
+    std::vector<int> groups;
+    int size = 1;
+    for (int b = 0; b < 7; ++b) {
+      if (mask & (1 << b)) {
+        groups.push_back(size);
+        size = 1;
+      } else {
+        ++size;
+      }
+    }
+    groups.push_back(size);
+    brute_best = std::min(brute_best, pipelined_makespan(p, groups, gpu));
+  }
+  const double opt = pipelined_makespan(p, optimal_grouping(p, gpu), gpu);
+  EXPECT_NEAR(opt, brute_best, 1e-9);
+}
+
+}  // namespace
+}  // namespace safecross::switching

@@ -1,0 +1,99 @@
+#include "sim/intersection.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace safecross::sim {
+namespace {
+
+TEST(Path, LengthOfStraightLine) {
+  Path p({{0, 0}, {3, 4}});
+  EXPECT_DOUBLE_EQ(p.length(), 5.0);
+}
+
+TEST(Path, PositionInterpolatesByArcLength) {
+  Path p({{0, 0}, {10, 0}, {10, 10}});
+  const Point2 mid = p.position(10.0);
+  EXPECT_NEAR(mid.x, 10.0, 1e-9);
+  EXPECT_NEAR(mid.y, 0.0, 1e-9);
+  const Point2 q = p.position(15.0);
+  EXPECT_NEAR(q.x, 10.0, 1e-9);
+  EXPECT_NEAR(q.y, 5.0, 1e-9);
+}
+
+TEST(Path, PositionClampsAtEnds) {
+  Path p({{0, 0}, {10, 0}});
+  EXPECT_DOUBLE_EQ(p.position(-5).x, 0.0);
+  EXPECT_DOUBLE_EQ(p.position(99).x, 10.0);
+}
+
+TEST(Path, TangentPointsAlongTravel) {
+  Path p({{0, 0}, {10, 0}, {10, 10}});
+  const Point2 t1 = p.tangent(3.0);
+  EXPECT_NEAR(t1.x, 1.0, 1e-6);
+  EXPECT_NEAR(t1.y, 0.0, 1e-6);
+  const Point2 t2 = p.tangent(16.0);
+  EXPECT_NEAR(t2.x, 0.0, 1e-6);
+  EXPECT_NEAR(t2.y, 1.0, 1e-6);
+}
+
+TEST(Path, RejectsDegenerate) {
+  EXPECT_THROW(Path({{1, 1}}), std::invalid_argument);
+}
+
+TEST(Intersection, RoutesExistAndHaveLength) {
+  Intersection isec;
+  for (int r = 0; r < kNumRoutes; ++r) {
+    EXPECT_GT(isec.route(static_cast<RouteId>(r)).length(), 50.0) << route_name(static_cast<RouteId>(r));
+  }
+}
+
+TEST(Intersection, StopLinesAreInsideRoutes) {
+  Intersection isec;
+  for (int r = 0; r < kNumRoutes; ++r) {
+    const auto id = static_cast<RouteId>(r);
+    EXPECT_GT(isec.stop_line_s(id), 0.0);
+    EXPECT_LT(isec.stop_line_s(id), isec.route(id).length());
+  }
+}
+
+TEST(Intersection, EastboundLeftStopsAtStopLine) {
+  Intersection isec;
+  const auto& g = isec.geometry();
+  const Point2 p = isec.route(RouteId::EastboundLeft).position(isec.stop_line_s(RouteId::EastboundLeft));
+  EXPECT_NEAR(p.x, g.eb_stop_x(), 1e-6);
+  EXPECT_NEAR(p.y, g.eb_left_y(), 1e-6);
+}
+
+TEST(Intersection, EastboundLeftExitsNorth) {
+  Intersection isec;
+  const auto& route = isec.route(RouteId::EastboundLeft);
+  const Point2 end = route.position(route.length());
+  EXPECT_NEAR(end.y, 0.0, 1e-6);  // y = 0 is the north edge
+}
+
+TEST(Intersection, WestboundLeftExitsSouth) {
+  Intersection isec;
+  const auto& route = isec.route(RouteId::WestboundLeftWait);
+  const Point2 end = route.position(route.length());
+  EXPECT_NEAR(end.y, isec.geometry().world_height, 1e-6);
+}
+
+TEST(Intersection, OpposingLeftTurnLanesAreAdjacentToCenterline) {
+  IntersectionGeometry g;
+  EXPECT_LT(g.wb_left_y(), g.center_y);
+  EXPECT_GT(g.eb_left_y(), g.center_y);
+  EXPECT_NEAR(g.eb_left_y() - g.wb_left_y(), g.lane_width, 1e-9);
+}
+
+TEST(Intersection, ThroughLaneBehindBlockerIsTheDangerLane) {
+  // The geometry that creates the paper's blind area: the wb through lane
+  // (threat lane) lies beyond the wb left-wait lane from the subject's
+  // viewpoint, so a waiting truck occludes it.
+  IntersectionGeometry g;
+  EXPECT_LT(g.wb_through_y(), g.wb_left_y());
+}
+
+}  // namespace
+}  // namespace safecross::sim

@@ -1,0 +1,156 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace safecross::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Tensor logits({2, 3});
+  logits[0] = 1;
+  logits[1] = 2;
+  logits[2] = 3;
+  logits[3] = -1;
+  logits[4] = 0;
+  logits[5] = 1;
+  const Tensor p = softmax(logits);
+  for (int r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < 3; ++c) sum += p[r * 3 + c];
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+  EXPECT_GT(p[2], p[0]);  // larger logit, larger prob
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  Tensor logits({1, 2});
+  logits[0] = 1000.0f;
+  logits[1] = 999.0f;
+  const Tensor p = softmax(logits);
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-6);
+  EXPECT_GT(p[0], p[1]);
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogK) {
+  SoftmaxCrossEntropy ce;
+  const float loss = ce.forward(Tensor({2, 4}, 0.0f), {1, 2});
+  EXPECT_NEAR(loss, std::log(4.0f), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropy, PerfectPredictionNearZeroLoss) {
+  Tensor logits({1, 2});
+  logits[0] = 20.0f;
+  logits[1] = -20.0f;
+  SoftmaxCrossEntropy ce;
+  EXPECT_NEAR(ce.forward(logits, {0}), 0.0f, 1e-4);
+}
+
+TEST(SoftmaxCrossEntropy, GradMatchesSoftmaxMinusOnehot) {
+  Tensor logits({1, 3});
+  logits[0] = 0.5f;
+  logits[1] = -0.2f;
+  logits[2] = 0.1f;
+  SoftmaxCrossEntropy ce;
+  ce.forward(logits, {2});
+  const Tensor p = softmax(logits);
+  const Tensor g = ce.grad();
+  EXPECT_NEAR(g[0], p[0], 1e-6);
+  EXPECT_NEAR(g[1], p[1], 1e-6);
+  EXPECT_NEAR(g[2], p[2] - 1.0f, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, GradMatchesNumericalDerivative) {
+  Tensor logits({2, 3});
+  for (std::size_t i = 0; i < 6; ++i) logits[i] = 0.1f * static_cast<float>(i) - 0.2f;
+  const std::vector<int> labels{2, 0};
+  SoftmaxCrossEntropy ce;
+  ce.forward(logits, labels);
+  const Tensor g = ce.grad();
+  const double h = 1e-3;
+  for (std::size_t i = 0; i < 6; ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += static_cast<float>(h);
+    lm[i] -= static_cast<float>(h);
+    SoftmaxCrossEntropy tmp;
+    const double num = (tmp.forward(lp, labels) - tmp.forward(lm, labels)) / (2 * h);
+    EXPECT_NEAR(g[i], num, 1e-4);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, TracksPredictions) {
+  Tensor logits({2, 2});
+  logits[0] = 1.0f;
+  logits[1] = 0.0f;
+  logits[2] = -1.0f;
+  logits[3] = 4.0f;
+  SoftmaxCrossEntropy ce;
+  ce.forward(logits, {0, 1});
+  EXPECT_EQ(ce.predictions(), (std::vector<int>{0, 1}));
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  SoftmaxCrossEntropy ce;
+  EXPECT_THROW(ce.forward(Tensor({1, 2}), {5}), std::out_of_range);
+  EXPECT_THROW(ce.forward(Tensor({2, 2}), {0}), std::invalid_argument);
+}
+
+TEST(MulticlassHinge, ZeroLossBeyondMargin) {
+  Tensor scores({1, 3});
+  scores[0] = 5.0f;
+  scores[1] = 0.0f;
+  scores[2] = 1.0f;
+  MulticlassHinge hinge(1.0f);
+  EXPECT_FLOAT_EQ(hinge.forward(scores, {0}), 0.0f);
+  const Tensor g = hinge.grad();
+  for (int i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(g[i], 0.0f);
+}
+
+TEST(MulticlassHinge, PenalizesMarginViolations) {
+  Tensor scores({1, 3});
+  scores[0] = 1.0f;  // correct class
+  scores[1] = 0.5f;  // violates margin (1 + 0.5 - 1 = 0.5)
+  scores[2] = -2.0f;
+  MulticlassHinge hinge(1.0f);
+  EXPECT_NEAR(hinge.forward(scores, {0}), 0.5f, 1e-6);
+  const Tensor g = hinge.grad();
+  EXPECT_FLOAT_EQ(g[1], 1.0f);
+  EXPECT_FLOAT_EQ(g[0], -1.0f);
+  EXPECT_FLOAT_EQ(g[2], 0.0f);
+}
+
+TEST(MulticlassHinge, GradMatchesNumericalDerivative) {
+  Tensor scores({2, 3});
+  for (std::size_t i = 0; i < 6; ++i) scores[i] = 0.3f * static_cast<float>(i) - 0.7f;
+  const std::vector<int> labels{1, 2};
+  MulticlassHinge hinge;
+  hinge.forward(scores, labels);
+  const Tensor g = hinge.grad();
+  const double h = 1e-3;
+  for (std::size_t i = 0; i < 6; ++i) {
+    Tensor sp = scores, sm = scores;
+    sp[i] += static_cast<float>(h);
+    sm[i] -= static_cast<float>(h);
+    MulticlassHinge tmp;
+    const double num = (tmp.forward(sp, labels) - tmp.forward(sm, labels)) / (2 * h);
+    EXPECT_NEAR(g[i], num, 1e-3);
+  }
+}
+
+TEST(MeanSquaredError, LossAndGrad) {
+  Tensor pred({2}), target({2});
+  pred[0] = 1.0f;
+  pred[1] = 3.0f;
+  target[0] = 0.0f;
+  target[1] = 5.0f;
+  MeanSquaredError mse;
+  EXPECT_NEAR(mse.forward(pred, target), (1.0f + 4.0f) / 2.0f, 1e-6);
+  const Tensor g = mse.grad();
+  EXPECT_NEAR(g[0], 1.0f, 1e-6);   // 2*(1-0)/2
+  EXPECT_NEAR(g[1], -2.0f, 1e-6);  // 2*(3-5)/2
+}
+
+}  // namespace
+}  // namespace safecross::nn

@@ -1,0 +1,144 @@
+#include "switching/memory_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "switching/profile.h"
+#include "switching/switcher.h"
+
+namespace safecross::switching {
+namespace {
+
+TEST(GpuMemoryPool, AllocatesAndTracksUsage) {
+  GpuMemoryPool pool(1000);
+  const auto r = pool.allocate("a", 300);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->bytes, 300u);
+  EXPECT_EQ(pool.used(), 300u);
+  EXPECT_EQ(pool.free_bytes(), 700u);
+  EXPECT_TRUE(pool.holds("a"));
+  EXPECT_EQ(pool.live_count(), 1u);
+}
+
+TEST(GpuMemoryPool, RejectsZeroCapacityAndZeroAllocation) {
+  EXPECT_THROW(GpuMemoryPool(0), std::invalid_argument);
+  GpuMemoryPool pool(10);
+  EXPECT_THROW(pool.allocate("x", 0), std::invalid_argument);
+}
+
+TEST(GpuMemoryPool, DuplicateTagThrows) {
+  GpuMemoryPool pool(100);
+  pool.allocate("a", 10);
+  EXPECT_THROW(pool.allocate("a", 10), std::logic_error);
+}
+
+TEST(GpuMemoryPool, ReturnsNulloptWhenFull) {
+  GpuMemoryPool pool(100);
+  EXPECT_TRUE(pool.allocate("a", 80).has_value());
+  EXPECT_FALSE(pool.allocate("b", 30).has_value());
+  EXPECT_TRUE(pool.allocate("c", 20).has_value());  // exact fit of the rest
+  EXPECT_EQ(pool.free_bytes(), 0u);
+}
+
+TEST(GpuMemoryPool, ReleaseUnknownThrows) {
+  GpuMemoryPool pool(100);
+  EXPECT_THROW(pool.release("ghost"), std::invalid_argument);
+}
+
+TEST(GpuMemoryPool, FreeingCoalescesAdjacentBlocks) {
+  GpuMemoryPool pool(300);
+  pool.allocate("a", 100);
+  pool.allocate("b", 100);
+  pool.allocate("c", 100);
+  pool.release("a");
+  pool.release("c");
+  // Free: [0,100) and [200,300) — not adjacent.
+  EXPECT_EQ(pool.largest_free_block(), 100u);
+  EXPECT_GT(pool.fragmentation(), 0.0);
+  pool.release("b");
+  // Everything coalesces back into one block.
+  EXPECT_EQ(pool.largest_free_block(), 300u);
+  EXPECT_DOUBLE_EQ(pool.fragmentation(), 0.0);
+}
+
+TEST(GpuMemoryPool, ReusesFreedRegions) {
+  GpuMemoryPool pool(200);
+  const auto a = pool.allocate("a", 120);
+  pool.release("a");
+  const auto b = pool.allocate("b", 100);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->offset, a->offset);  // first fit reuses the hole
+}
+
+TEST(GpuMemoryPool, RegionOfReportsLiveRegions) {
+  GpuMemoryPool pool(100);
+  pool.allocate("a", 40);
+  ASSERT_TRUE(pool.region_of("a").has_value());
+  EXPECT_FALSE(pool.region_of("b").has_value());
+}
+
+TEST(GpuMemoryPool, FragmentationScenario) {
+  // Alternate small/large, free the small ones: free space is plentiful
+  // but scattered.
+  GpuMemoryPool pool(1000);
+  for (int i = 0; i < 5; ++i) {
+    pool.allocate("small" + std::to_string(i), 50);
+    pool.allocate("large" + std::to_string(i), 150);
+  }
+  for (int i = 0; i < 5; ++i) pool.release("small" + std::to_string(i));
+  EXPECT_EQ(pool.free_bytes(), 250u);
+  EXPECT_EQ(pool.largest_free_block(), 50u);
+  EXPECT_NEAR(pool.fragmentation(), 1.0 - 50.0 / 250.0, 1e-12);
+  // A 60-byte request fails despite 250 free bytes — the cost PipeSwitch
+  // avoids by allocating per model, wholesale.
+  EXPECT_FALSE(pool.allocate("x", 60).has_value());
+}
+
+TEST(SwitcherPool, PoolHoldsActiveModelAfterSwitches) {
+  ModelSwitcher sw;
+  sw.register_model("day", slowfast_r50_profile());
+  sw.register_model("snow", slowfast_r50_profile());
+  sw.register_model("rain", slowfast_r50_profile());
+  EXPECT_EQ(sw.memory_pool(), nullptr);  // lazily created
+  sw.switch_to("day");
+  ASSERT_NE(sw.memory_pool(), nullptr);
+  EXPECT_TRUE(sw.memory_pool()->holds("day"));
+  sw.switch_to("snow");
+  EXPECT_TRUE(sw.memory_pool()->holds("snow"));
+  EXPECT_FALSE(sw.memory_pool()->holds("day"));  // outgoing recycled
+  sw.switch_to("rain");
+  sw.switch_to("day");
+  EXPECT_TRUE(sw.memory_pool()->holds("day"));
+  EXPECT_LE(sw.memory_pool()->live_count(), 2u);
+}
+
+TEST(SwitcherPool, LateRegistrationGrowsThePool) {
+  // Regression: a model registered after the first switch (pool already
+  // provisioned) must still fit — the FL module adds weather models at
+  // runtime.
+  ModelSwitcher sw;
+  sw.register_model("day", inception_v3_profile());
+  sw.switch_to("day");
+  const std::size_t before = sw.memory_pool()->capacity();
+  sw.register_model("night", resnet152_profile());  // larger than anything so far
+  EXPECT_GT(sw.memory_pool()->capacity(), before);
+  EXPECT_TRUE(sw.memory_pool()->holds("day"));  // active model re-pinned
+  sw.switch_to("night");                        // must not throw
+  EXPECT_TRUE(sw.memory_pool()->holds("night"));
+}
+
+TEST(SwitcherPool, PoolSizedForTwoLargestModels) {
+  ModelSwitcher sw;
+  sw.register_model("big", resnet152_profile());
+  sw.register_model("small", inception_v3_profile());
+  sw.switch_to("big");
+  const auto* pool = sw.memory_pool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_GE(pool->capacity(),
+            resnet152_profile().total_bytes() + inception_v3_profile().total_bytes());
+  // Both fit simultaneously during a swap.
+  sw.switch_to("small");
+  EXPECT_TRUE(pool->holds("small"));
+}
+
+}  // namespace
+}  // namespace safecross::switching

@@ -1,0 +1,119 @@
+#include "core/model_store.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "dataset/builder.h"
+#include "fewshot/trainer.h"
+
+namespace safecross::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+SafeCrossConfig tiny_config() {
+  SafeCrossConfig cfg;
+  cfg.model.slow_channels = 4;
+  cfg.model.fast_channels = 2;
+  cfg.basic_train.epochs = 2;
+  cfg.fsl_train.epochs = 2;
+  return cfg;
+}
+
+std::vector<const dataset::VideoSegment*> ptrs(const std::vector<dataset::VideoSegment>& v) {
+  std::vector<const dataset::VideoSegment*> out;
+  for (const auto& s : v) out.push_back(&s);
+  return out;
+}
+
+struct TempDir {
+  fs::path path;
+  TempDir() : path(fs::temp_directory_path() / ("safecross_store_" + std::to_string(::getpid()))) {
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+TEST(ModelStore, SaveLoadRoundTripPreservesDecisions) {
+  dataset::BuildRequest req;
+  req.target_segments = 40;
+  req.max_sim_hours = 2.0;
+  req.seed = 91;
+  const auto day = dataset::build_dataset(req);
+
+  SafeCross original(tiny_config());
+  original.train_basic(ptrs(day.segments));
+
+  TempDir tmp;
+  ModelStore store(tmp.path);
+  store.save(original);
+  EXPECT_TRUE(fs::exists(store.path_for(dataset::Weather::Daytime)));
+
+  SafeCross restored(tiny_config());
+  const auto loaded = store.load(restored, tiny_config());
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0], dataset::Weather::Daytime);
+
+  // Identical decisions, including BatchNorm running statistics.
+  original.on_scene_change(dataset::Weather::Daytime);
+  restored.on_scene_change(dataset::Weather::Daytime);
+  for (std::size_t i = 0; i < 10 && i < day.segments.size(); ++i) {
+    const auto a = original.classify(day.segments[i].frames);
+    const auto b = restored.classify(day.segments[i].frames);
+    EXPECT_EQ(a.predicted_class, b.predicted_class);
+    EXPECT_FLOAT_EQ(a.prob_danger, b.prob_danger);
+  }
+}
+
+TEST(ModelStore, SavesEveryTrainedWeather) {
+  dataset::BuildRequest req;
+  req.target_segments = 30;
+  req.max_sim_hours = 2.0;
+  req.seed = 92;
+  const auto day = dataset::build_dataset(req);
+  req.weather = dataset::Weather::Snow;
+  req.seed = 93;
+  const auto snow = dataset::build_dataset(req);
+
+  SafeCross sc(tiny_config());
+  sc.train_basic(ptrs(day.segments));
+  sc.adapt_weather(dataset::Weather::Snow, ptrs(snow.segments));
+
+  TempDir tmp;
+  ModelStore store(tmp.path);
+  store.save(sc);
+  const auto avail = store.available();
+  ASSERT_EQ(avail.size(), 2u);
+  EXPECT_EQ(avail[0], dataset::Weather::Daytime);
+  EXPECT_EQ(avail[1], dataset::Weather::Snow);
+}
+
+TEST(ModelStore, EmptyDirectoryLoadsNothing) {
+  TempDir tmp;
+  ModelStore store(tmp.path);
+  EXPECT_TRUE(store.available().empty());
+  SafeCross sc(tiny_config());
+  EXPECT_TRUE(store.load(sc, tiny_config()).empty());
+}
+
+TEST(ModelStore, MismatchedArchitectureRejected) {
+  dataset::BuildRequest req;
+  req.target_segments = 25;
+  req.max_sim_hours = 2.0;
+  req.seed = 94;
+  const auto day = dataset::build_dataset(req);
+  SafeCross sc(tiny_config());
+  sc.train_basic(ptrs(day.segments));
+  TempDir tmp;
+  ModelStore store(tmp.path);
+  store.save(sc);
+
+  SafeCrossConfig other = tiny_config();
+  other.model.slow_channels = 8;  // different graph
+  SafeCross fresh(other);
+  EXPECT_THROW(store.load(fresh, other), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace safecross::core

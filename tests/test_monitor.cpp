@@ -1,0 +1,95 @@
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/builder.h"
+#include "fewshot/trainer.h"
+
+namespace safecross::core {
+namespace {
+
+SafeCross& trained_framework() {
+  static SafeCross* sc = [] {
+    dataset::BuildRequest req;
+    req.target_segments = 60;
+    req.max_sim_hours = 2.0;
+    req.seed = 777;
+    const auto day = dataset::build_dataset(req);
+    SafeCrossConfig cfg;
+    cfg.model.slow_channels = 4;
+    cfg.model.fast_channels = 2;
+    cfg.basic_train.epochs = 3;
+    auto* framework = new SafeCross(cfg);
+    std::vector<const dataset::VideoSegment*> train;
+    for (const auto& s : day.segments) train.push_back(&s);
+    framework->train_basic(train);
+    return framework;
+  }();
+  return *sc;
+}
+
+TEST(Monitor, NoDecisionsBeforeWindowFills) {
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 31);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  RealtimeMonitor monitor(trained_framework(), sim, cam, MonitorConfig{}, 32);
+  for (int i = 0; i < 31; ++i) {  // fewer frames than one window
+    const auto tick = monitor.step();
+    EXPECT_FALSE(tick.decision_made);
+  }
+  EXPECT_EQ(monitor.decisions(), 0u);
+}
+
+TEST(Monitor, CountersAreConsistent) {
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 33);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  RealtimeMonitor monitor(trained_framework(), sim, cam, MonitorConfig{}, 34);
+  std::size_t observed_decisions = 0;
+  for (int i = 0; i < 30 * 240; ++i) {
+    if (monitor.step().decision_made) ++observed_decisions;
+  }
+  EXPECT_EQ(monitor.decisions(), observed_decisions);
+  EXPECT_EQ(monitor.decisions(),
+            monitor.correct() + monitor.missed_threats() + monitor.false_warnings());
+  EXPECT_LE(monitor.warnings(), monitor.decisions());
+}
+
+TEST(Monitor, DecisionsOnlyWhileSubjectWaits) {
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 35);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  RealtimeMonitor monitor(trained_framework(), sim, cam, MonitorConfig{}, 36);
+  for (int i = 0; i < 30 * 240; ++i) {
+    const auto tick = monitor.step();
+    if (tick.decision_made) {
+      EXPECT_TRUE(tick.subject_waiting);
+    }
+  }
+}
+
+TEST(Monitor, DecisionStrideRateLimits) {
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 37);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  MonitorConfig cfg;
+  cfg.decision_stride = 30;  // at most one decision per second
+  RealtimeMonitor monitor(trained_framework(), sim, cam, cfg, 38);
+  int since_last = 1000;
+  for (int i = 0; i < 30 * 300; ++i) {
+    const auto tick = monitor.step();
+    ++since_last;
+    if (tick.decision_made) {
+      EXPECT_GE(since_last, 30);
+      since_last = 0;
+    }
+  }
+}
+
+TEST(Monitor, ActivatesFrameworkSceneOnConstruction) {
+  SafeCross& sc = trained_framework();
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 39);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  RealtimeMonitor monitor(sc, sim, cam, MonitorConfig{}, 40);
+  EXPECT_EQ(sc.active_weather(), dataset::Weather::Daytime);
+  (void)monitor;
+}
+
+}  // namespace
+}  // namespace safecross::core

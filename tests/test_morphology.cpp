@@ -1,0 +1,72 @@
+#include "vision/morphology.h"
+
+#include <gtest/gtest.h>
+
+namespace safecross::vision {
+namespace {
+
+Image with_block(int w, int h, int x0, int y0, int x1, int y1) {
+  Image img(w, h, 0.0f);
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) img.at(x, y) = 1.0f;
+  }
+  return img;
+}
+
+TEST(Morphology, ErosionRemovesIsolatedPixel) {
+  Image img(7, 7, 0.0f);
+  img.at(3, 3) = 1.0f;
+  EXPECT_EQ(erode(img).count_above(0.5f), 0u);
+}
+
+TEST(Morphology, ErosionShrinksBlock) {
+  const Image img = with_block(9, 9, 2, 2, 6, 6);  // 5x5 block
+  const Image eroded = erode(img);
+  EXPECT_EQ(eroded.count_above(0.5f), 9u);  // 3x3 remains
+  EXPECT_FLOAT_EQ(eroded.at(4, 4), 1.0f);
+  EXPECT_FLOAT_EQ(eroded.at(2, 2), 0.0f);
+}
+
+TEST(Morphology, DilationGrowsBlock) {
+  const Image img = with_block(9, 9, 4, 4, 4, 4);  // single pixel
+  const Image dilated = dilate(img);
+  EXPECT_EQ(dilated.count_above(0.5f), 9u);  // 3x3
+}
+
+TEST(Morphology, OpeningRemovesSpeckleKeepsStructure) {
+  Image img = with_block(12, 12, 2, 2, 7, 7);  // 6x6 structure
+  img.at(10, 10) = 1.0f;                       // speckle
+  const Image opened = opening(img);
+  EXPECT_FLOAT_EQ(opened.at(10, 10), 0.0f);
+  EXPECT_FLOAT_EQ(opened.at(4, 4), 1.0f);
+  // A 6x6 block survives opening exactly.
+  EXPECT_EQ(opened.count_above(0.5f), 36u);
+}
+
+TEST(Morphology, ClosingFillsHole) {
+  Image img = with_block(9, 9, 2, 2, 6, 6);
+  img.at(4, 4) = 0.0f;  // hole
+  const Image closed = closing(img);
+  EXPECT_FLOAT_EQ(closed.at(4, 4), 1.0f);
+}
+
+TEST(Morphology, BorderTreatedAsBackgroundForErosion) {
+  const Image img = with_block(5, 5, 0, 0, 4, 4);  // all set
+  const Image eroded = erode(img);
+  // Border pixels touch outside-zero, so only the 3x3 interior survives.
+  EXPECT_EQ(eroded.count_above(0.5f), 9u);
+}
+
+TEST(Morphology, RejectsEvenKernel) {
+  const Image img(4, 4, 0.0f);
+  EXPECT_THROW(erode(img, 2), std::invalid_argument);
+  EXPECT_THROW(dilate(img, 0), std::invalid_argument);
+}
+
+TEST(Morphology, Kernel5RemovesSmallBlocks) {
+  const Image img = with_block(12, 12, 3, 3, 5, 5);  // 3x3 block
+  EXPECT_EQ(opening(img, 5).count_above(0.5f), 0u);
+}
+
+}  // namespace
+}  // namespace safecross::vision

@@ -1,0 +1,128 @@
+#include "vision/optical_flow.h"
+
+#include <gtest/gtest.h>
+
+namespace safecross::vision {
+namespace {
+
+// A textured square (checker fill) so both corner detection and flow have
+// gradients to work with.
+Image textured_square(int w, int h, int x0, int y0, int size) {
+  Image img(w, h, 0.1f);
+  for (int y = y0; y < y0 + size && y < h; ++y) {
+    for (int x = x0; x < x0 + size && x < w; ++x) {
+      img.at(x, y) = ((x + y) % 2 == 0) ? 0.9f : 0.6f;
+    }
+  }
+  return img;
+}
+
+TEST(GoodFeatures, FindsCornersOnTexture) {
+  const Image img = textured_square(40, 30, 10, 8, 10);
+  const auto corners = good_features(img);
+  EXPECT_FALSE(corners.empty());
+  // Corners should concentrate on/near the textured block.
+  for (const auto& c : corners) {
+    EXPECT_GE(c.x, 5.0f);
+    EXPECT_LE(c.x, 25.0f);
+  }
+}
+
+TEST(GoodFeatures, FlatImageHasNoCorners) {
+  const Image img(32, 32, 0.5f);
+  EXPECT_TRUE(good_features(img).empty());
+}
+
+TEST(GoodFeatures, RespectsMaxCorners) {
+  const Image img = textured_square(64, 48, 4, 4, 40);
+  SparseFlowConfig cfg;
+  cfg.max_corners = 7;
+  EXPECT_LE(good_features(img, cfg).size(), 7u);
+}
+
+TEST(GoodFeatures, MinDistanceEnforced) {
+  const Image img = textured_square(64, 48, 4, 4, 40);
+  SparseFlowConfig cfg;
+  cfg.min_distance = 8;
+  const auto corners = good_features(img, cfg);
+  for (std::size_t i = 0; i < corners.size(); ++i) {
+    for (std::size_t j = i + 1; j < corners.size(); ++j) {
+      const float dx = corners[i].x - corners[j].x;
+      const float dy = corners[i].y - corners[j].y;
+      EXPECT_GE(dx * dx + dy * dy, 64.0f);
+    }
+  }
+}
+
+TEST(SparseFlow, RecoversSmallTranslation) {
+  const Image prev = textured_square(48, 36, 16, 12, 12);
+  const Image next = textured_square(48, 36, 17, 12, 12);  // +1 px in x
+  const auto flows = sparse_optical_flow(prev, next);
+  ASSERT_FALSE(flows.empty());
+  // Average flow among tracked corners should point in +x.
+  double mean_u = 0.0, mean_v = 0.0;
+  for (const auto& f : flows) {
+    mean_u += f.u;
+    mean_v += f.v;
+  }
+  mean_u /= static_cast<double>(flows.size());
+  mean_v /= static_cast<double>(flows.size());
+  EXPECT_GT(mean_u, 0.2);
+  EXPECT_NEAR(mean_v, 0.0, 0.3);
+}
+
+TEST(DenseFlow, RecoversTranslationDirection) {
+  const Image prev = textured_square(48, 36, 16, 12, 12);
+  const Image next = textured_square(48, 36, 17, 12, 12);
+  const DenseFlowField flow = dense_optical_flow(prev, next);
+  // Flow inside the moving block points +x on average.
+  double mean_u = 0.0;
+  int n = 0;
+  for (int y = 12; y < 24; ++y) {
+    for (int x = 16; x < 28; ++x) {
+      mean_u += flow.u.at(x, y);
+      ++n;
+    }
+  }
+  EXPECT_GT(mean_u / n, 0.05);
+}
+
+TEST(DenseFlow, StaticSceneHasNearZeroFlow) {
+  const Image img = textured_square(32, 24, 8, 6, 10);
+  const DenseFlowField flow = dense_optical_flow(img, img);
+  for (int y = 0; y < 24; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      EXPECT_NEAR(flow.u.at(x, y), 0.0f, 1e-4);
+      EXPECT_NEAR(flow.v.at(x, y), 0.0f, 1e-4);
+    }
+  }
+}
+
+TEST(DenseFlow, MagnitudeMaskMarksMovingRegion) {
+  const Image prev = textured_square(48, 36, 16, 12, 12);
+  const Image next = textured_square(48, 36, 18, 12, 12);  // +2 px
+  const DenseFlowField flow = dense_optical_flow(prev, next);
+  const Image mask = flow.magnitude_mask(0.25f);
+  std::size_t inside = 0, outside = 0;
+  for (int y = 0; y < 36; ++y) {
+    for (int x = 0; x < 48; ++x) {
+      if (mask.at(x, y) > 0.5f) {
+        if (x >= 12 && x <= 32 && y >= 8 && y <= 28) {
+          ++inside;
+        } else {
+          ++outside;
+        }
+      }
+    }
+  }
+  EXPECT_GT(inside, outside);
+  EXPECT_GT(inside, 0u);
+}
+
+TEST(FlowVector, MagnitudeIsEuclidean) {
+  FlowVector f{0, 0, 3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(f.magnitude(), 5.0f);
+}
+
+}  // namespace
+}  // namespace safecross::vision

@@ -1,0 +1,83 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace safecross::nn {
+namespace {
+
+// Minimize f(x) = (x - 3)^2 with each optimizer; grad = 2 (x - 3).
+template <typename Opt, typename... Args>
+float minimize_quadratic(int steps, Args&&... args) {
+  Param p(Tensor({1}, 0.0f));
+  Opt opt({&p}, std::forward<Args>(args)...);
+  for (int i = 0; i < steps; ++i) {
+    opt.zero_grad();
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    opt.step();
+  }
+  return p.value[0];
+}
+
+TEST(SGD, ConvergesOnQuadratic) {
+  EXPECT_NEAR(minimize_quadratic<SGD>(200, 0.1f), 3.0f, 1e-4);
+}
+
+TEST(SGD, MomentumAcceleratesEarlyProgress) {
+  const float plain = minimize_quadratic<SGD>(10, 0.02f, 0.0f);
+  const float momentum = minimize_quadratic<SGD>(10, 0.02f, 0.9f);
+  EXPECT_GT(momentum, plain);  // closer to 3 after the same steps
+}
+
+TEST(SGD, SingleStepMatchesFormula) {
+  Param p(Tensor({1}, 1.0f));
+  SGD opt({&p}, 0.5f);
+  p.grad[0] = 2.0f;
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 0.0f);  // 1 - 0.5*2
+}
+
+TEST(SGD, WeightDecayPullsTowardZero) {
+  Param p(Tensor({1}, 10.0f));
+  SGD opt({&p}, 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  p.grad[0] = 0.0f;
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 9.5f);  // 10 - 0.1 * (0.5 * 10)
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  EXPECT_NEAR(minimize_quadratic<Adam>(500, 0.05f), 3.0f, 1e-2);
+}
+
+TEST(Adam, FirstStepIsLrSizedRegardlessOfGradScale) {
+  // Bias correction makes the first update ~lr * sign(grad).
+  for (const float g : {0.001f, 1.0f, 1000.0f}) {
+    Param p(Tensor({1}, 0.0f));
+    Adam opt({&p}, 0.1f);
+    p.grad[0] = g;
+    opt.step();
+    EXPECT_NEAR(p.value[0], -0.1f, 1e-3) << "grad " << g;
+  }
+}
+
+TEST(Optimizer, ZeroGradClearsGradients) {
+  Param p(Tensor({3}, 0.0f));
+  p.grad.fill(7.0f);
+  SGD opt({&p}, 0.1f);
+  opt.zero_grad();
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(p.grad[i], 0.0f);
+}
+
+TEST(SGD, MultipleParamsUpdatedIndependently) {
+  Param a(Tensor({1}, 1.0f)), b(Tensor({1}, 2.0f));
+  SGD opt({&a, &b}, 1.0f);
+  a.grad[0] = 0.5f;
+  b.grad[0] = -0.5f;
+  opt.step();
+  EXPECT_FLOAT_EQ(a.value[0], 0.5f);
+  EXPECT_FLOAT_EQ(b.value[0], 2.5f);
+}
+
+}  // namespace
+}  // namespace safecross::nn

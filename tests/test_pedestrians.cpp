@@ -1,0 +1,137 @@
+// Pedestrian blind-spot support (paper §VI-B: "Is SafeCross suitable for
+// blind spot pedestrian warning?").
+
+#include <gtest/gtest.h>
+
+#include "sim/camera.h"
+#include "sim/traffic.h"
+
+namespace safecross::sim {
+namespace {
+
+TrafficSimulator make_sim(double rate, std::uint64_t seed = 33) {
+  TrafficConfig cfg;
+  cfg.pedestrian_rate = rate;
+  return TrafficSimulator(weather_params(Weather::Daytime), seed, {}, cfg);
+}
+
+TEST(Pedestrians, DisabledByDefault) {
+  TrafficSimulator sim(weather_params(Weather::Daytime), 1);
+  for (int i = 0; i < 30 * 120; ++i) sim.step();
+  EXPECT_TRUE(sim.pedestrians().empty());
+  EXPECT_FALSE(sim.pedestrian_conflict(Approach::EastboundLeft));
+}
+
+TEST(Pedestrians, SpawnAndWalkAcross) {
+  TrafficSimulator sim = make_sim(0.05);
+  bool saw_any = false;
+  for (int i = 0; i < 30 * 300; ++i) {
+    sim.step();
+    saw_any |= !sim.pedestrians().empty();
+    for (const Pedestrian& p : sim.pedestrians()) {
+      EXPECT_GE(p.progress, 0.0);
+      EXPECT_GT(p.speed, 0.5);
+      EXPECT_LT(p.speed, 2.5);
+    }
+  }
+  EXPECT_TRUE(saw_any);
+}
+
+TEST(Pedestrians, PositionsStayOnTheirCrosswalk) {
+  TrafficSimulator sim = make_sim(0.08);
+  const auto& g = sim.intersection().geometry();
+  for (int i = 0; i < 30 * 200; ++i) {
+    sim.step();
+    for (const Pedestrian& p : sim.pedestrians()) {
+      const Point2 pos = sim.pedestrian_position(p);
+      EXPECT_NEAR(pos.y, sim.crosswalk_y(p.crosswalk), 1e-9);
+      EXPECT_GE(pos.x, g.center_x - 1.5 * g.lane_width - 1e-9);
+      EXPECT_LE(pos.x, g.center_x + 1.5 * g.lane_width + 1e-9);
+    }
+  }
+}
+
+TEST(Pedestrians, CrosswalksFlankTheJunction) {
+  TrafficSimulator sim = make_sim(0.01);
+  const auto& g = sim.intersection().geometry();
+  EXPECT_LT(sim.crosswalk_y(0), g.center_y - 2.0 * g.lane_width);  // north
+  EXPECT_GT(sim.crosswalk_y(1), g.center_y + 2.0 * g.lane_width);  // south
+}
+
+TEST(Pedestrians, ConflictFlagFiresWhenWalkerInExitCorridor) {
+  TrafficSimulator sim = make_sim(0.10);
+  bool saw_conflict = false, saw_clear_with_peds = false;
+  for (int i = 0; i < 30 * 600; ++i) {
+    sim.step();
+    const bool conflict = sim.pedestrian_conflict(Approach::EastboundLeft);
+    if (conflict) {
+      saw_conflict = true;
+      // Verify against the geometry directly.
+      bool verified = false;
+      const double exit_x = sim.intersection().geometry().center_x +
+                            0.5 * sim.intersection().geometry().lane_width;
+      for (const Pedestrian& p : sim.pedestrians()) {
+        if (p.crosswalk == 0 && std::abs(sim.pedestrian_position(p).x - exit_x) < 2.5) {
+          verified = true;
+        }
+      }
+      EXPECT_TRUE(verified);
+    } else if (!sim.pedestrians().empty()) {
+      saw_clear_with_peds = true;
+    }
+  }
+  EXPECT_TRUE(saw_conflict);
+  EXPECT_TRUE(saw_clear_with_peds);
+}
+
+TEST(Pedestrians, TurnersYieldToPedestrians) {
+  // With heavy pedestrian flow, turners still complete turns (no deadlock)
+  // and no turn keyframe fires while the walker owns the exit corridor.
+  TrafficSimulator sim = make_sim(0.15, 44);
+  std::uint64_t conflicted_keyframes = 0;
+  for (int i = 0; i < 30 * 900; ++i) {
+    sim.step();
+    if (!sim.turn_keyframes(Approach::EastboundLeft).empty() &&
+        sim.pedestrian_conflict(Approach::EastboundLeft)) {
+      // The driver committed at most ~1.5 s ago; a walker may have entered
+      // since. Count and bound, rather than forbid outright.
+      ++conflicted_keyframes;
+    }
+  }
+  EXPECT_GT(sim.completed_turns(Approach::EastboundLeft), 3u);
+  EXPECT_LE(conflicted_keyframes, sim.completed_turns(Approach::EastboundLeft) / 3);
+}
+
+TEST(Pedestrians, AppearInTopdownOccupancy) {
+  TrafficSimulator sim = make_sim(0.20, 55);
+  const CameraModel cam(sim.intersection().geometry());
+  std::size_t crosswalk_cells = 0;
+  const int gw = 54, gh = 36;
+  const auto& g = sim.intersection().geometry();
+  const int north_row = static_cast<int>(sim.crosswalk_y(0) / g.world_height * gh);
+  for (int i = 0; i < 30 * 300; ++i) {
+    sim.step();
+    if (sim.pedestrians().empty() || i % 10 != 0) continue;
+    const vision::Image grid = cam.rasterize_topdown(sim, gw, gh);
+    for (int x = 0; x < gw; ++x) {
+      if (grid.at(x, north_row) > 0.5f || grid.at(x, north_row + 1) > 0.5f) ++crosswalk_cells;
+    }
+  }
+  EXPECT_GT(crosswalk_cells, 0u);
+}
+
+TEST(Pedestrians, DeterministicReplayWithPedestrians) {
+  TrafficSimulator a = make_sim(0.1, 66);
+  TrafficSimulator b = make_sim(0.1, 66);
+  for (int i = 0; i < 30 * 120; ++i) {
+    a.step();
+    b.step();
+  }
+  ASSERT_EQ(a.pedestrians().size(), b.pedestrians().size());
+  for (std::size_t i = 0; i < a.pedestrians().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.pedestrians()[i].progress, b.pedestrians()[i].progress);
+  }
+}
+
+}  // namespace
+}  // namespace safecross::sim

@@ -1,0 +1,71 @@
+#include "switching/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+
+namespace safecross::switching {
+namespace {
+
+TEST(Profile, ResNet152ParameterCountIsRealistic) {
+  const ModelProfile p = resnet152_profile();
+  const double mparams = static_cast<double>(p.total_bytes()) / 4e6;
+  EXPECT_NEAR(mparams, 60.2, 2.5);  // published: 60.2M
+  EXPECT_GT(p.layers.size(), 150u);
+}
+
+TEST(Profile, InceptionV3ParameterCountIsRealistic) {
+  const ModelProfile p = inception_v3_profile();
+  const double mparams = static_cast<double>(p.total_bytes()) / 4e6;
+  EXPECT_NEAR(mparams, 23.9, 2.5);  // published: 23.9M
+}
+
+TEST(Profile, SlowFastParameterCountIsRealistic) {
+  const ModelProfile p = slowfast_r50_profile();
+  const double mparams = static_cast<double>(p.total_bytes()) / 4e6;
+  EXPECT_NEAR(mparams, 34.5, 3.0);  // published: ~34.5M
+}
+
+TEST(Profile, TotalsAreSumsOfLayers) {
+  const ModelProfile p = inception_v3_profile();
+  std::size_t bytes = 0;
+  double compute = 0.0, cold = 0.0;
+  for (const auto& l : p.layers) {
+    bytes += l.param_bytes;
+    compute += l.compute_ms;
+    cold += l.cold_extra_ms;
+  }
+  EXPECT_EQ(p.total_bytes(), bytes);
+  EXPECT_DOUBLE_EQ(p.total_compute_ms(), compute);
+  EXPECT_DOUBLE_EQ(p.total_cold_extra_ms(), cold);
+}
+
+TEST(Profile, SlowFastColdStartDominates) {
+  // The 3-D conv workload's defining cost signature.
+  const ModelProfile sf = slowfast_r50_profile();
+  const ModelProfile rn = resnet152_profile();
+  EXPECT_GT(sf.total_cold_extra_ms(), rn.total_cold_extra_ms());
+  EXPECT_GT(sf.framework_load_ms, rn.framework_load_ms);
+}
+
+TEST(Profile, EveryLayerHasPositiveComputeAndName) {
+  for (const ModelProfile& p :
+       {slowfast_r50_profile(), resnet152_profile(), inception_v3_profile()}) {
+    for (const auto& l : p.layers) {
+      EXPECT_GT(l.compute_ms, 0.0) << p.name << "/" << l.name;
+      EXPECT_FALSE(l.name.empty());
+    }
+  }
+}
+
+TEST(Profile, FromParamsMatchesTensorSizes) {
+  nn::Linear layer(10, 4);
+  const ModelProfile p = profile_from_params("toy", layer.params());
+  ASSERT_EQ(p.layers.size(), 2u);
+  EXPECT_EQ(p.layers[0].param_bytes, 40u * 4u);
+  EXPECT_EQ(p.layers[1].param_bytes, 4u * 4u);
+  EXPECT_EQ(p.total_bytes(), 44u * 4u);
+}
+
+}  // namespace
+}  // namespace safecross::switching

@@ -1,0 +1,232 @@
+// Property-based tests of the nn substrate, swept with TEST_P.
+
+#include <sstream>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/conv3d.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+
+namespace safecross::nn {
+namespace {
+
+Tensor random_tensor(std::vector<int> shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(rng.uniform(-2, 2));
+  return t;
+}
+
+// ---------- Conv geometry sweep: forward/backward shape contracts ----------
+
+struct ConvCase {
+  int in_c, out_c, kernel, stride, pad, h, w;
+};
+
+class Conv2DGeometry : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(Conv2DGeometry, ShapesAndGradientsConsistent) {
+  const ConvCase c = GetParam();
+  Conv2DConfig cfg;
+  cfg.in_channels = c.in_c;
+  cfg.out_channels = c.out_c;
+  cfg.kernel = c.kernel;
+  cfg.stride = c.stride;
+  cfg.padding = c.pad;
+  Conv2D conv(cfg);
+  Rng rng(1);
+  init_params(conv.params(), rng);
+
+  const Tensor x = random_tensor({2, c.in_c, c.h, c.w}, 2);
+  const Tensor y = conv.forward(x, true);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), c.out_c);
+  EXPECT_EQ(y.dim(2), Conv2D::out_size(c.h, c.kernel, c.stride, c.pad));
+  EXPECT_EQ(y.dim(3), Conv2D::out_size(c.w, c.kernel, c.stride, c.pad));
+
+  const Tensor g = conv.backward(random_tensor(y.shape(), 3));
+  EXPECT_EQ(g.shape(), x.shape());
+  // Bias gradient equals the sum of the output gradient per channel
+  // (checked loosely: nonzero for a random gradient).
+  EXPECT_NE(conv.params()[1]->grad.sum(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Conv2DGeometry,
+                         ::testing::Values(ConvCase{1, 4, 3, 1, 1, 9, 11},
+                                           ConvCase{3, 2, 3, 2, 1, 12, 16},
+                                           ConvCase{2, 5, 1, 1, 0, 7, 7},
+                                           ConvCase{4, 4, 5, 2, 2, 15, 13},
+                                           ConvCase{1, 1, 3, 3, 0, 9, 12}));
+
+struct Conv3DCase {
+  int in_c, out_c, kt, ks, st, ss, pt, ps, t, h, w;
+};
+
+class Conv3DGeometry : public ::testing::TestWithParam<Conv3DCase> {};
+
+TEST_P(Conv3DGeometry, ShapesAndGradientsConsistent) {
+  const Conv3DCase c = GetParam();
+  Conv3DConfig cfg;
+  cfg.in_channels = c.in_c;
+  cfg.out_channels = c.out_c;
+  cfg.kernel_t = c.kt;
+  cfg.kernel_s = c.ks;
+  cfg.stride_t = c.st;
+  cfg.stride_s = c.ss;
+  cfg.pad_t = c.pt;
+  cfg.pad_s = c.ps;
+  Conv3D conv(cfg);
+  Rng rng(4);
+  init_params(conv.params(), rng);
+
+  const Tensor x = random_tensor({2, c.in_c, c.t, c.h, c.w}, 5);
+  const Tensor y = conv.forward(x, true);
+  EXPECT_EQ(y.dim(1), c.out_c);
+  EXPECT_EQ(y.dim(2), Conv3D::out_size(c.t, c.kt, c.st, c.pt));
+  EXPECT_EQ(y.dim(3), Conv3D::out_size(c.h, c.ks, c.ss, c.ps));
+  EXPECT_EQ(y.dim(4), Conv3D::out_size(c.w, c.ks, c.ss, c.ps));
+  const Tensor g = conv.backward(random_tensor(y.shape(), 6));
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Conv3DGeometry,
+                         ::testing::Values(Conv3DCase{1, 2, 3, 3, 1, 1, 1, 1, 8, 6, 9},
+                                           Conv3DCase{2, 3, 1, 3, 1, 2, 0, 1, 4, 10, 12},
+                                           Conv3DCase{1, 2, 5, 1, 1, 1, 2, 0, 12, 5, 5},
+                                           Conv3DCase{2, 2, 4, 1, 4, 1, 0, 0, 16, 4, 6},
+                                           Conv3DCase{3, 1, 3, 3, 2, 2, 1, 1, 9, 9, 9}));
+
+// ---------- Softmax invariants over random logits ----------
+
+class SoftmaxLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SoftmaxLaws, RowsAreDistributions) {
+  const Tensor logits = random_tensor({5, 7}, GetParam());
+  const Tensor p = softmax(logits);
+  for (int r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < 7; ++c) {
+      const float v = p[static_cast<std::size_t>(r) * 7 + c];
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST_P(SoftmaxLaws, InvariantToLogitShift) {
+  const Tensor logits = random_tensor({3, 4}, GetParam() ^ 0x55);
+  Tensor shifted = logits;
+  for (std::size_t i = 0; i < shifted.numel(); ++i) shifted[i] += 123.0f;
+  const Tensor a = softmax(logits);
+  const Tensor b = softmax(shifted);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_NEAR(a[i], b[i], 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoftmaxLaws, ::testing::Values(11u, 22u, 33u, 44u));
+
+// ---------- BatchNorm normalizes arbitrary channel counts/shapes ----------
+
+class BatchNormLaws : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(BatchNormLaws, TrainingOutputIsStandardizedPerChannel) {
+  const auto [channels, spatial, seed] = GetParam();
+  BatchNorm bn(channels);
+  const Tensor x = random_tensor({6, channels, spatial}, seed);
+  const Tensor y = bn.forward(x, true);
+  for (int c = 0; c < channels; ++c) {
+    double sum = 0.0, sq = 0.0;
+    int n = 0;
+    for (int b = 0; b < 6; ++b) {
+      for (int s = 0; s < spatial; ++s) {
+        const float v = y[(static_cast<std::size_t>(b) * channels + c) * spatial + s];
+        sum += v;
+        sq += static_cast<double>(v) * v;
+        ++n;
+      }
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / n - mean * mean, 1.0, 1e-2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BatchNormLaws,
+                         ::testing::Combine(::testing::Values(1, 3, 8),
+                                            ::testing::Values(4, 25),
+                                            ::testing::Values(7u, 8u)));
+
+// ---------- Serialization round trip over random layer stacks ----------
+
+class SerializeRoundTrip : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(SerializeRoundTrip, ValuesSurvive) {
+  const auto [in_f, out_f, seed] = GetParam();
+  Linear a(in_f, out_f), b(in_f, out_f);
+  Rng rng(seed);
+  init_params(a.params(), rng);
+  std::stringstream ss;
+  save_params(ss, a.params());
+  EXPECT_EQ(ss.str().size(), serialized_size(a.params()));
+  load_params(ss, b.params());
+  for (std::size_t p = 0; p < a.params().size(); ++p) {
+    for (std::size_t i = 0; i < a.params()[p]->value.numel(); ++i) {
+      EXPECT_FLOAT_EQ(a.params()[p]->value[i], b.params()[p]->value[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SerializeRoundTrip,
+                         ::testing::Combine(::testing::Values(1, 7, 30),
+                                            ::testing::Values(1, 5, 13),
+                                            ::testing::Values(1u, 2u)));
+
+// ---------- Optimizers make progress on random quadratics ----------
+
+class OptimizerProgress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimizerProgress, SgdAndAdamReduceRandomQuadratic) {
+  Rng rng(GetParam());
+  // f(x) = sum_i a_i (x_i - t_i)^2 with random positive a and targets t.
+  const int n = 8;
+  std::vector<float> a(n), t(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = static_cast<float>(rng.uniform(0.5, 2.0));
+    t[i] = static_cast<float>(rng.uniform(-3.0, 3.0));
+  }
+  auto loss_of = [&](const Tensor& x) {
+    double l = 0.0;
+    for (int i = 0; i < n; ++i) l += a[i] * (x[i] - t[i]) * (x[i] - t[i]);
+    return l;
+  };
+  for (const bool use_adam : {false, true}) {
+    Param p(Tensor({n}, 0.0f));
+    std::unique_ptr<Optimizer> opt;
+    if (use_adam) {
+      opt = std::make_unique<Adam>(std::vector<Param*>{&p}, 0.1f);
+    } else {
+      opt = std::make_unique<SGD>(std::vector<Param*>{&p}, 0.05f, 0.9f);
+    }
+    const double initial = loss_of(p.value);
+    for (int step = 0; step < 150; ++step) {
+      opt->zero_grad();
+      for (int i = 0; i < n; ++i) p.grad[i] = 2.0f * a[i] * (p.value[i] - t[i]);
+      opt->step();
+    }
+    EXPECT_LT(loss_of(p.value), initial * 0.05) << (use_adam ? "adam" : "sgd");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerProgress, ::testing::Values(3u, 5u, 7u, 9u));
+
+}  // namespace
+}  // namespace safecross::nn

@@ -1,0 +1,157 @@
+// Property-based tests of the traffic simulator and dataset pipeline:
+// invariants that must hold for every weather condition and seed.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "dataset/collector.h"
+#include "sim/camera.h"
+#include "sim/traffic.h"
+
+namespace safecross::sim {
+namespace {
+
+using Param = std::tuple<Weather, std::uint64_t>;
+
+class SimInvariants : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SimInvariants, VehiclesStayOnTheirRoutes) {
+  const auto [weather, seed] = GetParam();
+  TrafficSimulator sim(weather_params(weather), seed);
+  for (int i = 0; i < 30 * 180; ++i) {
+    sim.step();
+    for (const Vehicle& v : sim.vehicles()) {
+      EXPECT_GE(v.s, 0.0);
+      EXPECT_LE(v.rear_s(), sim.intersection().route(v.route).length() + 1e-9);
+      EXPECT_GE(v.speed, 0.0);
+      EXPECT_LE(v.speed, v.free_speed * 1.05 + 1e-9);
+    }
+  }
+}
+
+TEST_P(SimInvariants, KeyframesEqualCompletedTurns) {
+  const auto [weather, seed] = GetParam();
+  TrafficSimulator sim(weather_params(weather), seed);
+  std::uint64_t keyframes = 0;
+  for (int i = 0; i < 30 * 600; ++i) {
+    sim.step();
+    keyframes += sim.turn_keyframes().size();
+  }
+  EXPECT_EQ(keyframes, sim.completed_turns());
+}
+
+TEST_P(SimInvariants, DeterministicReplay) {
+  const auto [weather, seed] = GetParam();
+  TrafficSimulator a(weather_params(weather), seed);
+  TrafficSimulator b(weather_params(weather), seed);
+  for (int i = 0; i < 30 * 120; ++i) {
+    a.step();
+    b.step();
+  }
+  ASSERT_EQ(a.vehicles().size(), b.vehicles().size());
+  for (std::size_t i = 0; i < a.vehicles().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.vehicles()[i].s, b.vehicles()[i].s);
+    EXPECT_DOUBLE_EQ(a.vehicles()[i].speed, b.vehicles()[i].speed);
+  }
+}
+
+TEST_P(SimInvariants, NoFollowerOvertakesItsLeader) {
+  const auto [weather, seed] = GetParam();
+  TrafficSimulator sim(weather_params(weather), seed);
+  for (int i = 0; i < 30 * 300; ++i) {
+    sim.step();
+    for (int r = 0; r < kNumRoutes; ++r) {
+      std::vector<const Vehicle*> lane;
+      for (const Vehicle& v : sim.vehicles()) {
+        if (v.route == static_cast<RouteId>(r)) lane.push_back(&v);
+      }
+      std::sort(lane.begin(), lane.end(),
+                [](const Vehicle* x, const Vehicle* y) { return x->id < y->id; });
+      // Spawn order == position order on a no-overtaking route.
+      for (std::size_t k = 1; k < lane.size(); ++k) {
+        EXPECT_GE(lane[k - 1]->s, lane[k]->s - 1e-6)
+            << route_name(static_cast<RouteId>(r)) << " at t=" << sim.time();
+      }
+    }
+  }
+}
+
+TEST_P(SimInvariants, BlockerIsAlwaysOnOppositeLeftRoute) {
+  const auto [weather, seed] = GetParam();
+  TrafficSimulator sim(weather_params(weather), seed);
+  for (int i = 0; i < 30 * 300; ++i) {
+    sim.step();
+    const Vehicle* b = sim.blocker();
+    if (b != nullptr) {
+      EXPECT_EQ(b->route, RouteId::WestboundLeftWait);
+    }
+    if (sim.blind_area_present()) {
+      ASSERT_NE(b, nullptr);
+      EXPECT_TRUE(is_view_blocking(b->type));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WeatherSeeds, SimInvariants,
+    ::testing::Combine(::testing::Values(Weather::Daytime, Weather::Rain, Weather::Snow,
+                                         Weather::Night, Weather::Fog),
+                       ::testing::Values(101u, 202u)));
+
+// ---------- Dataset pipeline invariants per weather ----------
+
+class CollectorInvariants : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CollectorInvariants, SegmentsAreWellFormed) {
+  const auto [weather, seed] = GetParam();
+  TrafficSimulator sim(weather_params(weather), seed);
+  const CameraModel cam(sim.intersection().geometry());
+  dataset::CollectorConfig cfg;
+  dataset::SegmentCollector collector(sim, cam, cfg, seed ^ 0x99);
+  while (collector.segments().size() < 12 && sim.time() < 3600.0) collector.step();
+  ASSERT_GE(collector.segments().size(), 1u);
+  for (const auto& seg : collector.segments()) {
+    EXPECT_EQ(seg.frames.size(), static_cast<std::size_t>(cfg.frames_per_segment));
+    EXPECT_EQ(seg.weather, weather);
+    EXPECT_EQ(seg.binary_label(), seg.turned ? 1 : 0);
+    // Frames are binary occupancy grids of the configured size.
+    for (const auto& f : seg.frames) {
+      EXPECT_EQ(f.width(), cfg.grid_w);
+      EXPECT_EQ(f.height(), cfg.grid_h);
+      for (std::size_t i = 0; i < f.size(); ++i) {
+        EXPECT_TRUE(f.data()[i] == 0.0f || f.data()[i] == 1.0f);
+      }
+    }
+    // Timestamps are ordered as collected.
+    EXPECT_GT(seg.sim_time, 0.0);
+  }
+}
+
+TEST_P(CollectorInvariants, DeterministicSegments) {
+  const auto [weather, seed] = GetParam();
+  auto run = [&, weather = weather, seed = seed] {
+    TrafficSimulator sim(weather_params(weather), seed);
+    const CameraModel cam(sim.intersection().geometry());
+    dataset::SegmentCollector collector(sim, cam, {}, seed ^ 0x99);
+    while (collector.segments().size() < 8 && sim.time() < 3600.0) collector.step();
+    return collector.take_segments();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].binary_label(), b[i].binary_label());
+    EXPECT_EQ(a[i].blind_area, b[i].blind_area);
+    EXPECT_DOUBLE_EQ(a[i].sim_time, b[i].sim_time);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WeatherSeeds, CollectorInvariants,
+    ::testing::Combine(::testing::Values(Weather::Daytime, Weather::Rain, Weather::Snow,
+                                         Weather::Night, Weather::Fog),
+                       ::testing::Values(303u)));
+
+}  // namespace
+}  // namespace safecross::sim

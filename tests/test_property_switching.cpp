@@ -1,0 +1,115 @@
+// Property-based tests of the switching engine over randomized model
+// profiles: optimality, monotonicity, and policy dominance must hold for
+// any profile, not just the three canonical ones.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "switching/grouping.h"
+
+namespace safecross::switching {
+namespace {
+
+ModelProfile random_profile(int layers, std::uint64_t seed) {
+  Rng rng(seed);
+  ModelProfile p;
+  p.name = "random-" + std::to_string(seed);
+  p.framework_load_ms = rng.uniform(100.0, 1500.0);
+  for (int i = 0; i < layers; ++i) {
+    LayerDesc l;
+    l.name = "l" + std::to_string(i);
+    l.param_bytes = static_cast<std::size_t>(rng.uniform(1e4, 3e7));
+    l.compute_ms = rng.uniform(0.01, 2.0);
+    l.cold_extra_ms = rng.uniform(0.0, 30.0);
+    p.layers.push_back(l);
+  }
+  return p;
+}
+
+using Param = std::tuple<int, std::uint64_t>;
+
+class GroupingProperties : public ::testing::TestWithParam<Param> {};
+
+TEST_P(GroupingProperties, OptimalDominatesAllBaselines) {
+  const auto [layers, seed] = GetParam();
+  const ModelProfile p = random_profile(layers, seed);
+  const GpuModelConfig gpu;
+  const auto opt = optimal_grouping(p, gpu);
+  const double best = pipelined_makespan(p, opt, gpu);
+  EXPECT_LE(best, pipelined_makespan(p, per_layer_grouping(p), gpu) + 1e-9);
+  EXPECT_LE(best, pipelined_makespan(p, whole_model_grouping(p), gpu) + 1e-9);
+  for (const int k : {2, 3, 5, 9}) {
+    EXPECT_LE(best, pipelined_makespan(p, fixed_grouping(p, k), gpu) + 1e-9) << "fixed-" << k;
+  }
+}
+
+TEST_P(GroupingProperties, GroupingCoversEveryLayerExactlyOnce) {
+  const auto [layers, seed] = GetParam();
+  const ModelProfile p = random_profile(layers, seed);
+  const auto opt = optimal_grouping(p, GpuModelConfig{});
+  int covered = 0;
+  for (const int g : opt) {
+    EXPECT_GT(g, 0);
+    covered += g;
+  }
+  EXPECT_EQ(covered, layers);
+}
+
+TEST_P(GroupingProperties, MakespanMonotoneInBandwidth) {
+  const auto [layers, seed] = GetParam();
+  const ModelProfile p = random_profile(layers, seed);
+  GpuModelConfig slow_gpu, fast_gpu;
+  slow_gpu.pcie_gbps = 4.0;
+  fast_gpu.pcie_gbps = 32.0;
+  const auto groups = per_layer_grouping(p);
+  EXPECT_GE(pipelined_makespan(p, groups, slow_gpu), pipelined_makespan(p, groups, fast_gpu));
+}
+
+TEST_P(GroupingProperties, MakespanAtLeastComputeAndTransfer) {
+  const auto [layers, seed] = GetParam();
+  const ModelProfile p = random_profile(layers, seed);
+  const GpuModelConfig gpu;
+  const auto opt = optimal_grouping(p, gpu);
+  const double makespan = pipelined_makespan(p, opt, gpu);
+  EXPECT_GE(makespan, p.total_compute_ms());             // compute can't compress
+  EXPECT_GE(makespan, transfer_ms(p.total_bytes(), gpu));  // nor can the bytes
+}
+
+TEST_P(GroupingProperties, PipeSwitchAlwaysBeatsStopAndStart) {
+  const auto [layers, seed] = GetParam();
+  const ModelProfile p = random_profile(layers, seed);
+  const GpuModelConfig gpu;
+  const auto ss = simulate_stop_and_start(p, gpu);
+  const auto ps = simulate_pipeswitch(p, optimal_grouping(p, gpu), gpu);
+  EXPECT_LT(ps.completion_ms, ss.completion_ms);
+  EXPECT_LT(ps.switching_delay_ms(), ss.switching_delay_ms());
+  EXPECT_GE(ps.switching_delay_ms(), 0.0);
+}
+
+TEST_P(GroupingProperties, TimelinesAreInternallyConsistent) {
+  const auto [layers, seed] = GetParam();
+  const ModelProfile p = random_profile(layers, seed);
+  const GpuModelConfig gpu;
+  const auto r = simulate_pipeswitch(p, optimal_grouping(p, gpu), gpu);
+  double last_transfer_end = 0.0, last_compute_end = 0.0;
+  for (const auto& e : r.timeline) {
+    EXPECT_LE(e.start_ms, e.end_ms);
+    if (e.engine == TimelineEntry::Engine::Transfer) {
+      EXPECT_GE(e.start_ms + 1e-9, last_transfer_end);  // one transfer engine
+      last_transfer_end = e.end_ms;
+    } else if (e.engine == TimelineEntry::Engine::Compute) {
+      EXPECT_GE(e.start_ms + 1e-9, last_compute_end);   // one compute engine
+      last_compute_end = e.end_ms;
+    }
+  }
+  EXPECT_DOUBLE_EQ(r.completion_ms, last_compute_end);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GroupingProperties,
+                         ::testing::Combine(::testing::Values(1, 2, 7, 25, 60),
+                                            ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace safecross::switching

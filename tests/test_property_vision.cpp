@@ -1,0 +1,199 @@
+// Property-based tests of the vision substrate: algebraic invariants that
+// must hold for arbitrary inputs, swept over random seeds and parameters
+// with TEST_P.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vision/blobs.h"
+#include "vision/homography.h"
+#include "vision/image.h"
+#include "vision/morphology.h"
+
+namespace safecross::vision {
+namespace {
+
+Image random_mask(int w, int h, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  Image img(w, h, 0.0f);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    if (rng.bernoulli(density)) img.data()[i] = 1.0f;
+  }
+  return img;
+}
+
+Image random_gray(int w, int h, std::uint64_t seed) {
+  Rng rng(seed);
+  Image img(w, h);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    img.data()[i] = static_cast<float>(rng.uniform());
+  }
+  return img;
+}
+
+// ---------- Morphology laws, swept over kernel x density x seed ----------
+
+class MorphologyLaws : public ::testing::TestWithParam<std::tuple<int, double, std::uint64_t>> {};
+
+TEST_P(MorphologyLaws, ErosionIsAntiExtensive) {
+  const auto [kernel, density, seed] = GetParam();
+  const Image mask = random_mask(24, 18, density, seed);
+  const Image eroded = erode(mask, kernel);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    EXPECT_LE(eroded.data()[i], mask.data()[i]);  // eroded subset of mask
+  }
+}
+
+TEST_P(MorphologyLaws, DilationIsExtensive) {
+  const auto [kernel, density, seed] = GetParam();
+  const Image mask = random_mask(24, 18, density, seed);
+  const Image dilated = dilate(mask, kernel);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    EXPECT_GE(dilated.data()[i], mask.data()[i]);  // mask subset of dilated
+  }
+}
+
+TEST_P(MorphologyLaws, OpeningIsIdempotent) {
+  const auto [kernel, density, seed] = GetParam();
+  const Image mask = random_mask(24, 18, density, seed);
+  const Image once = opening(mask, kernel);
+  const Image twice = opening(once, kernel);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    EXPECT_FLOAT_EQ(once.data()[i], twice.data()[i]);
+  }
+}
+
+TEST_P(MorphologyLaws, ClosingIsIdempotent) {
+  const auto [kernel, density, seed] = GetParam();
+  const Image mask = random_mask(24, 18, density, seed);
+  const Image once = closing(mask, kernel);
+  const Image twice = closing(once, kernel);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    EXPECT_FLOAT_EQ(once.data()[i], twice.data()[i]);
+  }
+}
+
+TEST_P(MorphologyLaws, OpeningNeverAddsPixels) {
+  const auto [kernel, density, seed] = GetParam();
+  const Image mask = random_mask(24, 18, density, seed);
+  const Image opened = opening(mask, kernel);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    EXPECT_LE(opened.data()[i], mask.data()[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MorphologyLaws,
+                         ::testing::Combine(::testing::Values(1, 3, 5),
+                                            ::testing::Values(0.1, 0.4, 0.7),
+                                            ::testing::Values(1u, 2u, 3u)));
+
+// ---------- Blob accounting, swept over density x seed ----------
+
+class BlobLaws : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(BlobLaws, AreasSumToForegroundCount) {
+  const auto [density, seed] = GetParam();
+  const Image mask = random_mask(32, 24, density, seed);
+  std::size_t total_area = 0;
+  for (const Blob& b : find_blobs(mask, 1)) total_area += static_cast<std::size_t>(b.area);
+  EXPECT_EQ(total_area, mask.count_above(0.5f));
+}
+
+TEST_P(BlobLaws, CentroidsInsideBoundingBoxes) {
+  const auto [density, seed] = GetParam();
+  const Image mask = random_mask(32, 24, density, seed);
+  for (const Blob& b : find_blobs(mask, 1)) {
+    EXPECT_GE(b.centroid_x, static_cast<float>(b.min_x));
+    EXPECT_LE(b.centroid_x, static_cast<float>(b.max_x));
+    EXPECT_GE(b.centroid_y, static_cast<float>(b.min_y));
+    EXPECT_LE(b.centroid_y, static_cast<float>(b.max_y));
+    EXPECT_LE(b.area, b.width() * b.height());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BlobLaws,
+                         ::testing::Combine(::testing::Values(0.05, 0.3, 0.6, 0.9),
+                                            ::testing::Values(10u, 20u, 30u)));
+
+// ---------- Homography round trips over random perspective maps ----------
+
+class HomographyRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HomographyRoundTrip, InverseComposesToIdentity) {
+  Rng rng(GetParam());
+  // Random mild perspective: perturb a unit square's corners.
+  std::vector<Point2> src{{0, 0}, {100, 0}, {0, 100}, {100, 100}};
+  std::vector<Point2> dst;
+  for (const auto& p : src) {
+    dst.push_back({p.x + rng.uniform(-15.0, 15.0), p.y + rng.uniform(-15.0, 15.0)});
+  }
+  const Homography h = Homography::fit(src, dst);
+  const Homography id = h * h.inverse();
+  for (int i = 0; i < 10; ++i) {
+    const Point2 p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    const Point2 q = id.apply(p);
+    EXPECT_NEAR(q.x, p.x, 1e-6);
+    EXPECT_NEAR(q.y, p.y, 1e-6);
+  }
+}
+
+TEST_P(HomographyRoundTrip, FitReproducesRandomHomography) {
+  Rng rng(GetParam() ^ 0xABCD);
+  // Build a ground-truth homography from 4 random (non-degenerate) pairs,
+  // then fit on 8 sampled correspondences and compare on fresh points.
+  std::vector<Point2> src{{0, 0}, {80, 5}, {-5, 90}, {100, 100}};
+  std::vector<Point2> dst;
+  for (const auto& p : src) {
+    dst.push_back({p.x * 0.8 + rng.uniform(-10.0, 10.0), p.y * 1.1 + rng.uniform(-10.0, 10.0)});
+  }
+  const Homography truth = Homography::fit(src, dst);
+  std::vector<Point2> more_src, more_dst;
+  for (int i = 0; i < 8; ++i) {
+    const Point2 p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    more_src.push_back(p);
+    more_dst.push_back(truth.apply(p));
+  }
+  const Homography fitted = Homography::fit(more_src, more_dst);
+  for (int i = 0; i < 10; ++i) {
+    const Point2 p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    const Point2 a = truth.apply(p);
+    const Point2 b = fitted.apply(p);
+    EXPECT_NEAR(a.x, b.x, 1e-5);
+    EXPECT_NEAR(a.y, b.y, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HomographyRoundTrip, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------- Image resampling conservation ----------
+
+class ResizeLaws : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(ResizeLaws, AreaResizeApproximatelyPreservesMean) {
+  const auto [w, h, seed] = GetParam();
+  const Image img = random_gray(48, 36, seed);
+  const Image small = img.resized_area(w, h);
+  // Area averaging redistributes mass; means should agree to a few %.
+  EXPECT_NEAR(small.mean(), img.mean(), 0.05f);
+}
+
+TEST_P(ResizeLaws, ValuesStayInRange) {
+  const auto [w, h, seed] = GetParam();
+  const Image img = random_gray(48, 36, seed);
+  for (const Image& out : {img.resized_area(w, h), img.resized_nearest(w, h)}) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_GE(out.data()[i], 0.0f);
+      EXPECT_LE(out.data()[i], 1.0f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ResizeLaws,
+                         ::testing::Combine(::testing::Values(12, 24, 47),
+                                            ::testing::Values(9, 18, 35),
+                                            ::testing::Values(100u, 200u)));
+
+}  // namespace
+}  // namespace safecross::vision

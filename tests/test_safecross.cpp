@@ -1,0 +1,165 @@
+#include "core/safecross.h"
+
+#include <gtest/gtest.h>
+
+#include "core/throughput.h"
+#include "dataset/builder.h"
+
+namespace safecross::core {
+namespace {
+
+SafeCrossConfig tiny_config() {
+  SafeCrossConfig cfg;
+  cfg.model.slow_channels = 4;
+  cfg.model.fast_channels = 2;
+  cfg.basic_train.epochs = 3;
+  cfg.fsl_train.epochs = 3;
+  return cfg;
+}
+
+const std::vector<dataset::VideoSegment>& day_segments() {
+  static const auto segs = [] {
+    dataset::BuildRequest req;
+    req.target_segments = 60;
+    req.max_sim_hours = 2.0;
+    req.seed = 111;
+    return dataset::build_dataset(req).segments;
+  }();
+  return segs;
+}
+
+const std::vector<dataset::VideoSegment>& rain_segments() {
+  static const auto segs = [] {
+    dataset::BuildRequest req;
+    req.weather = Weather::Rain;
+    req.target_segments = 20;
+    req.max_sim_hours = 2.0;
+    req.seed = 112;
+    return dataset::build_dataset(req).segments;
+  }();
+  return segs;
+}
+
+std::vector<const dataset::VideoSegment*> ptrs(const std::vector<dataset::VideoSegment>& v) {
+  std::vector<const dataset::VideoSegment*> out;
+  for (const auto& s : v) out.push_back(&s);
+  return out;
+}
+
+// One trained framework shared across tests (training dominates runtime).
+SafeCross& trained() {
+  static SafeCross* instance = [] {
+    auto* sc = new SafeCross(tiny_config());
+    sc->train_basic(ptrs(day_segments()));
+    sc->adapt_weather(Weather::Rain, ptrs(rain_segments()));
+    return sc;
+  }();
+  return *instance;
+}
+
+TEST(SafeCross, RequiresBasicModelBeforeAdaptation) {
+  SafeCross sc(tiny_config());
+  EXPECT_THROW(sc.adapt_weather(Weather::Rain, ptrs(rain_segments())), std::logic_error);
+}
+
+TEST(SafeCross, RequiresActiveModelBeforeClassify) {
+  SafeCross sc(tiny_config());
+  EXPECT_THROW(sc.classify(day_segments()[0].frames), std::logic_error);
+}
+
+TEST(SafeCross, TrainBasicRegistersDaytimeModel) {
+  EXPECT_TRUE(trained().has_model(Weather::Daytime));
+  EXPECT_TRUE(trained().has_model(Weather::Rain));
+  EXPECT_FALSE(trained().has_model(Weather::Snow));
+}
+
+TEST(SafeCross, ClassifyProducesCalibratedDecision) {
+  trained().on_scene_change(Weather::Daytime);
+  const auto d = trained().classify(day_segments()[0].frames);
+  EXPECT_GE(d.prob_danger, 0.0f);
+  EXPECT_LE(d.prob_danger, 1.0f);
+  EXPECT_TRUE(d.predicted_class == 0 || d.predicted_class == 1);
+  EXPECT_EQ(d.warn, d.prob_danger >= 0.5f);
+}
+
+TEST(SafeCross, SceneChangePaysSwitchDelayOnce) {
+  trained().on_scene_change(Weather::Daytime);
+  const double to_rain = trained().on_scene_change(Weather::Rain);
+  EXPECT_GT(to_rain, 0.0);
+  EXPECT_LT(to_rain, 10.0);  // PipeSwitch policy by default
+  EXPECT_DOUBLE_EQ(trained().on_scene_change(Weather::Rain), 0.0);
+  EXPECT_EQ(trained().active_weather(), Weather::Rain);
+}
+
+TEST(SafeCross, MetaTrainRequiresBasicModel) {
+  SafeCross sc(tiny_config());
+  fewshot::MamlConfig cfg;
+  cfg.meta_iterations = 1;
+  EXPECT_THROW(sc.meta_train({}, cfg), std::logic_error);
+}
+
+TEST(SafeCross, MetaTrainRefinesBasicModel) {
+  fewshot::Task task;
+  task.name = "daytime";
+  task.pool = ptrs(day_segments());
+  fewshot::MamlConfig cfg;
+  cfg.meta_iterations = 1;
+  cfg.inner_steps = 1;
+  cfg.tasks_per_batch = 1;
+  cfg.episode.k_shot = 2;
+  cfg.episode.query_per_class = 2;
+  const float before = trained().model_for(Weather::Daytime).params()[0]->value[0];
+  const float loss = trained().meta_train({task}, cfg);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NE(trained().model_for(Weather::Daytime).params()[0]->value[0], before);
+}
+
+TEST(SafeCross, SceneChangeToMissingModelThrows) {
+  EXPECT_THROW(trained().on_scene_change(Weather::Snow), std::invalid_argument);
+}
+
+TEST(SafeCross, BasicModelBeatsChanceOnTraining) {
+  trained().on_scene_change(Weather::Daytime);
+  std::size_t correct = 0;
+  const auto& segs = day_segments();
+  for (const auto& s : segs) {
+    const auto d = trained().classify_as(Weather::Daytime, s.frames);
+    if (d.predicted_class == s.binary_label()) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / segs.size(), 0.6);
+}
+
+TEST(Throughput, ReportAccountingAddsUp) {
+  std::vector<const dataset::VideoSegment*> blind;
+  for (const auto& s : day_segments()) {
+    if (s.blind_area) blind.push_back(&s);
+  }
+  if (blind.empty()) GTEST_SKIP() << "no blind segments in tiny pool";
+  const ThroughputReport r = throughput_experiment(trained(), blind);
+  EXPECT_EQ(r.blind_segments, blind.size());
+  EXPECT_EQ(r.class0 + r.class1, r.blind_segments);
+  EXPECT_LE(r.judged_safe, r.blind_segments);
+  EXPECT_LE(r.accuracy(), 1.0);
+  EXPECT_GE(r.throughput_gain(), 0.0);
+}
+
+TEST(Throughput, SelectBlindTestSetHonorsCaps) {
+  std::vector<dataset::VideoSegment> pool;
+  for (int i = 0; i < 20; ++i) {
+    dataset::VideoSegment s;
+    s.blind_area = i % 2 == 0;
+    s.turned = i % 4 < 2;
+    pool.push_back(s);
+  }
+  const auto sel = select_blind_test_set(ptrs(pool), 3, 2);
+  std::size_t c0 = 0, c1 = 0;
+  for (const auto* s : sel) {
+    EXPECT_TRUE(s->blind_area);
+    (s->binary_label() == 0 ? c0 : c1)++;
+  }
+  EXPECT_LE(c0, 3u);
+  EXPECT_LE(c1, 2u);
+}
+
+}  // namespace
+}  // namespace safecross::core

@@ -1,0 +1,73 @@
+#include "dataset/segment.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace safecross::dataset {
+namespace {
+
+VideoSegment make_segment(bool turned, bool blind) {
+  VideoSegment s;
+  s.turned = turned;
+  s.blind_area = blind;
+  return s;
+}
+
+TEST(Segment, CategoryFromFlags) {
+  EXPECT_EQ(make_segment(true, false).category(), SegmentCategory::TurnNoBlind);
+  EXPECT_EQ(make_segment(false, false).category(), SegmentCategory::NoTurnNoBlind);
+  EXPECT_EQ(make_segment(true, true).category(), SegmentCategory::TurnBlind);
+  EXPECT_EQ(make_segment(false, true).category(), SegmentCategory::NoTurnBlind);
+}
+
+TEST(Segment, BinaryLabelMatchesPaperConvention) {
+  // class 0 = danger (driver waited), class 1 = safe (driver turned)
+  EXPECT_EQ(make_segment(false, false).binary_label(), 0);
+  EXPECT_EQ(make_segment(true, true).binary_label(), 1);
+}
+
+TEST(Segment, CategoryNamesAreDistinct) {
+  EXPECT_STRNE(category_name(SegmentCategory::TurnNoBlind),
+               category_name(SegmentCategory::NoTurnBlind));
+}
+
+TEST(Split811, ProportionsAndDisjointness) {
+  const DatasetSplit s = split_811(100, 42);
+  EXPECT_EQ(s.train.size(), 80u);
+  EXPECT_EQ(s.val.size(), 10u);
+  EXPECT_EQ(s.test.size(), 10u);
+  std::vector<std::size_t> all;
+  all.insert(all.end(), s.train.begin(), s.train.end());
+  all.insert(all.end(), s.val.begin(), s.val.end());
+  all.insert(all.end(), s.test.begin(), s.test.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(Split811, SmallCountsStayValid) {
+  const DatasetSplit s = split_811(5, 1);
+  EXPECT_EQ(s.train.size() + s.val.size() + s.test.size(), 5u);
+  EXPECT_GE(s.train.size(), 5u - 2u);
+}
+
+TEST(Split811, DeterministicPerSeed) {
+  const DatasetSplit a = split_811(50, 7);
+  const DatasetSplit b = split_811(50, 7);
+  EXPECT_EQ(a.train, b.train);
+  const DatasetSplit c = split_811(50, 8);
+  EXPECT_NE(a.train, c.train);
+}
+
+TEST(CategoryHistogram, CountsAllFour) {
+  std::vector<VideoSegment> segs{make_segment(true, false), make_segment(true, false),
+                                 make_segment(false, true), make_segment(true, true)};
+  const auto hist = category_histogram(segs);
+  EXPECT_EQ(hist[0], 2u);
+  EXPECT_EQ(hist[1], 0u);
+  EXPECT_EQ(hist[2], 1u);
+  EXPECT_EQ(hist[3], 1u);
+}
+
+}  // namespace
+}  // namespace safecross::dataset

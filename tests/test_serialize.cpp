@@ -1,0 +1,76 @@
+#include "nn/serialize.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+
+namespace safecross::nn {
+namespace {
+
+TEST(Serialize, RoundTripPreservesValues) {
+  Linear a(4, 3), b(4, 3);
+  Rng rng(70);
+  init_params(a.params(), rng);
+  std::stringstream ss;
+  save_params(ss, a.params());
+  load_params(ss, b.params());
+  for (std::size_t p = 0; p < a.params().size(); ++p) {
+    for (std::size_t i = 0; i < a.params()[p]->value.numel(); ++i) {
+      EXPECT_FLOAT_EQ(b.params()[p]->value[i], a.params()[p]->value[i]);
+    }
+  }
+}
+
+TEST(Serialize, SerializedSizeMatchesStream) {
+  Linear a(6, 2);
+  std::stringstream ss;
+  save_params(ss, a.params());
+  EXPECT_EQ(ss.str().size(), serialized_size(a.params()));
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  Linear a(2, 2);
+  std::stringstream ss;
+  ss.write("nope", 4);
+  EXPECT_THROW(load_params(ss, a.params()), std::runtime_error);
+}
+
+TEST(Serialize, RejectsShapeMismatch) {
+  Linear a(4, 3), wrong(3, 4);
+  std::stringstream ss;
+  save_params(ss, a.params());
+  EXPECT_THROW(load_params(ss, wrong.params()), std::runtime_error);
+}
+
+TEST(Serialize, RejectsCountMismatch) {
+  Linear a(4, 3);
+  Linear no_bias(4, 3, /*bias=*/false);
+  std::stringstream ss;
+  save_params(ss, a.params());
+  EXPECT_THROW(load_params(ss, no_bias.params()), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  Linear a(4, 3), b(4, 3);
+  std::stringstream ss;
+  save_params(ss, a.params());
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_params(truncated, b.params()), std::runtime_error);
+}
+
+TEST(Serialize, GradientsUntouchedByRoundTrip) {
+  Linear a(2, 2), b(2, 2);
+  b.params()[0]->grad.fill(9.0f);
+  std::stringstream ss;
+  save_params(ss, a.params());
+  load_params(ss, b.params());
+  EXPECT_FLOAT_EQ(b.params()[0]->grad[0], 9.0f);
+}
+
+}  // namespace
+}  // namespace safecross::nn

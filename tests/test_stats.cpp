@@ -1,0 +1,93 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace safecross {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75), 7.5);
+}
+
+TEST(Percentile, ThrowsOnEmpty) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, Top1Accuracy) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_DOUBLE_EQ(cm.top1_accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, MeanClassAccuracyWeighsClassesEqually) {
+  ConfusionMatrix cm(2);
+  // Class 0: 9/10 right. Class 1: 1/2 right.
+  for (int i = 0; i < 9; ++i) cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(1, 0);
+  EXPECT_DOUBLE_EQ(cm.top1_accuracy(), 10.0 / 12.0);
+  EXPECT_DOUBLE_EQ(cm.mean_class_accuracy(), (0.9 + 0.5) / 2.0);
+}
+
+TEST(ConfusionMatrix, SkipsEmptyClassesInMeanClassAcc) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.mean_class_accuracy(), 1.0);
+}
+
+TEST(ConfusionMatrix, PrecisionAndRecall) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);  // tn (treating class 1 as positive)
+  cm.add(1, 0);  // fn
+  cm.add(1, 1);  // tp
+  cm.add(0, 1);  // fp
+  cm.add(1, 1);  // tp
+  EXPECT_DOUBLE_EQ(cm.recall(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 0.5);
+}
+
+TEST(ConfusionMatrix, RejectsOutOfRange) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(0, 5), std::out_of_range);
+}
+
+TEST(ConfusionMatrix, ZeroClassesRejected) {
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace safecross

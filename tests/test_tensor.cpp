@@ -1,0 +1,81 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace safecross::nn {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3, 4}, 1.5f);
+  EXPECT_EQ(t.ndim(), 3u);
+  EXPECT_EQ(t.numel(), 24u);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_FLOAT_EQ(t[0], 1.5f);
+  EXPECT_EQ(t.shape_str(), "[2, 3, 4]");
+}
+
+TEST(Tensor, RejectsNonPositiveDims) {
+  EXPECT_THROW(Tensor({2, 0}), std::invalid_argument);
+  EXPECT_THROW(Tensor({-1, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, MultiIndexAccessRowMajor) {
+  Tensor t({2, 3});
+  t.at({1, 2}) = 7.0f;
+  EXPECT_FLOAT_EQ(t[5], 7.0f);
+  EXPECT_FLOAT_EQ(t.at({1, 2}), 7.0f);
+}
+
+TEST(Tensor, AtValidatesIndices) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at({2, 0}), std::out_of_range);
+  EXPECT_THROW(t.at({0}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  for (std::size_t i = 0; i < 12; ++i) t[i] = static_cast<float>(i);
+  const Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_FLOAT_EQ(r.at({2, 3}), 11.0f);
+  EXPECT_THROW(t.reshaped({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, AddScaledAndScale) {
+  Tensor a({3}, 1.0f);
+  Tensor b({3}, 2.0f);
+  a.add_scaled(b, 0.5f);
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+  a.scale(2.0f);
+  EXPECT_FLOAT_EQ(a[2], 4.0f);
+  EXPECT_THROW(a.add_scaled(Tensor({4}), 1.0f), std::invalid_argument);
+}
+
+TEST(Tensor, SumAndMax) {
+  Tensor t({4});
+  t[0] = 1;
+  t[1] = -2;
+  t[2] = 3;
+  t[3] = 0.5;
+  EXPECT_DOUBLE_EQ(t.sum(), 2.5);
+  EXPECT_FLOAT_EQ(t.max(), 3.0f);
+}
+
+TEST(Tensor, ZerosLikeMatchesShape) {
+  Tensor t({2, 5}, 3.0f);
+  const Tensor z = Tensor::zeros_like(t);
+  EXPECT_EQ(z.shape(), t.shape());
+  EXPECT_FLOAT_EQ(z[0], 0.0f);
+}
+
+TEST(Tensor, CheckSameShapeThrowsWithContext) {
+  try {
+    Tensor::check_same_shape(Tensor({2}), Tensor({3}), "ctx");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace safecross::nn

@@ -1,0 +1,103 @@
+#include "models/tensor_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace safecross::models {
+namespace {
+
+TEST(TensorOps, ConcatChannels5D) {
+  Tensor a({1, 2, 2, 1, 1}, 1.0f);
+  Tensor b({1, 3, 2, 1, 1}, 2.0f);
+  const Tensor c = concat_channels(a, b);
+  EXPECT_EQ(c.shape(), (std::vector<int>{1, 5, 2, 1, 1}));
+  EXPECT_FLOAT_EQ(c[0], 1.0f);   // a's channels first
+  EXPECT_FLOAT_EQ(c[4], 2.0f);   // then b's
+}
+
+TEST(TensorOps, ConcatChannels2D) {
+  Tensor a({2, 3}, 1.0f);
+  Tensor b({2, 2}, 5.0f);
+  const Tensor c = concat_channels(a, b);
+  EXPECT_EQ(c.shape(), (std::vector<int>{2, 5}));
+  EXPECT_FLOAT_EQ(c.at({0, 2}), 1.0f);
+  EXPECT_FLOAT_EQ(c.at({0, 3}), 5.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 4}), 5.0f);
+}
+
+TEST(TensorOps, ConcatRejectsMismatchedSpatialDims) {
+  EXPECT_THROW(concat_channels(Tensor({1, 2, 4}), Tensor({1, 2, 5})), std::invalid_argument);
+}
+
+TEST(TensorOps, SplitInvertsConcat) {
+  Tensor a({2, 2, 3});
+  Tensor b({2, 4, 3});
+  for (std::size_t i = 0; i < a.numel(); ++i) a[i] = static_cast<float>(i);
+  for (std::size_t i = 0; i < b.numel(); ++i) b[i] = 100.0f + static_cast<float>(i);
+  const Tensor c = concat_channels(a, b);
+  const auto [a2, b2] = split_channels(c, 2);
+  ASSERT_EQ(a2.shape(), a.shape());
+  ASSERT_EQ(b2.shape(), b.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a2[i], a[i]);
+  for (std::size_t i = 0; i < b.numel(); ++i) EXPECT_FLOAT_EQ(b2[i], b[i]);
+}
+
+TEST(TensorOps, SplitRejectsBadBoundary) {
+  Tensor t({1, 4, 2});
+  EXPECT_THROW(split_channels(t, 0), std::invalid_argument);
+  EXPECT_THROW(split_channels(t, 4), std::invalid_argument);
+}
+
+TEST(TensorOps, SubsampleTimePicksStridedFrames) {
+  Tensor x({1, 1, 8, 1, 2});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(i / 2);  // frame index
+  const Tensor s = subsample_time(x, 4);
+  EXPECT_EQ(s.shape(), (std::vector<int>{1, 1, 2, 1, 2}));
+  EXPECT_FLOAT_EQ(s[0], 0.0f);
+  EXPECT_FLOAT_EQ(s[2], 4.0f);
+}
+
+TEST(TensorOps, SubsampleWithOffset) {
+  Tensor x({1, 1, 8, 1, 1});
+  for (int i = 0; i < 8; ++i) x[i] = static_cast<float>(i);
+  const Tensor s = subsample_time(x, 4, 1);
+  EXPECT_FLOAT_EQ(s[0], 1.0f);
+  EXPECT_FLOAT_EQ(s[1], 5.0f);
+}
+
+TEST(TensorOps, SubsampleBackwardScattersToPickedFrames) {
+  const std::vector<int> full{1, 1, 8, 1, 1};
+  Tensor grad({1, 1, 2, 1, 1});
+  grad[0] = 3.0f;
+  grad[1] = 7.0f;
+  const Tensor g = subsample_time_backward(grad, full, 4);
+  EXPECT_FLOAT_EQ(g[0], 3.0f);
+  EXPECT_FLOAT_EQ(g[4], 7.0f);
+  EXPECT_FLOAT_EQ(g[1], 0.0f);
+  EXPECT_FLOAT_EQ(g[5], 0.0f);
+}
+
+TEST(TensorOps, SelectFramesValidatesIndices) {
+  Tensor x({1, 1, 4, 1, 1});
+  EXPECT_THROW(select_frames(x, {0, 9}), std::out_of_range);
+}
+
+TEST(TensorOps, ClipToTensorPacksFrames) {
+  std::vector<vision::Image> frames(3, vision::Image(4, 2, 0.0f));
+  frames[1].at(2, 1) = 1.0f;
+  const Tensor t = clip_to_tensor(frames);
+  EXPECT_EQ(t.shape(), (std::vector<int>{1, 1, 3, 2, 4}));
+  EXPECT_FLOAT_EQ(t.at({0, 0, 1, 1, 2}), 1.0f);
+}
+
+TEST(TensorOps, ClipsToBatchValidatesConsistency) {
+  std::vector<vision::Image> a(3, vision::Image(4, 2));
+  std::vector<vision::Image> short_clip(2, vision::Image(4, 2));
+  std::vector<vision::Image> wrong_size(3, vision::Image(5, 2));
+  EXPECT_THROW(clips_to_batch({&a, &short_clip}), std::invalid_argument);
+  EXPECT_THROW(clips_to_batch({&a, &wrong_size}), std::invalid_argument);
+  const Tensor batch = clips_to_batch({&a, &a});
+  EXPECT_EQ(batch.dim(0), 2);
+}
+
+}  // namespace
+}  // namespace safecross::models

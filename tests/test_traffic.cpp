@@ -1,0 +1,161 @@
+#include "sim/traffic.h"
+
+#include <gtest/gtest.h>
+
+namespace safecross::sim {
+namespace {
+
+TrafficSimulator make_sim(Weather w = Weather::Daytime, std::uint64_t seed = 7) {
+  return TrafficSimulator(weather_params(w), seed);
+}
+
+void run_seconds(TrafficSimulator& sim, double seconds) {
+  const int steps = static_cast<int>(seconds / sim.config().dt);
+  for (int i = 0; i < steps; ++i) sim.step();
+}
+
+TEST(Traffic, TimeAdvancesByDt) {
+  TrafficSimulator sim = make_sim();
+  sim.step();
+  EXPECT_NEAR(sim.time(), 1.0 / 30.0, 1e-9);
+}
+
+TEST(Traffic, VehiclesSpawnAndFlow) {
+  TrafficSimulator sim = make_sim();
+  run_seconds(sim, 60);
+  EXPECT_FALSE(sim.vehicles().empty());
+}
+
+TEST(Traffic, VehiclesAreRemovedAfterLeaving) {
+  TrafficSimulator sim = make_sim();
+  run_seconds(sim, 600);
+  // If removal failed, 10 minutes of arrivals (~100+) would accumulate.
+  EXPECT_LT(sim.vehicles().size(), 60u);
+}
+
+TEST(Traffic, LeftTurnsComplete) {
+  TrafficSimulator sim = make_sim();
+  run_seconds(sim, 600);
+  EXPECT_GT(sim.completed_turns(), 5u);
+}
+
+TEST(Traffic, DeterministicForSameSeed) {
+  TrafficSimulator a = make_sim(Weather::Daytime, 99);
+  TrafficSimulator b = make_sim(Weather::Daytime, 99);
+  run_seconds(a, 120);
+  run_seconds(b, 120);
+  ASSERT_EQ(a.vehicles().size(), b.vehicles().size());
+  EXPECT_EQ(a.completed_turns(), b.completed_turns());
+  for (std::size_t i = 0; i < a.vehicles().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.vehicles()[i].s, b.vehicles()[i].s);
+  }
+}
+
+TEST(Traffic, DifferentSeedsDiverge) {
+  TrafficSimulator a = make_sim(Weather::Daytime, 1);
+  TrafficSimulator b = make_sim(Weather::Daytime, 2);
+  run_seconds(a, 300);
+  run_seconds(b, 300);
+  EXPECT_NE(a.completed_turns(), b.completed_turns());
+}
+
+TEST(Traffic, NoVehicleExceedsSpeedCap) {
+  TrafficSimulator sim = make_sim();
+  for (int i = 0; i < 3000; ++i) {
+    sim.step();
+    for (const Vehicle& v : sim.vehicles()) {
+      EXPECT_LE(v.speed, v.free_speed * 1.05 + 1e-9);
+      EXPECT_GE(v.speed, 0.0);
+    }
+  }
+}
+
+TEST(Traffic, NoRearEndOverlapsOnThroughLane) {
+  TrafficSimulator sim = make_sim();
+  for (int i = 0; i < 6000; ++i) {
+    sim.step();
+    // Check vehicle ordering on the through route: follower front must
+    // stay behind leader rear (small tolerance for the contact case).
+    std::vector<const Vehicle*> lane;
+    for (const Vehicle& v : sim.vehicles()) {
+      if (v.route == RouteId::WestboundThrough) lane.push_back(&v);
+    }
+    std::sort(lane.begin(), lane.end(),
+              [](const Vehicle* a, const Vehicle* b) { return a->s > b->s; });
+    for (std::size_t k = 1; k < lane.size(); ++k) {
+      EXPECT_LE(lane[k]->s, lane[k - 1]->rear_s() + 1.0)
+          << "rear-end overlap at t=" << sim.time();
+    }
+  }
+}
+
+TEST(Traffic, SubjectsHoldAtStopLineWhileThreatened) {
+  TrafficSimulator sim = make_sim();
+  bool saw_holding = false;
+  for (int i = 0; i < 30000 && !saw_holding; ++i) {
+    sim.step();
+    const Vehicle* s = sim.subject();
+    if (s != nullptr && s->state == DriverState::HoldingAtStop) {
+      saw_holding = true;
+      // While holding, the subject is essentially stopped at the line.
+      EXPECT_LT(s->speed, 0.1);
+      const double stop = sim.intersection().stop_line_s(RouteId::EastboundLeft);
+      EXPECT_NEAR(s->s, stop, 1.5);
+    }
+  }
+  EXPECT_TRUE(saw_holding);
+}
+
+TEST(Traffic, BlindAreaAppearsEventually) {
+  TrafficSimulator sim = make_sim();
+  bool saw_blind = false;
+  for (int i = 0; i < 40000 && !saw_blind; ++i) {
+    sim.step();
+    saw_blind = sim.blind_area_present();
+  }
+  EXPECT_TRUE(saw_blind);
+}
+
+TEST(Traffic, DangerTruthConsistentWithThreatGap) {
+  TrafficSimulator sim = make_sim();
+  run_seconds(sim, 60);
+  for (int i = 0; i < 2000; ++i) {
+    sim.step();
+    const double gap = sim.nearest_threat_gap_s();
+    const bool danger = sim.dangerous_to_turn();
+    EXPECT_EQ(danger, gap < sim.config().critical_gap_s + sim.weather().gap_margin_s);
+  }
+}
+
+TEST(Traffic, KeyframeFiresOncePerTurn) {
+  TrafficSimulator sim = make_sim();
+  std::uint64_t keyframes = 0;
+  for (int i = 0; i < 30000; ++i) {
+    sim.step();
+    keyframes += sim.turn_keyframes().size();
+  }
+  EXPECT_EQ(keyframes, sim.completed_turns());
+}
+
+TEST(Traffic, SnowSlowsTraffic) {
+  TrafficSimulator day = make_sim(Weather::Daytime, 5);
+  TrafficSimulator snow = make_sim(Weather::Snow, 5);
+  run_seconds(day, 120);
+  run_seconds(snow, 120);
+  double day_max = 0.0, snow_max = 0.0;
+  for (const Vehicle& v : day.vehicles()) day_max = std::max(day_max, v.free_speed);
+  for (const Vehicle& v : snow.vehicles()) snow_max = std::max(snow_max, v.free_speed);
+  if (day_max > 0 && snow_max > 0) {
+    EXPECT_LT(snow_max, day_max);
+  }
+}
+
+TEST(Traffic, ConflictPointOnOncomingLane) {
+  TrafficSimulator sim = make_sim();
+  const auto& g = sim.intersection().geometry();
+  EXPECT_GT(sim.conflict_x(), g.center_x);
+  EXPECT_LT(sim.conflict_x(), g.wb_stop_x());
+}
+
+}  // namespace
+}  // namespace safecross::sim

@@ -1,0 +1,99 @@
+#include "fewshot/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/builder.h"
+#include "models/slowfast.h"
+
+namespace safecross::fewshot {
+namespace {
+
+// Shared tiny dataset (generated once; dataset building dominates cost).
+const std::vector<VideoSegment>& segments() {
+  static const std::vector<VideoSegment> segs = [] {
+    dataset::BuildRequest req;
+    req.target_segments = 60;
+    req.max_sim_hours = 2.0;
+    req.seed = 77;
+    return dataset::build_dataset(req).segments;
+  }();
+  return segs;
+}
+
+models::SlowFastConfig tiny_model() {
+  models::SlowFastConfig cfg;
+  cfg.slow_channels = 4;
+  cfg.fast_channels = 2;
+  return cfg;
+}
+
+TEST(Trainer, SelectPicksByIndex) {
+  const auto sel = select(segments(), {0, 2, 4});
+  ASSERT_EQ(sel.size(), 3u);
+  EXPECT_EQ(sel[0], &segments()[0]);
+  EXPECT_EQ(sel[2], &segments()[4]);
+}
+
+TEST(Trainer, MakeBatchShapesAndLabels) {
+  const auto sel = select(segments(), {0, 1, 2, 3});
+  std::vector<std::size_t> order{0, 1, 2, 3};
+  std::vector<int> labels;
+  const nn::Tensor batch = make_batch(sel, order, 0, 3, labels);
+  EXPECT_EQ(batch.dim(0), 3);
+  EXPECT_EQ(batch.dim(2), 32);
+  ASSERT_EQ(labels.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(labels[i], sel[i]->binary_label());
+}
+
+TEST(Trainer, MakeBatchRejectsBadRange) {
+  const auto sel = select(segments(), {0, 1});
+  std::vector<std::size_t> order{0, 1};
+  std::vector<int> labels;
+  EXPECT_THROW(make_batch(sel, order, 1, 1, labels), std::invalid_argument);
+  EXPECT_THROW(make_batch(sel, order, 0, 5, labels), std::invalid_argument);
+}
+
+TEST(Trainer, TrainingReducesLoss) {
+  std::vector<const VideoSegment*> train;
+  for (const auto& s : segments()) train.push_back(&s);
+  models::SlowFast model(tiny_model());
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.seed = 5;
+  const float loss1 = train_classifier(model, train, cfg);
+  cfg.epochs = 4;
+  const float loss2 = train_classifier(model, train, cfg);
+  EXPECT_LT(loss2, loss1);
+}
+
+TEST(Trainer, EvaluateCountsEverySegment) {
+  std::vector<const VideoSegment*> all;
+  for (const auto& s : segments()) all.push_back(&s);
+  models::SlowFast model(tiny_model());
+  const EvalResult r = evaluate(model, all);
+  EXPECT_EQ(r.confusion.total(), all.size());
+  EXPECT_GE(r.top1(), 0.0);
+  EXPECT_LE(r.top1(), 1.0);
+}
+
+TEST(Trainer, EmptySetsRejected) {
+  models::SlowFast model(tiny_model());
+  EXPECT_THROW(train_classifier(model, {}, {}), std::invalid_argument);
+  EXPECT_THROW(evaluate(model, {}), std::invalid_argument);
+}
+
+TEST(Trainer, HingeLossPathWorks) {
+  std::vector<const VideoSegment*> train;
+  for (const auto& s : segments()) train.push_back(&s);
+  models::SlowFast model(tiny_model());
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.hinge_loss = true;
+  const float loss = train_classifier(model, train, cfg);
+  EXPECT_GE(loss, 0.0f);
+  const EvalResult r = evaluate(model, train, /*hinge_loss=*/true);
+  EXPECT_EQ(r.confusion.total(), train.size());
+}
+
+}  // namespace
+}  // namespace safecross::fewshot

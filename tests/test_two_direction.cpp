@@ -1,0 +1,125 @@
+// Two-direction warning support (toward the paper's "four directions"
+// future work): the westbound-left approach is guarded symmetrically —
+// its waiters are the eastbound subject's blockers and vice versa.
+
+#include <gtest/gtest.h>
+
+#include "dataset/collector.h"
+#include "fewshot/trainer.h"
+#include "models/slowfast.h"
+#include "sim/camera.h"
+#include "sim/traffic.h"
+
+namespace safecross::sim {
+namespace {
+
+TEST(TwoDirection, ApproachNames) {
+  EXPECT_STREQ(approach_name(Approach::EastboundLeft), "eastbound-left");
+  EXPECT_STREQ(approach_name(Approach::WestboundLeft), "westbound-left");
+}
+
+TEST(TwoDirection, WestboundSubjectsHoldAndTurn) {
+  TrafficSimulator sim(weather_params(Weather::Daytime), 17);
+  bool saw_holding = false;
+  for (int i = 0; i < 30 * 900; ++i) {
+    sim.step();
+    const Vehicle* s = sim.subject(Approach::WestboundLeft);
+    if (s != nullptr && s->state == DriverState::HoldingAtStop) saw_holding = true;
+  }
+  EXPECT_TRUE(saw_holding);
+  EXPECT_GT(sim.completed_turns(Approach::WestboundLeft), 3u);
+}
+
+TEST(TwoDirection, KeyframesCountedPerApproach) {
+  TrafficSimulator sim(weather_params(Weather::Daytime), 18);
+  std::uint64_t eb = 0, wb = 0;
+  for (int i = 0; i < 30 * 900; ++i) {
+    sim.step();
+    eb += sim.turn_keyframes(Approach::EastboundLeft).size();
+    wb += sim.turn_keyframes(Approach::WestboundLeft).size();
+  }
+  EXPECT_EQ(eb, sim.completed_turns(Approach::EastboundLeft));
+  EXPECT_EQ(wb, sim.completed_turns(Approach::WestboundLeft));
+  EXPECT_GT(eb, 0u);
+  EXPECT_GT(wb, 0u);
+}
+
+TEST(TwoDirection, BlockersAreOnTheOppositeRoute) {
+  TrafficSimulator sim(weather_params(Weather::Daytime), 19);
+  for (int i = 0; i < 30 * 600; ++i) {
+    sim.step();
+    const Vehicle* eb_blocker = sim.blocker(Approach::EastboundLeft);
+    if (eb_blocker != nullptr) {
+      EXPECT_EQ(eb_blocker->route, RouteId::WestboundLeftWait);
+    }
+    const Vehicle* wb_blocker = sim.blocker(Approach::WestboundLeft);
+    if (wb_blocker != nullptr) {
+      EXPECT_EQ(wb_blocker->route, RouteId::EastboundLeft);
+    }
+  }
+}
+
+TEST(TwoDirection, ConflictPointsOnOpposingSidesOfCenter) {
+  TrafficSimulator sim(weather_params(Weather::Daytime), 20);
+  const auto& g = sim.intersection().geometry();
+  EXPECT_GT(sim.conflict_x(Approach::EastboundLeft), g.center_x);
+  EXPECT_LT(sim.conflict_x(Approach::WestboundLeft), g.center_x);
+}
+
+TEST(TwoDirection, ThreatGapsAreIndependentPerApproach) {
+  TrafficSimulator sim(weather_params(Weather::Daytime), 21);
+  // Over a long run both approaches must see both states: danger and not.
+  int eb_danger = 0, eb_clear = 0, wb_danger = 0, wb_clear = 0;
+  for (int i = 0; i < 30 * 900; ++i) {
+    sim.step();
+    (sim.dangerous_to_turn(Approach::EastboundLeft) ? eb_danger : eb_clear)++;
+    (sim.dangerous_to_turn(Approach::WestboundLeft) ? wb_danger : wb_clear)++;
+  }
+  EXPECT_GT(eb_danger, 0);
+  EXPECT_GT(eb_clear, 0);
+  EXPECT_GT(wb_danger, 0);
+  EXPECT_GT(wb_clear, 0);
+}
+
+TEST(TwoDirection, CollectorCutsWestboundSegments) {
+  TrafficSimulator sim(weather_params(Weather::Daytime), 22);
+  const CameraModel cam(sim.intersection().geometry());
+  dataset::CollectorConfig cfg;
+  cfg.approach = Approach::WestboundLeft;
+  dataset::SegmentCollector collector(sim, cam, cfg, 23);
+  while (collector.segments().size() < 20 && sim.time() < 3600.0) collector.step();
+  ASSERT_GE(collector.segments().size(), 10u);
+  std::size_t turned = 0, waited = 0;
+  for (const auto& seg : collector.segments()) {
+    EXPECT_EQ(seg.approach, Approach::WestboundLeft);
+    (seg.turned ? turned : waited)++;
+  }
+  EXPECT_GT(turned, 0u);
+  EXPECT_GT(waited, 0u);
+}
+
+TEST(TwoDirection, WestboundClassifierBeatsChance) {
+  TrafficSimulator sim(weather_params(Weather::Daytime), 24);
+  const CameraModel cam(sim.intersection().geometry());
+  dataset::CollectorConfig cfg;
+  cfg.approach = Approach::WestboundLeft;
+  dataset::SegmentCollector collector(sim, cam, cfg, 25);
+  while (collector.segments().size() < 60 && sim.time() < 3.0 * 3600.0) collector.step();
+  const auto segments = collector.take_segments();
+  ASSERT_GE(segments.size(), 40u);
+
+  std::vector<const dataset::VideoSegment*> train;
+  for (const auto& s : segments) train.push_back(&s);
+  models::SlowFastConfig mc;
+  mc.slow_channels = 4;
+  mc.fast_channels = 2;
+  models::SlowFast model(mc);
+  fewshot::TrainConfig tc;
+  tc.epochs = 4;
+  fewshot::train_classifier(model, train, tc);
+  const auto eval = fewshot::evaluate(model, train);
+  EXPECT_GT(eval.top1(), 0.7);
+}
+
+}  // namespace
+}  // namespace safecross::sim

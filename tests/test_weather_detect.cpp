@@ -1,0 +1,100 @@
+#include "core/weather_detect.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/camera.h"
+#include "sim/traffic.h"
+
+namespace safecross::core {
+namespace {
+
+WeatherEstimate estimate_for(vision::Weather w, std::uint64_t seed = 42) {
+  sim::TrafficSimulator sim(sim::weather_params(w), seed);
+  sim::CameraModel cam(sim.intersection().geometry());
+  Rng rng(seed ^ 0xBEEF);
+  WeatherDetector detector;
+  for (int i = 0; i < 20; ++i) {
+    sim.step();
+    detector.observe(cam.render(sim, rng));
+  }
+  return detector.estimate();
+}
+
+TEST(WeatherDetect, RecognizesDaytime) {
+  const WeatherEstimate e = estimate_for(vision::Weather::Daytime);
+  EXPECT_TRUE(e.confident);
+  EXPECT_EQ(e.weather, vision::Weather::Daytime);
+}
+
+TEST(WeatherDetect, RecognizesRain) {
+  const WeatherEstimate e = estimate_for(vision::Weather::Rain);
+  EXPECT_EQ(e.weather, vision::Weather::Rain);
+}
+
+TEST(WeatherDetect, RecognizesSnow) {
+  const WeatherEstimate e = estimate_for(vision::Weather::Snow);
+  EXPECT_EQ(e.weather, vision::Weather::Snow);
+}
+
+TEST(WeatherDetect, PrecipitationHasHigherSpeckleDensity) {
+  const WeatherEstimate day = estimate_for(vision::Weather::Daytime);
+  const WeatherEstimate rain = estimate_for(vision::Weather::Rain);
+  EXPECT_GT(rain.speckle_density, day.speckle_density);
+}
+
+TEST(WeatherDetect, RainSpeckleMoreElongatedThanSnow) {
+  const WeatherEstimate rain = estimate_for(vision::Weather::Rain);
+  const WeatherEstimate snow = estimate_for(vision::Weather::Snow);
+  EXPECT_GT(rain.mean_elongation, snow.mean_elongation);
+}
+
+TEST(WeatherDetect, RecognizesNight) {
+  const WeatherEstimate e = estimate_for(vision::Weather::Night);
+  EXPECT_EQ(e.weather, vision::Weather::Night);
+  EXPECT_LT(e.mean_brightness, 0.3);
+}
+
+TEST(WeatherDetect, RecognizesFog) {
+  const WeatherEstimate e = estimate_for(vision::Weather::Fog);
+  EXPECT_EQ(e.weather, vision::Weather::Fog);
+  EXPECT_GT(e.mean_brightness, 0.42);
+}
+
+TEST(WeatherDetect, FogIsBrighterThanDaytimeVeil) {
+  const WeatherEstimate day = estimate_for(vision::Weather::Daytime);
+  const WeatherEstimate fog = estimate_for(vision::Weather::Fog);
+  EXPECT_GT(fog.mean_brightness, day.mean_brightness);
+}
+
+TEST(WeatherDetect, NightIsDarkest) {
+  const WeatherEstimate night = estimate_for(vision::Weather::Night);
+  for (auto w : {vision::Weather::Daytime, vision::Weather::Rain, vision::Weather::Snow,
+                 vision::Weather::Fog}) {
+    EXPECT_LT(night.mean_brightness, estimate_for(w).mean_brightness);
+  }
+}
+
+TEST(WeatherDetect, NotConfidentWithoutFrames) {
+  WeatherDetector d;
+  const WeatherEstimate e = d.estimate();
+  EXPECT_FALSE(e.confident);
+  EXPECT_EQ(e.weather, vision::Weather::Daytime);
+}
+
+TEST(WeatherDetect, ResetClearsState) {
+  WeatherDetector d;
+  d.observe(vision::Image(32, 32, 0.5f));
+  d.observe(vision::Image(32, 32, 0.6f));
+  d.reset();
+  EXPECT_FALSE(d.estimate().confident);
+}
+
+TEST(WeatherDetect, StableOverSeeds) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    EXPECT_EQ(estimate_for(vision::Weather::Daytime, seed).weather, vision::Weather::Daytime)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace safecross::core

@@ -1,0 +1,125 @@
+#include "models/yolo_lite.h"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "nn/optimizer.h"
+
+namespace safecross::models {
+namespace {
+
+YoloLiteConfig tiny_config() {
+  YoloLiteConfig cfg;
+  cfg.in_width = 64;
+  cfg.in_height = 32;
+  cfg.base_channels = 4;
+  return cfg;
+}
+
+TEST(YoloLite, OutputGridShape) {
+  YoloLite model(tiny_config());
+  const nn::Tensor out =
+      model.forward(testing::random_tensor({2, 1, 32, 64}, 1), false);
+  EXPECT_EQ(out.shape(), (std::vector<int>{2, 5, 4, 8}));
+}
+
+TEST(YoloLite, RejectsIndivisibleInput) {
+  YoloLiteConfig cfg = tiny_config();
+  cfg.in_width = 65;
+  EXPECT_THROW(YoloLite{cfg}, std::invalid_argument);
+}
+
+TEST(Iou, IdenticalBoxesIsOne) {
+  YoloBox a{10, 10, 4, 4, 1};
+  EXPECT_FLOAT_EQ(iou(a, a), 1.0f);
+}
+
+TEST(Iou, DisjointBoxesIsZero) {
+  YoloBox a{10, 10, 4, 4, 1};
+  YoloBox b{30, 30, 4, 4, 1};
+  EXPECT_FLOAT_EQ(iou(a, b), 0.0f);
+}
+
+TEST(Iou, HalfOverlap) {
+  YoloBox a{0, 0, 4, 4, 1};
+  YoloBox b{2, 0, 4, 4, 1};  // overlap 2x4=8, union 24
+  EXPECT_NEAR(iou(a, b), 8.0f / 24.0f, 1e-6);
+}
+
+TEST(YoloLoss, ZeroTruthPushesObjectnessDown) {
+  YoloLiteConfig cfg = tiny_config();
+  YoloLite model(cfg);
+  YoloLoss loss(cfg);
+  const nn::Tensor pred = model.forward(testing::random_tensor({1, 1, 32, 64}, 2), true);
+  const float l = loss.forward(pred, {{}});
+  EXPECT_GT(l, 0.0f);
+  const nn::Tensor g = loss.grad();
+  EXPECT_EQ(g.shape(), pred.shape());
+}
+
+TEST(YoloLoss, RejectsBatchMismatch) {
+  YoloLiteConfig cfg = tiny_config();
+  YoloLite model(cfg);
+  YoloLoss loss(cfg);
+  const nn::Tensor pred = model.forward(testing::random_tensor({2, 1, 32, 64}, 3), true);
+  EXPECT_THROW(loss.forward(pred, {{}}), std::invalid_argument);
+}
+
+TEST(YoloLite, LearnsToDetectBrightBlock) {
+  // One synthetic scene: a bright 12x8 block on dark background. After a
+  // few steps, detect() should fire at the block's location.
+  YoloLiteConfig cfg = tiny_config();
+  YoloLite model(cfg);
+  YoloLoss loss(cfg);
+  nn::Adam opt(model.params(), 0.01f);
+
+  vision::Image frame(64, 32, 0.1f);
+  for (int y = 12; y < 20; ++y) {
+    for (int x = 24; x < 36; ++x) frame.at(x, y) = 0.9f;
+  }
+  nn::Tensor input({1, 1, 32, 64});
+  std::copy(frame.data(), frame.data() + frame.size(), input.data());
+  const std::vector<std::vector<YoloBox>> truth{{YoloBox{30, 16, 12, 8, 1}}};
+
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 120; ++step) {
+    for (nn::Param* param : model.params()) param->zero_grad();
+    const nn::Tensor pred = model.forward(input, true);
+    const float l = loss.forward(pred, truth);
+    if (step == 0) first = l;
+    last = l;
+    model.backward(loss.grad());
+    opt.step();
+  }
+  EXPECT_LT(last, first * 0.5f);
+
+  const auto boxes = model.detect(frame, 0.5f);
+  ASSERT_FALSE(boxes.empty());
+  EXPECT_NEAR(boxes[0].cx, 30.0f, 8.0f);
+  EXPECT_NEAR(boxes[0].cy, 16.0f, 6.0f);
+}
+
+TEST(YoloLite, DetectResizesForeignResolutions) {
+  YoloLite model(tiny_config());
+  const vision::Image big(128, 64, 0.2f);
+  // Must not throw: the frame is resized to the model's input.
+  const auto boxes = model.detect(big, 0.99f);
+  (void)boxes;
+  SUCCEED();
+}
+
+TEST(YoloLite, NmsSuppressesDuplicates) {
+  // Train as above, then check detect returns non-overlapping boxes.
+  YoloLiteConfig cfg = tiny_config();
+  YoloLite model(cfg);
+  const vision::Image frame(64, 32, 0.5f);
+  const auto boxes = model.detect(frame, 0.0f);  // accept everything
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    for (std::size_t j = i + 1; j < boxes.size(); ++j) {
+      EXPECT_LE(iou(boxes[i], boxes[j]), 0.4f + 1e-5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace safecross::models
