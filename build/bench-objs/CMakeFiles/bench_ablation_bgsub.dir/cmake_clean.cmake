@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_bgsub"
+  "../bench/bench_ablation_bgsub.pdb"
+  "CMakeFiles/bench_ablation_bgsub.dir/bench_ablation_bgsub.cpp.o"
+  "CMakeFiles/bench_ablation_bgsub.dir/bench_ablation_bgsub.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bgsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

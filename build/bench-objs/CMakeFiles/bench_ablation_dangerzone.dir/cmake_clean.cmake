@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_dangerzone"
+  "../bench/bench_ablation_dangerzone.pdb"
+  "CMakeFiles/bench_ablation_dangerzone.dir/bench_ablation_dangerzone.cpp.o"
+  "CMakeFiles/bench_ablation_dangerzone.dir/bench_ablation_dangerzone.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dangerzone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

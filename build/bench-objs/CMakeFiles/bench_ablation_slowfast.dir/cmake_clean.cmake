@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_slowfast"
+  "../bench/bench_ablation_slowfast.pdb"
+  "CMakeFiles/bench_ablation_slowfast.dir/bench_ablation_slowfast.cpp.o"
+  "CMakeFiles/bench_ablation_slowfast.dir/bench_ablation_slowfast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_slowfast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

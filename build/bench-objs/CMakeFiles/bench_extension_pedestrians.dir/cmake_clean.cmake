@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_pedestrians"
+  "../bench/bench_extension_pedestrians.pdb"
+  "CMakeFiles/bench_extension_pedestrians.dir/bench_extension_pedestrians.cpp.o"
+  "CMakeFiles/bench_extension_pedestrians.dir/bench_extension_pedestrians.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_pedestrians.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

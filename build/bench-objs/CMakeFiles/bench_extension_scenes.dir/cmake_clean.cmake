@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_scenes"
+  "../bench/bench_extension_scenes.pdb"
+  "CMakeFiles/bench_extension_scenes.dir/bench_extension_scenes.cpp.o"
+  "CMakeFiles/bench_extension_scenes.dir/bench_extension_scenes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_scenes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_two_direction"
+  "../bench/bench_extension_two_direction.pdb"
+  "CMakeFiles/bench_extension_two_direction.dir/bench_extension_two_direction.cpp.o"
+  "CMakeFiles/bench_extension_two_direction.dir/bench_extension_two_direction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_two_direction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

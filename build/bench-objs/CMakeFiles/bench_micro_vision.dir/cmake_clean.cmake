@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_vision"
+  "../bench/bench_micro_vision.pdb"
+  "CMakeFiles/bench_micro_vision.dir/bench_micro_vision.cpp.o"
+  "CMakeFiles/bench_micro_vision.dir/bench_micro_vision.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_models.cpp" "bench-objs/CMakeFiles/bench_table4_models.dir/bench_table4_models.cpp.o" "gcc" "bench-objs/CMakeFiles/bench_table4_models.dir/bench_table4_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/safecross_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fewshot/CMakeFiles/safecross_fewshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/switching/CMakeFiles/safecross_switching.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/safecross_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/safecross_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/safecross_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/safecross_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/safecross_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/safecross_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_fewshot"
+  "../bench/bench_table5_fewshot.pdb"
+  "CMakeFiles/bench_table5_fewshot.dir/bench_table5_fewshot.cpp.o"
+  "CMakeFiles/bench_table5_fewshot.dir/bench_table5_fewshot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fewshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_switching"
+  "../bench/bench_table6_switching.pdb"
+  "CMakeFiles/bench_table6_switching.dir/bench_table6_switching.cpp.o"
+  "CMakeFiles/bench_table6_switching.dir/bench_table6_switching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_switching.dir/weather_switching.cpp.o"
+  "CMakeFiles/weather_switching.dir/weather_switching.cpp.o.d"
+  "weather_switching"
+  "weather_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

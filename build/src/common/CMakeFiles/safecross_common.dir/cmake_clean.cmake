@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safecross_common.dir/logging.cpp.o"
+  "CMakeFiles/safecross_common.dir/logging.cpp.o.d"
+  "CMakeFiles/safecross_common.dir/stats.cpp.o"
+  "CMakeFiles/safecross_common.dir/stats.cpp.o.d"
+  "CMakeFiles/safecross_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/safecross_common.dir/thread_pool.cpp.o.d"
+  "libsafecross_common.a"
+  "libsafecross_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safecross_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safecross_core.dir/model_store.cpp.o"
+  "CMakeFiles/safecross_core.dir/model_store.cpp.o.d"
+  "CMakeFiles/safecross_core.dir/monitor.cpp.o"
+  "CMakeFiles/safecross_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/safecross_core.dir/safecross.cpp.o"
+  "CMakeFiles/safecross_core.dir/safecross.cpp.o.d"
+  "CMakeFiles/safecross_core.dir/throughput.cpp.o"
+  "CMakeFiles/safecross_core.dir/throughput.cpp.o.d"
+  "CMakeFiles/safecross_core.dir/weather_detect.cpp.o"
+  "CMakeFiles/safecross_core.dir/weather_detect.cpp.o.d"
+  "libsafecross_core.a"
+  "libsafecross_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safecross_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

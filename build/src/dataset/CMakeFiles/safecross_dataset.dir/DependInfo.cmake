@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/builder.cpp" "src/dataset/CMakeFiles/safecross_dataset.dir/builder.cpp.o" "gcc" "src/dataset/CMakeFiles/safecross_dataset.dir/builder.cpp.o.d"
+  "/root/repo/src/dataset/collector.cpp" "src/dataset/CMakeFiles/safecross_dataset.dir/collector.cpp.o" "gcc" "src/dataset/CMakeFiles/safecross_dataset.dir/collector.cpp.o.d"
+  "/root/repo/src/dataset/segment.cpp" "src/dataset/CMakeFiles/safecross_dataset.dir/segment.cpp.o" "gcc" "src/dataset/CMakeFiles/safecross_dataset.dir/segment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/safecross_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/safecross_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/safecross_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

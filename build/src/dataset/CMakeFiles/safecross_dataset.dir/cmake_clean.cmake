@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safecross_dataset.dir/builder.cpp.o"
+  "CMakeFiles/safecross_dataset.dir/builder.cpp.o.d"
+  "CMakeFiles/safecross_dataset.dir/collector.cpp.o"
+  "CMakeFiles/safecross_dataset.dir/collector.cpp.o.d"
+  "CMakeFiles/safecross_dataset.dir/segment.cpp.o"
+  "CMakeFiles/safecross_dataset.dir/segment.cpp.o.d"
+  "libsafecross_dataset.a"
+  "libsafecross_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safecross_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safecross_fewshot.dir/crossval.cpp.o"
+  "CMakeFiles/safecross_fewshot.dir/crossval.cpp.o.d"
+  "CMakeFiles/safecross_fewshot.dir/episodes.cpp.o"
+  "CMakeFiles/safecross_fewshot.dir/episodes.cpp.o.d"
+  "CMakeFiles/safecross_fewshot.dir/maml.cpp.o"
+  "CMakeFiles/safecross_fewshot.dir/maml.cpp.o.d"
+  "CMakeFiles/safecross_fewshot.dir/trainer.cpp.o"
+  "CMakeFiles/safecross_fewshot.dir/trainer.cpp.o.d"
+  "libsafecross_fewshot.a"
+  "libsafecross_fewshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safecross_fewshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsafecross_fewshot.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/c3d.cpp" "src/models/CMakeFiles/safecross_models.dir/c3d.cpp.o" "gcc" "src/models/CMakeFiles/safecross_models.dir/c3d.cpp.o.d"
+  "/root/repo/src/models/inception_lite.cpp" "src/models/CMakeFiles/safecross_models.dir/inception_lite.cpp.o" "gcc" "src/models/CMakeFiles/safecross_models.dir/inception_lite.cpp.o.d"
+  "/root/repo/src/models/resnet_lite.cpp" "src/models/CMakeFiles/safecross_models.dir/resnet_lite.cpp.o" "gcc" "src/models/CMakeFiles/safecross_models.dir/resnet_lite.cpp.o.d"
+  "/root/repo/src/models/slowfast.cpp" "src/models/CMakeFiles/safecross_models.dir/slowfast.cpp.o" "gcc" "src/models/CMakeFiles/safecross_models.dir/slowfast.cpp.o.d"
+  "/root/repo/src/models/tensor_ops.cpp" "src/models/CMakeFiles/safecross_models.dir/tensor_ops.cpp.o" "gcc" "src/models/CMakeFiles/safecross_models.dir/tensor_ops.cpp.o.d"
+  "/root/repo/src/models/tsn.cpp" "src/models/CMakeFiles/safecross_models.dir/tsn.cpp.o" "gcc" "src/models/CMakeFiles/safecross_models.dir/tsn.cpp.o.d"
+  "/root/repo/src/models/yolo_lite.cpp" "src/models/CMakeFiles/safecross_models.dir/yolo_lite.cpp.o" "gcc" "src/models/CMakeFiles/safecross_models.dir/yolo_lite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/safecross_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/safecross_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/safecross_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safecross_models.dir/c3d.cpp.o"
+  "CMakeFiles/safecross_models.dir/c3d.cpp.o.d"
+  "CMakeFiles/safecross_models.dir/inception_lite.cpp.o"
+  "CMakeFiles/safecross_models.dir/inception_lite.cpp.o.d"
+  "CMakeFiles/safecross_models.dir/resnet_lite.cpp.o"
+  "CMakeFiles/safecross_models.dir/resnet_lite.cpp.o.d"
+  "CMakeFiles/safecross_models.dir/slowfast.cpp.o"
+  "CMakeFiles/safecross_models.dir/slowfast.cpp.o.d"
+  "CMakeFiles/safecross_models.dir/tensor_ops.cpp.o"
+  "CMakeFiles/safecross_models.dir/tensor_ops.cpp.o.d"
+  "CMakeFiles/safecross_models.dir/tsn.cpp.o"
+  "CMakeFiles/safecross_models.dir/tsn.cpp.o.d"
+  "CMakeFiles/safecross_models.dir/yolo_lite.cpp.o"
+  "CMakeFiles/safecross_models.dir/yolo_lite.cpp.o.d"
+  "libsafecross_models.a"
+  "libsafecross_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safecross_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safecross_nn.dir/activations.cpp.o"
+  "CMakeFiles/safecross_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/safecross_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/safecross_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/safecross_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/safecross_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/safecross_nn.dir/conv3d.cpp.o"
+  "CMakeFiles/safecross_nn.dir/conv3d.cpp.o.d"
+  "CMakeFiles/safecross_nn.dir/dropout.cpp.o"
+  "CMakeFiles/safecross_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/safecross_nn.dir/init.cpp.o"
+  "CMakeFiles/safecross_nn.dir/init.cpp.o.d"
+  "CMakeFiles/safecross_nn.dir/layer.cpp.o"
+  "CMakeFiles/safecross_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/safecross_nn.dir/linear.cpp.o"
+  "CMakeFiles/safecross_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/safecross_nn.dir/loss.cpp.o"
+  "CMakeFiles/safecross_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/safecross_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/safecross_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/safecross_nn.dir/pooling.cpp.o"
+  "CMakeFiles/safecross_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/safecross_nn.dir/sequential.cpp.o"
+  "CMakeFiles/safecross_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/safecross_nn.dir/serialize.cpp.o"
+  "CMakeFiles/safecross_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/safecross_nn.dir/tensor.cpp.o"
+  "CMakeFiles/safecross_nn.dir/tensor.cpp.o.d"
+  "libsafecross_nn.a"
+  "libsafecross_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safecross_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

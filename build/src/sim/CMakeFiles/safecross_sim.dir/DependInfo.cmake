@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/camera.cpp" "src/sim/CMakeFiles/safecross_sim.dir/camera.cpp.o" "gcc" "src/sim/CMakeFiles/safecross_sim.dir/camera.cpp.o.d"
+  "/root/repo/src/sim/intersection.cpp" "src/sim/CMakeFiles/safecross_sim.dir/intersection.cpp.o" "gcc" "src/sim/CMakeFiles/safecross_sim.dir/intersection.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "src/sim/CMakeFiles/safecross_sim.dir/traffic.cpp.o" "gcc" "src/sim/CMakeFiles/safecross_sim.dir/traffic.cpp.o.d"
+  "/root/repo/src/sim/vehicle.cpp" "src/sim/CMakeFiles/safecross_sim.dir/vehicle.cpp.o" "gcc" "src/sim/CMakeFiles/safecross_sim.dir/vehicle.cpp.o.d"
+  "/root/repo/src/sim/weather.cpp" "src/sim/CMakeFiles/safecross_sim.dir/weather.cpp.o" "gcc" "src/sim/CMakeFiles/safecross_sim.dir/weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/safecross_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/safecross_vision.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safecross_sim.dir/camera.cpp.o"
+  "CMakeFiles/safecross_sim.dir/camera.cpp.o.d"
+  "CMakeFiles/safecross_sim.dir/intersection.cpp.o"
+  "CMakeFiles/safecross_sim.dir/intersection.cpp.o.d"
+  "CMakeFiles/safecross_sim.dir/traffic.cpp.o"
+  "CMakeFiles/safecross_sim.dir/traffic.cpp.o.d"
+  "CMakeFiles/safecross_sim.dir/vehicle.cpp.o"
+  "CMakeFiles/safecross_sim.dir/vehicle.cpp.o.d"
+  "CMakeFiles/safecross_sim.dir/weather.cpp.o"
+  "CMakeFiles/safecross_sim.dir/weather.cpp.o.d"
+  "libsafecross_sim.a"
+  "libsafecross_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safecross_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

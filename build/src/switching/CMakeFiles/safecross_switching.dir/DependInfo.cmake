@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switching/executor.cpp" "src/switching/CMakeFiles/safecross_switching.dir/executor.cpp.o" "gcc" "src/switching/CMakeFiles/safecross_switching.dir/executor.cpp.o.d"
+  "/root/repo/src/switching/gpu_model.cpp" "src/switching/CMakeFiles/safecross_switching.dir/gpu_model.cpp.o" "gcc" "src/switching/CMakeFiles/safecross_switching.dir/gpu_model.cpp.o.d"
+  "/root/repo/src/switching/grouping.cpp" "src/switching/CMakeFiles/safecross_switching.dir/grouping.cpp.o" "gcc" "src/switching/CMakeFiles/safecross_switching.dir/grouping.cpp.o.d"
+  "/root/repo/src/switching/memory_pool.cpp" "src/switching/CMakeFiles/safecross_switching.dir/memory_pool.cpp.o" "gcc" "src/switching/CMakeFiles/safecross_switching.dir/memory_pool.cpp.o.d"
+  "/root/repo/src/switching/profile.cpp" "src/switching/CMakeFiles/safecross_switching.dir/profile.cpp.o" "gcc" "src/switching/CMakeFiles/safecross_switching.dir/profile.cpp.o.d"
+  "/root/repo/src/switching/switcher.cpp" "src/switching/CMakeFiles/safecross_switching.dir/switcher.cpp.o" "gcc" "src/switching/CMakeFiles/safecross_switching.dir/switcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/safecross_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/safecross_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

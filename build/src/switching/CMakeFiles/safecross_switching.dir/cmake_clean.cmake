@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safecross_switching.dir/executor.cpp.o"
+  "CMakeFiles/safecross_switching.dir/executor.cpp.o.d"
+  "CMakeFiles/safecross_switching.dir/gpu_model.cpp.o"
+  "CMakeFiles/safecross_switching.dir/gpu_model.cpp.o.d"
+  "CMakeFiles/safecross_switching.dir/grouping.cpp.o"
+  "CMakeFiles/safecross_switching.dir/grouping.cpp.o.d"
+  "CMakeFiles/safecross_switching.dir/memory_pool.cpp.o"
+  "CMakeFiles/safecross_switching.dir/memory_pool.cpp.o.d"
+  "CMakeFiles/safecross_switching.dir/profile.cpp.o"
+  "CMakeFiles/safecross_switching.dir/profile.cpp.o.d"
+  "CMakeFiles/safecross_switching.dir/switcher.cpp.o"
+  "CMakeFiles/safecross_switching.dir/switcher.cpp.o.d"
+  "libsafecross_switching.a"
+  "libsafecross_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safecross_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/background_subtraction.cpp" "src/vision/CMakeFiles/safecross_vision.dir/background_subtraction.cpp.o" "gcc" "src/vision/CMakeFiles/safecross_vision.dir/background_subtraction.cpp.o.d"
+  "/root/repo/src/vision/blobs.cpp" "src/vision/CMakeFiles/safecross_vision.dir/blobs.cpp.o" "gcc" "src/vision/CMakeFiles/safecross_vision.dir/blobs.cpp.o.d"
+  "/root/repo/src/vision/danger_zone.cpp" "src/vision/CMakeFiles/safecross_vision.dir/danger_zone.cpp.o" "gcc" "src/vision/CMakeFiles/safecross_vision.dir/danger_zone.cpp.o.d"
+  "/root/repo/src/vision/homography.cpp" "src/vision/CMakeFiles/safecross_vision.dir/homography.cpp.o" "gcc" "src/vision/CMakeFiles/safecross_vision.dir/homography.cpp.o.d"
+  "/root/repo/src/vision/image.cpp" "src/vision/CMakeFiles/safecross_vision.dir/image.cpp.o" "gcc" "src/vision/CMakeFiles/safecross_vision.dir/image.cpp.o.d"
+  "/root/repo/src/vision/morphology.cpp" "src/vision/CMakeFiles/safecross_vision.dir/morphology.cpp.o" "gcc" "src/vision/CMakeFiles/safecross_vision.dir/morphology.cpp.o.d"
+  "/root/repo/src/vision/optical_flow.cpp" "src/vision/CMakeFiles/safecross_vision.dir/optical_flow.cpp.o" "gcc" "src/vision/CMakeFiles/safecross_vision.dir/optical_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/safecross_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safecross_vision.dir/background_subtraction.cpp.o"
+  "CMakeFiles/safecross_vision.dir/background_subtraction.cpp.o.d"
+  "CMakeFiles/safecross_vision.dir/blobs.cpp.o"
+  "CMakeFiles/safecross_vision.dir/blobs.cpp.o.d"
+  "CMakeFiles/safecross_vision.dir/danger_zone.cpp.o"
+  "CMakeFiles/safecross_vision.dir/danger_zone.cpp.o.d"
+  "CMakeFiles/safecross_vision.dir/homography.cpp.o"
+  "CMakeFiles/safecross_vision.dir/homography.cpp.o.d"
+  "CMakeFiles/safecross_vision.dir/image.cpp.o"
+  "CMakeFiles/safecross_vision.dir/image.cpp.o.d"
+  "CMakeFiles/safecross_vision.dir/morphology.cpp.o"
+  "CMakeFiles/safecross_vision.dir/morphology.cpp.o.d"
+  "CMakeFiles/safecross_vision.dir/optical_flow.cpp.o"
+  "CMakeFiles/safecross_vision.dir/optical_flow.cpp.o.d"
+  "libsafecross_vision.a"
+  "libsafecross_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safecross_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_background_subtraction.cpp" "tests/CMakeFiles/safecross_tests.dir/test_background_subtraction.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_background_subtraction.cpp.o.d"
+  "/root/repo/tests/test_blobs.cpp" "tests/CMakeFiles/safecross_tests.dir/test_blobs.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_blobs.cpp.o.d"
+  "/root/repo/tests/test_camera.cpp" "tests/CMakeFiles/safecross_tests.dir/test_camera.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_camera.cpp.o.d"
+  "/root/repo/tests/test_collector.cpp" "tests/CMakeFiles/safecross_tests.dir/test_collector.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_collector.cpp.o.d"
+  "/root/repo/tests/test_crossval.cpp" "tests/CMakeFiles/safecross_tests.dir/test_crossval.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_crossval.cpp.o.d"
+  "/root/repo/tests/test_danger_zone.cpp" "tests/CMakeFiles/safecross_tests.dir/test_danger_zone.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_danger_zone.cpp.o.d"
+  "/root/repo/tests/test_episodes.cpp" "tests/CMakeFiles/safecross_tests.dir/test_episodes.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_episodes.cpp.o.d"
+  "/root/repo/tests/test_executor.cpp" "tests/CMakeFiles/safecross_tests.dir/test_executor.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_executor.cpp.o.d"
+  "/root/repo/tests/test_extreme_scenes.cpp" "tests/CMakeFiles/safecross_tests.dir/test_extreme_scenes.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_extreme_scenes.cpp.o.d"
+  "/root/repo/tests/test_gpu_model.cpp" "tests/CMakeFiles/safecross_tests.dir/test_gpu_model.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_gpu_model.cpp.o.d"
+  "/root/repo/tests/test_gradcheck.cpp" "tests/CMakeFiles/safecross_tests.dir/test_gradcheck.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_gradcheck.cpp.o.d"
+  "/root/repo/tests/test_grouping.cpp" "tests/CMakeFiles/safecross_tests.dir/test_grouping.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_grouping.cpp.o.d"
+  "/root/repo/tests/test_homography.cpp" "tests/CMakeFiles/safecross_tests.dir/test_homography.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_homography.cpp.o.d"
+  "/root/repo/tests/test_image.cpp" "tests/CMakeFiles/safecross_tests.dir/test_image.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_image.cpp.o.d"
+  "/root/repo/tests/test_image_models.cpp" "tests/CMakeFiles/safecross_tests.dir/test_image_models.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_image_models.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/safecross_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_intersection.cpp" "tests/CMakeFiles/safecross_tests.dir/test_intersection.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_intersection.cpp.o.d"
+  "/root/repo/tests/test_layers.cpp" "tests/CMakeFiles/safecross_tests.dir/test_layers.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_layers.cpp.o.d"
+  "/root/repo/tests/test_loss.cpp" "tests/CMakeFiles/safecross_tests.dir/test_loss.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_loss.cpp.o.d"
+  "/root/repo/tests/test_maml.cpp" "tests/CMakeFiles/safecross_tests.dir/test_maml.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_maml.cpp.o.d"
+  "/root/repo/tests/test_memory_pool.cpp" "tests/CMakeFiles/safecross_tests.dir/test_memory_pool.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_memory_pool.cpp.o.d"
+  "/root/repo/tests/test_model_store.cpp" "tests/CMakeFiles/safecross_tests.dir/test_model_store.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_model_store.cpp.o.d"
+  "/root/repo/tests/test_monitor.cpp" "tests/CMakeFiles/safecross_tests.dir/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_monitor.cpp.o.d"
+  "/root/repo/tests/test_morphology.cpp" "tests/CMakeFiles/safecross_tests.dir/test_morphology.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_morphology.cpp.o.d"
+  "/root/repo/tests/test_optical_flow.cpp" "tests/CMakeFiles/safecross_tests.dir/test_optical_flow.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_optical_flow.cpp.o.d"
+  "/root/repo/tests/test_optimizer.cpp" "tests/CMakeFiles/safecross_tests.dir/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_optimizer.cpp.o.d"
+  "/root/repo/tests/test_pedestrians.cpp" "tests/CMakeFiles/safecross_tests.dir/test_pedestrians.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_pedestrians.cpp.o.d"
+  "/root/repo/tests/test_profile.cpp" "tests/CMakeFiles/safecross_tests.dir/test_profile.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_profile.cpp.o.d"
+  "/root/repo/tests/test_property_nn.cpp" "tests/CMakeFiles/safecross_tests.dir/test_property_nn.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_property_nn.cpp.o.d"
+  "/root/repo/tests/test_property_sim.cpp" "tests/CMakeFiles/safecross_tests.dir/test_property_sim.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_property_sim.cpp.o.d"
+  "/root/repo/tests/test_property_switching.cpp" "tests/CMakeFiles/safecross_tests.dir/test_property_switching.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_property_switching.cpp.o.d"
+  "/root/repo/tests/test_property_vision.cpp" "tests/CMakeFiles/safecross_tests.dir/test_property_vision.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_property_vision.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/safecross_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_safecross.cpp" "tests/CMakeFiles/safecross_tests.dir/test_safecross.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_safecross.cpp.o.d"
+  "/root/repo/tests/test_segment.cpp" "tests/CMakeFiles/safecross_tests.dir/test_segment.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_segment.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/safecross_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/safecross_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_switcher.cpp" "tests/CMakeFiles/safecross_tests.dir/test_switcher.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_switcher.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/safecross_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_tensor_ops.cpp" "tests/CMakeFiles/safecross_tests.dir/test_tensor_ops.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_tensor_ops.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/safecross_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_traffic.cpp" "tests/CMakeFiles/safecross_tests.dir/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_traffic.cpp.o.d"
+  "/root/repo/tests/test_trainer.cpp" "tests/CMakeFiles/safecross_tests.dir/test_trainer.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_trainer.cpp.o.d"
+  "/root/repo/tests/test_two_direction.cpp" "tests/CMakeFiles/safecross_tests.dir/test_two_direction.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_two_direction.cpp.o.d"
+  "/root/repo/tests/test_video_models.cpp" "tests/CMakeFiles/safecross_tests.dir/test_video_models.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_video_models.cpp.o.d"
+  "/root/repo/tests/test_weather_detect.cpp" "tests/CMakeFiles/safecross_tests.dir/test_weather_detect.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_weather_detect.cpp.o.d"
+  "/root/repo/tests/test_yolo.cpp" "tests/CMakeFiles/safecross_tests.dir/test_yolo.cpp.o" "gcc" "tests/CMakeFiles/safecross_tests.dir/test_yolo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/safecross_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fewshot/CMakeFiles/safecross_fewshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/switching/CMakeFiles/safecross_switching.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/safecross_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/safecross_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/safecross_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/safecross_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/safecross_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/safecross_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
