@@ -19,7 +19,7 @@ int main() {
 
   std::printf("  %-12s %9s %11s %10s %12s\n", "grid", "Top1", "MeanCls", "train-s",
               "cells/frame");
-  for (const auto [gw, gh] : {std::pair{18, 12}, {27, 18}, {36, 24}, {54, 36}}) {
+  for (const auto& [gw, gh] : {std::pair{18, 12}, {27, 18}, {36, 24}, {54, 36}}) {
     dataset::BuildRequest req;
     req.weather = dataset::Weather::Daytime;
     req.target_segments = bench::scaled(300);

@@ -10,6 +10,7 @@
 #include "models/tsn.h"
 #include "nn/conv2d.h"
 #include "nn/conv3d.h"
+#include "nn/gemm.h"
 
 namespace {
 
@@ -22,6 +23,97 @@ Tensor random_tensor(std::vector<int> shape, std::uint64_t seed) {
   for (std::size_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(rng.uniform(-1, 1));
   return t;
 }
+
+// --- Backend head-to-head on SlowCross's deployment geometry: one
+// 32-frame clip of 56x56 occupancy grids (the SafeCross VC input). The
+// CI smoke step runs these so a kernel regression fails loudly.
+
+void BM_Conv2DForwardSlowFastShape(benchmark::State& state, nn::ConvBackend backend) {
+  nn::Conv2DConfig cfg;
+  cfg.in_channels = 8;
+  cfg.out_channels = 16;
+  cfg.backend = backend;
+  nn::Conv2D conv(cfg);
+  const Tensor x = random_tensor({4, 8, 56, 56}, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x, false));
+  }
+}
+void BM_Conv2DForwardGemm(benchmark::State& state) {
+  BM_Conv2DForwardSlowFastShape(state, nn::ConvBackend::kIm2col);
+}
+BENCHMARK(BM_Conv2DForwardGemm)->Unit(benchmark::kMillisecond);
+void BM_Conv2DForwardDirect(benchmark::State& state) {
+  BM_Conv2DForwardSlowFastShape(state, nn::ConvBackend::kDirect);
+}
+BENCHMARK(BM_Conv2DForwardDirect)->Unit(benchmark::kMillisecond);
+
+void BM_Conv3DForwardSlowFastShape(benchmark::State& state, nn::ConvBackend backend) {
+  nn::Conv3DConfig cfg;
+  cfg.in_channels = 4;
+  cfg.out_channels = 8;
+  cfg.backend = backend;
+  nn::Conv3D conv(cfg);
+  const Tensor x = random_tensor({1, 4, 32, 56, 56}, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x, false));
+  }
+}
+void BM_Conv3DForwardGemm(benchmark::State& state) {
+  BM_Conv3DForwardSlowFastShape(state, nn::ConvBackend::kIm2col);
+}
+BENCHMARK(BM_Conv3DForwardGemm)->Unit(benchmark::kMillisecond);
+void BM_Conv3DForwardDirect(benchmark::State& state) {
+  BM_Conv3DForwardSlowFastShape(state, nn::ConvBackend::kDirect);
+}
+BENCHMARK(BM_Conv3DForwardDirect)->Unit(benchmark::kMillisecond);
+
+void BM_Conv3DBackwardSlowFastShape(benchmark::State& state, nn::ConvBackend backend) {
+  nn::Conv3DConfig cfg;
+  cfg.in_channels = 4;
+  cfg.out_channels = 8;
+  cfg.backend = backend;
+  nn::Conv3D conv(cfg);
+  const Tensor x = random_tensor({1, 4, 32, 56, 56}, 13);
+  const Tensor y = conv.forward(x, true);
+  const Tensor g = random_tensor(y.shape(), 14);
+  for (auto _ : state) {
+    conv.zero_grad();
+    benchmark::DoNotOptimize(conv.backward(g));
+  }
+}
+void BM_Conv3DBackwardGemm(benchmark::State& state) {
+  BM_Conv3DBackwardSlowFastShape(state, nn::ConvBackend::kIm2col);
+}
+BENCHMARK(BM_Conv3DBackwardGemm)->Unit(benchmark::kMillisecond);
+void BM_Conv3DBackwardDirect(benchmark::State& state) {
+  BM_Conv3DBackwardSlowFastShape(state, nn::ConvBackend::kDirect);
+}
+BENCHMARK(BM_Conv3DBackwardDirect)->Unit(benchmark::kMillisecond);
+
+// The raw GEMM core at the three shapes the conv backward emits (NN
+// forward, NT weight-grad, TN data-grad), sized like conv3d above.
+void BM_SGemm(benchmark::State& state, nn::Trans ta, nn::Trans tb, int m, int n, int k) {
+  const Tensor a = random_tensor({ta == nn::Trans::kNo ? m : k, ta == nn::Trans::kNo ? k : m}, 15);
+  const Tensor b = random_tensor({tb == nn::Trans::kNo ? k : n, tb == nn::Trans::kNo ? n : k}, 16);
+  Tensor c({m, n});
+  for (auto _ : state) {
+    nn::sgemm(ta, tb, m, n, k, 1.0f, a.data(), a.dim(1), b.data(), b.dim(1), 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+void BM_SGemmNN(benchmark::State& state) {
+  BM_SGemm(state, nn::Trans::kNo, nn::Trans::kNo, 8, 32 * 56 * 56, 108);
+}
+BENCHMARK(BM_SGemmNN)->Unit(benchmark::kMillisecond);
+void BM_SGemmNT(benchmark::State& state) {
+  BM_SGemm(state, nn::Trans::kNo, nn::Trans::kTrans, 8, 108, 32 * 56 * 56);
+}
+BENCHMARK(BM_SGemmNT)->Unit(benchmark::kMillisecond);
+void BM_SGemmTN(benchmark::State& state) {
+  BM_SGemm(state, nn::Trans::kTrans, nn::Trans::kNo, 108, 32 * 56 * 56, 8);
+}
+BENCHMARK(BM_SGemmTN)->Unit(benchmark::kMillisecond);
 
 void BM_Conv2DForward(benchmark::State& state) {
   nn::Conv2DConfig cfg;

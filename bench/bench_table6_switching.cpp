@@ -67,7 +67,13 @@ int main() {
   // nearly balanced, so pipelining can hide almost half the wall time.
   ModelProfile demo;
   demo.name = "demo";
-  for (int i = 0; i < 12; ++i) demo.layers.push_back({"l" + std::to_string(i), 12'000'000, 3.5, 0});
+  for (int i = 0; i < 12; ++i) {
+    // Built with += rather than operator+: every string operator+ overload
+    // trips GCC 12's -Wrestrict false positive at -O3 (PR105651).
+    std::string name = "l";
+    name += std::to_string(i);
+    demo.layers.push_back({std::move(name), 12'000'000, 3.5, 0});
+  }
   const ExecutorResult seq = exec.run_sequential(demo);
   const ExecutorResult pip = exec.run_pipelined(demo, optimal_grouping(demo, GpuModelConfig{}));
   std::printf("  sequential: wall %.1f ms (transfer %.1f + compute %.1f)\n", seq.wall_ms,

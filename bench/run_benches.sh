@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Run the google-benchmark micro-bench binaries and write one JSON file
+# per binary (BENCH_<name>.json) into the current directory.
+#
+# Usage:
+#   bench/run_benches.sh [--smoke] [build-dir]
+#
+#   --smoke    CI mode: only conv/GEMM benches, one repetition at a tiny
+#              min-time — a "does it still run" guard, not a perf gate.
+#   build-dir  defaults to ./build
+#
+# Note: the installed google-benchmark wants a bare number for
+# --benchmark_min_time (no "s" suffix).
+set -euo pipefail
+
+smoke=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  smoke=1
+  shift
+fi
+build_dir="${1:-build}"
+
+if [[ ! -d "$build_dir/bench" ]]; then
+  echo "error: '$build_dir/bench' not found — build the project first" >&2
+  exit 1
+fi
+
+extra_args=()
+glob="bench_micro_*"
+if [[ $smoke -eq 1 ]]; then
+  # Only bench_micro_nn has Conv/Gemm benchmarks; skip the rest entirely
+  # instead of writing empty JSON files.
+  glob="bench_micro_nn"
+  extra_args+=(--benchmark_filter='Conv|Gemm' --benchmark_min_time=0.01 --benchmark_repetitions=1)
+else
+  extra_args+=(--benchmark_min_time=0.2)
+fi
+
+ran=0
+for bin in "$build_dir"/bench/$glob; do
+  [[ -x "$bin" && ! -d "$bin" ]] || continue
+  name="$(basename "$bin")"
+  out="BENCH_${name#bench_}.json"
+  echo "== $name -> $out"
+  "$bin" --benchmark_out="$out" --benchmark_out_format=json "${extra_args[@]}"
+  ran=$((ran + 1))
+done
+
+if [[ $ran -eq 0 ]]; then
+  echo "error: no bench_micro_* binaries in '$build_dir/bench'" >&2
+  exit 1
+fi
+echo "wrote $ran JSON result file(s)"

@@ -20,6 +20,7 @@ struct C3DConfig {
   int frames = 32;       // input clip length; internally strided to 16
   int base_channels = 8;
   std::uint64_t init_seed = 22u;
+  nn::ConvBackend conv_backend = nn::ConvBackend::kAuto;  // all Conv3D layers
 };
 
 class C3D final : public VideoClassifier {

@@ -3,11 +3,14 @@
 #include <stdexcept>
 
 #include "common/thread_pool.h"
+#include "nn/gemm.h"
+#include "nn/im2col.h"
 
 namespace safecross::nn {
 
 Conv2D::Conv2D(Conv2DConfig config)
     : config_(config),
+      backend_(resolve_conv_backend(config.backend)),
       weight_(Tensor({config.out_channels, config.in_channels, config.kernel, config.kernel})),
       bias_(Tensor({config.out_channels})) {
   if (config.kernel < 1 || config.stride < 1 || config.padding < 0) {
@@ -30,12 +33,128 @@ Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
                                 ", H, W), got " + input.shape_str());
   }
   cached_input_ = input;
+  const int oh = out_size(input.dim(2), config_.kernel, config_.stride, config_.padding);
+  const int ow = out_size(input.dim(3), config_.kernel, config_.stride, config_.padding);
+  if (oh <= 0 || ow <= 0) throw std::invalid_argument("Conv2D: output would be empty");
+  return backend_ == ConvBackend::kDirect ? forward_direct(input) : forward_gemm(input);
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  return backend_ == ConvBackend::kDirect ? backward_direct(grad_output)
+                                          : backward_gemm(grad_output);
+}
+
+// ---------------------------------------------------------------------------
+// im2col + GEMM backend.
+//
+// Per batch item: col = im2col(x) with rows in weight order, so
+// y (c_out x oh*ow) = W (c_out x rows) * col, and in backward
+// dW += dy * col^T and dx = col2im(W^T * dy).
+
+Tensor Conv2D::forward_gemm(const Tensor& input) {
+  const int n = input.dim(0), c_in = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int k = config_.kernel, c_out = config_.out_channels;
+  const Im2ColGeom2D g{c_in, h,
+                       w,    k,
+                       config_.stride, config_.padding,
+                       out_size(h, k, config_.stride, config_.padding),
+                       out_size(w, k, config_.stride, config_.padding)};
+  const int rows = g.rows();
+  const std::size_t cols = g.cols();
+  const std::size_t per_item = static_cast<std::size_t>(rows) * cols;
+  if (col_.size() < static_cast<std::size_t>(n) * per_item) {
+    col_.resize(static_cast<std::size_t>(n) * per_item);
+  }
+
+  const float* x = input.data();
+  // Lower: each job owns one (batch, channel) block of whole rows.
+  ThreadPool::global().parallel_for(static_cast<std::size_t>(n) * c_in, [&](std::size_t job) {
+    const int bi = static_cast<int>(job) / c_in;
+    const int ic = static_cast<int>(job) % c_in;
+    im2col_2d(x + static_cast<std::size_t>(bi) * c_in * h * w, g, ic * g.rows_per_channel(),
+              (ic + 1) * g.rows_per_channel(), col_.data() + bi * per_item);
+  });
+
+  Tensor out({n, c_out, g.oh, g.ow});
+  float* y = out.data();
+  for (int bi = 0; bi < n; ++bi) {
+    sgemm(Trans::kNo, Trans::kNo, c_out, static_cast<int>(cols), rows, 1.0f,
+          weight_.value.data(), rows, col_.data() + bi * per_item, static_cast<int>(cols), 0.0f,
+          y + static_cast<std::size_t>(bi) * c_out * cols, static_cast<int>(cols));
+  }
+
+  if (config_.bias) {
+    const float* b = bias_.value.data();
+    ThreadPool::global().parallel_for(static_cast<std::size_t>(n) * c_out, [&](std::size_t job) {
+      const float bv = b[job % c_out];
+      float* row = y + job * cols;
+      for (std::size_t m = 0; m < cols; ++m) row[m] += bv;
+    });
+  }
+  return out;
+}
+
+Tensor Conv2D::backward_gemm(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  const int n = input.dim(0), c_in = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int k = config_.kernel, c_out = config_.out_channels;
+  const Im2ColGeom2D g{c_in, h,
+                       w,    k,
+                       config_.stride, config_.padding,
+                       grad_output.dim(2), grad_output.dim(3)};
+  const int rows = g.rows();
+  const std::size_t cols = g.cols();
+  const std::size_t per_item = static_cast<std::size_t>(rows) * cols;
+  if (col_grad_.size() < per_item) col_grad_.resize(per_item);
+
+  const float* go = grad_output.data();
+  float* gw = weight_.grad.data();
+
+  if (config_.bias) {
+    float* gb = bias_.grad.data();
+    ThreadPool::global().parallel_for(static_cast<std::size_t>(c_out), [&](std::size_t oc) {
+      double acc = 0.0;
+      for (int bi = 0; bi < n; ++bi) {
+        const float* row = go + (static_cast<std::size_t>(bi) * c_out + oc) * cols;
+        for (std::size_t m = 0; m < cols; ++m) acc += row[m];
+      }
+      gb[oc] += static_cast<float>(acc);
+    });
+  }
+
+  // dW += dy_b * col_b^T, accumulated over the batch (col_ still holds
+  // this layer's lowering from the matching forward call).
+  for (int bi = 0; bi < n; ++bi) {
+    sgemm(Trans::kNo, Trans::kTrans, c_out, rows, static_cast<int>(cols), 1.0f,
+          go + static_cast<std::size_t>(bi) * c_out * cols, static_cast<int>(cols),
+          col_.data() + bi * per_item, static_cast<int>(cols), 1.0f, gw, rows);
+  }
+
+  Tensor grad_input({n, c_in, h, w}, 0.0f);
+  float* gi = grad_input.data();
+  for (int bi = 0; bi < n; ++bi) {
+    // dcol = W^T * dy_b, then scatter back to image layout.
+    sgemm(Trans::kTrans, Trans::kNo, rows, static_cast<int>(cols), c_out, 1.0f,
+          weight_.value.data(), rows, go + static_cast<std::size_t>(bi) * c_out * cols,
+          static_cast<int>(cols), 0.0f, col_grad_.data(), static_cast<int>(cols));
+    float* gi_b = gi + static_cast<std::size_t>(bi) * c_in * h * w;
+    ThreadPool::global().parallel_for(static_cast<std::size_t>(c_in), [&](std::size_t ic) {
+      col2im_2d(col_grad_.data(), g, static_cast<int>(ic) * g.rows_per_channel(),
+                (static_cast<int>(ic) + 1) * g.rows_per_channel(), gi_b);
+    });
+  }
+  return grad_input;
+}
+
+// ---------------------------------------------------------------------------
+// Direct backend: the original naive loops, kept as the parity oracle.
+
+Tensor Conv2D::forward_direct(const Tensor& input) {
   const int n = input.dim(0), c_in = input.dim(1), h = input.dim(2), w = input.dim(3);
   const int k = config_.kernel, s = config_.stride, p = config_.padding;
   const int c_out = config_.out_channels;
   const int oh = out_size(h, k, s, p);
   const int ow = out_size(w, k, s, p);
-  if (oh <= 0 || ow <= 0) throw std::invalid_argument("Conv2D: output would be empty");
 
   Tensor out({n, c_out, oh, ow});
   const float* x = input.data();
@@ -69,7 +188,7 @@ Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
   return out;
 }
 
-Tensor Conv2D::backward(const Tensor& grad_output) {
+Tensor Conv2D::backward_direct(const Tensor& grad_output) {
   const Tensor& input = cached_input_;
   const int n = input.dim(0), c_in = input.dim(1), h = input.dim(2), w = input.dim(3);
   const int k = config_.kernel, s = config_.stride, p = config_.padding;

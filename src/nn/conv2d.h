@@ -2,9 +2,14 @@
 // 2-D convolution over (N, C, H, W) tensors, with stride and zero padding.
 //
 // Used by the TSN/ResNet-lite/Inception-lite 2-D backbones and the
-// YOLO-lite detector. Direct (non-im2col) implementation, parallelized
-// over (batch x output-channel) via the global thread pool.
+// YOLO-lite detector. Two backends (see conv_backend.h): the default
+// lowers each image to an im2col matrix and runs a cache-blocked GEMM
+// against the flattened weight; kDirect keeps the original naive loops,
+// parallelized over (batch x output-channel), as a parity oracle.
 
+#include <vector>
+
+#include "nn/conv_backend.h"
 #include "nn/layer.h"
 
 namespace safecross::nn {
@@ -16,6 +21,7 @@ struct Conv2DConfig {
   int stride = 1;
   int padding = 1;
   bool bias = true;
+  ConvBackend backend = ConvBackend::kAuto;
 };
 
 class Conv2D final : public Layer {
@@ -31,14 +37,29 @@ class Conv2D final : public Layer {
   Param& weight() { return weight_; }
   Param& bias() { return bias_; }
 
+  /// The concrete backend this layer resolved to (never kAuto).
+  ConvBackend backend() const { return backend_; }
+
   /// Output spatial size for a given input size.
   static int out_size(int in, int kernel, int stride, int padding);
 
  private:
+  Tensor forward_direct(const Tensor& input);
+  Tensor backward_direct(const Tensor& grad_output);
+  Tensor forward_gemm(const Tensor& input);
+  Tensor backward_gemm(const Tensor& grad_output);
+
   Conv2DConfig config_;
+  ConvBackend backend_;
   Param weight_;  // (out_c, in_c, k, k)
   Param bias_;    // (out_c)
   Tensor cached_input_;
+  // Scratch for the GEMM backend, grown once and reused across calls:
+  // col_ holds the lowered batch (n x rows x cols) from the last forward
+  // (backward reuses it for the weight gradient), col_grad_ one item's
+  // gradient matrix during backward.
+  std::vector<float> col_;
+  std::vector<float> col_grad_;
 };
 
 }  // namespace safecross::nn

@@ -1,0 +1,32 @@
+#pragma once
+// Convolution backend selection.
+//
+// Conv2D/Conv3D can run either as the original direct (naive loop)
+// kernels or lowered to im2col + tiled GEMM. kAuto (the default)
+// consults the SAFECROSS_CONV_BACKEND environment variable ("direct" or
+// "im2col") and falls back to im2col, the fast path. kDirect is kept so
+// tests can assert bitwise-tolerant parity between the two backends.
+
+#include <cstdlib>
+#include <cstring>
+
+namespace safecross::nn {
+
+enum class ConvBackend {
+  kAuto,    // resolve from SAFECROSS_CONV_BACKEND, default im2col
+  kDirect,  // naive loops, parallel over batch x out-channel
+  kIm2col,  // im2col lowering + cache-blocked SGEMM
+};
+
+/// Collapse kAuto to a concrete backend; called once per layer at
+/// construction so the env var is consulted, not cached process-wide.
+inline ConvBackend resolve_conv_backend(ConvBackend requested) {
+  if (requested != ConvBackend::kAuto) return requested;
+  if (const char* env = std::getenv("SAFECROSS_CONV_BACKEND")) {
+    if (std::strcmp(env, "direct") == 0) return ConvBackend::kDirect;
+    if (std::strcmp(env, "im2col") == 0) return ConvBackend::kIm2col;
+  }
+  return ConvBackend::kIm2col;
+}
+
+}  // namespace safecross::nn

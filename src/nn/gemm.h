@@ -1,0 +1,22 @@
+#pragma once
+// Cache-blocked single-precision GEMM on row-major matrices.
+//
+// The compute core of the im2col convolution backend and of Linear:
+// C = alpha * op(A) * op(B) + beta * C, with op in {identity, transpose}.
+// Work is tiled over C and the tiles are distributed across the global
+// ThreadPool; tile sizes shrink adaptively so small-but-deep products
+// (e.g. weight gradients) still fan out across workers.
+
+namespace safecross::nn {
+
+enum class Trans { kNo, kTrans };
+
+/// C (m x n) = alpha * op(A) (m x k) * op(B) (k x n) + beta * C.
+///
+/// lda/ldb/ldc are leading dimensions of the *stored* row-major arrays:
+/// A is m x k when trans_a == kNo and k x m when kTrans (same for B).
+/// beta == 0 overwrites C (it is never read), beta == 1 accumulates.
+void sgemm(Trans trans_a, Trans trans_b, int m, int n, int k, float alpha, const float* a, int lda,
+           const float* b, int ldb, float beta, float* c, int ldc);
+
+}  // namespace safecross::nn

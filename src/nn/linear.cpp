@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/gemm.h"
+
 namespace safecross::nn {
 
 Linear::Linear(int in_features, int out_features, bool bias)
@@ -26,17 +28,15 @@ Tensor Linear::forward(const Tensor& input, bool /*training*/) {
   cached_input_ = input;
   const int n = input.dim(0);
   Tensor out({n, out_});
-  const float* x = input.data();
-  const float* w = weight_.value.data();
-  const float* b = bias_.value.data();
-  float* y = out.data();
-  for (int bi = 0; bi < n; ++bi) {
-    for (int o = 0; o < out_; ++o) {
-      float acc = has_bias_ ? b[o] : 0.0f;
-      const float* xr = x + static_cast<std::size_t>(bi) * in_;
-      const float* wr = w + static_cast<std::size_t>(o) * in_;
-      for (int i = 0; i < in_; ++i) acc += xr[i] * wr[i];
-      y[static_cast<std::size_t>(bi) * out_ + o] = acc;
+  // Y (n x out) = X (n x in) * W^T, then broadcast the bias row.
+  sgemm(Trans::kNo, Trans::kTrans, n, out_, in_, 1.0f, input.data(), in_, weight_.value.data(),
+        in_, 0.0f, out.data(), out_);
+  if (has_bias_) {
+    const float* b = bias_.value.data();
+    float* y = out.data();
+    for (int bi = 0; bi < n; ++bi) {
+      float* row = y + static_cast<std::size_t>(bi) * out_;
+      for (int o = 0; o < out_; ++o) row[o] += b[o];
     }
   }
   return out;
@@ -44,26 +44,18 @@ Tensor Linear::forward(const Tensor& input, bool /*training*/) {
 
 Tensor Linear::backward(const Tensor& grad_output) {
   const int n = cached_input_.dim(0);
-  Tensor grad_input({n, in_}, 0.0f);
-  const float* x = cached_input_.data();
+  Tensor grad_input({n, in_});
   const float* go = grad_output.data();
-  const float* w = weight_.value.data();
-  float* gi = grad_input.data();
-  float* gw = weight_.grad.data();
-  float* gb = bias_.grad.data();
-  for (int bi = 0; bi < n; ++bi) {
-    const float* xr = x + static_cast<std::size_t>(bi) * in_;
-    const float* gr = go + static_cast<std::size_t>(bi) * out_;
-    float* gir = gi + static_cast<std::size_t>(bi) * in_;
-    for (int o = 0; o < out_; ++o) {
-      const float g = gr[o];
-      if (has_bias_) gb[o] += g;
-      const float* wr = w + static_cast<std::size_t>(o) * in_;
-      float* gwr = gw + static_cast<std::size_t>(o) * in_;
-      for (int i = 0; i < in_; ++i) {
-        gwr[i] += g * xr[i];
-        gir[i] += g * wr[i];
-      }
+  // dW (out x in) += dY^T * X;  dX (n x in) = dY * W.
+  sgemm(Trans::kTrans, Trans::kNo, out_, in_, n, 1.0f, go, out_, cached_input_.data(), in_, 1.0f,
+        weight_.grad.data(), in_);
+  sgemm(Trans::kNo, Trans::kNo, n, in_, out_, 1.0f, go, out_, weight_.value.data(), in_, 0.0f,
+        grad_input.data(), in_);
+  if (has_bias_) {
+    float* gb = bias_.grad.data();
+    for (int bi = 0; bi < n; ++bi) {
+      const float* gr = go + static_cast<std::size_t>(bi) * out_;
+      for (int o = 0; o < out_; ++o) gb[o] += gr[o];
     }
   }
   return grad_input;

@@ -13,7 +13,9 @@ ModelProfile executor_profile() {
   ModelProfile p;
   p.name = "exec-test";
   for (int i = 0; i < 8; ++i) {
-    p.layers.push_back({"l" + std::to_string(i), 3'000'000, 3.0, 0.0});
+    std::string name = "l";
+    name += std::to_string(i);
+    p.layers.push_back({std::move(name), 3'000'000, 3.0, 0.0});
   }
   return p;
 }
@@ -31,8 +33,10 @@ TEST(Executor, PipelinedOverlapsTransferAndCompute) {
   const ExecutorResult seq = exec.run_sequential(p);
   const ExecutorResult pip = exec.run_pipelined(p, per_layer_grouping(p));
   // Real threads, real sleeps: the pipelined wall time must be
-  // measurably below sequential (ideal: max of the two busy times).
-  EXPECT_LT(pip.wall_ms, seq.wall_ms * 0.85);
+  // measurably below sequential (ideal: max of the two busy times,
+  // ~0.81x here; no overlap at all would be 1.0x). The 0.92 threshold
+  // leaves a few ms of sleep-jitter budget for loaded 1-2 core CI boxes.
+  EXPECT_LT(pip.wall_ms, seq.wall_ms * 0.92);
   EXPECT_GE(pip.wall_ms, std::max(pip.transfer_ms, pip.compute_ms) - 2.0);
 }
 

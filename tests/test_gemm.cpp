@@ -1,0 +1,128 @@
+// Tiled SGEMM vs a naive reference, across transpose modes, alpha/beta
+// combinations, and shapes straddling the tile boundaries (the kernel
+// blocks C into up-to-64x256 tiles and walks k in 256-wide slabs).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "gradcheck.h"
+#include "nn/gemm.h"
+
+namespace safecross::nn {
+namespace {
+
+// op(A) is m x k, op(B) is k x n, all matrices row-major and dense
+// (lda == columns of the stored matrix).
+std::vector<float> reference_gemm(Trans trans_a, Trans trans_b, int m, int n, int k, float alpha,
+                                  const std::vector<float>& a, const std::vector<float>& b,
+                                  float beta, std::vector<float> c) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = trans_a == Trans::kNo ? a[i * k + kk] : a[kk * m + i];
+        const float bv = trans_b == Trans::kNo ? b[kk * n + j] : b[j * k + kk];
+        acc += static_cast<double>(av) * static_cast<double>(bv);
+      }
+      c[i * n + j] = alpha * static_cast<float>(acc) + beta * c[i * n + j];
+    }
+  }
+  return c;
+}
+
+std::vector<float> random_matrix(int rows, int cols, std::uint64_t seed) {
+  safecross::Rng rng(seed);
+  std::vector<float> m(static_cast<std::size_t>(rows) * cols);
+  for (auto& v : m) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+void expect_sgemm_matches(Trans trans_a, Trans trans_b, int m, int n, int k, float alpha,
+                          float beta, std::uint64_t seed) {
+  const int a_rows = trans_a == Trans::kNo ? m : k;
+  const int a_cols = trans_a == Trans::kNo ? k : m;
+  const int b_rows = trans_b == Trans::kNo ? k : n;
+  const int b_cols = trans_b == Trans::kNo ? n : k;
+  const auto a = random_matrix(a_rows, a_cols, seed);
+  const auto b = random_matrix(b_rows, b_cols, seed ^ 0xB00Bu);
+  auto c = random_matrix(m, n, seed ^ 0xCAFEu);
+  const auto want = reference_gemm(trans_a, trans_b, m, n, k, alpha, a, b, beta, c);
+
+  sgemm(trans_a, trans_b, m, n, k, alpha, a.data(), a_cols, b.data(), b_cols, beta, c.data(), n);
+
+  // k multiplications of values in [-1, 1]; scale the tolerance with k.
+  const float tol = 1e-5f * static_cast<float>(std::max(k, 1));
+  for (int i = 0; i < m * n; ++i) {
+    ASSERT_NEAR(c[i], want[i], tol) << "trans_a=" << static_cast<int>(trans_a)
+                                    << " trans_b=" << static_cast<int>(trans_b) << " m=" << m
+                                    << " n=" << n << " k=" << k << " at " << i;
+  }
+}
+
+TEST(SGemm, TinyShapes) {
+  expect_sgemm_matches(Trans::kNo, Trans::kNo, 1, 1, 1, 1.0f, 0.0f, 1);
+  expect_sgemm_matches(Trans::kNo, Trans::kNo, 3, 5, 7, 1.0f, 0.0f, 2);
+  expect_sgemm_matches(Trans::kNo, Trans::kNo, 7, 3, 5, 1.0f, 0.0f, 3);
+}
+
+TEST(SGemm, TileBoundaryShapes) {
+  // The kernel tiles C in up-to-64-row x 256-column blocks and walks k in
+  // 256-wide slabs; probe one-below / exact / one-above each boundary.
+  for (const int m : {63, 64, 65}) {
+    expect_sgemm_matches(Trans::kNo, Trans::kNo, m, 19, 11, 1.0f, 0.0f, 10 + m);
+  }
+  for (const int n : {255, 256, 257}) {
+    expect_sgemm_matches(Trans::kNo, Trans::kNo, 5, n, 9, 1.0f, 0.0f, 20 + n);
+  }
+  for (const int k : {255, 256, 257}) {
+    expect_sgemm_matches(Trans::kNo, Trans::kNo, 4, 6, k, 1.0f, 0.0f, 30 + k);
+  }
+}
+
+TEST(SGemm, TransposedA) {
+  expect_sgemm_matches(Trans::kTrans, Trans::kNo, 3, 5, 7, 1.0f, 0.0f, 40);
+  expect_sgemm_matches(Trans::kTrans, Trans::kNo, 65, 17, 13, 1.0f, 0.0f, 41);
+  expect_sgemm_matches(Trans::kTrans, Trans::kNo, 8, 100, 257, 1.0f, 0.0f, 42);
+}
+
+TEST(SGemm, TransposedB) {
+  expect_sgemm_matches(Trans::kNo, Trans::kTrans, 3, 5, 7, 1.0f, 0.0f, 50);
+  expect_sgemm_matches(Trans::kNo, Trans::kTrans, 17, 65, 13, 1.0f, 0.0f, 51);
+  // k straddling the 16-lane dot-product unroll.
+  for (const int k : {15, 16, 17, 31, 33}) {
+    expect_sgemm_matches(Trans::kNo, Trans::kTrans, 4, 6, k, 1.0f, 0.0f, 52 + k);
+  }
+}
+
+TEST(SGemm, TransposedBoth) {
+  expect_sgemm_matches(Trans::kTrans, Trans::kTrans, 3, 5, 7, 1.0f, 0.0f, 60);
+  expect_sgemm_matches(Trans::kTrans, Trans::kTrans, 65, 9, 17, 1.0f, 0.0f, 61);
+}
+
+TEST(SGemm, AlphaBeta) {
+  // beta=1 accumulates (the weight-gradient path), alpha scales.
+  expect_sgemm_matches(Trans::kNo, Trans::kNo, 6, 7, 8, 1.0f, 1.0f, 70);
+  expect_sgemm_matches(Trans::kNo, Trans::kTrans, 6, 7, 8, 0.5f, 1.0f, 71);
+  expect_sgemm_matches(Trans::kTrans, Trans::kNo, 6, 7, 8, 2.0f, -1.0f, 72);
+  expect_sgemm_matches(Trans::kNo, Trans::kNo, 6, 7, 8, 0.0f, 2.0f, 73);
+}
+
+TEST(SGemm, DegenerateK) {
+  // k == 0: C <- beta * C regardless of transpose flags.
+  auto c = random_matrix(4, 5, 80);
+  const auto orig = c;
+  sgemm(Trans::kNo, Trans::kNo, 4, 5, 0, 1.0f, nullptr, 1, nullptr, 5, 0.5f, c.data(), 5);
+  for (int i = 0; i < 20; ++i) EXPECT_FLOAT_EQ(c[i], 0.5f * orig[i]);
+}
+
+TEST(SGemm, ConvShapedProblem) {
+  // The shape conv3d lowers to on SlowFast-sized inputs (scaled down for
+  // test time): c_out x (c_in * kt * ks * ks) times that x (ot * oh * ow).
+  expect_sgemm_matches(Trans::kNo, Trans::kNo, 8, 14 * 14 * 4, 4 * 3 * 3 * 3, 1.0f, 0.0f, 90);
+}
+
+}  // namespace
+}  // namespace safecross::nn

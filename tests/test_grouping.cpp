@@ -11,7 +11,11 @@ ModelProfile uniform_profile(int layers, std::size_t bytes_each, double compute_
   ModelProfile p;
   p.name = "uniform";
   for (int i = 0; i < layers; ++i) {
-    p.layers.push_back({"l" + std::to_string(i), bytes_each, compute_each, 0.0});
+    // Built with += rather than operator+: every string operator+ overload
+    // trips GCC 12's -Wrestrict false positive at -O3 (PR105651).
+    std::string name = "l";
+    name += std::to_string(i);
+    p.layers.push_back({std::move(name), bytes_each, compute_each, 0.0});
   }
   return p;
 }

@@ -15,11 +15,15 @@ namespace {
 ModelProfile random_profile(int layers, std::uint64_t seed) {
   Rng rng(seed);
   ModelProfile p;
-  p.name = "random-" + std::to_string(seed);
+  // Built with += rather than operator+: every string operator+ overload
+  // trips GCC 12's -Wrestrict false positive at -O3 (PR105651).
+  p.name = "random-";
+  p.name += std::to_string(seed);
   p.framework_load_ms = rng.uniform(100.0, 1500.0);
   for (int i = 0; i < layers; ++i) {
     LayerDesc l;
-    l.name = "l" + std::to_string(i);
+    l.name = "l";
+    l.name += std::to_string(i);
     l.param_bytes = static_cast<std::size_t>(rng.uniform(1e4, 3e7));
     l.compute_ms = rng.uniform(0.01, 2.0);
     l.cold_extra_ms = rng.uniform(0.0, 30.0);
