@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Run the google-benchmark micro-bench binaries and write one JSON file
-# per binary (BENCH_<name>.json) into the current directory.
+# per binary (BENCH_<name>.json) into the current directory. Also runs
+# the robustness fault sweep (bench_robustness_faults), which writes
+# BENCH_robustness.json itself.
 #
 # Usage:
 #   bench/run_benches.sh [--smoke] [build-dir]
 #
-#   --smoke    CI mode: only conv/GEMM benches, one repetition at a tiny
-#              min-time — a "does it still run" guard, not a perf gate.
+#   --smoke    CI mode: only conv/GEMM benches plus a short fault sweep,
+#              one repetition at a tiny min-time — a "does it still run"
+#              guard, not a perf gate.
 #   build-dir  defaults to ./build
 #
 # Note: the installed google-benchmark wants a bare number for
@@ -50,4 +53,19 @@ if [[ $ran -eq 0 ]]; then
   echo "error: no bench_micro_* binaries in '$build_dir/bench'" >&2
   exit 1
 fi
+
+# Fault-injection sweep: availability / missed-threat / false-warning per
+# fault rate, baseline vs fail-safe policy. Not a google-benchmark binary;
+# it writes its JSON itself and exits non-zero on any uncaught exception.
+robustness_bin="$build_dir/bench/bench_robustness_faults"
+if [[ -x "$robustness_bin" ]]; then
+  robustness_args=(--json BENCH_robustness.json)
+  if [[ $smoke -eq 1 ]]; then
+    robustness_args+=(--frames 1800)  # one simulated minute per arm
+  fi
+  echo "== bench_robustness_faults -> BENCH_robustness.json"
+  "$robustness_bin" "${robustness_args[@]}"
+  ran=$((ran + 1))
+fi
+
 echo "wrote $ran JSON result file(s)"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 namespace safecross {
 
@@ -34,8 +35,13 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
@@ -51,11 +57,19 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   std::atomic<std::size_t> done{0};
   std::mutex done_mutex;
   std::condition_variable done_cv;
+  std::exception_ptr error;  // first exception across chunks, under done_mutex
   for (std::size_t c = 0; c < submitted; ++c) {
     const std::size_t begin = c * per;
     const std::size_t end = std::min(n, begin + per);
     submit([&, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        if (!error) error = std::current_exception();
+      }
+      // The chunk always counts as done, error or not — a throwing task
+      // must never leave the caller blocked on done_cv.
       if (done.fetch_add(1) + 1 == submitted) {
         std::lock_guard<std::mutex> lock(done_mutex);
         done_cv.notify_all();
@@ -64,6 +78,10 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   }
   std::unique_lock<std::mutex> lock(done_mutex);
   done_cv.wait(lock, [&] { return done.load() == submitted; });
+  if (error) {
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 ThreadPool& ThreadPool::global() {
@@ -81,9 +99,18 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // A throwing task must not escape the worker thread (that would
+    // std::terminate the process): capture the first exception for
+    // wait_idle() to rethrow, and always run the in-flight bookkeeping.
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
       if (--in_flight_ == 0) cv_idle_.notify_all();
     }
   }

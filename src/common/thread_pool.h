@@ -7,6 +7,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -25,14 +26,20 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task; returns immediately.
+  /// Enqueue a task; returns immediately. A throwing task does NOT take
+  /// the process down: the first exception is captured and rethrown from
+  /// the next wait_idle() (later ones are dropped).
   void submit(std::function<void()> task);
 
-  /// Block until all submitted tasks have finished.
+  /// Block until all submitted tasks have finished. If any task threw
+  /// since the last wait_idle(), rethrows the first captured exception
+  /// (the pool itself stays usable).
   void wait_idle();
 
   /// Run fn(i) for i in [0, n), partitioned across the pool, blocking
-  /// until complete. Falls back to serial for tiny n.
+  /// until complete. Falls back to serial for tiny n. If any fn(i) threw,
+  /// the first exception is rethrown here after all chunks finish
+  /// (remaining indices in throwing chunks are skipped).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide shared pool.
@@ -48,6 +55,7 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;  // guarded by mutex_
 };
 
 }  // namespace safecross

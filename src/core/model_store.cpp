@@ -43,19 +43,62 @@ std::vector<dataset::Weather> ModelStore::available() const {
   return out;
 }
 
+namespace {
+
+/// Cheap structural validation before any tensor data is parsed: the file
+/// must exist, be non-empty, and start with the checkpoint magic. Returns
+/// an empty string when the file looks plausible.
+std::string validate_checkpoint(const std::filesystem::path& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return "cannot stat checkpoint: " + ec.message();
+  // Smallest well-formed file: magic + count for params and buffers blocks.
+  constexpr std::uintmax_t kMinBytes = 2 * (sizeof(std::uint32_t) + sizeof(std::uint64_t));
+  if (size == 0) return "checkpoint is empty (0 bytes)";
+  if (size < kMinBytes) return "checkpoint truncated (" + std::to_string(size) + " bytes)";
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return "cannot open checkpoint";
+  std::uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!is) return "cannot read checkpoint header";
+  if (magic != nn::kCheckpointMagic) return "bad checkpoint magic";
+  return {};
+}
+
+}  // namespace
+
+ModelStore::LoadReport ModelStore::load_report(SafeCross& safecross,
+                                               const SafeCrossConfig& config) const {
+  LoadReport report;
+  for (const auto weather : available()) {
+    const auto path = path_for(weather);
+    std::string error = validate_checkpoint(path);
+    if (error.empty()) {
+      // The model is only registered once the whole file deserialized:
+      // a half-loaded graph must never serve.
+      auto model = std::make_unique<models::SlowFast>(config.model);
+      try {
+        std::ifstream is(path, std::ios::binary);
+        if (!is) throw std::runtime_error("cannot read checkpoint");
+        nn::load_params(is, model->params());
+        nn::load_tensors(is, model->buffers());
+        safecross.set_model(weather, std::move(model));
+        report.loaded.push_back(weather);
+        continue;
+      } catch (const std::exception& e) {
+        error = e.what();
+      }
+    }
+    log_warn() << "model-store: skipping " << vision::weather_name(weather) << " ("
+               << path.string() << "): " << error;
+    report.errors.push_back({weather, std::move(error)});
+  }
+  return report;
+}
+
 std::vector<dataset::Weather> ModelStore::load(SafeCross& safecross,
                                                const SafeCrossConfig& config) const {
-  std::vector<dataset::Weather> loaded;
-  for (const auto weather : available()) {
-    auto model = std::make_unique<models::SlowFast>(config.model);
-    std::ifstream is(path_for(weather), std::ios::binary);
-    if (!is) throw std::runtime_error("ModelStore: cannot read " + path_for(weather).string());
-    nn::load_params(is, model->params());
-    nn::load_tensors(is, model->buffers());
-    safecross.set_model(weather, std::move(model));
-    loaded.push_back(weather);
-  }
-  return loaded;
+  return load_report(safecross, config).loaded;
 }
 
 }  // namespace safecross::core

@@ -10,6 +10,7 @@
 // load time reconstructs the graphs.
 
 #include <filesystem>
+#include <string>
 #include <vector>
 
 #include "core/safecross.h"
@@ -24,9 +25,30 @@ class ModelStore {
   /// directory if needed; overwrites existing checkpoints.
   void save(SafeCross& safecross) const;
 
+  /// One checkpoint that failed validation or deserialization.
+  struct LoadError {
+    dataset::Weather weather;
+    std::string message;
+  };
+
+  /// Full outcome of a load: which weathers are now serving and which
+  /// checkpoints were skipped, with reasons.
+  struct LoadReport {
+    std::vector<dataset::Weather> loaded;
+    std::vector<LoadError> errors;
+    bool all_ok() const { return errors.empty(); }
+  };
+
   /// Load every checkpoint present in the directory into a fresh
-  /// framework built from `config` (architectures must match the saved
-  /// ones). Returns the loaded weathers.
+  /// framework built from `config`. A bad file — zero-byte, truncated,
+  /// corrupted magic, or architecture mismatch — is skipped with a
+  /// structured error (and a warning log) instead of aborting the whole
+  /// load: a rebooting roadside unit must come up with every healthy
+  /// model it has rather than none.
+  LoadReport load_report(SafeCross& safecross, const SafeCrossConfig& config) const;
+
+  /// Convenience wrapper over load_report(): returns the loaded weathers,
+  /// silently skipping bad checkpoints.
   std::vector<dataset::Weather> load(SafeCross& safecross,
                                      const SafeCrossConfig& config) const;
 

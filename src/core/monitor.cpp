@@ -1,23 +1,74 @@
 #include "core/monitor.h"
 
+#include "common/timer.h"
+
 namespace safecross::core {
+
+using runtime::DecisionSource;
+using runtime::FrameFault;
 
 RealtimeMonitor::RealtimeMonitor(SafeCross& safecross, sim::TrafficSimulator& sim,
                                  const sim::CameraModel& camera, MonitorConfig config,
-                                 std::uint64_t seed)
+                                 std::uint64_t seed, runtime::FaultInjector* injector)
     : safecross_(safecross),
       sim_(sim),
       config_(config),
-      collector_(sim, camera, config.vp, seed) {
-  safecross_.on_scene_change(sim.weather().weather);
+      collector_(sim, camera, config.vp, seed),
+      health_(config.health),
+      injector_(injector) {
+  if (injector_ != nullptr) {
+    collector_.set_frame_hook([this](vision::Image& frame) { injector_->perturb(frame); });
+    safecross_.switcher().set_failure_hook(
+        [this](const std::string&) { return injector_->next_switch_fails(); });
+  }
+  if (config_.fail_safe_policy) {
+    const auto change = safecross_.try_on_scene_change(sim.weather().weather);
+    if (change.ok) {
+      if (change.delay_ms > 0.0) health_.switch_started(change.delay_ms);
+    } else {
+      // No model could be made to serve: every decision runs fail-safe
+      // until a later switch succeeds.
+      health_.switch_failed();
+    }
+  } else {
+    safecross_.on_scene_change(sim.weather().weather);
+  }
+}
+
+RealtimeMonitor::~RealtimeMonitor() {
+  if (injector_ != nullptr) safecross_.switcher().set_failure_hook(nullptr);
 }
 
 RealtimeMonitor::Tick RealtimeMonitor::step() {
-  collector_.step();
+  FrameFault fault = FrameFault::None;
+  if (injector_ != nullptr) fault = injector_->next_frame_fault();
+  switch (fault) {
+    case FrameFault::Dropped:
+      collector_.step(dataset::FrameStatus::Dropped);
+      health_.frame_missing();
+      break;
+    case FrameFault::Frozen:
+      collector_.step(dataset::FrameStatus::Frozen);
+      health_.frame_degraded();
+      break;
+    case FrameFault::Blackout:
+      collector_.step(dataset::FrameStatus::Corrupted);  // the hook zeroed it
+      health_.frame_missing();  // the slot is filled but its content is gone
+      break;
+    case FrameFault::NoiseBurst:
+      collector_.step(dataset::FrameStatus::Corrupted);
+      health_.frame_degraded();
+      break;
+    case FrameFault::None:
+      collector_.step();
+      health_.frame_ok();
+      break;
+  }
   ++frames_since_decision_;
 
   Tick tick;
   tick.sim_time = sim_.time();
+  tick.frame_fault = fault;
   tick.blind_area = sim_.blind_area_present(config_.vp.approach);
   tick.danger_truth = sim_.dangerous_to_turn(config_.vp.approach);
 
@@ -29,26 +80,78 @@ RealtimeMonitor::Tick RealtimeMonitor::step() {
       collector_.window().size() >= static_cast<std::size_t>(config_.vp.frames_per_segment);
   const bool warmed_up =
       collector_.frames_processed() >= static_cast<std::size_t>(config_.warmup_frames);
-  if (tick.subject_waiting && window_full && warmed_up &&
-      frames_since_decision_ >= config_.decision_stride) {
-    frames_since_decision_ = 0;
-    const std::vector<vision::Image> window(collector_.window().begin(),
-                                            collector_.window().end());
-    tick.decision = safecross_.classify(window);
-    tick.decision_made = true;
+  const bool due = tick.subject_waiting && warmed_up &&
+                   frames_since_decision_ >= config_.decision_stride;
+  if (due) ++decision_opportunities_;
 
-    ++decisions_;
-    if (tick.decision.warn) ++warnings_;
-    const bool said_danger = tick.decision.predicted_class == 0;
-    if (said_danger == tick.danger_truth) {
-      ++correct_;
-    } else if (tick.danger_truth) {
-      ++missed_threats_;
-    } else {
-      ++false_warnings_;
+  if (!config_.fail_safe_policy) {
+    // Fail-silent baseline: exactly the pre-robustness behaviour — only a
+    // full window gates the classifier, even if it is gapped or stale.
+    if (due && window_full) {
+      frames_since_decision_ = 0;
+      const std::vector<vision::Image> window(collector_.window().begin(),
+                                              collector_.window().end());
+      tick.decision = safecross_.classify(window);
+      tick.decision_made = true;
+      score(tick, tick.decision);
     }
+    return tick;
   }
+
+  if (!due) return tick;
+  frames_since_decision_ = 0;
+  tick.decision = decide();
+  tick.decision_made = true;
+  score(tick, tick.decision);
   return tick;
+}
+
+SafeCross::Decision RealtimeMonitor::decide() {
+  // Conservative gates, most severe first. Any hit means the model's
+  // verdict cannot be trusted right now: warn instead of guessing.
+  if (health_.switch_failure_latched() || health_.switch_in_flight()) {
+    return SafeCross::fail_safe_decision(DecisionSource::FailSafeSwitchInFlight);
+  }
+  const bool window_full =
+      collector_.window().size() >= static_cast<std::size_t>(config_.vp.frames_per_segment);
+  if (!window_full || !collector_.window_contiguous()) {
+    return SafeCross::fail_safe_decision(DecisionSource::FailSafeIncompleteWindow);
+  }
+  if (health_.window_stale(collector_.fresh_in_window(), collector_.window().size())) {
+    return SafeCross::fail_safe_decision(DecisionSource::FailSafeStaleWindow);
+  }
+  if (health_.state() == runtime::HealthState::FailSafe) {
+    // Sustained stream faults (e.g. a blackout short enough to slip past
+    // the per-window gates) — the watchdog says the feed is not trustworthy.
+    return SafeCross::fail_safe_decision(DecisionSource::FailSafeStaleWindow);
+  }
+
+  const std::vector<vision::Image> window(collector_.window().begin(),
+                                          collector_.window().end());
+  Timer deadline;
+  SafeCross::Decision decision = safecross_.classify(window);
+  if (health_.deadline_blown(deadline.elapsed_ms())) {
+    // The verdict arrived too late to act on: deliver it as a warning.
+    decision.warn = true;
+    decision.predicted_class = 0;
+    decision.source = DecisionSource::FailSafeDeadline;
+  }
+  return decision;
+}
+
+void RealtimeMonitor::score(const Tick& tick, const SafeCross::Decision& decision) {
+  ++decisions_;
+  if (decision.warn) ++warnings_;
+  if (runtime::is_fail_safe(decision.source)) ++fail_safe_decisions_;
+  ++by_source_[static_cast<int>(decision.source)];
+  const bool said_danger = decision.predicted_class == 0;
+  if (said_danger == tick.danger_truth) {
+    ++correct_;
+  } else if (tick.danger_truth) {
+    ++missed_threats_;
+  } else {
+    ++false_warnings_;
+  }
 }
 
 }  // namespace safecross::core

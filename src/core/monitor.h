@@ -7,9 +7,22 @@
 // turn/no-turn decision at a fixed stride. Decisions are scored against
 // the simulator's ground truth, giving online precision/recall for the
 // warning service.
+//
+// Robustness: an optional runtime::FaultInjector perturbs the frame
+// stream (drops, freezes, noise bursts, blackouts) and the model-switch
+// path; a runtime::HealthMonitor watchdog tracks staleness, window
+// completeness and the per-decision deadline. With the fail-safe policy
+// enabled (default) the monitor *fails conservative*: whenever the window
+// is gapped/stale, a switch is in flight or failed, or the classifier
+// blows its deadline, it emits a warn=true decision tagged with a
+// runtime::DecisionSource reason code instead of trusting the model.
+// With no injector and no faults, decisions are bit-identical to the
+// policy-free path.
 
 #include "core/safecross.h"
 #include "dataset/collector.h"
+#include "runtime/fault_injector.h"
+#include "runtime/health_monitor.h"
 
 namespace safecross::core {
 
@@ -21,12 +34,22 @@ struct MonitorConfig {
   // representative (vehicles "appear" at the world edge during the first
   // seconds, which reads as threats materializing from nowhere).
   int warmup_frames = 90;
+  // Fail-conservative decision policy (see header comment). Disable to get
+  // the pre-robustness fail-silent behaviour (the bench's baseline arm).
+  bool fail_safe_policy = true;
+  runtime::HealthConfig health;
 };
 
 class RealtimeMonitor {
  public:
+  /// `injector` (optional, not owned, may be nullptr) perturbs the frame
+  /// stream and the model-switch path for robustness evaluation.
   RealtimeMonitor(SafeCross& safecross, sim::TrafficSimulator& sim,
-                  const sim::CameraModel& camera, MonitorConfig config, std::uint64_t seed);
+                  const sim::CameraModel& camera, MonitorConfig config, std::uint64_t seed,
+                  runtime::FaultInjector* injector = nullptr);
+
+  /// Uninstalls the switch-failure hook it installed (if any).
+  ~RealtimeMonitor();
 
   struct Tick {
     double sim_time = 0.0;
@@ -35,6 +58,7 @@ class RealtimeMonitor {
     SafeCross::Decision decision;
     bool danger_truth = false;
     bool blind_area = false;
+    runtime::FrameFault frame_fault = runtime::FrameFault::None;
   };
 
   /// Advance one frame; returns what happened.
@@ -50,11 +74,35 @@ class RealtimeMonitor {
     return decisions_ ? static_cast<double>(correct_) / decisions_ : 0.0;
   }
 
+  // Fail-safe decisions are tallied separately from model verdicts so the
+  // scorecard can report how often the service ran conservative.
+  std::size_t fail_safe_decisions() const { return fail_safe_decisions_; }
+  std::size_t model_decisions() const { return decisions_ - fail_safe_decisions_; }
+  std::size_t fail_safe_by_source(runtime::DecisionSource s) const {
+    return by_source_[static_cast<int>(s)];
+  }
+  /// Ticks where a decision was due (subject waiting, warmed up, stride
+  /// elapsed) — the denominator for warning availability.
+  std::size_t decision_opportunities() const { return decision_opportunities_; }
+  double availability() const {
+    return decision_opportunities_
+               ? static_cast<double>(decisions_) / decision_opportunities_
+               : 1.0;
+  }
+
+  const runtime::HealthMonitor& health() const { return health_; }
+  const dataset::SegmentCollector& collector() const { return collector_; }
+
  private:
+  SafeCross::Decision decide();
+  void score(const Tick& tick, const SafeCross::Decision& decision);
+
   SafeCross& safecross_;
   sim::TrafficSimulator& sim_;
   MonitorConfig config_;
   dataset::SegmentCollector collector_;
+  runtime::HealthMonitor health_;
+  runtime::FaultInjector* injector_ = nullptr;
   int frames_since_decision_ = 0;
 
   std::size_t decisions_ = 0;
@@ -62,6 +110,9 @@ class RealtimeMonitor {
   std::size_t correct_ = 0;
   std::size_t missed_threats_ = 0;
   std::size_t false_warnings_ = 0;
+  std::size_t fail_safe_decisions_ = 0;
+  std::size_t decision_opportunities_ = 0;
+  std::size_t by_source_[runtime::kDecisionSourceCount] = {};
 };
 
 }  // namespace safecross::core

@@ -23,6 +23,7 @@
 #include "fewshot/maml.h"
 #include "fewshot/trainer.h"
 #include "models/slowfast.h"
+#include "runtime/health_monitor.h"
 #include "switching/switcher.h"
 
 namespace safecross::core {
@@ -70,17 +71,43 @@ class SafeCross {
   models::VideoClassifier& model_for(Weather weather);
 
   /// MS module: the scene changed — switch the active model. Returns the
-  /// simulated switching delay in ms (0 if already active).
+  /// simulated switching delay in ms (0 if already active). Throws on a
+  /// missing model or a failed switch (fatal-error contract; the live
+  /// path uses try_on_scene_change instead).
   double on_scene_change(Weather weather);
+
+  /// Outcome of a non-throwing scene change.
+  struct SceneChangeStatus {
+    bool ok = false;          // some model is serving after the call
+    bool fell_back = false;   // the basic daytime model substituted
+    double delay_ms = 0.0;
+    Weather active = Weather::Daytime;  // meaningful when ok
+    std::string error;        // why the requested model is not serving
+  };
+
+  /// Non-throwing scene change with graceful degradation: if the
+  /// requested weather's model is missing or its switch fails, fall back
+  /// to the basic daytime model (the paper's always-available VC module)
+  /// rather than leaving the intersection unguarded. ok=false only when
+  /// no model could be made to serve at all.
+  SceneChangeStatus try_on_scene_change(Weather weather);
 
   Weather active_weather() const { return active_; }
   const switching::ModelSwitcher& switcher() const { return switcher_; }
+  switching::ModelSwitcher& switcher() { return switcher_; }
 
   struct Decision {
     int predicted_class = 0;   // 0 danger / 1 safe
     float prob_danger = 1.0f;
     bool warn = true;          // deliver a blind-area warning
+    // Model for a trusted classifier verdict; any other value means this
+    // is a conservative fail-safe warning (warn is forced true).
+    runtime::DecisionSource source = runtime::DecisionSource::Model;
   };
+
+  /// The conservative decision the live path emits when the model cannot
+  /// be trusted: warn, assume danger, tagged with the reason.
+  static Decision fail_safe_decision(runtime::DecisionSource reason);
 
   /// Classify a 32-frame occupancy window with the active model.
   Decision classify(const std::vector<vision::Image>& window);

@@ -62,8 +62,15 @@ Image SegmentCollector::preprocess_frame() {
   return grid;
 }
 
+std::size_t SegmentCollector::stale_in_window() const {
+  return static_cast<std::size_t>(
+      std::count(fresh_window_.begin(), fresh_window_.end(), false));
+}
+
 void SegmentCollector::emit(bool turned) {
-  if (window_.size() < static_cast<std::size_t>(config_.frames_per_segment)) return;
+  // Never cut a training segment across a feed gap: a window that silently
+  // skips frames would teach the classifier that vehicles teleport.
+  if (!window_contiguous()) return;
   VideoSegment seg;
   seg.frames.assign(window_.begin(), window_.end());
   seg.weather = sim_.weather().weather;
@@ -79,13 +86,41 @@ void SegmentCollector::emit(bool turned) {
   segments_.push_back(std::move(seg));
 }
 
-void SegmentCollector::step() {
+void SegmentCollector::step(FrameStatus status) {
   sim_.step();
-  window_.push_back(preprocess_frame());
-  blind_window_.push_back(sim_.blind_area_present(config_.approach));
+  switch (status) {
+    case FrameStatus::Fresh:
+    case FrameStatus::Corrupted: {
+      Image frame = preprocess_frame();
+      if (frame_hook_) frame_hook_(frame);
+      window_.push_back(std::move(frame));
+      fresh_window_.push_back(status == FrameStatus::Fresh);
+      blind_window_.push_back(sim_.blind_area_present(config_.approach));
+      ++frames_since_gap_;
+      break;
+    }
+    case FrameStatus::Frozen: {
+      // The encoder repeated the last frame: the slot is filled (the
+      // window stays temporally aligned) but its content is stale.
+      Image dup = window_.empty() ? Image(config_.grid_w, config_.grid_h) : window_.back();
+      window_.push_back(std::move(dup));
+      fresh_window_.push_back(false);
+      blind_window_.push_back(sim_.blind_area_present(config_.approach));
+      ++frames_since_gap_;
+      ++frames_frozen_;
+      break;
+    }
+    case FrameStatus::Dropped:
+      // The slot is empty: the window now hides a temporal gap, so it is
+      // not contiguous again until frames_per_segment filled slots pass.
+      frames_since_gap_ = 0;
+      ++frames_dropped_;
+      break;
+  }
   while (window_.size() > static_cast<std::size_t>(config_.frames_per_segment)) {
     window_.pop_front();
     blind_window_.pop_front();
+    fresh_window_.pop_front();
   }
   ++frames_processed_;
 

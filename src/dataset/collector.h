@@ -18,6 +18,7 @@
 //     to the mask. Used for large training runs.
 
 #include <deque>
+#include <functional>
 
 #include "common/rng.h"
 #include "dataset/segment.h"
@@ -28,6 +29,15 @@
 namespace safecross::dataset {
 
 enum class PipelineMode { FullVP, FastTopdown };
+
+/// What the camera feed delivered for one frame slot. Fresh is the normal
+/// path; the rest model a faulty feed (see runtime::FaultInjector).
+enum class FrameStatus {
+  Fresh,      // frame delivered intact
+  Dropped,    // slot empty: the window gains a temporal gap
+  Frozen,     // previous frame duplicated into the slot (stale content)
+  Corrupted,  // frame delivered but content untrustworthy (noise/blackout)
+};
 
 struct CollectorConfig {
   int frames_per_segment = 32;  // paper: 32-frame segments
@@ -56,7 +66,25 @@ class SegmentCollector {
 
   /// Advance the simulator one step and process the new frame. Any
   /// segments completed by this step are appended to segments().
-  void step();
+  void step() { step(FrameStatus::Fresh); }
+
+  /// Advance the simulator one step with an explicit frame fate:
+  ///   * Fresh     — render/rasterize and append a new frame (as step());
+  ///   * Dropped   — the slot is empty: nothing is appended and the window
+  ///     is marked gapped until frames_per_segment filled slots rebuild it;
+  ///   * Frozen    — the previous frame is duplicated into the slot; the
+  ///     window stays full but the duplicate counts as stale;
+  ///   * Corrupted — the frame is captured (and run through the hook, which
+  ///     typically garbles it) but flagged untrustworthy in the window.
+  /// Segments are only ever cut from contiguous windows.
+  void step(FrameStatus status);
+
+  /// Optional hook applied to each freshly preprocessed frame before it
+  /// enters the window (fault injection: noise bursts, blackouts).
+  /// Pass nullptr to remove.
+  void set_frame_hook(std::function<void(vision::Image&)> hook) {
+    frame_hook_ = std::move(hook);
+  }
 
   const std::vector<VideoSegment>& segments() const { return segments_; }
   std::vector<VideoSegment> take_segments();
@@ -71,6 +99,23 @@ class SegmentCollector {
   /// frames_per_segment of them, oldest first).
   const std::deque<vision::Image>& window() const { return window_; }
 
+  /// True when the window holds frames_per_segment frames captured in
+  /// consecutive slots — i.e. no dropped frame hides inside it. A gapped
+  /// window must never be classified as if it were contiguous.
+  bool window_contiguous() const {
+    return window_.size() >= static_cast<std::size_t>(config_.frames_per_segment) &&
+           frames_since_gap_ >= static_cast<std::size_t>(config_.frames_per_segment);
+  }
+
+  /// Frozen or corrupted frames currently in the window.
+  std::size_t stale_in_window() const;
+
+  /// Genuine (fresh) frames currently in the window.
+  std::size_t fresh_in_window() const { return window_.size() - stale_in_window(); }
+
+  std::size_t frames_dropped() const { return frames_dropped_; }
+  std::size_t frames_frozen() const { return frames_frozen_; }
+
  private:
   vision::Image preprocess_frame();
   void emit(bool turned);
@@ -84,7 +129,12 @@ class SegmentCollector {
 
   std::deque<vision::Image> window_;
   std::deque<bool> blind_window_;     // blind-area flag per frame
+  std::deque<bool> fresh_window_;     // genuine-frame flag per window slot
+  std::function<void(vision::Image&)> frame_hook_;
   std::size_t frames_processed_ = 0;
+  std::size_t frames_since_gap_ = 0;  // consecutive slots that got a frame
+  std::size_t frames_dropped_ = 0;
+  std::size_t frames_frozen_ = 0;
   int hold_frames_ = 0;               // consecutive frames the subject held
   std::uint64_t hold_subject_id_ = 0;
   std::vector<VideoSegment> segments_;

@@ -1,0 +1,117 @@
+#include "runtime/fault_injector.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace safecross::runtime {
+
+const char* frame_fault_name(FrameFault f) {
+  switch (f) {
+    case FrameFault::None: return "none";
+    case FrameFault::Dropped: return "dropped";
+    case FrameFault::Frozen: return "frozen";
+    case FrameFault::NoiseBurst: return "noise-burst";
+    case FrameFault::Blackout: return "blackout";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(plan), rng_(seed) {}
+
+FrameFault FaultInjector::next_frame_fault() {
+  ++frames_seen_;
+  if (!plan_.enabled()) {
+    current_ = FrameFault::None;
+    return current_;
+  }
+  if (blackout_left_ > 0) {
+    --blackout_left_;
+    ++blackout_frames_total_;
+    current_ = FrameFault::Blackout;
+    return current_;
+  }
+  // One draw per fault class per frame, first match wins: blackouts are
+  // rare interval events, then the per-frame stream faults.
+  if (plan_.blackout_prob > 0.0 && rng_.bernoulli(plan_.blackout_prob)) {
+    blackout_left_ = plan_.blackout_frames > 0 ? plan_.blackout_frames - 1 : 0;
+    ++blackout_frames_total_;
+    current_ = FrameFault::Blackout;
+    return current_;
+  }
+  if (plan_.drop_prob > 0.0 && rng_.bernoulli(plan_.drop_prob)) {
+    ++frames_dropped_;
+    current_ = FrameFault::Dropped;
+    return current_;
+  }
+  if (plan_.freeze_prob > 0.0 && rng_.bernoulli(plan_.freeze_prob)) {
+    ++frames_frozen_;
+    current_ = FrameFault::Frozen;
+    return current_;
+  }
+  if (plan_.noise_prob > 0.0 && rng_.bernoulli(plan_.noise_prob)) {
+    ++noise_bursts_;
+    current_ = FrameFault::NoiseBurst;
+    return current_;
+  }
+  current_ = FrameFault::None;
+  return current_;
+}
+
+void FaultInjector::perturb(vision::Image& frame) {
+  switch (current_) {
+    case FrameFault::Blackout:
+      frame.fill(0.0f);
+      break;
+    case FrameFault::NoiseBurst:
+      for (std::size_t i = 0; i < frame.size(); ++i) {
+        if (rng_.bernoulli(plan_.noise_density)) {
+          float& cell = frame.data()[i];
+          cell = cell > 0.5f ? 0.0f : 1.0f;
+        }
+      }
+      break;
+    default:
+      break;  // None/Dropped/Frozen have no image-level effect
+  }
+}
+
+bool FaultInjector::next_switch_fails() {
+  if (plan_.switch_failure_prob <= 0.0) return false;
+  const bool fails = rng_.bernoulli(plan_.switch_failure_prob);
+  if (fails) ++switch_failures_;
+  return fails;
+}
+
+void FaultInjector::truncate_file(const std::filesystem::path& path, std::size_t keep_bytes) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, keep_bytes, ec);
+  if (ec) {
+    throw std::runtime_error("FaultInjector: cannot truncate " + path.string() + ": " +
+                             ec.message());
+  }
+}
+
+void FaultInjector::corrupt_magic(const std::filesystem::path& path) {
+  std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!fs) throw std::runtime_error("FaultInjector: cannot open " + path.string());
+  char head[4] = {};
+  fs.read(head, sizeof(head));
+  if (!fs) throw std::runtime_error("FaultInjector: " + path.string() + " shorter than 4 bytes");
+  for (char& b : head) b = static_cast<char>(~b);
+  fs.seekp(0);
+  fs.write(head, sizeof(head));
+}
+
+void FaultInjector::write_garbage(const std::filesystem::path& path, std::size_t bytes,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<char> garbage(bytes);
+  for (char& b : garbage) b = static_cast<char>(rng.next_u64() & 0xFF);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("FaultInjector: cannot write " + path.string());
+  os.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+}
+
+}  // namespace safecross::runtime

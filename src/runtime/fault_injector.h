@@ -1,0 +1,114 @@
+#pragma once
+// Deterministic fault injection for the live warning pipeline.
+//
+// SafeCross is a safety-critical roadside service: the interesting failure
+// modes are not clean shutdowns but a camera feed that stutters, an encoder
+// that repeats frames, a lens that whites out in a storm, and a GPU worker
+// whose model swap dies mid-transfer. A seeded FaultInjector perturbs the
+// frame stream and the switching infrastructure according to a FaultPlan so
+// the robustness bench can *measure* availability, missed-threat rate and
+// false-warning rate under controlled fault rates instead of crashing.
+//
+// Determinism contract: the injector owns its own Rng; the same plan and
+// seed always produce the same fault sequence, independent of the rest of
+// the pipeline. With the default (all-zero) plan it reports no faults and
+// never touches a frame, so a wired-but-idle injector leaves the pipeline
+// bit-identical to a build without one.
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "vision/image.h"
+
+namespace safecross::runtime {
+
+/// The fate of one frame slot in the 30 Hz stream.
+enum class FrameFault {
+  None,        // frame delivered intact
+  Dropped,     // frame lost in transit — the slot is empty
+  Frozen,      // encoder repeated the previous frame
+  NoiseBurst,  // frame delivered but a fraction of cells flipped
+  Blackout,    // camera blind (storm/glare/power) — frame is all zeros
+};
+
+const char* frame_fault_name(FrameFault f);
+
+/// Per-frame fault probabilities plus infrastructure failure rates. All
+/// zero by default: a FaultInjector with a default plan is a no-op.
+struct FaultPlan {
+  double drop_prob = 0.0;     // P(frame lost) per frame
+  double freeze_prob = 0.0;   // P(frame duplicated) per frame
+  double noise_prob = 0.0;    // P(noise burst) per frame
+  float noise_density = 0.25f;  // fraction of cells flipped in a burst
+  double blackout_prob = 0.0;   // P(a blackout interval starts) per frame
+  int blackout_frames = 30;     // blackout length once started (~1 s)
+  double switch_failure_prob = 0.0;  // P(a model switch attempt fails)
+
+  bool enabled() const {
+    return drop_prob > 0.0 || freeze_prob > 0.0 || noise_prob > 0.0 ||
+           blackout_prob > 0.0 || switch_failure_prob > 0.0;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Decide the fate of the next frame slot. At most one fault per frame;
+  /// an in-progress blackout overrides the per-frame draws until it ends.
+  FrameFault next_frame_fault();
+
+  /// The fault most recently returned by next_frame_fault().
+  FrameFault current_frame_fault() const { return current_; }
+
+  /// Apply the current fault's image-level effect in place. NoiseBurst
+  /// flips a noise_density fraction of cells (binary occupancy stays
+  /// binary); Blackout zeroes the frame. Drop/Freeze are stream-level
+  /// (the collector handles them) and None leaves the frame untouched.
+  void perturb(vision::Image& frame);
+
+  /// Should the pending model-switch attempt fail? Wire this into
+  /// switching::ModelSwitcher's failure hook.
+  bool next_switch_fails();
+
+  // --- counters (for the bench report) ---
+  std::size_t frames_seen() const { return frames_seen_; }
+  std::size_t frames_dropped() const { return frames_dropped_; }
+  std::size_t frames_frozen() const { return frames_frozen_; }
+  std::size_t noise_bursts() const { return noise_bursts_; }
+  std::size_t blackout_frames_total() const { return blackout_frames_total_; }
+  std::size_t switch_failures() const { return switch_failures_; }
+
+  // --- checkpoint corruption helpers (deterministic, file-level) ---
+  // Used by the ModelStore robustness tests and the fault bench to fabricate
+  // the on-disk failure modes a rebooting roadside unit actually meets.
+
+  /// Truncate a file to its first `keep_bytes` bytes (0 → empty file).
+  static void truncate_file(const std::filesystem::path& path, std::size_t keep_bytes);
+
+  /// Flip every bit of the first 4 bytes (destroys the checkpoint magic).
+  static void corrupt_magic(const std::filesystem::path& path);
+
+  /// Overwrite the whole file with `bytes` seeded garbage bytes.
+  static void write_garbage(const std::filesystem::path& path, std::size_t bytes,
+                            std::uint64_t seed);
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  FrameFault current_ = FrameFault::None;
+  int blackout_left_ = 0;
+
+  std::size_t frames_seen_ = 0;
+  std::size_t frames_dropped_ = 0;
+  std::size_t frames_frozen_ = 0;
+  std::size_t noise_bursts_ = 0;
+  std::size_t blackout_frames_total_ = 0;
+  std::size_t switch_failures_ = 0;
+};
+
+}  // namespace safecross::runtime

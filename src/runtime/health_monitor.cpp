@@ -1,0 +1,89 @@
+#include "runtime/health_monitor.h"
+
+#include <cmath>
+
+namespace safecross::runtime {
+
+const char* health_state_name(HealthState s) {
+  switch (s) {
+    case HealthState::Nominal: return "nominal";
+    case HealthState::Degraded: return "degraded";
+    case HealthState::FailSafe: return "fail-safe";
+  }
+  return "?";
+}
+
+const char* decision_source_name(DecisionSource s) {
+  switch (s) {
+    case DecisionSource::Model: return "model";
+    case DecisionSource::FailSafeIncompleteWindow: return "failsafe-incomplete-window";
+    case DecisionSource::FailSafeStaleWindow: return "failsafe-stale-window";
+    case DecisionSource::FailSafeSwitchInFlight: return "failsafe-switch-in-flight";
+    case DecisionSource::FailSafeDeadline: return "failsafe-deadline";
+  }
+  return "?";
+}
+
+HealthMonitor::HealthMonitor(HealthConfig config) : config_(config) {}
+
+void HealthMonitor::escalate(HealthState target) {
+  if (static_cast<int>(target) <= static_cast<int>(state_)) return;
+  state_ = target;
+  healthy_streak_ = 0;
+  ++transitions_;
+}
+
+void HealthMonitor::on_frame_event() {
+  if (switch_frames_left_ > 0) --switch_frames_left_;
+  ++frames_in_[static_cast<int>(state_)];
+}
+
+void HealthMonitor::frame_ok() {
+  missing_streak_ = 0;
+  ++healthy_streak_;
+  // De-escalate one level at a time after a sustained healthy streak; a
+  // latched switch failure pins FailSafe regardless of stream health.
+  if (healthy_streak_ >= config_.recover_after_healthy && state_ != HealthState::Nominal &&
+      !switch_failure_latched_ && switch_frames_left_ == 0) {
+    state_ = static_cast<HealthState>(static_cast<int>(state_) - 1);
+    healthy_streak_ = 0;
+    ++transitions_;
+  }
+  on_frame_event();
+}
+
+void HealthMonitor::frame_missing() {
+  ++missing_streak_;
+  healthy_streak_ = 0;
+  if (missing_streak_ >= config_.failsafe_after_missing) {
+    escalate(HealthState::FailSafe);
+  } else if (missing_streak_ >= config_.degraded_after_missing) {
+    escalate(HealthState::Degraded);
+  }
+  on_frame_event();
+}
+
+void HealthMonitor::frame_degraded() {
+  // Present-but-untrustworthy frames end any healthy streak and are
+  // degraded-grade evidence, but never escalate all the way to FailSafe
+  // on their own (the stale-window check guards decisions directly).
+  missing_streak_ = 0;
+  healthy_streak_ = 0;
+  escalate(HealthState::Degraded);
+  on_frame_event();
+}
+
+void HealthMonitor::switch_started(double delay_ms) {
+  const double frames = delay_ms / config_.frame_interval_ms;
+  switch_frames_left_ = static_cast<int>(std::ceil(frames));
+  if (switch_frames_left_ > 0) escalate(HealthState::Degraded);
+}
+
+void HealthMonitor::switch_failed() {
+  switch_failure_latched_ = true;
+  escalate(HealthState::FailSafe);
+}
+
+void HealthMonitor::switch_recovered() { switch_failure_latched_ = false; }
+
+}  // namespace safecross::runtime

@@ -8,6 +8,7 @@
 // the delay; the framework uses the returned latency to decide how many
 // frames of warnings were unavailable during the swap.
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -23,6 +24,14 @@ enum class SwitchPolicy { StopAndStart, PipeSwitch };
 
 const char* policy_name(SwitchPolicy p);
 
+/// Outcome of a non-throwing switch attempt. On failure the previously
+/// active model keeps serving and `error` carries the reason.
+struct SwitchStatus {
+  bool ok = false;
+  double delay_ms = 0.0;
+  std::string error;
+};
+
 class ModelSwitcher {
  public:
   explicit ModelSwitcher(GpuModelConfig gpu = {}, SwitchPolicy policy = SwitchPolicy::PipeSwitch);
@@ -35,8 +44,25 @@ class ModelSwitcher {
   const std::string& active_scene() const { return active_; }
 
   /// Switch to the scene's model; returns the switching delay in ms
-  /// (0 when the scene is already active). Throws if unregistered.
+  /// (0 when the scene is already active). Throws std::invalid_argument
+  /// if unregistered and std::runtime_error on any other failure.
   double switch_to(const std::string& scene);
+
+  /// Non-throwing variant: returns ok=false (with the reason) for an
+  /// unregistered scene, an injected transport failure, or a model that
+  /// cannot fit the pool. The active model is unchanged on failure, so a
+  /// degraded deployment keeps serving with the previous weights.
+  SwitchStatus try_switch_to(const std::string& scene);
+
+  /// Fault-injection hook: consulted once per non-trivial switch attempt;
+  /// returning true makes the attempt fail as a simulated transfer error.
+  /// Pass nullptr to remove. (See runtime::FaultInjector::next_switch_fails.)
+  void set_failure_hook(std::function<bool(const std::string&)> hook) {
+    failure_hook_ = std::move(hook);
+  }
+
+  /// Switch attempts that failed (injected or pool exhaustion).
+  std::size_t failed_switches() const { return failed_switches_; }
 
   /// Full result (timeline included) of the last non-trivial switch.
   const std::optional<SwitchResult>& last_switch() const { return last_; }
@@ -65,7 +91,9 @@ class ModelSwitcher {
   std::unique_ptr<GpuMemoryPool> pool_;
   std::string active_;
   std::optional<SwitchResult> last_;
+  std::function<bool(const std::string&)> failure_hook_;
   std::size_t switch_count_ = 0;
+  std::size_t failed_switches_ = 0;
   double total_delay_ms_ = 0.0;
 };
 

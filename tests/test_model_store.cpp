@@ -6,6 +6,7 @@
 
 #include "dataset/builder.h"
 #include "fewshot/trainer.h"
+#include "runtime/fault_injector.h"
 
 namespace safecross::core {
 namespace {
@@ -97,7 +98,7 @@ TEST(ModelStore, EmptyDirectoryLoadsNothing) {
   EXPECT_TRUE(store.load(sc, tiny_config()).empty());
 }
 
-TEST(ModelStore, MismatchedArchitectureRejected) {
+TEST(ModelStore, MismatchedArchitectureSkippedWithError) {
   dataset::BuildRequest req;
   req.target_segments = 25;
   req.max_sim_hours = 2.0;
@@ -112,7 +113,94 @@ TEST(ModelStore, MismatchedArchitectureRejected) {
   SafeCrossConfig other = tiny_config();
   other.model.slow_channels = 8;  // different graph
   SafeCross fresh(other);
-  EXPECT_THROW(store.load(fresh, other), std::runtime_error);
+  const auto report = store.load_report(fresh, other);
+  EXPECT_TRUE(report.loaded.empty());
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors[0].weather, dataset::Weather::Daytime);
+  EXPECT_FALSE(report.errors[0].message.empty());
+  EXPECT_FALSE(fresh.has_model(dataset::Weather::Daytime));  // no half-loaded graph serves
+}
+
+// A roadside unit rebooting after a power cut may find one checkpoint
+// truncated mid-write. The store must report the bad file and still bring
+// up every healthy model — not abort the whole load.
+TEST(ModelStore, TruncatedWeatherFileSkippedHealthyOnesLoad) {
+  dataset::BuildRequest req;
+  req.target_segments = 30;
+  req.max_sim_hours = 2.0;
+  req.seed = 95;
+  const auto day = dataset::build_dataset(req);
+  req.weather = dataset::Weather::Rain;
+  req.seed = 96;
+  const auto rain = dataset::build_dataset(req);
+
+  SafeCross sc(tiny_config());
+  sc.train_basic(ptrs(day.segments));
+  sc.adapt_weather(dataset::Weather::Rain, ptrs(rain.segments));
+
+  TempDir tmp;
+  ModelStore store(tmp.path);
+  store.save(sc);
+
+  // Truncate the rain checkpoint to half its size (lost tail of a write).
+  const auto rain_path = store.path_for(dataset::Weather::Rain);
+  const auto full_size = fs::file_size(rain_path);
+  runtime::FaultInjector::truncate_file(rain_path, full_size / 2);
+
+  SafeCross restored(tiny_config());
+  const auto report = store.load_report(restored, tiny_config());
+  ASSERT_EQ(report.loaded.size(), 1u);
+  EXPECT_EQ(report.loaded[0], dataset::Weather::Daytime);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors[0].weather, dataset::Weather::Rain);
+  EXPECT_TRUE(restored.has_model(dataset::Weather::Daytime));
+  EXPECT_FALSE(restored.has_model(dataset::Weather::Rain));
+
+  // The healthy daytime model must decide identically to the original.
+  sc.on_scene_change(dataset::Weather::Daytime);
+  restored.on_scene_change(dataset::Weather::Daytime);
+  for (std::size_t i = 0; i < 5 && i < day.segments.size(); ++i) {
+    const auto a = sc.classify(day.segments[i].frames);
+    const auto b = restored.classify(day.segments[i].frames);
+    EXPECT_EQ(a.predicted_class, b.predicted_class);
+    EXPECT_FLOAT_EQ(a.prob_danger, b.prob_danger);
+  }
+}
+
+TEST(ModelStore, ZeroByteAndBadMagicFilesSkipped) {
+  dataset::BuildRequest req;
+  req.target_segments = 25;
+  req.max_sim_hours = 2.0;
+  req.seed = 97;
+  const auto day = dataset::build_dataset(req);
+  SafeCross sc(tiny_config());
+  sc.train_basic(ptrs(day.segments));
+
+  TempDir tmp;
+  ModelStore store(tmp.path);
+  store.save(sc);
+
+  // Fabricate a zero-byte snow checkpoint and a garbage fog checkpoint.
+  runtime::FaultInjector::write_garbage(store.path_for(dataset::Weather::Snow), 0, 1);
+  runtime::FaultInjector::write_garbage(store.path_for(dataset::Weather::Fog), 4096, 2);
+  // And flip the magic on a copy of the healthy daytime file as night.
+  fs::copy_file(store.path_for(dataset::Weather::Daytime),
+                store.path_for(dataset::Weather::Night));
+  runtime::FaultInjector::corrupt_magic(store.path_for(dataset::Weather::Night));
+
+  SafeCross restored(tiny_config());
+  const auto report = store.load_report(restored, tiny_config());
+  ASSERT_EQ(report.loaded.size(), 1u);
+  EXPECT_EQ(report.loaded[0], dataset::Weather::Daytime);
+  EXPECT_EQ(report.errors.size(), 3u);
+  for (const auto& err : report.errors) {
+    EXPECT_NE(err.weather, dataset::Weather::Daytime);
+    EXPECT_FALSE(err.message.empty());
+  }
+  // load() is the forgiving wrapper: loaded weathers only.
+  SafeCross again(tiny_config());
+  EXPECT_EQ(store.load(again, tiny_config()),
+            std::vector<dataset::Weather>{dataset::Weather::Daytime});
 }
 
 }  // namespace

@@ -1,0 +1,187 @@
+// RealtimeMonitor under injected faults: the fail-safe policy must never
+// feed a gapped window to the classifier as if it were contiguous, must
+// tally fail-safe decisions separately in the online scorecard, and —
+// with the injector disabled — must be bit-identical to the policy-free
+// (pre-robustness) behaviour.
+//
+// The framework under test uses untrained (but deterministically
+// initialized) models: the robustness machinery is about *when* the model
+// is consulted, not about what it has learned.
+
+#include "core/monitor.h"
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "models/slowfast.h"
+
+namespace safecross::core {
+namespace {
+
+SafeCrossConfig tiny_config() {
+  SafeCrossConfig cfg;
+  cfg.model.slow_channels = 4;
+  cfg.model.fast_channels = 2;
+  return cfg;
+}
+
+std::unique_ptr<SafeCross> framework_with_daytime_model() {
+  auto sc = std::make_unique<SafeCross>(tiny_config());
+  sc->set_model(dataset::Weather::Daytime,
+                std::make_unique<models::SlowFast>(tiny_config().model));
+  return sc;
+}
+
+using DecisionTrace = std::vector<std::tuple<int, int, float, bool>>;
+
+DecisionTrace run_monitor(SafeCross& sc, bool fail_safe_policy, int frames,
+                          std::uint64_t sim_seed, std::uint64_t collector_seed) {
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), sim_seed);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  MonitorConfig cfg;
+  cfg.fail_safe_policy = fail_safe_policy;
+  RealtimeMonitor monitor(sc, sim, cam, cfg, collector_seed);
+  DecisionTrace trace;
+  for (int i = 0; i < frames; ++i) {
+    const auto tick = monitor.step();
+    if (tick.decision_made) {
+      trace.emplace_back(i, tick.decision.predicted_class, tick.decision.prob_danger,
+                         tick.decision.warn);
+    }
+  }
+  return trace;
+}
+
+TEST(RuntimeMonitor, FailSafePolicyIsBitIdenticalWithoutFaults) {
+  auto sc = framework_with_daytime_model();
+  const auto with_policy = run_monitor(*sc, /*fail_safe_policy=*/true, 30 * 240, 71, 72);
+  const auto without_policy = run_monitor(*sc, /*fail_safe_policy=*/false, 30 * 240, 71, 72);
+  ASSERT_FALSE(with_policy.empty()) << "the run produced no decisions to compare";
+  EXPECT_EQ(with_policy, without_policy);
+}
+
+TEST(RuntimeMonitor, GappedWindowNeverReachesModel) {
+  auto sc = framework_with_daytime_model();
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 73);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  runtime::FaultPlan plan;
+  plan.drop_prob = 0.30;  // heavy frame loss: most windows carry a gap
+  runtime::FaultInjector injector(plan, 74);
+  MonitorConfig cfg;  // fail-safe policy on by default
+  RealtimeMonitor monitor(*sc, sim, cam, cfg, 75, &injector);
+  std::size_t model_decisions = 0, fail_safe = 0;
+  for (int i = 0; i < 30 * 120; ++i) {
+    const auto tick = monitor.step();
+    if (!tick.decision_made) continue;
+    if (tick.decision.source == runtime::DecisionSource::Model) {
+      ++model_decisions;
+      // The invariant under test: a model verdict implies the window the
+      // classifier saw was full, gap-free and sufficiently fresh.
+      EXPECT_TRUE(monitor.collector().window_contiguous());
+      EXPECT_GE(monitor.collector().window().size(), 32u);
+    } else {
+      ++fail_safe;
+      EXPECT_TRUE(tick.decision.warn) << "fail-safe decisions always warn";
+      EXPECT_EQ(tick.decision.predicted_class, 0);
+    }
+  }
+  EXPECT_GT(injector.frames_dropped(), 0u);
+  EXPECT_GT(fail_safe, 0u) << "30% drops must force some fail-safe decisions";
+  EXPECT_EQ(monitor.fail_safe_decisions(), fail_safe);
+  EXPECT_EQ(monitor.model_decisions(), model_decisions);
+}
+
+TEST(RuntimeMonitor, ScorecardSeparatesFailSafeFromModelDecisions) {
+  auto sc = framework_with_daytime_model();
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 76);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  runtime::FaultPlan plan;
+  plan.drop_prob = 0.10;
+  plan.freeze_prob = 0.10;
+  plan.noise_prob = 0.05;
+  plan.blackout_prob = 0.002;
+  runtime::FaultInjector injector(plan, 77);
+  RealtimeMonitor monitor(*sc, sim, cam, MonitorConfig{}, 78, &injector);
+  for (int i = 0; i < 30 * 180; ++i) monitor.step();
+
+  EXPECT_EQ(monitor.decisions(), monitor.model_decisions() + monitor.fail_safe_decisions());
+  EXPECT_EQ(monitor.decisions(),
+            monitor.correct() + monitor.missed_threats() + monitor.false_warnings());
+  EXPECT_LE(monitor.decisions(), monitor.decision_opportunities());
+  // Per-source counts add up to the totals.
+  std::size_t by_source_sum = 0;
+  for (int s = 0; s < runtime::kDecisionSourceCount; ++s) {
+    by_source_sum += monitor.fail_safe_by_source(static_cast<runtime::DecisionSource>(s));
+  }
+  EXPECT_EQ(by_source_sum, monitor.decisions());
+  EXPECT_EQ(monitor.fail_safe_by_source(runtime::DecisionSource::Model),
+            monitor.model_decisions());
+}
+
+TEST(RuntimeMonitor, SwitchFailureRunsFailSafeWithoutThrowing) {
+  auto sc = framework_with_daytime_model();
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 79);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  runtime::FaultPlan plan;
+  plan.switch_failure_prob = 1.0;  // every swap attempt dies
+  runtime::FaultInjector injector(plan, 80);
+  MonitorConfig cfg;
+  RealtimeMonitor monitor(*sc, sim, cam, cfg, 81, &injector);  // must not throw
+  EXPECT_EQ(monitor.health().state(), runtime::HealthState::FailSafe);
+  std::size_t decisions = 0;
+  for (int i = 0; i < 30 * 240; ++i) {
+    const auto tick = monitor.step();
+    if (tick.decision_made) {
+      ++decisions;
+      EXPECT_TRUE(runtime::is_fail_safe(tick.decision.source));
+      EXPECT_EQ(tick.decision.source, runtime::DecisionSource::FailSafeSwitchInFlight);
+      EXPECT_TRUE(tick.decision.warn);
+    }
+  }
+  EXPECT_GT(decisions, 0u);
+  EXPECT_EQ(monitor.model_decisions(), 0u);
+  EXPECT_GT(injector.switch_failures(), 0u);
+}
+
+TEST(RuntimeMonitor, BlackoutForcesConservativeDecisions) {
+  auto sc = framework_with_daytime_model();
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 82);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  runtime::FaultPlan plan;
+  plan.blackout_prob = 0.01;
+  plan.blackout_frames = 60;  // two-second camera blindness
+  runtime::FaultInjector injector(plan, 83);
+  RealtimeMonitor monitor(*sc, sim, cam, MonitorConfig{}, 84, &injector);
+  for (int i = 0; i < 30 * 120; ++i) {
+    const auto tick = monitor.step();
+    if (tick.decision_made && tick.frame_fault == runtime::FrameFault::Blackout) {
+      // Deciding *during* a blackout must never trust the model: the
+      // window is mostly zeros regardless of what is on the road.
+      EXPECT_TRUE(runtime::is_fail_safe(tick.decision.source))
+          << "frame " << i << " decided from a blacked-out window";
+    }
+  }
+  EXPECT_GT(injector.blackout_frames_total(), 0u);
+}
+
+TEST(RuntimeMonitor, UninstallsSwitchHookOnDestruction) {
+  auto sc = framework_with_daytime_model();
+  runtime::FaultPlan plan;
+  plan.switch_failure_prob = 1.0;
+  runtime::FaultInjector injector(plan, 85);
+  {
+    sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 86);
+    const sim::CameraModel cam(sim.intersection().geometry());
+    RealtimeMonitor monitor(*sc, sim, cam, MonitorConfig{}, 87, &injector);
+  }
+  // The dangling-hook hazard: after the monitor (and later the injector)
+  // die, the framework's switcher must not call back into them.
+  const auto status = sc->switcher().try_switch_to("daytime");
+  EXPECT_TRUE(status.ok);
+}
+
+}  // namespace
+}  // namespace safecross::core

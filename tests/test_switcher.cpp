@@ -67,6 +67,47 @@ TEST(Switcher, ReRegisterReplacesProfile) {
   SUCCEED();
 }
 
+TEST(Switcher, TrySwitchToUnregisteredReportsInsteadOfThrowing) {
+  ModelSwitcher sw;
+  const SwitchStatus status = sw.try_switch_to("nope");
+  EXPECT_FALSE(status.ok);
+  EXPECT_FALSE(status.error.empty());
+  EXPECT_EQ(sw.failed_switches(), 1u);
+}
+
+TEST(Switcher, TrySwitchToSucceedsLikeSwitchTo) {
+  ModelSwitcher sw;
+  sw.register_model("day", slowfast_r50_profile());
+  const SwitchStatus status = sw.try_switch_to("day");
+  EXPECT_TRUE(status.ok);
+  EXPECT_GT(status.delay_ms, 0.0);
+  EXPECT_EQ(sw.active_scene(), "day");
+  EXPECT_EQ(sw.failed_switches(), 0u);
+}
+
+TEST(Switcher, InjectedFailureLeavesActiveModelUntouched) {
+  ModelSwitcher sw;
+  sw.register_model("day", slowfast_r50_profile());
+  sw.register_model("snow", slowfast_r50_profile());
+  ASSERT_TRUE(sw.try_switch_to("day").ok);
+  sw.set_failure_hook([](const std::string& scene) { return scene == "snow"; });
+  const SwitchStatus status = sw.try_switch_to("snow");
+  EXPECT_FALSE(status.ok);
+  EXPECT_FALSE(status.error.empty());
+  EXPECT_EQ(sw.active_scene(), "day") << "a failed swap must not evict the serving model";
+  EXPECT_EQ(sw.failed_switches(), 1u);
+  sw.set_failure_hook(nullptr);
+  EXPECT_TRUE(sw.try_switch_to("snow").ok);
+  EXPECT_EQ(sw.active_scene(), "snow");
+}
+
+TEST(Switcher, ThrowingSwitchToStillThrowsOnInjectedFailure) {
+  ModelSwitcher sw;
+  sw.register_model("day", slowfast_r50_profile());
+  sw.set_failure_hook([](const std::string&) { return true; });
+  EXPECT_THROW(sw.switch_to("day"), std::runtime_error);
+}
+
 TEST(Switcher, PolicyNames) {
   EXPECT_STREQ(policy_name(SwitchPolicy::PipeSwitch), "pipeswitch");
   EXPECT_STREQ(policy_name(SwitchPolicy::StopAndStart), "stop-and-start");

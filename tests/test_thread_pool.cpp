@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -49,6 +50,57 @@ TEST(ThreadPool, WaitIdleWithNoTasksReturns) {
 TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
   EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotTerminateAndRethrowsFromWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed: the pool is idle and clean afterwards.
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(ThreadPool, FirstExceptionWinsOthersDropped) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.wait_idle();  // all captured errors cleared by the first rethrow
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterThrowingTask) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::logic_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, ParallelForRethrowsWithoutDeadlock) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1000,
+                        [](std::size_t i) {
+                          if (i == 500) throw std::runtime_error("index boom");
+                        }),
+      std::runtime_error);
+  // The pool must not be poisoned: a later parallel_for still works.
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForSerialFallbackPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(2,  // below the parallel threshold
+                                 [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
 }
 
 TEST(ThreadPool, NestedSubmitFromTask) {
