@@ -1,0 +1,212 @@
+// Pipeline robustness sweep — the staged monitor vs the synchronous one
+// under injected *compute* faults (stage crashes, decide overload), the
+// sibling of bench_robustness_faults' *data* faults.
+//
+// Arms:
+//   * sync      — the single-threaded monitor (reference scorecard);
+//   * pipelined — capture/collect/decide stage threads under supervision,
+//     swept over collect-stage crash rates × decide-stage overload. Low
+//     crash rates are absorbed by restart-with-backoff; high rates
+//     exhaust the retry budget, latch FailSafe, and the degraded fallback
+//     keeps conservative warnings flowing. Overload exercises the
+//     bounded-queue load shedding instead of unbounded queueing.
+// Reports availability, missed/false rates, shed/restart counts and
+// decision latency percentiles; writes the sweep as JSON
+// (default BENCH_pipeline.json).
+//
+// Usage: bench_pipeline_robustness [--frames N] [--json PATH]
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/monitor.h"
+
+using namespace safecross;
+using namespace safecross::core;
+
+namespace {
+
+struct RunResult {
+  std::string mode;
+  double crash_prob = 0.0;
+  double overload_ms = 0.0;
+  std::size_t frames = 0;
+  std::size_t decisions = 0;
+  std::size_t opportunities = 0;
+  std::size_t model_decisions = 0;
+  std::size_t fail_safe = 0;
+  std::size_t missed_threats = 0;
+  std::size_t false_warnings = 0;
+  std::size_t frames_shed = 0;
+  std::size_t decisions_shed = 0;
+  std::size_t stage_crashes = 0;
+  std::size_t restarts = 0;
+  std::size_t gave_up = 0;
+  double latency_p50 = 0.0;
+  double latency_p99 = 0.0;
+  int uncaught_exceptions = 0;
+
+  double availability() const {
+    return opportunities == 0 ? 1.0
+                              : static_cast<double>(decisions) / static_cast<double>(opportunities);
+  }
+  double missed_rate() const {
+    return decisions == 0 ? 0.0
+                          : static_cast<double>(missed_threats) / static_cast<double>(decisions);
+  }
+  double false_warning_rate() const {
+    return decisions == 0 ? 0.0
+                          : static_cast<double>(false_warnings) / static_cast<double>(decisions);
+  }
+};
+
+RunResult run_arm(SafeCross& sc, bool pipelined, double crash_prob, double overload_ms,
+                  int frames, std::uint64_t sim_seed) {
+  RunResult r;
+  r.mode = pipelined ? "pipelined" : "sync";
+  r.crash_prob = crash_prob;
+  r.overload_ms = overload_ms;
+  r.frames = static_cast<std::size_t>(frames);
+  try {
+    sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), sim_seed);
+    const sim::CameraModel cam(sim.intersection().geometry());
+    MonitorConfig cfg;
+    cfg.pipelined = pipelined;
+    // A budget that rides out rare crashes but is exhaustible by a
+    // sustained crash rate — both halves of the supervision story.
+    cfg.pipeline.backoff.initial_ms = 0.5;
+    cfg.pipeline.backoff.max_ms = 5.0;
+    cfg.pipeline.backoff.max_restarts = 20;
+    cfg.pipeline.faults[static_cast<int>(runtime::StageId::Collect)].crash_prob = crash_prob;
+    cfg.pipeline.faults[static_cast<int>(runtime::StageId::Decide)].delay_ms = overload_ms;
+    RealtimeMonitor monitor(sc, sim, cam, cfg, /*seed=*/sim_seed + 1);
+    monitor.run(static_cast<std::size_t>(frames));
+    r.decisions = monitor.decisions();
+    r.opportunities = monitor.decision_opportunities();
+    r.model_decisions = monitor.model_decisions();
+    r.fail_safe = monitor.fail_safe_decisions();
+    r.missed_threats = monitor.missed_threats();
+    r.false_warnings = monitor.false_warnings();
+    r.frames_shed = monitor.frames_shed();
+    r.decisions_shed = monitor.decisions_shed();
+    r.stage_crashes = monitor.stage_crashes_injected();
+    r.restarts = monitor.stage_restarts();
+    r.gave_up = monitor.stages_gave_up();
+    r.latency_p50 = monitor.decision_latency_p50();
+    r.latency_p99 = monitor.decision_latency_p99();
+  } catch (const std::exception& e) {
+    ++r.uncaught_exceptions;
+    std::printf("  !! uncaught exception (%s, crash %.3f, overload %.0f): %s\n", r.mode.c_str(),
+                crash_prob, overload_ms, e.what());
+  }
+  return r;
+}
+
+void print_result(const RunResult& r) {
+  std::printf("  %-9s %6.3f %6.0f %8zu %7.3f %8.4f %8.4f %6zu %6zu %5zu %4zu %7.2f %7.2f %4d\n",
+              r.mode.c_str(), r.crash_prob, r.overload_ms, r.decisions, r.availability(),
+              r.missed_rate(), r.false_warning_rate(), r.frames_shed, r.decisions_shed, r.restarts,
+              r.gave_up, r.latency_p50, r.latency_p99, r.uncaught_exceptions);
+}
+
+void json_result(std::FILE* f, const RunResult& r, bool last) {
+  std::fprintf(f,
+               "    {\"mode\": \"%s\", \"crash_prob\": %.4f, \"overload_ms\": %.1f, "
+               "\"frames\": %zu, \"decisions\": %zu, \"opportunities\": %zu, "
+               "\"model_decisions\": %zu, \"fail_safe_decisions\": %zu, "
+               "\"missed_threats\": %zu, \"false_warnings\": %zu, "
+               "\"availability\": %.6f, \"missed_threat_rate\": %.6f, "
+               "\"false_warning_rate\": %.6f, \"frames_shed\": %zu, \"decisions_shed\": %zu, "
+               "\"stage_crashes\": %zu, \"stage_restarts\": %zu, \"stages_gave_up\": %zu, "
+               "\"latency_p50_ms\": %.4f, \"latency_p99_ms\": %.4f, "
+               "\"uncaught_exceptions\": %d}%s\n",
+               r.mode.c_str(), r.crash_prob, r.overload_ms, r.frames, r.decisions, r.opportunities,
+               r.model_decisions, r.fail_safe, r.missed_threats, r.false_warnings,
+               r.availability(), r.missed_rate(), r.false_warning_rate(), r.frames_shed,
+               r.decisions_shed, r.stage_crashes, r.restarts, r.gave_up, r.latency_p50,
+               r.latency_p99, r.uncaught_exceptions, last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::quiet_logs();
+  int frames = 30 * 180;  // three simulated minutes per arm
+  std::string json_path = "BENCH_pipeline.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
+      frames = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::printf("usage: %s [--frames N] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::print_header("Pipeline robustness: training the daytime model");
+  dataset::BuildRequest req;
+  req.target_segments = bench::scaled(60);
+  req.max_sim_hours = 4.0;
+  req.seed = 2022;
+  const auto day = dataset::build_dataset(req);
+  SafeCrossConfig cfg;
+  cfg.model.slow_channels = 4;
+  cfg.model.fast_channels = 2;
+  cfg.basic_train.epochs = 3;
+  SafeCross sc(cfg);
+  sc.train_basic(bench::ptrs(day.segments));
+  std::printf("  trained on %zu daytime segments, %d frames per monitor arm\n",
+              day.segments.size(), frames);
+
+  bench::print_header("Stage-crash x overload sweep: sync reference vs supervised pipeline");
+  std::printf("  %-9s %6s %6s %8s %7s %8s %8s %6s %6s %5s %4s %7s %7s %4s\n", "mode", "crash",
+              "ovl", "decis", "avail", "missed", "false-w", "fshed", "dshed", "rst", "gvup", "p50",
+              "p99", "exc");
+  std::vector<RunResult> results;
+  const std::uint64_t sim_seed = 4242;
+
+  // Reference arm: the synchronous monitor on the same stream.
+  results.push_back(run_arm(sc, /*pipelined=*/false, 0.0, 0.0, frames, sim_seed));
+  print_result(results.back());
+
+  const double crash_rates[] = {0.0, 0.002, 0.01};
+  const double overloads[] = {0.0, 10.0};
+  for (const double crash : crash_rates) {
+    for (const double overload : overloads) {
+      results.push_back(run_arm(sc, /*pipelined=*/true, crash, overload, frames, sim_seed));
+      print_result(results.back());
+    }
+  }
+
+  const RunResult& sync_ref = results[0];
+  const RunResult& pipe_clean = results[1];  // pipelined, no faults
+  int total_exceptions = 0;
+  for (const auto& r : results) total_exceptions += r.uncaught_exceptions;
+  const bool clean_match = pipe_clean.decisions == sync_ref.decisions &&
+                           pipe_clean.missed_threats == sync_ref.missed_threats &&
+                           pipe_clean.false_warnings == sync_ref.false_warnings;
+  std::printf("\n  verdict: %d uncaught exceptions across all arms; fault-free pipelined\n"
+              "  scorecard %s the sync reference (decisions/missed/false).\n",
+              total_exceptions, clean_match ? "matches" : "DIVERGES FROM");
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"pipeline_robustness\",\n  \"frames_per_run\": %d,\n", frames);
+  std::fprintf(f, "  \"clean_pipelined_matches_sync\": %s,\n", clean_match ? "true" : "false");
+  std::fprintf(f, "  \"uncaught_exceptions_total\": %d,\n  \"runs\": [\n", total_exceptions);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    json_result(f, results[i], i + 1 == results.size());
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("  wrote %s\n", json_path.c_str());
+  return (total_exceptions == 0 && clean_match) ? 0 : 1;
+}

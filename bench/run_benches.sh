@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Run the google-benchmark micro-bench binaries and write one JSON file
 # per binary (BENCH_<name>.json) into the current directory. Also runs
-# the robustness fault sweep (bench_robustness_faults), which writes
-# BENCH_robustness.json itself.
+# the robustness fault sweep (bench_robustness_faults) and the staged-
+# pipeline sweep (bench_pipeline_robustness), which write
+# BENCH_robustness.json / BENCH_pipeline.json themselves.
 #
 # Usage:
 #   bench/run_benches.sh [--smoke] [build-dir]
@@ -65,6 +66,21 @@ if [[ -x "$robustness_bin" ]]; then
   fi
   echo "== bench_robustness_faults -> BENCH_robustness.json"
   "$robustness_bin" "${robustness_args[@]}"
+  ran=$((ran + 1))
+fi
+
+# Staged-pipeline sweep: sync reference vs supervised pipeline under
+# injected stage crashes and decide-stage overload. Writes its JSON itself;
+# exits non-zero on uncaught exceptions or a fault-free pipelined run that
+# diverges from the sync scorecard.
+pipeline_bin="$build_dir/bench/bench_pipeline_robustness"
+if [[ -x "$pipeline_bin" ]]; then
+  pipeline_args=(--json BENCH_pipeline.json)
+  if [[ $smoke -eq 1 ]]; then
+    pipeline_args+=(--frames 1800)  # one simulated minute per arm
+  fi
+  echo "== bench_pipeline_robustness -> BENCH_pipeline.json"
+  "$pipeline_bin" "${pipeline_args[@]}"
   ran=$((ran + 1))
 fi
 

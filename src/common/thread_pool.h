@@ -36,6 +36,13 @@ class ThreadPool {
   /// (the pool itself stays usable).
   void wait_idle();
 
+  /// Tasks submitted but not yet finished (queued + running). A snapshot:
+  /// meaningful for backlog monitoring, exact only while no producer runs.
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return in_flight_;
+  }
+
   /// Run fn(i) for i in [0, n), partitioned across the pool, blocking
   /// until complete. Falls back to serial for tiny n. If any fn(i) threw,
   /// the first exception is rethrown here after all chunks finish
@@ -50,7 +57,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;

@@ -72,8 +72,10 @@ ModelStore::LoadReport ModelStore::load_report(SafeCross& safecross,
   LoadReport report;
   for (const auto weather : available()) {
     const auto path = path_for(weather);
-    std::string error = validate_checkpoint(path);
-    if (error.empty()) {
+    std::string error;
+    const auto attempt_once = [&]() -> bool {
+      error = validate_checkpoint(path);
+      if (!error.empty()) return false;
       // The model is only registered once the whole file deserialized:
       // a half-loaded graph must never serve.
       auto model = std::make_unique<models::SlowFast>(config.model);
@@ -83,15 +85,25 @@ ModelStore::LoadReport ModelStore::load_report(SafeCross& safecross,
         nn::load_params(is, model->params());
         nn::load_tensors(is, model->buffers());
         safecross.set_model(weather, std::move(model));
-        report.loaded.push_back(weather);
-        continue;
+        return true;
       } catch (const std::exception& e) {
         error = e.what();
+        return false;
       }
+    };
+    // A failure here may be transient (stat/open on flaky storage, a
+    // concurrent writer mid-save): retry with bounded backoff before
+    // declaring the checkpoint bad. The jitter seed is fixed per weather
+    // so a load's retry timing is reproducible.
+    const auto retry = runtime::retry_with_backoff(
+        retry_policy_, 0x10ADull ^ static_cast<std::uint64_t>(weather), attempt_once);
+    if (retry.ok) {
+      report.loaded.push_back(weather);
+      continue;
     }
     log_warn() << "model-store: skipping " << vision::weather_name(weather) << " ("
-               << path.string() << "): " << error;
-    report.errors.push_back({weather, std::move(error)});
+               << path.string() << ") after " << retry.attempts << " attempt(s): " << error;
+    report.errors.push_back({weather, std::move(error), retry.attempts});
   }
   return report;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/safecross.h"
+#include "runtime/supervisor.h"
 
 namespace safecross::core {
 
@@ -25,10 +26,13 @@ class ModelStore {
   /// directory if needed; overwrites existing checkpoints.
   void save(SafeCross& safecross) const;
 
-  /// One checkpoint that failed validation or deserialization.
+  /// One checkpoint that failed validation or deserialization, even after
+  /// the transient-read retries: `attempts` records how many times it was
+  /// tried before being declared bad.
   struct LoadError {
     dataset::Weather weather;
     std::string message;
+    int attempts = 1;
   };
 
   /// Full outcome of a load: which weathers are now serving and which
@@ -57,8 +61,21 @@ class ModelStore {
 
   std::filesystem::path path_for(dataset::Weather weather) const;
 
+  /// Retry policy for transient read failures during load: a checkpoint
+  /// that fails to stat/open/deserialize is re-attempted with bounded
+  /// exponential backoff (shared runtime::retry_with_backoff machinery)
+  /// before being declared bad — an NFS blip or a concurrent writer must
+  /// not cost a rebooting unit one of its weather models. The default is
+  /// deliberately tight (a few short retries) so a genuinely corrupt file
+  /// still fails fast.
+  void set_retry_policy(runtime::BackoffPolicy policy) { retry_policy_ = policy; }
+  const runtime::BackoffPolicy& retry_policy() const { return retry_policy_; }
+
  private:
   std::filesystem::path dir_;
+  runtime::BackoffPolicy retry_policy_{/*initial_ms=*/2.0, /*multiplier=*/2.0,
+                                       /*max_ms=*/50.0, /*jitter_frac=*/0.2,
+                                       /*max_restarts=*/2};
 };
 
 }  // namespace safecross::core

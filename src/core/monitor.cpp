@@ -1,11 +1,18 @@
 #include "core/monitor.h"
 
+#include <atomic>
+#include <utility>
+
+#include "common/stats.h"
 #include "common/timer.h"
+#include "runtime/bounded_queue.h"
+#include "runtime/supervisor.h"
 
 namespace safecross::core {
 
 using runtime::DecisionSource;
 using runtime::FrameFault;
+using runtime::StageId;
 
 RealtimeMonitor::RealtimeMonitor(SafeCross& safecross, sim::TrafficSimulator& sim,
                                  const sim::CameraModel& camera, MonitorConfig config,
@@ -39,9 +46,7 @@ RealtimeMonitor::~RealtimeMonitor() {
   if (injector_ != nullptr) safecross_.switcher().set_failure_hook(nullptr);
 }
 
-RealtimeMonitor::Tick RealtimeMonitor::step() {
-  FrameFault fault = FrameFault::None;
-  if (injector_ != nullptr) fault = injector_->next_frame_fault();
+RealtimeMonitor::Tick RealtimeMonitor::ingest(FrameFault fault, bool& due) {
   switch (fault) {
     case FrameFault::Dropped:
       collector_.step(dataset::FrameStatus::Dropped);
@@ -76,13 +81,22 @@ RealtimeMonitor::Tick RealtimeMonitor::step() {
   tick.subject_waiting =
       subject != nullptr && subject->state == sim::DriverState::HoldingAtStop;
 
-  const bool window_full =
-      collector_.window().size() >= static_cast<std::size_t>(config_.vp.frames_per_segment);
   const bool warmed_up =
       collector_.frames_processed() >= static_cast<std::size_t>(config_.warmup_frames);
-  const bool due = tick.subject_waiting && warmed_up &&
-                   frames_since_decision_ >= config_.decision_stride;
+  due = tick.subject_waiting && warmed_up &&
+        frames_since_decision_ >= config_.decision_stride;
   if (due) ++decision_opportunities_;
+  return tick;
+}
+
+RealtimeMonitor::Tick RealtimeMonitor::step() {
+  FrameFault fault = FrameFault::None;
+  if (injector_ != nullptr) fault = injector_->next_frame_fault();
+  bool due = false;
+  Tick tick = ingest(fault, due);
+
+  const bool window_full =
+      collector_.window().size() >= static_cast<std::size_t>(config_.vp.frames_per_segment);
 
   if (!config_.fail_safe_policy) {
     // Fail-silent baseline: exactly the pre-robustness behaviour — only a
@@ -91,8 +105,11 @@ RealtimeMonitor::Tick RealtimeMonitor::step() {
       frames_since_decision_ = 0;
       const std::vector<vision::Image> window(collector_.window().begin(),
                                               collector_.window().end());
+      Timer latency;
       tick.decision = safecross_.classify(window);
+      tick.decision_latency_ms = latency.elapsed_ms();
       tick.decision_made = true;
+      record_latency(tick.decision_latency_ms);
       score(tick, tick.decision);
     }
     return tick;
@@ -100,31 +117,53 @@ RealtimeMonitor::Tick RealtimeMonitor::step() {
 
   if (!due) return tick;
   frames_since_decision_ = 0;
+  Timer latency;
   tick.decision = decide();
+  tick.decision_latency_ms = latency.elapsed_ms();
   tick.decision_made = true;
+  record_latency(tick.decision_latency_ms);
   score(tick, tick.decision);
   return tick;
 }
 
-SafeCross::Decision RealtimeMonitor::decide() {
+void RealtimeMonitor::run(std::size_t frames) {
+  if (!config_.pipelined) {
+    for (std::size_t i = 0; i < frames; ++i) step();
+    return;
+  }
+  run_pipelined(frames);
+}
+
+DecisionSource RealtimeMonitor::gate_reason() const {
   // Conservative gates, most severe first. Any hit means the model's
   // verdict cannot be trusted right now: warn instead of guessing.
+  if (health_.fail_safe_latched()) {
+    // A pipeline stage exhausted its crash-restart budget: nothing
+    // downstream of it is trustworthy until the latch clears.
+    return DecisionSource::FailSafeStageDown;
+  }
   if (health_.switch_failure_latched() || health_.switch_in_flight()) {
-    return SafeCross::fail_safe_decision(DecisionSource::FailSafeSwitchInFlight);
+    return DecisionSource::FailSafeSwitchInFlight;
   }
   const bool window_full =
       collector_.window().size() >= static_cast<std::size_t>(config_.vp.frames_per_segment);
   if (!window_full || !collector_.window_contiguous()) {
-    return SafeCross::fail_safe_decision(DecisionSource::FailSafeIncompleteWindow);
+    return DecisionSource::FailSafeIncompleteWindow;
   }
   if (health_.window_stale(collector_.fresh_in_window(), collector_.window().size())) {
-    return SafeCross::fail_safe_decision(DecisionSource::FailSafeStaleWindow);
+    return DecisionSource::FailSafeStaleWindow;
   }
   if (health_.state() == runtime::HealthState::FailSafe) {
     // Sustained stream faults (e.g. a blackout short enough to slip past
     // the per-window gates) — the watchdog says the feed is not trustworthy.
-    return SafeCross::fail_safe_decision(DecisionSource::FailSafeStaleWindow);
+    return DecisionSource::FailSafeStaleWindow;
   }
+  return DecisionSource::Model;
+}
+
+SafeCross::Decision RealtimeMonitor::decide() {
+  const DecisionSource reason = gate_reason();
+  if (reason != DecisionSource::Model) return SafeCross::fail_safe_decision(reason);
 
   const std::vector<vision::Image> window(collector_.window().begin(),
                                           collector_.window().end());
@@ -152,6 +191,168 @@ void RealtimeMonitor::score(const Tick& tick, const SafeCross::Decision& decisio
   } else {
     ++false_warnings_;
   }
+}
+
+double RealtimeMonitor::latency_percentile(double p) const {
+  if (latencies_.empty()) return 0.0;
+  return percentile(latencies_, p);
+}
+
+void RealtimeMonitor::run_pipelined(std::size_t frames) {
+  const runtime::PipelineConfig& pcfg = config_.pipeline;
+  const auto push_timeout =
+      std::chrono::milliseconds(static_cast<long long>(pcfg.push_timeout_ms));
+  const auto pop_timeout =
+      std::chrono::milliseconds(static_cast<long long>(pcfg.pop_timeout_ms));
+
+  // One camera frame slot handed from capture to collect. `degraded`
+  // marks slots produced by the capture fallback (camera front end gave
+  // up): they carry no content and land as dropped frames, but they keep
+  // the frame clock — and therefore the decision cadence — alive.
+  struct FrameJob {
+    std::size_t index = 0;
+    bool degraded = false;
+    Clock::time_point captured;
+  };
+
+  runtime::BoundedQueue<FrameJob> frame_q(pcfg.frame_queue_capacity);
+  runtime::BoundedQueue<PendingDecision> decision_q(pcfg.decision_queue_capacity);
+  runtime::StageFaultInjector stage_faults(pcfg);
+  runtime::Supervisor supervisor(pcfg.backoff, pcfg.fault_seed);
+  supervisor.set_give_up_hook([this](const std::string&) { health_.latch_fail_safe(); });
+
+  // Stage state lives out here: a restarted stage incarnation resumes
+  // where the crashed one left off instead of replaying work.
+  std::atomic<std::size_t> next_frame{0};  // capture: next slot to produce
+  std::size_t next_expected = 0;           // collect: next slot not yet accounted
+
+  // --- capture: camera pacing + the start of each deadline budget ---
+  auto capture_loop = [&](bool degraded) {
+    for (;;) {
+      if (supervisor.stop_requested()) return;
+      const std::size_t index = next_frame.load(std::memory_order_relaxed);
+      if (index >= frames) return;
+      if (!degraded) stage_faults.on_item(StageId::Capture);
+      next_frame.store(index + 1, std::memory_order_relaxed);
+      FrameJob job{index, degraded, Clock::now()};
+      // Backpressure first; past the timeout the oldest queued frame is
+      // shed — in a live feed the newest frame is the valuable one.
+      if (!frame_q.push(job, push_timeout)) frame_q.push_drop_oldest(job);
+    }
+  };
+
+  // Shared by collect and its degraded fallback: ingest one frame slot
+  // and, when a decision is due, hand the resolved gates (and the window,
+  // if the model may run) to the decide stage.
+  auto collect_frame = [&](FrameFault fault) {
+    bool due = false;
+    Tick tick = ingest(fault, due);
+    const bool window_full =
+        collector_.window().size() >= static_cast<std::size_t>(config_.vp.frames_per_segment);
+    PendingDecision pd;
+    if (config_.fail_safe_policy) {
+      if (!due) return;
+      frames_since_decision_ = 0;
+      pd.gate = gate_reason();
+    } else {
+      // Fail-silent baseline, pipelined: same gate as the synchronous
+      // baseline — a full window is classified even if gapped or stale.
+      if (!(due && window_full)) return;
+      frames_since_decision_ = 0;
+      pd.gate = DecisionSource::Model;
+    }
+    pd.tick = tick;
+    pd.captured = Clock::now();
+    if (pd.gate == DecisionSource::Model) {
+      pd.window.assign(collector_.window().begin(), collector_.window().end());
+    }
+    if (!decision_q.push_ref(pd, push_timeout)) {
+      // Decide is wedged: shed the *oldest* pending decision — stale
+      // safety advice is worth less than fresh advice.
+      decision_q.push_drop_oldest(std::move(pd));
+    }
+  };
+
+  // --- collect: fault fate, VP preprocessing, window assembly, gates ---
+  auto collect_loop = [&](bool degraded) {
+    for (;;) {
+      if (supervisor.stop_requested()) return;
+      auto job = frame_q.pop(pop_timeout);
+      if (!job) {
+        if (frame_q.drained()) return;
+        continue;
+      }
+      // Slots lost upstream — shed from the frame queue, or popped by a
+      // collect incarnation that crashed before processing them — surface
+      // as index gaps. Account each as a dropped frame so the sim clock
+      // and the window-contiguity tracking stay aligned with the cadence.
+      while (next_expected < job->index) {
+        ++next_expected;
+        collect_frame(FrameFault::Dropped);
+      }
+      if (job->index < next_expected) continue;  // stale duplicate; defensive
+      if (!degraded) stage_faults.on_item(StageId::Collect);  // crash → slot gap-fills
+      next_expected = job->index + 1;
+      FrameFault fault = FrameFault::Dropped;
+      if (!degraded && !job->degraded) {
+        fault = injector_ != nullptr ? injector_->next_frame_fault() : FrameFault::None;
+      }
+      collect_frame(fault);
+    }
+  };
+
+  // --- decide: classifier (or the tagged conservative warn) + scoring ---
+  auto decide_loop = [&](bool degraded) {
+    for (;;) {
+      if (supervisor.stop_requested()) return;
+      auto pd = decision_q.pop(pop_timeout);
+      if (!pd) {
+        if (decision_q.drained()) return;
+        continue;
+      }
+      if (!degraded) stage_faults.on_item(StageId::Decide);  // crash → decision lost
+      SafeCross::Decision decision;
+      if (degraded) {
+        decision = SafeCross::fail_safe_decision(DecisionSource::FailSafeStageDown);
+      } else if (pd->gate != DecisionSource::Model) {
+        decision = SafeCross::fail_safe_decision(pd->gate);
+      } else {
+        decision = safecross_.classify(pd->window);
+      }
+      // The deadline budget spans the pipeline: it started when the frame
+      // slot was captured, not when the classifier began.
+      const double latency_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - pd->captured).count();
+      if (decision.source == DecisionSource::Model && health_.deadline_blown(latency_ms)) {
+        decision.warn = true;
+        decision.predicted_class = 0;
+        decision.source = DecisionSource::FailSafeDeadline;
+      }
+      pd->tick.decision = decision;
+      pd->tick.decision_made = true;
+      pd->tick.decision_latency_ms = latency_ms;
+      record_latency(latency_ms);
+      score(pd->tick, decision);
+    }
+  };
+
+  supervisor.add_stage(
+      "capture", [&] { capture_loop(false); }, [&] { capture_loop(true); },
+      [&] { frame_q.close(); });
+  supervisor.add_stage(
+      "collect", [&] { collect_loop(false); }, [&] { collect_loop(true); },
+      [&] { decision_q.close(); });
+  supervisor.add_stage(
+      "decide", [&] { decide_loop(false); }, [&] { decide_loop(true); });
+
+  supervisor.start();
+  supervisor.join();  // normal completion: queues drain, stages exit
+
+  frames_shed_ += frame_q.shed();
+  decisions_shed_ += decision_q.shed();
+  stage_restarts_ += supervisor.total_restarts();
+  stages_gave_up_ += supervisor.stages_gave_up();
+  stage_crashes_ += stage_faults.total_crashes();
 }
 
 }  // namespace safecross::core

@@ -18,11 +18,32 @@
 // runtime::DecisionSource reason code instead of trusting the model.
 // With no injector and no faults, decisions are bit-identical to the
 // policy-free path.
+//
+// Execution modes:
+//   * synchronous (default) — step() runs capture, collection and the
+//     decision in one call on the caller's thread; bit-identical to the
+//     pre-pipeline monitor.
+//   * pipelined (MonitorConfig::pipelined) — run() decomposes the loop
+//     into three supervised stage threads connected by bounded queues:
+//
+//       capture ──frame slots──▶ collect ──decision jobs──▶ decide
+//       (camera pacing,          (fault fate, bg-sub/remap   (classifier +
+//        deadline clock)          window assembly, gates)     scoring)
+//
+//     Queues apply backpressure first and shed oldest-first when a stage
+//     stalls past the push timeout; a runtime::Supervisor restarts a
+//     crashed stage with capped exponential backoff, and a stage that
+//     exhausts its retry budget latches the HealthMonitor into FailSafe
+//     while a degraded fallback keeps conservative warnings flowing.
+
+#include <chrono>
+#include <vector>
 
 #include "core/safecross.h"
 #include "dataset/collector.h"
 #include "runtime/fault_injector.h"
 #include "runtime/health_monitor.h"
+#include "runtime/pipeline.h"
 
 namespace safecross::core {
 
@@ -38,6 +59,10 @@ struct MonitorConfig {
   // the pre-robustness fail-silent behaviour (the bench's baseline arm).
   bool fail_safe_policy = true;
   runtime::HealthConfig health;
+  // Threaded staged pipeline (see header comment). Off by default: the
+  // synchronous path stays bit-identical to pre-pipeline behaviour.
+  bool pipelined = false;
+  runtime::PipelineConfig pipeline;
 };
 
 class RealtimeMonitor {
@@ -59,10 +84,20 @@ class RealtimeMonitor {
     bool danger_truth = false;
     bool blind_area = false;
     runtime::FrameFault frame_fault = runtime::FrameFault::None;
+    // Wall-clock cost of the decision, when one was made: classifier time
+    // in synchronous mode, capture-to-verdict time in pipelined mode (the
+    // whole deadline budget the stages consumed).
+    double decision_latency_ms = 0.0;
   };
 
-  /// Advance one frame; returns what happened.
+  /// Advance one frame synchronously; returns what happened. Only valid
+  /// in synchronous mode (the pipelined stages own the frame clock).
   Tick step();
+
+  /// Drive `frames` frame slots to completion: a step() loop in
+  /// synchronous mode, the supervised staged pipeline in pipelined mode
+  /// (per-tick results are not surfaced there — read the scorecard).
+  void run(std::size_t frames);
 
   // --- online scorecard ---
   std::size_t decisions() const { return decisions_; }
@@ -90,12 +125,45 @@ class RealtimeMonitor {
                : 1.0;
   }
 
+  // --- decision-latency scorecard (ms; 0 when no decisions were made) ---
+  double decision_latency_p50() const { return latency_percentile(50.0); }
+  double decision_latency_p99() const { return latency_percentile(99.0); }
+
+  // --- pipeline scorecard (all zero in synchronous mode) ---
+  std::size_t frames_shed() const { return frames_shed_; }        // capture→collect shedding
+  std::size_t decisions_shed() const { return decisions_shed_; }  // collect→decide shedding
+  std::size_t stage_restarts() const { return stage_restarts_; }
+  std::size_t stages_gave_up() const { return stages_gave_up_; }
+  std::size_t stage_crashes_injected() const { return stage_crashes_; }
+
   const runtime::HealthMonitor& health() const { return health_; }
   const dataset::SegmentCollector& collector() const { return collector_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One decision hand-off between the collect and decide stages. The
+  /// collect stage resolves every state-dependent gate while it still
+  /// owns the collector/health state; the decide stage only runs the
+  /// classifier (gate == Model) or emits the tagged conservative warn.
+  struct PendingDecision {
+    Tick tick;
+    runtime::DecisionSource gate = runtime::DecisionSource::Model;
+    std::vector<vision::Image> window;  // populated only when gate == Model
+    Clock::time_point captured;         // start of the deadline budget
+  };
+
+  /// Shared per-frame bookkeeping: collector step + health events + tick
+  /// assembly + due/opportunity accounting. Identical in both modes.
+  Tick ingest(runtime::FrameFault fault, bool& due);
+  /// Fail-safe gates, most severe first; Model means the classifier may run.
+  runtime::DecisionSource gate_reason() const;
   SafeCross::Decision decide();
   void score(const Tick& tick, const SafeCross::Decision& decision);
+  void record_latency(double ms) { latencies_.push_back(ms); }
+  double latency_percentile(double p) const;
+
+  void run_pipelined(std::size_t frames);
 
   SafeCross& safecross_;
   sim::TrafficSimulator& sim_;
@@ -113,6 +181,13 @@ class RealtimeMonitor {
   std::size_t fail_safe_decisions_ = 0;
   std::size_t decision_opportunities_ = 0;
   std::size_t by_source_[runtime::kDecisionSourceCount] = {};
+  std::vector<double> latencies_;
+
+  std::size_t frames_shed_ = 0;
+  std::size_t decisions_shed_ = 0;
+  std::size_t stage_restarts_ = 0;
+  std::size_t stages_gave_up_ = 0;
+  std::size_t stage_crashes_ = 0;
 };
 
 }  // namespace safecross::core

@@ -97,6 +97,7 @@ void SegmentCollector::step(FrameStatus status) {
       fresh_window_.push_back(status == FrameStatus::Fresh);
       blind_window_.push_back(sim_.blind_area_present(config_.approach));
       ++frames_since_gap_;
+      if (status == FrameStatus::Corrupted) ++frames_corrupted_;
       break;
     }
     case FrameStatus::Frozen: {

@@ -115,6 +115,7 @@ class SegmentCollector {
 
   std::size_t frames_dropped() const { return frames_dropped_; }
   std::size_t frames_frozen() const { return frames_frozen_; }
+  std::size_t frames_corrupted() const { return frames_corrupted_; }
 
  private:
   vision::Image preprocess_frame();
@@ -135,6 +136,7 @@ class SegmentCollector {
   std::size_t frames_since_gap_ = 0;  // consecutive slots that got a frame
   std::size_t frames_dropped_ = 0;
   std::size_t frames_frozen_ = 0;
+  std::size_t frames_corrupted_ = 0;
   int hold_frames_ = 0;               // consecutive frames the subject held
   std::uint64_t hold_subject_id_ = 0;
   std::vector<VideoSegment> segments_;

@@ -20,6 +20,7 @@ const char* decision_source_name(DecisionSource s) {
     case DecisionSource::FailSafeStaleWindow: return "failsafe-stale-window";
     case DecisionSource::FailSafeSwitchInFlight: return "failsafe-switch-in-flight";
     case DecisionSource::FailSafeDeadline: return "failsafe-deadline";
+    case DecisionSource::FailSafeStageDown: return "failsafe-stage-down";
   }
   return "?";
 }
@@ -34,6 +35,9 @@ void HealthMonitor::escalate(HealthState target) {
 }
 
 void HealthMonitor::on_frame_event() {
+  // The supervisor latch is raised from another thread; the state machine
+  // only reacts here, on the frame clock, so state_ stays single-writer.
+  if (fail_safe_latched()) escalate(HealthState::FailSafe);
   if (switch_frames_left_ > 0) --switch_frames_left_;
   ++frames_in_[static_cast<int>(state_)];
 }
@@ -44,7 +48,7 @@ void HealthMonitor::frame_ok() {
   // De-escalate one level at a time after a sustained healthy streak; a
   // latched switch failure pins FailSafe regardless of stream health.
   if (healthy_streak_ >= config_.recover_after_healthy && state_ != HealthState::Nominal &&
-      !switch_failure_latched_ && switch_frames_left_ == 0) {
+      !switch_failure_latched_ && !fail_safe_latched() && switch_frames_left_ == 0) {
     state_ = static_cast<HealthState>(static_cast<int>(state_) - 1);
     healthy_streak_ = 0;
     ++transitions_;

@@ -18,6 +18,7 @@
 // healthy streak, and a failed model switch latches FailSafe until the
 // switcher reports recovery. All thresholds live in HealthConfig.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -36,9 +37,10 @@ enum class DecisionSource {
   FailSafeStaleWindow,       // too many frozen/duplicated frames in window
   FailSafeSwitchInFlight,    // model swap in progress or latched failure
   FailSafeDeadline,          // classifier blew the per-decision deadline
+  FailSafeStageDown,         // a pipeline stage exhausted its retry budget
 };
 
-constexpr int kDecisionSourceCount = 5;
+constexpr int kDecisionSourceCount = 6;
 
 const char* decision_source_name(DecisionSource s);
 
@@ -81,6 +83,18 @@ class HealthMonitor {
   bool switch_in_flight() const { return switch_frames_left_ > 0; }
   bool switch_failure_latched() const { return switch_failure_latched_; }
 
+  // --- supervisor latch ---
+  /// Pin FailSafe from outside the frame stream: a pipeline stage
+  /// exhausted its crash-restart budget, so no amount of healthy frames
+  /// makes the service trustworthy until an operator (or a rebuilt
+  /// pipeline) clears the latch. Thread-safe — the supervisor fires this
+  /// from a stage thread while the collect stage keeps feeding frame
+  /// events; the state machine itself escalates on the next frame event,
+  /// keeping `state_` single-writer.
+  void latch_fail_safe() { external_latch_.store(true, std::memory_order_release); }
+  void clear_fail_safe_latch() { external_latch_.store(false, std::memory_order_release); }
+  bool fail_safe_latched() const { return external_latch_.load(std::memory_order_acquire); }
+
   /// True when the deadline check is enabled and `elapsed_ms` exceeds it.
   bool deadline_blown(double elapsed_ms) const {
     return config_.decision_deadline_ms > 0.0 && elapsed_ms > config_.decision_deadline_ms;
@@ -106,6 +120,7 @@ class HealthMonitor {
   void on_frame_event();  // shared per-frame bookkeeping (time passes)
 
   HealthConfig config_;
+  std::atomic<bool> external_latch_{false};
   HealthState state_ = HealthState::Nominal;
   int missing_streak_ = 0;
   int healthy_streak_ = 0;

@@ -1,0 +1,49 @@
+#include "runtime/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace safecross::runtime {
+
+const char* pipeline_stage_name(StageId stage) {
+  switch (stage) {
+    case StageId::Capture: return "capture";
+    case StageId::Collect: return "collect";
+    case StageId::Decide: return "decide";
+  }
+  return "?";
+}
+
+StageFaultInjector::StageFaultInjector(const PipelineConfig& config) {
+  for (int s = 0; s < kStageCount; ++s) {
+    per_stage_[s].plan = config.faults[s];
+    per_stage_[s].rng = Rng(config.fault_seed ^ (0xC0FFEEull * (s + 1)));
+  }
+}
+
+std::size_t StageFaultInjector::total_crashes() const {
+  std::size_t total = 0;
+  for (int s = 0; s < kStageCount; ++s) total += per_stage_[s].crashes.load();
+  return total;
+}
+
+void StageFaultInjector::on_item(StageId stage) {
+  PerStage& ps = per_stage_[static_cast<int>(stage)];
+  if (!ps.plan.enabled()) {
+    ps.items.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::size_t ordinal = ps.items.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (ps.plan.delay_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ps.plan.delay_ms));
+  }
+  const bool scheduled = std::find(ps.plan.crash_items.begin(), ps.plan.crash_items.end(),
+                                   ordinal) != ps.plan.crash_items.end();
+  if (scheduled || (ps.plan.crash_prob > 0.0 && ps.rng.bernoulli(ps.plan.crash_prob))) {
+    ps.crashes.fetch_add(1, std::memory_order_relaxed);
+    throw StageCrash(stage);
+  }
+}
+
+}  // namespace safecross::runtime

@@ -1,0 +1,103 @@
+#pragma once
+// Configuration + deterministic fault injection for the staged monitor
+// pipeline (capture → collect → decide).
+//
+// The three stages are connected by BoundedQueues and run under a
+// Supervisor; PipelineConfig gathers everything the runtime needs to
+// size, pace and supervise them. StageFaultInjector is the pipeline-level
+// sibling of FaultInjector: where FaultInjector perturbs the *data*
+// (frames, switches, checkpoints), StageFaultInjector perturbs the
+// *compute* — a stage thread that crashes mid-item or an overloaded stage
+// that takes too long per item — so the robustness bench can measure what
+// supervision and load shedding actually buy.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/supervisor.h"
+
+namespace safecross::runtime {
+
+enum class StageId { Capture = 0, Collect = 1, Decide = 2 };
+constexpr int kStageCount = 3;
+
+const char* pipeline_stage_name(StageId stage);
+
+/// Compute-level faults for one stage, applied once per item processed.
+struct StageFaultPlan {
+  double crash_prob = 0.0;  // P(the stage throws) per item
+  double delay_ms = 0.0;    // artificial per-item latency (overload)
+  // Deterministic crash schedule for tests: the stage throws on exactly
+  // these 1-based item ordinals (in addition to any crash_prob draws).
+  std::vector<std::size_t> crash_items;
+
+  bool enabled() const {
+    return crash_prob > 0.0 || delay_ms > 0.0 || !crash_items.empty();
+  }
+};
+
+struct PipelineConfig {
+  // Queue sizing. The frame queue absorbs capture/collect jitter (a few
+  // frames is plenty at 30 Hz); the decision queue is deliberately small:
+  // a decision that waits behind three others is stale safety advice.
+  std::size_t frame_queue_capacity = 8;
+  std::size_t decision_queue_capacity = 4;
+  // How long a producer leans on backpressure before shedding the oldest
+  // queued item. Large enough to ride out a stage restart (backoff is
+  // capped at BackoffPolicy::max_ms), small enough to bound latency.
+  double push_timeout_ms = 250.0;
+  // Consumer poll quantum: bounds how long a stage can be blind to
+  // shutdown/poisoning while its input is idle.
+  double pop_timeout_ms = 20.0;
+  BackoffPolicy backoff;           // supervisor restart policy
+  std::uint64_t fault_seed = 0x57A6EFA17u;
+  StageFaultPlan faults[kStageCount];  // indexed by StageId
+};
+
+/// The exception an injected stage crash throws.
+struct StageCrash : std::runtime_error {
+  explicit StageCrash(StageId stage)
+      : std::runtime_error(std::string("injected crash in stage '") +
+                           pipeline_stage_name(stage) + "'"),
+        stage(stage) {}
+  StageId stage;
+};
+
+/// Deterministic per-stage compute-fault injector. Each stage draws from
+/// its own seeded Rng, so one stage's crash schedule is independent of
+/// the others and of thread interleaving. Thread-safe as used by the
+/// pipeline: each stage's state is touched only by that stage's thread;
+/// the crash counters are atomic so the scorecard may read them anywhere.
+class StageFaultInjector {
+ public:
+  explicit StageFaultInjector(const PipelineConfig& config);
+
+  /// Call once per item a stage processes: applies the configured
+  /// overload delay, then throws StageCrash on a scheduled ordinal or a
+  /// crash_prob draw. The item counter advances and the crash counter
+  /// ticks *before* the throw — a crashed item is still a processed item.
+  void on_item(StageId stage);
+
+  std::size_t items(StageId stage) const {
+    return per_stage_[static_cast<int>(stage)].items.load();
+  }
+  std::size_t crashes(StageId stage) const {
+    return per_stage_[static_cast<int>(stage)].crashes.load();
+  }
+  std::size_t total_crashes() const;
+
+ private:
+  struct PerStage {
+    StageFaultPlan plan;
+    Rng rng{0};
+    std::atomic<std::size_t> items{0};
+    std::atomic<std::size_t> crashes{0};
+  };
+  PerStage per_stage_[kStageCount];
+};
+
+}  // namespace safecross::runtime

@@ -86,6 +86,60 @@ TEST(Collector, TakeSegmentsDrains) {
   EXPECT_TRUE(collector.segments().empty());
 }
 
+TEST(Collector, BlackoutAcrossWindowEdgeStaysContiguousButStale) {
+  // A blackout delivers Corrupted frames: slots are filled (no temporal
+  // gap), but their content is untrustworthy. Straddle the 32-frame
+  // window edge with a corrupted burst and check the two properties the
+  // fail-safe gates rely on: contiguity survives, freshness degrades.
+  sim::TrafficSimulator sim(sim::weather_params(Weather::Daytime), 21);
+  sim::CameraModel cam(sim.intersection().geometry());
+  CollectorConfig cfg;
+  SegmentCollector collector(sim, cam, cfg, 22);
+  // Fill most of the first window, then black out across its edge:
+  // 8 corrupted frames before slot 32 and 8 after.
+  for (int i = 0; i < 24; ++i) collector.step();
+  EXPECT_FALSE(collector.window_contiguous()) << "window not full yet";
+  for (int i = 0; i < 16; ++i) collector.step(FrameStatus::Corrupted);
+  EXPECT_EQ(collector.frames_corrupted(), 16u);
+  EXPECT_TRUE(collector.window_contiguous())
+      << "corrupted slots are filled slots: no temporal gap";
+  // The window now holds 16 corrupted frames out of 32 — stale by any
+  // reasonable freshness floor.
+  EXPECT_EQ(collector.window().size(), 32u);
+  EXPECT_EQ(collector.stale_in_window(), 16u);
+  EXPECT_EQ(collector.fresh_in_window(), 16u);
+  // Fresh frames roll the corruption out of the window one slot at a time.
+  for (int i = 0; i < 16; ++i) collector.step();
+  EXPECT_EQ(collector.stale_in_window(), 16u) << "burst still inside the window";
+  for (int i = 0; i < 16; ++i) {
+    collector.step();
+    EXPECT_EQ(collector.stale_in_window(), static_cast<std::size_t>(15 - i));
+  }
+  EXPECT_EQ(collector.fresh_in_window(), 32u);
+  EXPECT_TRUE(collector.window_contiguous());
+}
+
+TEST(Collector, DropInsideCorruptedBurstBreaksContiguity) {
+  // Contrast case to the blackout test: a *dropped* slot inside the same
+  // burst does open a gap, and contiguity only returns after a full
+  // window of filled slots.
+  sim::TrafficSimulator sim(sim::weather_params(Weather::Daytime), 23);
+  sim::CameraModel cam(sim.intersection().geometry());
+  SegmentCollector collector(sim, cam, {}, 24);
+  for (int i = 0; i < 40; ++i) collector.step();
+  ASSERT_TRUE(collector.window_contiguous());
+  collector.step(FrameStatus::Corrupted);
+  EXPECT_TRUE(collector.window_contiguous());
+  collector.step(FrameStatus::Dropped);
+  EXPECT_FALSE(collector.window_contiguous());
+  for (int i = 0; i < 31; ++i) {
+    collector.step();
+    EXPECT_FALSE(collector.window_contiguous()) << "gap still inside the window";
+  }
+  collector.step();  // 32nd filled slot since the gap
+  EXPECT_TRUE(collector.window_contiguous());
+}
+
 TEST(Builder, ReachesTargetOrTimeCap) {
   BuildRequest req;
   req.weather = Weather::Daytime;

@@ -137,6 +137,57 @@ TEST(HealthMonitor, CountsFramesPerState) {
   EXPECT_GT(hm.transitions(), 0u);
 }
 
+TEST(HealthMonitor, DeEscalationTriggersExactlyAtTheStreakBoundary) {
+  HealthConfig cfg;
+  cfg.degraded_after_missing = 1;
+  cfg.recover_after_healthy = 7;
+  HealthMonitor hm(cfg);
+  hm.frame_missing();
+  ASSERT_EQ(hm.state(), HealthState::Degraded);
+  // recover_after_healthy - 1 healthy frames: one short of the boundary.
+  for (int i = 0; i < 6; ++i) hm.frame_ok();
+  EXPECT_EQ(hm.state(), HealthState::Degraded);
+  hm.frame_ok();  // the 7th — exactly at the boundary
+  EXPECT_EQ(hm.state(), HealthState::Nominal);
+}
+
+TEST(HealthMonitor, DeEscalationResetsTheStreakBetweenLevels) {
+  HealthConfig cfg;
+  cfg.failsafe_after_missing = 1;
+  cfg.recover_after_healthy = 4;
+  HealthMonitor hm(cfg);
+  hm.frame_missing();
+  ASSERT_EQ(hm.state(), HealthState::FailSafe);
+  // The streak that bought FailSafe→Degraded must not also count toward
+  // Degraded→Nominal: each level costs a full fresh streak.
+  for (int i = 0; i < 4; ++i) hm.frame_ok();
+  ASSERT_EQ(hm.state(), HealthState::Degraded);
+  for (int i = 0; i < 3; ++i) hm.frame_ok();
+  EXPECT_EQ(hm.state(), HealthState::Degraded) << "streak must restart after stepping down";
+  hm.frame_ok();
+  EXPECT_EQ(hm.state(), HealthState::Nominal);
+}
+
+TEST(HealthMonitor, ExternalLatchPinsFailSafeUntilCleared) {
+  HealthConfig cfg;
+  cfg.recover_after_healthy = 5;
+  HealthMonitor hm(cfg);
+  EXPECT_FALSE(hm.fail_safe_latched());
+  hm.latch_fail_safe();  // a supervisor gave up on a stage
+  EXPECT_TRUE(hm.fail_safe_latched());
+  EXPECT_EQ(hm.state(), HealthState::Nominal) << "escalation waits for the frame clock";
+  hm.frame_ok();  // first frame event after the latch
+  EXPECT_EQ(hm.state(), HealthState::FailSafe);
+  for (int i = 0; i < 100; ++i) hm.frame_ok();
+  EXPECT_EQ(hm.state(), HealthState::FailSafe) << "no healthy streak clears the latch";
+  hm.clear_fail_safe_latch();
+  EXPECT_FALSE(hm.fail_safe_latched());
+  for (int i = 0; i < 5; ++i) hm.frame_ok();
+  EXPECT_EQ(hm.state(), HealthState::Degraded);
+  for (int i = 0; i < 5; ++i) hm.frame_ok();
+  EXPECT_EQ(hm.state(), HealthState::Nominal);
+}
+
 TEST(HealthMonitor, DecisionSourceNamesAndFailSafePredicate) {
   EXPECT_STREQ(decision_source_name(DecisionSource::Model), "model");
   EXPECT_FALSE(is_fail_safe(DecisionSource::Model));
@@ -144,6 +195,8 @@ TEST(HealthMonitor, DecisionSourceNamesAndFailSafePredicate) {
   EXPECT_TRUE(is_fail_safe(DecisionSource::FailSafeStaleWindow));
   EXPECT_TRUE(is_fail_safe(DecisionSource::FailSafeSwitchInFlight));
   EXPECT_TRUE(is_fail_safe(DecisionSource::FailSafeDeadline));
+  EXPECT_TRUE(is_fail_safe(DecisionSource::FailSafeStageDown));
+  EXPECT_STREQ(decision_source_name(DecisionSource::FailSafeStageDown), "failsafe-stage-down");
   EXPECT_STREQ(health_state_name(HealthState::FailSafe), "fail-safe");
 }
 

@@ -203,5 +203,48 @@ TEST(ModelStore, ZeroByteAndBadMagicFilesSkipped) {
             std::vector<dataset::Weather>{dataset::Weather::Daytime});
 }
 
+// A checkpoint that fails persistently is retried with bounded backoff
+// (a stat/open failure could be an NFS blip) and only then declared bad —
+// with the attempt count surfaced so operators can tell "file is corrupt"
+// from "file vanished on the first read".
+TEST(ModelStore, PersistentlyBadCheckpointExhaustsRetryBudget) {
+  TempDir tmp;
+  fs::create_directories(tmp.path);
+  ModelStore store(tmp.path);
+  runtime::FaultInjector::write_garbage(store.path_for(dataset::Weather::Snow), 4096, 5);
+
+  runtime::BackoffPolicy policy;
+  policy.initial_ms = 0.1;  // keep the test fast
+  policy.max_ms = 0.5;
+  policy.max_restarts = 2;
+  store.set_retry_policy(policy);
+
+  SafeCross sc(tiny_config());
+  const auto report = store.load_report(sc, tiny_config());
+  EXPECT_TRUE(report.loaded.empty());
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors[0].weather, dataset::Weather::Snow);
+  EXPECT_EQ(report.errors[0].attempts, 1 + policy.max_restarts);
+  EXPECT_FALSE(report.errors[0].message.empty());
+  EXPECT_FALSE(sc.has_model(dataset::Weather::Snow));
+}
+
+TEST(ModelStore, RetryBudgetIsConfigurable) {
+  TempDir tmp;
+  fs::create_directories(tmp.path);
+  ModelStore store(tmp.path);
+  runtime::FaultInjector::write_garbage(store.path_for(dataset::Weather::Fog), 64, 6);
+
+  runtime::BackoffPolicy policy = store.retry_policy();
+  policy.initial_ms = 0.1;
+  policy.max_restarts = 0;  // fail fast: exactly one attempt
+  store.set_retry_policy(policy);
+
+  SafeCross sc(tiny_config());
+  const auto report = store.load_report(sc, tiny_config());
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors[0].attempts, 1);
+}
+
 }  // namespace
 }  // namespace safecross::core

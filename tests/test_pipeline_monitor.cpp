@@ -1,0 +1,180 @@
+// RealtimeMonitor in pipelined mode: the supervised staged pipeline must
+// (a) reproduce the synchronous scorecard when nothing goes wrong, (b)
+// survive injected stage crashes by restarting with backoff, (c) latch
+// FailSafe — with conservative warnings still flowing — when a stage
+// exhausts its retry budget, and (d) shed load instead of stalling when
+// the decide stage is overloaded.
+
+#include "core/monitor.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "models/slowfast.h"
+
+namespace safecross::core {
+namespace {
+
+SafeCrossConfig tiny_config() {
+  SafeCrossConfig cfg;
+  cfg.model.slow_channels = 4;
+  cfg.model.fast_channels = 2;
+  return cfg;
+}
+
+std::unique_ptr<SafeCross> framework_with_daytime_model() {
+  auto sc = std::make_unique<SafeCross>(tiny_config());
+  sc->set_model(dataset::Weather::Daytime,
+                std::make_unique<models::SlowFast>(tiny_config().model));
+  return sc;
+}
+
+struct Scorecard {
+  std::size_t decisions, warnings, correct, missed, false_warn, fail_safe, opportunities;
+};
+
+Scorecard run_monitor(SafeCross& sc, const MonitorConfig& cfg, std::size_t frames) {
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 91);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  RealtimeMonitor monitor(sc, sim, cam, cfg, 92);
+  monitor.run(frames);
+  return {monitor.decisions(),      monitor.warnings(),       monitor.correct(),
+          monitor.missed_threats(), monitor.false_warnings(), monitor.fail_safe_decisions(),
+          monitor.decision_opportunities()};
+}
+
+// Fast restart policy so crash tests spend no real wall-clock on backoff.
+runtime::BackoffPolicy fast_backoff(int max_restarts = 5) {
+  runtime::BackoffPolicy policy;
+  policy.initial_ms = 0.5;
+  policy.max_ms = 5.0;
+  policy.max_restarts = max_restarts;
+  return policy;
+}
+
+TEST(PipelineMonitor, MatchesSyncScorecardWithoutFaults) {
+  constexpr std::size_t kFrames = 30 * 240;
+  auto sc = framework_with_daytime_model();
+
+  MonitorConfig sync_cfg;
+  const Scorecard sync = run_monitor(*sc, sync_cfg, kFrames);
+  ASSERT_GT(sync.decisions, 0u) << "the run produced no decisions to compare";
+
+  MonitorConfig pipe_cfg;
+  pipe_cfg.pipelined = true;
+
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 91);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  RealtimeMonitor monitor(*sc, sim, cam, pipe_cfg, 92);
+  monitor.run(kFrames);
+
+  // Same stream, no faults, no shedding: the staged decomposition must not
+  // change what the service decided or how it scored.
+  EXPECT_EQ(monitor.frames_shed(), 0u);
+  EXPECT_EQ(monitor.decisions_shed(), 0u);
+  EXPECT_EQ(monitor.stage_restarts(), 0u);
+  EXPECT_EQ(monitor.decisions(), sync.decisions);
+  EXPECT_EQ(monitor.warnings(), sync.warnings);
+  EXPECT_EQ(monitor.correct(), sync.correct);
+  EXPECT_EQ(monitor.missed_threats(), sync.missed);
+  EXPECT_EQ(monitor.false_warnings(), sync.false_warn);
+  EXPECT_EQ(monitor.fail_safe_decisions(), sync.fail_safe);
+  EXPECT_EQ(monitor.decision_opportunities(), sync.opportunities);
+  // Pipelined latency spans capture→verdict, so it is measurable.
+  EXPECT_GE(monitor.decision_latency_p99(), monitor.decision_latency_p50());
+  EXPECT_GT(monitor.decision_latency_p50(), 0.0);
+}
+
+TEST(PipelineMonitor, StageCrashRestartsAndServiceRecovers) {
+  auto sc = framework_with_daytime_model();
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 93);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  MonitorConfig cfg;
+  cfg.pipelined = true;
+  cfg.pipeline.backoff = fast_backoff();
+  // Two deterministic crashes in the collect stage, early in the run.
+  auto& collect = cfg.pipeline.faults[static_cast<int>(runtime::StageId::Collect)];
+  collect.crash_items = {100, 200};
+
+  RealtimeMonitor monitor(*sc, sim, cam, cfg, 94);
+  monitor.run(30 * 120);  // must not terminate the process
+
+  EXPECT_EQ(monitor.stage_crashes_injected(), 2u);
+  EXPECT_EQ(monitor.stage_restarts(), 2u) << "each crash costs exactly one restart";
+  EXPECT_EQ(monitor.stages_gave_up(), 0u);
+  EXPECT_FALSE(monitor.health().fail_safe_latched());
+  EXPECT_GT(monitor.decisions(), 0u);
+  EXPECT_GT(monitor.model_decisions(), 0u) << "the service recovered to model verdicts";
+  // Both crashes are long past; the healthy streak walked the watchdog
+  // back down to Nominal.
+  EXPECT_EQ(monitor.health().state(), runtime::HealthState::Nominal);
+}
+
+TEST(PipelineMonitor, RetryBudgetExhaustionLatchesFailSafeAndWarnsContinue) {
+  auto sc = framework_with_daytime_model();
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 95);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  MonitorConfig cfg;
+  cfg.pipelined = true;
+  cfg.pipeline.backoff = fast_backoff(/*max_restarts=*/3);
+  // Four crashes against a budget of three: the collect stage gives up
+  // immediately and its degraded fallback carries the rest of the run.
+  auto& collect = cfg.pipeline.faults[static_cast<int>(runtime::StageId::Collect)];
+  collect.crash_items = {1, 2, 3, 4};
+
+  RealtimeMonitor monitor(*sc, sim, cam, cfg, 96);
+  monitor.run(30 * 120);  // must not terminate the process
+
+  EXPECT_EQ(monitor.stages_gave_up(), 1u);
+  EXPECT_EQ(monitor.stage_restarts(), 3u);
+  EXPECT_TRUE(monitor.health().fail_safe_latched());
+  EXPECT_EQ(monitor.health().state(), runtime::HealthState::FailSafe);
+  // The warning service kept answering — conservatively, never the model.
+  EXPECT_GT(monitor.decisions(), 0u);
+  EXPECT_EQ(monitor.model_decisions(), 0u);
+  EXPECT_EQ(monitor.fail_safe_decisions(), monitor.decisions());
+  EXPECT_GT(monitor.fail_safe_by_source(runtime::DecisionSource::FailSafeStageDown), 0u);
+}
+
+TEST(PipelineMonitor, OverloadedDecideStageShedsInsteadOfStalling) {
+  auto sc = framework_with_daytime_model();
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 97);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  MonitorConfig cfg;
+  cfg.pipelined = true;
+  // Decide grinds (50 ms per decision) while collect produces decisions
+  // far faster; a tiny queue and an aggressive push timeout force the
+  // load-shedding path rather than an unbounded stall.
+  cfg.pipeline.decision_queue_capacity = 2;
+  cfg.pipeline.push_timeout_ms = 1.0;
+  auto& decide = cfg.pipeline.faults[static_cast<int>(runtime::StageId::Decide)];
+  decide.delay_ms = 50.0;
+
+  RealtimeMonitor monitor(*sc, sim, cam, cfg, 98);
+  monitor.run(30 * 120);
+
+  EXPECT_GT(monitor.decisions_shed(), 0u) << "overload must shed, not queue unboundedly";
+  EXPECT_GT(monitor.decisions(), 0u) << "shedding must not starve the service entirely";
+  EXPECT_EQ(monitor.stage_restarts(), 0u);
+}
+
+TEST(PipelineMonitor, PipelinedPolicyOffStillScoresDecisions) {
+  auto sc = framework_with_daytime_model();
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 99);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  MonitorConfig cfg;
+  cfg.pipelined = true;
+  cfg.fail_safe_policy = false;  // fail-silent baseline, staged execution
+
+  RealtimeMonitor monitor(*sc, sim, cam, cfg, 100);
+  monitor.run(30 * 120);
+
+  EXPECT_GT(monitor.decisions(), 0u);
+  EXPECT_EQ(monitor.fail_safe_decisions(), 0u) << "no gates in fail-silent mode";
+  EXPECT_EQ(monitor.decisions(),
+            monitor.correct() + monitor.missed_threats() + monitor.false_warnings());
+}
+
+}  // namespace
+}  // namespace safecross::core
