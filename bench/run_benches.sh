@@ -84,4 +84,18 @@ if [[ -x "$pipeline_bin" ]]; then
   ran=$((ran + 1))
 fi
 
+# Multi-stream serving sweep: batched StreamServer vs sequential reference
+# over stream counts {1,2,4,8}. Writes its JSON itself; exits non-zero if
+# the batched verdicts diverge bit-for-bit from the sequential reference.
+multistream_bin="$build_dir/bench/bench_multistream"
+if [[ -x "$multistream_bin" ]]; then
+  multistream_args=(--json BENCH_multistream.json)
+  if [[ $smoke -eq 1 ]]; then
+    multistream_args+=(--reps 3)  # median-of-3 is enough for a smoke guard
+  fi
+  echo "== bench_multistream -> BENCH_multistream.json"
+  "$multistream_bin" "${multistream_args[@]}"
+  ran=$((ran + 1))
+fi
+
 echo "wrote $ran JSON result file(s)"

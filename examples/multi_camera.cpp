@@ -1,0 +1,83 @@
+// Multi-camera quickstart: four simulated intersections served by ONE
+// shared inference engine through the StreamServer — ready 32-frame
+// windows from all cameras are micro-batched into single (N,1,T,H,W)
+// forward passes, verdicts scatter back to per-stream scorecards.
+// One camera runs under a fault plan and one has its producer crash
+// mid-run (absorbed by supervised restart) to show per-stream isolation.
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "dataset/builder.h"
+#include "serving/stream_server.h"
+
+using namespace safecross;
+
+int main() {
+  set_log_level(LogLevel::Warn);
+
+  // Train the daytime basic model once; every camera shares it.
+  dataset::BuildRequest req;
+  req.weather = dataset::Weather::Daytime;
+  req.target_segments = 120;
+  req.seed = 5;
+  const auto day = dataset::build_dataset(req);
+  std::vector<const dataset::VideoSegment*> train;
+  for (const auto& s : day.segments) train.push_back(&s);
+
+  core::SafeCrossConfig cfg;
+  cfg.basic_train.epochs = 4;
+  core::SafeCross sc(cfg);
+  std::printf("training on %zu segments...\n", train.size());
+  sc.train_basic(train);
+
+  // Four cameras, each its own intersection (fresh seeds), multiplexed
+  // onto the one engine.
+  serving::StreamServerConfig server_cfg;
+  server_cfg.frames = 30 * 120;  // two sim-minutes per camera
+  const std::uint64_t seeds[] = {880000, 880001, 880002, 880014};  // live traffic on each
+  for (int i = 0; i < 4; ++i) {
+    serving::StreamConfig stream;
+    stream.name = "cam" + std::to_string(i);
+    stream.weather = dataset::Weather::Daytime;
+    stream.sim_seed = seeds[i];
+    stream.collector_seed = stream.sim_seed + 1;
+    server_cfg.streams.push_back(stream);
+  }
+  // cam2: a flaky feed — the fail-safe gates turn its bad windows into
+  // conservative warnings instead of verdicts from garbage.
+  server_cfg.streams[2].faults.drop_prob = 0.05;
+  server_cfg.streams[2].faults.freeze_prob = 0.02;
+  server_cfg.streams[2].fault_seed = 880777;
+  // cam3: its producer thread crashes once; the supervisor restarts it
+  // and the restarted incarnation replays the frame — zero verdicts lost.
+  server_cfg.streams[3].crash_frames = {900};
+
+  serving::StreamServer server(sc, server_cfg);
+  std::printf("serving %zu cameras, %zu frames each...\n\n", server.stream_count(),
+              server_cfg.frames);
+  server.run();
+
+  std::printf("  %-6s %9s %9s %6s %8s %7s %7s\n", "camera", "windows", "decisions", "warns",
+              "accuracy", "failsafe", "down");
+  for (std::size_t i = 0; i < server.stream_count(); ++i) {
+    const auto& s = server.stream(i).scorecard();
+    std::printf("  %-6s %9zu %9zu %6zu %8.3f %7zu %7s\n",
+                server.stream(i).config().name.c_str(), server.stream(i).windows_produced(),
+                s.decisions(), s.warnings(), s.accuracy(), s.fail_safe_decisions(),
+                server.stream_down(i) ? "DOWN" : "up");
+  }
+
+  std::size_t full = 0;
+  for (const auto& b : server.batch_log()) {
+    if (b.size > 1) ++full;
+  }
+  std::printf("\n  batches fired      %zu (%zu multi-window) — %zu windows total\n",
+              server.batch_log().size(), full, server.windows_batched());
+  std::printf("  producer crashes   %zu (restarted %zu times, verdicts unchanged)\n",
+              server.crashes_injected(), server.stage_restarts());
+  std::printf("  engine switches    %zu\n", server.engine_switches());
+  std::printf("\nThe batched verdicts are bit-identical to running each camera alone\n"
+              "through the sequential path — see tests/test_stream_server.cpp.\n");
+  return 0;
+}

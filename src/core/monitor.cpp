@@ -3,7 +3,6 @@
 #include <atomic>
 #include <utility>
 
-#include "common/stats.h"
 #include "common/timer.h"
 #include "runtime/bounded_queue.h"
 #include "runtime/supervisor.h"
@@ -47,28 +46,7 @@ RealtimeMonitor::~RealtimeMonitor() {
 }
 
 RealtimeMonitor::Tick RealtimeMonitor::ingest(FrameFault fault, bool& due) {
-  switch (fault) {
-    case FrameFault::Dropped:
-      collector_.step(dataset::FrameStatus::Dropped);
-      health_.frame_missing();
-      break;
-    case FrameFault::Frozen:
-      collector_.step(dataset::FrameStatus::Frozen);
-      health_.frame_degraded();
-      break;
-    case FrameFault::Blackout:
-      collector_.step(dataset::FrameStatus::Corrupted);  // the hook zeroed it
-      health_.frame_missing();  // the slot is filled but its content is gone
-      break;
-    case FrameFault::NoiseBurst:
-      collector_.step(dataset::FrameStatus::Corrupted);
-      health_.frame_degraded();
-      break;
-    case FrameFault::None:
-      collector_.step();
-      health_.frame_ok();
-      break;
-  }
+  apply_frame_fault(collector_, health_, fault);
   ++frames_since_decision_;
 
   Tick tick;
@@ -85,7 +63,7 @@ RealtimeMonitor::Tick RealtimeMonitor::ingest(FrameFault fault, bool& due) {
       collector_.frames_processed() >= static_cast<std::size_t>(config_.warmup_frames);
   due = tick.subject_waiting && warmed_up &&
         frames_since_decision_ >= config_.decision_stride;
-  if (due) ++decision_opportunities_;
+  if (due) scorecard_.count_opportunity();
   return tick;
 }
 
@@ -134,35 +112,8 @@ void RealtimeMonitor::run(std::size_t frames) {
   run_pipelined(frames);
 }
 
-DecisionSource RealtimeMonitor::gate_reason() const {
-  // Conservative gates, most severe first. Any hit means the model's
-  // verdict cannot be trusted right now: warn instead of guessing.
-  if (health_.fail_safe_latched()) {
-    // A pipeline stage exhausted its crash-restart budget: nothing
-    // downstream of it is trustworthy until the latch clears.
-    return DecisionSource::FailSafeStageDown;
-  }
-  if (health_.switch_failure_latched() || health_.switch_in_flight()) {
-    return DecisionSource::FailSafeSwitchInFlight;
-  }
-  const bool window_full =
-      collector_.window().size() >= static_cast<std::size_t>(config_.vp.frames_per_segment);
-  if (!window_full || !collector_.window_contiguous()) {
-    return DecisionSource::FailSafeIncompleteWindow;
-  }
-  if (health_.window_stale(collector_.fresh_in_window(), collector_.window().size())) {
-    return DecisionSource::FailSafeStaleWindow;
-  }
-  if (health_.state() == runtime::HealthState::FailSafe) {
-    // Sustained stream faults (e.g. a blackout short enough to slip past
-    // the per-window gates) — the watchdog says the feed is not trustworthy.
-    return DecisionSource::FailSafeStaleWindow;
-  }
-  return DecisionSource::Model;
-}
-
 SafeCross::Decision RealtimeMonitor::decide() {
-  const DecisionSource reason = gate_reason();
+  const DecisionSource reason = gate_reason(health_, collector_, config_.vp.frames_per_segment);
   if (reason != DecisionSource::Model) return SafeCross::fail_safe_decision(reason);
 
   const std::vector<vision::Image> window(collector_.window().begin(),
@@ -179,23 +130,7 @@ SafeCross::Decision RealtimeMonitor::decide() {
 }
 
 void RealtimeMonitor::score(const Tick& tick, const SafeCross::Decision& decision) {
-  ++decisions_;
-  if (decision.warn) ++warnings_;
-  if (runtime::is_fail_safe(decision.source)) ++fail_safe_decisions_;
-  ++by_source_[static_cast<int>(decision.source)];
-  const bool said_danger = decision.predicted_class == 0;
-  if (said_danger == tick.danger_truth) {
-    ++correct_;
-  } else if (tick.danger_truth) {
-    ++missed_threats_;
-  } else {
-    ++false_warnings_;
-  }
-}
-
-double RealtimeMonitor::latency_percentile(double p) const {
-  if (latencies_.empty()) return 0.0;
-  return percentile(latencies_, p);
+  scorecard_.score(tick.danger_truth, decision.predicted_class, decision.warn, decision.source);
 }
 
 void RealtimeMonitor::run_pipelined(std::size_t frames) {
@@ -253,7 +188,7 @@ void RealtimeMonitor::run_pipelined(std::size_t frames) {
     if (config_.fail_safe_policy) {
       if (!due) return;
       frames_since_decision_ = 0;
-      pd.gate = gate_reason();
+      pd.gate = gate_reason(health_, collector_, config_.vp.frames_per_segment);
     } else {
       // Fail-silent baseline, pipelined: same gate as the synchronous
       // baseline — a full window is classified even if gapped or stale.

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "core/safecross.h"
+#include "core/stream_policy.h"
 #include "dataset/collector.h"
 #include "runtime/fault_injector.h"
 #include "runtime/health_monitor.h"
@@ -99,35 +100,31 @@ class RealtimeMonitor {
   /// (per-tick results are not surfaced there — read the scorecard).
   void run(std::size_t frames);
 
-  // --- online scorecard ---
-  std::size_t decisions() const { return decisions_; }
-  std::size_t warnings() const { return warnings_; }
-  std::size_t correct() const { return correct_; }
-  std::size_t missed_threats() const { return missed_threats_; }    // said safe, was danger
-  std::size_t false_warnings() const { return false_warnings_; }    // said danger, was safe
-  double accuracy() const {
-    return decisions_ ? static_cast<double>(correct_) / decisions_ : 0.0;
-  }
+  // --- online scorecard (delegates to the shared StreamScorecard) ---
+  std::size_t decisions() const { return scorecard_.decisions(); }
+  std::size_t warnings() const { return scorecard_.warnings(); }
+  std::size_t correct() const { return scorecard_.correct(); }
+  std::size_t missed_threats() const { return scorecard_.missed_threats(); }
+  std::size_t false_warnings() const { return scorecard_.false_warnings(); }
+  double accuracy() const { return scorecard_.accuracy(); }
 
   // Fail-safe decisions are tallied separately from model verdicts so the
   // scorecard can report how often the service ran conservative.
-  std::size_t fail_safe_decisions() const { return fail_safe_decisions_; }
-  std::size_t model_decisions() const { return decisions_ - fail_safe_decisions_; }
+  std::size_t fail_safe_decisions() const { return scorecard_.fail_safe_decisions(); }
+  std::size_t model_decisions() const { return scorecard_.model_decisions(); }
   std::size_t fail_safe_by_source(runtime::DecisionSource s) const {
-    return by_source_[static_cast<int>(s)];
+    return scorecard_.fail_safe_by_source(s);
   }
   /// Ticks where a decision was due (subject waiting, warmed up, stride
   /// elapsed) — the denominator for warning availability.
-  std::size_t decision_opportunities() const { return decision_opportunities_; }
-  double availability() const {
-    return decision_opportunities_
-               ? static_cast<double>(decisions_) / decision_opportunities_
-               : 1.0;
-  }
+  std::size_t decision_opportunities() const { return scorecard_.decision_opportunities(); }
+  double availability() const { return scorecard_.availability(); }
 
   // --- decision-latency scorecard (ms; 0 when no decisions were made) ---
-  double decision_latency_p50() const { return latency_percentile(50.0); }
-  double decision_latency_p99() const { return latency_percentile(99.0); }
+  double decision_latency_p50() const { return scorecard_.latency_p50(); }
+  double decision_latency_p99() const { return scorecard_.latency_p99(); }
+
+  const StreamScorecard& scorecard() const { return scorecard_; }
 
   // --- pipeline scorecard (all zero in synchronous mode) ---
   std::size_t frames_shed() const { return frames_shed_; }        // capture→collect shedding
@@ -156,12 +153,9 @@ class RealtimeMonitor {
   /// Shared per-frame bookkeeping: collector step + health events + tick
   /// assembly + due/opportunity accounting. Identical in both modes.
   Tick ingest(runtime::FrameFault fault, bool& due);
-  /// Fail-safe gates, most severe first; Model means the classifier may run.
-  runtime::DecisionSource gate_reason() const;
   SafeCross::Decision decide();
   void score(const Tick& tick, const SafeCross::Decision& decision);
-  void record_latency(double ms) { latencies_.push_back(ms); }
-  double latency_percentile(double p) const;
+  void record_latency(double ms) { scorecard_.record_latency(ms); }
 
   void run_pipelined(std::size_t frames);
 
@@ -173,15 +167,7 @@ class RealtimeMonitor {
   runtime::FaultInjector* injector_ = nullptr;
   int frames_since_decision_ = 0;
 
-  std::size_t decisions_ = 0;
-  std::size_t warnings_ = 0;
-  std::size_t correct_ = 0;
-  std::size_t missed_threats_ = 0;
-  std::size_t false_warnings_ = 0;
-  std::size_t fail_safe_decisions_ = 0;
-  std::size_t decision_opportunities_ = 0;
-  std::size_t by_source_[runtime::kDecisionSourceCount] = {};
-  std::vector<double> latencies_;
+  StreamScorecard scorecard_;
 
   std::size_t frames_shed_ = 0;
   std::size_t decisions_shed_ = 0;

@@ -115,6 +115,16 @@ class SafeCross {
   /// Classify with a specific weather's model (evaluation helpers).
   Decision classify_as(Weather weather, const std::vector<vision::Image>& window);
 
+  /// Classify several windows with one weather's model in a single
+  /// (N, 1, T, H, W) forward pass. The per-window math is identical to
+  /// classify_as — every layer treats batch samples independently, so
+  /// result[i] is bit-identical to classify_as(weather, *windows[i]).
+  /// This is the multi-stream serving layer's inference entry point; the
+  /// caller guarantees all windows want the same weather (a batch must
+  /// never straddle a model switch).
+  std::vector<Decision> classify_batch_as(
+      Weather weather, const std::vector<const std::vector<vision::Image>*>& windows);
+
  private:
   void register_profile(Weather weather);
 

@@ -1,0 +1,78 @@
+#include "serving/micro_batcher.h"
+
+#include <limits>
+
+namespace safecross::serving {
+
+namespace {
+
+double ms_between(MicroBatcher::Clock::time_point from, MicroBatcher::Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+void MicroBatcher::stage(ReadyWindow w, Clock::time_point now) {
+  groups_[w.model_weather].push_back(Staged{std::move(w), now});
+  ++staged_;
+}
+
+Batch MicroBatcher::fire(Weather weather, std::size_t count, Clock::time_point now,
+                         bool by_deadline) {
+  auto it = groups_.find(weather);
+  std::deque<Staged>& group = it->second;
+  Batch batch;
+  batch.weather = weather;
+  batch.fired_by_deadline = by_deadline;
+  batch.max_wait_ms = ms_between(group.front().at, now);
+  batch.items.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.items.push_back(std::move(group.front().w));
+    group.pop_front();
+  }
+  staged_ -= count;
+  if (group.empty()) groups_.erase(it);
+  return batch;
+}
+
+std::optional<Batch> MicroBatcher::next_due(Clock::time_point now) {
+  // Full groups first: the largest backlog, ties broken by enum order so
+  // the firing sequence is deterministic for a deterministic arrival
+  // order (the fake-clock property tests rely on this).
+  const Weather* fullest = nullptr;
+  std::size_t fullest_size = 0;
+  for (const auto& [weather, group] : groups_) {
+    if (group.size() >= config_.max_batch && group.size() > fullest_size) {
+      fullest = &weather;
+      fullest_size = group.size();
+    }
+  }
+  if (fullest != nullptr) return fire(*fullest, config_.max_batch, now, /*by_deadline=*/false);
+
+  for (const auto& [weather, group] : groups_) {
+    if (!group.empty() && ms_between(group.front().at, now) >= config_.max_batch_delay_ms) {
+      const std::size_t count = std::min(group.size(), config_.max_batch);
+      return fire(weather, count, now, /*by_deadline=*/true);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Batch> MicroBatcher::flush() {
+  if (groups_.empty()) return std::nullopt;
+  auto it = groups_.begin();
+  const std::size_t count = std::min(it->second.size(), config_.max_batch);
+  return fire(it->first, count, it->second.back().at, /*by_deadline=*/false);
+}
+
+double MicroBatcher::ms_until_deadline(Clock::time_point now) const {
+  double soonest = std::numeric_limits<double>::max();
+  for (const auto& [weather, group] : groups_) {
+    if (group.empty()) continue;
+    const double left = config_.max_batch_delay_ms - ms_between(group.front().at, now);
+    if (left < soonest) soonest = left;
+  }
+  return soonest;
+}
+
+}  // namespace safecross::serving

@@ -1,0 +1,92 @@
+#pragma once
+// Deadline-aware, weather-grouped micro-batcher for the stream server.
+//
+// Ready windows from K streams are staged into per-weather groups. A
+// group fires as a Batch when it reaches max_batch items, or when its
+// oldest item has waited max_batch_delay_ms — whichever comes first. The
+// two rules bound both throughput loss (batches fill when load allows)
+// and added latency (no window waits longer than the delay knob before
+// the engine sees it).
+//
+// Invariants, pinned by the property suite:
+//   * a batch never mixes weathers — the engine runs one model per
+//     forward pass, so a batch must never straddle a model switch;
+//   * a batch never exceeds max_batch items;
+//   * no starvation — once staged, a window is emitted by next_due()
+//     within max_batch_delay_ms (given the caller polls), or by flush();
+//   * conservation — every staged window appears in exactly one batch.
+//
+// The batcher is deliberately threadless and clock-agnostic: callers
+// pass `now` into stage()/next_due(), so the property tests drive it
+// with a fake clock and assert deadline behaviour deterministically.
+// The server's batcher thread is the only concurrent user and calls it
+// from one thread; no locking is needed here.
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "serving/stream.h"
+
+namespace safecross::serving {
+
+struct BatcherConfig {
+  std::size_t max_batch = 8;        // fire a weather group at this size...
+  double max_batch_delay_ms = 4.0;  // ...or when its oldest item is this old
+};
+
+/// One weather-uniform batch ready for a single (N,1,T,H,W) forward pass.
+struct Batch {
+  Weather weather = Weather::Daytime;
+  std::vector<ReadyWindow> items;
+  double max_wait_ms = 0.0;  // staging wait of the oldest item at fire time
+  bool fired_by_deadline = false;
+};
+
+class MicroBatcher {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit MicroBatcher(BatcherConfig config) : config_(config) {
+    if (config_.max_batch == 0) config_.max_batch = 1;
+  }
+
+  const BatcherConfig& config() const { return config_; }
+
+  /// Stage one model-gated window into its weather group.
+  void stage(ReadyWindow w, Clock::time_point now);
+
+  /// The next batch that must fire at `now`: a full group first (largest
+  /// backlog wins, then enum order — deterministic), else the group whose
+  /// oldest item has exceeded the delay budget. nullopt when nothing is
+  /// due yet.
+  std::optional<Batch> next_due(Clock::time_point now);
+
+  /// Drain one remaining group regardless of size/deadline (end of run).
+  std::optional<Batch> flush();
+
+  bool empty() const { return staged_ == 0; }
+  std::size_t staged() const { return staged_; }
+
+  /// Milliseconds until the oldest staged item's deadline expires at
+  /// `now` (<= 0 when already due); a very large value when empty. The
+  /// server uses this to size its idle wait.
+  double ms_until_deadline(Clock::time_point now) const;
+
+ private:
+  struct Staged {
+    ReadyWindow w;
+    Clock::time_point at;
+  };
+
+  Batch fire(Weather weather, std::size_t count, Clock::time_point now, bool by_deadline);
+
+  BatcherConfig config_;
+  std::map<Weather, std::deque<Staged>> groups_;
+  std::size_t staged_ = 0;
+};
+
+}  // namespace safecross::serving

@@ -1,0 +1,79 @@
+#include "serving/stream.h"
+
+#include "sim/weather.h"
+
+namespace safecross::serving {
+
+using runtime::DecisionSource;
+using runtime::FrameFault;
+
+StreamContext::StreamContext(StreamConfig config)
+    : config_(std::move(config)),
+      sim_(sim::weather_params(config_.weather), config_.sim_seed),
+      camera_(sim_.intersection().geometry()),
+      collector_(sim_, camera_, config_.vp, config_.collector_seed),
+      health_(config_.health),
+      injector_(config_.faults, config_.fault_seed),
+      injector_active_(config_.faults.enabled()),
+      model_weather_(config_.weather) {
+  if (injector_active_) {
+    collector_.set_frame_hook([this](vision::Image& frame) { injector_.perturb(frame); });
+  }
+}
+
+std::optional<ReadyWindow> StreamContext::tick() {
+  ++frame_;
+
+  // Scheduled model switches: from this frame on the stream's decisions
+  // want the new weather's model; the stream-visible swap latency gates
+  // decisions conservative through the health watchdog meanwhile.
+  while (schedule_pos_ < config_.model_schedule.size() &&
+         config_.model_schedule[schedule_pos_].at_frame <= frame_) {
+    const ModelSwitchEvent& ev = config_.model_schedule[schedule_pos_++];
+    if (ev.to != model_weather_) {
+      model_weather_ = ev.to;
+      if (ev.delay_ms > 0.0) health_.switch_started(ev.delay_ms);
+    }
+  }
+
+  FrameFault fault = FrameFault::None;
+  if (injector_active_) fault = injector_.next_frame_fault();
+  core::apply_frame_fault(collector_, health_, fault);
+  ++frames_since_decision_;
+
+  const sim::Vehicle* subject = sim_.subject(config_.vp.approach);
+  const bool subject_waiting =
+      subject != nullptr && subject->state == sim::DriverState::HoldingAtStop;
+  const bool warmed_up =
+      collector_.frames_processed() >= static_cast<std::size_t>(config_.warmup_frames);
+  if (!(subject_waiting && warmed_up && frames_since_decision_ >= config_.decision_stride)) {
+    return std::nullopt;
+  }
+
+  scorecard_.count_opportunity();
+  frames_since_decision_ = 0;
+
+  ReadyWindow w;
+  w.seq = produced_++;
+  w.frame = frame_;
+  w.danger_truth = sim_.dangerous_to_turn(config_.vp.approach);
+  w.gate = core::gate_reason(health_, collector_, config_.vp.frames_per_segment);
+  w.model_weather = model_weather_;
+  if (w.gate == DecisionSource::Model) {
+    w.window.assign(collector_.window().begin(), collector_.window().end());
+  }
+  w.captured = std::chrono::steady_clock::now();
+  return w;
+}
+
+void StreamContext::apply(const ReadyWindow& w, int predicted_class, float prob_danger,
+                          bool warn, DecisionSource source, double latency_ms) {
+  scorecard_.score(w.danger_truth, predicted_class, warn, source);
+  scorecard_.record_latency(latency_ms);
+  if (record_trace_) {
+    if (trace_.size() <= w.seq) trace_.resize(w.seq + 1);
+    trace_[w.seq] = {w.frame, w.danger_truth, predicted_class, prob_danger, warn, source};
+  }
+}
+
+}  // namespace safecross::serving

@@ -1,0 +1,157 @@
+#pragma once
+// One simulated intersection camera stream, packaged for the multi-stream
+// server: its own TrafficSimulator, CameraModel, SegmentCollector,
+// HealthMonitor, fault plan and model-switch schedule.
+//
+// A StreamContext is the producer half of the serving split. tick()
+// advances exactly one frame slot — the same ingest ordering as
+// RealtimeMonitor (schedule check, fault fate, collector step + health
+// event, due check, gate resolution) — and, when a decision is due,
+// emits a ReadyWindow carrying everything the inference side needs: the
+// resolved fail-safe gate, the weather whose model must judge it, the
+// ground truth to score against, and (only when the model may run) a
+// copy of the 32-frame window. The inference side — the batcher thread
+// in batched mode, the same thread in the sequential reference — calls
+// apply() with the verdict.
+//
+// Determinism contract: all stream state (sim, collector noise, faults,
+// switch schedule) is seeded and frame-indexed, never wall-clock-driven,
+// so a stream replayed through the batched server and through the
+// sequential reference produces bit-identical ReadyWindows in the same
+// per-stream order — the foundation of the parity and golden-trace
+// suites.
+//
+// Threading: tick() is called only by the stream's producer (or the
+// sequential runner); apply() only by the inference side. They touch
+// disjoint scorecard fields (tick counts opportunities, apply scores
+// verdicts), so the pair is data-race-free without a lock.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/stream_policy.h"
+#include "dataset/collector.h"
+#include "runtime/fault_injector.h"
+#include "runtime/health_monitor.h"
+#include "sim/camera.h"
+#include "sim/traffic.h"
+
+namespace safecross::serving {
+
+using dataset::Weather;
+
+/// A scheduled mid-run model switch: from frame `at_frame` (1-based) on,
+/// this stream's decisions want the `to` weather's model. `delay_ms` is
+/// the stream-visible swap latency: the health watchdog treats
+/// ceil(delay_ms / frame_interval_ms) frames as switch-in-flight, gating
+/// decisions conservative exactly as RealtimeMonitor does during a live
+/// swap. Frame-indexed and per-stream, so batched and sequential runs
+/// see the identical gate sequence.
+struct ModelSwitchEvent {
+  std::size_t at_frame = 0;
+  Weather to = Weather::Daytime;
+  double delay_ms = 100.0;
+};
+
+struct StreamConfig {
+  std::string name = "cam";
+  Weather weather = Weather::Daytime;  // sim weather and the initial model
+  std::uint64_t sim_seed = 1;
+  std::uint64_t collector_seed = 2;
+  dataset::CollectorConfig vp;
+  int decision_stride = 8;   // frames between decisions while a subject waits
+  int warmup_frames = 90;    // no decisions until the background model settles
+  runtime::HealthConfig health;
+  runtime::FaultPlan faults;            // per-stream frame-fault plan
+  std::uint64_t fault_seed = 0xFA0117u;
+  std::vector<ModelSwitchEvent> model_schedule;  // ascending at_frame
+  // Producer-crash schedule (1-based frame ordinals): the supervised
+  // stream worker throws immediately *before* processing these frames.
+  // The restarted incarnation resumes at the same frame, so crashes
+  // within the retry budget never change a single verdict.
+  std::vector<std::size_t> crash_frames;
+};
+
+/// A due decision leaving a stream: either a full 32-frame window bound
+/// for the batcher (gate == Model) or an already-resolved fail-safe.
+struct ReadyWindow {
+  std::size_t stream = 0;  // index into the server's stream list
+  std::size_t seq = 0;     // per-stream decision ordinal (0-based)
+  std::size_t frame = 0;   // 1-based frame ordinal that produced it
+  bool danger_truth = false;
+  runtime::DecisionSource gate = runtime::DecisionSource::Model;
+  Weather model_weather = Weather::Daytime;
+  std::vector<vision::Image> window;  // populated only when gate == Model
+  std::chrono::steady_clock::time_point captured;  // latency budget start
+};
+
+/// One scored verdict, recorded in per-stream seq order so traces from
+/// the batched run (where weather groups may fire out of arrival order
+/// across streams) line up 1:1 with the sequential reference.
+struct DecisionRecord {
+  std::size_t frame = 0;
+  bool danger_truth = false;
+  int predicted_class = 0;
+  float prob_danger = 1.0f;
+  bool warn = true;
+  runtime::DecisionSource source = runtime::DecisionSource::Model;
+};
+
+class StreamContext {
+ public:
+  explicit StreamContext(StreamConfig config);
+
+  StreamContext(const StreamContext&) = delete;
+  StreamContext& operator=(const StreamContext&) = delete;
+
+  const StreamConfig& config() const { return config_; }
+
+  std::size_t frames_run() const { return frame_; }
+  std::size_t windows_produced() const { return produced_; }
+  Weather model_weather() const { return model_weather_; }
+
+  /// Advance one frame slot; returns a ReadyWindow when a decision is
+  /// due. Producer-side only — never called concurrently with itself.
+  std::optional<ReadyWindow> tick();
+
+  /// Score one verdict for one of this stream's windows. Inference-side
+  /// only (batcher thread / sequential runner).
+  void apply(const ReadyWindow& w, int predicted_class, float prob_danger, bool warn,
+             runtime::DecisionSource source, double latency_ms);
+
+  core::StreamScorecard& scorecard() { return scorecard_; }
+  const core::StreamScorecard& scorecard() const { return scorecard_; }
+  runtime::HealthMonitor& health() { return health_; }
+  const runtime::HealthMonitor& health() const { return health_; }
+  const dataset::SegmentCollector& collector() const { return collector_; }
+  const runtime::FaultInjector* injector() const {
+    return injector_active_ ? &injector_ : nullptr;
+  }
+
+  /// Per-seq verdict trace (empty unless enabled before the run).
+  void set_record_trace(bool on) { record_trace_ = on; }
+  const std::vector<DecisionRecord>& trace() const { return trace_; }
+
+ private:
+  StreamConfig config_;
+  sim::TrafficSimulator sim_;
+  sim::CameraModel camera_;
+  dataset::SegmentCollector collector_;
+  runtime::HealthMonitor health_;
+  runtime::FaultInjector injector_;  // no-op when the plan is all-zero
+  bool injector_active_ = false;
+  Weather model_weather_;
+  std::size_t schedule_pos_ = 0;
+  std::size_t frame_ = 0;
+  std::size_t produced_ = 0;
+  int frames_since_decision_ = 0;
+  core::StreamScorecard scorecard_;
+  bool record_trace_ = false;
+  std::vector<DecisionRecord> trace_;  // indexed by ReadyWindow::seq
+};
+
+}  // namespace safecross::serving

@@ -1,0 +1,252 @@
+#include "serving/stream_server.h"
+
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace safecross::serving {
+
+using runtime::DecisionSource;
+
+namespace {
+
+std::chrono::milliseconds to_ms(double ms) {
+  if (ms < 0.0) ms = 0.0;
+  return std::chrono::milliseconds(static_cast<long long>(ms));
+}
+
+}  // namespace
+
+StreamServer::StreamServer(core::SafeCross& engine, StreamServerConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  if (config_.streams.empty()) {
+    throw std::invalid_argument("StreamServer: at least one stream required");
+  }
+  streams_.reserve(config_.streams.size());
+  for (const StreamConfig& sc : config_.streams) {
+    streams_.push_back(std::make_unique<StreamContext>(sc));
+    streams_.back()->set_record_trace(config_.record_traces);
+  }
+  crash_pos_.assign(streams_.size(), 0);
+  down_.assign(streams_.size(), 0);
+  shed_.assign(streams_.size(), 0);
+  high_water_.assign(streams_.size(), 0);
+}
+
+std::size_t StreamServer::windows_shed_total() const {
+  std::size_t total = 0;
+  for (std::size_t s : shed_) total += s;
+  return total;
+}
+
+std::size_t StreamServer::total_decisions() const {
+  std::size_t total = 0;
+  for (const auto& ctx : streams_) total += ctx->scorecard().decisions();
+  return total;
+}
+
+std::optional<Weather> StreamServer::serve_weather(Weather weather) {
+  const auto status = engine_.try_on_scene_change(weather);
+  if (!status.ok) return std::nullopt;
+  // delay_ms > 0 means the switcher actually moved a model; 0 means the
+  // request hit the already-resident one.
+  if (status.delay_ms > 0.0) ++engine_switches_;
+  return status.active;
+}
+
+void StreamServer::decide_fail_safe(const ReadyWindow& w) {
+  const auto d = core::SafeCross::fail_safe_decision(w.gate);
+  const double latency =
+      std::chrono::duration<double, std::milli>(Clock::now() - w.captured).count();
+  streams_[w.stream]->apply(w, d.predicted_class, d.prob_danger, d.warn, d.source, latency);
+}
+
+void StreamServer::decide_batch(Batch& batch) {
+  if (config_.decide_delay_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(config_.decide_delay_ms));
+  }
+  const std::optional<Weather> served = serve_weather(batch.weather);
+  std::vector<const std::vector<vision::Image>*> windows;
+  windows.reserve(batch.items.size());
+  for (const ReadyWindow& item : batch.items) windows.push_back(&item.window);
+  std::vector<core::SafeCross::Decision> decisions;
+  if (served) decisions = engine_.classify_batch_as(*served, windows);
+
+  const auto now = Clock::now();
+  for (std::size_t i = 0; i < batch.items.size(); ++i) {
+    const ReadyWindow& item = batch.items[i];
+    core::SafeCross::Decision d =
+        served ? decisions[i]
+               : core::SafeCross::fail_safe_decision(DecisionSource::FailSafeSwitchInFlight);
+    const double latency =
+        std::chrono::duration<double, std::milli>(now - item.captured).count();
+    StreamContext& ctx = *streams_[item.stream];
+    // Deadline budget spans capture → verdict in batched mode (as in the
+    // pipelined monitor); off by default so wall clocks never perturb
+    // parity.
+    if (d.source == DecisionSource::Model && ctx.health().deadline_blown(latency)) {
+      d.warn = true;
+      d.predicted_class = 0;
+      d.source = DecisionSource::FailSafeDeadline;
+    }
+    ctx.apply(item, d.predicted_class, d.prob_danger, d.warn, d.source, latency);
+  }
+  windows_batched_ += batch.items.size();
+  batch_log_.push_back(
+      {batch.weather, batch.items.size(), batch.max_wait_ms, batch.fired_by_deadline});
+}
+
+void StreamServer::accept(MicroBatcher& batcher, ReadyWindow w) {
+  if (w.gate != DecisionSource::Model) {
+    decide_fail_safe(w);
+    return;
+  }
+  batcher.stage(std::move(w), Clock::now());
+}
+
+void StreamServer::produce(std::size_t i, runtime::BoundedQueue<ReadyWindow>& queue,
+                           runtime::Supervisor& supervisor) {
+  StreamContext& ctx = *streams_[i];
+  const auto push_timeout = to_ms(config_.push_timeout_ms);
+  const std::vector<std::size_t>& crashes = ctx.config().crash_frames;
+  while (ctx.frames_run() < config_.frames) {
+    if (supervisor.stop_requested()) return;
+    // Injected crash *before* the frame is processed: the restarted
+    // incarnation resumes at this exact frame, so within-budget crashes
+    // are invisible to the verdict stream.
+    const std::size_t next_frame = ctx.frames_run() + 1;
+    if (crash_pos_[i] < crashes.size() && crashes[crash_pos_[i]] == next_frame) {
+      ++crash_pos_[i];
+      crashes_injected_.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("injected producer crash: " + ctx.config().name);
+    }
+    std::optional<ReadyWindow> w = ctx.tick();
+    if (!w) continue;
+    w->stream = i;
+    if (queue.push_ref(*w, push_timeout)) continue;
+    if (config_.shed_on_overload) {
+      queue.push_drop_oldest(std::move(*w));  // the queue counts the shed
+    } else {
+      while (!supervisor.stop_requested() && !queue.push_ref(*w, push_timeout)) {
+      }
+    }
+  }
+}
+
+void StreamServer::run() {
+  if (ran_) throw std::logic_error("StreamServer: a server instance runs once");
+  ran_ = true;
+
+  const std::size_t k = streams_.size();
+  std::vector<std::unique_ptr<runtime::BoundedQueue<ReadyWindow>>> queues;
+  queues.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    queues.push_back(std::make_unique<runtime::BoundedQueue<ReadyWindow>>(
+        config_.queue_capacity));
+  }
+
+  runtime::Supervisor supervisor(config_.backoff, config_.supervisor_seed);
+  for (std::size_t i = 0; i < k; ++i) {
+    runtime::BoundedQueue<ReadyWindow>& q = *queues[i];
+    supervisor.add_stage(
+        streams_[i]->config().name,
+        [this, i, &q, &supervisor] { produce(i, q, supervisor); },
+        [this, i] {
+          // Retry budget exhausted: the stream is down. Latch its health
+          // monitor so any window still in flight gates fail-safe; the
+          // other K-1 streams are unaffected.
+          down_[i] = 1;
+          streams_[i]->health().latch_fail_safe();
+        },
+        [&q] { q.close(); });
+  }
+  supervisor.start();
+
+  BatcherConfig bcfg = config_.batcher;
+  bcfg.max_batch = effective_max_batch();
+  MicroBatcher batcher(bcfg);
+
+  std::size_t rr = 0;  // rotate which queue takes the idle block
+  for (;;) {
+    bool all_drained = true;
+    bool progressed = false;
+    for (std::size_t j = 0; j < k; ++j) {
+      runtime::BoundedQueue<ReadyWindow>& q = *queues[(rr + j) % k];
+      while (std::optional<ReadyWindow> w = q.pop(std::chrono::milliseconds(0))) {
+        progressed = true;
+        accept(batcher, std::move(*w));
+      }
+      if (!q.drained()) all_drained = false;
+    }
+    rr = (rr + 1) % k;
+
+    const auto now = Clock::now();
+    while (std::optional<Batch> batch = batcher.next_due(now)) {
+      progressed = true;
+      decide_batch(*batch);
+    }
+
+    if (all_drained && batcher.empty()) break;
+    if (!progressed) {
+      // Nothing arrived and nothing fired: block briefly on one queue,
+      // but never past the oldest staged window's batch deadline.
+      double wait = config_.pop_timeout_ms;
+      const double deadline = batcher.ms_until_deadline(Clock::now());
+      if (deadline < wait) wait = deadline;
+      if (std::optional<ReadyWindow> w = queues[rr]->pop(to_ms(wait))) {
+        accept(batcher, std::move(*w));
+      }
+    }
+  }
+  // The loop only exits with the batcher empty; flush defends against a
+  // future policy change leaving a remainder.
+  while (std::optional<Batch> batch = batcher.flush()) decide_batch(*batch);
+
+  supervisor.join();
+  for (std::size_t i = 0; i < k; ++i) {
+    shed_[i] = queues[i]->shed();
+    high_water_[i] = queues[i]->high_water();
+  }
+  stage_restarts_ = supervisor.total_restarts();
+  streams_gave_up_ = supervisor.stages_gave_up();
+}
+
+void StreamServer::run_sequential() {
+  if (ran_) throw std::logic_error("StreamServer: a server instance runs once");
+  ran_ = true;
+
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    StreamContext& ctx = *streams_[i];
+    while (ctx.frames_run() < config_.frames) {
+      std::optional<ReadyWindow> w = ctx.tick();
+      if (!w) continue;
+      w->stream = i;
+      if (w->gate != DecisionSource::Model) {
+        decide_fail_safe(*w);
+        continue;
+      }
+      const std::optional<Weather> served = serve_weather(w->model_weather);
+      if (!served) {
+        w->gate = DecisionSource::FailSafeSwitchInFlight;
+        decide_fail_safe(*w);
+        continue;
+      }
+      Timer latency;
+      core::SafeCross::Decision d = engine_.classify_as(*served, w->window);
+      const double ms = latency.elapsed_ms();
+      // Classifier-time deadline, as in the synchronous monitor; off by
+      // default.
+      if (ctx.health().deadline_blown(ms)) {
+        d.warn = true;
+        d.predicted_class = 0;
+        d.source = DecisionSource::FailSafeDeadline;
+      }
+      ctx.apply(*w, d.predicted_class, d.prob_danger, d.warn, d.source, ms);
+    }
+  }
+}
+
+}  // namespace safecross::serving

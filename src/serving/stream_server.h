@@ -1,0 +1,163 @@
+#pragma once
+// StreamServer: K simulated intersections multiplexed onto one shared
+// SafeCross inference engine.
+//
+// Batched mode (run()):
+//
+//   stream 0 producer ──q0──┐
+//   stream 1 producer ──q1──┼──▶ batcher thread ──▶ one (N,1,T,H,W)
+//   ...                     │    (weather-grouped,   forward pass per
+//   stream K-1 ───────qK-1──┘     deadline-aware)    batch, verdicts
+//                                                    scattered back
+//
+// Each stream runs as a supervised producer thread ticking its own
+// StreamContext and pushing ReadyWindows into a per-stream BoundedQueue
+// (backpressure first, oldest-first shedding past the push timeout when
+// shed_on_overload is set). The calling thread drains all queues into a
+// MicroBatcher, fires weather-uniform batches, runs one batched forward
+// pass per batch, and scatters the verdicts back onto each stream's
+// scorecard. Fail-safe-gated windows bypass the batcher — their verdict
+// is already resolved and must not wait on batch formation.
+//
+// Sequential mode (run_sequential()): the reference implementation —
+// each stream alone, in order, every model-gated decision classified
+// N=1 the moment it is due (the same code path RealtimeMonitor uses).
+//
+// Correctness contract, pinned by tests/test_stream_server.cpp: with the
+// deadline check disabled (the default), run() and run_sequential() over
+// identically configured streams produce bit-identical per-stream
+// verdict traces and scorecards. Batching changes only how the GEMM
+// backend is fed and how often the engine swaps models — never a
+// verdict. Producer crashes within the supervisor's retry budget replay
+// the crashed frame and also change nothing.
+//
+// Fault isolation: a producer that exhausts its retry budget runs a
+// degraded fallback that marks the stream down and latches its health
+// monitor; its queue closes so the batcher never waits on it, and every
+// other stream keeps producing and deciding.
+//
+// A server instance runs its streams exactly once (the contexts are
+// consumed); build a fresh server to rerun a scenario.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/safecross.h"
+#include "runtime/bounded_queue.h"
+#include "runtime/supervisor.h"
+#include "serving/micro_batcher.h"
+#include "serving/stream.h"
+
+namespace safecross::serving {
+
+struct StreamServerConfig {
+  std::vector<StreamConfig> streams;
+  std::size_t frames = 30 * 60;  // frame slots per stream (~60 s at 30 Hz)
+  BatcherConfig batcher;         // batcher.max_batch == 0 → streams.size()
+  std::size_t queue_capacity = 16;  // per-stream ready-window queue depth
+  double push_timeout_ms = 250.0;   // producer backpressure budget
+  double pop_timeout_ms = 1.0;      // batcher idle-wait quantum
+  // Past the push timeout: true sheds the oldest queued window (live
+  // serving — freshest advice wins), false keeps pushing (pure
+  // backpressure; parity runs lose nothing).
+  bool shed_on_overload = true;
+  // Artificial per-batch inference delay — the overload knob for the
+  // shedding/starvation tests and the bench. 0 off.
+  double decide_delay_ms = 0.0;
+  runtime::BackoffPolicy backoff;      // producer crash-restart policy
+  std::uint64_t supervisor_seed = 0x5EB7E55u;
+  bool record_traces = false;          // keep per-seq verdict traces
+};
+
+/// One fired batch, for the bench/tests to audit batching behaviour.
+struct BatchRecord {
+  Weather weather = Weather::Daytime;
+  std::size_t size = 0;
+  double max_wait_ms = 0.0;
+  bool fired_by_deadline = false;
+};
+
+class StreamServer {
+ public:
+  /// The engine must already hold a model for every weather the streams
+  /// (and their switch schedules) will request; a missing model degrades
+  /// through SafeCross::try_on_scene_change's daytime fallback.
+  StreamServer(core::SafeCross& engine, StreamServerConfig config);
+
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  /// Batched serving: supervised producer threads + the micro-batching
+  /// inference loop on the calling thread. Returns when every stream has
+  /// run config.frames slots (or gone down) and all verdicts are scored.
+  void run();
+
+  /// Sequential reference: bit-identical verdicts to run(); see header.
+  void run_sequential();
+
+  std::size_t stream_count() const { return streams_.size(); }
+  const StreamContext& stream(std::size_t i) const { return *streams_[i]; }
+  StreamContext& stream(std::size_t i) { return *streams_[i]; }
+
+  /// Stream i's producer exhausted its retry budget (batched mode only).
+  bool stream_down(std::size_t i) const { return down_[i] != 0; }
+  /// Ready windows stream i lost to overload shedding (batched mode only).
+  std::size_t windows_shed(std::size_t i) const { return shed_[i]; }
+  std::size_t windows_shed_total() const;
+  std::size_t queue_high_water(std::size_t i) const { return high_water_[i]; }
+
+  std::size_t total_decisions() const;
+
+  // --- batched-mode scorecard ---
+  const std::vector<BatchRecord>& batch_log() const { return batch_log_; }
+  std::size_t windows_batched() const { return windows_batched_; }
+  /// Actual engine model swaps performed (delay > 0) — batching amortises
+  /// these versus the sequential reference.
+  std::size_t engine_switches() const { return engine_switches_; }
+  std::size_t stage_restarts() const { return stage_restarts_; }
+  std::size_t streams_gave_up() const { return streams_gave_up_; }
+  std::size_t crashes_injected() const {
+    return crashes_injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Producer body for stream i (runs under the supervisor).
+  void produce(std::size_t i, runtime::BoundedQueue<ReadyWindow>& queue,
+               runtime::Supervisor& supervisor);
+  /// Route one popped window: fail-safe verdicts apply immediately,
+  /// model-gated windows stage into the batcher.
+  void accept(MicroBatcher& batcher, ReadyWindow w);
+  void decide_fail_safe(const ReadyWindow& w);
+  /// One batched forward pass + scatter; appends to the batch log.
+  void decide_batch(Batch& batch);
+  /// Make `weather`'s model serve (engine switch accounting lives here);
+  /// returns the weather actually serving, or nullopt when the engine is
+  /// fully down. Shared by both modes so they cannot drift.
+  std::optional<Weather> serve_weather(Weather weather);
+
+  std::size_t effective_max_batch() const {
+    return config_.batcher.max_batch == 0 ? streams_.size() : config_.batcher.max_batch;
+  }
+
+  core::SafeCross& engine_;
+  StreamServerConfig config_;
+  std::vector<std::unique_ptr<StreamContext>> streams_;
+  std::vector<std::size_t> crash_pos_;  // next crash_frames index, per stream
+  std::vector<char> down_;
+  std::vector<std::size_t> shed_;
+  std::vector<std::size_t> high_water_;
+  std::vector<BatchRecord> batch_log_;
+  std::size_t windows_batched_ = 0;
+  std::size_t engine_switches_ = 0;
+  std::size_t stage_restarts_ = 0;
+  std::size_t streams_gave_up_ = 0;
+  std::atomic<std::size_t> crashes_injected_{0};
+  bool ran_ = false;
+};
+
+}  // namespace safecross::serving

@@ -1,0 +1,289 @@
+// Golden-trace regression suite: pin the end-to-end decision behaviour
+// of the live paths against committed snapshots, so an innocent-looking
+// refactor that shifts a verdict, a gate, or a scorecard count fails CI
+// with a diff instead of sailing through.
+//
+// Two scenarios are pinned:
+//   * the synchronous RealtimeMonitor under a deterministic fault plan
+//     (drops, freezes, noise bursts, blackouts + a seeded sim);
+//   * the multi-stream serving reference (three streams: daytime, rain,
+//     and one with a mid-run daytime→rain model switch).
+//
+// Snapshot format (tests/golden/*.txt): a `meta` line of integer
+// scorecard counters, then one `d` line per decision. Integer fields
+// (frame ordinals, truths, verdict classes, warn flags, gate sources)
+// compare exactly. prob_danger is stored at 4 decimals and compares with
+// a 2e-3 tolerance: -ffp-contract/-march differences between the
+// committed build and CI legitimately perturb the last float ulps, and
+// the tolerance is far below anything that could flip a verdict (those
+// are pinned exactly via predicted_class/warn).
+//
+// Regenerating after an *intentional* behaviour change:
+//   ./build/tests/safecross_golden_tests --update-golden
+// then commit the rewritten files under tests/golden/ with a note in the
+// PR about why the behaviour moved.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+#include "models/slowfast.h"
+#include "serving/stream_server.h"
+
+namespace safecross {
+
+// Set by main() when --update-golden is on the command line.
+bool g_update_golden = false;
+
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(GOLDEN_DIR) + "/" + name;
+}
+
+struct TraceLine {
+  int stream = 0;
+  std::size_t seq = 0;
+  std::size_t frame = 0;
+  int truth = 0;
+  int pred = 0;
+  int warn = 0;
+  int source = 0;
+  double prob = 0.0;
+};
+
+struct GoldenTrace {
+  std::vector<std::pair<std::string, long long>> meta;  // ordered integer counters
+  std::vector<TraceLine> lines;
+};
+
+void write_golden(const std::string& path, const GoldenTrace& trace) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out) << "cannot write " << path;
+  out << "# SafeCross golden trace. Integer fields exact; prob tolerance 2e-3.\n";
+  out << "# Regenerate: safecross_golden_tests --update-golden (then commit).\n";
+  out << "meta";
+  for (const auto& [key, value] : trace.meta) out << ' ' << key << '=' << value;
+  out << '\n';
+  char buf[160];
+  for (const TraceLine& l : trace.lines) {
+    std::snprintf(buf, sizeof(buf), "d %d %zu %zu %d %d %d %d %.4f\n", l.stream, l.seq,
+                  l.frame, l.truth, l.pred, l.warn, l.source, l.prob);
+    out << buf;
+  }
+}
+
+GoldenTrace read_golden(const std::string& path) {
+  GoldenTrace trace;
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "missing golden snapshot " << path
+                  << " — run safecross_golden_tests --update-golden and commit it";
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (tag == "meta") {
+      std::string kv;
+      while (ss >> kv) {
+        const auto eq = kv.find('=');
+        trace.meta.emplace_back(kv.substr(0, eq), std::stoll(kv.substr(eq + 1)));
+      }
+    } else if (tag == "d") {
+      TraceLine l;
+      ss >> l.stream >> l.seq >> l.frame >> l.truth >> l.pred >> l.warn >> l.source >> l.prob;
+      trace.lines.push_back(l);
+    }
+  }
+  return trace;
+}
+
+/// Compare a freshly computed trace against the committed snapshot — or
+/// rewrite the snapshot when running under --update-golden.
+void check_against_golden(const std::string& name, const GoldenTrace& got) {
+  const std::string path = golden_path(name);
+  if (g_update_golden) {
+    write_golden(path, got);
+    SUCCEED() << "updated " << path;
+    return;
+  }
+  const GoldenTrace want = read_golden(path);
+  if (::testing::Test::HasFailure()) return;  // missing file already reported
+  ASSERT_EQ(want.meta.size(), got.meta.size());
+  for (std::size_t i = 0; i < want.meta.size(); ++i) {
+    EXPECT_EQ(want.meta[i].first, got.meta[i].first);
+    EXPECT_EQ(want.meta[i].second, got.meta[i].second)
+        << "scorecard counter '" << want.meta[i].first << "' drifted";
+  }
+  ASSERT_EQ(want.lines.size(), got.lines.size()) << "decision count drifted";
+  for (std::size_t i = 0; i < want.lines.size(); ++i) {
+    SCOPED_TRACE("decision " + std::to_string(i));
+    EXPECT_EQ(want.lines[i].stream, got.lines[i].stream);
+    EXPECT_EQ(want.lines[i].seq, got.lines[i].seq);
+    EXPECT_EQ(want.lines[i].frame, got.lines[i].frame);
+    EXPECT_EQ(want.lines[i].truth, got.lines[i].truth);
+    EXPECT_EQ(want.lines[i].pred, got.lines[i].pred) << "a verdict flipped";
+    EXPECT_EQ(want.lines[i].warn, got.lines[i].warn);
+    EXPECT_EQ(want.lines[i].source, got.lines[i].source) << "a gate reason changed";
+    EXPECT_NEAR(want.lines[i].prob, got.lines[i].prob, 2e-3);
+  }
+}
+
+core::SafeCrossConfig tiny_config() {
+  core::SafeCrossConfig cfg;
+  cfg.model.slow_channels = 4;
+  cfg.model.fast_channels = 2;
+  return cfg;
+}
+
+std::unique_ptr<core::SafeCross> engine_with(const std::vector<dataset::Weather>& weathers) {
+  auto sc = std::make_unique<core::SafeCross>(tiny_config());
+  for (dataset::Weather w : weathers) {
+    models::SlowFastConfig mc = tiny_config().model;
+    mc.init_seed = 100u + static_cast<std::uint64_t>(w);
+    sc->set_model(w, std::make_unique<models::SlowFast>(mc));
+  }
+  return sc;
+}
+
+void append_scorecard_meta(GoldenTrace& trace, const core::StreamScorecard& s) {
+  trace.meta.emplace_back("decisions", static_cast<long long>(s.decisions()));
+  trace.meta.emplace_back("warnings", static_cast<long long>(s.warnings()));
+  trace.meta.emplace_back("correct", static_cast<long long>(s.correct()));
+  trace.meta.emplace_back("missed", static_cast<long long>(s.missed_threats()));
+  trace.meta.emplace_back("false_warn", static_cast<long long>(s.false_warnings()));
+  trace.meta.emplace_back("fail_safe", static_cast<long long>(s.fail_safe_decisions()));
+  trace.meta.emplace_back("opportunities",
+                          static_cast<long long>(s.decision_opportunities()));
+  for (int i = 0; i < runtime::kDecisionSourceCount; ++i) {
+    trace.meta.emplace_back(
+        "src" + std::to_string(i),
+        static_cast<long long>(s.fail_safe_by_source(static_cast<runtime::DecisionSource>(i))));
+  }
+}
+
+TEST(GoldenTrace, MonitorUnderFaultsMatchesSnapshot) {
+  auto sc = engine_with({dataset::Weather::Daytime});
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 424242);
+  const sim::CameraModel cam(sim.intersection().geometry());
+
+  runtime::FaultPlan plan;
+  plan.drop_prob = 0.02;
+  plan.freeze_prob = 0.02;
+  plan.noise_prob = 0.01;
+  plan.blackout_prob = 0.002;
+  plan.blackout_frames = 20;
+  runtime::FaultInjector injector(plan, 424243);
+
+  core::MonitorConfig cfg;
+  core::RealtimeMonitor monitor(*sc, sim, cam, cfg, 424244, &injector);
+
+  GoldenTrace got;
+  constexpr std::size_t kFrames = 30 * 240;
+  for (std::size_t frame = 1; frame <= kFrames; ++frame) {
+    const auto tick = monitor.step();
+    if (!tick.decision_made) continue;
+    TraceLine l;
+    l.stream = 0;
+    l.seq = got.lines.size();
+    l.frame = frame;
+    l.truth = tick.danger_truth ? 1 : 0;
+    l.pred = tick.decision.predicted_class;
+    l.warn = tick.decision.warn ? 1 : 0;
+    l.source = static_cast<int>(tick.decision.source);
+    l.prob = tick.decision.prob_danger;
+    got.lines.push_back(l);
+  }
+  append_scorecard_meta(got, monitor.scorecard());
+  ASSERT_GT(got.lines.size(), 0u) << "the scenario produced no decisions to pin";
+  EXPECT_GT(monitor.fail_safe_decisions(), 0u)
+      << "the fault plan should force some conservative gates";
+  EXPECT_GT(monitor.model_decisions(), 0u)
+      << "the snapshot must pin real classifier verdicts";
+  check_against_golden("monitor_daytime_faults.txt", got);
+}
+
+TEST(GoldenTrace, MultiStreamServingMatchesSnapshot) {
+  auto sc = engine_with({dataset::Weather::Daytime, dataset::Weather::Rain});
+  serving::StreamServerConfig cfg;
+  cfg.frames = 30 * 150;
+  cfg.record_traces = true;
+
+  serving::StreamConfig day;
+  day.name = "day";
+  day.weather = dataset::Weather::Daytime;
+  day.sim_seed = 515151;
+  day.collector_seed = 515152;
+  cfg.streams.push_back(day);
+
+  serving::StreamConfig rain = day;
+  rain.name = "rain";
+  rain.weather = dataset::Weather::Rain;
+  rain.sim_seed = 525252;
+  rain.collector_seed = 525253;
+  cfg.streams.push_back(rain);
+
+  serving::StreamConfig switching = day;
+  switching.name = "switching";
+  switching.sim_seed = 535353;
+  switching.collector_seed = 535354;
+  switching.faults.drop_prob = 0.02;
+  switching.faults.freeze_prob = 0.01;
+  switching.fault_seed = 535355;
+  switching.model_schedule.push_back({cfg.frames / 2, dataset::Weather::Rain, 120.0});
+  cfg.streams.push_back(switching);
+
+  serving::StreamServer server(*sc, cfg);
+  // The sequential reference is the pinned path: the parity suite ties
+  // the batched server to it bit-for-bit, so one snapshot covers both.
+  server.run_sequential();
+
+  GoldenTrace got;
+  for (std::size_t i = 0; i < server.stream_count(); ++i) {
+    const auto& trace = server.stream(i).trace();
+    for (std::size_t s = 0; s < trace.size(); ++s) {
+      TraceLine l;
+      l.stream = static_cast<int>(i);
+      l.seq = s;
+      l.frame = trace[s].frame;
+      l.truth = trace[s].danger_truth ? 1 : 0;
+      l.pred = trace[s].predicted_class;
+      l.warn = trace[s].warn ? 1 : 0;
+      l.source = static_cast<int>(trace[s].source);
+      l.prob = trace[s].prob_danger;
+      got.lines.push_back(l);
+    }
+    append_scorecard_meta(got, server.stream(i).scorecard());
+  }
+  ASSERT_GT(got.lines.size(), 0u) << "the scenario produced no decisions to pin";
+  std::size_t model_decisions = 0;
+  for (std::size_t i = 0; i < server.stream_count(); ++i) {
+    model_decisions += server.stream(i).scorecard().model_decisions();
+  }
+  EXPECT_GT(model_decisions, 0u) << "the snapshot must pin real classifier verdicts";
+  check_against_golden("multistream_mixed.txt", got);
+}
+
+}  // namespace
+}  // namespace safecross
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      safecross::g_update_golden = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

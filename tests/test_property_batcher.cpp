@@ -1,0 +1,186 @@
+// MicroBatcher properties, driven with a fake clock (the batcher is
+// deliberately clock-agnostic, so deadline behaviour is testable without
+// sleeping):
+//   * a batch never mixes weathers and never exceeds max_batch;
+//   * conservation — every staged window lands in exactly one batch;
+//   * FIFO within a weather group;
+//   * no starvation — with the caller polling, every window is fired no
+//     later than its deadline plus one poll quantum;
+//   * a full group fires immediately, without waiting for the deadline.
+
+#include "serving/micro_batcher.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace safecross::serving {
+namespace {
+
+using Clock = MicroBatcher::Clock;
+
+Clock::time_point fake_time(double ms) {
+  return Clock::time_point{} + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(ms));
+}
+
+ReadyWindow make_window(std::size_t id, Weather weather) {
+  ReadyWindow w;
+  w.seq = id;  // unique id for conservation tracking
+  w.model_weather = weather;
+  return w;
+}
+
+constexpr Weather kWeathers[] = {Weather::Daytime, Weather::Rain, Weather::Snow,
+                                 Weather::Night, Weather::Fog};
+
+struct Fired {
+  Batch batch;
+  double at_ms = 0.0;
+};
+
+/// Random arrival schedule, polled at a fixed quantum; returns every
+/// batch fired (including the end-of-run flush).
+std::vector<Fired> drive(MicroBatcher& batcher, Rng& rng, std::size_t windows,
+                         double horizon_ms, double poll_ms,
+                         std::map<std::size_t, double>* staged_at = nullptr) {
+  std::vector<Fired> fired;
+  std::size_t next_id = 0;
+  double clock_ms = 0.0;
+  while (clock_ms <= horizon_ms || next_id < windows) {
+    if (next_id < windows && rng.bernoulli(0.4)) {
+      const Weather w = kWeathers[rng.uniform_int(std::uint64_t{5})];
+      if (staged_at != nullptr) (*staged_at)[next_id] = clock_ms;
+      batcher.stage(make_window(next_id++, w), fake_time(clock_ms));
+    }
+    while (auto batch = batcher.next_due(fake_time(clock_ms))) {
+      fired.push_back({std::move(*batch), clock_ms});
+    }
+    clock_ms += poll_ms;
+  }
+  while (auto batch = batcher.flush()) fired.push_back({std::move(*batch), clock_ms});
+  return fired;
+}
+
+TEST(MicroBatcherProperty, BatchesNeverMixWeathersOrExceedMaxBatch) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    BatcherConfig cfg;
+    cfg.max_batch = 1 + rng.uniform_int(std::uint64_t{8});
+    cfg.max_batch_delay_ms = rng.uniform(0.5, 10.0);
+    MicroBatcher batcher(cfg);
+    const auto fired = drive(batcher, rng, 200, 400.0, 1.0);
+    for (const Fired& f : fired) {
+      ASSERT_FALSE(f.batch.items.empty());
+      ASSERT_LE(f.batch.items.size(), cfg.max_batch) << "seed " << seed;
+      for (const ReadyWindow& w : f.batch.items) {
+        ASSERT_EQ(w.model_weather, f.batch.weather)
+            << "seed " << seed << ": a batch straddled a model switch";
+      }
+    }
+  }
+}
+
+TEST(MicroBatcherProperty, EveryStagedWindowFiresExactlyOnce) {
+  for (std::uint64_t seed = 21; seed <= 40; ++seed) {
+    Rng rng(seed);
+    BatcherConfig cfg;
+    cfg.max_batch = 1 + rng.uniform_int(std::uint64_t{6});
+    cfg.max_batch_delay_ms = rng.uniform(0.5, 8.0);
+    MicroBatcher batcher(cfg);
+    constexpr std::size_t kWindows = 150;
+    const auto fired = drive(batcher, rng, kWindows, 300.0, 1.0);
+    EXPECT_TRUE(batcher.empty());
+    std::set<std::size_t> seen;
+    for (const Fired& f : fired) {
+      for (const ReadyWindow& w : f.batch.items) {
+        EXPECT_TRUE(seen.insert(w.seq).second)
+            << "seed " << seed << ": window " << w.seq << " fired twice";
+      }
+    }
+    EXPECT_EQ(seen.size(), kWindows) << "seed " << seed << ": windows lost";
+  }
+}
+
+TEST(MicroBatcherProperty, FifoWithinEachWeatherGroup) {
+  for (std::uint64_t seed = 41; seed <= 50; ++seed) {
+    Rng rng(seed);
+    BatcherConfig cfg;
+    cfg.max_batch = 1 + rng.uniform_int(std::uint64_t{5});
+    cfg.max_batch_delay_ms = rng.uniform(0.5, 6.0);
+    MicroBatcher batcher(cfg);
+    const auto fired = drive(batcher, rng, 120, 250.0, 1.0);
+    std::map<Weather, std::size_t> last_id;
+    for (const Fired& f : fired) {
+      for (const ReadyWindow& w : f.batch.items) {
+        auto it = last_id.find(w.model_weather);
+        if (it != last_id.end()) {
+          EXPECT_GT(w.seq, it->second) << "seed " << seed << ": group reordered";
+        }
+        last_id[w.model_weather] = w.seq;
+      }
+    }
+  }
+}
+
+TEST(MicroBatcherProperty, NoWindowWaitsPastDeadlinePlusPollQuantum) {
+  for (std::uint64_t seed = 51; seed <= 65; ++seed) {
+    Rng rng(seed);
+    BatcherConfig cfg;
+    cfg.max_batch = 4;
+    cfg.max_batch_delay_ms = rng.uniform(1.0, 8.0);
+    MicroBatcher batcher(cfg);
+    constexpr double kPollMs = 1.0;
+    std::map<std::size_t, double> staged_at;
+    // Finish staging well before the horizon so no window rides out on
+    // the flush (the flush models end-of-run, not steady state).
+    const auto fired = drive(batcher, rng, 100, 300.0, kPollMs, &staged_at);
+    for (const Fired& f : fired) {
+      for (const ReadyWindow& w : f.batch.items) {
+        const double waited = f.at_ms - staged_at.at(w.seq);
+        EXPECT_LE(waited, cfg.max_batch_delay_ms + kPollMs)
+            << "seed " << seed << ": window " << w.seq << " starved";
+      }
+    }
+  }
+}
+
+TEST(MicroBatcherProperty, FullGroupFiresImmediately) {
+  BatcherConfig cfg;
+  cfg.max_batch = 3;
+  cfg.max_batch_delay_ms = 100.0;  // far away: only fullness can fire
+  MicroBatcher batcher(cfg);
+  const auto now = fake_time(0.0);
+  batcher.stage(make_window(0, Weather::Rain), now);
+  batcher.stage(make_window(1, Weather::Rain), now);
+  EXPECT_FALSE(batcher.next_due(now).has_value()) << "fired before full and before deadline";
+  batcher.stage(make_window(2, Weather::Rain), now);
+  auto batch = batcher.next_due(now);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->items.size(), 3u);
+  EXPECT_FALSE(batch->fired_by_deadline);
+  EXPECT_TRUE(batcher.empty());
+}
+
+TEST(MicroBatcherProperty, DeadlineFiresPartialGroup) {
+  BatcherConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_batch_delay_ms = 5.0;
+  MicroBatcher batcher(cfg);
+  batcher.stage(make_window(0, Weather::Fog), fake_time(0.0));
+  batcher.stage(make_window(1, Weather::Fog), fake_time(2.0));
+  EXPECT_FALSE(batcher.next_due(fake_time(4.9)).has_value());
+  EXPECT_NEAR(batcher.ms_until_deadline(fake_time(4.0)), 1.0, 1e-9);
+  auto batch = batcher.next_due(fake_time(5.0));
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_TRUE(batch->fired_by_deadline);
+  EXPECT_EQ(batch->items.size(), 2u) << "the whole waiting group rides the deadline batch";
+  EXPECT_NEAR(batch->max_wait_ms, 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace safecross::serving

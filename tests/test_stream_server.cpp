@@ -1,0 +1,363 @@
+// Multi-stream serving parity: the batched StreamServer must produce
+// verdicts bit-identical to the sequential reference — across batch
+// sizes, mixed weathers, a mid-run model switch, and producer crashes
+// within the retry budget — and must isolate a stream whose producer
+// dies for good. Overload must shed with exact accounting, never stall.
+
+#include "serving/stream_server.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+#include "models/slowfast.h"
+
+namespace safecross::serving {
+namespace {
+
+using core::SafeCross;
+using core::SafeCrossConfig;
+using dataset::Weather;
+
+SafeCrossConfig tiny_config() {
+  SafeCrossConfig cfg;
+  cfg.model.slow_channels = 4;
+  cfg.model.fast_channels = 2;
+  return cfg;
+}
+
+/// Engine with one untrained (but deterministically initialised) model
+/// per requested weather — differently seeded so each weather's verdicts
+/// genuinely differ and a wrong-model bug cannot hide.
+std::unique_ptr<SafeCross> engine_with_models(const std::vector<Weather>& weathers) {
+  auto sc = std::make_unique<SafeCross>(tiny_config());
+  for (Weather w : weathers) {
+    models::SlowFastConfig mc = tiny_config().model;
+    mc.init_seed = 100u + static_cast<std::uint64_t>(w);
+    sc->set_model(w, std::make_unique<models::SlowFast>(mc));
+  }
+  return sc;
+}
+
+StreamConfig make_stream(const std::string& name, Weather weather, std::uint64_t seed_base) {
+  StreamConfig sc;
+  sc.name = name;
+  sc.weather = weather;
+  sc.sim_seed = seed_base;
+  sc.collector_seed = seed_base + 1;
+  sc.fault_seed = seed_base + 2;
+  return sc;
+}
+
+runtime::BackoffPolicy fast_backoff(int max_restarts = 5) {
+  runtime::BackoffPolicy policy;
+  policy.initial_ms = 0.5;
+  policy.max_ms = 5.0;
+  policy.max_restarts = max_restarts;
+  return policy;
+}
+
+/// Per-stream verdict traces and scorecards must agree exactly. The
+/// parity contract is bitwise, so even prob_danger compares with EQ.
+void expect_servers_agree(const StreamServer& batched, const StreamServer& reference) {
+  ASSERT_EQ(batched.stream_count(), reference.stream_count());
+  for (std::size_t i = 0; i < batched.stream_count(); ++i) {
+    const auto& b = batched.stream(i);
+    const auto& r = reference.stream(i);
+    SCOPED_TRACE("stream " + b.config().name);
+    EXPECT_EQ(b.frames_run(), r.frames_run());
+    EXPECT_EQ(b.windows_produced(), r.windows_produced());
+    const auto& bt = b.trace();
+    const auto& rt = r.trace();
+    ASSERT_EQ(bt.size(), rt.size());
+    for (std::size_t s = 0; s < bt.size(); ++s) {
+      SCOPED_TRACE("seq " + std::to_string(s));
+      EXPECT_EQ(bt[s].frame, rt[s].frame);
+      EXPECT_EQ(bt[s].danger_truth, rt[s].danger_truth);
+      EXPECT_EQ(bt[s].predicted_class, rt[s].predicted_class);
+      EXPECT_EQ(bt[s].prob_danger, rt[s].prob_danger) << "verdicts must be bit-identical";
+      EXPECT_EQ(bt[s].warn, rt[s].warn);
+      EXPECT_EQ(bt[s].source, rt[s].source);
+    }
+    EXPECT_EQ(b.scorecard().decisions(), r.scorecard().decisions());
+    EXPECT_EQ(b.scorecard().warnings(), r.scorecard().warnings());
+    EXPECT_EQ(b.scorecard().correct(), r.scorecard().correct());
+    EXPECT_EQ(b.scorecard().missed_threats(), r.scorecard().missed_threats());
+    EXPECT_EQ(b.scorecard().false_warnings(), r.scorecard().false_warnings());
+    EXPECT_EQ(b.scorecard().fail_safe_decisions(), r.scorecard().fail_safe_decisions());
+    EXPECT_EQ(b.scorecard().decision_opportunities(),
+              r.scorecard().decision_opportunities());
+  }
+}
+
+StreamServerConfig parity_base_config() {
+  StreamServerConfig cfg;
+  cfg.frames = 30 * 60;
+  cfg.record_traces = true;
+  cfg.shed_on_overload = false;  // parity runs must lose nothing
+  return cfg;
+}
+
+TEST(StreamServer, BatchedMatchesSequentialSingleWeather) {
+  auto sc = engine_with_models({Weather::Daytime});
+  StreamServerConfig cfg = parity_base_config();
+  for (int i = 0; i < 3; ++i) {
+    cfg.streams.push_back(make_stream("cam" + std::to_string(i), Weather::Daytime,
+                                      1000 + 10 * static_cast<std::uint64_t>(i)));
+  }
+  cfg.batcher.max_batch = 3;
+
+  StreamServer batched(*sc, cfg);
+  batched.run();
+  StreamServer reference(*sc, cfg);
+  reference.run_sequential();
+
+  ASSERT_GT(batched.total_decisions(), 0u) << "the scenario produced no decisions";
+  EXPECT_EQ(batched.windows_shed_total(), 0u);
+  expect_servers_agree(batched, reference);
+  // Same weather everywhere: one residency establishment, no further
+  // engine swaps in either mode.
+  EXPECT_LE(batched.engine_switches(), 1u);
+}
+
+TEST(StreamServer, BatchedMatchesSequentialAcrossBatchSizes) {
+  auto sc = engine_with_models({Weather::Daytime});
+  StreamServerConfig cfg = parity_base_config();
+  cfg.frames = 30 * 40;
+  for (int i = 0; i < 3; ++i) {
+    cfg.streams.push_back(make_stream("cam" + std::to_string(i), Weather::Daytime,
+                                      2000 + 10 * static_cast<std::uint64_t>(i)));
+  }
+
+  StreamServerConfig seq_cfg = cfg;
+  StreamServer reference(*sc, seq_cfg);
+  reference.run_sequential();
+
+  for (std::size_t max_batch : {std::size_t{1}, std::size_t{3}, cfg.streams.size()}) {
+    SCOPED_TRACE("max_batch " + std::to_string(max_batch));
+    StreamServerConfig bcfg = cfg;
+    bcfg.batcher.max_batch = max_batch;
+    StreamServer batched(*sc, bcfg);
+    batched.run();
+    expect_servers_agree(batched, reference);
+    if (max_batch == 1) {
+      // Degenerate batching: every fired batch is a single window.
+      for (const BatchRecord& rec : batched.batch_log()) EXPECT_EQ(rec.size, 1u);
+    }
+  }
+}
+
+TEST(StreamServer, BatchedMatchesSequentialMixedWeather) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain, Weather::Snow});
+  StreamServerConfig cfg = parity_base_config();
+  cfg.streams.push_back(make_stream("day0", Weather::Daytime, 3000));
+  cfg.streams.push_back(make_stream("rain", Weather::Rain, 3010));
+  cfg.streams.push_back(make_stream("day1", Weather::Daytime, 3020));
+  cfg.streams.push_back(make_stream("snow", Weather::Snow, 3030));
+  cfg.batcher.max_batch = 4;
+
+  StreamServer batched(*sc, cfg);
+  batched.run();
+  StreamServer reference(*sc, cfg);
+  reference.run_sequential();
+
+  ASSERT_GT(batched.total_decisions(), 0u);
+  expect_servers_agree(batched, reference);
+  // The weather-grouping invariant holds in the realised batch log too:
+  // every batch is weather-uniform by construction, so the log must show
+  // batches from several weathers rather than one merged stream.
+  bool saw_day = false, saw_other = false;
+  for (const BatchRecord& rec : batched.batch_log()) {
+    ASSERT_LE(rec.size, 4u);
+    (rec.weather == Weather::Daytime ? saw_day : saw_other) = true;
+  }
+  EXPECT_TRUE(saw_day);
+  EXPECT_TRUE(saw_other);
+}
+
+TEST(StreamServer, ParityHoldsAcrossMidRunModelSwitch) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
+  StreamServerConfig cfg = parity_base_config();
+  cfg.frames = 30 * 120;
+  cfg.streams.push_back(make_stream("switching", Weather::Daytime, 535353));
+  cfg.streams.push_back(make_stream("steady", Weather::Daytime, 4010));
+  // A third of the way in, stream 0's scene turns to rain: its later
+  // windows must be judged by the rain model in both modes, and the swap
+  // latency must gate the same decisions conservative in both modes.
+  const std::size_t switch_frame = cfg.frames / 3;
+  cfg.streams[0].model_schedule.push_back({switch_frame, Weather::Rain, 120.0});
+  cfg.batcher.max_batch = 2;
+
+  StreamServer batched(*sc, cfg);
+  batched.run();
+  StreamServer reference(*sc, cfg);
+  reference.run_sequential();
+
+  expect_servers_agree(batched, reference);
+  const auto& trace = batched.stream(0).trace();
+  ASSERT_FALSE(trace.empty());
+  // The switch really split the stream's verdicts across both models:
+  // model-gated decisions exist on both sides of the switch point, and
+  // the batch log shows weather-uniform batches from both weathers (the
+  // grouping invariant means the engine ran rain windows separately).
+  bool model_before = false, model_after = false;
+  for (const DecisionRecord& rec : trace) {
+    if (rec.source != runtime::DecisionSource::Model) continue;
+    (rec.frame < switch_frame ? model_before : model_after) = true;
+  }
+  EXPECT_TRUE(model_before) << "no pre-switch model verdict — weak scenario";
+  EXPECT_TRUE(model_after) << "no post-switch window reached the rain model";
+  bool saw_rain_batch = false;
+  for (const BatchRecord& rec : batched.batch_log()) {
+    saw_rain_batch |= rec.weather == Weather::Rain;
+  }
+  EXPECT_TRUE(saw_rain_batch);
+  // Both weathers really claimed the engine at some point. (The absolute
+  // count is residency-dependent — the engine is shared across the two
+  // runs — so only the lower bound is meaningful here.)
+  EXPECT_GE(batched.engine_switches() + reference.engine_switches(), 2u);
+}
+
+TEST(StreamServer, SequentialMatchesRealtimeMonitor) {
+  // The serving reference path and the original synchronous monitor are
+  // two implementations of the same per-stream policy; their scorecards
+  // over an identical stream must agree exactly.
+  auto sc = engine_with_models({Weather::Daytime});
+  // Warm-start the engine so the monitor's constructor-time scene change
+  // is a no-op, matching the server's warm-start contract.
+  sc->on_scene_change(Weather::Daytime);
+  constexpr std::size_t kFrames = 30 * 120;
+  constexpr std::uint64_t kSimSeed = 535353, kCollectorSeed = 535354;
+
+  StreamServerConfig cfg;
+  cfg.frames = kFrames;
+  cfg.streams.push_back(make_stream("solo", Weather::Daytime, kSimSeed));
+  cfg.streams[0].collector_seed = kCollectorSeed;
+  StreamServer server(*sc, cfg);
+  server.run_sequential();
+
+  sim::TrafficSimulator sim(sim::weather_params(Weather::Daytime), kSimSeed);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  core::MonitorConfig mcfg;
+  core::RealtimeMonitor monitor(*sc, sim, cam, mcfg, kCollectorSeed);
+  monitor.run(kFrames);
+
+  const auto& scorecard = server.stream(0).scorecard();
+  ASSERT_GT(monitor.decisions(), 0u);
+  EXPECT_EQ(scorecard.decisions(), monitor.decisions());
+  EXPECT_EQ(scorecard.warnings(), monitor.warnings());
+  EXPECT_EQ(scorecard.correct(), monitor.correct());
+  EXPECT_EQ(scorecard.missed_threats(), monitor.missed_threats());
+  EXPECT_EQ(scorecard.false_warnings(), monitor.false_warnings());
+  EXPECT_EQ(scorecard.fail_safe_decisions(), monitor.fail_safe_decisions());
+  EXPECT_EQ(scorecard.decision_opportunities(), monitor.decision_opportunities());
+}
+
+TEST(StreamServer, ProducerCrashesWithinBudgetChangeNothing) {
+  auto sc = engine_with_models({Weather::Daytime});
+  StreamServerConfig cfg = parity_base_config();
+  cfg.frames = 30 * 40;
+  cfg.backoff = fast_backoff();
+  cfg.streams.push_back(make_stream("crashy", Weather::Daytime, 6000));
+  cfg.streams.push_back(make_stream("calm", Weather::Daytime, 6010));
+  cfg.streams[0].crash_frames = {100, 500};
+  cfg.batcher.max_batch = 2;
+
+  StreamServer batched(*sc, cfg);
+  batched.run();
+
+  // The reference ignores crash schedules — which is the point: restarts
+  // replay the crashed frame, so the verdict stream shows no trace of
+  // either crash.
+  StreamServer reference(*sc, cfg);
+  reference.run_sequential();
+
+  EXPECT_EQ(batched.crashes_injected(), 2u);
+  EXPECT_EQ(batched.stage_restarts(), 2u);
+  EXPECT_EQ(batched.streams_gave_up(), 0u);
+  EXPECT_FALSE(batched.stream_down(0));
+  expect_servers_agree(batched, reference);
+}
+
+TEST(StreamServer, DeadProducerIsIsolatedFromOtherStreams) {
+  auto sc = engine_with_models({Weather::Daytime});
+  StreamServerConfig cfg = parity_base_config();
+  cfg.frames = 30 * 40;
+  cfg.backoff = fast_backoff(/*max_restarts=*/2);
+  cfg.streams.push_back(make_stream("doomed", Weather::Daytime, 7000));
+  cfg.streams.push_back(make_stream("survivor0", Weather::Daytime, 7010));
+  cfg.streams.push_back(make_stream("survivor1", Weather::Daytime, 7020));
+  // Crashes on the first frame of each incarnation: budget exhausted
+  // immediately, the stream never produces a single frame.
+  cfg.streams[0].crash_frames = {1, 1, 1};
+  cfg.batcher.max_batch = 3;
+
+  StreamServer batched(*sc, cfg);
+  batched.run();  // must not hang on the dead stream's queue
+
+  EXPECT_TRUE(batched.stream_down(0));
+  EXPECT_EQ(batched.streams_gave_up(), 1u);
+  EXPECT_TRUE(batched.stream(0).health().fail_safe_latched());
+  EXPECT_EQ(batched.stream(0).scorecard().decisions(), 0u);
+
+  // The survivors ran to completion and match their own solo reference.
+  StreamServerConfig solo = cfg;
+  solo.streams.erase(solo.streams.begin());
+  solo.streams[0].crash_frames.clear();
+  StreamServer reference(*sc, solo);
+  reference.run_sequential();
+  for (std::size_t i = 1; i < batched.stream_count(); ++i) {
+    SCOPED_TRACE(batched.stream(i).config().name);
+    EXPECT_EQ(batched.stream(i).frames_run(), cfg.frames);
+    const auto& got = batched.stream(i).trace();
+    const auto& want = reference.stream(i - 1).trace();
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      EXPECT_EQ(got[s].predicted_class, want[s].predicted_class);
+      EXPECT_EQ(got[s].prob_danger, want[s].prob_danger);
+      EXPECT_EQ(got[s].source, want[s].source);
+    }
+  }
+}
+
+TEST(StreamServer, OverloadShedsWithExactAccounting) {
+  auto sc = engine_with_models({Weather::Daytime});
+  StreamServerConfig cfg;
+  cfg.frames = 30 * 40;
+  cfg.streams.push_back(make_stream("hot0", Weather::Daytime, 8000));
+  cfg.streams.push_back(make_stream("hot1", Weather::Daytime, 8010));
+  // A grinding engine (100 ms per batch), tiny queues and an aggressive
+  // push timeout force the shedding path.
+  cfg.decide_delay_ms = 100.0;
+  cfg.queue_capacity = 2;
+  cfg.push_timeout_ms = 1.0;
+  cfg.shed_on_overload = true;
+  cfg.batcher.max_batch = 2;
+
+  // Whether overload actually materialises is a race against the OS
+  // scheduler: on a loaded machine the producers themselves can be
+  // starved below the consumer's rate and nothing sheds. Retry the
+  // scenario a few times for the shed>0 precondition; the conservation
+  // invariant is asserted on every attempt regardless.
+  std::size_t shed_total = 0;
+  std::size_t decisions_total = 0;
+  for (int attempt = 0; attempt < 3 && shed_total == 0; ++attempt) {
+    StreamServer server(*sc, cfg);
+    server.run();
+    shed_total = server.windows_shed_total();
+    decisions_total = server.total_decisions();
+    // Conservation: every produced window was either decided or shed —
+    // none vanished, none was double-counted.
+    for (std::size_t i = 0; i < server.stream_count(); ++i) {
+      SCOPED_TRACE(server.stream(i).config().name);
+      EXPECT_EQ(server.stream(i).windows_produced(),
+                server.stream(i).scorecard().decisions() + server.windows_shed(i));
+    }
+  }
+  EXPECT_GT(shed_total, 0u) << "overload must shed, not queue unboundedly";
+  EXPECT_GT(decisions_total, 0u) << "shedding must not starve the service";
+}
+
+}  // namespace
+}  // namespace safecross::serving

@@ -1,3 +1,5 @@
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "gradcheck.h"
@@ -167,6 +169,47 @@ TEST(TSN, CloneRoundTrip) {
   auto copy = model.clone();
   EXPECT_EQ(copy->name(), "tsn");
   EXPECT_EQ(nn::param_count(copy->params()), nn::param_count(model.params()));
+}
+
+// The serving layer's parity contract rests on every classifier treating
+// batch samples independently: forward({x0..xN})[i] must be bit-identical
+// to forward({xi}). Audit all three architectures.
+template <typename Model>
+void expect_batch_invariant(Model& model, int frames) {
+  constexpr int kBatch = 3;
+  const nn::Tensor batch = random_tensor({kBatch, 1, frames, 12, 18}, 77);
+  const nn::Tensor batched_out = model.forward(batch, false);
+  ASSERT_EQ(batched_out.dim(0), kBatch);
+  const std::size_t sample_elems = batch.numel() / kBatch;
+  const std::size_t out_elems = batched_out.numel() / kBatch;
+  for (int i = 0; i < kBatch; ++i) {
+    nn::Tensor single({1, 1, frames, 12, 18});
+    std::copy(batch.data() + i * sample_elems, batch.data() + (i + 1) * sample_elems,
+              single.data());
+    const nn::Tensor single_out = model.forward(single, false);
+    for (std::size_t j = 0; j < out_elems; ++j) {
+      ASSERT_EQ(single_out[j], batched_out[i * out_elems + j])
+          << model.name() << " sample " << i << " logit " << j
+          << ": batching changed the math";
+    }
+  }
+}
+
+TEST(VideoModels, BatchedForwardIsBitIdenticalPerSample) {
+  SlowFast slowfast(small_slowfast());
+  expect_batch_invariant(slowfast, 16);
+
+  C3DConfig c3d_cfg;
+  c3d_cfg.frames = 16;
+  c3d_cfg.base_channels = 4;
+  C3D c3d(c3d_cfg);
+  expect_batch_invariant(c3d, 16);
+
+  TSNConfig tsn_cfg;
+  tsn_cfg.frames = 16;
+  tsn_cfg.base_channels = 4;
+  TSN tsn(tsn_cfg);
+  expect_batch_invariant(tsn, 16);
 }
 
 TEST(VideoModels, NamesAreDistinct) {
