@@ -98,4 +98,18 @@ if [[ -x "$multistream_bin" ]]; then
   ran=$((ran + 1))
 fi
 
+# Durability sweep: snapshot interval x journal fsync policy, steady-state
+# overhead vs recovery time. Writes its JSON itself; exits non-zero if a
+# killed-and-recovered run diverges from the uninterrupted baseline.
+recovery_bin="$build_dir/bench/bench_recovery"
+if [[ -x "$recovery_bin" ]]; then
+  recovery_args=(--json BENCH_recovery.json)
+  if [[ $smoke -eq 1 ]]; then
+    recovery_args+=(--frames 1800 --reps 1)  # one simulated minute per arm
+  fi
+  echo "== bench_recovery -> BENCH_recovery.json"
+  "$recovery_bin" "${recovery_args[@]}"
+  ran=$((ran + 1))
+fi
+
 echo "wrote $ran JSON result file(s)"

@@ -1,0 +1,81 @@
+#include "common/checksum.h"
+
+#include <array>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace safecross::common {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t crc) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot read " + path.string());
+  std::string bytes((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void truncate_file(const std::filesystem::path& path, std::size_t keep_bytes) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, keep_bytes, ec);
+  if (ec) {
+    throw std::runtime_error("cannot truncate " + path.string() + ": " + ec.message());
+  }
+}
+
+void corrupt_magic(const std::filesystem::path& path) {
+  std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!fs) throw std::runtime_error("cannot open " + path.string());
+  char head[4] = {};
+  fs.read(head, sizeof(head));
+  if (!fs) throw std::runtime_error(path.string() + " shorter than 4 bytes");
+  for (char& b : head) b = static_cast<char>(~b);
+  fs.seekp(0);
+  fs.write(head, sizeof(head));
+}
+
+void write_garbage(const std::filesystem::path& path, std::size_t bytes, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<char> garbage(bytes);
+  for (char& b : garbage) b = static_cast<char>(rng.next_u64() & 0xFF);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot write " + path.string());
+  os.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+}
+
+void flip_byte(const std::filesystem::path& path, std::size_t offset) {
+  std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!fs) throw std::runtime_error("cannot open " + path.string());
+  fs.seekg(static_cast<std::streamoff>(offset));
+  char b = 0;
+  fs.read(&b, 1);
+  if (!fs) throw std::runtime_error(path.string() + " shorter than flip offset");
+  b = static_cast<char>(~b);
+  fs.seekp(static_cast<std::streamoff>(offset));
+  fs.write(&b, 1);
+}
+
+}  // namespace safecross::common

@@ -1,0 +1,49 @@
+#pragma once
+// Shared integrity toolkit: one CRC32 for every durable byte in the
+// system, plus the deterministic file-corruption helpers the robustness
+// suites use to fabricate on-disk failure modes.
+//
+// Everything that persists state across a process death — model-store
+// checkpoints, the serving journal, server snapshots — frames its bytes
+// with this CRC so a torn write, a bad sector, or a half-finished rename
+// is *detected* at load time instead of silently deserialized. The
+// corruption helpers are the adversary for those checks: the fault
+// bench, the model-store tests and the kill–recover chaos harness all
+// damage files through the same three primitives, so a new durable
+// format inherits an attack suite for free.
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+namespace safecross::common {
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) of `len` bytes.
+/// Chainable: crc32(b, nb, crc32(a, na)) == crc32 of a||b, so framed
+/// formats can checksum header and payload incrementally.
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t crc = 0);
+
+inline std::uint32_t crc32(const std::string& bytes, std::uint32_t crc = 0) {
+  return crc32(bytes.data(), bytes.size(), crc);
+}
+
+/// Whole file as bytes. Throws std::runtime_error when unreadable.
+std::string read_file(const std::filesystem::path& path);
+
+// --- deterministic corruption helpers (file-level) ---
+
+/// Truncate a file to its first `keep_bytes` bytes (0 → empty file).
+void truncate_file(const std::filesystem::path& path, std::size_t keep_bytes);
+
+/// Flip every bit of the first 4 bytes (destroys a leading format magic).
+void corrupt_magic(const std::filesystem::path& path);
+
+/// Overwrite the whole file with `bytes` seeded garbage bytes.
+void write_garbage(const std::filesystem::path& path, std::size_t bytes, std::uint64_t seed);
+
+/// Invert one byte at `offset` in place (single-byte bit damage — the
+/// smallest corruption a CRC frame must still catch).
+void flip_byte(const std::filesystem::path& path, std::size_t offset);
+
+}  // namespace safecross::common

@@ -10,6 +10,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/state_io.h"
+
 namespace safecross {
 
 class Rng {
@@ -84,6 +86,40 @@ class Rng {
 
   /// Derive an independent child stream (for per-component determinism).
   Rng fork() { return Rng(next_u64() ^ 0xD3C0DEDBADC0FFEEULL); }
+
+  /// Raw engine state, exposed so durable components can checkpoint a
+  /// stream mid-sequence and resume it bit-exactly after a restart.
+  struct State {
+    std::uint64_t s[4] = {};
+    double cached = 0.0;
+    bool have_cached = false;
+  };
+
+  State state() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+    st.cached = cached_;
+    st.have_cached = have_cached_;
+    return st;
+  }
+
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    cached_ = st.cached;
+    have_cached_ = st.have_cached;
+  }
+
+  void save_state(common::StateWriter& w) const {
+    for (int i = 0; i < 4; ++i) w.u64(state_[i]);
+    w.f64(cached_);
+    w.boolean(have_cached_);
+  }
+
+  void load_state(common::StateReader& r) {
+    for (int i = 0; i < 4; ++i) state_[i] = r.u64();
+    cached_ = r.f64();
+    have_cached_ = r.boolean();
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }

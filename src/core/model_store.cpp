@@ -1,7 +1,10 @@
 #include "core/model_store.h"
 
+#include <cstring>
 #include <fstream>
+#include <sstream>
 
+#include "common/checksum.h"
 #include "common/logging.h"
 #include "nn/serialize.h"
 
@@ -26,10 +29,19 @@ void ModelStore::save(SafeCross& safecross) const {
   for (const auto weather : kAllWeathers) {
     if (!safecross.has_model(weather)) continue;
     models::VideoClassifier& model = safecross.model_for(weather);
+    // Serialize the nn blocks in memory first so the integrity footer can
+    // cover every byte that precedes it.
+    std::ostringstream blocks;
+    nn::save_params(blocks, model.params());
+    nn::save_tensors(blocks, model.buffers());
+    const std::string bytes = blocks.str();
+    const std::uint32_t crc = common::crc32(bytes);
     std::ofstream os(path_for(weather), std::ios::binary);
     if (!os) throw std::runtime_error("ModelStore: cannot write " + path_for(weather).string());
-    nn::save_params(os, model.params());
-    nn::save_tensors(os, model.buffers());
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.write(reinterpret_cast<const char*>(&kFooterMagic), sizeof(kFooterMagic));
+    os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    if (!os) throw std::runtime_error("ModelStore: short write to " + path_for(weather).string());
     log_info() << "model-store: saved " << vision::weather_name(weather) << " ("
                << nn::param_count(model.params()) << " params)";
   }
@@ -45,9 +57,12 @@ std::vector<dataset::Weather> ModelStore::available() const {
 
 namespace {
 
-/// Cheap structural validation before any tensor data is parsed: the file
-/// must exist, be non-empty, and start with the checkpoint magic. Returns
-/// an empty string when the file looks plausible.
+/// Structural + integrity validation before any tensor data is parsed:
+/// the file must exist, be non-empty, start with the checkpoint magic,
+/// and — when it carries the ModelStore footer — its CRC32 must cover
+/// every byte before the footer. Footer-less legacy files pass on the
+/// structural checks alone. Returns an empty string when the file is
+/// acceptable.
 std::string validate_checkpoint(const std::filesystem::path& path) {
   std::error_code ec;
   const auto size = std::filesystem::file_size(path, ec);
@@ -56,12 +71,29 @@ std::string validate_checkpoint(const std::filesystem::path& path) {
   constexpr std::uintmax_t kMinBytes = 2 * (sizeof(std::uint32_t) + sizeof(std::uint64_t));
   if (size == 0) return "checkpoint is empty (0 bytes)";
   if (size < kMinBytes) return "checkpoint truncated (" + std::to_string(size) + " bytes)";
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return "cannot open checkpoint";
+  std::string bytes;
+  try {
+    bytes = common::read_file(path);
+  } catch (const std::exception&) {
+    return "cannot open checkpoint";
+  }
+  if (bytes.size() < sizeof(std::uint32_t)) return "cannot read checkpoint header";
   std::uint32_t magic = 0;
-  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (!is) return "cannot read checkpoint header";
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
   if (magic != nn::kCheckpointMagic) return "bad checkpoint magic";
+  constexpr std::size_t kFooterBytes = 2 * sizeof(std::uint32_t);
+  if (bytes.size() >= kMinBytes + kFooterBytes) {
+    std::uint32_t footer_magic = 0;
+    std::uint32_t stored_crc = 0;
+    std::memcpy(&footer_magic, bytes.data() + bytes.size() - kFooterBytes,
+                sizeof(footer_magic));
+    std::memcpy(&stored_crc, bytes.data() + bytes.size() - sizeof(stored_crc),
+                sizeof(stored_crc));
+    if (footer_magic == ModelStore::kFooterMagic &&
+        common::crc32(bytes.data(), bytes.size() - kFooterBytes) != stored_crc) {
+      return "checkpoint checksum mismatch";
+    }
+  }
   return {};
 }
 

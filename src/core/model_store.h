@@ -9,6 +9,7 @@
 // deployment's SlowFast architecture, so the SafeCrossConfig provided at
 // load time reconstructs the graphs.
 
+#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -20,6 +21,14 @@ namespace safecross::core {
 
 class ModelStore {
  public:
+  /// Trailing integrity footer appended after the nn blocks on save():
+  /// [u32 kFooterMagic][u32 crc32 of every preceding byte]. Validation
+  /// verifies the CRC before any tensor data is parsed, so a mid-file
+  /// bit flip (which keeps the leading magic intact) is caught instead of
+  /// silently deserializing garbage weights. Footer-less files written by
+  /// older builds are still accepted (magic/size checks only).
+  static constexpr std::uint32_t kFooterMagic = 0x5AFEF007u;
+
   explicit ModelStore(std::filesystem::path directory);
 
   /// Persist every model the framework currently holds. Creates the

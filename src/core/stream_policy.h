@@ -80,6 +80,10 @@ class StreamScorecard {
   double latency_p99() const { return latency_percentile(99.0); }
   double latency_percentile(double p) const;
 
+  // --- checkpoint serialization (all tallies incl. recorded latencies) ---
+  void save_state(common::StateWriter& w) const;
+  void load_state(common::StateReader& r);
+
  private:
   std::size_t decisions_ = 0;
   std::size_t warnings_ = 0;

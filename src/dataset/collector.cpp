@@ -155,4 +155,51 @@ std::vector<VideoSegment> SegmentCollector::take_segments() {
   return out;
 }
 
+void SegmentCollector::save_state(common::StateWriter& w) const {
+  rng_.save_state(w);
+  bg_.save_state(w);
+
+  w.u64(window_.size());
+  for (const vision::Image& frame : window_) frame.save_state(w);
+  w.u64(blind_window_.size());
+  for (bool b : blind_window_) w.boolean(b);
+  w.u64(fresh_window_.size());
+  for (bool b : fresh_window_) w.boolean(b);
+
+  w.u64(frames_processed_);
+  w.u64(frames_since_gap_);
+  w.u64(frames_dropped_);
+  w.u64(frames_frozen_);
+  w.u64(frames_corrupted_);
+  w.i32(hold_frames_);
+  w.u64(hold_subject_id_);
+}
+
+void SegmentCollector::load_state(common::StateReader& r) {
+  rng_.load_state(r);
+  bg_.load_state(r);
+
+  const std::uint64_t n_frames = r.u64();
+  window_.clear();
+  for (std::uint64_t i = 0; i < n_frames; ++i) {
+    vision::Image frame;
+    frame.load_state(r);
+    window_.push_back(std::move(frame));
+  }
+  const std::uint64_t n_blind = r.u64();
+  blind_window_.clear();
+  for (std::uint64_t i = 0; i < n_blind; ++i) blind_window_.push_back(r.boolean());
+  const std::uint64_t n_fresh = r.u64();
+  fresh_window_.clear();
+  for (std::uint64_t i = 0; i < n_fresh; ++i) fresh_window_.push_back(r.boolean());
+
+  frames_processed_ = static_cast<std::size_t>(r.u64());
+  frames_since_gap_ = static_cast<std::size_t>(r.u64());
+  frames_dropped_ = static_cast<std::size_t>(r.u64());
+  frames_frozen_ = static_cast<std::size_t>(r.u64());
+  frames_corrupted_ = static_cast<std::size_t>(r.u64());
+  hold_frames_ = r.i32();
+  hold_subject_id_ = r.u64();
+}
+
 }  // namespace safecross::dataset

@@ -117,6 +117,18 @@ class SegmentCollector {
   std::size_t frames_frozen() const { return frames_frozen_; }
   std::size_t frames_corrupted() const { return frames_corrupted_; }
 
+  // --- checkpoint serialization ---
+  // Captures everything a resumed collector needs to keep producing the
+  // same frames and cutting the same segments: noise RNG, background
+  // model, the rolling window with its blind/fresh flags, the gap and
+  // hold trackers, and the frame-status counters. The referenced
+  // simulator and camera are rebuilt by the owner (same config, then
+  // sim.load_state). Already-emitted segments_ are deliberately NOT
+  // state: they never influence future decisions, and the serving layer
+  // accounts for emitted decisions in its own journal.
+  void save_state(common::StateWriter& w) const;
+  void load_state(common::StateReader& r);
+
  private:
   vision::Image preprocess_frame();
   void emit(bool turned);

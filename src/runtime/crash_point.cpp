@@ -1,0 +1,36 @@
+#include "runtime/crash_point.h"
+
+namespace safecross::runtime {
+
+const char* crash_point_name(CrashPoint p) {
+  switch (p) {
+    case CrashPoint::BeforeJournalAppend: return "before-journal-append";
+    case CrashPoint::MidJournalAppend: return "mid-journal-append";
+    case CrashPoint::AfterJournalAppend: return "after-journal-append";
+    case CrashPoint::BeforeSnapshotWrite: return "before-snapshot-write";
+    case CrashPoint::MidSnapshotWrite: return "mid-snapshot-write";
+    case CrashPoint::BeforeSnapshotRename: return "before-snapshot-rename";
+    case CrashPoint::AfterSnapshotRename: return "after-snapshot-rename";
+  }
+  return "?";
+}
+
+void CrashInjector::arm(CrashPoint point, std::size_t nth) {
+  armed_ = true;
+  fired_ = false;
+  point_ = point;
+  nth_ = nth == 0 ? 1 : nth;
+}
+
+bool CrashInjector::fire_now(CrashPoint point) {
+  const std::size_t hit = ++hits_[static_cast<int>(point)];
+  if (!armed_ || fired_ || point != point_ || hit != nth_) return false;
+  fired_ = true;
+  return true;
+}
+
+void CrashInjector::maybe_crash(CrashPoint point) {
+  if (fire_now(point)) throw CrashInjected{point, nth_};
+}
+
+}  // namespace safecross::runtime

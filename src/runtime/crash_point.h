@@ -1,0 +1,79 @@
+#pragma once
+// Deterministic process-kill injection for the durability layer.
+//
+// A roadside unit dies at the worst possible instants: half-way through
+// appending a journal record, with a snapshot temp file fully written but
+// not yet renamed, right after a rename with the old generations still on
+// disk. The chaos harness reproduces those instants *in-process*: the
+// durable write paths call CrashInjector::maybe_crash(point) at every
+// named crash point, and an armed injector throws CrashInjected at the
+// scheduled hit — leaving the on-disk state exactly as a real SIGKILL at
+// that instant would (torn tails included, because the "mid" points
+// flush a deliberate partial write before throwing).
+//
+// The exception is the simulated kill: the harness catches it at the top
+// of the run, destroys the server, and drives StreamServer::recover()
+// against the damaged directory. One injector arms at most one kill, so
+// a schedule is a sequence of (point, nth-hit) pairs consumed one crash
+// per server incarnation.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace safecross::runtime {
+
+enum class CrashPoint {
+  BeforeJournalAppend = 0,  // decision made, nothing durable yet
+  MidJournalAppend,         // half the record's frame bytes on disk (torn tail)
+  AfterJournalAppend,       // record durable, not yet applied to the scorecard
+  BeforeSnapshotWrite,      // snapshot due, nothing written
+  MidSnapshotWrite,         // partial snapshot temp file on disk
+  BeforeSnapshotRename,     // complete temp file, rename not issued
+  AfterSnapshotRename,      // new generation durable, old ones not yet pruned
+};
+
+constexpr int kCrashPointCount = 7;
+
+const char* crash_point_name(CrashPoint p);
+
+/// The simulated kill. Deliberately NOT derived from std::exception: the
+/// durable paths' defensive catch(const std::exception&) blocks must not
+/// swallow a kill, exactly as no handler survives a real SIGKILL.
+struct CrashInjected {
+  CrashPoint point;
+  std::size_t hit = 0;  // which hit of `point` fired (1-based)
+};
+
+class CrashInjector {
+ public:
+  /// Arm the injector: the `nth` (1-based) time execution reaches `point`,
+  /// maybe_crash()/fire_now() fires. Re-arming resets the fired latch;
+  /// hit counters keep accumulating across arms.
+  void arm(CrashPoint point, std::size_t nth);
+
+  /// Disarm without firing (the harness's "let this incarnation live").
+  void disarm() { armed_ = false; }
+
+  /// Throw CrashInjected when the armed point's scheduled hit is reached.
+  void maybe_crash(CrashPoint point);
+
+  /// As maybe_crash(), but returns true instead of throwing so the call
+  /// site can stage a deliberate partial write first ("mid" points).
+  /// Fires at most once per arm().
+  bool fire_now(CrashPoint point);
+
+  bool fired() const { return fired_; }
+  std::size_t hits(CrashPoint point) const {
+    return hits_[static_cast<int>(point)];
+  }
+
+ private:
+  bool armed_ = false;
+  bool fired_ = false;
+  CrashPoint point_ = CrashPoint::BeforeJournalAppend;
+  std::size_t nth_ = 0;
+  std::size_t hits_[kCrashPointCount] = {};
+};
+
+}  // namespace safecross::runtime

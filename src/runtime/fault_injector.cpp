@@ -1,8 +1,6 @@
 #include "runtime/fault_injector.h"
 
-#include <fstream>
-#include <stdexcept>
-#include <vector>
+#include "common/checksum.h"
 
 namespace safecross::runtime {
 
@@ -85,33 +83,40 @@ bool FaultInjector::next_switch_fails() {
 }
 
 void FaultInjector::truncate_file(const std::filesystem::path& path, std::size_t keep_bytes) {
-  std::error_code ec;
-  std::filesystem::resize_file(path, keep_bytes, ec);
-  if (ec) {
-    throw std::runtime_error("FaultInjector: cannot truncate " + path.string() + ": " +
-                             ec.message());
-  }
+  common::truncate_file(path, keep_bytes);
 }
 
 void FaultInjector::corrupt_magic(const std::filesystem::path& path) {
-  std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
-  if (!fs) throw std::runtime_error("FaultInjector: cannot open " + path.string());
-  char head[4] = {};
-  fs.read(head, sizeof(head));
-  if (!fs) throw std::runtime_error("FaultInjector: " + path.string() + " shorter than 4 bytes");
-  for (char& b : head) b = static_cast<char>(~b);
-  fs.seekp(0);
-  fs.write(head, sizeof(head));
+  common::corrupt_magic(path);
 }
 
 void FaultInjector::write_garbage(const std::filesystem::path& path, std::size_t bytes,
                                   std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<char> garbage(bytes);
-  for (char& b : garbage) b = static_cast<char>(rng.next_u64() & 0xFF);
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw std::runtime_error("FaultInjector: cannot write " + path.string());
-  os.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+  common::write_garbage(path, bytes, seed);
+}
+
+void FaultInjector::save_state(common::StateWriter& w) const {
+  rng_.save_state(w);
+  w.u8(static_cast<std::uint8_t>(current_));
+  w.i32(blackout_left_);
+  w.u64(frames_seen_);
+  w.u64(frames_dropped_);
+  w.u64(frames_frozen_);
+  w.u64(noise_bursts_);
+  w.u64(blackout_frames_total_);
+  w.u64(switch_failures_);
+}
+
+void FaultInjector::load_state(common::StateReader& r) {
+  rng_.load_state(r);
+  current_ = static_cast<FrameFault>(r.u8());
+  blackout_left_ = r.i32();
+  frames_seen_ = static_cast<std::size_t>(r.u64());
+  frames_dropped_ = static_cast<std::size_t>(r.u64());
+  frames_frozen_ = static_cast<std::size_t>(r.u64());
+  noise_bursts_ = static_cast<std::size_t>(r.u64());
+  blackout_frames_total_ = static_cast<std::size_t>(r.u64());
+  switch_failures_ = static_cast<std::size_t>(r.u64());
 }
 
 }  // namespace safecross::runtime

@@ -84,8 +84,9 @@ class FaultInjector {
   std::size_t switch_failures() const { return switch_failures_; }
 
   // --- checkpoint corruption helpers (deterministic, file-level) ---
-  // Used by the ModelStore robustness tests and the fault bench to fabricate
-  // the on-disk failure modes a rebooting roadside unit actually meets.
+  // Thin forwards to common/checksum.h so the model-store tests, the fault
+  // bench and the kill–recover chaos harness all damage files through the
+  // same primitives. Kept here for source compatibility.
 
   /// Truncate a file to its first `keep_bytes` bytes (0 → empty file).
   static void truncate_file(const std::filesystem::path& path, std::size_t keep_bytes);
@@ -96,6 +97,12 @@ class FaultInjector {
   /// Overwrite the whole file with `bytes` seeded garbage bytes.
   static void write_garbage(const std::filesystem::path& path, std::size_t bytes,
                             std::uint64_t seed);
+
+  // --- checkpoint serialization ---
+  // RNG stream + blackout countdown + counters, so a restored injector
+  // deals the same fault sequence the killed one would have.
+  void save_state(common::StateWriter& w) const;
+  void load_state(common::StateReader& r);
 
  private:
   FaultPlan plan_;

@@ -90,4 +90,26 @@ void HealthMonitor::switch_failed() {
 
 void HealthMonitor::switch_recovered() { switch_failure_latched_ = false; }
 
+void HealthMonitor::save_state(common::StateWriter& w) const {
+  w.boolean(external_latch_.load(std::memory_order_acquire));
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.i32(missing_streak_);
+  w.i32(healthy_streak_);
+  w.i32(switch_frames_left_);
+  w.boolean(switch_failure_latched_);
+  w.u64(transitions_);
+  for (std::size_t n : frames_in_) w.u64(n);
+}
+
+void HealthMonitor::load_state(common::StateReader& r) {
+  external_latch_.store(r.boolean(), std::memory_order_release);
+  state_ = static_cast<HealthState>(r.u8());
+  missing_streak_ = r.i32();
+  healthy_streak_ = r.i32();
+  switch_frames_left_ = r.i32();
+  switch_failure_latched_ = r.boolean();
+  transitions_ = static_cast<std::size_t>(r.u64());
+  for (std::size_t& n : frames_in_) n = static_cast<std::size_t>(r.u64());
+}
+
 }  // namespace safecross::runtime

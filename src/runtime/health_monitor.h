@@ -22,6 +22,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/state_io.h"
+
 namespace safecross::runtime {
 
 enum class HealthState { Nominal = 0, Degraded = 1, FailSafe = 2 };
@@ -114,6 +116,14 @@ class HealthMonitor {
   std::size_t transitions() const { return transitions_; }
   std::size_t frames_in(HealthState s) const { return frames_in_[static_cast<int>(s)]; }
   int missing_streak() const { return missing_streak_; }
+
+  // --- checkpoint serialization ---
+  // The full state machine (including the external supervisor latch), so
+  // a restored monitor gates the next decision exactly as the killed one
+  // would have. Single-threaded context only — recovery runs before any
+  // stage threads exist.
+  void save_state(common::StateWriter& w) const;
+  void load_state(common::StateReader& r);
 
  private:
   void escalate(HealthState target);

@@ -1,0 +1,151 @@
+#pragma once
+// Write-ahead decision journal: the durable record of everything the
+// stream server has told the intersection.
+//
+// An append-only log of emitted decisions and engine model-switch events.
+// Each record is framed [u32 payload_len][payload][u32 crc32(payload)]
+// behind a fixed file header, appended *before* the decision is applied
+// to any in-memory scorecard (write-ahead), and flushed according to the
+// configured fsync policy. After a process death the journal is the
+// ground truth: replay() walks the frames front to back and returns the
+// longest valid prefix, tolerating every torn-tail shape a kill can
+// leave — a half-written length word, a record cut mid-payload, a bad
+// CRC, trailing garbage — without ever throwing or inventing a record
+// that was never fully appended.
+//
+// Recovery contract (used by serving::StreamServer::recover):
+//   * a record in the valid prefix was definitely emitted — replaying it
+//     instead of re-deciding dedupes the decision (exactly-once);
+//   * a record lost to the torn tail was never applied anywhere durable;
+//     the deterministic stream re-produces the same window and re-decides
+//     it bit-identically, so losing the tail loses no information.
+//
+// The fsync policy trades steady-state overhead against the amount of
+// *OS-buffered* (not torn) tail at risk on a machine-level crash;
+// bench_recovery sweeps it. In-process kills (the chaos harness) always
+// see every flushed byte.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "runtime/crash_point.h"
+
+namespace safecross::runtime {
+
+enum class FsyncPolicy {
+  None = 0,     // flush to the OS, never fsync (fastest, risk = OS cache)
+  EveryN = 1,   // fsync every fsync_every records
+  Every = 2,    // fsync after every record (safest, slowest)
+};
+
+const char* fsync_policy_name(FsyncPolicy p);
+
+struct JournalConfig {
+  FsyncPolicy fsync = FsyncPolicy::Every;
+  std::size_t fsync_every = 32;  // used by FsyncPolicy::EveryN
+};
+
+enum class JournalRecordType : std::uint8_t {
+  Decision = 1,
+  ModelSwitch = 2,
+};
+
+/// One emitted decision. Weather/source enums travel as raw bytes so the
+/// journal stays below the serving layer. latency_ms is wall-clock and
+/// excluded from the bit-identical stream contract — it is persisted only
+/// so a recovered scorecard's latency tallies match the killed run's.
+struct DecisionEntry {
+  std::uint32_t stream = 0;
+  std::uint64_t seq = 0;    // per-stream decision ordinal (0-based)
+  std::uint64_t frame = 0;  // 1-based frame ordinal that produced it
+  bool danger_truth = false;
+  std::int32_t predicted_class = 0;
+  float prob_danger = 1.0f;
+  bool warn = true;
+  std::uint8_t source = 0;  // runtime::DecisionSource
+  double latency_ms = 0.0;
+};
+
+/// One actual engine model swap (audit trail for the switch-amortisation
+/// story; not consulted by recovery dedupe).
+struct SwitchEntry {
+  std::uint8_t weather = 0;  // Weather the engine switched to
+  double delay_ms = 0.0;
+  std::uint64_t at_decision = 0;  // decisions journaled before the swap
+};
+
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::Decision;
+  DecisionEntry decision;
+  SwitchEntry model_switch;
+};
+
+class Journal {
+ public:
+  static constexpr std::uint32_t kMagic = 0x4C4A5853u;  // "SXJL"
+  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::size_t kHeaderBytes = 8;
+  static constexpr std::size_t kMaxRecordBytes = 1u << 20;
+
+  Journal() = default;
+  ~Journal() { close(); }
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Open for appending, creating the file (with header) when absent or
+  /// empty. The caller is responsible for truncating a torn tail first
+  /// (recover does: replay, then truncate to valid_bytes, then open) —
+  /// appending after an unvalidated tail would bury good records behind
+  /// garbage.
+  void open(const std::filesystem::path& path, JournalConfig config,
+            CrashInjector* crash = nullptr);
+
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Append one record (write-ahead: call this BEFORE applying the
+  /// decision). Flushes to the OS always; fsyncs per policy. Crash
+  /// points: BeforeJournalAppend, MidJournalAppend (flushes a deliberate
+  /// half-record then throws CrashInjected), AfterJournalAppend.
+  void append(const JournalRecord& record);
+
+  /// Flush + fsync regardless of policy (end of run).
+  void sync();
+
+  void close();
+
+  std::uint64_t records_appended() const { return records_appended_; }
+
+  /// Framed on-disk bytes of one record (exposed for the property suite).
+  static std::string encode(const JournalRecord& record);
+
+  struct ReplayReport {
+    std::vector<JournalRecord> records;  // longest valid prefix, in order
+    std::uint64_t valid_bytes = 0;       // header + intact frames
+    std::uint64_t file_bytes = 0;
+    bool missing = true;      // no file at all (fresh start)
+    bool bad_header = false;  // file exists but magic/version wrong
+    bool torn_tail = false;   // bytes past the valid prefix were dropped
+    std::string tail_error;   // why the walk stopped, when it did
+  };
+
+  /// Torn-write-tolerant replay: never throws on file content, returns
+  /// the longest valid prefix plus a structured account of what (if
+  /// anything) was dropped.
+  static ReplayReport replay(const std::filesystem::path& path);
+
+ private:
+  void write_bytes(const std::string& bytes);
+
+  std::FILE* file_ = nullptr;
+  JournalConfig config_;
+  CrashInjector* crash_ = nullptr;
+  std::uint64_t records_appended_ = 0;
+  std::size_t records_since_sync_ = 0;
+};
+
+}  // namespace safecross::runtime

@@ -1,0 +1,77 @@
+#pragma once
+// Crash-consistent snapshot store for the stream server.
+//
+// A snapshot is one opaque payload (the server serializes its resumable
+// state into it with common::StateWriter) wrapped in a self-validating
+// frame: magic, version, generation number, length-prefixed payload and
+// a trailing CRC32 of everything before it. Generations are monotonically
+// increasing and each lives in its own file (snap-00000001.bin, ...), so
+// the store never modifies a published snapshot — it only adds new ones
+// and prunes old ones.
+//
+// Atomicity: write() serializes to snap-XXXXXXXX.tmp, fflush + fsync,
+// then renames to the final name (rename within a directory is atomic on
+// POSIX) and fsyncs the directory so the new name itself is durable. A
+// kill at any instant therefore leaves either (a) the previous good
+// generations untouched plus an ignorable .tmp, or (b) those plus one
+// complete new generation. load_newest_valid() walks generations newest
+// to oldest, CRC-checking each, and returns the first intact one — a
+// corrupt or torn newest snapshot falls back to the previous good
+// generation with a structured list of what was rejected and why.
+//
+// Chaos hooks: BeforeSnapshotWrite / MidSnapshotWrite (flushes a genuine
+// half-written temp file, then dies) / BeforeSnapshotRename /
+// AfterSnapshotRename.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "runtime/crash_point.h"
+
+namespace safecross::serving {
+
+class SnapshotStore {
+ public:
+  static constexpr std::uint32_t kMagic = 0x4E535853u;  // "SXSN"
+  static constexpr std::uint32_t kVersion = 1;
+
+  /// Opens (and creates) `dir`; scans existing generations so the next
+  /// write() continues the sequence instead of reusing a burned number.
+  /// Stale .tmp files from a killed writer are removed here.
+  SnapshotStore(std::filesystem::path dir, std::size_t keep);
+
+  /// Atomically publish `payload` as the next generation; returns its
+  /// generation number. Prunes all but the newest `keep` generations
+  /// after a successful publish (never before — the previous good
+  /// snapshot must survive until the new one is durable).
+  std::uint64_t write(const std::string& payload,
+                      runtime::CrashInjector* crash = nullptr);
+
+  std::uint64_t next_generation() const { return next_gen_; }
+  const std::filesystem::path& dir() const { return dir_; }
+
+  struct Loaded {
+    bool found = false;
+    std::uint64_t generation = 0;
+    std::string payload;
+    /// Newest-first "file: reason" lines for every generation that was
+    /// present but failed validation (recovery report material).
+    std::vector<std::string> rejected;
+  };
+
+  /// Newest intact generation, skipping (and recording) corrupt ones.
+  /// Never throws on file *content*; missing directory → not found.
+  static Loaded load_newest_valid(const std::filesystem::path& dir);
+
+  static std::filesystem::path generation_path(const std::filesystem::path& dir,
+                                               std::uint64_t generation);
+
+ private:
+  std::filesystem::path dir_;
+  std::size_t keep_;
+  std::uint64_t next_gen_ = 1;
+};
+
+}  // namespace safecross::serving

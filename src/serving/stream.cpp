@@ -76,4 +76,59 @@ void StreamContext::apply(const ReadyWindow& w, int predicted_class, float prob_
   }
 }
 
+void StreamContext::save_state(common::StateWriter& w) const {
+  sim_.save_state(w);
+  collector_.save_state(w);
+  health_.save_state(w);
+  w.boolean(injector_active_);
+  if (injector_active_) injector_.save_state(w);
+  w.u8(static_cast<std::uint8_t>(model_weather_));
+  w.u64(schedule_pos_);
+  w.u64(frame_);
+  w.u64(produced_);
+  w.i32(frames_since_decision_);
+  scorecard_.save_state(w);
+  w.boolean(record_trace_);
+  w.u64(trace_.size());
+  for (const DecisionRecord& d : trace_) {
+    w.u64(d.frame);
+    w.boolean(d.danger_truth);
+    w.i32(d.predicted_class);
+    w.f32(d.prob_danger);
+    w.boolean(d.warn);
+    w.u8(static_cast<std::uint8_t>(d.source));
+  }
+}
+
+void StreamContext::load_state(common::StateReader& r) {
+  sim_.load_state(r);
+  collector_.load_state(r);
+  health_.load_state(r);
+  const bool injector_was_active = r.boolean();
+  if (injector_was_active != injector_active_) {
+    throw common::StateError("stream: fault-plan mismatch between snapshot and config");
+  }
+  if (injector_active_) injector_.load_state(r);
+  model_weather_ = static_cast<Weather>(r.u8());
+  schedule_pos_ = static_cast<std::size_t>(r.u64());
+  frame_ = static_cast<std::size_t>(r.u64());
+  produced_ = static_cast<std::size_t>(r.u64());
+  frames_since_decision_ = r.i32();
+  scorecard_.load_state(r);
+  record_trace_ = r.boolean();
+  const std::uint64_t n_trace = r.u64();
+  trace_.clear();
+  trace_.reserve(static_cast<std::size_t>(n_trace));
+  for (std::uint64_t i = 0; i < n_trace; ++i) {
+    DecisionRecord d;
+    d.frame = static_cast<std::size_t>(r.u64());
+    d.danger_truth = r.boolean();
+    d.predicted_class = r.i32();
+    d.prob_danger = r.f32();
+    d.warn = r.boolean();
+    d.source = static_cast<runtime::DecisionSource>(r.u8());
+    trace_.push_back(d);
+  }
+}
+
 }  // namespace safecross::serving

@@ -136,6 +136,16 @@ class StreamContext {
   void set_record_trace(bool on) { record_trace_ = on; }
   const std::vector<DecisionRecord>& trace() const { return trace_; }
 
+  // --- checkpoint serialization ---
+  // The complete resumable state: sim + collector + health + fault RNG
+  // streams, switch-schedule position, frame/seq counters, scorecard and
+  // (when enabled) the verdict trace. A StreamContext rebuilt from the
+  // same StreamConfig and then load_state()-ed continues tick-for-tick
+  // bit-identically to the killed instance. Quiescent points only (no
+  // produced-but-unapplied window in flight).
+  void save_state(common::StateWriter& w) const;
+  void load_state(common::StateReader& r);
+
  private:
   StreamConfig config_;
   sim::TrafficSimulator sim_;

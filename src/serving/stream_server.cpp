@@ -4,6 +4,8 @@
 #include <thread>
 #include <utility>
 
+#include "common/checksum.h"
+#include "common/state_io.h"
 #include "common/timer.h"
 
 namespace safecross::serving {
@@ -11,6 +13,8 @@ namespace safecross::serving {
 using runtime::DecisionSource;
 
 namespace {
+
+constexpr const char* kJournalFile = "journal.wal";
 
 std::chrono::milliseconds to_ms(double ms) {
   if (ms < 0.0) ms = 0.0;
@@ -24,15 +28,30 @@ StreamServer::StreamServer(core::SafeCross& engine, StreamServerConfig config)
   if (config_.streams.empty()) {
     throw std::invalid_argument("StreamServer: at least one stream required");
   }
+  if (config_.durability.enabled() && config_.shed_on_overload) {
+    // A shed window is a decision that silently never happens at a
+    // wall-clock-dependent instant; no deterministic recovery can
+    // reproduce it, so durable runs must use pure backpressure.
+    throw std::invalid_argument(
+        "StreamServer: durability requires shed_on_overload = false");
+  }
   streams_.reserve(config_.streams.size());
   for (const StreamConfig& sc : config_.streams) {
     streams_.push_back(std::make_unique<StreamContext>(sc));
     streams_.back()->set_record_trace(config_.record_traces);
   }
-  crash_pos_.assign(streams_.size(), 0);
-  down_.assign(streams_.size(), 0);
-  shed_.assign(streams_.size(), 0);
-  high_water_.assign(streams_.size(), 0);
+  const std::size_t k = streams_.size();
+  crash_pos_.assign(k, 0);
+  down_.assign(k, 0);
+  shed_.assign(k, 0);
+  high_water_.assign(k, 0);
+  pending_.resize(k);
+  parked_ = std::make_unique<std::atomic<char>[]>(k);
+  finished_ = std::make_unique<std::atomic<char>[]>(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    parked_[i].store(0, std::memory_order_relaxed);
+    finished_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 std::size_t StreamServer::windows_shed_total() const {
@@ -52,15 +71,239 @@ std::optional<Weather> StreamServer::serve_weather(Weather weather) {
   if (!status.ok) return std::nullopt;
   // delay_ms > 0 means the switcher actually moved a model; 0 means the
   // request hit the already-resident one.
-  if (status.delay_ms > 0.0) ++engine_switches_;
+  if (status.delay_ms > 0.0) {
+    ++engine_switches_;
+    if (journal_.is_open()) {
+      runtime::JournalRecord rec;
+      rec.type = runtime::JournalRecordType::ModelSwitch;
+      rec.model_switch.weather = static_cast<std::uint8_t>(status.active);
+      rec.model_switch.delay_ms = status.delay_ms;
+      rec.model_switch.at_decision = journal_.records_appended();
+      journal_.append(rec);
+    }
+  }
   return status.active;
 }
+
+// --- durability helpers ---
+
+std::uint64_t StreamServer::config_fingerprint() const {
+  common::StateWriter w;
+  w.u64(config_.frames);
+  w.boolean(config_.shed_on_overload);
+  w.u64(config_.streams.size());
+  for (const StreamConfig& sc : config_.streams) {
+    w.str(sc.name);
+    w.u8(static_cast<std::uint8_t>(sc.weather));
+    w.u64(sc.sim_seed);
+    w.u64(sc.collector_seed);
+    w.u64(sc.fault_seed);
+    w.i32(sc.decision_stride);
+    w.i32(sc.warmup_frames);
+    w.i32(sc.vp.frames_per_segment);
+    w.u8(static_cast<std::uint8_t>(sc.vp.approach));
+    w.i32(sc.vp.grid_w);
+    w.i32(sc.vp.grid_h);
+    w.u8(static_cast<std::uint8_t>(sc.vp.mode));
+    w.f64(sc.faults.drop_prob);
+    w.f64(sc.faults.freeze_prob);
+    w.f64(sc.faults.noise_prob);
+    w.f64(sc.faults.blackout_prob);
+    w.i32(sc.faults.blackout_frames);
+    w.f64(sc.faults.switch_failure_prob);
+    w.u64(sc.model_schedule.size());
+    for (const ModelSwitchEvent& ev : sc.model_schedule) {
+      w.u64(ev.at_frame);
+      w.u8(static_cast<std::uint8_t>(ev.to));
+      w.f64(ev.delay_ms);
+    }
+    w.u64(sc.crash_frames.size());
+    for (std::size_t f : sc.crash_frames) w.u64(f);
+  }
+  const std::string& bytes = w.bytes();
+  return static_cast<std::uint64_t>(common::crc32(bytes)) |
+         (static_cast<std::uint64_t>(bytes.size()) << 32);
+}
+
+std::string StreamServer::snapshot_payload() const {
+  common::StateWriter w;
+  w.u64(config_fingerprint());
+  w.u8(static_cast<std::uint8_t>(engine_.active_weather()));
+  w.u64(engine_switches_);
+  w.u64(windows_batched_);
+  w.u64(streams_.size());
+  for (char d : down_) w.boolean(d != 0);
+  for (const auto& ctx : streams_) ctx->save_state(w);
+  return w.take();
+}
+
+void StreamServer::load_snapshot_payload(const std::string& payload) {
+  common::StateReader r(payload);
+  const std::uint64_t fp = r.u64();
+  if (fp != config_fingerprint()) {
+    throw std::runtime_error(
+        "StreamServer::recover: snapshot was taken under a different stream "
+        "configuration (fingerprint mismatch)");
+  }
+  const Weather active = static_cast<Weather>(r.u8());
+  engine_switches_ = static_cast<std::size_t>(r.u64());
+  windows_batched_ = static_cast<std::size_t>(r.u64());
+  const std::uint64_t k = r.u64();
+  if (k != streams_.size()) {
+    throw std::runtime_error("StreamServer::recover: snapshot stream count mismatch");
+  }
+  for (std::size_t i = 0; i < streams_.size(); ++i) down_[i] = r.boolean() ? 1 : 0;
+  for (auto& ctx : streams_) ctx->load_state(r);
+  // Re-arm the weather model that was serving when the snapshot was cut.
+  // The audit counter was restored above; this switch is re-setup, not a
+  // new event, so it must not re-count (and must not be journaled — the
+  // journal is not open yet during recover()).
+  engine_.try_on_scene_change(active);
+}
+
+void StreamServer::prepare_durability() {
+  if (!durable()) return;
+  const std::filesystem::path& dir = config_.durability.dir;
+  std::filesystem::create_directories(dir);
+  if (!recovered_) {
+    std::error_code ec;
+    const std::filesystem::path journal_path = dir / kJournalFile;
+    const bool journal_present = std::filesystem::exists(journal_path, ec) &&
+                                 std::filesystem::file_size(journal_path, ec) > 0;
+    if (journal_present || SnapshotStore::load_newest_valid(dir).found) {
+      throw std::runtime_error(
+          "StreamServer: durability dir holds state from a previous run; "
+          "call recover() first (or point at a fresh dir)");
+    }
+  }
+  if (!snapshots_) {
+    snapshots_ = std::make_unique<SnapshotStore>(dir, config_.durability.keep_snapshots);
+  }
+  journal_.open(dir / kJournalFile, config_.durability.journal, config_.durability.crash);
+}
+
+void StreamServer::finish_durability() {
+  if (!durable()) return;
+  journal_.sync();
+  journal_.close();
+}
+
+bool StreamServer::apply_replayed(const ReadyWindow& w) {
+  if (!durable()) return false;
+  auto& pend = pending_[w.stream];
+  auto it = pend.find(w.seq);
+  if (it == pend.end()) return false;
+  const runtime::DecisionEntry& e = it->second;
+  if (e.frame != w.frame || e.danger_truth != w.danger_truth) {
+    // The journal is CRC-clean, so a mismatch here means the re-produced
+    // stream diverged from the killed run — a determinism bug, not disk
+    // corruption. Fail loudly; silently trusting either side would
+    // corrupt the decision stream.
+    throw std::runtime_error("StreamServer: journal replay diverged from re-produced window");
+  }
+  streams_[w.stream]->apply(w, e.predicted_class, e.prob_danger, e.warn,
+                            static_cast<DecisionSource>(e.source), e.latency_ms);
+  pend.erase(it);
+  ++decisions_since_snapshot_;
+  return true;
+}
+
+void StreamServer::journal_decision(const ReadyWindow& w, const core::SafeCross::Decision& d,
+                                    double latency_ms) {
+  if (!journal_.is_open()) return;
+  runtime::JournalRecord rec;
+  rec.type = runtime::JournalRecordType::Decision;
+  rec.decision.stream = static_cast<std::uint32_t>(w.stream);
+  rec.decision.seq = w.seq;
+  rec.decision.frame = w.frame;
+  rec.decision.danger_truth = w.danger_truth;
+  rec.decision.predicted_class = d.predicted_class;
+  rec.decision.prob_danger = d.prob_danger;
+  rec.decision.warn = d.warn;
+  rec.decision.source = static_cast<std::uint8_t>(d.source);
+  rec.decision.latency_ms = latency_ms;
+  journal_.append(rec);
+}
+
+void StreamServer::write_snapshot_now() {
+  snapshots_->write(snapshot_payload(), config_.durability.crash);
+  decisions_since_snapshot_ = 0;
+}
+
+RecoveryReport StreamServer::recover() {
+  if (!durable()) {
+    throw std::logic_error("StreamServer::recover: durability is not configured");
+  }
+  if (ran_ || recovered_) {
+    throw std::logic_error("StreamServer::recover: must be called once, before run");
+  }
+  const std::filesystem::path& dir = config_.durability.dir;
+  RecoveryReport report;
+
+  // 1. The journal's valid prefix — the ground truth of what was emitted.
+  const std::filesystem::path journal_path = dir / kJournalFile;
+  runtime::Journal::ReplayReport replay = runtime::Journal::replay(journal_path);
+  report.journal_missing = replay.missing;
+  report.journal_bad_header = replay.bad_header;
+  report.journal_torn_tail = replay.torn_tail;
+  report.journal_tail_error = replay.tail_error;
+  report.journal_records = replay.records.size();
+  report.journal_bytes_dropped = replay.file_bytes - replay.valid_bytes;
+
+  // 2. Newest intact snapshot; corrupt generations fall back with reasons.
+  SnapshotStore::Loaded snap = SnapshotStore::load_newest_valid(dir);
+  report.snapshots_rejected = snap.rejected;
+  if (snap.found) {
+    load_snapshot_payload(snap.payload);  // throws only on config mismatch
+    report.recovered_from_snapshot = true;
+    report.snapshot_generation = snap.generation;
+  }
+
+  // 3. Decisions journaled after the snapshot was cut become the replay
+  // set: when the deterministic re-run re-produces those windows, the
+  // journaled verdict is applied instead of re-deciding (exactly-once).
+  for (const runtime::JournalRecord& rec : replay.records) {
+    if (rec.type != runtime::JournalRecordType::Decision) continue;
+    const std::size_t stream = rec.decision.stream;
+    if (stream >= streams_.size()) continue;  // defensive: fingerprint pins K
+    if (rec.decision.seq < streams_[stream]->windows_produced()) continue;  // in snapshot
+    pending_[stream].insert_or_assign(rec.decision.seq, rec.decision);
+  }
+  for (const auto& pend : pending_) report.journal_pending += pend.size();
+
+  // 4. Drop the torn tail so the re-appended records follow the valid
+  // prefix directly. A journal with a damaged header never replayed any
+  // record — reset it entirely and let open() write a fresh header.
+  if (!replay.missing && (replay.torn_tail || replay.bad_header)) {
+    common::truncate_file(journal_path, replay.bad_header ? 0 : replay.valid_bytes);
+  }
+
+  // 5. Producer crash schedules compare against the *next* frame ordinal;
+  // skip entries the restored streams already lived through, or a stale
+  // entry would block every later one from ever firing.
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    const auto& crashes = config_.streams[i].crash_frames;
+    while (crash_pos_[i] < crashes.size() &&
+           crashes[crash_pos_[i]] <= streams_[i]->frames_run()) {
+      ++crash_pos_[i];
+    }
+  }
+
+  snapshots_ = std::make_unique<SnapshotStore>(dir, config_.durability.keep_snapshots);
+  recovered_ = true;
+  recovery_ = report;
+  return report;
+}
+
+// --- deciding paths ---
 
 void StreamServer::decide_fail_safe(const ReadyWindow& w) {
   const auto d = core::SafeCross::fail_safe_decision(w.gate);
   const double latency =
       std::chrono::duration<double, std::milli>(Clock::now() - w.captured).count();
+  journal_decision(w, d, latency);
   streams_[w.stream]->apply(w, d.predicted_class, d.prob_danger, d.warn, d.source, latency);
+  ++decisions_since_snapshot_;
 }
 
 void StreamServer::decide_batch(Batch& batch) {
@@ -92,7 +335,11 @@ void StreamServer::decide_batch(Batch& batch) {
       d.predicted_class = 0;
       d.source = DecisionSource::FailSafeDeadline;
     }
+    // Write-ahead: the verdict is durable before it is applied. A kill
+    // between the two re-applies it from the journal on recovery.
+    journal_decision(item, d, latency);
     ctx.apply(item, d.predicted_class, d.prob_danger, d.warn, d.source, latency);
+    ++decisions_since_snapshot_;
   }
   windows_batched_ += batch.items.size();
   batch_log_.push_back(
@@ -100,6 +347,7 @@ void StreamServer::decide_batch(Batch& batch) {
 }
 
 void StreamServer::accept(MicroBatcher& batcher, ReadyWindow w) {
+  if (apply_replayed(w)) return;
   if (w.gate != DecisionSource::Model) {
     decide_fail_safe(w);
     return;
@@ -109,11 +357,24 @@ void StreamServer::accept(MicroBatcher& batcher, ReadyWindow w) {
 
 void StreamServer::produce(std::size_t i, runtime::BoundedQueue<ReadyWindow>& queue,
                            runtime::Supervisor& supervisor) {
+  if (down_[i]) return;  // gave up in the killed run; stays down after recovery
   StreamContext& ctx = *streams_[i];
   const auto push_timeout = to_ms(config_.push_timeout_ms);
   const std::vector<std::size_t>& crashes = ctx.config().crash_frames;
   while (ctx.frames_run() < config_.frames) {
     if (supervisor.stop_requested()) return;
+    if (snapshot_gate_.load(std::memory_order_acquire)) {
+      // Snapshot barrier: park between ticks so every produced window is
+      // already pushed when the consumer cuts the snapshot.
+      std::unique_lock<std::mutex> lk(park_mu_);
+      parked_[i].store(1, std::memory_order_release);
+      park_cv_.wait(lk, [&] {
+        return !snapshot_gate_.load(std::memory_order_acquire) ||
+               supervisor.stop_requested();
+      });
+      parked_[i].store(0, std::memory_order_release);
+      continue;
+    }
     // Injected crash *before* the frame is processed: the restarted
     // incarnation resumes at this exact frame, so within-budget crashes
     // are invisible to the verdict stream.
@@ -136,9 +397,51 @@ void StreamServer::produce(std::size_t i, runtime::BoundedQueue<ReadyWindow>& qu
   }
 }
 
+void StreamServer::barrier_snapshot(
+    std::vector<std::unique_ptr<runtime::BoundedQueue<ReadyWindow>>>& queues,
+    MicroBatcher& batcher) {
+  snapshot_gate_.store(true, std::memory_order_release);
+  const std::size_t k = queues.size();
+  for (;;) {
+    // Keep draining while producers converge on the barrier — a producer
+    // mid-push must not deadlock against a full queue.
+    for (std::size_t i = 0; i < k; ++i) {
+      while (std::optional<ReadyWindow> w = queues[i]->pop(std::chrono::milliseconds(0))) {
+        accept(batcher, std::move(*w));
+      }
+    }
+    bool all_quiet = true;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!parked_[i].load(std::memory_order_acquire) &&
+          !finished_[i].load(std::memory_order_acquire)) {
+        all_quiet = false;
+        break;
+      }
+    }
+    if (all_quiet) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  // Producers are parked (or done): one final drain catches windows
+  // pushed just before parking, then the batcher flushes early — batch
+  // composition never changes a verdict, so this is parity-safe.
+  for (std::size_t i = 0; i < k; ++i) {
+    while (std::optional<ReadyWindow> w = queues[i]->pop(std::chrono::milliseconds(0))) {
+      accept(batcher, std::move(*w));
+    }
+  }
+  while (std::optional<Batch> batch = batcher.flush()) decide_batch(*batch);
+  write_snapshot_now();
+  {
+    std::lock_guard<std::mutex> lk(park_mu_);
+    snapshot_gate_.store(false, std::memory_order_release);
+  }
+  park_cv_.notify_all();
+}
+
 void StreamServer::run() {
   if (ran_) throw std::logic_error("StreamServer: a server instance runs once");
   ran_ = true;
+  prepare_durability();
 
   const std::size_t k = streams_.size();
   std::vector<std::unique_ptr<runtime::BoundedQueue<ReadyWindow>>> queues;
@@ -161,7 +464,10 @@ void StreamServer::run() {
           down_[i] = 1;
           streams_[i]->health().latch_fail_safe();
         },
-        [&q] { q.close(); });
+        [this, i, &q] {
+          finished_[i].store(1, std::memory_order_release);
+          q.close();
+        });
   }
   supervisor.start();
 
@@ -169,41 +475,63 @@ void StreamServer::run() {
   bcfg.max_batch = effective_max_batch();
   MicroBatcher batcher(bcfg);
 
-  std::size_t rr = 0;  // rotate which queue takes the idle block
-  for (;;) {
-    bool all_drained = true;
-    bool progressed = false;
-    for (std::size_t j = 0; j < k; ++j) {
-      runtime::BoundedQueue<ReadyWindow>& q = *queues[(rr + j) % k];
-      while (std::optional<ReadyWindow> w = q.pop(std::chrono::milliseconds(0))) {
+  try {
+    std::size_t rr = 0;  // rotate which queue takes the idle block
+    for (;;) {
+      if (snapshot_due()) barrier_snapshot(queues, batcher);
+
+      bool all_drained = true;
+      bool progressed = false;
+      for (std::size_t j = 0; j < k; ++j) {
+        runtime::BoundedQueue<ReadyWindow>& q = *queues[(rr + j) % k];
+        while (std::optional<ReadyWindow> w = q.pop(std::chrono::milliseconds(0))) {
+          progressed = true;
+          accept(batcher, std::move(*w));
+        }
+        if (!q.drained()) all_drained = false;
+      }
+      rr = (rr + 1) % k;
+
+      const auto now = Clock::now();
+      while (std::optional<Batch> batch = batcher.next_due(now)) {
         progressed = true;
-        accept(batcher, std::move(*w));
+        decide_batch(*batch);
+        // Check cadence per batch, not only at the loop top: a snapshot
+        // needs every produced window applied, and each window drained
+        // into the batcher past this point pushes that consistent cut
+        // further away. Firing here keeps the barrier's early flush (and
+        // therefore the snapshot interval) as small as the backlog allows.
+        if (snapshot_due()) barrier_snapshot(queues, batcher);
       }
-      if (!q.drained()) all_drained = false;
-    }
-    rr = (rr + 1) % k;
 
-    const auto now = Clock::now();
-    while (std::optional<Batch> batch = batcher.next_due(now)) {
-      progressed = true;
-      decide_batch(*batch);
-    }
-
-    if (all_drained && batcher.empty()) break;
-    if (!progressed) {
-      // Nothing arrived and nothing fired: block briefly on one queue,
-      // but never past the oldest staged window's batch deadline.
-      double wait = config_.pop_timeout_ms;
-      const double deadline = batcher.ms_until_deadline(Clock::now());
-      if (deadline < wait) wait = deadline;
-      if (std::optional<ReadyWindow> w = queues[rr]->pop(to_ms(wait))) {
-        accept(batcher, std::move(*w));
+      if (all_drained && batcher.empty()) break;
+      if (!progressed) {
+        // Nothing arrived and nothing fired: block briefly on one queue,
+        // but never past the oldest staged window's batch deadline.
+        double wait = config_.pop_timeout_ms;
+        const double deadline = batcher.ms_until_deadline(Clock::now());
+        if (deadline < wait) wait = deadline;
+        if (std::optional<ReadyWindow> w = queues[rr]->pop(to_ms(wait))) {
+          accept(batcher, std::move(*w));
+        }
       }
     }
+    // The loop only exits with the batcher empty; flush defends against a
+    // future policy change leaving a remainder.
+    while (std::optional<Batch> batch = batcher.flush()) decide_batch(*batch);
+  } catch (...) {
+    // The simulated kill (or a real I/O failure) struck the consumer.
+    // Lower the barrier so parked producers can observe the stop flag,
+    // stop everything, and let the exception carry the crash out — the
+    // on-disk journal/snapshot state is exactly what recovery must face.
+    {
+      std::lock_guard<std::mutex> lk(park_mu_);
+      snapshot_gate_.store(false, std::memory_order_release);
+    }
+    park_cv_.notify_all();
+    supervisor.stop_and_join();
+    throw;
   }
-  // The loop only exits with the batcher empty; flush defends against a
-  // future policy change leaving a remainder.
-  while (std::optional<Batch> batch = batcher.flush()) decide_batch(*batch);
 
   supervisor.join();
   for (std::size_t i = 0; i < k; ++i) {
@@ -212,11 +540,13 @@ void StreamServer::run() {
   }
   stage_restarts_ = supervisor.total_restarts();
   streams_gave_up_ = supervisor.stages_gave_up();
+  finish_durability();
 }
 
 void StreamServer::run_sequential() {
   if (ran_) throw std::logic_error("StreamServer: a server instance runs once");
   ran_ = true;
+  prepare_durability();
 
   for (std::size_t i = 0; i < streams_.size(); ++i) {
     StreamContext& ctx = *streams_[i];
@@ -224,14 +554,20 @@ void StreamServer::run_sequential() {
       std::optional<ReadyWindow> w = ctx.tick();
       if (!w) continue;
       w->stream = i;
+      if (apply_replayed(*w)) {
+        if (snapshot_due()) write_snapshot_now();
+        continue;
+      }
       if (w->gate != DecisionSource::Model) {
         decide_fail_safe(*w);
+        if (snapshot_due()) write_snapshot_now();
         continue;
       }
       const std::optional<Weather> served = serve_weather(w->model_weather);
       if (!served) {
         w->gate = DecisionSource::FailSafeSwitchInFlight;
         decide_fail_safe(*w);
+        if (snapshot_due()) write_snapshot_now();
         continue;
       }
       Timer latency;
@@ -244,9 +580,13 @@ void StreamServer::run_sequential() {
         d.predicted_class = 0;
         d.source = DecisionSource::FailSafeDeadline;
       }
+      journal_decision(*w, d, ms);
       ctx.apply(*w, d.predicted_class, d.prob_danger, d.warn, d.source, ms);
+      ++decisions_since_snapshot_;
+      if (snapshot_due()) write_snapshot_now();
     }
   }
+  finish_durability();
 }
 
 }  // namespace safecross::serving

@@ -40,18 +40,66 @@
 // consumed); build a fresh server to rerun a scenario.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/safecross.h"
 #include "runtime/bounded_queue.h"
+#include "runtime/journal.h"
 #include "runtime/supervisor.h"
 #include "serving/micro_batcher.h"
+#include "serving/snapshot.h"
 #include "serving/stream.h"
 
 namespace safecross::serving {
+
+/// Crash-consistent durability for a server run. When `dir` is set the
+/// server keeps a write-ahead journal of every emitted decision (appended
+/// and flushed *before* the verdict touches a scorecard) plus periodic
+/// atomic snapshots of all resumable stream state, so a killed run can be
+/// resumed with recover() and produce the exact decision stream the
+/// uninterrupted run would have.
+///
+/// Durable runs require shed_on_overload == false: a shed window is a
+/// decision that never happens at a wall-clock-dependent point, which no
+/// deterministic recovery can reproduce. The constructor enforces this.
+struct DurabilityConfig {
+  std::filesystem::path dir;  // empty → durability off
+  /// Snapshot cadence in applied decisions; 0 → journal-only (recovery
+  /// replays the whole run from genesis, deduping against the journal).
+  std::size_t snapshot_every_decisions = 64;
+  std::size_t keep_snapshots = 2;  // generations retained after each write
+  runtime::JournalConfig journal;
+  /// Chaos-harness hook; fires CrashInjected at armed crash points inside
+  /// the journal-append and snapshot-write paths. Not owned.
+  runtime::CrashInjector* crash = nullptr;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// What recover() found on disk and what it did about it. Corruption is
+/// never fatal: a torn journal tail is dropped (the lost decisions are
+/// re-derived deterministically) and a corrupt newest snapshot falls back
+/// to the previous good generation (or genesis).
+struct RecoveryReport {
+  bool recovered_from_snapshot = false;
+  std::uint64_t snapshot_generation = 0;
+  std::vector<std::string> snapshots_rejected;  // "file: reason", newest first
+  std::uint64_t journal_records = 0;   // valid prefix length (all streams)
+  std::uint64_t journal_pending = 0;   // journaled decisions newer than the snapshot
+  std::uint64_t journal_bytes_dropped = 0;  // torn/corrupt tail bytes truncated
+  bool journal_missing = false;
+  bool journal_bad_header = false;
+  bool journal_torn_tail = false;
+  std::string journal_tail_error;
+};
 
 struct StreamServerConfig {
   std::vector<StreamConfig> streams;
@@ -70,6 +118,7 @@ struct StreamServerConfig {
   runtime::BackoffPolicy backoff;      // producer crash-restart policy
   std::uint64_t supervisor_seed = 0x5EB7E55u;
   bool record_traces = false;          // keep per-seq verdict traces
+  DurabilityConfig durability;         // checkpoint/journal layer (off by default)
 };
 
 /// One fired batch, for the bench/tests to audit batching behaviour.
@@ -97,6 +146,21 @@ class StreamServer {
 
   /// Sequential reference: bit-identical verdicts to run(); see header.
   void run_sequential();
+
+  /// Load the durable state a killed run left in config.durability.dir:
+  /// newest valid snapshot (corrupt generations are skipped with reasons),
+  /// then the journal's valid prefix; decisions journaled after the
+  /// snapshot become the replay set that dedupes re-produced windows, and
+  /// any torn journal tail is truncated (its decisions re-derive
+  /// deterministically). Call before run()/run_sequential(); the
+  /// subsequent run continues the killed run so that the concatenated
+  /// decision stream is bit-identical to an uninterrupted run. Throws
+  /// only on operator error (durability off, already ran, config
+  /// fingerprint mismatch) — on-disk corruption degrades, never throws.
+  RecoveryReport recover();
+
+  bool recovered() const { return recovered_; }
+  const RecoveryReport& recovery_report() const { return recovery_; }
 
   std::size_t stream_count() const { return streams_.size(); }
   const StreamContext& stream(std::size_t i) const { return *streams_[i]; }
@@ -129,8 +193,9 @@ class StreamServer {
   /// Producer body for stream i (runs under the supervisor).
   void produce(std::size_t i, runtime::BoundedQueue<ReadyWindow>& queue,
                runtime::Supervisor& supervisor);
-  /// Route one popped window: fail-safe verdicts apply immediately,
-  /// model-gated windows stage into the batcher.
+  /// Route one popped window: replayed verdicts apply from the journal,
+  /// fail-safe verdicts apply immediately, model-gated windows stage into
+  /// the batcher.
   void accept(MicroBatcher& batcher, ReadyWindow w);
   void decide_fail_safe(const ReadyWindow& w);
   /// One batched forward pass + scatter; appends to the batch log.
@@ -143,6 +208,35 @@ class StreamServer {
   std::size_t effective_max_batch() const {
     return config_.batcher.max_batch == 0 ? streams_.size() : config_.batcher.max_batch;
   }
+
+  // --- durability layer ---
+  bool durable() const { return config_.durability.enabled(); }
+  /// Seeds/schedules/geometry the snapshot must match to be resumable.
+  std::uint64_t config_fingerprint() const;
+  /// Open the journal (and the snapshot store when absent). Refuses to
+  /// append onto pre-existing durable state unless recover() ran first.
+  void prepare_durability();
+  void finish_durability();
+  /// If the journal holds a verdict for (w.stream, w.seq), apply it —
+  /// no inference, no re-append — and return true (exactly-once dedupe).
+  bool apply_replayed(const ReadyWindow& w);
+  /// Write-ahead append of one decision (no-op when durability is off).
+  void journal_decision(const ReadyWindow& w, const core::SafeCross::Decision& d,
+                        double latency_ms);
+  bool snapshot_due() const {
+    return durable() && config_.durability.snapshot_every_decisions > 0 &&
+           decisions_since_snapshot_ >= config_.durability.snapshot_every_decisions;
+  }
+  std::string snapshot_payload() const;
+  void load_snapshot_payload(const std::string& payload);
+  /// Serialize + atomically publish one snapshot generation. Caller must
+  /// be at a quiescent point (every produced window applied).
+  void write_snapshot_now();
+  /// Batched-mode quiescent barrier: park all producers between ticks,
+  /// drain every queue, flush the batcher (verdicts are batch-composition
+  /// invariant, so early firing is parity-safe), snapshot, release.
+  void barrier_snapshot(std::vector<std::unique_ptr<runtime::BoundedQueue<ReadyWindow>>>& queues,
+                        MicroBatcher& batcher);
 
   core::SafeCross& engine_;
   StreamServerConfig config_;
@@ -158,6 +252,24 @@ class StreamServer {
   std::size_t streams_gave_up_ = 0;
   std::atomic<std::size_t> crashes_injected_{0};
   bool ran_ = false;
+
+  // --- durability state ---
+  runtime::Journal journal_;
+  std::unique_ptr<SnapshotStore> snapshots_;
+  /// Journaled-but-not-snapshotted verdicts awaiting their re-produced
+  /// window, per stream, keyed by seq. Consumed on the deciding thread.
+  std::vector<std::map<std::uint64_t, runtime::DecisionEntry>> pending_;
+  std::size_t decisions_since_snapshot_ = 0;
+  bool recovered_ = false;
+  RecoveryReport recovery_;
+
+  // Batched-mode snapshot barrier: producers park between ticks while the
+  // gate is up; the consumer drains, snapshots, then lowers the gate.
+  std::atomic<bool> snapshot_gate_{false};
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::unique_ptr<std::atomic<char>[]> parked_;
+  std::unique_ptr<std::atomic<char>[]> finished_;
 };
 
 }  // namespace safecross::serving

@@ -135,6 +135,15 @@ class TrafficSimulator {
   /// Crosswalk centre-line y coordinate (0 = north, 1 = south).
   double crosswalk_y(int crosswalk) const;
 
+  // --- checkpoint serialization ---
+  // Captures the full dynamic state (RNG stream, clock, every vehicle and
+  // pedestrian, spawn timers, keyframe/turn tallies) so a restored
+  // simulator continues the *same* trajectory bit-exactly. Static inputs
+  // (weather, geometry, config) are reconstruction parameters, not state —
+  // the owner must rebuild the simulator from the same config first.
+  void save_state(common::StateWriter& w) const;
+  void load_state(common::StateReader& r);
+
  private:
   void maybe_spawn();
   void spawn(RouteId route);

@@ -47,6 +47,16 @@ class RunningAverageBackground final : public BackgroundSubtractor {
 
   int frames_seen() const { return frames_seen_; }
 
+  /// Checkpoint serialization: the learned background plus its age.
+  void save_state(common::StateWriter& w) const {
+    background_.save_state(w);
+    w.i32(frames_seen_);
+  }
+  void load_state(common::StateReader& r) {
+    background_.load_state(r);
+    frames_seen_ = r.i32();
+  }
+
  private:
   BackgroundSubtractionConfig config_;
   Image background_;

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/state_io.h"
+
 namespace safecross::vision {
 
 class Image {
@@ -59,6 +61,11 @@ class Image {
   /// Multi-line ASCII rendering (" .:-=+*#%@" ramp), one row per scanline,
   /// downsampled to at most `max_cols` columns. For examples/diagnostics.
   std::string to_ascii(int max_cols = 96) const;
+
+  /// Checkpoint serialization (dims + raw pixels). load_state throws
+  /// common::StateError on implausible dimensions or short input.
+  void save_state(common::StateWriter& w) const;
+  void load_state(common::StateReader& r);
 
  private:
   int width_ = 0;

@@ -25,6 +25,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -270,6 +271,89 @@ TEST(GoldenTrace, MultiStreamServingMatchesSnapshot) {
   }
   EXPECT_GT(model_decisions, 0u) << "the snapshot must pin real classifier verdicts";
   check_against_golden("multistream_mixed.txt", got);
+}
+
+// The durability layer end to end, pinned: a durable serving run is
+// killed mid-journal-append (torn tail on disk), a fresh server recovers
+// from the damaged directory and finishes, and the concatenated decision
+// stream plus the structured recovery report must match this snapshot.
+// The kill point is frame-indexed through the deterministic append
+// stream, so the scenario replays bit-identically on every machine.
+TEST(GoldenTrace, ServerKillRecoverMatchesSnapshot) {
+  namespace fs = std::filesystem;
+  auto sc = engine_with({dataset::Weather::Daytime, dataset::Weather::Rain});
+
+  const fs::path dir =
+      fs::temp_directory_path() / ("safecross_golden_kill_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  serving::StreamServerConfig cfg;
+  cfg.frames = 30 * 60;
+  cfg.record_traces = true;
+  cfg.shed_on_overload = false;
+  serving::StreamConfig day;
+  day.name = "day";
+  day.weather = dataset::Weather::Daytime;
+  day.sim_seed = 87000;
+  day.collector_seed = 87001;
+  day.fault_seed = 87002;
+  cfg.streams.push_back(day);
+  serving::StreamConfig rain;
+  rain.name = "rain";
+  rain.weather = dataset::Weather::Rain;
+  rain.sim_seed = 87010;
+  rain.collector_seed = 87011;
+  rain.fault_seed = 87012;
+  cfg.streams.push_back(rain);
+  cfg.durability.dir = dir;
+  cfg.durability.snapshot_every_decisions = 8;
+
+  runtime::CrashInjector injector;
+  injector.arm(runtime::CrashPoint::MidJournalAppend, 9);
+  cfg.durability.crash = &injector;
+  bool crashed = false;
+  {
+    serving::StreamServer doomed(*sc, cfg);
+    try {
+      doomed.run_sequential();
+    } catch (const runtime::CrashInjected&) {
+      crashed = true;
+    }
+  }
+  ASSERT_TRUE(crashed) << "the scripted kill never fired";
+  injector.disarm();
+
+  serving::StreamServer server(*sc, cfg);
+  const serving::RecoveryReport report = server.recover();
+  server.run_sequential();
+
+  GoldenTrace got;
+  got.meta.emplace_back("recovered_from_snapshot", report.recovered_from_snapshot ? 1 : 0);
+  got.meta.emplace_back("snapshot_generation",
+                        static_cast<long long>(report.snapshot_generation));
+  got.meta.emplace_back("journal_records", static_cast<long long>(report.journal_records));
+  got.meta.emplace_back("journal_pending", static_cast<long long>(report.journal_pending));
+  got.meta.emplace_back("journal_torn_tail", report.journal_torn_tail ? 1 : 0);
+  for (std::size_t i = 0; i < server.stream_count(); ++i) {
+    const auto& trace = server.stream(i).trace();
+    for (std::size_t s = 0; s < trace.size(); ++s) {
+      TraceLine l;
+      l.stream = static_cast<int>(i);
+      l.seq = s;
+      l.frame = trace[s].frame;
+      l.truth = trace[s].danger_truth ? 1 : 0;
+      l.pred = trace[s].predicted_class;
+      l.warn = trace[s].warn ? 1 : 0;
+      l.source = static_cast<int>(trace[s].source);
+      l.prob = trace[s].prob_danger;
+      got.lines.push_back(l);
+    }
+    append_scorecard_meta(got, server.stream(i).scorecard());
+  }
+  fs::remove_all(dir);
+  ASSERT_GT(got.lines.size(), 0u) << "the scenario produced no decisions to pin";
+  EXPECT_GT(report.journal_records, 0u) << "the kill fired before anything was journaled";
+  check_against_golden("server_kill_recover.txt", got);
 }
 
 }  // namespace

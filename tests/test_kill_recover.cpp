@@ -1,0 +1,547 @@
+// Kill–recover chaos harness: the durability layer's acceptance test.
+//
+// For seeded two-stream scenarios the suite computes the uninterrupted
+// decision stream once, then kills a durable server at randomized crash
+// points — including mid-journal-append (torn tail) and mid-snapshot-write
+// (half-written temp file) — recovers a fresh server from the damaged
+// directory, lets it finish, and requires the concatenated decision
+// stream to be BIT-IDENTICAL to the uninterrupted run: no lost decision,
+// no duplicated decision, every verdict field equal. Corruption on top of
+// the kill (flipped snapshot bytes, garbage generations, torn journal)
+// must degrade recovery — never abort it.
+//
+// Scratch directories live under chaos_scratch/ in the working directory
+// and are kept when a test fails, so CI can upload the damaged state as
+// an artifact for post-mortem.
+
+#include "serving/stream_server.h"
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/checksum.h"
+#include "common/rng.h"
+#include "models/slowfast.h"
+
+namespace safecross::serving {
+namespace {
+
+namespace fs = std::filesystem;
+
+using core::SafeCross;
+using core::SafeCrossConfig;
+using dataset::Weather;
+using runtime::CrashInjected;
+using runtime::CrashInjector;
+using runtime::CrashPoint;
+
+constexpr std::size_t kFrames = 1800;  // ~60 s per stream at 30 Hz
+
+SafeCrossConfig tiny_config() {
+  SafeCrossConfig cfg;
+  cfg.model.slow_channels = 4;
+  cfg.model.fast_channels = 2;
+  return cfg;
+}
+
+std::unique_ptr<SafeCross> engine_with_models(const std::vector<Weather>& weathers) {
+  auto sc = std::make_unique<SafeCross>(tiny_config());
+  for (Weather w : weathers) {
+    models::SlowFastConfig mc = tiny_config().model;
+    mc.init_seed = 100u + static_cast<std::uint64_t>(w);
+    sc->set_model(w, std::make_unique<models::SlowFast>(mc));
+  }
+  return sc;
+}
+
+/// Durable dir under the working directory; kept on failure so the CI
+/// chaos job can upload the damaged journal/snapshot state.
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& name)
+      : path(fs::current_path() / "chaos_scratch" / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    if (!::testing::Test::HasFailure()) {
+      std::error_code ec;
+      fs::remove_all(path, ec);
+    }
+  }
+};
+
+/// Two streams (daytime + rain, so model switches hit the journal too).
+/// An empty dir gives the uninterrupted reference configuration.
+StreamServerConfig chaos_config(std::uint64_t base, const fs::path& dir,
+                                CrashInjector* crash) {
+  StreamServerConfig cfg;
+  cfg.frames = kFrames;
+  cfg.record_traces = true;
+  cfg.shed_on_overload = false;
+  // Tight queues keep the producers coupled to the inference consumer.
+  // With deep queues the producers race the whole run ahead, every window
+  // lands in the batcher backlog, and the only consistent snapshot cut
+  // (all produced windows applied) is the end of the run — leaving the
+  // mid-snapshot crash ordinals unreachable in batched mode.
+  cfg.queue_capacity = 2;
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    StreamConfig s;
+    s.name = "cam" + std::to_string(i);
+    s.weather = i == 0 ? Weather::Daytime : Weather::Rain;
+    s.sim_seed = base + 10 * i;
+    s.collector_seed = base + 10 * i + 1;
+    s.fault_seed = base + 10 * i + 2;
+    cfg.streams.push_back(s);
+  }
+  cfg.durability.dir = dir;
+  cfg.durability.snapshot_every_decisions = 8;
+  cfg.durability.keep_snapshots = 2;
+  cfg.durability.crash = crash;
+  return cfg;
+}
+
+enum class Mode { Sequential, Batched };
+
+void run_server(StreamServer& server, Mode mode) {
+  mode == Mode::Batched ? server.run() : server.run_sequential();
+}
+
+/// Run a durable server with an armed injector; true when the simulated
+/// kill fired (the server object is destroyed either way, as a real
+/// process death would).
+bool run_killed(SafeCross& engine, const StreamServerConfig& cfg, Mode mode) {
+  StreamServer server(engine, cfg);
+  try {
+    run_server(server, mode);
+  } catch (const CrashInjected&) {
+    return true;
+  }
+  return false;
+}
+
+/// Fresh incarnation against the damaged directory: recover, then finish
+/// the run. Returns the server so the caller can compare its streams.
+std::unique_ptr<StreamServer> recover_and_finish(SafeCross& engine,
+                                                 const StreamServerConfig& cfg, Mode mode,
+                                                 RecoveryReport* report = nullptr) {
+  auto server = std::make_unique<StreamServer>(engine, cfg);
+  const RecoveryReport rep = server->recover();
+  if (report) *report = rep;
+  run_server(*server, mode);
+  return server;
+}
+
+/// The bit-identical contract: per-stream traces equal in every field and
+/// scorecards equal in every counter. Latency is wall-clock and excluded.
+void expect_servers_agree(const StreamServer& got, const StreamServer& want) {
+  ASSERT_EQ(got.stream_count(), want.stream_count());
+  for (std::size_t i = 0; i < got.stream_count(); ++i) {
+    const auto& g = got.stream(i);
+    const auto& w = want.stream(i);
+    SCOPED_TRACE("stream " + g.config().name);
+    EXPECT_EQ(g.frames_run(), w.frames_run());
+    EXPECT_EQ(g.windows_produced(), w.windows_produced());
+    const auto& gt = g.trace();
+    const auto& wt = w.trace();
+    ASSERT_EQ(gt.size(), wt.size()) << "a decision was lost or duplicated";
+    for (std::size_t s = 0; s < gt.size(); ++s) {
+      SCOPED_TRACE("seq " + std::to_string(s));
+      EXPECT_EQ(gt[s].frame, wt[s].frame);
+      EXPECT_EQ(gt[s].danger_truth, wt[s].danger_truth);
+      EXPECT_EQ(gt[s].predicted_class, wt[s].predicted_class);
+      EXPECT_EQ(gt[s].prob_danger, wt[s].prob_danger) << "verdicts must be bit-identical";
+      EXPECT_EQ(gt[s].warn, wt[s].warn);
+      EXPECT_EQ(gt[s].source, wt[s].source);
+    }
+    EXPECT_EQ(g.scorecard().decisions(), w.scorecard().decisions());
+    EXPECT_EQ(g.scorecard().warnings(), w.scorecard().warnings());
+    EXPECT_EQ(g.scorecard().correct(), w.scorecard().correct());
+    EXPECT_EQ(g.scorecard().missed_threats(), w.scorecard().missed_threats());
+    EXPECT_EQ(g.scorecard().false_warnings(), w.scorecard().false_warnings());
+    EXPECT_EQ(g.scorecard().fail_safe_decisions(), w.scorecard().fail_safe_decisions());
+    EXPECT_EQ(g.scorecard().decision_opportunities(),
+              w.scorecard().decision_opportunities());
+  }
+}
+
+bool is_journal_point(CrashPoint p) {
+  return p == CrashPoint::BeforeJournalAppend || p == CrashPoint::MidJournalAppend ||
+         p == CrashPoint::AfterJournalAppend;
+}
+
+/// One seed of the acceptance sweep: kill at mid-journal-append,
+/// mid-snapshot-write, and one more randomized point, each at a
+/// rng-chosen hit ordinal; every recovery must be bit-identical.
+void kill_recover_seed_sweep(std::uint64_t base) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
+  StreamServer reference(*sc, chaos_config(base, {}, nullptr));
+  reference.run_sequential();
+  ASSERT_GE(reference.total_decisions(), 24u) << "weak scenario for seed " << base;
+
+  Rng rng(base ^ 0xC4A05ull);
+  const CrashPoint extras[] = {CrashPoint::BeforeJournalAppend,
+                               CrashPoint::AfterJournalAppend,
+                               CrashPoint::BeforeSnapshotWrite,
+                               CrashPoint::BeforeSnapshotRename,
+                               CrashPoint::AfterSnapshotRename};
+  const CrashPoint points[] = {CrashPoint::MidJournalAppend, CrashPoint::MidSnapshotWrite,
+                               extras[rng.uniform_int(std::uint64_t{5})]};
+  for (const CrashPoint point : points) {
+    SCOPED_TRACE(crash_point_name(point));
+    ScratchDir scratch("seed_" + std::to_string(base) + "_" + crash_point_name(point));
+    CrashInjector injector;
+    // Journal points hit once per record (>= 24 here); snapshot points
+    // once per 8 decisions. Both ordinals stay safely below the totals.
+    const std::size_t nth = is_journal_point(point)
+                                ? 1 + rng.uniform_int(std::uint64_t{12})
+                                : 1 + rng.uniform_int(std::uint64_t{2});
+    injector.arm(point, nth);
+    StreamServerConfig cfg = chaos_config(base, scratch.path, &injector);
+    ASSERT_TRUE(run_killed(*sc, cfg, Mode::Sequential))
+        << "armed kill (nth=" << nth << ") never fired";
+    injector.disarm();
+    auto recovered = recover_and_finish(*sc, cfg, Mode::Sequential);
+    expect_servers_agree(*recovered, reference);
+  }
+}
+
+// Five seeds x three kill points each (the ISSUE's acceptance floor).
+TEST(KillRecover, Seed82000BitIdenticalAcrossKillPoints) { kill_recover_seed_sweep(82000); }
+TEST(KillRecover, Seed85000BitIdenticalAcrossKillPoints) { kill_recover_seed_sweep(85000); }
+TEST(KillRecover, Seed87000BitIdenticalAcrossKillPoints) { kill_recover_seed_sweep(87000); }
+TEST(KillRecover, Seed91000BitIdenticalAcrossKillPoints) { kill_recover_seed_sweep(91000); }
+TEST(KillRecover, Seed97000BitIdenticalAcrossKillPoints) { kill_recover_seed_sweep(97000); }
+
+// Every crash point in the enum, one seed — and afterwards the journal
+// itself is audited: exactly one record per (stream, seq), each matching
+// the reference verdict, so "no lost, no duplicated" holds on disk too.
+TEST(KillRecover, EveryCrashPointRecoversAndJournalIsExactlyOnce) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
+  constexpr std::uint64_t kBase = 87000;
+  StreamServer reference(*sc, chaos_config(kBase, {}, nullptr));
+  reference.run_sequential();
+  ASSERT_GE(reference.total_decisions(), 24u);
+
+  for (int p = 0; p < runtime::kCrashPointCount; ++p) {
+    const CrashPoint point = static_cast<CrashPoint>(p);
+    SCOPED_TRACE(crash_point_name(point));
+    ScratchDir scratch(std::string("exhaustive_") + crash_point_name(point));
+    CrashInjector injector;
+    injector.arm(point, is_journal_point(point) ? 9 : 2);
+    StreamServerConfig cfg = chaos_config(kBase, scratch.path, &injector);
+    ASSERT_TRUE(run_killed(*sc, cfg, Mode::Sequential));
+    injector.disarm();
+    auto recovered = recover_and_finish(*sc, cfg, Mode::Sequential);
+    expect_servers_agree(*recovered, reference);
+
+    // On-disk exactly-once: replay the final journal and check one
+    // record per (stream, seq), each bitwise-equal to the reference.
+    const auto replay = runtime::Journal::replay(scratch.path / "journal.wal");
+    EXPECT_FALSE(replay.torn_tail) << "recovery must have truncated the torn tail";
+    std::map<std::pair<std::uint32_t, std::uint64_t>, runtime::DecisionEntry> seen;
+    for (const runtime::JournalRecord& rec : replay.records) {
+      if (rec.type != runtime::JournalRecordType::Decision) continue;
+      const auto key = std::make_pair(rec.decision.stream, rec.decision.seq);
+      ASSERT_TRUE(seen.emplace(key, rec.decision).second)
+          << "duplicate journal record for stream " << key.first << " seq " << key.second;
+    }
+    EXPECT_EQ(seen.size(), reference.total_decisions());
+    for (const auto& [key, entry] : seen) {
+      const auto& trace = reference.stream(key.first).trace();
+      ASSERT_LT(key.second, trace.size());
+      const DecisionRecord& want = trace[key.second];
+      EXPECT_EQ(entry.frame, want.frame);
+      EXPECT_EQ(entry.danger_truth, want.danger_truth);
+      EXPECT_EQ(entry.predicted_class, want.predicted_class);
+      EXPECT_EQ(entry.prob_danger, want.prob_danger);
+      EXPECT_EQ(entry.warn, want.warn);
+      EXPECT_EQ(entry.source, static_cast<std::uint8_t>(want.source));
+    }
+  }
+}
+
+// A second kill during the recovered run (here: mid-snapshot-write) must
+// recover just as cleanly — recovery is re-entrant, not one-shot.
+TEST(KillRecover, DoubleKillDoubleRecoverStaysBitIdentical) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
+  constexpr std::uint64_t kBase = 85000;
+  StreamServer reference(*sc, chaos_config(kBase, {}, nullptr));
+  reference.run_sequential();
+  ASSERT_GE(reference.total_decisions(), 24u);
+
+  ScratchDir scratch("double_kill");
+  CrashInjector first_kill;
+  first_kill.arm(CrashPoint::MidJournalAppend, 9);
+  ASSERT_TRUE(run_killed(*sc, chaos_config(kBase, scratch.path, &first_kill),
+                         Mode::Sequential));
+
+  CrashInjector second_kill;
+  second_kill.arm(CrashPoint::MidSnapshotWrite, 2);
+  {
+    StreamServer second(*sc, chaos_config(kBase, scratch.path, &second_kill));
+    second.recover();
+    bool crashed = false;
+    try {
+      second.run_sequential();
+    } catch (const CrashInjected&) {
+      crashed = true;
+    }
+    ASSERT_TRUE(crashed) << "the second kill never fired";
+  }
+
+  auto recovered =
+      recover_and_finish(*sc, chaos_config(kBase, scratch.path, nullptr), Mode::Sequential);
+  expect_servers_agree(*recovered, reference);
+}
+
+// The batched server (producer threads + snapshot barrier) under the same
+// kills: the consumer thread dies mid-append and mid-snapshot, producers
+// are torn down, and the recovered batched run must still match the
+// sequential reference bit-for-bit.
+TEST(KillRecover, BatchedModeKillsRecoverBitIdentical) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
+  constexpr std::uint64_t kBase = 91000;
+  StreamServer reference(*sc, chaos_config(kBase, {}, nullptr));
+  reference.run_sequential();
+  ASSERT_GE(reference.total_decisions(), 24u);
+
+  struct Kill {
+    CrashPoint point;
+    std::size_t nth;
+  };
+  for (const Kill kill : {Kill{CrashPoint::MidJournalAppend, 7},
+                          Kill{CrashPoint::MidSnapshotWrite, 2}}) {
+    SCOPED_TRACE(crash_point_name(kill.point));
+    ScratchDir scratch(std::string("batched_") + crash_point_name(kill.point));
+    CrashInjector injector;
+    injector.arm(kill.point, kill.nth);
+    StreamServerConfig cfg = chaos_config(kBase, scratch.path, &injector);
+    ASSERT_TRUE(run_killed(*sc, cfg, Mode::Batched));
+    injector.disarm();
+    auto recovered = recover_and_finish(*sc, cfg, Mode::Batched);
+    expect_servers_agree(*recovered, reference);
+  }
+}
+
+// A stream with a live fault plan (drops/freezes/blackouts consuming its
+// own RNG stream, fail-safe gates in the decision mix) must resume
+// bit-identically too — the injector state rides in the snapshot.
+TEST(KillRecover, FaultPlanStreamsRecoverBitIdentical) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
+  constexpr std::uint64_t kBase = 95000;
+  auto with_faults = [&](const fs::path& dir, CrashInjector* crash) {
+    StreamServerConfig cfg = chaos_config(kBase, dir, crash);
+    for (StreamConfig& s : cfg.streams) {
+      s.faults.drop_prob = 0.02;
+      s.faults.freeze_prob = 0.01;
+      s.faults.blackout_prob = 0.002;
+      s.faults.blackout_frames = 20;
+    }
+    return cfg;
+  };
+  StreamServer reference(*sc, with_faults({}, nullptr));
+  reference.run_sequential();
+  ASSERT_GE(reference.total_decisions(), 8u);
+
+  ScratchDir scratch("fault_plan");
+  CrashInjector injector;
+  injector.arm(CrashPoint::MidJournalAppend, 5);
+  StreamServerConfig cfg = with_faults(scratch.path, &injector);
+  ASSERT_TRUE(run_killed(*sc, cfg, Mode::Sequential));
+  injector.disarm();
+  auto recovered = recover_and_finish(*sc, cfg, Mode::Sequential);
+  expect_servers_agree(*recovered, reference);
+}
+
+// --- corruption on top of the kill: degrade, never abort ---
+
+TEST(KillRecover, CorruptNewestSnapshotFallsBackToPreviousGeneration) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
+  constexpr std::uint64_t kBase = 87000;
+  StreamServer reference(*sc, chaos_config(kBase, {}, nullptr));
+  reference.run_sequential();
+
+  ScratchDir scratch("corrupt_newest_snapshot");
+  StreamServerConfig cfg = chaos_config(kBase, scratch.path, nullptr);
+  {
+    StreamServer first(*sc, cfg);
+    first.run_sequential();  // completes; >= 2 snapshot generations on disk
+  }
+  std::vector<fs::path> snaps;
+  for (const auto& entry : fs::directory_iterator(scratch.path)) {
+    if (entry.path().extension() == ".bin") snaps.push_back(entry.path());
+  }
+  std::sort(snaps.begin(), snaps.end());
+  ASSERT_GE(snaps.size(), 2u);
+  common::flip_byte(snaps.back(), fs::file_size(snaps.back()) / 2);
+
+  RecoveryReport report;
+  auto recovered = recover_and_finish(*sc, cfg, Mode::Sequential, &report);
+  EXPECT_TRUE(report.recovered_from_snapshot);
+  ASSERT_EQ(report.snapshots_rejected.size(), 1u);
+  EXPECT_NE(report.snapshots_rejected[0].find(snaps.back().filename().string()),
+            std::string::npos);
+  expect_servers_agree(*recovered, reference);
+}
+
+TEST(KillRecover, AllSnapshotsCorruptFallsBackToJournalOnlyReplay) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
+  constexpr std::uint64_t kBase = 82000;
+  StreamServer reference(*sc, chaos_config(kBase, {}, nullptr));
+  reference.run_sequential();
+
+  ScratchDir scratch("all_snapshots_corrupt");
+  StreamServerConfig cfg = chaos_config(kBase, scratch.path, nullptr);
+  {
+    StreamServer first(*sc, cfg);
+    first.run_sequential();
+  }
+  std::size_t damaged = 0;
+  for (const auto& entry : fs::directory_iterator(scratch.path)) {
+    if (entry.path().extension() != ".bin") continue;
+    common::write_garbage(entry.path(), 256, /*seed=*/damaged + 1);
+    ++damaged;
+  }
+  ASSERT_GE(damaged, 2u);
+
+  RecoveryReport report;
+  auto recovered = recover_and_finish(*sc, cfg, Mode::Sequential, &report);
+  EXPECT_FALSE(report.recovered_from_snapshot);
+  EXPECT_EQ(report.snapshots_rejected.size(), damaged);
+  // Genesis replay: every journaled decision is pending, none re-decided.
+  EXPECT_EQ(report.journal_pending, reference.total_decisions());
+  expect_servers_agree(*recovered, reference);
+}
+
+// The ISSUE's never-abort criterion in one scenario: a kill that tears
+// the journal tail AND garbage across every snapshot. Recovery reports
+// the damage and still finishes bit-identical from genesis.
+TEST(KillRecover, TornTailPlusCorruptSnapshotsDegradeGracefully) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
+  constexpr std::uint64_t kBase = 82000;
+  StreamServer reference(*sc, chaos_config(kBase, {}, nullptr));
+  reference.run_sequential();
+
+  ScratchDir scratch("torn_tail_corrupt_snapshots");
+  CrashInjector injector;
+  injector.arm(CrashPoint::MidJournalAppend, 11);
+  StreamServerConfig cfg = chaos_config(kBase, scratch.path, &injector);
+  ASSERT_TRUE(run_killed(*sc, cfg, Mode::Sequential));
+  injector.disarm();
+  std::size_t damaged = 0;
+  for (const auto& entry : fs::directory_iterator(scratch.path)) {
+    if (entry.path().extension() != ".bin") continue;
+    common::write_garbage(entry.path(), 64, /*seed=*/damaged + 41);
+    ++damaged;
+  }
+  ASSERT_GE(damaged, 1u) << "the killed run should have cut at least one snapshot";
+
+  RecoveryReport report;
+  auto recovered = recover_and_finish(*sc, cfg, Mode::Sequential, &report);
+  EXPECT_FALSE(report.recovered_from_snapshot);
+  EXPECT_EQ(report.snapshots_rejected.size(), damaged);
+  EXPECT_TRUE(report.journal_torn_tail);
+  EXPECT_GT(report.journal_bytes_dropped, 0u);
+  EXPECT_FALSE(report.journal_tail_error.empty());
+  expect_servers_agree(*recovered, reference);
+}
+
+TEST(KillRecover, JournalOnlyModeRecovers) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
+  constexpr std::uint64_t kBase = 97000;
+  StreamServer reference(*sc, chaos_config(kBase, {}, nullptr));
+  reference.run_sequential();
+
+  ScratchDir scratch("journal_only");
+  CrashInjector injector;
+  injector.arm(CrashPoint::MidJournalAppend, 9);
+  StreamServerConfig cfg = chaos_config(kBase, scratch.path, &injector);
+  cfg.durability.snapshot_every_decisions = 0;  // journal-only durability
+  ASSERT_TRUE(run_killed(*sc, cfg, Mode::Sequential));
+  injector.disarm();
+  RecoveryReport report;
+  auto recovered = recover_and_finish(*sc, cfg, Mode::Sequential, &report);
+  EXPECT_FALSE(report.recovered_from_snapshot);
+  EXPECT_GT(report.journal_records, 0u);
+  expect_servers_agree(*recovered, reference);
+  bool any_snapshot = false;
+  for (const auto& entry : fs::directory_iterator(scratch.path)) {
+    any_snapshot |= entry.path().extension() == ".bin";
+  }
+  EXPECT_FALSE(any_snapshot) << "snapshot_every_decisions = 0 must never snapshot";
+}
+
+TEST(KillRecover, RecoverOnFreshDirIsAFreshStart) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
+  constexpr std::uint64_t kBase = 85000;
+  StreamServer reference(*sc, chaos_config(kBase, {}, nullptr));
+  reference.run_sequential();
+
+  ScratchDir scratch("fresh_dir");
+  StreamServerConfig cfg = chaos_config(kBase, scratch.path, nullptr);
+  RecoveryReport report;
+  auto recovered = recover_and_finish(*sc, cfg, Mode::Sequential, &report);
+  EXPECT_TRUE(report.journal_missing);
+  EXPECT_FALSE(report.recovered_from_snapshot);
+  EXPECT_EQ(report.journal_pending, 0u);
+  expect_servers_agree(*recovered, reference);
+}
+
+// --- operator errors stay loud (corruption degrades; misuse throws) ---
+
+TEST(KillRecover, DurabilityRejectsSheddingConfigs) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
+  ScratchDir scratch("shed_rejected");
+  StreamServerConfig cfg = chaos_config(82000, scratch.path, nullptr);
+  cfg.shed_on_overload = true;  // lossy + durable is unrecoverable
+  EXPECT_THROW(StreamServer(*sc, cfg), std::invalid_argument);
+}
+
+TEST(KillRecover, RunningOnAPreviousRunsDirWithoutRecoverThrows) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
+  ScratchDir scratch("stale_dir");
+  StreamServerConfig cfg = chaos_config(82000, scratch.path, nullptr);
+  {
+    StreamServer first(*sc, cfg);
+    first.run_sequential();
+  }
+  StreamServer second(*sc, cfg);
+  EXPECT_THROW(second.run_sequential(), std::runtime_error)
+      << "silently appending onto a previous run's journal must be refused";
+}
+
+TEST(KillRecover, SnapshotFromDifferentConfigIsRejected) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
+  ScratchDir scratch("fingerprint_mismatch");
+  StreamServerConfig cfg = chaos_config(82000, scratch.path, nullptr);
+  {
+    StreamServer first(*sc, cfg);
+    first.run_sequential();
+  }
+  StreamServerConfig other = cfg;
+  other.streams[0].sim_seed += 1;  // not the run this snapshot belongs to
+  StreamServer impostor(*sc, other);
+  EXPECT_THROW(impostor.recover(), std::runtime_error);
+}
+
+TEST(KillRecover, RecoverMisuseThrowsLogicError) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
+  {
+    StreamServer no_durability(*sc, chaos_config(82000, {}, nullptr));
+    EXPECT_THROW(no_durability.recover(), std::logic_error);
+  }
+  ScratchDir scratch("recover_twice");
+  StreamServer twice(*sc, chaos_config(82000, scratch.path, nullptr));
+  twice.recover();
+  EXPECT_THROW(twice.recover(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace safecross::serving

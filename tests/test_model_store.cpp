@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/checksum.h"
 #include "dataset/builder.h"
 #include "fewshot/trainer.h"
 #include "runtime/fault_injector.h"
@@ -201,6 +202,38 @@ TEST(ModelStore, ZeroByteAndBadMagicFilesSkipped) {
   SafeCross again(tiny_config());
   EXPECT_EQ(store.load(again, tiny_config()),
             std::vector<dataset::Weather>{dataset::Weather::Daytime});
+}
+
+// The structural checks (magic, size) cannot see a bit flip deep inside
+// the tensor data — the CRC32 footer can. The corrupted checkpoint must
+// be rejected by checksum before any weights deserialize.
+TEST(ModelStore, MidFileBitFlipCaughtByChecksum) {
+  dataset::BuildRequest req;
+  req.target_segments = 25;
+  req.max_sim_hours = 2.0;
+  req.seed = 98;
+  const auto day = dataset::build_dataset(req);
+  SafeCross sc(tiny_config());
+  sc.train_basic(ptrs(day.segments));
+
+  TempDir tmp;
+  ModelStore store(tmp.path);
+  store.save(sc);
+
+  const auto path = store.path_for(dataset::Weather::Daytime);
+  common::flip_byte(path, fs::file_size(path) / 2);
+
+  runtime::BackoffPolicy policy;
+  policy.initial_ms = 0.1;
+  policy.max_restarts = 0;
+  store.set_retry_policy(policy);
+
+  SafeCross restored(tiny_config());
+  const auto report = store.load_report(restored, tiny_config());
+  EXPECT_TRUE(report.loaded.empty());
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors[0].message, "checkpoint checksum mismatch");
+  EXPECT_FALSE(restored.has_model(dataset::Weather::Daytime));
 }
 
 // A checkpoint that fails persistently is retried with bounded backoff

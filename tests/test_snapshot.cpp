@@ -1,0 +1,201 @@
+// SnapshotStore unit suite: atomic publish (temp + fsync + rename),
+// monotonic generation sequencing across reopen, pruning, and the
+// newest-valid fallback walk — including the on-disk states a kill at
+// each snapshot crash point leaves behind.
+
+#include "serving/snapshot.h"
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/checksum.h"
+
+namespace safecross::serving {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  TempDir()
+      : path(fs::temp_directory_path() /
+             ("safecross_snap_" + std::to_string(::getpid()))) {
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+std::vector<fs::path> snapshot_files(const fs::path& dir) {
+  std::vector<fs::path> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".bin") out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool has_tmp_files(const fs::path& dir) {
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".tmp") return true;
+  }
+  return false;
+}
+
+TEST(SnapshotStore, WriteThenLoadRoundTrips) {
+  TempDir tmp;
+  SnapshotStore store(tmp.path, /*keep=*/2);
+  EXPECT_EQ(store.write("payload one"), 1u);
+  const auto loaded = SnapshotStore::load_newest_valid(tmp.path);
+  ASSERT_TRUE(loaded.found);
+  EXPECT_EQ(loaded.generation, 1u);
+  EXPECT_EQ(loaded.payload, "payload one");
+  EXPECT_TRUE(loaded.rejected.empty());
+  EXPECT_FALSE(has_tmp_files(tmp.path));
+}
+
+TEST(SnapshotStore, NewestGenerationWinsAndOldOnesPrune) {
+  TempDir tmp;
+  SnapshotStore store(tmp.path, /*keep=*/2);
+  for (int i = 1; i <= 5; ++i) store.write("gen " + std::to_string(i));
+  const auto loaded = SnapshotStore::load_newest_valid(tmp.path);
+  ASSERT_TRUE(loaded.found);
+  EXPECT_EQ(loaded.generation, 5u);
+  EXPECT_EQ(loaded.payload, "gen 5");
+  // keep=2: only generations 4 and 5 survive the prunes.
+  const auto files = snapshot_files(tmp.path);
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], SnapshotStore::generation_path(tmp.path, 4));
+  EXPECT_EQ(files[1], SnapshotStore::generation_path(tmp.path, 5));
+}
+
+TEST(SnapshotStore, SequencingContinuesAcrossReopen) {
+  TempDir tmp;
+  {
+    SnapshotStore store(tmp.path, /*keep=*/4);
+    store.write("a");
+    store.write("b");
+  }
+  SnapshotStore reopened(tmp.path, /*keep=*/4);
+  EXPECT_EQ(reopened.next_generation(), 3u);
+  EXPECT_EQ(reopened.write("c"), 3u);
+  EXPECT_EQ(SnapshotStore::load_newest_valid(tmp.path).payload, "c");
+}
+
+TEST(SnapshotStore, MissingOrEmptyDirIsNotFound) {
+  TempDir tmp;
+  EXPECT_FALSE(SnapshotStore::load_newest_valid(tmp.path / "never_made").found);
+  fs::create_directories(tmp.path);
+  const auto loaded = SnapshotStore::load_newest_valid(tmp.path);
+  EXPECT_FALSE(loaded.found);
+  EXPECT_TRUE(loaded.rejected.empty());
+}
+
+TEST(SnapshotStore, CorruptNewestFallsBackToPreviousGeneration) {
+  TempDir tmp;
+  SnapshotStore store(tmp.path, /*keep=*/3);
+  store.write("good old");
+  store.write("doomed new");
+  const fs::path newest = SnapshotStore::generation_path(tmp.path, 2);
+  common::flip_byte(newest, fs::file_size(newest) / 2);
+  const auto loaded = SnapshotStore::load_newest_valid(tmp.path);
+  ASSERT_TRUE(loaded.found);
+  EXPECT_EQ(loaded.generation, 1u);
+  EXPECT_EQ(loaded.payload, "good old");
+  ASSERT_EQ(loaded.rejected.size(), 1u);
+  EXPECT_NE(loaded.rejected[0].find("checksum"), std::string::npos)
+      << "got: " << loaded.rejected[0];
+}
+
+TEST(SnapshotStore, EveryGenerationCorruptIsNotFoundWithReasons) {
+  TempDir tmp;
+  SnapshotStore store(tmp.path, /*keep=*/3);
+  store.write("one");
+  store.write("two");
+  store.write("three");
+  common::corrupt_magic(SnapshotStore::generation_path(tmp.path, 1));
+  common::truncate_file(SnapshotStore::generation_path(tmp.path, 2), 6);
+  common::write_garbage(SnapshotStore::generation_path(tmp.path, 3), 128, /*seed=*/9);
+  const auto loaded = SnapshotStore::load_newest_valid(tmp.path);
+  EXPECT_FALSE(loaded.found);
+  ASSERT_EQ(loaded.rejected.size(), 3u);
+  for (const std::string& reason : loaded.rejected) {
+    EXPECT_NE(reason.find(": "), std::string::npos) << "reason lacks file tag: " << reason;
+  }
+}
+
+TEST(SnapshotStore, GenerationNameMismatchRejected) {
+  TempDir tmp;
+  SnapshotStore store(tmp.path, /*keep=*/3);
+  store.write("honest");
+  // An operator copying generation files around must not be able to make
+  // an old snapshot impersonate a newer one: the embedded generation is
+  // checked against the filename.
+  fs::copy_file(SnapshotStore::generation_path(tmp.path, 1),
+                SnapshotStore::generation_path(tmp.path, 7));
+  const auto loaded = SnapshotStore::load_newest_valid(tmp.path);
+  ASSERT_TRUE(loaded.found);
+  EXPECT_EQ(loaded.generation, 1u);
+  ASSERT_EQ(loaded.rejected.size(), 1u);
+  EXPECT_NE(loaded.rejected[0].find("generation"), std::string::npos);
+}
+
+TEST(SnapshotStore, MidWriteKillLeavesPreviousGenerationIntact) {
+  TempDir tmp;
+  SnapshotStore store(tmp.path, /*keep=*/2);
+  store.write("survivor");
+  runtime::CrashInjector injector;
+  injector.arm(runtime::CrashPoint::MidSnapshotWrite, 1);
+  bool crashed = false;
+  try {
+    store.write("never lands", &injector);
+  } catch (const runtime::CrashInjected& kill) {
+    crashed = true;
+    EXPECT_EQ(kill.point, runtime::CrashPoint::MidSnapshotWrite);
+  }
+  ASSERT_TRUE(crashed);
+  // The half-written temp file is debris; generation 2 never published.
+  EXPECT_TRUE(has_tmp_files(tmp.path));
+  EXPECT_FALSE(fs::exists(SnapshotStore::generation_path(tmp.path, 2)));
+  const auto loaded = SnapshotStore::load_newest_valid(tmp.path);
+  ASSERT_TRUE(loaded.found);
+  EXPECT_EQ(loaded.payload, "survivor");
+  EXPECT_TRUE(loaded.rejected.empty()) << "a .tmp must not count as a generation";
+  // The next incarnation's store sweeps the debris and reuses the slot.
+  SnapshotStore reopened(tmp.path, /*keep=*/2);
+  EXPECT_FALSE(has_tmp_files(tmp.path));
+  EXPECT_EQ(reopened.next_generation(), 2u);
+}
+
+TEST(SnapshotStore, KillBeforeRenameLeavesCompleteTmpUnpublished) {
+  TempDir tmp;
+  SnapshotStore store(tmp.path, /*keep=*/2);
+  store.write("survivor");
+  runtime::CrashInjector injector;
+  injector.arm(runtime::CrashPoint::BeforeSnapshotRename, 1);
+  EXPECT_THROW(store.write("complete but unnamed", &injector), runtime::CrashInjected);
+  EXPECT_TRUE(has_tmp_files(tmp.path));
+  EXPECT_FALSE(fs::exists(SnapshotStore::generation_path(tmp.path, 2)));
+  EXPECT_EQ(SnapshotStore::load_newest_valid(tmp.path).payload, "survivor");
+}
+
+TEST(SnapshotStore, KillAfterRenameHasPublishedTheGeneration) {
+  TempDir tmp;
+  SnapshotStore store(tmp.path, /*keep=*/1);
+  store.write("old");
+  runtime::CrashInjector injector;
+  injector.arm(runtime::CrashPoint::AfterSnapshotRename, 1);
+  EXPECT_THROW(store.write("landed", &injector), runtime::CrashInjected);
+  // Rename happened, prune did not: both generations on disk, newest wins.
+  const auto loaded = SnapshotStore::load_newest_valid(tmp.path);
+  ASSERT_TRUE(loaded.found);
+  EXPECT_EQ(loaded.generation, 2u);
+  EXPECT_EQ(loaded.payload, "landed");
+  EXPECT_TRUE(fs::exists(SnapshotStore::generation_path(tmp.path, 1)))
+      << "pruning must never run before the new generation is durable";
+}
+
+}  // namespace
+}  // namespace safecross::serving
