@@ -115,6 +115,35 @@ void BM_SGemmTN(benchmark::State& state) {
 }
 BENCHMARK(BM_SGemmTN)->Unit(benchmark::kMillisecond);
 
+// Square compute-bound GEMM, per kernel: the cleanest view of the packed
+// microkernel's advantage over the scalar tile loops (and of what fp16
+// packing costs/saves). 512^3 = 268 MFLOP.
+void BM_SGemmSquare(benchmark::State& state, nn::GemmKernel kernel) {
+  const int n = 512;
+  const Tensor a = random_tensor({n, n}, 17);
+  const Tensor b = random_tensor({n, n}, 18);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    nn::sgemm(nn::Trans::kNo, nn::Trans::kNo, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+              c.data(), n, kernel);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(2.0 * n * n * n * state.iterations() * 1e-9, benchmark::Counter::kIsRate);
+}
+void BM_SGemmSquareMicro(benchmark::State& state) {
+  BM_SGemmSquare(state, nn::GemmKernel::kMicro);
+}
+BENCHMARK(BM_SGemmSquareMicro)->Unit(benchmark::kMillisecond);
+void BM_SGemmSquareScalar(benchmark::State& state) {
+  BM_SGemmSquare(state, nn::GemmKernel::kScalar);
+}
+BENCHMARK(BM_SGemmSquareScalar)->Unit(benchmark::kMillisecond);
+void BM_SGemmSquareFp16(benchmark::State& state) {
+  BM_SGemmSquare(state, nn::GemmKernel::kFp16);
+}
+BENCHMARK(BM_SGemmSquareFp16)->Unit(benchmark::kMillisecond);
+
 void BM_Conv2DForward(benchmark::State& state) {
   nn::Conv2DConfig cfg;
   cfg.in_channels = 8;

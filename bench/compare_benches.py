@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the committed benchmark baselines.
+
+Compares freshly produced bench JSON against bench/baselines/ and fails
+(exit 1) when a gated metric regresses by more than the threshold
+(default 25%):
+
+  * BENCH_micro_nn.json (google-benchmark format): every benchmark whose
+    name matches Gemm|Conv, gated on median real_time. Medians are taken
+    across repetition entries (or the reported _median aggregate), which
+    is what keeps the gate usable on noisy shared runners.
+  * BENCH_multistream.json (custom format): gated on
+    speedup_8stream_vs_solo_sequential — the batched-vs-solo throughput
+    ratio, which is machine-independent by construction — plus a hard
+    fail on parity_ok == false or uncaught exceptions.
+
+Usage:
+  bench/compare_benches.py [--baseline-dir bench/baselines] [--fresh-dir .]
+                           [--threshold 0.25]
+
+Refreshing baselines (after an intentional perf change):
+  bench/run_benches.sh --smoke && \
+      cp BENCH_micro_nn.json BENCH_multistream.json bench/baselines/
+Commit the result in the same PR as the change that shifted the numbers,
+and say why in the PR description.
+
+A missing fresh benchmark that the baseline knows about fails the gate
+(a silently dropped bench must not read as a pass); a fresh benchmark
+the baseline lacks is reported but does not fail (it gets gated once the
+baseline is refreshed).
+"""
+
+import argparse
+import json
+import re
+import statistics
+import sys
+from pathlib import Path
+
+GATED_NAME = re.compile(r"Gemm|Conv")
+
+# Unit of comparison: milliseconds.
+_TIME_SCALE = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def load_micro_medians(path):
+    """google-benchmark JSON -> {benchmark name: median real_time in ms}."""
+    with open(path) as f:
+        data = json.load(f)
+    runs = {}       # name -> [real_time ms] over repetition entries
+    aggregates = {} # name -> reported median, preferred when present
+    for b in data.get("benchmarks", []):
+        scale = _TIME_SCALE[b.get("time_unit", "ns")]
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                aggregates[b["run_name"]] = b["real_time"] * scale
+        else:
+            runs.setdefault(b["name"], []).append(b["real_time"] * scale)
+    medians = {name: statistics.median(times) for name, times in runs.items()}
+    medians.update(aggregates)
+    return medians
+
+
+def gate_micro(baseline_path, fresh_path, threshold):
+    baseline = {n: v for n, v in load_micro_medians(baseline_path).items()
+                if GATED_NAME.search(n)}
+    fresh_all = load_micro_medians(fresh_path)
+    failures = []
+    print(f"-- micro_nn gate ({len(baseline)} benchmarks, "
+          f"fail above {(1 + threshold):.2f}x baseline median)")
+    for name in sorted(baseline):
+        base = baseline[name]
+        if name not in fresh_all:
+            failures.append(f"{name}: present in baseline but missing from fresh results")
+            print(f"   MISSING  {name}")
+            continue
+        new = fresh_all[name]
+        ratio = new / base if base > 0 else float("inf")
+        verdict = "FAIL" if ratio > 1 + threshold else "ok"
+        print(f"   {verdict:8s} {name}: {base:.3f} ms -> {new:.3f} ms ({ratio:.2f}x)")
+        if verdict == "FAIL":
+            failures.append(f"{name}: {base:.3f} ms -> {new:.3f} ms "
+                            f"({ratio:.2f}x > {1 + threshold:.2f}x)")
+    new_only = sorted(n for n in fresh_all if GATED_NAME.search(n) and n not in baseline)
+    for name in new_only:
+        print(f"   new      {name}: {fresh_all[name]:.3f} ms (not in baseline, not gated)")
+    return failures
+
+
+def gate_multistream(baseline_path, fresh_path, threshold):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    failures = []
+    print("-- multistream gate")
+    if not fresh.get("parity_ok", False):
+        failures.append("multistream: batched verdicts diverged from the sequential oracle")
+    if fresh.get("uncaught_exceptions_total", 0) != 0:
+        failures.append("multistream: uncaught exceptions during the sweep")
+    key = "speedup_8stream_vs_solo_sequential"
+    base, new = baseline.get(key), fresh.get(key)
+    if base is None or new is None:
+        failures.append(f"multistream: {key} missing "
+                        f"(baseline: {base}, fresh: {new})")
+    else:
+        floor = base * (1 - threshold)
+        verdict = "FAIL" if new < floor else "ok"
+        print(f"   {verdict:8s} {key}: {base:.2f}x -> {new:.2f}x (floor {floor:.2f}x)")
+        if verdict == "FAIL":
+            failures.append(f"{key}: {base:.2f}x -> {new:.2f}x (floor {floor:.2f}x)")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline-dir", type=Path, default=Path("bench/baselines"))
+    ap.add_argument("--fresh-dir", type=Path, default=Path("."))
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="fractional regression that fails the gate (default 0.25)")
+    args = ap.parse_args()
+
+    failures = []
+    checked = 0
+    for name, gate in (("BENCH_micro_nn.json", gate_micro),
+                       ("BENCH_multistream.json", gate_multistream)):
+        baseline, fresh = args.baseline_dir / name, args.fresh_dir / name
+        if not baseline.exists():
+            print(f"-- {name}: no committed baseline, skipping")
+            continue
+        if not fresh.exists():
+            failures.append(f"{name}: baseline committed but no fresh results at {fresh}")
+            continue
+        failures.extend(gate(baseline, fresh, args.threshold))
+        checked += 1
+
+    if checked == 0 and not failures:
+        print("error: no baselines found — nothing was gated", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\nPERF GATE FAILED ({len(failures)} issue(s)):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        print("\nIf the regression is intentional, refresh bench/baselines/ "
+              "(see the header of this script).", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,13 +29,27 @@ if [[ ! -d "$build_dir/bench" ]]; then
   exit 1
 fi
 
+# Fail fast on a typo'd kernel selection: a misspelled value would
+# otherwise throw from the first sgemm call deep inside a bench run.
+# (sgemm's own resolver throws too — this just surfaces it up front.)
+case "${SAFECROSS_GEMM_KERNEL:-auto}" in
+  auto|micro|scalar|fp16) ;;
+  *)
+    echo "error: SAFECROSS_GEMM_KERNEL='${SAFECROSS_GEMM_KERNEL}' is not one of" \
+         "auto|micro|scalar|fp16" >&2
+    exit 2
+    ;;
+esac
+
 extra_args=()
 glob="bench_micro_*"
 if [[ $smoke -eq 1 ]]; then
   # Only bench_micro_nn has Conv/Gemm benchmarks; skip the rest entirely
   # instead of writing empty JSON files.
   glob="bench_micro_nn"
-  extra_args+=(--benchmark_filter='Conv|Gemm' --benchmark_min_time=0.01 --benchmark_repetitions=1)
+  # Three repetitions: the perf gate compares medians, and a single
+  # sample at a tiny min-time is too noisy on shared runners to gate on.
+  extra_args+=(--benchmark_filter='Conv|Gemm' --benchmark_min_time=0.01 --benchmark_repetitions=3)
 else
   extra_args+=(--benchmark_min_time=0.2)
 fi
@@ -45,6 +59,14 @@ for bin in "$build_dir"/bench/$glob; do
   [[ -x "$bin" && ! -d "$bin" ]] || continue
   name="$(basename "$bin")"
   out="BENCH_${name#bench_}.json"
+  if [[ $smoke -eq 1 && "$name" == "bench_micro_nn" ]]; then
+    # Smoke covers both compute kernels: a quick scalar-fallback pass
+    # (the sanitizer-build configuration) to a side file, then the
+    # default microkernel pass, which is what the perf gate reads.
+    echo "== $name [SAFECROSS_GEMM_KERNEL=scalar] -> BENCH_micro_nn_scalar.json"
+    SAFECROSS_GEMM_KERNEL=scalar "$bin" --benchmark_out=BENCH_micro_nn_scalar.json \
+      --benchmark_out_format=json "${extra_args[@]}"
+  fi
   echo "== $name -> $out"
   "$bin" --benchmark_out="$out" --benchmark_out_format=json "${extra_args[@]}"
   ran=$((ran + 1))

@@ -1,0 +1,44 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace safecross {
+
+void* ScratchArena::raw(std::size_t bytes) {
+  if (bytes == 0) bytes = kAlign;
+  bytes = (bytes + kAlign - 1) / kAlign * kAlign;
+
+  // Find a block with room, starting at the current one. Skipped blocks
+  // (too small for this request) stay put; a later Scope rewind restores
+  // current_ anyway.
+  while (current_ < blocks_.size() && used_ + bytes > blocks_[current_].bytes) {
+    ++current_;
+    used_ = 0;
+  }
+  if (current_ == blocks_.size()) {
+    // Geometric growth so N small requests allocate O(log N) blocks.
+    std::size_t want = std::max(bytes, kMinBlock);
+    if (!blocks_.empty()) want = std::max(want, blocks_.back().bytes * 2);
+    Block b;
+    // Over-allocate so the bump base can be rounded up to kAlign
+    // regardless of what new[] returns.
+    b.data = std::make_unique<std::byte[]>(want + kAlign);
+    b.bytes = want;
+    blocks_.push_back(std::move(b));
+    used_ = 0;
+  }
+  Block& b = blocks_[current_];
+  auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+  base = (base + kAlign - 1) / kAlign * kAlign;
+  void* p = reinterpret_cast<void*>(base + used_);
+  used_ += bytes;
+  return p;
+}
+
+ScratchArena& ScratchArena::local() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace safecross

@@ -1,0 +1,82 @@
+#pragma once
+// Per-thread rewindable scratch arena for hot-path temporaries.
+//
+// The GEMM packing buffers and the inference im2col lowerings used to be
+// either per-call allocations or per-layer member vectors; with dozens of
+// layers times K streams that is a lot of resident, cold memory. The
+// arena follows the switching/memory_pool playbook — allocate once, hand
+// out regions, never free on the hot path — but specialised for scratch:
+// a bump pointer over chunked blocks that only ever grows, with scoped
+// rewind so nested users (a conv forward whose GEMM tiles pack panels on
+// pool workers, each worker using its *own* thread-local arena) compose
+// without stepping on each other.
+//
+// Pointers stay valid until the Scope that allocated them unwinds; blocks
+// are kept across calls, so steady-state serving does zero allocation.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace safecross {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// 64-byte-aligned scratch for `n` floats, valid until the enclosing
+  /// Scope unwinds. Never zeroed — callers must fully overwrite.
+  float* floats(std::size_t n) {
+    return static_cast<float*>(raw(n * sizeof(float)));
+  }
+
+  /// 64-byte-aligned raw scratch of `bytes` bytes.
+  void* raw(std::size_t bytes);
+
+  /// Total bytes of backing blocks currently held (monotone per thread).
+  std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const auto& b : blocks_) total += b.bytes;
+    return total;
+  }
+
+  /// RAII rewind mark: allocations made while a Scope is live are
+  /// reclaimed (capacity retained) when it destructs. Scopes must nest
+  /// LIFO, which falls out of stack discipline.
+  class Scope {
+   public:
+    explicit Scope(ScratchArena& arena)
+        : arena_(arena), block_(arena.current_), used_(arena.used_) {}
+    ~Scope() {
+      arena_.current_ = block_;
+      arena_.used_ = used_;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ScratchArena& arena_;
+    std::size_t block_;
+    std::size_t used_;
+  };
+
+  /// The calling thread's arena (one per thread, created on first use).
+  static ScratchArena& local();
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t bytes = 0;
+  };
+
+  static constexpr std::size_t kAlign = 64;
+  static constexpr std::size_t kMinBlock = 1 << 16;  // 64 KiB
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  // block index allocations go into
+  std::size_t used_ = 0;     // bytes used in blocks_[current_]
+};
+
+}  // namespace safecross

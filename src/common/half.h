@@ -1,0 +1,71 @@
+#pragma once
+// Software IEEE-754 binary16 conversion (round-to-nearest-even).
+//
+// Backs the GEMM reduced-precision path: operands are *stored* as fp16
+// and accumulated in fp32, emulated portably so the numerics are
+// identical on every ISA (no F16C dependency). The round-trip
+// fp16_round() is the whole contract — it is exactly the value a real
+// half-precision buffer would hold.
+
+#include <bit>
+#include <cstdint>
+
+namespace safecross {
+
+inline std::uint16_t float_to_half_bits(float f) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const std::uint16_t sign = static_cast<std::uint16_t>((x >> 16) & 0x8000u);
+  std::uint32_t mant = x & 0x007FFFFFu;
+  const int fexp = static_cast<int>((x >> 23) & 0xFFu);
+  if (fexp == 0xFF) {  // inf / NaN (NaN keeps a payload bit so it stays NaN)
+    return sign | 0x7C00u | (mant ? (0x0200u | (mant >> 13)) : 0u);
+  }
+  const int exp = fexp - 127 + 15;
+  if (exp >= 0x1F) return sign | 0x7C00u;  // overflow -> inf
+  if (exp <= 0) {
+    if (exp < -10) return sign;  // too small for a subnormal -> +/-0
+    mant |= 0x00800000u;         // restore the implicit bit
+    const int shift = 14 - exp;
+    std::uint32_t h = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t half = 1u << (shift - 1);
+    if (rem > half || (rem == half && (h & 1u))) ++h;
+    return static_cast<std::uint16_t>(sign | h);
+  }
+  std::uint16_t h =
+      static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(exp) << 10) | (mant >> 13));
+  const std::uint32_t rem = mant & 0x1FFFu;
+  // Rounding carry can overflow the mantissa into the exponent; the bit
+  // layout makes that increment exactly right (including carry to inf).
+  if (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) ++h;
+  return h;
+}
+
+inline float half_bits_to_float(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  std::uint32_t mant = h & 0x3FFu;
+  std::uint32_t x;
+  if (exp == 0) {
+    if (mant == 0) {
+      x = sign;
+    } else {  // subnormal: renormalize
+      int e = 0;
+      while (!(mant & 0x400u)) {
+        mant <<= 1;
+        ++e;
+      }
+      x = sign | (static_cast<std::uint32_t>(127 - 15 + 1 - e) << 23) | ((mant & 0x3FFu) << 13);
+    }
+  } else if (exp == 0x1F) {
+    x = sign | 0x7F800000u | (mant << 13);
+  } else {
+    x = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(x);
+}
+
+/// The value `f` would hold after a round trip through fp16 storage.
+inline float fp16_round(float f) { return half_bits_to_float(float_to_half_bits(f)); }
+
+}  // namespace safecross

@@ -44,6 +44,48 @@ void ThreadPool::wait_idle() {
   if (error) std::rethrow_exception(error);
 }
 
+namespace {
+
+// Shared state of one parallel_for: a bag of chunks claimed via an atomic
+// cursor. Heap-held (shared_ptr) so helper tasks that fire after the call
+// returned — every chunk already executed — can still touch it safely.
+struct ParallelForJob {
+  const std::function<void(std::size_t)>* fn = nullptr;  // caller-owned
+  std::size_t n = 0;
+  std::size_t per = 0;
+  std::size_t chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first exception across chunks, under mutex
+
+  // Claim and run chunks until the bag is empty. Safe to call from any
+  // thread, any number of times.
+  void drain() {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1);
+      if (c >= chunks) return;
+      const std::size_t begin = c * per;
+      const std::size_t end = std::min(n, begin + per);
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+      // The chunk always counts as done, error or not — a throwing chunk
+      // must never leave the caller blocked on cv.
+      if (done.fetch_add(1) + 1 == chunks) {
+        std::lock_guard<std::mutex> lock(mutex);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   const std::size_t workers = size();
@@ -51,36 +93,29 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  const std::size_t chunks = std::min(n, workers * 4);
-  const std::size_t per = (n + chunks - 1) / chunks;
-  const std::size_t submitted = (n + per - 1) / per;
-  std::atomic<std::size_t> done{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  std::exception_ptr error;  // first exception across chunks, under done_mutex
-  for (std::size_t c = 0; c < submitted; ++c) {
-    const std::size_t begin = c * per;
-    const std::size_t end = std::min(n, begin + per);
-    submit([&, begin, end] {
-      try {
-        for (std::size_t i = begin; i < end; ++i) fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        if (!error) error = std::current_exception();
-      }
-      // The chunk always counts as done, error or not — a throwing task
-      // must never leave the caller blocked on done_cv.
-      if (done.fetch_add(1) + 1 == submitted) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done_cv.notify_all();
-      }
-    });
+  // The caller drains chunks alongside the workers instead of blocking.
+  // That makes parallel_for re-entrant: a worker that calls it (e.g. a
+  // GEMM invoked from inside an outer parallel_for) finishes the whole
+  // job itself even if every other worker is similarly occupied, so
+  // nested use can never deadlock the pool — helpers are pure bonus.
+  auto job = std::make_shared<ParallelForJob>();
+  job->fn = &fn;
+  job->n = n;
+  job->chunks = std::min(n, workers * 4);
+  job->per = (n + job->chunks - 1) / job->chunks;
+  job->chunks = (n + job->per - 1) / job->per;
+  const std::size_t helpers = std::min(job->chunks - 1, workers);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([job] { job->drain(); });
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return done.load() == submitted; });
-  if (error) {
+  job->drain();
+  std::unique_lock<std::mutex> lock(job->mutex);
+  job->cv.wait(lock, [&] { return job->done.load() == job->chunks; });
+  // All chunks finished: late-firing helpers see an empty bag and exit
+  // without touching fn, so returning (and destroying fn) is safe.
+  if (job->error) {
     lock.unlock();
-    std::rethrow_exception(error);
+    std::rethrow_exception(job->error);
   }
 }
 

@@ -47,6 +47,11 @@ class ThreadPool {
   /// until complete. Falls back to serial for tiny n. If any fn(i) threw,
   /// the first exception is rethrown here after all chunks finish
   /// (remaining indices in throwing chunks are skipped).
+  ///
+  /// Re-entrant: the caller helps drain its own chunk bag, so calling
+  /// parallel_for from inside a task/another parallel_for (nested GEMMs,
+  /// per-stream workers that hit the shared pool) always completes even
+  /// with every worker busy — it degrades to serial, never deadlocks.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide shared pool.

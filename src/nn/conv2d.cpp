@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/arena.h"
 #include "common/thread_pool.h"
 #include "nn/gemm.h"
 #include "nn/im2col.h"
@@ -27,7 +28,7 @@ std::vector<Param*> Conv2D::params() {
   return {&weight_};
 }
 
-Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
+Tensor Conv2D::forward(const Tensor& input, bool training) {
   if (input.ndim() != 4 || input.dim(1) != config_.in_channels) {
     throw std::invalid_argument("Conv2D: expected (N, " + std::to_string(config_.in_channels) +
                                 ", H, W), got " + input.shape_str());
@@ -36,7 +37,8 @@ Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
   const int oh = out_size(input.dim(2), config_.kernel, config_.stride, config_.padding);
   const int ow = out_size(input.dim(3), config_.kernel, config_.stride, config_.padding);
   if (oh <= 0 || ow <= 0) throw std::invalid_argument("Conv2D: output would be empty");
-  return backend_ == ConvBackend::kDirect ? forward_direct(input) : forward_gemm(input);
+  return backend_ == ConvBackend::kDirect ? forward_direct(input)
+                                          : forward_gemm(input, training);
 }
 
 Tensor Conv2D::backward(const Tensor& grad_output) {
@@ -51,7 +53,7 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
 // y (c_out x oh*ow) = W (c_out x rows) * col, and in backward
 // dW += dy * col^T and dx = col2im(W^T * dy).
 
-Tensor Conv2D::forward_gemm(const Tensor& input) {
+Tensor Conv2D::forward_gemm(const Tensor& input, bool training) {
   const int n = input.dim(0), c_in = input.dim(1), h = input.dim(2), w = input.dim(3);
   const int k = config_.kernel, c_out = config_.out_channels;
   const Im2ColGeom2D g{c_in, h,
@@ -62,8 +64,22 @@ Tensor Conv2D::forward_gemm(const Tensor& input) {
   const int rows = g.rows();
   const std::size_t cols = g.cols();
   const std::size_t per_item = static_cast<std::size_t>(rows) * cols;
-  if (col_.size() < static_cast<std::size_t>(n) * per_item) {
-    col_.resize(static_cast<std::size_t>(n) * per_item);
+
+  // A training forward must keep the lowering for backward's weight
+  // gradient; inference lowers into reusable thread-local arena scratch
+  // so serving holds no per-layer column buffers.
+  ScratchArena& arena = ScratchArena::local();
+  ScratchArena::Scope scope(arena);
+  float* col;
+  if (training) {
+    if (col_.size() < static_cast<std::size_t>(n) * per_item) {
+      col_.resize(static_cast<std::size_t>(n) * per_item);
+    }
+    col = col_.data();
+    col_valid_ = true;
+  } else {
+    col = arena.floats(static_cast<std::size_t>(n) * per_item);
+    col_valid_ = false;
   }
 
   const float* x = input.data();
@@ -72,14 +88,14 @@ Tensor Conv2D::forward_gemm(const Tensor& input) {
     const int bi = static_cast<int>(job) / c_in;
     const int ic = static_cast<int>(job) % c_in;
     im2col_2d(x + static_cast<std::size_t>(bi) * c_in * h * w, g, ic * g.rows_per_channel(),
-              (ic + 1) * g.rows_per_channel(), col_.data() + bi * per_item);
+              (ic + 1) * g.rows_per_channel(), col + bi * per_item);
   });
 
   Tensor out({n, c_out, g.oh, g.ow});
   float* y = out.data();
   for (int bi = 0; bi < n; ++bi) {
     sgemm(Trans::kNo, Trans::kNo, c_out, static_cast<int>(cols), rows, 1.0f,
-          weight_.value.data(), rows, col_.data() + bi * per_item, static_cast<int>(cols), 0.0f,
+          weight_.value.data(), rows, col + bi * per_item, static_cast<int>(cols), 0.0f,
           y + static_cast<std::size_t>(bi) * c_out * cols, static_cast<int>(cols));
   }
 
@@ -105,7 +121,14 @@ Tensor Conv2D::backward_gemm(const Tensor& grad_output) {
   const int rows = g.rows();
   const std::size_t cols = g.cols();
   const std::size_t per_item = static_cast<std::size_t>(rows) * cols;
-  if (col_grad_.size() < per_item) col_grad_.resize(per_item);
+  if (!col_valid_) {
+    throw std::logic_error(
+        "Conv2D: backward requires a preceding forward with training=true "
+        "(inference forwards do not retain the im2col lowering)");
+  }
+  ScratchArena& arena = ScratchArena::local();
+  ScratchArena::Scope scope(arena);
+  float* col_grad = arena.floats(per_item);
 
   const float* go = grad_output.data();
   float* gw = weight_.grad.data();
@@ -136,10 +159,10 @@ Tensor Conv2D::backward_gemm(const Tensor& grad_output) {
     // dcol = W^T * dy_b, then scatter back to image layout.
     sgemm(Trans::kTrans, Trans::kNo, rows, static_cast<int>(cols), c_out, 1.0f,
           weight_.value.data(), rows, go + static_cast<std::size_t>(bi) * c_out * cols,
-          static_cast<int>(cols), 0.0f, col_grad_.data(), static_cast<int>(cols));
+          static_cast<int>(cols), 0.0f, col_grad, static_cast<int>(cols));
     float* gi_b = gi + static_cast<std::size_t>(bi) * c_in * h * w;
     ThreadPool::global().parallel_for(static_cast<std::size_t>(c_in), [&](std::size_t ic) {
-      col2im_2d(col_grad_.data(), g, static_cast<int>(ic) * g.rows_per_channel(),
+      col2im_2d(col_grad, g, static_cast<int>(ic) * g.rows_per_channel(),
                 (static_cast<int>(ic) + 1) * g.rows_per_channel(), gi_b);
     });
   }

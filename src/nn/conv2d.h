@@ -46,7 +46,7 @@ class Conv2D final : public Layer {
  private:
   Tensor forward_direct(const Tensor& input);
   Tensor backward_direct(const Tensor& grad_output);
-  Tensor forward_gemm(const Tensor& input);
+  Tensor forward_gemm(const Tensor& input, bool training);
   Tensor backward_gemm(const Tensor& grad_output);
 
   Conv2DConfig config_;
@@ -54,12 +54,14 @@ class Conv2D final : public Layer {
   Param weight_;  // (out_c, in_c, k, k)
   Param bias_;    // (out_c)
   Tensor cached_input_;
-  // Scratch for the GEMM backend, grown once and reused across calls:
-  // col_ holds the lowered batch (n x rows x cols) from the last forward
-  // (backward reuses it for the weight gradient), col_grad_ one item's
-  // gradient matrix during backward.
+  // GEMM-backend state: a training forward keeps the lowered batch
+  // (n x rows x cols) here because backward reuses it for the weight
+  // gradient. Inference forwards lower into the calling thread's
+  // ScratchArena instead — nothing stays resident per layer — so
+  // col_valid_ gates backward against a missing lowering. Backward's own
+  // per-item gradient matrix is always arena scratch.
   std::vector<float> col_;
-  std::vector<float> col_grad_;
+  bool col_valid_ = false;
 };
 
 }  // namespace safecross::nn

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/arena.h"
 #include "common/thread_pool.h"
 #include "nn/gemm.h"
 #include "nn/im2col.h"
@@ -42,7 +43,7 @@ std::vector<Param*> Conv3D::params() {
   return {&weight_};
 }
 
-Tensor Conv3D::forward(const Tensor& input, bool /*training*/) {
+Tensor Conv3D::forward(const Tensor& input, bool training) {
   if (input.ndim() != 5 || input.dim(1) != config_.in_channels) {
     throw std::invalid_argument("Conv3D: expected (N, " + std::to_string(config_.in_channels) +
                                 ", T, H, W), got " + input.shape_str());
@@ -52,7 +53,8 @@ Tensor Conv3D::forward(const Tensor& input, bool /*training*/) {
   const int oh = out_size(input.dim(3), config_.kernel_s, config_.stride_s, config_.pad_s);
   const int ow = out_size(input.dim(4), config_.kernel_s, config_.stride_s, config_.pad_s);
   if (ot <= 0 || oh <= 0 || ow <= 0) throw std::invalid_argument("Conv3D: output would be empty");
-  return backend_ == ConvBackend::kDirect ? forward_direct(input) : forward_gemm(input);
+  return backend_ == ConvBackend::kDirect ? forward_direct(input)
+                                          : forward_gemm(input, training);
 }
 
 Tensor Conv3D::backward(const Tensor& grad_output) {
@@ -64,7 +66,7 @@ Tensor Conv3D::backward(const Tensor& grad_output) {
 // im2col + GEMM backend (see conv2d.cpp for the decomposition; identical
 // here with (T, H, W) receptive fields).
 
-Tensor Conv3D::forward_gemm(const Tensor& input) {
+Tensor Conv3D::forward_gemm(const Tensor& input, bool training) {
   const int n = input.dim(0), c_in = input.dim(1), t = input.dim(2), h = input.dim(3),
             w = input.dim(4);
   const int c_out = config_.out_channels;
@@ -84,8 +86,21 @@ Tensor Conv3D::forward_gemm(const Tensor& input) {
   const int rows = g.rows();
   const std::size_t cols = g.cols();
   const std::size_t per_item = static_cast<std::size_t>(rows) * cols;
-  if (col_.size() < static_cast<std::size_t>(n) * per_item) {
-    col_.resize(static_cast<std::size_t>(n) * per_item);
+
+  // Training keeps the lowering for backward's weight gradient; inference
+  // lowers into reusable thread-local arena scratch (see conv2d.cpp).
+  ScratchArena& arena = ScratchArena::local();
+  ScratchArena::Scope scope(arena);
+  float* col;
+  if (training) {
+    if (col_.size() < static_cast<std::size_t>(n) * per_item) {
+      col_.resize(static_cast<std::size_t>(n) * per_item);
+    }
+    col = col_.data();
+    col_valid_ = true;
+  } else {
+    col = arena.floats(static_cast<std::size_t>(n) * per_item);
+    col_valid_ = false;
   }
 
   const float* x = input.data();
@@ -94,14 +109,14 @@ Tensor Conv3D::forward_gemm(const Tensor& input) {
     const int bi = static_cast<int>(job) / c_in;
     const int ic = static_cast<int>(job) % c_in;
     im2col_3d(x + static_cast<std::size_t>(bi) * c_in * in_chan, g, ic * g.rows_per_channel(),
-              (ic + 1) * g.rows_per_channel(), col_.data() + bi * per_item);
+              (ic + 1) * g.rows_per_channel(), col + bi * per_item);
   });
 
   Tensor out({n, c_out, g.ot, g.oh, g.ow});
   float* y = out.data();
   for (int bi = 0; bi < n; ++bi) {
     sgemm(Trans::kNo, Trans::kNo, c_out, static_cast<int>(cols), rows, 1.0f,
-          weight_.value.data(), rows, col_.data() + bi * per_item, static_cast<int>(cols), 0.0f,
+          weight_.value.data(), rows, col + bi * per_item, static_cast<int>(cols), 0.0f,
           y + static_cast<std::size_t>(bi) * c_out * cols, static_cast<int>(cols));
   }
 
@@ -137,7 +152,14 @@ Tensor Conv3D::backward_gemm(const Tensor& grad_output) {
   const int rows = g.rows();
   const std::size_t cols = g.cols();
   const std::size_t per_item = static_cast<std::size_t>(rows) * cols;
-  if (col_grad_.size() < per_item) col_grad_.resize(per_item);
+  if (!col_valid_) {
+    throw std::logic_error(
+        "Conv3D: backward requires a preceding forward with training=true "
+        "(inference forwards do not retain the im2col lowering)");
+  }
+  ScratchArena& arena = ScratchArena::local();
+  ScratchArena::Scope scope(arena);
+  float* col_grad = arena.floats(per_item);
 
   const float* go = grad_output.data();
   float* gw = weight_.grad.data();
@@ -166,10 +188,10 @@ Tensor Conv3D::backward_gemm(const Tensor& grad_output) {
   for (int bi = 0; bi < n; ++bi) {
     sgemm(Trans::kTrans, Trans::kNo, rows, static_cast<int>(cols), c_out, 1.0f,
           weight_.value.data(), rows, go + static_cast<std::size_t>(bi) * c_out * cols,
-          static_cast<int>(cols), 0.0f, col_grad_.data(), static_cast<int>(cols));
+          static_cast<int>(cols), 0.0f, col_grad, static_cast<int>(cols));
     float* gi_b = gi + static_cast<std::size_t>(bi) * c_in * in_chan;
     ThreadPool::global().parallel_for(static_cast<std::size_t>(c_in), [&](std::size_t ic) {
-      col2im_3d(col_grad_.data(), g, static_cast<int>(ic) * g.rows_per_channel(),
+      col2im_3d(col_grad, g, static_cast<int>(ic) * g.rows_per_channel(),
                 (static_cast<int>(ic) + 1) * g.rows_per_channel(), gi_b);
     });
   }

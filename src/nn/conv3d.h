@@ -47,7 +47,7 @@ class Conv3D final : public Layer {
  private:
   Tensor forward_direct(const Tensor& input);
   Tensor backward_direct(const Tensor& grad_output);
-  Tensor forward_gemm(const Tensor& input);
+  Tensor forward_gemm(const Tensor& input, bool training);
   Tensor backward_gemm(const Tensor& grad_output);
 
   Conv3DConfig config_;
@@ -55,9 +55,11 @@ class Conv3D final : public Layer {
   Param weight_;  // (out_c, in_c, kt, ks, ks)
   Param bias_;    // (out_c)
   Tensor cached_input_;
-  // GEMM-backend scratch, grown once and reused (see conv2d.h).
+  // GEMM-backend state: training forwards keep the lowered batch here for
+  // backward's weight gradient; inference forwards lower into the calling
+  // thread's ScratchArena (see conv2d.h).
   std::vector<float> col_;
-  std::vector<float> col_grad_;
+  bool col_valid_ = false;
 };
 
 }  // namespace safecross::nn

@@ -4,15 +4,21 @@
 #include <cstddef>
 #include <stdexcept>
 
+#include "common/arena.h"
 #include "common/thread_pool.h"
+#include "nn/gemm_microkernel.h"
 
 namespace safecross::nn {
 
 namespace {
 
+// ---------------------------------------------------------------------------
+// Scalar fallback: the pre-microkernel implementation, kept verbatim as
+// the portable path for sanitizer builds and as the parity oracle the
+// tests compare the packed kernel against.
+
 // Contiguous dot product with a 16-lane accumulator bank so the float
-// reduction vectorizes (SLP) without -ffast-math reassociation; ~3x
-// over a 4-way scalar unroll on AVX-512.
+// reduction vectorizes (SLP) without -ffast-math reassociation.
 float dot16(const float* a, const float* b, int k) {
   constexpr int kLanes = 16;
   float acc[kLanes] = {};
@@ -30,10 +36,8 @@ float dot16(const float* a, const float* b, int k) {
 // transpose case so the innermost axis is always contiguous in memory:
 // axpy over C rows for kNo B (k in cache-resident slabs so the touched
 // B rows stay hot), dot products over full rows for kTrans B.
-void gemm_tile(Trans trans_a, Trans trans_b, int i0, int i1, int j0, int j1, int k, float alpha,
-               const float* a, int lda, const float* b, int ldb, float beta, float* c, int ldc) {
-  constexpr int kKc = 256;
-
+void scalar_tile(Trans trans_a, Trans trans_b, int i0, int i1, int j0, int j1, int k, float alpha,
+                 const float* a, int lda, const float* b, int ldb, float beta, float* c, int ldc) {
   for (int i = i0; i < i1; ++i) {
     float* crow = c + static_cast<std::size_t>(i) * ldc;
     if (beta == 0.0f) {
@@ -46,8 +50,8 @@ void gemm_tile(Trans trans_a, Trans trans_b, int i0, int i1, int j0, int j1, int
   if (trans_b == Trans::kNo) {
     // C[i, j0:j1] += alpha * op(A)[i, kk] * B[kk, j0:j1] — axpy over the
     // contiguous C row, vectorizable.
-    for (int kc = 0; kc < k; kc += kKc) {
-      const int kend = std::min(k, kc + kKc);
+    for (int kc = 0; kc < k; kc += detail::kKc) {
+      const int kend = std::min(k, kc + detail::kKc);
       for (int i = i0; i < i1; ++i) {
         float* crow = c + static_cast<std::size_t>(i) * ldc;
         for (int kk = kc; kk < kend; ++kk) {
@@ -82,10 +86,71 @@ void gemm_tile(Trans trans_a, Trans trans_b, int i0, int i1, int j0, int j1, int
   }
 }
 
+// ---------------------------------------------------------------------------
+// Packed path: one (mc x nc) macro-tile of C, k walked in kKc slabs.
+// Both operand panels are packed into this worker's thread-local arena
+// (zero allocation at steady state) so the microkernel streams aligned,
+// contiguous, transpose-free strips whatever the caller's layout was.
+
+template <bool kHalf>
+void packed_tile(Trans trans_a, Trans trans_b, int i0, int i1, int j0, int j1, int k, float alpha,
+                 const float* a, int lda, const float* b, int ldb, float beta, float* c, int ldc) {
+  using namespace detail;
+  const int mc = i1 - i0;
+  const int nc = j1 - j0;
+  const int mc_round = (mc + kMr - 1) / kMr * kMr;
+  const int nc_round = (nc + kNr - 1) / kNr * kNr;
+  const int kc_max = std::min(k, kKc);
+
+  // With untransposed B and only one or two A strips, each B panel is
+  // read at most twice: stream it straight from the caller's matrix and
+  // skip the pack entirely (only the sub-16 column tail is packed, for
+  // zero-padding). This is the im2col conv-forward shape — m = c_out,
+  // n = output positions — where packing B would double memory traffic.
+  // (The fp16 path always packs: rounding happens at pack time.)
+  const bool b_direct = !kHalf && trans_b == Trans::kNo && mc <= 2 * kMr;
+
+  ScratchArena& arena = ScratchArena::local();
+  ScratchArena::Scope scope(arena);
+  float* pa = arena.floats(static_cast<std::size_t>(mc_round) * kc_max);
+  float* pb =
+      arena.floats(static_cast<std::size_t>(b_direct ? kNr : nc_round) * kc_max);
+
+  for (int k0 = 0; k0 < k; k0 += kKc) {
+    const int kc = std::min(kKc, k - k0);
+    pack_a<kHalf>(trans_a, a, lda, i0, mc, k0, kc, pa);
+    if (!b_direct) pack_b<kHalf>(trans_b, b, ldb, k0, kc, j0, nc, pb);
+    // The first slab applies the caller's beta; later slabs accumulate.
+    const float beta_eff = k0 == 0 ? beta : 1.0f;
+    for (int jr = 0; jr < nc; jr += kNr) {
+      const int nr = std::min(kNr, nc - jr);
+      const float* bstrip = nullptr;
+      if (!b_direct) {
+        bstrip = pb + static_cast<std::size_t>(jr) * kc;
+      } else if (nr < kNr) {
+        pack_b<kHalf>(trans_b, b, ldb, k0, kc, j0 + jr, nr, pb);
+        bstrip = pb;
+      }
+      for (int ir = 0; ir < mc; ir += kMr) {
+        const int mr = std::min(kMr, mc - ir);
+        alignas(64) float acc[kMr * kNr];
+        if (bstrip != nullptr) {
+          microkernel_6x16(kc, pa + static_cast<std::size_t>(ir) * kc, bstrip, acc);
+        } else {
+          microkernel_6x16_bdirect(kc, pa + static_cast<std::size_t>(ir) * kc,
+                                   b + static_cast<std::size_t>(k0) * ldb + j0 + jr, ldb, acc);
+        }
+        store_tile(acc, alpha, beta_eff, c + static_cast<std::size_t>(i0 + ir) * ldc + j0 + jr,
+                   ldc, mr, nr);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void sgemm(Trans trans_a, Trans trans_b, int m, int n, int k, float alpha, const float* a, int lda,
-           const float* b, int ldb, float beta, float* c, int ldc) {
+           const float* b, int ldb, float beta, float* c, int ldc, GemmKernel kernel) {
   if (m < 0 || n < 0 || k < 0) throw std::invalid_argument("sgemm: negative dimension");
   if (m == 0 || n == 0) return;
   if (k == 0) {
@@ -99,22 +164,29 @@ void sgemm(Trans trans_a, Trans trans_b, int m, int n, int k, float alpha, const
     }
     return;
   }
+  const GemmKernel resolved = resolve_gemm_kernel(kernel);
 
-  // Tile C; start from cache-friendly tiles and shrink until there is
-  // enough fan-out for the pool (weight-grad GEMMs have tiny m*n but a
-  // huge k, and would otherwise run on one worker).
+  // Tile C in 2-D; start from cache-friendly macro-tiles and shrink until
+  // there is enough fan-out for the pool, down to one microkernel block.
+  // Skinny shapes (weight grads: tiny m*n, huge k; im2col panels: tiny m,
+  // huge n) fan out along whichever axis has room. k is never split, so
+  // each C element's summation order — and thus the result bit pattern —
+  // is independent of the worker count and tiling decisions.
+  const bool scalar = resolved == GemmKernel::kScalar;
+  const int min_tm = scalar ? 8 : detail::kMr;
+  const int min_tn = scalar ? 32 : detail::kNr;
+  int tm = std::min(m, scalar ? 64 : detail::kMc);
+  int tn = std::min(n, scalar ? 256 : detail::kNc);
   const std::size_t workers = ThreadPool::global().size();
-  int tm = std::min(m, 64);
-  int tn = std::min(n, 256);
   auto tiles = [&] {
     return static_cast<std::size_t>((m + tm - 1) / tm) *
            static_cast<std::size_t>((n + tn - 1) / tn);
   };
-  while (tiles() < 2 * workers && (tm > 8 || tn > 32)) {
-    if (tn > 32) {
-      tn = std::max(32, tn / 2);
+  while (tiles() < 2 * workers && (tm > min_tm || tn > min_tn)) {
+    if (tn > min_tn) {
+      tn = std::max(min_tn, tn / 2);
     } else {
-      tm = std::max(8, tm / 2);
+      tm = std::max(min_tm, tm / 2);
     }
   }
 
@@ -124,7 +196,19 @@ void sgemm(Trans trans_a, Trans trans_b, int m, int n, int k, float alpha, const
     const int tj = static_cast<int>(tile) % tiles_n;
     const int i0 = ti * tm, i1 = std::min(m, i0 + tm);
     const int j0 = tj * tn, j1 = std::min(n, j0 + tn);
-    gemm_tile(trans_a, trans_b, i0, i1, j0, j1, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    switch (resolved) {
+      case GemmKernel::kScalar:
+        scalar_tile(trans_a, trans_b, i0, i1, j0, j1, k, alpha, a, lda, b, ldb, beta, c, ldc);
+        break;
+      case GemmKernel::kFp16:
+        packed_tile<true>(trans_a, trans_b, i0, i1, j0, j1, k, alpha, a, lda, b, ldb, beta, c,
+                          ldc);
+        break;
+      default:
+        packed_tile<false>(trans_a, trans_b, i0, i1, j0, j1, k, alpha, a, lda, b, ldb, beta, c,
+                           ldc);
+        break;
+    }
   });
 }
 

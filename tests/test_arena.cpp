@@ -1,0 +1,101 @@
+#include "common/arena.h"
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace safecross {
+namespace {
+
+bool aligned64(const void* p) { return reinterpret_cast<std::uintptr_t>(p) % 64 == 0; }
+
+TEST(ScratchArena, AllocationsAreAligned) {
+  ScratchArena arena;
+  ScratchArena::Scope scope(arena);
+  EXPECT_TRUE(aligned64(arena.floats(1)));
+  EXPECT_TRUE(aligned64(arena.floats(7)));
+  EXPECT_TRUE(aligned64(arena.raw(3)));
+  EXPECT_TRUE(aligned64(arena.raw(65)));
+}
+
+TEST(ScratchArena, AllocationsDoNotOverlap) {
+  ScratchArena arena;
+  ScratchArena::Scope scope(arena);
+  float* a = arena.floats(100);
+  float* b = arena.floats(100);
+  for (int i = 0; i < 100; ++i) a[i] = 1.0f;
+  for (int i = 0; i < 100; ++i) b[i] = 2.0f;
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a[i], 1.0f);
+}
+
+TEST(ScratchArena, ScopeRewindReusesMemoryWithoutGrowth) {
+  ScratchArena arena;
+  {
+    ScratchArena::Scope scope(arena);
+    arena.floats(10000);
+  }
+  const std::size_t cap = arena.capacity();
+  EXPECT_GT(cap, 0u);
+  for (int round = 0; round < 50; ++round) {
+    ScratchArena::Scope scope(arena);
+    float* p = arena.floats(10000);
+    p[0] = static_cast<float>(round);
+  }
+  // Steady state: rewinding reclaims everything, capacity is flat.
+  EXPECT_EQ(arena.capacity(), cap);
+}
+
+TEST(ScratchArena, NestedScopesRewindLifo) {
+  ScratchArena arena;
+  ScratchArena::Scope outer(arena);
+  float* a = arena.floats(64);
+  a[0] = 42.0f;
+  {
+    ScratchArena::Scope inner(arena);
+    float* b = arena.floats(1 << 20);  // forces a new, bigger block
+    std::memset(b, 0xFF, (1 << 20) * sizeof(float));
+  }
+  // Inner allocations are gone, outer's live pointer is untouched.
+  EXPECT_EQ(a[0], 42.0f);
+  float* c = arena.floats(64);
+  EXPECT_NE(c, nullptr);
+  EXPECT_EQ(a[0], 42.0f);
+}
+
+TEST(ScratchArena, GrowsAcrossBlocksKeepingLivePointersValid) {
+  ScratchArena arena;
+  ScratchArena::Scope scope(arena);
+  std::vector<float*> ptrs;
+  // Each allocation larger than the last block forces chaining; earlier
+  // pointers must stay valid and hold their values.
+  for (int i = 0; i < 8; ++i) {
+    float* p = arena.floats(static_cast<std::size_t>(1) << (14 + i));
+    p[0] = static_cast<float>(i);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 8; ++i) ASSERT_EQ(ptrs[i][0], static_cast<float>(i));
+}
+
+TEST(ScratchArena, LocalIsPerThread) {
+  ScratchArena* main_arena = &ScratchArena::local();
+  ScratchArena* other_arena = nullptr;
+  std::thread t([&] { other_arena = &ScratchArena::local(); });
+  t.join();
+  EXPECT_EQ(main_arena, &ScratchArena::local());
+  EXPECT_NE(main_arena, other_arena);
+}
+
+TEST(ScratchArena, ZeroByteRequestIsSafe) {
+  ScratchArena arena;
+  ScratchArena::Scope scope(arena);
+  (void)arena.raw(0);
+  float* p = arena.floats(4);
+  p[0] = 1.0f;
+  EXPECT_EQ(p[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace safecross

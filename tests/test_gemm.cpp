@@ -1,13 +1,17 @@
-// Tiled SGEMM vs a naive reference, across transpose modes, alpha/beta
-// combinations, and shapes straddling the tile boundaries (the kernel
-// blocks C into up-to-64x256 tiles and walks k in 256-wide slabs).
+// Tiled SGEMM vs a naive reference, across kernels (micro / scalar /
+// fp16), transpose modes, alpha/beta combinations, strided leading
+// dimensions, and shapes straddling the tile and microkernel boundaries
+// (6x16 register block, 96x512 macro-tiles, 256-wide k slabs).
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "gradcheck.h"
 #include "nn/gemm.h"
 
@@ -41,7 +45,8 @@ std::vector<float> random_matrix(int rows, int cols, std::uint64_t seed) {
 }
 
 void expect_sgemm_matches(Trans trans_a, Trans trans_b, int m, int n, int k, float alpha,
-                          float beta, std::uint64_t seed) {
+                          float beta, std::uint64_t seed,
+                          GemmKernel kernel = GemmKernel::kMicro) {
   const int a_rows = trans_a == Trans::kNo ? m : k;
   const int a_cols = trans_a == Trans::kNo ? k : m;
   const int b_rows = trans_b == Trans::kNo ? k : n;
@@ -51,14 +56,68 @@ void expect_sgemm_matches(Trans trans_a, Trans trans_b, int m, int n, int k, flo
   auto c = random_matrix(m, n, seed ^ 0xCAFEu);
   const auto want = reference_gemm(trans_a, trans_b, m, n, k, alpha, a, b, beta, c);
 
-  sgemm(trans_a, trans_b, m, n, k, alpha, a.data(), a_cols, b.data(), b_cols, beta, c.data(), n);
+  sgemm(trans_a, trans_b, m, n, k, alpha, a.data(), a_cols, b.data(), b_cols, beta, c.data(), n,
+        kernel);
 
   // k multiplications of values in [-1, 1]; scale the tolerance with k.
-  const float tol = 1e-5f * static_cast<float>(std::max(k, 1));
+  // fp16 storage carries ~2^-11 relative error per operand.
+  const float per_term = kernel == GemmKernel::kFp16 ? 2e-3f : 1e-5f;
+  const float tol = per_term * static_cast<float>(std::max(k, 1));
   for (int i = 0; i < m * n; ++i) {
-    ASSERT_NEAR(c[i], want[i], tol) << "trans_a=" << static_cast<int>(trans_a)
+    ASSERT_NEAR(c[i], want[i], tol) << "kernel=" << static_cast<int>(kernel)
+                                    << " trans_a=" << static_cast<int>(trans_a)
                                     << " trans_b=" << static_cast<int>(trans_b) << " m=" << m
                                     << " n=" << n << " k=" << k << " at " << i;
+  }
+}
+
+// As expect_sgemm_matches, but every matrix is embedded in a wider
+// buffer: lda/ldb/ldc exceed the logical column counts. The slack
+// columns of A and B are NaN (a read from them poisons the result) and
+// the slack of C is a sentinel the call must leave untouched.
+void expect_sgemm_matches_strided(Trans trans_a, Trans trans_b, int m, int n, int k, float alpha,
+                                  float beta, std::uint64_t seed, GemmKernel kernel) {
+  const int a_rows = trans_a == Trans::kNo ? m : k;
+  const int a_cols = trans_a == Trans::kNo ? k : m;
+  const int b_rows = trans_b == Trans::kNo ? k : n;
+  const int b_cols = trans_b == Trans::kNo ? n : k;
+  const int lda = a_cols + 3, ldb = b_cols + 5, ldc = n + 7;
+  const float kNaN = std::numeric_limits<float>::quiet_NaN();
+  const float kSentinel = 512.25f;
+
+  const auto a_dense = random_matrix(a_rows, a_cols, seed);
+  const auto b_dense = random_matrix(b_rows, b_cols, seed ^ 0xB00Bu);
+  const auto c_dense = random_matrix(m, n, seed ^ 0xCAFEu);
+  const auto want = reference_gemm(trans_a, trans_b, m, n, k, alpha, a_dense, b_dense, beta,
+                                   c_dense);
+
+  auto embed = [](const std::vector<float>& src, int rows, int cols, int ld, float fill) {
+    std::vector<float> dst(static_cast<std::size_t>(rows) * ld, fill);
+    for (int r = 0; r < rows; ++r) {
+      std::copy_n(src.data() + static_cast<std::size_t>(r) * cols, cols,
+                  dst.data() + static_cast<std::size_t>(r) * ld);
+    }
+    return dst;
+  };
+  const auto a = embed(a_dense, a_rows, a_cols, lda, kNaN);
+  const auto b = embed(b_dense, b_rows, b_cols, ldb, kNaN);
+  auto c = embed(c_dense, m, n, ldc, kSentinel);
+
+  sgemm(trans_a, trans_b, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta, c.data(), ldc,
+        kernel);
+
+  const float per_term = kernel == GemmKernel::kFp16 ? 2e-3f : 1e-5f;
+  const float tol = per_term * static_cast<float>(std::max(k, 1));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      ASSERT_NEAR(c[static_cast<std::size_t>(i) * ldc + j], want[i * n + j], tol)
+          << "kernel=" << static_cast<int>(kernel) << " m=" << m << " n=" << n << " k=" << k
+          << " at (" << i << ", " << j << ")";
+    }
+    for (int j = n; j < ldc; ++j) {
+      ASSERT_EQ(c[static_cast<std::size_t>(i) * ldc + j], kSentinel)
+          << "kernel=" << static_cast<int>(kernel) << " wrote past row " << i;
+    }
   }
 }
 
@@ -122,6 +181,159 @@ TEST(SGemm, ConvShapedProblem) {
   // The shape conv3d lowers to on SlowFast-sized inputs (scaled down for
   // test time): c_out x (c_in * kt * ks * ks) times that x (ot * oh * ow).
   expect_sgemm_matches(Trans::kNo, Trans::kNo, 8, 14 * 14 * 4, 4 * 3 * 3 * 3, 1.0f, 0.0f, 90);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel sweep: every compute path against the reference across edge
+// shapes, transpose combos, and alpha/beta values.
+
+const GemmKernel kAllKernels[] = {GemmKernel::kMicro, GemmKernel::kScalar, GemmKernel::kFp16};
+const Trans kTransModes[] = {Trans::kNo, Trans::kTrans};
+
+TEST(SGemmKernels, MicrokernelTailShapes) {
+  // m around the 6-row register block, n around the 16-lane vector width,
+  // k around the 256-wide slab — one below, exact, one above, plus 1.
+  std::uint64_t seed = 1000;
+  for (const GemmKernel kernel : kAllKernels) {
+    for (const int m : {1, 5, 6, 7, 13}) {
+      expect_sgemm_matches(Trans::kNo, Trans::kNo, m, 33, 20, 1.0f, 0.0f, ++seed, kernel);
+    }
+    for (const int n : {1, 15, 16, 17, 47}) {
+      expect_sgemm_matches(Trans::kNo, Trans::kNo, 9, n, 20, 1.0f, 0.0f, ++seed, kernel);
+    }
+    for (const int k : {1, 255, 256, 257}) {
+      expect_sgemm_matches(Trans::kNo, Trans::kNo, 7, 18, k, 1.0f, 0.0f, ++seed, kernel);
+    }
+  }
+}
+
+TEST(SGemmKernels, EmptyDimensionsAreNoOps) {
+  // m == 0 / n == 0: nothing to compute, C untouched even with beta != 1.
+  auto c = random_matrix(4, 5, 1100);
+  const auto orig = c;
+  for (const GemmKernel kernel : kAllKernels) {
+    sgemm(Trans::kNo, Trans::kNo, 0, 5, 3, 1.0f, nullptr, 3, nullptr, 5, 0.5f, c.data(), 5,
+          kernel);
+    sgemm(Trans::kNo, Trans::kNo, 4, 0, 3, 1.0f, nullptr, 3, nullptr, 1, 0.5f, c.data(), 5,
+          kernel);
+    for (int i = 0; i < 20; ++i) ASSERT_EQ(c[i], orig[i]);
+  }
+}
+
+TEST(SGemmKernels, AllTransposeCombosTimesAlphaBeta) {
+  // Full cross: {N, T} x {N, T} x alpha, beta in {0, 1, 2.5}, per kernel,
+  // on a shape with tails on every axis.
+  std::uint64_t seed = 1200;
+  for (const GemmKernel kernel : kAllKernels) {
+    for (const Trans ta : kTransModes) {
+      for (const Trans tb : kTransModes) {
+        for (const float alpha : {0.0f, 1.0f, 2.5f}) {
+          for (const float beta : {0.0f, 1.0f, 2.5f}) {
+            expect_sgemm_matches(ta, tb, 13, 21, 19, alpha, beta, ++seed, kernel);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SGemmKernels, StridedLeadingDimensions) {
+  // lda/ldb/ldc wider than the logical matrices: NaN slack in A/B must
+  // never be read, sentinel slack in C must never be written.
+  std::uint64_t seed = 1300;
+  for (const GemmKernel kernel : kAllKernels) {
+    for (const Trans ta : kTransModes) {
+      for (const Trans tb : kTransModes) {
+        expect_sgemm_matches_strided(ta, tb, 13, 37, 29, 1.0f, 0.5f, ++seed, kernel);
+      }
+    }
+    // Skinny-m untransposed-B: the B-direct streaming path with a column
+    // tail, where full 16-wide strips read straight from the strided B.
+    expect_sgemm_matches_strided(Trans::kNo, Trans::kNo, 4, 53, 300, 1.0f, 0.0f, ++seed, kernel);
+  }
+}
+
+TEST(SGemmKernels, MicroMatchesScalarClosely) {
+  // Micro vs scalar on the same inputs: both accumulate in fp32, so they
+  // agree to summation-order rounding (much tighter than the reference
+  // tolerance above).
+  const int m = 37, n = 65, k = 300;
+  const auto a = random_matrix(m, k, 1400);
+  const auto b = random_matrix(k, n, 1401);
+  auto c_micro = random_matrix(m, n, 1402);
+  auto c_scalar = c_micro;
+  sgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a.data(), k, b.data(), n, 1.0f, c_micro.data(), n,
+        GemmKernel::kMicro);
+  sgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a.data(), k, b.data(), n, 1.0f, c_scalar.data(), n,
+        GemmKernel::kScalar);
+  for (int i = 0; i < m * n; ++i) {
+    ASSERT_NEAR(c_micro[i], c_scalar[i], 1e-4f) << "at " << i;
+  }
+}
+
+TEST(SGemmKernels, Fp16LosesPrecisionButStaysClose) {
+  // The fp16 path must actually round (different bits from micro) while
+  // staying inside the documented tolerance envelope.
+  const int m = 12, n = 33, k = 128;
+  const auto a = random_matrix(m, k, 1500);
+  const auto b = random_matrix(k, n, 1501);
+  std::vector<float> c_micro(static_cast<std::size_t>(m) * n, 0.0f);
+  std::vector<float> c_fp16(static_cast<std::size_t>(m) * n, 0.0f);
+  sgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f, c_micro.data(), n,
+        GemmKernel::kMicro);
+  sgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f, c_fp16.data(), n,
+        GemmKernel::kFp16);
+  int differing = 0;
+  for (int i = 0; i < m * n; ++i) {
+    ASSERT_NEAR(c_fp16[i], c_micro[i], 2e-3f * k) << "at " << i;
+    if (c_fp16[i] != c_micro[i]) ++differing;
+  }
+  EXPECT_GT(differing, m * n / 2) << "fp16 path appears to not round its operands";
+}
+
+TEST(SGemmKernels, ResolverReadsEnvAndRejectsUnknown) {
+  ASSERT_EQ(unsetenv("SAFECROSS_GEMM_KERNEL"), 0);
+  EXPECT_EQ(resolve_gemm_kernel(GemmKernel::kAuto), GemmKernel::kMicro);
+  ASSERT_EQ(setenv("SAFECROSS_GEMM_KERNEL", "scalar", 1), 0);
+  EXPECT_EQ(resolve_gemm_kernel(GemmKernel::kAuto), GemmKernel::kScalar);
+  // Explicit requests win over the environment.
+  EXPECT_EQ(resolve_gemm_kernel(GemmKernel::kFp16), GemmKernel::kFp16);
+  ASSERT_EQ(setenv("SAFECROSS_GEMM_KERNEL", "sclar", 1), 0);
+  EXPECT_THROW(resolve_gemm_kernel(GemmKernel::kAuto), std::invalid_argument);
+  // The throw must reach callers through sgemm, not get swallowed.
+  std::vector<float> mat(4, 1.0f);
+  EXPECT_THROW(sgemm(Trans::kNo, Trans::kNo, 2, 2, 2, 1.0f, mat.data(), 2, mat.data(), 2, 0.0f,
+                     mat.data(), 2),
+               std::invalid_argument);
+  ASSERT_EQ(unsetenv("SAFECROSS_GEMM_KERNEL"), 0);
+}
+
+TEST(SGemmKernels, ReentrantUnderParallelFor) {
+  // GEMM from inside parallel_for jobs: the pool's helping design must
+  // not deadlock, and each nested GEMM (with its own arena scopes and
+  // nested parallel_for) must produce the same result as when run alone.
+  const int m = 18, n = 40, k = 64;
+  const int jobs = 8;
+  std::vector<std::vector<float>> a(jobs), b(jobs), want(jobs), got(jobs);
+  for (int j = 0; j < jobs; ++j) {
+    a[j] = random_matrix(m, k, 1600 + j);
+    b[j] = random_matrix(k, n, 1700 + j);
+    want[j].assign(static_cast<std::size_t>(m) * n, 0.0f);
+    got[j].assign(static_cast<std::size_t>(m) * n, 0.0f);
+    sgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a[j].data(), k, b[j].data(), n, 0.0f,
+          want[j].data(), n, GemmKernel::kMicro);
+  }
+  ThreadPool::global().parallel_for(static_cast<std::size_t>(jobs), [&](std::size_t j) {
+    sgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a[j].data(), k, b[j].data(), n, 0.0f,
+          got[j].data(), n, GemmKernel::kMicro);
+  });
+  for (int j = 0; j < jobs; ++j) {
+    for (int i = 0; i < m * n; ++i) {
+      // Bit-identical: k is never split, so summation order is fixed
+      // regardless of which thread ran which tile.
+      ASSERT_EQ(got[j][i], want[j][i]) << "job " << j << " at " << i;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,95 @@
+#include "common/half.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace safecross {
+namespace {
+
+TEST(Half, ExactValuesRoundTrip) {
+  // Everything exactly representable in binary16 must survive unchanged.
+  for (const float v : {0.0f, 1.0f, -1.0f, 2.0f, 0.5f, 0.25f, 1.5f, -3.75f, 2048.0f, 65504.0f}) {
+    EXPECT_EQ(fp16_round(v), v) << v;
+  }
+}
+
+TEST(Half, SignedZeroPreserved) {
+  EXPECT_EQ(float_to_half_bits(0.0f), 0x0000u);
+  EXPECT_EQ(float_to_half_bits(-0.0f), 0x8000u);
+  EXPECT_TRUE(std::signbit(fp16_round(-0.0f)));
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(float_to_half_bits(1.0f), 0x3C00u);
+  EXPECT_EQ(float_to_half_bits(-2.0f), 0xC000u);
+  EXPECT_EQ(float_to_half_bits(65504.0f), 0x7BFFu);  // largest finite half
+  EXPECT_EQ(half_bits_to_float(0x3C00u), 1.0f);
+  EXPECT_EQ(half_bits_to_float(0x7BFFu), 65504.0f);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 sits exactly between 1.0 and the next half (1 + 2^-10);
+  // ties go to the even mantissa, i.e. down to 1.0.
+  EXPECT_EQ(fp16_round(1.0f + 0x1p-11f), 1.0f);
+  // 1 + 3*2^-11 ties between 1+2^-10 and 1+2^-9; even is 1+2^-9.
+  EXPECT_EQ(fp16_round(1.0f + 3 * 0x1p-11f), 1.0f + 0x1p-9f);
+  // Just above the tie rounds up.
+  EXPECT_EQ(fp16_round(1.0f + 0x1.1p-11f), 1.0f + 0x1p-10f);
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(std::isinf(fp16_round(65520.0f)));  // first value rounding to inf
+  EXPECT_TRUE(std::isinf(fp16_round(1e30f)));
+  EXPECT_TRUE(std::isinf(fp16_round(-1e30f)));
+  EXPECT_LT(fp16_round(-1e30f), 0.0f);
+  EXPECT_EQ(fp16_round(65504.0f), 65504.0f);  // largest finite survives
+}
+
+TEST(Half, InfAndNaNPreserved) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(fp16_round(inf), inf);
+  EXPECT_EQ(fp16_round(-inf), -inf);
+  EXPECT_TRUE(std::isnan(fp16_round(std::numeric_limits<float>::quiet_NaN())));
+}
+
+TEST(Half, SubnormalsRoundTrip) {
+  // Smallest positive half subnormal is 2^-24.
+  EXPECT_EQ(fp16_round(0x1p-24f), 0x1p-24f);
+  EXPECT_EQ(fp16_round(0x1p-15f), 0x1p-15f);  // subnormal range, exact
+  // Below half the smallest subnormal flushes to zero.
+  EXPECT_EQ(fp16_round(0x1p-26f), 0.0f);
+  EXPECT_EQ(fp16_round(-0x1p-26f), -0.0f);
+}
+
+TEST(Half, RelativeErrorBounded) {
+  // Round-to-nearest guarantees relative error <= 2^-11 in the normal
+  // range; subnormals (|v| < 2^-14) degrade to absolute error <= 2^-25.
+  for (int i = 0; i < 4000; ++i) {
+    const float v = -2.0f + static_cast<float>(i) * 0.001f;
+    if (v == 0.0f) continue;
+    const float bound = std::max(std::abs(v) * 0x1p-11f, 0x1p-25f);
+    EXPECT_LE(std::abs(fp16_round(v) - v), bound) << v;
+  }
+}
+
+TEST(Half, AllHalfBitPatternsRoundTripExactly) {
+  // Every finite half value converts to float and back to the same bits
+  // (float superset of half => conversion is exact and re-rounds to
+  // itself). NaNs only need to stay NaN.
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const std::uint16_t h = static_cast<std::uint16_t>(bits);
+    const float f = half_bits_to_float(h);
+    if (std::isnan(f)) {
+      EXPECT_TRUE(std::isnan(fp16_round(f)));
+      continue;
+    }
+    EXPECT_EQ(float_to_half_bits(f), h) << "bits=0x" << std::hex << bits;
+  }
+}
+
+}  // namespace
+}  // namespace safecross

@@ -114,5 +114,49 @@ TEST(ThreadPool, NestedSubmitFromTask) {
   EXPECT_EQ(counter.load(), 2);
 }
 
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // parallel_for from inside parallel_for: the caller helps drain its own
+  // chunk bag, so inner loops make progress even when every pool thread
+  // is already parked inside an outer iteration. This is the GEMM-inside-
+  // parallel_for shape (batched classify calls into sgemm's tile loop).
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64 * 64);
+  pool.parallel_for(64, [&](std::size_t outer) {
+    pool.parallel_for(64, [&](std::size_t inner) {
+      hits[outer * 64 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [&](std::size_t outer) {
+                                   pool.parallel_for(100, [&](std::size_t inner) {
+                                     if (outer == 3 && inner == 50) {
+                                       throw std::runtime_error("inner boom");
+                                     }
+                                   });
+                                 }),
+               std::runtime_error);
+  // Not poisoned afterwards.
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForFromWorkerOfSamePool) {
+  // A submitted task (running on a worker thread) issuing parallel_for on
+  // its own pool: the worker must help rather than wait on itself.
+  ThreadPool pool(1);  // single worker: deadlocks without helping
+  std::atomic<int> total{0};
+  pool.submit([&] {
+    pool.parallel_for(128, [&](std::size_t) { total.fetch_add(1); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(total.load(), 128);
+}
+
 }  // namespace
 }  // namespace safecross
