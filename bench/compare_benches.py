@@ -13,6 +13,12 @@ Compares freshly produced bench JSON against bench/baselines/ and fails
     speedup_8stream_vs_solo_sequential — the batched-vs-solo throughput
     ratio, which is machine-independent by construction — plus a hard
     fail on parity_ok == false or uncaught exceptions.
+  * BENCH_drift.json (custom format): gated on
+    model_availability_worst_drift_recalib — the self-healing loop's
+    model-verdict availability floor across drifting arms (deterministic
+    counters, machine-independent) — plus a hard fail on
+    parity_ok == false (geometry machinery must be free when disabled)
+    or uncaught exceptions.
 
 Usage:
   bench/compare_benches.py [--baseline-dir bench/baselines] [--fresh-dir .]
@@ -20,7 +26,7 @@ Usage:
 
 Refreshing baselines (after an intentional perf change):
   bench/run_benches.sh --smoke && \
-      cp BENCH_micro_nn.json BENCH_multistream.json bench/baselines/
+      cp BENCH_micro_nn.json BENCH_multistream.json BENCH_drift.json bench/baselines/
 Commit the result in the same PR as the change that shifted the numbers,
 and say why in the PR description.
 
@@ -112,6 +118,30 @@ def gate_multistream(baseline_path, fresh_path, threshold):
     return failures
 
 
+def gate_drift(baseline_path, fresh_path, threshold):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    failures = []
+    print("-- drift gate")
+    if not fresh.get("parity_ok", False):
+        failures.append("drift: zero-drift/no-recalib arm diverged from the plain run")
+    if fresh.get("uncaught_exceptions_total", 0) != 0:
+        failures.append("drift: uncaught exceptions during the sweep")
+    key = "model_availability_worst_drift_recalib"
+    base, new = baseline.get(key), fresh.get(key)
+    if base is None or new is None:
+        failures.append(f"drift: {key} missing (baseline: {base}, fresh: {new})")
+    else:
+        floor = base * (1 - threshold)
+        verdict = "FAIL" if new < floor else "ok"
+        print(f"   {verdict:8s} {key}: {base:.3f} -> {new:.3f} (floor {floor:.3f})")
+        if verdict == "FAIL":
+            failures.append(f"{key}: {base:.3f} -> {new:.3f} (floor {floor:.3f})")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -124,7 +154,8 @@ def main():
     failures = []
     checked = 0
     for name, gate in (("BENCH_micro_nn.json", gate_micro),
-                       ("BENCH_multistream.json", gate_multistream)):
+                       ("BENCH_multistream.json", gate_multistream),
+                       ("BENCH_drift.json", gate_drift)):
         baseline, fresh = args.baseline_dir / name, args.fresh_dir / name
         if not baseline.exists():
             print(f"-- {name}: no committed baseline, skipping")

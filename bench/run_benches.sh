@@ -91,6 +91,22 @@ if [[ -x "$robustness_bin" ]]; then
   ran=$((ran + 1))
 fi
 
+# Geometric drift sweep: uncorrected camera decay vs the self-healing
+# recalibration loop, per drift rate. Writes its JSON itself; exits
+# non-zero on uncaught exceptions or if the zero-drift/no-recalib arm
+# diverges from a plain run (the geometry machinery must be free when
+# disabled).
+drift_bin="$build_dir/bench/bench_drift"
+if [[ -x "$drift_bin" ]]; then
+  drift_args=(--json BENCH_drift.json)
+  if [[ $smoke -eq 1 ]]; then
+    drift_args+=(--frames 1800)  # one simulated minute per arm
+  fi
+  echo "== bench_drift -> BENCH_drift.json"
+  "$drift_bin" "${drift_args[@]}"
+  ran=$((ran + 1))
+fi
+
 # Staged-pipeline sweep: sync reference vs supervised pipeline under
 # injected stage crashes and decide-stage overload. Writes its JSON itself;
 # exits non-zero on uncaught exceptions or a fault-free pipelined run that

@@ -18,6 +18,7 @@ RealtimeMonitor::RealtimeMonitor(SafeCross& safecross, sim::TrafficSimulator& si
                                  std::uint64_t seed, runtime::FaultInjector* injector)
     : safecross_(safecross),
       sim_(sim),
+      camera_(camera),
       config_(config),
       collector_(sim, camera, config.vp, seed),
       health_(config.health),
@@ -26,6 +27,29 @@ RealtimeMonitor::RealtimeMonitor(SafeCross& safecross, sim::TrafficSimulator& si
     collector_.set_frame_hook([this](vision::Image& frame) { injector_->perturb(frame); });
     safecross_.switcher().set_failure_hook(
         [this](const std::string&) { return injector_->next_switch_fails(); });
+    if (injector_->plan().geometry.enabled()) {
+      // The geometric fault family needs frame dimensions (the perturbation
+      // rotates about the image centre), and the collector must preprocess
+      // through the live perturbation so the rendered view really moves.
+      injector_->set_frame_size(camera.config().width, camera.config().height);
+      collector_.set_view_perturbation(&injector_->view_perturbation());
+    }
+  }
+  if (config_.recalib.enabled) {
+    config_.recalib.frame_width = camera.config().width;
+    config_.recalib.frame_height = camera.config().height;
+    estimator_ = std::make_unique<vision::CalibrationEstimator>(camera.reference_view(sim),
+                                                                config_.recalib.estimator);
+    recalib_ = std::make_unique<runtime::RecalibrationLoop>(
+        config_.recalib, camera.image_to_grid(config_.vp.grid_w, config_.vp.grid_h), &health_,
+        [this](const vision::Homography& guess) {
+          const vision::Homography* view =
+              injector_ != nullptr && injector_->geometry_active()
+                  ? &injector_->view_perturbation()
+                  : nullptr;
+          return estimator_->estimate(camera_.render_view(sim_, view), guess);
+        },
+        [this](const vision::Homography& h) { collector_.set_image_to_grid(h); });
   }
   if (config_.fail_safe_policy) {
     const auto change = safecross_.try_on_scene_change(sim.weather().weather);
@@ -47,6 +71,10 @@ RealtimeMonitor::~RealtimeMonitor() {
 
 RealtimeMonitor::Tick RealtimeMonitor::ingest(FrameFault fault, bool& due) {
   apply_frame_fault(collector_, health_, fault);
+  // The recalibration loop ticks on the thread that owns the collector
+  // and the simulator (the caller in synchronous mode, the collect stage
+  // in pipelined mode), so its estimate/apply callbacks race with nothing.
+  if (recalib_) recalib_->on_frame(collector_.frames_processed());
   ++frames_since_decision_;
 
   Tick tick;

@@ -37,6 +37,7 @@
 //     while a degraded fallback keeps conservative warnings flowing.
 
 #include <chrono>
+#include <memory>
 #include <vector>
 
 #include "core/safecross.h"
@@ -45,6 +46,8 @@
 #include "runtime/fault_injector.h"
 #include "runtime/health_monitor.h"
 #include "runtime/pipeline.h"
+#include "runtime/recalibration.h"
+#include "vision/calibration.h"
 
 namespace safecross::core {
 
@@ -64,6 +67,10 @@ struct MonitorConfig {
   // synchronous path stays bit-identical to pre-pipeline behaviour.
   bool pipelined = false;
   runtime::PipelineConfig pipeline;
+  // Online self-healing calibration (see runtime/recalibration.h). Off by
+  // default: with it disabled no estimator is built and every frame runs
+  // the exact legacy code path.
+  runtime::RecalibrationConfig recalib;
 };
 
 class RealtimeMonitor {
@@ -136,6 +143,10 @@ class RealtimeMonitor {
   const runtime::HealthMonitor& health() const { return health_; }
   const dataset::SegmentCollector& collector() const { return collector_; }
 
+  /// The self-healing calibration loop, or nullptr when recalib.enabled
+  /// is false (counters, state, lineage — see runtime/recalibration.h).
+  const runtime::RecalibrationLoop* recalibration() const { return recalib_.get(); }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -161,10 +172,13 @@ class RealtimeMonitor {
 
   SafeCross& safecross_;
   sim::TrafficSimulator& sim_;
+  const sim::CameraModel& camera_;
   MonitorConfig config_;
   dataset::SegmentCollector collector_;
   runtime::HealthMonitor health_;
   runtime::FaultInjector* injector_ = nullptr;
+  std::unique_ptr<vision::CalibrationEstimator> estimator_;
+  std::unique_ptr<runtime::RecalibrationLoop> recalib_;
   int frames_since_decision_ = 0;
 
   StreamScorecard scorecard_;

@@ -45,6 +45,13 @@ DecisionSource gate_reason(const runtime::HealthMonitor& health,
   if (health.switch_failure_latched() || health.switch_in_flight()) {
     return DecisionSource::FailSafeSwitchInFlight;
   }
+  if (health.miscalibrated()) {
+    // The camera moved and the top-down remap no longer lands where the
+    // classifier was trained to look: the window may be complete and fresh
+    // yet geometrically wrong, so warn until the recalibration loop swaps
+    // a corrected remap in.
+    return DecisionSource::FailSafeMiscalibrated;
+  }
   const bool window_full =
       collector.window().size() >= static_cast<std::size_t>(frames_per_segment);
   if (!window_full || !collector.window_contiguous()) {

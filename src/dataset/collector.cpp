@@ -18,15 +18,25 @@ SegmentCollector::SegmentCollector(sim::TrafficSimulator& sim, const sim::Camera
 Image SegmentCollector::preprocess_frame() {
   if (config_.mode == PipelineMode::FullVP) {
     // Fig. 3 pipeline: camera frame -> dynamic-background subtraction with
-    // opening morphology -> top-down warp -> binarize.
-    const Image frame = camera_.render(sim_, rng_);
+    // opening morphology -> top-down warp -> binarize. A geometric fault
+    // perturbs the rendered view; the (possibly recalibrated) remap is
+    // whatever image_to_grid_ currently holds.
+    const Image frame = camera_.render(sim_, rng_, view_perturbation_);
     const Image mask = bg_.apply(frame);
     const Image warped = image_to_grid_.warp(mask, config_.grid_w, config_.grid_h);
     return warped.threshold(0.5f);
   }
 
-  // FastTopdown: ideal VP output + weather-noise emulation.
-  Image grid = camera_.rasterize_topdown(sim_, config_.grid_w, config_.grid_h);
+  // FastTopdown: ideal VP output + weather-noise emulation. Under a view
+  // perturbation the effective ground->grid mapping is the remap applied
+  // to where the perturbed camera actually images each ground point:
+  // image_to_grid ∘ view ∘ ground_to_image. Without one, the legacy pure
+  // scale rasterizer runs unchanged (bit-identity with geometry off).
+  Image grid = view_perturbation_ == nullptr
+                   ? camera_.rasterize_topdown(sim_, config_.grid_w, config_.grid_h)
+                   : camera_.rasterize_topdown_mapped(
+                         sim_, config_.grid_w, config_.grid_h,
+                         image_to_grid_ * (*view_perturbation_) * camera_.ground_to_image());
   const auto weather = sim_.weather().weather;
   float speckle = config_.speckle_base;
   float dropout = 0.0f;
@@ -173,6 +183,10 @@ void SegmentCollector::save_state(common::StateWriter& w) const {
   w.u64(frames_corrupted_);
   w.i32(hold_frames_);
   w.u64(hold_subject_id_);
+  // The applied remap: under online recalibration this diverges from the
+  // construction-time ideal, and a restored collector must keep warping
+  // through the same matrix the killed one had swapped in.
+  for (double v : image_to_grid_.matrix()) w.f64(v);
 }
 
 void SegmentCollector::load_state(common::StateReader& r) {
@@ -200,6 +214,9 @@ void SegmentCollector::load_state(common::StateReader& r) {
   frames_corrupted_ = static_cast<std::size_t>(r.u64());
   hold_frames_ = r.i32();
   hold_subject_id_ = r.u64();
+  std::array<double, 9> m{};
+  for (double& v : m) v = r.f64();
+  image_to_grid_ = vision::Homography(m);
 }
 
 }  // namespace safecross::dataset

@@ -86,6 +86,19 @@ class SegmentCollector {
     frame_hook_ = std::move(hook);
   }
 
+  /// Wire the geometric fault family in: a non-null pointer is read every
+  /// frame as the current ideal->perturbed view homography (typically
+  /// runtime::FaultInjector::view_perturbation()), and the preprocessing
+  /// paths render/rasterize through it — the camera really moved. Null
+  /// (the default) keeps the exact legacy code path, bit-identically.
+  void set_view_perturbation(const vision::Homography* view) { view_perturbation_ = view; }
+
+  /// The image->grid homography currently applied by the preprocessing
+  /// paths, and the recalibration loop's swap point: replacing it re-aims
+  /// the top-down remap without touching the camera's ideal calibration.
+  const vision::Homography& image_to_grid() const { return image_to_grid_; }
+  void set_image_to_grid(const vision::Homography& h) { image_to_grid_ = h; }
+
   const std::vector<VideoSegment>& segments() const { return segments_; }
   std::vector<VideoSegment> take_segments();
 
@@ -139,6 +152,7 @@ class SegmentCollector {
   safecross::Rng rng_;
   vision::RunningAverageBackground bg_;
   vision::Homography image_to_grid_;
+  const vision::Homography* view_perturbation_ = nullptr;
 
   std::deque<vision::Image> window_;
   std::deque<bool> blind_window_;     // blind-area flag per frame

@@ -1,8 +1,32 @@
 #include "runtime/fault_injector.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/checksum.h"
 
 namespace safecross::runtime {
+
+namespace {
+
+// Named-stream salt for the geometric fault RNG. The geometric stream is
+// seeded as (seed ^ salt) rather than forked from the frame-fault stream:
+// Rng::fork() consumes a draw from the parent, which would shift every
+// existing drop/freeze/noise sequence the golden traces pin.
+constexpr std::uint64_t kGeometryStreamSalt = 0x6E0FA175D21F7C3BULL;
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+// Rigid 2-D motion about the image centre as a homography: translate the
+// centre to the origin, rotate, translate back plus the offset.
+vision::Homography about_centre(double cx, double cy, double dx, double dy, double rot) {
+  const double c = std::cos(rot), s = std::sin(rot);
+  return vision::Homography({c, -s, cx + dx - c * cx + s * cy,
+                             s, c, cy + dy - s * cx - c * cy,
+                             0.0, 0.0, 1.0});
+}
+
+}  // namespace
 
 const char* frame_fault_name(FrameFault f) {
   switch (f) {
@@ -16,7 +40,60 @@ const char* frame_fault_name(FrameFault f) {
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
-    : plan_(plan), rng_(seed) {}
+    : plan_(plan), rng_(seed), geo_rng_(seed ^ kGeometryStreamSalt) {}
+
+void FaultInjector::set_frame_size(int width, int height) {
+  frame_width_ = width;
+  frame_height_ = height;
+}
+
+void FaultInjector::step_geometry() {
+  const GeometricFaultPlan& g = plan_.geometry;
+  if (!geo_seeded_) {
+    const double angle = geo_rng_.uniform(0.0, kTwoPi);
+    drift_dir_x_ = std::cos(angle);
+    drift_dir_y_ = std::sin(angle);
+    drift_rot_sign_ = geo_rng_.bernoulli(0.5) ? 1.0 : -1.0;
+    shake_phase_x_ = geo_rng_.uniform(0.0, kTwoPi);
+    shake_phase_y_ = geo_rng_.uniform(0.0, kTwoPi);
+    geo_seeded_ = true;
+  }
+  ++geo_frames_;
+  if (g.bump_prob > 0.0 && geo_rng_.bernoulli(g.bump_prob)) {
+    bump_dx_ += geo_rng_.uniform(-g.bump_max_px, g.bump_max_px);
+    bump_dy_ += geo_rng_.uniform(-g.bump_max_px, g.bump_max_px);
+    bump_rot_ += geo_rng_.uniform(-g.bump_max_rot, g.bump_max_rot);
+    ++bumps_;
+  }
+  double ramp = 0.0;
+  if (geo_frames_ > g.drift_start_frame) {
+    ramp = static_cast<double>(std::min(geo_frames_, g.drift_stop_frame) -
+                               g.drift_start_frame);
+  }
+  double dx = g.drift_px_per_frame * ramp * drift_dir_x_ + bump_dx_;
+  double dy = g.drift_px_per_frame * ramp * drift_dir_y_ + bump_dy_;
+  const double rot = g.drift_rot_per_frame * ramp * drift_rot_sign_ + bump_rot_;
+  if (g.shake_amp_px > 0.0 && g.shake_period_frames > 0.0) {
+    const double phase = kTwoPi * static_cast<double>(geo_frames_) / g.shake_period_frames;
+    dx += g.shake_amp_px * std::sin(phase + shake_phase_x_);
+    dy += g.shake_amp_px * std::sin(phase + shake_phase_y_);
+  }
+  const double cx = (frame_width_ - 1) / 2.0;
+  const double cy = (frame_height_ - 1) / 2.0;
+  view_ = about_centre(cx, cy, dx, dy, rot);
+}
+
+double FaultInjector::perturbation_drift_px() const {
+  if (frame_width_ <= 0) return 0.0;
+  const double w = frame_width_ - 1, h = frame_height_ - 1;
+  const vision::Point2 corners[4] = {{0, 0}, {w, 0}, {0, h}, {w, h}};
+  double sum = 0.0;
+  for (const vision::Point2& c : corners) {
+    const vision::Point2 p = view_.apply(c);
+    sum += std::hypot(p.x - c.x, p.y - c.y);
+  }
+  return sum / 4.0;
+}
 
 FrameFault FaultInjector::next_frame_fault() {
   ++frames_seen_;
@@ -24,6 +101,9 @@ FrameFault FaultInjector::next_frame_fault() {
     current_ = FrameFault::None;
     return current_;
   }
+  // The camera keeps moving through blackouts and stream faults, so the
+  // geometry advances before the per-frame fate is decided.
+  if (geometry_active()) step_geometry();
   if (blackout_left_ > 0) {
     --blackout_left_;
     ++blackout_frames_total_;
@@ -105,6 +185,21 @@ void FaultInjector::save_state(common::StateWriter& w) const {
   w.u64(noise_bursts_);
   w.u64(blackout_frames_total_);
   w.u64(switch_failures_);
+  geo_rng_.save_state(w);
+  w.i32(frame_width_);
+  w.i32(frame_height_);
+  w.boolean(geo_seeded_);
+  w.f64(drift_dir_x_);
+  w.f64(drift_dir_y_);
+  w.f64(drift_rot_sign_);
+  w.f64(shake_phase_x_);
+  w.f64(shake_phase_y_);
+  w.f64(bump_dx_);
+  w.f64(bump_dy_);
+  w.f64(bump_rot_);
+  w.u64(geo_frames_);
+  w.u64(bumps_);
+  for (double v : view_.matrix()) w.f64(v);
 }
 
 void FaultInjector::load_state(common::StateReader& r) {
@@ -117,6 +212,23 @@ void FaultInjector::load_state(common::StateReader& r) {
   noise_bursts_ = static_cast<std::size_t>(r.u64());
   blackout_frames_total_ = static_cast<std::size_t>(r.u64());
   switch_failures_ = static_cast<std::size_t>(r.u64());
+  geo_rng_.load_state(r);
+  frame_width_ = r.i32();
+  frame_height_ = r.i32();
+  geo_seeded_ = r.boolean();
+  drift_dir_x_ = r.f64();
+  drift_dir_y_ = r.f64();
+  drift_rot_sign_ = r.f64();
+  shake_phase_x_ = r.f64();
+  shake_phase_y_ = r.f64();
+  bump_dx_ = r.f64();
+  bump_dy_ = r.f64();
+  bump_rot_ = r.f64();
+  geo_frames_ = static_cast<std::size_t>(r.u64());
+  bumps_ = static_cast<std::size_t>(r.u64());
+  std::array<double, 9> m{};
+  for (double& v : m) v = r.f64();
+  view_ = vision::Homography(m);
 }
 
 }  // namespace safecross::runtime

@@ -20,6 +20,7 @@
 #include <filesystem>
 
 #include "common/rng.h"
+#include "vision/homography.h"
 #include "vision/image.h"
 
 namespace safecross::runtime {
@@ -35,6 +36,38 @@ enum class FrameFault {
 
 const char* frame_fault_name(FrameFault f);
 
+/// Geometric (extrinsic) camera faults. Unlike the frame-level faults,
+/// these do not damage individual frames — they move the camera, which
+/// silently invalidates the calibrated top-down remap and the danger
+/// zone. The injector accumulates them into a per-frame perturbation
+/// homography (`view_perturbation()`) that maps the *ideal* camera's
+/// pixel coordinates to the perturbed camera's, composed about the image
+/// centre. All magnitudes are in pixels / radians at the image plane.
+struct GeometricFaultPlan {
+  // Gradual extrinsic drift: a slow constant-rate translation+rotation
+  // ramp in a seeded random direction, active on frames in
+  // [drift_start_frame, drift_stop_frame); the accumulated offset is
+  // held after the ramp stops (the mount settled, still mis-aimed).
+  double drift_px_per_frame = 0.0;
+  double drift_rot_per_frame = 0.0;  // radians per frame about the centre
+  std::size_t drift_start_frame = 0;
+  std::size_t drift_stop_frame = static_cast<std::size_t>(-1);
+  // Wind shake: bounded sinusoidal sway with seeded phases; oscillates,
+  // never accumulates.
+  double shake_amp_px = 0.0;
+  double shake_period_frames = 45.0;
+  // Bump re-aim: a per-frame probability of a step change that persists
+  // (someone or something knocked the mount).
+  double bump_prob = 0.0;
+  double bump_max_px = 4.0;
+  double bump_max_rot = 0.02;
+
+  bool enabled() const {
+    return drift_px_per_frame > 0.0 || drift_rot_per_frame > 0.0 ||
+           shake_amp_px > 0.0 || bump_prob > 0.0;
+  }
+};
+
 /// Per-frame fault probabilities plus infrastructure failure rates. All
 /// zero by default: a FaultInjector with a default plan is a no-op.
 struct FaultPlan {
@@ -45,10 +78,11 @@ struct FaultPlan {
   double blackout_prob = 0.0;   // P(a blackout interval starts) per frame
   int blackout_frames = 30;     // blackout length once started (~1 s)
   double switch_failure_prob = 0.0;  // P(a model switch attempt fails)
+  GeometricFaultPlan geometry;       // extrinsic camera faults
 
   bool enabled() const {
     return drop_prob > 0.0 || freeze_prob > 0.0 || noise_prob > 0.0 ||
-           blackout_prob > 0.0 || switch_failure_prob > 0.0;
+           blackout_prob > 0.0 || switch_failure_prob > 0.0 || geometry.enabled();
   }
 };
 
@@ -74,6 +108,31 @@ class FaultInjector {
   /// Should the pending model-switch attempt fail? Wire this into
   /// switching::ModelSwitcher's failure hook.
   bool next_switch_fails();
+
+  // --- geometric faults ---
+  // Geometric faults draw from their own named RNG stream (seed ^ salt),
+  // never from the frame-fault stream: enabling a drift plan must not
+  // shift the drop/freeze/noise sequence an existing golden trace pins.
+
+  /// Arm the geometric fault family: the perturbation rotates about the
+  /// centre of a width x height image. Until this is called the geometry
+  /// is inert and view_perturbation() stays identity even when the plan
+  /// has geometric faults.
+  void set_frame_size(int width, int height);
+
+  /// True when the plan has geometric faults and set_frame_size was called.
+  bool geometry_active() const { return plan_.geometry.enabled() && frame_width_ > 0; }
+
+  /// The current ideal-pixel -> perturbed-pixel homography, advanced once
+  /// per next_frame_fault() call while geometry is active. The reference
+  /// is stable: callers may hold a pointer for per-frame reads.
+  const vision::Homography& view_perturbation() const { return view_; }
+
+  /// Mean image-corner displacement (px) of the current perturbation —
+  /// the injector-side ground truth the drift bench sweeps against.
+  double perturbation_drift_px() const;
+
+  std::size_t bumps() const { return bumps_; }
 
   // --- counters (for the bench report) ---
   std::size_t frames_seen() const { return frames_seen_; }
@@ -105,6 +164,8 @@ class FaultInjector {
   void load_state(common::StateReader& r);
 
  private:
+  void step_geometry();
+
   FaultPlan plan_;
   Rng rng_;
   FrameFault current_ = FrameFault::None;
@@ -116,6 +177,25 @@ class FaultInjector {
   std::size_t noise_bursts_ = 0;
   std::size_t blackout_frames_total_ = 0;
   std::size_t switch_failures_ = 0;
+
+  // Geometric fault state. geo_rng_ is the isolated named stream; the
+  // drift direction / rotation sign / shake phases are drawn lazily on
+  // the first active frame so an unarmed injector consumes nothing.
+  Rng geo_rng_;
+  int frame_width_ = 0;
+  int frame_height_ = 0;
+  bool geo_seeded_ = false;
+  double drift_dir_x_ = 0.0;
+  double drift_dir_y_ = 0.0;
+  double drift_rot_sign_ = 1.0;
+  double shake_phase_x_ = 0.0;
+  double shake_phase_y_ = 0.0;
+  double bump_dx_ = 0.0;
+  double bump_dy_ = 0.0;
+  double bump_rot_ = 0.0;
+  std::size_t geo_frames_ = 0;
+  std::size_t bumps_ = 0;
+  vision::Homography view_;  // identity until geometry advances
 };
 
 }  // namespace safecross::runtime

@@ -21,6 +21,7 @@ const char* decision_source_name(DecisionSource s) {
     case DecisionSource::FailSafeSwitchInFlight: return "failsafe-switch-in-flight";
     case DecisionSource::FailSafeDeadline: return "failsafe-deadline";
     case DecisionSource::FailSafeStageDown: return "failsafe-stage-down";
+    case DecisionSource::FailSafeMiscalibrated: return "failsafe-miscalibrated";
   }
   return "?";
 }
@@ -48,7 +49,8 @@ void HealthMonitor::frame_ok() {
   // De-escalate one level at a time after a sustained healthy streak; a
   // latched switch failure pins FailSafe regardless of stream health.
   if (healthy_streak_ >= config_.recover_after_healthy && state_ != HealthState::Nominal &&
-      !switch_failure_latched_ && !fail_safe_latched() && switch_frames_left_ == 0) {
+      !switch_failure_latched_ && !miscalibrated_ && !fail_safe_latched() &&
+      switch_frames_left_ == 0) {
     state_ = static_cast<HealthState>(static_cast<int>(state_) - 1);
     healthy_streak_ = 0;
     ++transitions_;
@@ -97,6 +99,7 @@ void HealthMonitor::save_state(common::StateWriter& w) const {
   w.i32(healthy_streak_);
   w.i32(switch_frames_left_);
   w.boolean(switch_failure_latched_);
+  w.boolean(miscalibrated_);
   w.u64(transitions_);
   for (std::size_t n : frames_in_) w.u64(n);
 }
@@ -108,6 +111,7 @@ void HealthMonitor::load_state(common::StateReader& r) {
   healthy_streak_ = r.i32();
   switch_frames_left_ = r.i32();
   switch_failure_latched_ = r.boolean();
+  miscalibrated_ = r.boolean();
   transitions_ = static_cast<std::size_t>(r.u64());
   for (std::size_t& n : frames_in_) n = static_cast<std::size_t>(r.u64());
 }

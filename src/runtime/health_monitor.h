@@ -40,9 +40,10 @@ enum class DecisionSource {
   FailSafeSwitchInFlight,    // model swap in progress or latched failure
   FailSafeDeadline,          // classifier blew the per-decision deadline
   FailSafeStageDown,         // a pipeline stage exhausted its retry budget
+  FailSafeMiscalibrated,     // camera drifted past the calibration threshold
 };
 
-constexpr int kDecisionSourceCount = 6;
+constexpr int kDecisionSourceCount = 7;
 
 const char* decision_source_name(DecisionSource s);
 
@@ -84,6 +85,20 @@ class HealthMonitor {
 
   bool switch_in_flight() const { return switch_frames_left_ > 0; }
   bool switch_failure_latched() const { return switch_failure_latched_; }
+
+  // --- calibration events ---
+  /// Latch/clear the miscalibration cause: the recalibration loop detected
+  /// residual camera drift past its threshold (on) or swapped a fresh
+  /// homography in (off). While latched the monitor holds at least
+  /// Degraded and decisions gate to conservative warns
+  /// (DecisionSource::FailSafeMiscalibrated). Called from the same thread
+  /// that drives the frame events — the tick/collect thread — so this is
+  /// a plain bool, not an atomic.
+  void set_miscalibrated(bool on) {
+    miscalibrated_ = on;
+    if (on) escalate(HealthState::Degraded);
+  }
+  bool miscalibrated() const { return miscalibrated_; }
 
   // --- supervisor latch ---
   /// Pin FailSafe from outside the frame stream: a pipeline stage
@@ -136,6 +151,7 @@ class HealthMonitor {
   int healthy_streak_ = 0;
   int switch_frames_left_ = 0;
   bool switch_failure_latched_ = false;
+  bool miscalibrated_ = false;
   std::size_t transitions_ = 0;
   std::size_t frames_in_[3] = {0, 0, 0};
 };

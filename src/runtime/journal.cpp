@@ -48,6 +48,15 @@ bool decode_body(common::StateReader& r, JournalRecord& out) {
     s.weather = r.u8();
     s.delay_ms = r.f64();
     s.at_decision = r.u64();
+  } else if (type == static_cast<std::uint8_t>(JournalRecordType::Recalibration)) {
+    out.type = JournalRecordType::Recalibration;
+    RecalibrationEntry& c = out.recalibration;
+    c.stream = r.u32();
+    c.frame = r.u64();
+    for (double& v : c.image_to_grid) v = r.f64();
+    c.residual_rms = r.f64();
+    c.drift_px = r.f64();
+    c.attempts = r.u32();
   } else {
     return false;
   }
@@ -107,11 +116,19 @@ std::string Journal::encode(const JournalRecord& record) {
     payload.boolean(d.warn);
     payload.u8(d.source);
     payload.f64(d.latency_ms);
-  } else {
+  } else if (record.type == JournalRecordType::ModelSwitch) {
     const SwitchEntry& s = record.model_switch;
     payload.u8(s.weather);
     payload.f64(s.delay_ms);
     payload.u64(s.at_decision);
+  } else {
+    const RecalibrationEntry& c = record.recalibration;
+    payload.u32(c.stream);
+    payload.u64(c.frame);
+    for (double v : c.image_to_grid) payload.f64(v);
+    payload.f64(c.residual_rms);
+    payload.f64(c.drift_px);
+    payload.u32(c.attempts);
   }
 
   common::StateWriter frame;

@@ -25,6 +25,7 @@
 // bench_recovery sweeps it. In-process kills (the chaos harness) always
 // see every flushed byte.
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -52,6 +53,7 @@ struct JournalConfig {
 enum class JournalRecordType : std::uint8_t {
   Decision = 1,
   ModelSwitch = 2,
+  Recalibration = 3,
 };
 
 /// One emitted decision. Weather/source enums travel as raw bytes so the
@@ -78,10 +80,25 @@ struct SwitchEntry {
   std::uint64_t at_decision = 0;  // decisions journaled before the swap
 };
 
+/// One accepted online recalibration: the image->grid homography the
+/// recalibration loop swapped in, with the diagnostics that justified it.
+/// Recovery replays these against the re-derived calibration lineage and
+/// requires bit-identical matrices — the calibration history is part of
+/// the deterministic stream contract, not advisory metadata.
+struct RecalibrationEntry {
+  std::uint32_t stream = 0;
+  std::uint64_t frame = 0;           // 1-based frame the swap landed on
+  std::array<double, 9> image_to_grid{};
+  double residual_rms = 0.0;
+  double drift_px = 0.0;             // detected drift that triggered it
+  std::uint32_t attempts = 0;        // estimate attempts (retry_with_backoff)
+};
+
 struct JournalRecord {
   JournalRecordType type = JournalRecordType::Decision;
   DecisionEntry decision;
   SwitchEntry model_switch;
+  RecalibrationEntry recalibration;
 };
 
 class Journal {

@@ -18,7 +18,32 @@ StreamContext::StreamContext(StreamConfig config)
       model_weather_(config_.weather) {
   if (injector_active_) {
     collector_.set_frame_hook([this](vision::Image& frame) { injector_.perturb(frame); });
+    if (config_.faults.geometry.enabled()) {
+      injector_.set_frame_size(camera_.config().width, camera_.config().height);
+      collector_.set_view_perturbation(&injector_.view_perturbation());
+    }
   }
+  if (config_.recalib.enabled) {
+    config_.recalib.frame_width = camera_.config().width;
+    config_.recalib.frame_height = camera_.config().height;
+    estimator_ = std::make_unique<vision::CalibrationEstimator>(camera_.reference_view(sim_),
+                                                                config_.recalib.estimator);
+    recalib_ = std::make_unique<runtime::RecalibrationLoop>(
+        config_.recalib, camera_.image_to_grid(config_.vp.grid_w, config_.vp.grid_h), &health_,
+        [this](const vision::Homography& guess) {
+          const vision::Homography* view =
+              injector_.geometry_active() ? &injector_.view_perturbation() : nullptr;
+          return estimator_->estimate(camera_.render_view(sim_, view), guess);
+        },
+        [this](const vision::Homography& h) { collector_.set_image_to_grid(h); });
+  }
+}
+
+std::vector<runtime::RecalibrationEntry> StreamContext::take_recalibrations() {
+  std::lock_guard<std::mutex> lk(recalib_mu_);
+  std::vector<runtime::RecalibrationEntry> out;
+  out.swap(recalib_outbox_);
+  return out;
 }
 
 std::optional<ReadyWindow> StreamContext::tick() {
@@ -39,6 +64,17 @@ std::optional<ReadyWindow> StreamContext::tick() {
   FrameFault fault = FrameFault::None;
   if (injector_active_) fault = injector_.next_frame_fault();
   core::apply_frame_fault(collector_, health_, fault);
+  if (recalib_) {
+    // The loop (and its estimate/apply callbacks) runs right here on the
+    // producer thread, which owns the sim and collector. Completed
+    // recalibrations cross to the consumer through the locked outbox.
+    recalib_->on_frame(frame_);
+    std::vector<runtime::RecalibrationEntry> done = recalib_->take_completed();
+    if (!done.empty()) {
+      std::lock_guard<std::mutex> lk(recalib_mu_);
+      recalib_outbox_.insert(recalib_outbox_.end(), done.begin(), done.end());
+    }
+  }
   ++frames_since_decision_;
 
   const sim::Vehicle* subject = sim_.subject(config_.vp.approach);
@@ -82,6 +118,11 @@ void StreamContext::save_state(common::StateWriter& w) const {
   health_.save_state(w);
   w.boolean(injector_active_);
   if (injector_active_) injector_.save_state(w);
+  // Snapshots are cut at quiescent points where the server has already
+  // drained the recalibration outbox into the journal, so only the loop
+  // itself is state here.
+  w.boolean(recalib_ != nullptr);
+  if (recalib_) recalib_->save_state(w);
   w.u8(static_cast<std::uint8_t>(model_weather_));
   w.u64(schedule_pos_);
   w.u64(frame_);
@@ -109,6 +150,11 @@ void StreamContext::load_state(common::StateReader& r) {
     throw common::StateError("stream: fault-plan mismatch between snapshot and config");
   }
   if (injector_active_) injector_.load_state(r);
+  const bool recalib_was_on = r.boolean();
+  if (recalib_was_on != (recalib_ != nullptr)) {
+    throw common::StateError("stream: recalibration mismatch between snapshot and config");
+  }
+  if (recalib_) recalib_->load_state(r);
   model_weather_ = static_cast<Weather>(r.u8());
   schedule_pos_ = static_cast<std::size_t>(r.u64());
   frame_ = static_cast<std::size_t>(r.u64());

@@ -29,6 +29,8 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,8 +39,10 @@
 #include "dataset/collector.h"
 #include "runtime/fault_injector.h"
 #include "runtime/health_monitor.h"
+#include "runtime/recalibration.h"
 #include "sim/camera.h"
 #include "sim/traffic.h"
+#include "vision/calibration.h"
 
 namespace safecross::serving {
 
@@ -68,6 +72,10 @@ struct StreamConfig {
   runtime::HealthConfig health;
   runtime::FaultPlan faults;            // per-stream frame-fault plan
   std::uint64_t fault_seed = 0xFA0117u;
+  // Online self-healing calibration (see runtime/recalibration.h). Off by
+  // default: no estimator is built and every frame runs the exact legacy
+  // code path. Frame dims are taken from the stream's camera.
+  runtime::RecalibrationConfig recalib;
   std::vector<ModelSwitchEvent> model_schedule;  // ascending at_frame
   // Producer-crash schedule (1-based frame ordinals): the supervised
   // stream worker throws immediately *before* processing these frames.
@@ -132,6 +140,17 @@ class StreamContext {
     return injector_active_ ? &injector_ : nullptr;
   }
 
+  /// The self-healing calibration loop, or nullptr when recalib.enabled
+  /// is false (counters, state, lineage — see runtime/recalibration.h).
+  const runtime::RecalibrationLoop* recalibration() const { return recalib_.get(); }
+
+  /// Recalibrations accepted by tick() since the last take, handed across
+  /// the producer→consumer boundary for write-ahead journaling (the
+  /// journal lives on the consumer thread). Mutex-guarded: tick() appends,
+  /// the server's deciding thread drains. `stream` is left for the server
+  /// to fill, like ReadyWindow::stream.
+  std::vector<runtime::RecalibrationEntry> take_recalibrations();
+
   /// Per-seq verdict trace (empty unless enabled before the run).
   void set_record_trace(bool on) { record_trace_ = on; }
   const std::vector<DecisionRecord>& trace() const { return trace_; }
@@ -154,6 +173,10 @@ class StreamContext {
   runtime::HealthMonitor health_;
   runtime::FaultInjector injector_;  // no-op when the plan is all-zero
   bool injector_active_ = false;
+  std::unique_ptr<vision::CalibrationEstimator> estimator_;
+  std::unique_ptr<runtime::RecalibrationLoop> recalib_;
+  std::mutex recalib_mu_;  // guards recalib_outbox_ (producer vs consumer)
+  std::vector<runtime::RecalibrationEntry> recalib_outbox_;
   Weather model_weather_;
   std::size_t schedule_pos_ = 0;
   std::size_t frame_ = 0;

@@ -46,6 +46,7 @@ StreamServer::StreamServer(core::SafeCross& engine, StreamServerConfig config)
   shed_.assign(k, 0);
   high_water_.assign(k, 0);
   pending_.resize(k);
+  pending_recalib_.resize(k);
   parked_ = std::make_unique<std::atomic<char>[]>(k);
   finished_ = std::make_unique<std::atomic<char>[]>(k);
   for (std::size_t i = 0; i < k; ++i) {
@@ -111,6 +112,20 @@ std::uint64_t StreamServer::config_fingerprint() const {
     w.f64(sc.faults.blackout_prob);
     w.i32(sc.faults.blackout_frames);
     w.f64(sc.faults.switch_failure_prob);
+    w.f64(sc.faults.geometry.drift_px_per_frame);
+    w.f64(sc.faults.geometry.drift_rot_per_frame);
+    w.u64(sc.faults.geometry.drift_start_frame);
+    w.u64(sc.faults.geometry.drift_stop_frame);
+    w.f64(sc.faults.geometry.shake_amp_px);
+    w.f64(sc.faults.geometry.shake_period_frames);
+    w.f64(sc.faults.geometry.bump_prob);
+    w.f64(sc.faults.geometry.bump_max_px);
+    w.f64(sc.faults.geometry.bump_max_rot);
+    w.boolean(sc.recalib.enabled);
+    w.u64(sc.recalib.check_every_frames);
+    w.f64(sc.recalib.drift_threshold_px);
+    w.u64(sc.recalib.solve_latency_frames);
+    w.u64(sc.recalib.estimator.seed);
     w.u64(sc.model_schedule.size());
     for (const ModelSwitchEvent& ev : sc.model_schedule) {
       w.u64(ev.at_frame);
@@ -225,6 +240,40 @@ void StreamServer::journal_decision(const ReadyWindow& w, const core::SafeCross:
   journal_.append(rec);
 }
 
+void StreamServer::journal_recalibrations(std::size_t i) {
+  StreamContext& ctx = *streams_[i];
+  if (ctx.recalibration() == nullptr) return;
+  std::vector<runtime::RecalibrationEntry> done = ctx.take_recalibrations();
+  for (runtime::RecalibrationEntry& e : done) {
+    e.stream = static_cast<std::uint32_t>(i);
+    auto& pend = pending_recalib_[i];
+    auto it = pend.find(e.frame);
+    if (it != pend.end()) {
+      // The killed run already journaled this recalibration: the re-run
+      // must have re-derived the identical one, or the calibration
+      // lineage — and with it every later warp — has diverged.
+      const runtime::RecalibrationEntry& j = it->second;
+      bool same = j.attempts == e.attempts && j.residual_rms == e.residual_rms &&
+                  j.drift_px == e.drift_px;
+      for (std::size_t m = 0; same && m < e.image_to_grid.size(); ++m) {
+        same = j.image_to_grid[m] == e.image_to_grid[m];
+      }
+      if (!same) {
+        throw std::runtime_error(
+            "StreamServer: journal replay diverged from re-derived recalibration");
+      }
+      pend.erase(it);
+      continue;  // already durable: exactly-once
+    }
+    if (journal_.is_open()) {
+      runtime::JournalRecord rec;
+      rec.type = runtime::JournalRecordType::Recalibration;
+      rec.recalibration = e;
+      journal_.append(rec);
+    }
+  }
+}
+
 void StreamServer::write_snapshot_now() {
   snapshots_->write(snapshot_payload(), config_.durability.crash);
   decisions_since_snapshot_ = 0;
@@ -263,13 +312,25 @@ RecoveryReport StreamServer::recover() {
   // set: when the deterministic re-run re-produces those windows, the
   // journaled verdict is applied instead of re-deciding (exactly-once).
   for (const runtime::JournalRecord& rec : replay.records) {
-    if (rec.type != runtime::JournalRecordType::Decision) continue;
-    const std::size_t stream = rec.decision.stream;
-    if (stream >= streams_.size()) continue;  // defensive: fingerprint pins K
-    if (rec.decision.seq < streams_[stream]->windows_produced()) continue;  // in snapshot
-    pending_[stream].insert_or_assign(rec.decision.seq, rec.decision);
+    if (rec.type == runtime::JournalRecordType::Decision) {
+      const std::size_t stream = rec.decision.stream;
+      if (stream >= streams_.size()) continue;  // defensive: fingerprint pins K
+      if (rec.decision.seq < streams_[stream]->windows_produced()) continue;  // in snapshot
+      pending_[stream].insert_or_assign(rec.decision.seq, rec.decision);
+    } else if (rec.type == runtime::JournalRecordType::Recalibration) {
+      // Recalibrations already reflected in the snapshot (applied at a
+      // frame the restored stream has lived through) need no replay; the
+      // rest must be re-derived bit-identically by the resumed run.
+      const std::size_t stream = rec.recalibration.stream;
+      if (stream >= streams_.size()) continue;
+      if (rec.recalibration.frame <= streams_[stream]->frames_run()) continue;
+      pending_recalib_[stream].insert_or_assign(rec.recalibration.frame, rec.recalibration);
+    }
   }
   for (const auto& pend : pending_) report.journal_pending += pend.size();
+  for (const auto& pend : pending_recalib_) {
+    report.journal_pending_recalibrations += pend.size();
+  }
 
   // 4. Drop the torn tail so the re-appended records follow the valid
   // prefix directly. A journal with a damaged header never replayed any
@@ -430,6 +491,9 @@ void StreamServer::barrier_snapshot(
     }
   }
   while (std::optional<Batch> batch = batcher.flush()) decide_batch(*batch);
+  // Every recalibration the snapshot will bake in must already be durable
+  // in the journal (the snapshot deliberately carries no outbox state).
+  for (std::size_t i = 0; i < k; ++i) journal_recalibrations(i);
   write_snapshot_now();
   {
     std::lock_guard<std::mutex> lk(park_mu_);
@@ -483,7 +547,9 @@ void StreamServer::run() {
       bool all_drained = true;
       bool progressed = false;
       for (std::size_t j = 0; j < k; ++j) {
-        runtime::BoundedQueue<ReadyWindow>& q = *queues[(rr + j) % k];
+        const std::size_t idx = (rr + j) % k;
+        journal_recalibrations(idx);
+        runtime::BoundedQueue<ReadyWindow>& q = *queues[idx];
         while (std::optional<ReadyWindow> w = q.pop(std::chrono::milliseconds(0))) {
           progressed = true;
           accept(batcher, std::move(*w));
@@ -534,6 +600,7 @@ void StreamServer::run() {
   }
 
   supervisor.join();
+  for (std::size_t i = 0; i < k; ++i) journal_recalibrations(i);
   for (std::size_t i = 0; i < k; ++i) {
     shed_[i] = queues[i]->shed();
     high_water_[i] = queues[i]->high_water();
@@ -552,6 +619,7 @@ void StreamServer::run_sequential() {
     StreamContext& ctx = *streams_[i];
     while (ctx.frames_run() < config_.frames) {
       std::optional<ReadyWindow> w = ctx.tick();
+      journal_recalibrations(i);
       if (!w) continue;
       w->stream = i;
       if (apply_replayed(*w)) {

@@ -94,6 +94,9 @@ struct RecoveryReport {
   std::vector<std::string> snapshots_rejected;  // "file: reason", newest first
   std::uint64_t journal_records = 0;   // valid prefix length (all streams)
   std::uint64_t journal_pending = 0;   // journaled decisions newer than the snapshot
+  // Journaled recalibrations newer than the snapshot: the re-run must
+  // re-derive each one bit-identically (calibration lineage verification).
+  std::uint64_t journal_pending_recalibrations = 0;
   std::uint64_t journal_bytes_dropped = 0;  // torn/corrupt tail bytes truncated
   bool journal_missing = false;
   bool journal_bad_header = false;
@@ -223,6 +226,12 @@ class StreamServer {
   /// Write-ahead append of one decision (no-op when durability is off).
   void journal_decision(const ReadyWindow& w, const core::SafeCross::Decision& d,
                         double latency_ms);
+  /// Drain stream i's completed-recalibration outbox onto the deciding
+  /// thread: journal each entry, except ones the recovered journal already
+  /// holds — those are verified bit-exactly against the re-derived lineage
+  /// (divergence throws) and skipped (exactly-once). Runs on the deciding
+  /// thread only; a no-op for streams without a recalibration loop.
+  void journal_recalibrations(std::size_t i);
   bool snapshot_due() const {
     return durable() && config_.durability.snapshot_every_decisions > 0 &&
            decisions_since_snapshot_ >= config_.durability.snapshot_every_decisions;
@@ -259,6 +268,10 @@ class StreamServer {
   /// Journaled-but-not-snapshotted verdicts awaiting their re-produced
   /// window, per stream, keyed by seq. Consumed on the deciding thread.
   std::vector<std::map<std::uint64_t, runtime::DecisionEntry>> pending_;
+  /// Journaled-but-not-snapshotted recalibrations awaiting their
+  /// re-derived twin, per stream, keyed by frame. Consumed on the
+  /// deciding thread (journal_recalibrations).
+  std::vector<std::map<std::uint64_t, runtime::RecalibrationEntry>> pending_recalib_;
   std::size_t decisions_since_snapshot_ = 0;
   bool recovered_ = false;
   RecoveryReport recovery_;

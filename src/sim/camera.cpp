@@ -153,13 +153,20 @@ std::array<Point2, 4> CameraModel::vehicle_quad_image(const TrafficSimulator& si
   return out;
 }
 
-vision::Image CameraModel::render(const TrafficSimulator& sim, safecross::Rng& rng) const {
-  Image frame = background_;
+vision::Image CameraModel::render_scene(const TrafficSimulator& sim,
+                                        const vision::Homography* view) const {
+  // `project` maps an already-projected ideal image point into the
+  // (possibly perturbed) view; with view == nullptr it is the identity so
+  // the unperturbed path stays bit-identical to the pre-geometry renderer.
+  auto project = [view](const Point2& p) { return view ? view->apply(p) : p; };
+  Image frame = view ? view->warp(background_, config_.width, config_.height) : background_;
   const auto& w = sim.weather();
   for (const Vehicle& v : sim.vehicles()) {
     // Compress vehicle/road contrast in bad weather.
     const float value = 0.35f + (static_cast<float>(v.intensity) - 0.35f) * w.contrast;
-    fill_convex_quad(frame, vehicle_quad_image(sim, v), value);
+    std::array<Point2, 4> quad = vehicle_quad_image(sim, v);
+    for (Point2& p : quad) p = project(p);
+    fill_convex_quad(frame, quad, value);
   }
 
   // Pedestrians: small upright blobs on the crosswalks.
@@ -170,7 +177,7 @@ vision::Image CameraModel::render(const TrafficSimulator& sim, safecross::Rng& r
     const Point2 corners[4] = {{-half, -half}, {half, -half}, {half, half}, {-half, half}};
     for (int i = 0; i < 4; ++i) {
       quad[static_cast<std::size_t>(i)] =
-          ground_to_image_.apply({g.x + corners[i].x, g.y + corners[i].y});
+          project(ground_to_image_.apply({g.x + corners[i].x, g.y + corners[i].y}));
     }
     fill_convex_quad(frame, quad, 0.35f + (0.85f - 0.35f) * w.contrast);
   }
@@ -191,7 +198,7 @@ vision::Image CameraModel::render(const TrafficSimulator& sim, safecross::Rng& r
       for (int i = 0; i < 4; ++i) {
         const Point2 g{front.x + dir.x * corners[i].x + perp.x * corners[i].y,
                        front.y + dir.y * corners[i].x + perp.y * corners[i].y};
-        beam[static_cast<std::size_t>(i)] = ground_to_image_.apply(g);
+        beam[static_cast<std::size_t>(i)] = project(ground_to_image_.apply(g));
       }
       fill_convex_quad(frame, beam, 0.92f);
     }
@@ -206,6 +213,39 @@ vision::Image CameraModel::render(const TrafficSimulator& sim, safecross::Rng& r
       }
     }
   }
+  return frame;
+}
+
+vision::Image CameraModel::render_view(const TrafficSimulator& sim,
+                                       const vision::Homography* view) const {
+  Image frame = render_scene(sim, view);
+  if (config_.low_quality_blur) frame = frame.box_blur3();
+  return frame;
+}
+
+vision::Image CameraModel::reference_view(const TrafficSimulator& sim) const {
+  Image frame = background_;
+  const auto& w = sim.weather();
+  if (w.ambient < 1.0f) {
+    for (std::size_t i = 0; i < frame.size(); ++i) frame.data()[i] *= w.ambient;
+  }
+  if (w.fog_density > 0.0f) {
+    constexpr float veil = 0.72f;
+    for (int y = 0; y < frame.height(); ++y) {
+      for (int x = 0; x < frame.width(); ++x) {
+        const float t = 1.0f - std::exp(-w.fog_density * depth_.at(x, y));
+        frame.at(x, y) += (veil - frame.at(x, y)) * t;
+      }
+    }
+  }
+  if (config_.low_quality_blur) frame = frame.box_blur3();
+  return frame;
+}
+
+vision::Image CameraModel::render(const TrafficSimulator& sim, safecross::Rng& rng,
+                                  const vision::Homography* view) const {
+  Image frame = render_scene(sim, view);
+  const auto& w = sim.weather();
   const double kpx = static_cast<double>(config_.width) * config_.height / 1000.0;
   const int streaks = static_cast<int>(w.rain_streaks_per_kpx * kpx);
   for (int i = 0; i < streaks; ++i) {
@@ -266,6 +306,37 @@ vision::Image CameraModel::rasterize_topdown(const TrafficSimulator& sim, int gr
     const Point2 g = sim.pedestrian_position(p);
     const int cx = static_cast<int>(g.x * sx);
     const int cy = static_cast<int>(g.y * sy);
+    if (cx >= 0 && cy >= 0 && cx < grid_w && cy < grid_h) grid.at(cx, cy) = 1.0f;
+  }
+  return grid;
+}
+
+vision::Image CameraModel::rasterize_topdown_mapped(const TrafficSimulator& sim, int grid_w,
+                                                    int grid_h,
+                                                    const vision::Homography& ground_to_grid,
+                                                    double min_speed) const {
+  Image grid(grid_w, grid_h, 0.0f);
+  for (const Vehicle& v : sim.vehicles()) {
+    if (v.speed < min_speed) continue;  // background subtraction only sees motion
+    const Point2 front = sim.position(v);
+    const Point2 dir = sim.heading(v);
+    const Point2 center{front.x - dir.x * v.length / 2.0, front.y - dir.y * v.length / 2.0};
+    const Point2 perp{-dir.y, dir.x};
+    const double hl = v.length / 2.0;
+    const double hw = v.width / 2.0;
+    std::array<Point2, 4> quad;
+    const double ex[4] = {hl, hl, -hl, -hl};
+    const double ey[4] = {hw, -hw, -hw, hw};
+    for (int i = 0; i < 4; ++i) {
+      quad[i] = ground_to_grid.apply({center.x + dir.x * ex[i] + perp.x * ey[i],
+                                      center.y + dir.y * ex[i] + perp.y * ey[i]});
+    }
+    fill_convex_quad(grid, quad, 1.0f);
+  }
+  for (const Pedestrian& p : sim.pedestrians()) {
+    const Point2 g = ground_to_grid.apply(sim.pedestrian_position(p));
+    const int cx = static_cast<int>(g.x);
+    const int cy = static_cast<int>(g.y);
     if (cx >= 0 && cy >= 0 && cx < grid_w && cy < grid_h) grid.at(cx, cy) = 1.0f;
   }
   return grid;

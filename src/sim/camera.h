@@ -39,14 +39,41 @@ class CameraModel {
   /// per-frame noise.
   const vision::Image& background() const { return background_; }
 
-  /// Full camera frame at the simulator's current state.
-  vision::Image render(const TrafficSimulator& sim, safecross::Rng& rng) const;
+  /// Full camera frame at the simulator's current state. `view`, when
+  /// non-null, is an extrinsic perturbation homography (ideal pixel ->
+  /// perturbed pixel, e.g. FaultInjector::view_perturbation()): the
+  /// background is warped through it and every projected quad composes
+  /// it onto the ground->image mapping, so the rendered view really
+  /// moves. Null reproduces the unperturbed frame bit-identically.
+  vision::Image render(const TrafficSimulator& sim, safecross::Rng& rng,
+                       const vision::Homography* view = nullptr) const;
+
+  /// Deterministic clean frame (scene + weather ambient/fog + blur, no
+  /// per-frame rain/snow/sensor noise and no RNG): what the calibration
+  /// estimator samples, so a recalibration solve carries no hidden RNG
+  /// state into checkpoints.
+  vision::Image render_view(const TrafficSimulator& sim,
+                            const vision::Homography* view = nullptr) const;
+
+  /// Static reference for calibration: the background under the current
+  /// weather's deterministic effects (ambient, fog, blur) with no
+  /// vehicles or pedestrians — moving objects in a live frame become
+  /// RANSAC outliers against this.
+  vision::Image reference_view(const TrafficSimulator& sim) const;
 
   /// Ground-truth occupancy of moving vehicles on a gw x gh top-down grid
   /// covering the whole world rectangle (the ideal output of the VP
   /// pipeline; used by the fast dataset path).
   vision::Image rasterize_topdown(const TrafficSimulator& sim, int grid_w, int grid_h,
                                   double min_speed = 0.5) const;
+
+  /// rasterize_topdown through an explicit ground (metres) -> grid
+  /// mapping instead of the ideal axis-aligned scale: the fast dataset
+  /// path under a geometric perturbation, where the effective mapping is
+  /// image_to_grid ∘ view_perturbation ∘ ground_to_image.
+  vision::Image rasterize_topdown_mapped(const TrafficSimulator& sim, int grid_w, int grid_h,
+                                         const vision::Homography& ground_to_grid,
+                                         double min_speed = 0.5) const;
 
   /// Homography mapping camera-image pixels to top-down grid cells, for
   /// warping foreground masks into the 2-D representation (Fig. 3c).
@@ -64,6 +91,7 @@ class CameraModel {
  private:
   vision::Image render_background() const;
   vision::Image render_depth() const;
+  vision::Image render_scene(const TrafficSimulator& sim, const vision::Homography* view) const;
 
   IntersectionGeometry geometry_;
   CameraConfig config_;

@@ -1,0 +1,147 @@
+#include "vision/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace safecross::vision {
+
+namespace {
+
+// 4 distinct indices in [0, n) for a minimal homography sample.
+void sample4(Rng& rng, int n, int out[4]) {
+  for (int k = 0; k < 4; ++k) {
+    bool fresh = false;
+    while (!fresh) {
+      out[k] = rng.uniform_int(0, n - 1);
+      fresh = true;
+      for (int j = 0; j < k; ++j) fresh = fresh && out[j] != out[k];
+    }
+  }
+}
+
+}  // namespace
+
+CalibrationEstimator::CalibrationEstimator(Image reference, CalibrationConfig config)
+    : config_(config),
+      reference_(std::move(reference)),
+      reference_smooth_(reference_.box_blur3()) {}
+
+CalibrationEstimate CalibrationEstimator::estimate(const Image& current,
+                                                   const Homography& guess) const {
+  CalibrationEstimate est;
+  const int w = reference_.width();
+  const int h = reference_.height();
+  const double margin = config_.border_margin_px;
+  Rng rng(config_.seed);  // per-call stream: the estimator stays stateless
+
+  // LK only sees small motion, so iterate: align the live view with the
+  // current estimate, track the residual motion, fold it in, repeat.
+  // With estimate P, aligned(x) = current(P(x)); a track r -> r+u then
+  // means current(P(r+u)) ≈ reference(r), i.e. P ∘ Q (Q: r ↦ r+u) is the
+  // improved perturbation.
+  Homography p = guess;
+  FitReport fit;
+  for (int iter = 0; iter < std::max(1, config_.refine_iters); ++iter) {
+    Homography p_inv;
+    try {
+      p_inv = p.inverse();
+    } catch (const std::exception&) {
+      est.error = "perturbation estimate not invertible";
+      return est;
+    }
+    // Track on pre-smoothed images: the single-level LK linearization is
+    // badly biased on razor-sharp rendered edges (and the bilinear warp
+    // smooths `aligned` but not the reference, which reads as phantom
+    // brightness change). Blurring both sides equalizes frequency content
+    // and cuts the correlated sub-pixel bias that otherwise puts a
+    // ~0.5-1.5 px floor under the whole estimate.
+    const Image aligned = p_inv.warp(current, w, h).box_blur3();
+    const std::vector<FlowVector> flows =
+        sparse_optical_flow(reference_smooth_, aligned, config_.flow);
+
+    std::vector<Point2> src, dst;
+    src.reserve(flows.size());
+    dst.reserve(flows.size());
+    for (const FlowVector& f : flows) {
+      const Point2 to{static_cast<double>(f.x) + f.u, static_cast<double>(f.y) + f.v};
+      if (to.x < margin || to.y < margin || to.x > w - 1 - margin || to.y > h - 1 - margin) {
+        continue;  // tracked off the frame
+      }
+      const Point2 in_current = p.apply(to);
+      if (in_current.x < 0 || in_current.y < 0 || in_current.x > w - 1 ||
+          in_current.y > h - 1) {
+        continue;  // content warped in from outside the live frame (black border)
+      }
+      src.push_back({static_cast<double>(f.x), static_cast<double>(f.y)});
+      dst.push_back(to);
+    }
+    est.tracked = static_cast<int>(src.size());
+    if (est.tracked < 4) {
+      est.error = "too few corner tracks";
+      return est;
+    }
+
+    // RANSAC over minimal samples: the static scene votes together,
+    // corners sitting on moving vehicles disagree with each other.
+    const double thresh_sq = config_.ransac_thresh_px * config_.ransac_thresh_px;
+    std::vector<int> best;
+    for (int it = 0; it < config_.ransac_iters; ++it) {
+      int idx[4];
+      sample4(rng, est.tracked, idx);
+      const std::vector<Point2> s4 = {src[idx[0]], src[idx[1]], src[idx[2]], src[idx[3]]};
+      const std::vector<Point2> d4 = {dst[idx[0]], dst[idx[1]], dst[idx[2]], dst[idx[3]]};
+      const FitReport cand = Homography::fit_report(s4, d4);
+      if (!cand.ok) continue;
+      const Homography hc = cand.homography();
+      std::vector<int> inliers;
+      for (int i = 0; i < est.tracked; ++i) {
+        const Point2 m = hc.apply(src[i]);
+        const double dx = m.x - dst[i].x, dy = m.y - dst[i].y;
+        if (dx * dx + dy * dy < thresh_sq) inliers.push_back(i);
+      }
+      if (inliers.size() > best.size()) best = std::move(inliers);
+    }
+    est.inliers = static_cast<int>(best.size());
+    if (est.inliers < config_.min_inliers) {
+      est.error = "too few RANSAC inliers";
+      return est;
+    }
+
+    std::vector<Point2> src_in, dst_in;
+    src_in.reserve(best.size());
+    dst_in.reserve(best.size());
+    double motion = 0.0;
+    for (int i : best) {
+      src_in.push_back(src[i]);
+      dst_in.push_back(dst[i]);
+      motion += std::hypot(dst[i].x - src[i].x, dst[i].y - src[i].y);
+    }
+    motion /= static_cast<double>(best.size());
+
+    fit = Homography::fit_report(src_in, dst_in);
+    if (!fit.ok) {
+      est.error = "degenerate inlier fit: " + fit.error;
+      return est;
+    }
+    p = p * fit.homography();
+    if (motion < 0.05) break;  // converged: residual track motion sub-noise
+  }
+
+  est.residual_rms = fit.residual_rms;
+  est.condition = fit.condition;
+  if (fit.residual_rms > config_.max_residual_rms_px) {
+    est.error = "residual RMS above sanity threshold";
+    return est;
+  }
+  if (!(fit.condition <= config_.max_condition)) {
+    est.error = "condition number above sanity threshold";
+    return est;
+  }
+  est.view = p;
+  est.ok = true;
+  return est;
+}
+
+}  // namespace safecross::vision

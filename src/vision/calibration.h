@@ -1,0 +1,72 @@
+#pragma once
+// Online camera calibration estimation from tracked static features.
+//
+// The whole VP pipeline hangs off one fixed-camera assumption: the
+// foreground mask is remapped top-down through a homography calibrated
+// once (Fig. 3c). A camera that drifts, shakes or gets bumped silently
+// invalidates that remap. CalibrationEstimator re-estimates the view
+// perturbation online: Shi–Tomasi corners on a static reference frame
+// are tracked into the live view with Lucas–Kanade flow
+// (vision/optical_flow), a RANSAC loop over Hartley-normalized
+// Homography::fit_report picks the static-scene inlier set (moving
+// vehicles land on the outlier side), and residual / condition-number
+// sanity checks reject degenerate solves instead of trusting them.
+//
+// Determinism contract: estimate() is const and self-contained — the
+// RANSAC RNG is re-seeded from the config on every call, so an estimator
+// carries no mutable state and needs nothing in a checkpoint.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vision/homography.h"
+#include "vision/image.h"
+#include "vision/optical_flow.h"
+
+namespace safecross::vision {
+
+struct CalibrationConfig {
+  SparseFlowConfig flow;        // corner selection + LK tracking knobs
+  int refine_iters = 6;         // warp-and-retrack rounds (LK is small-motion)
+  int ransac_iters = 64;        // minimal-sample draws per round
+  double ransac_thresh_px = 1.5;     // inlier reprojection radius
+  int min_inliers = 12;              // below this the solve is rejected
+  double max_residual_rms_px = 1.5;  // inlier-fit residual ceiling
+  double max_condition = 1e7;        // singular-value condition ceiling
+  double border_margin_px = 2.0;     // ignore tracks warped off the frame
+  std::uint64_t seed = 0xCA11B7A7EULL;  // RANSAC sampling stream (per call)
+};
+
+struct CalibrationEstimate {
+  bool ok = false;
+  Homography view;          // ideal pixel -> current (perturbed) pixel
+  double residual_rms = 0.0;  // RMS reprojection error over the inlier set
+  double condition = 0.0;     // condition estimate of the inlier fit
+  int inliers = 0;
+  int tracked = 0;            // usable corner tracks in the final round
+  std::string error;          // empty when ok
+};
+
+class CalibrationEstimator {
+ public:
+  /// `reference` is a clean view of the static scene from the *ideal*
+  /// (calibrated) camera pose — e.g. CameraModel::reference_view().
+  explicit CalibrationEstimator(Image reference, CalibrationConfig config = {});
+
+  const CalibrationConfig& config() const { return config_; }
+  const Image& reference() const { return reference_; }
+
+  /// Estimate the perturbation P with current(P(r)) ≈ reference(r).
+  /// `guess` seeds the iteration (pass the last accepted estimate so LK
+  /// only has to recover the drift since then). Never throws: failures
+  /// come back as ok == false with a reason.
+  CalibrationEstimate estimate(const Image& current, const Homography& guess = {}) const;
+
+ private:
+  CalibrationConfig config_;
+  Image reference_;
+  Image reference_smooth_;  // pre-smoothed tracking target (see estimate())
+};
+
+}  // namespace safecross::vision

@@ -1,6 +1,8 @@
 #include "vision/homography.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace safecross::vision {
@@ -8,17 +10,17 @@ namespace safecross::vision {
 namespace {
 
 // Solve the square system A x = b in place via Gaussian elimination with
-// partial pivoting. A is n x n row-major.
-std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b, int n) {
+// partial pivoting. A is n x n row-major. Returns false on a degenerate
+// (rank-deficient) system.
+bool solve_linear(std::vector<double> a, std::vector<double> b, int n,
+                  std::vector<double>& x) {
   for (int col = 0; col < n; ++col) {
     // Pivot.
     int pivot = col;
     for (int r = col + 1; r < n; ++r) {
       if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col])) pivot = r;
     }
-    if (std::fabs(a[pivot * n + col]) < 1e-12) {
-      throw std::runtime_error("Homography fit: degenerate point configuration");
-    }
+    if (std::fabs(a[pivot * n + col]) < 1e-12) return false;
     if (pivot != col) {
       for (int c = 0; c < n; ++c) std::swap(a[col * n + c], a[pivot * n + c]);
       std::swap(b[col], b[pivot]);
@@ -31,31 +33,121 @@ std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b, i
     }
   }
   // Back substitution.
-  std::vector<double> x(n, 0.0);
+  x.assign(n, 0.0);
   for (int r = n - 1; r >= 0; --r) {
     double sum = b[r];
     for (int c = r + 1; c < n; ++c) sum -= a[r * n + c] * x[c];
     x[r] = sum / a[r * n + r];
   }
-  return x;
+  return true;
+}
+
+// Hartley normalization: translate the centroid to the origin and scale
+// so the mean distance from it is sqrt(2). Returns false when the points
+// are (near-)coincident and no finite scale exists.
+bool hartley_transform(const std::vector<Point2>& pts, std::array<double, 9>& t,
+                       std::vector<Point2>& out) {
+  const double n = static_cast<double>(pts.size());
+  double cx = 0.0, cy = 0.0;
+  for (const Point2& p : pts) {
+    cx += p.x;
+    cy += p.y;
+  }
+  cx /= n;
+  cy /= n;
+  double mean_dist = 0.0;
+  for (const Point2& p : pts) {
+    mean_dist += std::hypot(p.x - cx, p.y - cy);
+  }
+  mean_dist /= n;
+  if (mean_dist < 1e-12) return false;
+  const double s = std::sqrt(2.0) / mean_dist;
+  t = {s, 0, -s * cx, 0, s, -s * cy, 0, 0, 1};
+  out.resize(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    out[i] = {s * (pts[i].x - cx), s * (pts[i].y - cy)};
+  }
+  return true;
+}
+
+// Condition estimate of a 3x3 matrix: ratio of extreme singular values,
+// computed as sqrt(lambda_max / lambda_min) of HᵀH via cyclic Jacobi
+// rotations (the matrix is symmetric positive semi-definite).
+double condition_estimate(const std::array<double, 9>& h) {
+  double a[3][3] = {};
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      for (int k = 0; k < 3; ++k) a[r][c] += h[k * 3 + r] * h[k * 3 + c];
+    }
+  }
+  for (int sweep = 0; sweep < 32; ++sweep) {
+    double off = std::fabs(a[0][1]) + std::fabs(a[0][2]) + std::fabs(a[1][2]);
+    if (off < 1e-15) break;
+    for (int p = 0; p < 3; ++p) {
+      for (int q = p + 1; q < 3; ++q) {
+        if (std::fabs(a[p][q]) < 1e-18) continue;
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double sign = theta >= 0.0 ? 1.0 : -1.0;
+        const double t = sign / (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int k = 0; k < 3; ++k) {
+          const double akp = a[k][p], akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (int k = 0; k < 3; ++k) {
+          const double apk = a[p][k], aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  const double lmax = std::max({a[0][0], a[1][1], a[2][2]});
+  const double lmin = std::min({a[0][0], a[1][1], a[2][2]});
+  if (lmin <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::sqrt(lmax / lmin);
 }
 
 }  // namespace
 
 Homography::Homography() : h_{1, 0, 0, 0, 1, 0, 0, 0, 1} {}
 
+Homography FitReport::homography() const { return Homography(h); }
+
 Homography Homography::fit(const std::vector<Point2>& src, const std::vector<Point2>& dst) {
   if (src.size() != dst.size() || src.size() < 4) {
     throw std::invalid_argument("Homography::fit needs >= 4 matched point pairs");
   }
-  // DLT with h33 fixed to 1: each pair gives two rows of an
-  // over-determined 8-unknown system; solve the normal equations.
-  const int n = static_cast<int>(src.size());
+  const FitReport report = fit_report(src, dst);
+  if (!report.ok) {
+    throw std::runtime_error("Homography fit: " + report.error);
+  }
+  return report.homography();
+}
+
+FitReport Homography::fit_report(const std::vector<Point2>& src,
+                                 const std::vector<Point2>& dst) {
+  FitReport report;
+  if (src.size() != dst.size() || src.size() < 4) {
+    report.error = "needs >= 4 matched point pairs";
+    return report;
+  }
+  std::array<double, 9> t_src{}, t_dst{};
+  std::vector<Point2> nsrc, ndst;
+  if (!hartley_transform(src, t_src, nsrc) || !hartley_transform(dst, t_dst, ndst)) {
+    report.error = "degenerate point configuration";
+    return report;
+  }
+  // DLT with h33 fixed to 1 on the normalized points: each pair gives two
+  // rows of an over-determined 8-unknown system; solve the normal equations.
+  const int n = static_cast<int>(nsrc.size());
   std::vector<double> ata(64, 0.0);
   std::vector<double> atb(8, 0.0);
   for (int i = 0; i < n; ++i) {
-    const double x = src[i].x, y = src[i].y;
-    const double u = dst[i].x, v = dst[i].y;
+    const double x = nsrc[i].x, y = nsrc[i].y;
+    const double u = ndst[i].x, v = ndst[i].y;
     const double row1[8] = {x, y, 1, 0, 0, 0, -u * x, -u * y};
     const double row2[8] = {0, 0, 0, x, y, 1, -v * x, -v * y};
     for (int r = 0; r < 8; ++r) {
@@ -65,8 +157,33 @@ Homography Homography::fit(const std::vector<Point2>& src, const std::vector<Poi
       atb[r] += row1[r] * u + row2[r] * v;
     }
   }
-  const std::vector<double> h8 = solve_linear(std::move(ata), std::move(atb), 8);
-  return Homography({h8[0], h8[1], h8[2], h8[3], h8[4], h8[5], h8[6], h8[7], 1.0});
+  std::vector<double> h8;
+  if (!solve_linear(std::move(ata), std::move(atb), 8, h8)) {
+    report.error = "degenerate point configuration";
+    return report;
+  }
+  // Denormalize: H = T_dst^-1 * Hn * T_src, rescaled to the h33 == 1
+  // convention the rest of the code assumes.
+  const Homography hn({h8[0], h8[1], h8[2], h8[3], h8[4], h8[5], h8[6], h8[7], 1.0});
+  Homography denorm = Homography(t_dst).inverse() * hn * Homography(t_src);
+  std::array<double, 9> h = denorm.matrix();
+  if (std::fabs(h[8]) < 1e-15) {
+    report.error = "degenerate point configuration";
+    return report;
+  }
+  for (double& v : h) v /= h[8];
+  report.h = h;
+  const Homography fitted(h);
+  double sq_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const Point2 p = fitted.apply(src[i]);
+    const double dx = p.x - dst[i].x, dy = p.y - dst[i].y;
+    sq_sum += dx * dx + dy * dy;
+  }
+  report.residual_rms = std::sqrt(sq_sum / n);
+  report.condition = condition_estimate(h);
+  report.ok = true;
+  return report;
 }
 
 Point2 Homography::apply(const Point2& p) const {

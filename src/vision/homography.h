@@ -8,6 +8,7 @@
 // and solve the linear system with Gaussian elimination.
 
 #include <array>
+#include <string>
 #include <vector>
 
 #include "vision/image.h"
@@ -17,6 +18,22 @@ namespace safecross::vision {
 struct Point2 {
   double x = 0.0;
   double y = 0.0;
+};
+
+class Homography;
+
+/// Outcome of a homography fit, with the numerical health indicators a
+/// caller needs to reject an unusable solve instead of trusting it:
+/// RMS reprojection residual over all input pairs (pixels, in dst units)
+/// and a singular-value condition estimate of the fitted matrix.
+struct FitReport {
+  bool ok = false;
+  std::array<double, 9> h{1, 0, 0, 0, 1, 0, 0, 0, 1};
+  double residual_rms = 0.0;
+  double condition = 0.0;
+  std::string error;  // empty when ok
+
+  Homography homography() const;
 };
 
 /// Row-major 3x3 projective transform.
@@ -29,6 +46,12 @@ class Homography {
   /// Least-squares DLT fit from point correspondences (src -> dst).
   /// Requires at least 4 non-degenerate pairs; throws otherwise.
   static Homography fit(const std::vector<Point2>& src, const std::vector<Point2>& dst);
+
+  /// Non-throwing fit with Hartley normalization (points translated to
+  /// their centroid and scaled to mean distance sqrt(2) before the solve,
+  /// the standard conditioning step for the DLT) plus residual/condition
+  /// diagnostics. `fit` delegates here and throws on failure.
+  static FitReport fit_report(const std::vector<Point2>& src, const std::vector<Point2>& dst);
 
   Point2 apply(const Point2& p) const;
 

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/state_io.h"
+
 namespace safecross::runtime {
 namespace {
 
@@ -180,6 +182,114 @@ TEST(FaultInjector, CorruptMagicFlipsHeaderOnly) {
   EXPECT_EQ(bytes[0], static_cast<char>(~0x05));
   EXPECT_EQ(bytes[1], static_cast<char>(~0x11));
   EXPECT_EQ(std::string(bytes + 4, 4), "TAIL");
+}
+
+TEST(FaultInjectorGeometry, EnablingGeometryDoesNotShiftFrameFaultStream) {
+  // The geometric stream draws from its own salted RNG; turning it on must
+  // leave the drop/freeze/noise/blackout sequence bit-identical, or every
+  // committed golden trace with a fault plan would silently shift.
+  FaultPlan stream_only;
+  stream_only.drop_prob = 0.1;
+  stream_only.freeze_prob = 0.05;
+  stream_only.noise_prob = 0.05;
+  stream_only.blackout_prob = 0.002;
+  FaultPlan with_geometry = stream_only;
+  with_geometry.geometry.drift_px_per_frame = 0.05;
+  with_geometry.geometry.shake_amp_px = 0.5;
+  with_geometry.geometry.bump_prob = 0.01;
+
+  FaultInjector a(stream_only, 4242), b(with_geometry, 4242);
+  b.set_frame_size(256, 144);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(a.next_frame_fault(), b.next_frame_fault()) << "frame " << i;
+  }
+  EXPECT_EQ(a.frames_dropped(), b.frames_dropped());
+  EXPECT_EQ(a.frames_frozen(), b.frames_frozen());
+  EXPECT_EQ(a.noise_bursts(), b.noise_bursts());
+  EXPECT_EQ(a.blackout_frames_total(), b.blackout_frames_total());
+  EXPECT_GT(b.perturbation_drift_px(), 0.0);  // geometry really ran
+}
+
+TEST(FaultInjectorGeometry, SameSeedSameViewTrajectory) {
+  FaultPlan plan;
+  plan.geometry.drift_px_per_frame = 0.03;
+  plan.geometry.drift_rot_per_frame = 1e-4;
+  plan.geometry.shake_amp_px = 0.8;
+  plan.geometry.bump_prob = 0.02;
+  FaultInjector a(plan, 99), b(plan, 99);
+  a.set_frame_size(256, 144);
+  b.set_frame_size(256, 144);
+  for (int i = 0; i < 2000; ++i) {
+    a.next_frame_fault();
+    b.next_frame_fault();
+    const auto& ma = a.view_perturbation().matrix();
+    const auto& mb = b.view_perturbation().matrix();
+    for (int m = 0; m < 9; ++m) ASSERT_EQ(ma[m], mb[m]) << "frame " << i;
+  }
+  EXPECT_EQ(a.bumps(), b.bumps());
+}
+
+TEST(FaultInjectorGeometry, DriftRampsBetweenStartAndStopThenHolds) {
+  FaultPlan plan;
+  plan.geometry.drift_px_per_frame = 0.1;
+  plan.geometry.drift_start_frame = 10;
+  plan.geometry.drift_stop_frame = 50;
+  FaultInjector inj(plan, 7);
+  inj.set_frame_size(256, 144);
+  ASSERT_TRUE(inj.geometry_active());
+  // Pure unit-direction translation: the mean corner drift IS the ramp.
+  for (int f = 1; f <= 10; ++f) {
+    inj.next_frame_fault();
+    EXPECT_NEAR(inj.perturbation_drift_px(), 0.0, 1e-9) << "frame " << f;
+  }
+  for (int f = 11; f <= 50; ++f) {
+    inj.next_frame_fault();
+    EXPECT_NEAR(inj.perturbation_drift_px(), 0.1 * (f - 10), 1e-9) << "frame " << f;
+  }
+  for (int f = 51; f <= 80; ++f) {
+    inj.next_frame_fault();
+    EXPECT_NEAR(inj.perturbation_drift_px(), 0.1 * 40, 1e-9) << "frame " << f;
+  }
+}
+
+TEST(FaultInjectorGeometry, GeometryInactiveWithoutFrameSize) {
+  FaultPlan plan;
+  plan.geometry.drift_px_per_frame = 0.1;
+  FaultInjector inj(plan, 7);
+  EXPECT_FALSE(inj.geometry_active());  // no frame size yet
+  for (int f = 0; f < 100; ++f) inj.next_frame_fault();
+  EXPECT_EQ(inj.perturbation_drift_px(), 0.0);
+}
+
+TEST(FaultInjectorGeometry, SaveLoadMidDriftContinuesBitIdentical) {
+  FaultPlan plan;
+  plan.drop_prob = 0.05;
+  plan.noise_prob = 0.05;
+  plan.geometry.drift_px_per_frame = 0.04;
+  plan.geometry.shake_amp_px = 0.6;
+  plan.geometry.bump_prob = 0.01;
+  FaultInjector a(plan, 31337);
+  a.set_frame_size(256, 144);
+  for (int i = 0; i < 500; ++i) a.next_frame_fault();
+
+  common::StateWriter w;
+  a.save_state(w);
+  const std::string bytes = w.take();
+
+  // A different seed proves the checkpoint carries the full RNG + geometry
+  // state rather than leaning on construction.
+  FaultInjector b(plan, 1);
+  common::StateReader r(bytes);
+  b.load_state(r);
+
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(a.next_frame_fault(), b.next_frame_fault()) << "frame " << i;
+    const auto& ma = a.view_perturbation().matrix();
+    const auto& mb = b.view_perturbation().matrix();
+    for (int m = 0; m < 9; ++m) ASSERT_EQ(ma[m], mb[m]) << "frame " << i;
+  }
+  EXPECT_EQ(a.bumps(), b.bumps());
+  EXPECT_EQ(a.frames_dropped(), b.frames_dropped());
 }
 
 TEST(FaultInjector, WriteGarbageIsDeterministic) {

@@ -155,7 +155,15 @@ std::unique_ptr<core::SafeCross> engine_with(const std::vector<dataset::Weather>
   return sc;
 }
 
-void append_scorecard_meta(GoldenTrace& trace, const core::StreamScorecard& s) {
+// The three legacy snapshots were cut when the DecisionSource enum held 6
+// entries. They keep comparing exactly those 6: FailSafeMiscalibrated was
+// appended later and can never fire without a recalibration loop, so
+// freezing the count keeps the committed traces byte-valid while the new
+// drift scenario pins all current sources.
+constexpr int kLegacyDecisionSources = 6;
+
+void append_scorecard_meta(GoldenTrace& trace, const core::StreamScorecard& s,
+                           int sources = runtime::kDecisionSourceCount) {
   trace.meta.emplace_back("decisions", static_cast<long long>(s.decisions()));
   trace.meta.emplace_back("warnings", static_cast<long long>(s.warnings()));
   trace.meta.emplace_back("correct", static_cast<long long>(s.correct()));
@@ -164,7 +172,7 @@ void append_scorecard_meta(GoldenTrace& trace, const core::StreamScorecard& s) {
   trace.meta.emplace_back("fail_safe", static_cast<long long>(s.fail_safe_decisions()));
   trace.meta.emplace_back("opportunities",
                           static_cast<long long>(s.decision_opportunities()));
-  for (int i = 0; i < runtime::kDecisionSourceCount; ++i) {
+  for (int i = 0; i < sources; ++i) {
     trace.meta.emplace_back(
         "src" + std::to_string(i),
         static_cast<long long>(s.fail_safe_by_source(static_cast<runtime::DecisionSource>(i))));
@@ -203,7 +211,7 @@ TEST(GoldenTrace, MonitorUnderFaultsMatchesSnapshot) {
     l.prob = tick.decision.prob_danger;
     got.lines.push_back(l);
   }
-  append_scorecard_meta(got, monitor.scorecard());
+  append_scorecard_meta(got, monitor.scorecard(), kLegacyDecisionSources);
   ASSERT_GT(got.lines.size(), 0u) << "the scenario produced no decisions to pin";
   EXPECT_GT(monitor.fail_safe_decisions(), 0u)
       << "the fault plan should force some conservative gates";
@@ -262,7 +270,7 @@ TEST(GoldenTrace, MultiStreamServingMatchesSnapshot) {
       l.prob = trace[s].prob_danger;
       got.lines.push_back(l);
     }
-    append_scorecard_meta(got, server.stream(i).scorecard());
+    append_scorecard_meta(got, server.stream(i).scorecard(), kLegacyDecisionSources);
   }
   ASSERT_GT(got.lines.size(), 0u) << "the scenario produced no decisions to pin";
   std::size_t model_decisions = 0;
@@ -348,12 +356,109 @@ TEST(GoldenTrace, ServerKillRecoverMatchesSnapshot) {
       l.prob = trace[s].prob_danger;
       got.lines.push_back(l);
     }
-    append_scorecard_meta(got, server.stream(i).scorecard());
+    append_scorecard_meta(got, server.stream(i).scorecard(), kLegacyDecisionSources);
   }
   fs::remove_all(dir);
   ASSERT_GT(got.lines.size(), 0u) << "the scenario produced no decisions to pin";
   EXPECT_GT(report.journal_records, 0u) << "the kill fired before anything was journaled";
   check_against_golden("server_kill_recover.txt", got);
+}
+
+// The self-healing loop end to end, pinned: a durable single-stream run
+// under camera drift latches Miscalibrated (conservative warns flow with
+// DecisionSource::FailSafeMiscalibrated), recalibrates on cadence, is
+// killed mid-journal-append during the drift window, recovers from the
+// damaged directory — replaying the journaled calibration lineage — and
+// finishes. Unlike the legacy snapshots this one pins ALL current
+// decision sources plus the recalibration counters.
+TEST(GoldenTrace, DriftRecoverMatchesSnapshot) {
+  namespace fs = std::filesystem;
+  auto sc = engine_with({dataset::Weather::Daytime});
+
+  const fs::path dir =
+      fs::temp_directory_path() / ("safecross_golden_drift_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  serving::StreamServerConfig cfg;
+  cfg.frames = 30 * 120;
+  cfg.record_traces = true;
+  cfg.shed_on_overload = false;
+  serving::StreamConfig day;
+  day.name = "drift-day";
+  day.weather = dataset::Weather::Daytime;
+  day.sim_seed = 88000;
+  day.collector_seed = 88001;
+  day.fault_seed = 88002;
+  day.faults.geometry.drift_px_per_frame = 0.04;  // 2.4 px per 60-frame check
+  day.faults.geometry.drift_stop_frame = 1800;
+  day.recalib.enabled = true;
+  day.recalib.check_every_frames = 60;
+  // Long modeled solve: most of the drift window rides with the
+  // Miscalibrated latch on, so opportunities pin conservative warns.
+  day.recalib.solve_latency_frames = 50;
+  cfg.streams.push_back(day);
+  cfg.durability.dir = dir;
+  cfg.durability.snapshot_every_decisions = 4;
+
+  runtime::CrashInjector injector;
+  injector.arm(runtime::CrashPoint::MidJournalAppend, 5);
+  cfg.durability.crash = &injector;
+  bool crashed = false;
+  {
+    serving::StreamServer doomed(*sc, cfg);
+    try {
+      doomed.run_sequential();
+    } catch (const runtime::CrashInjected&) {
+      crashed = true;
+    }
+  }
+  ASSERT_TRUE(crashed) << "the scripted kill never fired";
+  injector.disarm();
+
+  serving::StreamServer server(*sc, cfg);
+  const serving::RecoveryReport report = server.recover();
+  server.run_sequential();
+
+  const runtime::RecalibrationLoop* loop = server.stream(0).recalibration();
+  ASSERT_NE(loop, nullptr);
+
+  GoldenTrace got;
+  got.meta.emplace_back("recovered_from_snapshot", report.recovered_from_snapshot ? 1 : 0);
+  got.meta.emplace_back("journal_records", static_cast<long long>(report.journal_records));
+  got.meta.emplace_back("journal_pending", static_cast<long long>(report.journal_pending));
+  got.meta.emplace_back(
+      "journal_pending_recalibrations",
+      static_cast<long long>(report.journal_pending_recalibrations));
+  got.meta.emplace_back("episodes",
+                        static_cast<long long>(loop->miscalibration_episodes()));
+  got.meta.emplace_back("recalibrations", static_cast<long long>(loop->recalibrations()));
+  got.meta.emplace_back("estimates_rejected",
+                        static_cast<long long>(loop->estimates_rejected()));
+  got.meta.emplace_back("checks_run", static_cast<long long>(loop->checks_run()));
+  const auto& trace = server.stream(0).trace();
+  for (std::size_t s = 0; s < trace.size(); ++s) {
+    TraceLine l;
+    l.stream = 0;
+    l.seq = s;
+    l.frame = trace[s].frame;
+    l.truth = trace[s].danger_truth ? 1 : 0;
+    l.pred = trace[s].predicted_class;
+    l.warn = trace[s].warn ? 1 : 0;
+    l.source = static_cast<int>(trace[s].source);
+    l.prob = trace[s].prob_danger;
+    got.lines.push_back(l);
+  }
+  append_scorecard_meta(got, server.stream(0).scorecard());
+  fs::remove_all(dir);
+  ASSERT_GT(got.lines.size(), 0u) << "the scenario produced no decisions to pin";
+  EXPECT_GT(loop->recalibrations(), 0u) << "drift never forced a recalibration";
+  EXPECT_GT(server.stream(0).scorecard().fail_safe_by_source(
+                runtime::DecisionSource::FailSafeMiscalibrated),
+            0u)
+      << "the snapshot must pin a FailSafeMiscalibrated conservative warn";
+  EXPECT_GT(server.stream(0).scorecard().model_decisions(), 0u)
+      << "the snapshot must pin recovered model verdicts";
+  check_against_golden("drift_recover.txt", got);
 }
 
 }  // namespace

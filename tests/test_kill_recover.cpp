@@ -360,6 +360,87 @@ TEST(KillRecover, FaultPlanStreamsRecoverBitIdentical) {
   expect_servers_agree(*recovered, reference);
 }
 
+// A drifting camera mid-recalibration when the process dies: the restored
+// run must replay the same calibration lineage (same episodes, same
+// applied homographies, same conservative warns) bit-identically, and the
+// journal must hold exactly one Recalibration record per accepted swap —
+// whether the kill hit the sequential loop or the batched consumer.
+TEST(KillRecover, DriftRecalibrationStreamsRecoverBitIdentical) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
+  constexpr std::uint64_t kBase = 93000;
+  auto with_drift = [&](const fs::path& dir, CrashInjector* crash) {
+    StreamServerConfig cfg = chaos_config(kBase, dir, crash);
+    for (StreamConfig& s : cfg.streams) {
+      s.faults.geometry.drift_px_per_frame = 0.03;  // 1.8 px per check
+      s.faults.geometry.drift_stop_frame = 600;
+      s.recalib.enabled = true;
+      s.recalib.check_every_frames = 60;
+    }
+    return cfg;
+  };
+  StreamServer reference(*sc, with_drift({}, nullptr));
+  reference.run_sequential();
+  ASSERT_GE(reference.total_decisions(), 8u);
+  for (std::size_t i = 0; i < reference.stream_count(); ++i) {
+    ASSERT_NE(reference.stream(i).recalibration(), nullptr);
+    ASSERT_GT(reference.stream(i).recalibration()->recalibrations(), 0u)
+        << "weak scenario: stream " << i << " never recalibrated";
+  }
+
+  struct Case {
+    CrashPoint point;
+    Mode mode;
+    std::size_t nth;
+    const char* tag;
+  };
+  for (const Case c : {Case{CrashPoint::MidJournalAppend, Mode::Sequential, 9, "seq_journal"},
+                       Case{CrashPoint::MidSnapshotWrite, Mode::Sequential, 1, "seq_snapshot"},
+                       Case{CrashPoint::MidJournalAppend, Mode::Batched, 7, "batched_journal"}}) {
+    SCOPED_TRACE(c.tag);
+    ScratchDir scratch(std::string("drift_recalib_") + c.tag);
+    CrashInjector injector;
+    injector.arm(c.point, c.nth);
+    StreamServerConfig cfg = with_drift(scratch.path, &injector);
+    ASSERT_TRUE(run_killed(*sc, cfg, c.mode)) << "armed kill never fired";
+    injector.disarm();
+    auto recovered = recover_and_finish(*sc, cfg, c.mode);
+    expect_servers_agree(*recovered, reference);
+    for (std::size_t i = 0; i < recovered->stream_count(); ++i) {
+      SCOPED_TRACE("stream " + std::to_string(i));
+      const runtime::RecalibrationLoop* got = recovered->stream(i).recalibration();
+      const runtime::RecalibrationLoop* want = reference.stream(i).recalibration();
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(got->recalibrations(), want->recalibrations());
+      EXPECT_EQ(got->miscalibration_episodes(), want->miscalibration_episodes());
+      EXPECT_EQ(got->checks_run(), want->checks_run());
+      for (int m = 0; m < 9; ++m) {
+        EXPECT_EQ(got->applied_view().matrix()[m], want->applied_view().matrix()[m])
+            << "calibration lineage diverged at matrix element " << m;
+      }
+    }
+    // On-disk exactly-once for the calibration lineage: one Recalibration
+    // record per accepted swap, never duplicated by the replay dedupe.
+    const auto replay = runtime::Journal::replay(scratch.path / "journal.wal");
+    EXPECT_FALSE(replay.torn_tail);
+    std::map<std::pair<std::uint32_t, std::uint64_t>, std::size_t> recals;
+    for (const runtime::JournalRecord& rec : replay.records) {
+      if (rec.type != runtime::JournalRecordType::Recalibration) continue;
+      ++recals[std::make_pair(rec.recalibration.stream, rec.recalibration.frame)];
+    }
+    std::vector<std::size_t> per_stream(reference.stream_count(), 0);
+    for (const auto& [key, count] : recals) {
+      EXPECT_EQ(count, 1u) << "duplicate recalibration record for stream " << key.first
+                           << " frame " << key.second;
+      ASSERT_LT(key.first, per_stream.size());
+      per_stream[key.first] += 1;
+    }
+    for (std::size_t i = 0; i < reference.stream_count(); ++i) {
+      EXPECT_EQ(per_stream[i], reference.stream(i).recalibration()->recalibrations())
+          << "journal lost or invented a recalibration on stream " << i;
+    }
+  }
+}
+
 // --- corruption on top of the kill: degrade, never abort ---
 
 TEST(KillRecover, CorruptNewestSnapshotFallsBackToPreviousGeneration) {

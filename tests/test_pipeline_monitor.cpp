@@ -7,6 +7,7 @@
 
 #include "core/monitor.h"
 
+#include <array>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -84,6 +85,53 @@ TEST(PipelineMonitor, MatchesSyncScorecardWithoutFaults) {
   // Pipelined latency spans capture→verdict, so it is measurable.
   EXPECT_GE(monitor.decision_latency_p99(), monitor.decision_latency_p50());
   EXPECT_GT(monitor.decision_latency_p50(), 0.0);
+}
+
+TEST(PipelineMonitor, MatchesSyncUnderDriftAndRecalibration) {
+  // The recalibration loop runs on the collect stage in pipelined mode;
+  // it is frame-clocked, so the staged decomposition must replay the
+  // exact same calibration lineage — and the exact same decisions — as
+  // the synchronous reference.
+  constexpr std::size_t kFrames = 30 * 120;
+  auto sc = framework_with_daytime_model();
+  runtime::FaultPlan plan;
+  plan.geometry.drift_px_per_frame = 0.03;  // 1.8 px per 60-frame check
+  plan.geometry.drift_stop_frame = 600;
+
+  struct Outcome {
+    std::size_t decisions, warnings, correct, missed, false_warn, fail_safe;
+    std::size_t miscal_warns, episodes, recalibrations, checks;
+    std::array<double, 9> applied;
+    bool operator==(const Outcome&) const = default;
+  };
+  auto run = [&](bool pipelined) {
+    sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 91);
+    const sim::CameraModel cam(sim.intersection().geometry());
+    runtime::FaultInjector injector(plan, 95);
+    MonitorConfig cfg;
+    cfg.pipelined = pipelined;
+    cfg.recalib.enabled = true;
+    cfg.recalib.check_every_frames = 60;
+    RealtimeMonitor monitor(*sc, sim, cam, cfg, 92, &injector);
+    monitor.run(kFrames);
+    const runtime::RecalibrationLoop* loop = monitor.recalibration();
+    return Outcome{monitor.decisions(),
+                   monitor.warnings(),
+                   monitor.correct(),
+                   monitor.missed_threats(),
+                   monitor.false_warnings(),
+                   monitor.fail_safe_decisions(),
+                   monitor.fail_safe_by_source(runtime::DecisionSource::FailSafeMiscalibrated),
+                   loop->miscalibration_episodes(),
+                   loop->recalibrations(),
+                   loop->checks_run(),
+                   loop->applied_view().matrix()};
+  };
+
+  const Outcome sync = run(false);
+  EXPECT_GT(sync.recalibrations, 0u) << "drift never triggered a recalibration";
+  const Outcome pipelined = run(true);
+  EXPECT_TRUE(sync == pipelined) << "pipelined drift run diverged from sync reference";
 }
 
 TEST(PipelineMonitor, StageCrashRestartsAndServiceRecovers) {

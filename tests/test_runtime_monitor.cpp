@@ -167,6 +167,71 @@ TEST(RuntimeMonitor, BlackoutForcesConservativeDecisions) {
   EXPECT_GT(injector.blackout_frames_total(), 0u);
 }
 
+TEST(RuntimeMonitor, CameraDriftSelfHealsThroughRecalibration) {
+  auto sc = framework_with_daytime_model();
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 88);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  runtime::FaultPlan plan;
+  plan.geometry.drift_px_per_frame = 0.04;  // ~1.2 px per 30-frame check
+  plan.geometry.drift_stop_frame = 600;     // then the camera holds still
+  runtime::FaultInjector injector(plan, 89);
+  MonitorConfig cfg;
+  cfg.recalib.enabled = true;
+  RealtimeMonitor monitor(*sc, sim, cam, cfg, 90, &injector);
+  std::size_t miscal_warns = 0, model_after_recovery = 0;
+  for (int i = 0; i < 30 * 240; ++i) {
+    const auto tick = monitor.step();
+    if (!tick.decision_made) continue;
+    if (tick.decision.source == runtime::DecisionSource::FailSafeMiscalibrated) {
+      ++miscal_warns;
+      EXPECT_TRUE(tick.decision.warn) << "miscalibrated decisions must warn";
+      EXPECT_EQ(tick.decision.predicted_class, 0);
+    } else if (i > 1500 && tick.decision.source == runtime::DecisionSource::Model) {
+      ++model_after_recovery;
+    }
+  }
+  const runtime::RecalibrationLoop* loop = monitor.recalibration();
+  ASSERT_NE(loop, nullptr);
+  EXPECT_GT(loop->miscalibration_episodes(), 0u) << "drift never latched";
+  EXPECT_GT(loop->recalibrations(), 0u) << "no solve ever landed";
+  EXPECT_GT(miscal_warns, 0u) << "latch never gated a decision";
+  EXPECT_GT(model_after_recovery, 0u) << "model never trusted again post-drift";
+  EXPECT_EQ(loop->state(), runtime::CalibrationState::Calibrated);
+  // The healed calibration tracks the injected perturbation to within the
+  // drift threshold — the loop measured, chased and caught the camera.
+  EXPECT_LT(runtime::view_drift_px(loop->applied_view(), injector.view_perturbation(),
+                                   cam.config().width, cam.config().height),
+            cfg.recalib.drift_threshold_px);
+}
+
+TEST(RuntimeMonitor, RecalibrationIdleWithoutDriftIsBitIdentical) {
+  // With the loop enabled but the camera steady, drift checks run and must
+  // all come back below threshold: no latch, no swap, and the decision
+  // stream is bit-identical to a monitor without the loop.
+  auto sc = framework_with_daytime_model();
+  const auto baseline = run_monitor(*sc, /*fail_safe_policy=*/true, 30 * 120, 91, 92);
+
+  sim::TrafficSimulator sim(sim::weather_params(dataset::Weather::Daytime), 91);
+  const sim::CameraModel cam(sim.intersection().geometry());
+  MonitorConfig cfg;
+  cfg.recalib.enabled = true;
+  RealtimeMonitor monitor(*sc, sim, cam, cfg, 92);
+  DecisionTrace trace;
+  for (int i = 0; i < 30 * 120; ++i) {
+    const auto tick = monitor.step();
+    if (tick.decision_made) {
+      trace.emplace_back(i, tick.decision.predicted_class, tick.decision.prob_danger,
+                         tick.decision.warn);
+    }
+  }
+  const runtime::RecalibrationLoop* loop = monitor.recalibration();
+  ASSERT_NE(loop, nullptr);
+  EXPECT_GT(loop->checks_run(), 0u);
+  EXPECT_EQ(loop->miscalibration_episodes(), 0u);
+  EXPECT_EQ(loop->recalibrations(), 0u);
+  EXPECT_EQ(trace, baseline);
+}
+
 TEST(RuntimeMonitor, UninstallsSwitchHookOnDestruction) {
   auto sc = framework_with_daytime_model();
   runtime::FaultPlan plan;

@@ -176,6 +176,49 @@ TEST(StreamServer, BatchedMatchesSequentialMixedWeather) {
   EXPECT_TRUE(saw_other);
 }
 
+TEST(StreamServer, BatchedMatchesSequentialUnderDriftRecalibration) {
+  // Each stream's camera drifts and self-heals on its own schedule; the
+  // batched executor must replay every stream's calibration lineage (and
+  // therefore every verdict, including the conservative miscalibration
+  // warns) bit-identically to the sequential reference.
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
+  StreamServerConfig cfg = parity_base_config();
+  StreamConfig s0 = make_stream("drift-day", Weather::Daytime, 1000);
+  StreamConfig s1 = make_stream("drift-rain", Weather::Rain, 1010);
+  for (StreamConfig* s : {&s0, &s1}) {
+    s->faults.geometry.drift_px_per_frame = 0.03;  // 1.8 px per check
+    s->faults.geometry.drift_stop_frame = 600;
+    s->recalib.enabled = true;
+    s->recalib.check_every_frames = 60;
+  }
+  cfg.streams = {s0, s1};
+  cfg.batcher.max_batch = 2;
+
+  StreamServer batched(*sc, cfg);
+  batched.run();
+  StreamServer reference(*sc, cfg);
+  reference.run_sequential();
+
+  ASSERT_GT(batched.total_decisions(), 0u);
+  expect_servers_agree(batched, reference);
+  for (std::size_t i = 0; i < batched.stream_count(); ++i) {
+    SCOPED_TRACE("stream " + batched.stream(i).config().name);
+    const runtime::RecalibrationLoop* b = batched.stream(i).recalibration();
+    const runtime::RecalibrationLoop* r = reference.stream(i).recalibration();
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(r, nullptr);
+    EXPECT_GT(b->recalibrations(), 0u) << "drift never triggered a recalibration";
+    EXPECT_EQ(b->recalibrations(), r->recalibrations());
+    EXPECT_EQ(b->miscalibration_episodes(), r->miscalibration_episodes());
+    EXPECT_EQ(b->checks_run(), r->checks_run());
+    EXPECT_EQ(b->estimates_rejected(), r->estimates_rejected());
+    for (int m = 0; m < 9; ++m) {
+      EXPECT_EQ(b->applied_view().matrix()[m], r->applied_view().matrix()[m])
+          << "applied view diverged at element " << m;
+    }
+  }
+}
+
 TEST(StreamServer, ParityHoldsAcrossMidRunModelSwitch) {
   auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
   StreamServerConfig cfg = parity_base_config();
