@@ -1,0 +1,313 @@
+// Fleet scale and failover sweep — K streams x S shards, with and
+// without a mid-run shard kill.
+//
+// For every (streams, shards) point the same skewed workload (every
+// third stream decides twice as often, priorities cycle) is run two
+// ways:
+//   * no-kill  — plain fleet run, median wall time over --reps: the
+//     scale-out cost of the control plane itself (placement, heartbeat
+//     watch loop, merged aggregation).
+//   * one-kill — durability on, one planned MidJournalAppend kill
+//     halfway through the busiest shard's journal appends. The
+//     controller must detect the death by missed heartbeats, recover the
+//     durable dir, and re-place the orphans; detection and recovery are
+//     reported separately from the end-to-end wall time.
+// Every killed-and-failed-over run's merged per-stream decision
+// sequences must be bit-identical to the same-config no-kill run — any
+// divergence is a hard failure (nonzero exit), because a failover that
+// changes verdicts has no business being fast.
+//
+// Reports per-point wall times, failover detect/recover times, streams
+// moved and recovery damage; writes the sweep as JSON (default
+// BENCH_fleet.json).
+//
+// Usage: bench_fleet [--frames N] [--reps R] [--max-streams K] [--json PATH]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "fleet/controller.h"
+
+using namespace safecross;
+using namespace safecross::fleet;
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+ShardSpec tiny_spec() {
+  ShardSpec spec;
+  spec.engine.model.slow_channels = 4;
+  spec.engine.model.fast_channels = 2;
+  spec.weathers = {dataset::Weather::Daytime, dataset::Weather::Rain};
+  return spec;
+}
+
+/// K streams with skewed traffic: every third stream runs a 2x decision
+/// rate, weathers alternate, priorities cycle through the three tiers.
+std::vector<serving::StreamConfig> make_streams(std::size_t k) {
+  std::vector<serving::StreamConfig> streams;
+  for (std::size_t i = 0; i < k; ++i) {
+    serving::StreamConfig s;
+    s.name = "cam" + std::to_string(i);
+    s.weather = i % 2 == 0 ? dataset::Weather::Daytime : dataset::Weather::Rain;
+    s.sim_seed = 95000 + 10 * i;
+    s.collector_seed = 95001 + 10 * i;
+    s.fault_seed = 95002 + 10 * i;
+    s.decision_stride = i % 3 == 0 ? 4 : 8;
+    s.priority = static_cast<core::StreamPriority>(i % 3);
+    streams.push_back(std::move(s));
+  }
+  return streams;
+}
+
+FleetConfig fleet_config(std::size_t k, std::size_t shards, std::size_t frames) {
+  FleetConfig cfg;
+  cfg.streams = make_streams(k);
+  cfg.shards = shards;
+  cfg.shard = tiny_spec();
+  cfg.serving.frames = frames;
+  cfg.serving.queue_capacity = 4;
+  cfg.serving.snapshot_every_decisions = 16;
+  cfg.serving.heartbeat_interval_ms = 1.0;
+  cfg.watch_interval_ms = 2.0;
+  return cfg;
+}
+
+struct PointResult {
+  std::size_t streams = 0;
+  std::size_t shards = 0;
+  std::size_t decisions = 0;
+  double nokill_wall_ms = 0.0;
+  double kill_wall_ms = 0.0;
+  double detect_ms = 0.0;   // crash instant -> declared dead (missed beats)
+  double recover_ms = 0.0;  // recover() + drain_streams() wall time
+  std::size_t streams_moved = 0;
+  std::size_t replayed_pending = 0;
+  std::size_t kills_fired = 0;
+  bool parity_ok = false;
+  int uncaught_exceptions = 0;
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& name)
+      : path(fs::current_path() / "bench_fleet_scratch" / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+bool traces_agree(const FleetReport& got, const FleetReport& want) {
+  if (got.streams.size() != want.streams.size()) return false;
+  for (std::size_t i = 0; i < got.streams.size(); ++i) {
+    const auto& gt = got.streams[i].trace;
+    const auto& wt = want.streams[i].trace;
+    if (gt.size() != wt.size()) return false;
+    for (std::size_t s = 0; s < gt.size(); ++s) {
+      if (gt[s].frame != wt[s].frame || gt[s].predicted_class != wt[s].predicted_class ||
+          gt[s].prob_danger != wt[s].prob_danger || gt[s].warn != wt[s].warn ||
+          gt[s].source != wt[s].source) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// The launched-slot index (rank among stream-hosting shards, id order)
+/// and reference decision count of the busiest shard — the only victim
+/// guaranteed to reach a mid-journal kill ordinal.
+std::pair<std::size_t, std::size_t> busiest_slot(const FleetController& ref,
+                                                 std::size_t shards) {
+  std::vector<std::size_t> decisions(shards, 0);
+  std::vector<bool> hosts(shards, false);
+  const auto& assignment = ref.placement();
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    hosts[assignment[i]] = true;
+    decisions[assignment[i]] += ref.report().streams[i].decisions;
+  }
+  std::size_t slot = 0, best_slot = 0, best = 0;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    if (!hosts[shard]) continue;
+    if (decisions[shard] > best) {
+      best = decisions[shard];
+      best_slot = slot;
+    }
+    ++slot;
+  }
+  return {best_slot, best};
+}
+
+PointResult measure_point(std::size_t k, std::size_t s, std::size_t frames,
+                          std::size_t reps) {
+  PointResult r;
+  r.streams = k;
+  r.shards = s;
+  // Built with += : GCC 12's -Wrestrict false-positives on operator+ chains.
+  std::string tag = "k";
+  tag += std::to_string(k);
+  tag += "_s";
+  tag += std::to_string(s);
+  try {
+    // No-kill arm: median wall over reps; the last run doubles as the
+    // parity reference and the placement the kill plan is derived from.
+    std::vector<double> walls;
+    std::unique_ptr<FleetController> reference;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      reference = std::make_unique<FleetController>(fleet_config(k, s, frames));
+      const auto t0 = Clock::now();
+      reference->run();
+      walls.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+    }
+    r.nokill_wall_ms = median(walls);
+    r.decisions = reference->report().decisions_total;
+
+    // One-kill arm: MidJournalAppend halfway through the busiest shard's
+    // appends, then the end-to-end run including detection + failover.
+    const auto [victim, victim_decisions] = busiest_slot(*reference, s);
+    ScratchDir scratch(tag);
+    FleetConfig cfg = fleet_config(k, s, frames);
+    cfg.durability_root = scratch.path;
+    cfg.fault.enabled = true;
+    FleetController fleet(cfg);
+    fleet.fault().set_plan({{.wave = 0,
+                             .victim = victim,
+                             .point = runtime::CrashPoint::MidJournalAppend,
+                             .nth = std::max<std::size_t>(1, victim_decisions / 2)}});
+    const auto t0 = Clock::now();
+    fleet.run();
+    r.kill_wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    r.kills_fired = fleet.kills_fired();
+    const FleetReport& report = fleet.report();
+    for (const FailoverEvent& ev : report.failovers) {
+      r.detect_ms = std::max(r.detect_ms, ev.detect_ms);
+      r.recover_ms = std::max(r.recover_ms, ev.recover_ms);
+      r.streams_moved += ev.streams_moved;
+    }
+    r.replayed_pending = static_cast<std::size_t>(report.damage.journal_pending);
+    r.parity_ok = r.kills_fired == 1 && report.failovers.size() == 1 &&
+                  report.reconciled() && traces_agree(report, reference->report());
+  } catch (const std::exception& e) {
+    ++r.uncaught_exceptions;
+    std::printf("  !! uncaught exception (%s): %s\n", tag.c_str(), e.what());
+  }
+  return r;
+}
+
+void print_point(const PointResult& r) {
+  std::printf("  %7zu %6zu %6zu %10.1f %10.1f %9.1f %9.2f %5zu %5zu %6s %4d\n",
+              r.streams, r.shards, r.decisions, r.nokill_wall_ms, r.kill_wall_ms,
+              r.detect_ms, r.recover_ms, r.streams_moved, r.replayed_pending,
+              r.parity_ok ? "ok" : "FAIL", r.uncaught_exceptions);
+}
+
+void json_point(std::FILE* f, const PointResult& r, bool last) {
+  std::fprintf(f,
+               "    {\"streams\": %zu, \"shards\": %zu, \"decisions\": %zu, "
+               "\"nokill_wall_ms\": %.2f, \"kill_wall_ms\": %.2f, "
+               "\"detect_ms\": %.3f, \"recover_ms\": %.3f, "
+               "\"streams_moved\": %zu, \"replayed_pending\": %zu, "
+               "\"kills_fired\": %zu, \"parity_ok\": %s, "
+               "\"uncaught_exceptions\": %d}%s\n",
+               r.streams, r.shards, r.decisions, r.nokill_wall_ms, r.kill_wall_ms,
+               r.detect_ms, r.recover_ms, r.streams_moved, r.replayed_pending,
+               r.kills_fired, r.parity_ok ? "true" : "false", r.uncaught_exceptions,
+               last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::quiet_logs();
+  std::size_t frames = 30 * 30;    // thirty simulated seconds per stream
+  std::size_t reps = 3;            // median-of-N wall time per no-kill arm
+  std::size_t max_streams = 256;   // CI smoke trims the heavy tail
+  std::string json_path = "BENCH_fleet.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
+      frames = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = static_cast<std::size_t>(std::atoll(argv[++i]));
+      if (reps == 0) reps = 1;
+    } else if (std::strcmp(argv[i], "--max-streams") == 0 && i + 1 < argc) {
+      max_streams = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::printf("usage: %s [--frames N] [--reps R] [--max-streams K] [--json PATH]\n",
+                  argv[0]);
+      return 2;
+    }
+  }
+
+  bench::print_header("Fleet: scale-out cost and one-kill failover");
+  std::printf("  %zu frames per stream, median of %zu reps (no-kill arm)\n", frames, reps);
+  std::printf("  %7s %6s %6s %10s %10s %9s %9s %5s %5s %6s %4s\n", "streams", "shards",
+              "decis", "nokill-ms", "kill-ms", "detect-ms", "recov-ms", "moved", "pend",
+              "parity", "exc");
+
+  std::vector<PointResult> results;
+  bool all_parity = true;
+  int total_exceptions = 0;
+  double detect_ms_max = 0.0;
+  double recover_ms_max = 0.0;
+  for (const std::size_t k : {std::size_t{16}, std::size_t{64}, std::size_t{256}}) {
+    if (k > max_streams) continue;
+    for (const std::size_t s : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      results.push_back(measure_point(k, s, frames, reps));
+      print_point(results.back());
+      all_parity = all_parity && results.back().parity_ok;
+      total_exceptions += results.back().uncaught_exceptions;
+      detect_ms_max = std::max(detect_ms_max, results.back().detect_ms);
+      recover_ms_max = std::max(recover_ms_max, results.back().recover_ms);
+    }
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fleet\",\n  \"frames_per_stream\": %zu,\n  \"reps\": %zu,\n",
+               frames, reps);
+  std::fprintf(f, "  \"parity_ok\": %s,\n", all_parity ? "true" : "false");
+  std::fprintf(f, "  \"uncaught_exceptions_total\": %d,\n", total_exceptions);
+  std::fprintf(f, "  \"failover_detect_ms_max\": %.3f,\n", detect_ms_max);
+  std::fprintf(f, "  \"failover_recover_ms_max\": %.3f,\n  \"points\": [\n", recover_ms_max);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    json_point(f, results[i], i + 1 == results.size());
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("  wrote %s\n", json_path.c_str());
+
+  std::error_code ec;
+  fs::remove_all(fs::current_path() / "bench_fleet_scratch", ec);
+  if (!all_parity) {
+    std::printf("  !! PARITY FAILURE: a killed-and-failed-over fleet diverged from the\n"
+                "     uninterrupted run — the timings above are meaningless.\n");
+    return 1;
+  }
+  return total_exceptions == 0 ? 0 : 1;
+}

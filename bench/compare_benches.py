@@ -19,6 +19,12 @@ Compares freshly produced bench JSON against bench/baselines/ and fails
     counters, machine-independent) — plus a hard fail on
     parity_ok == false (geometry machinery must be free when disabled)
     or uncaught exceptions.
+  * BENCH_fleet.json (custom format): hard fail on parity_ok == false (a
+    killed-and-failed-over fleet must merge bit-identical decision
+    sequences) or uncaught exceptions; failover detect/recover wall
+    times are gated against a generous ceiling — max(500 ms, 10x the
+    baseline) — because they are wall-clock and machine-dependent, but a
+    10x blowup means the heartbeat watch loop or recovery path broke.
 
 Usage:
   bench/compare_benches.py [--baseline-dir bench/baselines] [--fresh-dir .]
@@ -26,7 +32,8 @@ Usage:
 
 Refreshing baselines (after an intentional perf change):
   bench/run_benches.sh --smoke && \
-      cp BENCH_micro_nn.json BENCH_multistream.json BENCH_drift.json bench/baselines/
+      cp BENCH_micro_nn.json BENCH_multistream.json BENCH_drift.json \
+         BENCH_fleet.json bench/baselines/
 Commit the result in the same PR as the change that shifted the numbers,
 and say why in the PR description.
 
@@ -142,6 +149,37 @@ def gate_drift(baseline_path, fresh_path, threshold):
     return failures
 
 
+def gate_fleet(baseline_path, fresh_path, threshold):
+    del threshold  # the fleet gate uses its own absolute-floor ceiling
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    failures = []
+    print("-- fleet gate")
+    if not fresh.get("parity_ok", False):
+        failures.append("fleet: a killed-and-failed-over run diverged from the "
+                        "uninterrupted fleet (merged sequences not bit-identical)")
+    if fresh.get("uncaught_exceptions_total", 0) != 0:
+        failures.append("fleet: uncaught exceptions during the sweep")
+    # Wall-clock ceilings, deliberately loose: an absolute 500 ms floor so
+    # slow-but-sane runners pass, and 10x baseline so a broken watch loop
+    # (detection) or recovery path cannot hide behind that floor.
+    for key in ("failover_detect_ms_max", "failover_recover_ms_max"):
+        base, new = baseline.get(key), fresh.get(key)
+        if base is None or new is None:
+            failures.append(f"fleet: {key} missing (baseline: {base}, fresh: {new})")
+            continue
+        ceiling = max(500.0, 10.0 * base)
+        verdict = "FAIL" if new > ceiling else "ok"
+        print(f"   {verdict:8s} {key}: {base:.1f} ms -> {new:.1f} ms "
+              f"(ceiling {ceiling:.0f} ms)")
+        if verdict == "FAIL":
+            failures.append(f"{key}: {base:.1f} ms -> {new:.1f} ms "
+                            f"(ceiling {ceiling:.0f} ms)")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -155,7 +193,8 @@ def main():
     checked = 0
     for name, gate in (("BENCH_micro_nn.json", gate_micro),
                        ("BENCH_multistream.json", gate_multistream),
-                       ("BENCH_drift.json", gate_drift)):
+                       ("BENCH_drift.json", gate_drift),
+                       ("BENCH_fleet.json", gate_fleet)):
         baseline, fresh = args.baseline_dir / name, args.fresh_dir / name
         if not baseline.exists():
             print(f"-- {name}: no committed baseline, skipping")

@@ -136,6 +136,23 @@ if [[ -x "$multistream_bin" ]]; then
   ran=$((ran + 1))
 fi
 
+# Fleet sweep: K streams x S shards, no-kill vs one-kill-failover with a
+# planned mid-journal shard kill. Writes its JSON itself; exits non-zero
+# if any killed-and-failed-over fleet's merged decision sequences diverge
+# from the uninterrupted run.
+fleet_bin="$build_dir/bench/bench_fleet"
+if [[ -x "$fleet_bin" ]]; then
+  fleet_args=(--json BENCH_fleet.json)
+  if [[ $smoke -eq 1 ]]; then
+    # Ten simulated seconds, one rep, skip the 256-stream tail: a "does
+    # failover still hold parity" guard, not a perf measurement.
+    fleet_args+=(--frames 300 --reps 1 --max-streams 64)
+  fi
+  echo "== bench_fleet -> BENCH_fleet.json"
+  "$fleet_bin" "${fleet_args[@]}"
+  ran=$((ran + 1))
+fi
+
 # Durability sweep: snapshot interval x journal fsync policy, steady-state
 # overhead vs recovery time. Writes its JSON itself; exits non-zero if a
 # killed-and-recovered run diverges from the uninterrupted baseline.

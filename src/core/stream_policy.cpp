@@ -7,6 +7,15 @@ namespace safecross::core {
 using runtime::DecisionSource;
 using runtime::FrameFault;
 
+const char* stream_priority_name(StreamPriority p) {
+  switch (p) {
+    case StreamPriority::Critical: return "critical";
+    case StreamPriority::Standard: return "standard";
+    case StreamPriority::BestEffort: return "best-effort";
+  }
+  return "?";
+}
+
 void apply_frame_fault(dataset::SegmentCollector& collector, runtime::HealthMonitor& health,
                        FrameFault fault) {
   switch (fault) {

@@ -18,6 +18,7 @@
 // combined behaviour.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dataset/collector.h"
@@ -25,6 +26,19 @@
 #include "runtime/health_monitor.h"
 
 namespace safecross::core {
+
+/// Admission-control tier for a stream. Placement assigns every stream a
+/// class; when a shard is oversubscribed the fleet layer degrades its
+/// lowest classes to conservative warns (DecisionSource::FleetDegraded)
+/// rather than dropping windows — degrade-before-drop. Lower enum value =
+/// more important.
+enum class StreamPriority : std::uint8_t {
+  Critical = 0,    // never degraded by admission control
+  Standard = 1,    // degraded only after every BestEffort stream is
+  BestEffort = 2,  // first to give up model inference under pressure
+};
+
+const char* stream_priority_name(StreamPriority p);
 
 /// Apply one frame slot's fate: exactly one collector step plus one
 /// health event per slot. Dropped and blacked-out slots count as missing

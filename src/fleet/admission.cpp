@@ -1,0 +1,60 @@
+#include "fleet/admission.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace safecross::fleet {
+
+AdmissionReport apply_admission(std::vector<serving::StreamConfig>& streams,
+                                const std::vector<std::size_t>& assignment,
+                                std::size_t shard_count, const AdmissionConfig& config) {
+  if (assignment.size() != streams.size()) {
+    throw std::invalid_argument("apply_admission: assignment/stream size mismatch");
+  }
+  AdmissionReport report;
+  report.shard_load.assign(shard_count, 0.0);
+  report.shard_load_after.assign(shard_count, 0.0);
+  report.degraded_per_shard.assign(shard_count, 0);
+
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    report.shard_load[assignment[i]] += stream_weight(streams[i]);
+  }
+  report.shard_load_after = report.shard_load;
+  if (config.shard_capacity <= 0.0) return report;
+
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    if (report.shard_load[shard] <= config.shard_capacity) continue;
+    // Sacrifice order: lowest tier first, heaviest first within a tier,
+    // name ascending as the tie-break — all properties of the config, so
+    // the same placement always degrades the same streams.
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (assignment[i] == shard &&
+          streams[i].priority != core::StreamPriority::Critical) {
+        candidates.push_back(i);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(), [&](std::size_t a, std::size_t b) {
+      if (streams[a].priority != streams[b].priority) {
+        return static_cast<int>(streams[a].priority) > static_cast<int>(streams[b].priority);
+      }
+      const double wa = stream_weight(streams[a]);
+      const double wb = stream_weight(streams[b]);
+      if (wa != wb) return wa > wb;
+      return streams[a].name < streams[b].name;
+    });
+    double load = report.shard_load[shard];
+    for (std::size_t i : candidates) {
+      if (load <= config.shard_capacity) break;
+      streams[i].fleet_degraded = true;
+      load -= stream_weight(streams[i]);
+      ++report.streams_degraded;
+      ++report.degraded_per_shard[shard];
+      report.degraded_streams.push_back(streams[i].name);
+    }
+    report.shard_load_after[shard] = load;
+  }
+  return report;
+}
+
+}  // namespace safecross::fleet

@@ -1,0 +1,58 @@
+#pragma once
+// Tiered admission control: degrade-before-drop.
+//
+// A hot shard must never silently drop a window — durable serving runs
+// with shedding off, so the only pressure valve the fleet allows itself
+// is *fidelity*: when a shard's placed load exceeds its capacity, the
+// lowest-priority streams on it are degraded to conservative warns
+// (DecisionSource::FleetDegraded, stamped via StreamConfig::
+// fleet_degraded). A degraded stream still produces every window and
+// scores every decision — it just answers "do not turn" without paying
+// for inference, which is exactly the fail-safe the paper's safety story
+// already trusts.
+//
+// The degrade set is decided *statically at placement time*, as a pure
+// function of (assignment, priorities, weights, capacity). That is
+// deliberate: reacting to live load would make the decision stream
+// wall-clock-dependent and break the fleet parity oracle. Failover
+// re-placement carries each stream's degraded flag along unchanged —
+// survivors absorb the extra load through backpressure, never through
+// new degradation mid-run.
+//
+// Order of sacrifice on an oversubscribed shard: BestEffort streams
+// first, then Standard; Critical streams are never degraded, even if the
+// shard stays over capacity. Within a tier the heaviest streams go first
+// (maximum relief per stream degraded), name as the deterministic
+// tie-break.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fleet/placement.h"
+#include "serving/stream.h"
+
+namespace safecross::fleet {
+
+struct AdmissionConfig {
+  /// Max aggregate stream weight (see stream_weight) a shard serves at
+  /// full fidelity. 0 disables admission control entirely.
+  double shard_capacity = 0.0;
+};
+
+struct AdmissionReport {
+  std::size_t streams_degraded = 0;
+  std::vector<std::string> degraded_streams;     // names, degrade order
+  std::vector<double> shard_load;                // placed weight per shard
+  std::vector<double> shard_load_after;          // full-fidelity weight kept
+  std::vector<std::size_t> degraded_per_shard;
+};
+
+/// Stamp `fleet_degraded` on the sacrificial streams of every
+/// oversubscribed shard. `assignment` maps stream index → shard id;
+/// `streams` is mutated in place. Deterministic (see header).
+AdmissionReport apply_admission(std::vector<serving::StreamConfig>& streams,
+                                const std::vector<std::size_t>& assignment,
+                                std::size_t shard_count, const AdmissionConfig& config);
+
+}  // namespace safecross::fleet

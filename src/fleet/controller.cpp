@@ -1,0 +1,336 @@
+#include "fleet/controller.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+namespace safecross::fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+FleetController::FleetController(FleetConfig config)
+    : cfg_(std::move(config)), placer_(cfg_.placement), fault_(cfg_.fault) {
+  if (cfg_.streams.empty()) {
+    throw std::invalid_argument("FleetController: at least one stream required");
+  }
+  if (cfg_.shards == 0) {
+    throw std::invalid_argument("FleetController: at least one shard required");
+  }
+  if (cfg_.fault.enabled && cfg_.durability_root.empty()) {
+    // The crash points live inside the journal/snapshot write paths, and
+    // failover has nothing to recover without a durable dir.
+    throw std::invalid_argument(
+        "FleetController: fault injection requires a durability_root");
+  }
+  hosts_.reserve(cfg_.shards);
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    hosts_.push_back(std::make_unique<ShardHost>(s, cfg_.shard, cfg_.serving));
+  }
+  last_view_.assign(cfg_.shards, runtime::HealthState::Nominal);
+}
+
+std::filesystem::path FleetController::wave_dir(std::size_t shard,
+                                                std::size_t wave_no) const {
+  return cfg_.durability_root / ("shard-" + std::to_string(shard)) /
+         ("wave-" + std::to_string(wave_no));
+}
+
+void FleetController::run() {
+  if (ran_) throw std::logic_error("FleetController: a controller runs once");
+  ran_ = true;
+
+  // 1 + 2: seeded placement, then static degrade-before-drop admission.
+  // Both are pure functions of the config, so the same-config reference
+  // run (and any failover re-placement) sees the identical decisions.
+  assignment_ = placer_.place_all(cfg_.streams, cfg_.shards);
+  admission_ = apply_admission(cfg_.streams, assignment_, cfg_.shards, cfg_.admission);
+  report_.streams_degraded = admission_.streams_degraded;
+  homes_.assign(cfg_.streams.size(), {});
+  final_wave_.assign(cfg_.streams.size(), 0);
+  for (std::size_t i = 0; i < cfg_.streams.size(); ++i) {
+    homes_[i].push_back(assignment_[i]);
+  }
+
+  // Primary wave: every shard that was placed at least one stream.
+  std::vector<Launched> wave;
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    ShardAssignment a;
+    a.wave = 0;
+    for (std::size_t i = 0; i < cfg_.streams.size(); ++i) {
+      if (assignment_[i] == s) a.streams.push_back(cfg_.streams[i]);
+    }
+    if (a.streams.empty()) continue;
+    if (!cfg_.durability_root.empty()) a.durability_dir = wave_dir(s, 0);
+    Launched l;
+    l.shard = s;
+    l.assignment = std::move(a);
+    l.monitor = std::make_unique<runtime::HealthMonitor>(cfg_.shard_health);
+    wave.push_back(std::move(l));
+  }
+  for (std::size_t slot = 0; slot < wave.size(); ++slot) {
+    wave[slot].assignment.crash = fault_.injector_for(0, slot, wave.size());
+    wave[slot].planned_kill = fault_.planned_for(0, slot, wave.size());
+  }
+
+  // 3–5: serve, watch, fail over — until every stream's run completed.
+  std::size_t wave_no = 0;
+  while (!wave.empty()) {
+    run_wave(wave);
+    std::vector<Launched> next = fail_over(wave, wave_no);
+    wave = std::move(next);
+    ++wave_no;
+  }
+
+  aggregate();
+}
+
+void FleetController::run_wave(std::vector<Launched>& wave) {
+  std::vector<std::thread> threads;
+  threads.reserve(wave.size());
+  for (Launched& l : wave) {
+    ShardHost* host = hosts_[l.shard].get();
+    ShardAssignment a = l.assignment;
+    threads.emplace_back([host, a = std::move(a)] { host->run_assignment(a); });
+  }
+
+  // The watch loop: drain every launched shard's heartbeat channel on a
+  // fixed cadence into its HealthMonitor. A beat is frame_ok (or
+  // frame_degraded past a watermark); silence while the shard should be
+  // beating is frame_missing; FailSafe declares the shard dead. The
+  // controller never blocks on a shard's channel — drain_latest() is a
+  // non-blocking pop loop.
+  const auto interval = std::chrono::duration<double, std::milli>(
+      cfg_.watch_interval_ms > 0.0 ? cfg_.watch_interval_ms : 1.0);
+  for (;;) {
+    bool settled = true;
+    for (Launched& l : wave) {
+      if (l.finished || l.dead) continue;
+      ShardHost& host = *hosts_[l.shard];
+      const std::optional<runtime::Heartbeat> hb = host.channel().drain_latest();
+      const ShardStatus st = host.status();
+      if (st == ShardStatus::Completed) {
+        l.finished = true;
+        l.monitor->frame_ok();
+        continue;
+      }
+      if (hb) {
+        const bool depth_hot = cfg_.queue_depth_watermark > 0 &&
+                               hb->queue_depth >= cfg_.queue_depth_watermark;
+        const bool latency_hot = cfg_.latency_watermark_ms > 0.0 &&
+                                 hb->latency_watermark_ms > cfg_.latency_watermark_ms;
+        if (depth_hot || latency_hot) {
+          l.monitor->frame_degraded();
+        } else {
+          l.monitor->frame_ok();
+        }
+      } else if (st == ShardStatus::Idle) {
+        l.monitor->frame_ok();  // thread not on-CPU yet; startup is not death
+      } else {
+        l.monitor->frame_missing();
+      }
+      if (l.monitor->state() == runtime::HealthState::FailSafe) {
+        l.dead = true;
+        l.declared_at = Clock::now();
+      }
+      settled = false;
+    }
+    if (settled) break;
+    std::this_thread::sleep_for(interval);
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Reconcile the silence-based verdicts against ground truth now that
+  // every incarnation has returned: a shard declared dead that actually
+  // completed (starvation false positive) must NOT be failed over — its
+  // streams finished; double-serving them would corrupt the merged
+  // sequences. The converse cannot happen: a crashed shard never
+  // completes, so the watch loop can only have exited by declaring it.
+  for (Launched& l : wave) {
+    const ShardStatus st = hosts_[l.shard]->status();
+    const bool crashed = st == ShardStatus::Crashed;
+    if (l.dead && !crashed) {
+      l.dead = false;
+      l.finished = true;
+    } else if (crashed) {
+      l.dead = true;
+      if (l.declared_at == Clock::time_point{}) l.declared_at = Clock::now();
+    }
+    last_view_[l.shard] = l.monitor->state();
+  }
+}
+
+std::vector<FleetController::Launched> FleetController::fail_over(
+    std::vector<Launched>& wave, std::size_t wave_no) {
+  std::vector<Launched*> dead;
+  std::vector<std::size_t> crashed_shards;
+  for (Launched& l : wave) {
+    if (l.dead) {
+      dead.push_back(&l);
+      crashed_shards.push_back(l.shard);
+    }
+  }
+  if (dead.empty()) return {};
+
+  // Survivors adopt the orphans. When every shard died (S = 1, or a
+  // correlated wipeout), the crashed shards restart in place: the host
+  // outlives its incarnations, so "restart" is just being a valid
+  // re-placement target again.
+  std::vector<std::size_t> live;
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    if (std::find(crashed_shards.begin(), crashed_shards.end(), s) ==
+        crashed_shards.end()) {
+      live.push_back(s);
+    }
+  }
+  if (live.empty()) live = crashed_shards;
+
+  std::unordered_map<std::string, std::size_t> name_index;
+  for (std::size_t i = 0; i < cfg_.streams.size(); ++i) {
+    name_index.emplace(cfg_.streams[i].name, i);
+  }
+
+  std::vector<double> load(cfg_.shards, 0.0);
+  std::map<std::size_t, ShardAssignment> regroup;  // ordered: deterministic slots
+  for (Launched* l : dead) {
+    ShardHost& host = *hosts_[l->shard];
+    if (!host.crash_what().empty()) ++report_.uncaught_exceptions;
+
+    FailoverEvent ev;
+    ev.wave = wave_no;
+    ev.shard = l->shard;
+    if (l->planned_kill) ev.point = l->planned_kill->point;
+    ev.detect_ms = ms_between(host.crashed_at(), l->declared_at);
+
+    // Recovery server: the dead incarnation's exact config (fingerprint
+    // match) over its durable dir, crash injector disarmed — the kill
+    // already happened. recover() absorbs torn tails and corrupt
+    // snapshot generations; drain_streams() extracts the hand-offs.
+    const auto t0 = Clock::now();
+    ShardAssignment dead_a = l->assignment;
+    dead_a.crash = nullptr;
+    serving::StreamServer recovery(host.engine(), host.server_config(dead_a));
+    ev.recovery = recovery.recover();
+    std::vector<serving::StreamHandoff> handoffs = recovery.drain_streams();
+    ev.recover_ms = ms_between(t0, Clock::now());
+    ev.streams_moved = handoffs.size();
+    report_.damage.add(ev.recovery);
+
+    for (serving::StreamHandoff& h : handoffs) {
+      const std::size_t target = placer_.place(h.config.name, live, load);
+      load[target] += stream_weight(h.config);
+      const auto it = name_index.find(h.config.name);
+      if (it != name_index.end()) {
+        homes_[it->second].push_back(target);
+        final_wave_[it->second] = wave_no + 1;
+      }
+      ShardAssignment& a = regroup[target];
+      a.wave = wave_no + 1;
+      a.streams.push_back(h.config);
+      a.handoffs.push_back(std::move(h));
+    }
+    report_.failovers.push_back(std::move(ev));
+  }
+
+  std::vector<Launched> next;
+  next.reserve(regroup.size());
+  for (auto& [shard, a] : regroup) {
+    if (!cfg_.durability_root.empty()) a.durability_dir = wave_dir(shard, wave_no + 1);
+    Launched l;
+    l.shard = shard;
+    l.assignment = std::move(a);
+    l.monitor = std::make_unique<runtime::HealthMonitor>(cfg_.shard_health);
+    next.push_back(std::move(l));
+  }
+  for (std::size_t slot = 0; slot < next.size(); ++slot) {
+    next[slot].assignment.crash = fault_.injector_for(wave_no + 1, slot, next.size());
+    next[slot].planned_kill = fault_.planned_for(wave_no + 1, slot, next.size());
+  }
+  return next;
+}
+
+void FleetController::aggregate() {
+  for (std::size_t i = 0; i < cfg_.streams.size(); ++i) {
+    const std::size_t shard = homes_[i].back();
+    const std::size_t wave = final_wave_[i];
+    const ShardHost::Incarnation* inc = nullptr;
+    for (const ShardHost::Incarnation& c : hosts_[shard]->incarnations()) {
+      if (c.wave == wave) inc = &c;
+    }
+    if (inc == nullptr) {
+      throw std::logic_error("FleetController: stream '" + cfg_.streams[i].name +
+                             "' has no completed incarnation");
+    }
+    std::size_t local = inc->stream_names.size();
+    for (std::size_t j = 0; j < inc->stream_names.size(); ++j) {
+      if (inc->stream_names[j] == cfg_.streams[i].name) local = j;
+    }
+    if (local == inc->stream_names.size()) {
+      throw std::logic_error("FleetController: stream '" + cfg_.streams[i].name +
+                             "' missing from its final incarnation");
+    }
+    const serving::StreamContext& ctx = inc->server->stream(local);
+    const core::StreamScorecard& sc = ctx.scorecard();
+
+    StreamResult r;
+    r.name = cfg_.streams[i].name;
+    r.priority = cfg_.streams[i].priority;
+    r.degraded = cfg_.streams[i].fleet_degraded;
+    r.first_shard = homes_[i].front();
+    r.final_shard = shard;
+    r.moves = homes_[i].size() - 1;
+    r.frames_run = ctx.frames_run();
+    r.windows_produced = ctx.windows_produced();
+    r.opportunities = sc.decision_opportunities();
+    r.decisions = sc.decisions();
+    r.model_decisions = sc.model_decisions();
+    r.fail_safe_decisions = sc.fail_safe_decisions();
+    r.degraded_decisions = sc.fail_safe_by_source(runtime::DecisionSource::FleetDegraded);
+    r.warnings = sc.warnings();
+    r.correct = sc.correct();
+    r.accuracy = sc.accuracy();
+    r.trace = ctx.trace();
+
+    report_.windows_produced_total += r.windows_produced;
+    report_.decisions_total += r.decisions;
+    report_.model_decisions_total += r.model_decisions;
+    report_.fail_safe_total += r.fail_safe_decisions;
+    report_.degraded_decisions_total += r.degraded_decisions;
+    report_.streams.push_back(std::move(r));
+  }
+
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    ShardSummary sum;
+    sum.id = s;
+    sum.final_status = static_cast<int>(hosts_[s]->status());
+    sum.incarnations = hosts_[s]->incarnations().size();
+    for (const auto& homes : homes_) {
+      if (!homes.empty() && homes.back() == s) ++sum.streams_final;
+    }
+    sum.beats_published = hosts_[s]->channel().beats_published();
+    sum.beats_evicted = hosts_[s]->channel().beats_evicted();
+    sum.controller_view = last_view_[s];
+    for (const ShardHost::Incarnation& inc : hosts_[s]->incarnations()) {
+      sum.windows_shed += inc.server->windows_shed_total();
+      for (std::size_t j = 0; j < inc.server->stream_count(); ++j) {
+        sum.queue_high_water = std::max(sum.queue_high_water,
+                                        inc.server->queue_high_water(j));
+      }
+      sum.latency_watermark_ms =
+          std::max(sum.latency_watermark_ms, inc.server->latency_watermark_ms());
+    }
+    report_.windows_shed_total += sum.windows_shed;
+    report_.shards.push_back(sum);
+  }
+}
+
+}  // namespace safecross::fleet

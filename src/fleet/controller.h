@@ -1,0 +1,136 @@
+#pragma once
+// FleetController: the control plane over S StreamServer shards.
+//
+// One run() is a full fleet lifecycle:
+//
+//   1. place    — seeded deterministic placement (rendezvous or
+//                 least-loaded) of K streams onto S shards;
+//   2. admit    — degrade-before-drop admission control stamps
+//                 fleet_degraded on the sacrificial streams of every
+//                 oversubscribed shard (static, so parity holds);
+//   3. serve    — every shard with streams runs its assignment on its
+//                 own thread, heartbeating to the controller;
+//   4. watch    — the controller drains each shard's heartbeat channel
+//                 on a fixed cadence into a per-shard HealthMonitor:
+//                 fresh beat → frame_ok (or frame_degraded past a
+//                 queue-depth/latency watermark), silence → frame_missing.
+//                 A shard whose monitor escalates to FailSafe is declared
+//                 dead — detection by missed heartbeats, exactly the
+//                 contract a real SIGKILL forces;
+//   5. failover — for each dead shard: build a recovery server over its
+//                 durability dir, recover() (tolerating torn tails and
+//                 corrupt snapshot generations), drain_streams(), and
+//                 re-place the hand-offs onto surviving shards, which
+//                 run them as a new wave (back to 3). A wave can crash
+//                 too — the loop runs until every stream's run completes;
+//   6. aggregate — per-stream merged results, per-shard summaries,
+//                 failover timings and recovery damage into a FleetReport.
+//
+// Determinism contract: placement, admission and the kill plan are pure
+// functions of the config; stream verdicts are functions of per-stream
+// seeded state plus bit-identical per-shard engines; hand-off resumes
+// bit-identically. Hence the fleet parity oracle: every stream's merged
+// decision sequence from a killed-and-failed-over run equals the
+// same-config uninterrupted run's, bit for bit — only wall-clock
+// observability (detection latency, heartbeat counts) may differ.
+
+#include <chrono>
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "fleet/admission.h"
+#include "fleet/fault.h"
+#include "fleet/placement.h"
+#include "fleet/scorecard.h"
+#include "fleet/shard.h"
+#include "runtime/health_monitor.h"
+
+namespace safecross::fleet {
+
+struct FleetConfig {
+  std::vector<serving::StreamConfig> streams;  // priorities set by the caller
+  std::size_t shards = 2;
+
+  PlacementConfig placement;
+  AdmissionConfig admission;
+
+  ShardSpec shard;             // engine recipe, identical on every shard
+  ShardServingConfig serving;  // per-incarnation server knobs
+
+  /// Root for per-shard durable dirs (root/shard-<id>/wave-<w>). Empty →
+  /// durability off; fault injection then has no crash points to arm and
+  /// failover is impossible.
+  std::filesystem::path durability_root;
+
+  // Controller watch cadence and the health machine that turns missed
+  // heartbeats into a death verdict. Keep watch_interval_ms comfortably
+  // above serving.heartbeat_interval_ms so a healthy shard beats at
+  // least once per watch tick.
+  double watch_interval_ms = 10.0;
+  runtime::HealthConfig shard_health{.degraded_after_missing = 3,
+                                     .failsafe_after_missing = 10,
+                                     .recover_after_healthy = 5};
+  std::size_t queue_depth_watermark = 0;  // beats at/above → frame_degraded; 0 off
+  double latency_watermark_ms = 0.0;      // beats above → frame_degraded; 0 off
+
+  ShardFaultConfig fault;  // seeded shard-kill plan (chaos)
+};
+
+class FleetController {
+ public:
+  explicit FleetController(FleetConfig config);
+
+  FleetController(const FleetController&) = delete;
+  FleetController& operator=(const FleetController&) = delete;
+
+  /// The full lifecycle (see file header). Runs once per controller.
+  void run();
+
+  /// Initial stream index → shard id (valid after run()).
+  const std::vector<std::size_t>& placement() const { return assignment_; }
+  const AdmissionReport& admission() const { return admission_; }
+  const FleetReport& report() const { return report_; }
+  std::size_t kills_fired() const { return fault_.kills_fired(); }
+  const ShardFaultInjector& fault() const { return fault_; }
+  ShardFaultInjector& fault() { return fault_; }
+
+ private:
+  struct Launched {
+    std::size_t shard = 0;
+    ShardAssignment assignment;
+    const ShardKill* planned_kill = nullptr;
+    bool finished = false;
+    bool dead = false;
+    std::chrono::steady_clock::time_point declared_at{};
+    // unique_ptr: HealthMonitor holds an atomic latch, so it cannot live
+    // by value in a movable Launched.
+    std::unique_ptr<runtime::HealthMonitor> monitor;
+  };
+
+  /// Steps 3+4 for one wave: launch, watch, join. Fills crash verdicts.
+  void run_wave(std::vector<Launched>& wave);
+  /// Step 5: recovery + re-placement of every dead entry; returns the
+  /// next wave's launch list (empty when nothing died).
+  std::vector<Launched> fail_over(std::vector<Launched>& wave, std::size_t wave_no);
+  void aggregate();
+
+  std::filesystem::path wave_dir(std::size_t shard, std::size_t wave_no) const;
+
+  FleetConfig cfg_;
+  Placer placer_;
+  ShardFaultInjector fault_;
+  std::vector<std::unique_ptr<ShardHost>> hosts_;
+  std::vector<std::size_t> assignment_;  // stream index → shard id (initial)
+  AdmissionReport admission_;
+  /// Per-stream shard history (index parallel to cfg_.streams).
+  std::vector<std::vector<std::size_t>> homes_;
+  /// Wave number of each stream's final (completed) incarnation.
+  std::vector<std::size_t> final_wave_;
+  std::vector<runtime::HealthState> last_view_;  // controller's last health view
+  FleetReport report_;
+  bool ran_ = false;
+};
+
+}  // namespace safecross::fleet

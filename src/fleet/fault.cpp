@@ -1,0 +1,65 @@
+#include "fleet/fault.h"
+
+#include "common/rng.h"
+
+namespace safecross::fleet {
+
+ShardFaultInjector::ShardFaultInjector(ShardFaultConfig config) : config_(config) {
+  if (!config_.enabled) return;
+  Rng rng(config_.seed);
+  for (std::size_t k = 0; k < config_.kills; ++k) {
+    ShardKill kill;
+    kill.wave = k;
+    kill.victim = static_cast<std::size_t>(rng.next_u64());  // reduced at arm time
+    kill.point = static_cast<runtime::CrashPoint>(
+        rng.uniform_int(static_cast<std::uint64_t>(runtime::kCrashPointCount)));
+    // Journal points are hit once per decision — any small ordinal fires
+    // early in the run. Snapshot points only fire on the snapshot
+    // cadence, so keep their ordinal tiny or the run completes first.
+    switch (kill.point) {
+      case runtime::CrashPoint::BeforeSnapshotWrite:
+      case runtime::CrashPoint::MidSnapshotWrite:
+      case runtime::CrashPoint::BeforeSnapshotRename:
+      case runtime::CrashPoint::AfterSnapshotRename:
+        kill.nth = 1 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{2}));
+        break;
+      default:
+        kill.nth = 1 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{12}));
+        break;
+    }
+    plan_.push_back(kill);
+  }
+  injectors_.resize(plan_.size());
+}
+
+runtime::CrashInjector* ShardFaultInjector::injector_for(std::size_t wave,
+                                                         std::size_t launched_slot,
+                                                         std::size_t launched_count) {
+  if (launched_count == 0) return nullptr;
+  for (std::size_t k = 0; k < plan_.size(); ++k) {
+    if (plan_[k].wave != wave) continue;
+    if (plan_[k].victim % launched_count != launched_slot) continue;
+    injectors_[k].arm(plan_[k].point, plan_[k].nth);
+    return &injectors_[k];
+  }
+  return nullptr;
+}
+
+const ShardKill* ShardFaultInjector::planned_for(std::size_t wave, std::size_t launched_slot,
+                                                 std::size_t launched_count) const {
+  if (launched_count == 0) return nullptr;
+  for (const ShardKill& kill : plan_) {
+    if (kill.wave == wave && kill.victim % launched_count == launched_slot) return &kill;
+  }
+  return nullptr;
+}
+
+std::size_t ShardFaultInjector::kills_fired() const {
+  std::size_t fired = 0;
+  for (const runtime::CrashInjector& inj : injectors_) {
+    if (inj.fired()) ++fired;
+  }
+  return fired;
+}
+
+}  // namespace safecross::fleet

@@ -1,0 +1,74 @@
+#pragma once
+// Seeded shard-kill injection for the fleet chaos harness.
+//
+// A ShardFaultInjector turns one fleet seed into a deterministic kill
+// plan: which wave, which victim shard, which runtime::CrashPoint inside
+// the victim's durable write paths, and which hit of that point. The
+// controller arms the injector into the victim incarnation's
+// DurabilityConfig; when the scheduled hit is reached the shard dies
+// exactly as the single-server chaos harness dies — torn journal tail,
+// half-written snapshot temp, or a clean post-rename state — and the
+// controller's missed-heartbeat detection takes over.
+//
+// One CrashInjector per planned kill, so a double-failover plan (kill
+// the primary, then kill a failover wave) is just a two-entry plan.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/crash_point.h"
+
+namespace safecross::fleet {
+
+struct ShardKill {
+  std::size_t wave = 0;   // 0 = primary serving wave, 1 = first failover wave…
+  std::size_t victim = 0; // index into that wave's *launched* shard list
+  runtime::CrashPoint point = runtime::CrashPoint::MidJournalAppend;
+  std::size_t nth = 1;    // 1-based hit of `point` that fires
+};
+
+struct ShardFaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 0xDEAD5EEDull;
+  std::size_t kills = 1;  // consecutive waves to kill, starting at wave 0
+};
+
+class ShardFaultInjector {
+ public:
+  /// Derive the kill plan from the seed: kill k targets wave k, a
+  /// uniform victim slot, a uniform crash point, and an nth matched to
+  /// the point's hit rate (journal points fire every decision, snapshot
+  /// points only on cadence).
+  explicit ShardFaultInjector(ShardFaultConfig config);
+
+  /// Replace the seeded plan (targeted chaos tests). Invalidates any
+  /// injector pointer previously handed out.
+  void set_plan(std::vector<ShardKill> plan) {
+    plan_ = std::move(plan);
+    injectors_.assign(plan_.size(), runtime::CrashInjector{});
+  }
+  const std::vector<ShardKill>& plan() const { return plan_; }
+
+  /// The armed injector for slot `launched_slot` of `wave`'s launched
+  /// shard list (the victim index is reduced modulo `launched_count`, so
+  /// a plan never targets a shard with nothing to kill). nullptr when no
+  /// kill is scheduled there.
+  runtime::CrashInjector* injector_for(std::size_t wave, std::size_t launched_slot,
+                                       std::size_t launched_count);
+
+  /// The plan entry that targets slot `launched_slot` of `wave`'s
+  /// launched list (same reduction as injector_for), or nullptr.
+  const ShardKill* planned_for(std::size_t wave, std::size_t launched_slot,
+                               std::size_t launched_count) const;
+
+  /// Kills whose armed injector actually fired.
+  std::size_t kills_fired() const;
+
+ private:
+  ShardFaultConfig config_;
+  std::vector<ShardKill> plan_;
+  std::vector<runtime::CrashInjector> injectors_;  // parallel to plan_
+};
+
+}  // namespace safecross::fleet

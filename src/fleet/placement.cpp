@@ -1,0 +1,94 @@
+#include "fleet/placement.h"
+
+#include <stdexcept>
+
+namespace safecross::fleet {
+
+const char* placement_policy_name(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::Rendezvous: return "rendezvous";
+    case PlacementPolicy::LeastLoaded: return "least-loaded";
+  }
+  return "?";
+}
+
+double stream_weight(const serving::StreamConfig& sc) {
+  const int stride = sc.decision_stride > 0 ? sc.decision_stride : 1;
+  return 8.0 / static_cast<double>(stride);
+}
+
+namespace {
+
+// SplitMix64 finalizer: a fast, portable 64-bit mix with full avalanche —
+// the quality bar rendezvous hashing needs so one shard doesn't win every
+// stream.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t Placer::score(const std::string& name, std::size_t shard) const {
+  // FNV-1a over the name folded with the seed and shard id through the
+  // SplitMix64 finalizer. Stable across platforms and runs by
+  // construction (no std::hash).
+  std::uint64_t h = 0xCBF29CE484222325ULL ^ config_.seed;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return mix64(h ^ mix64(static_cast<std::uint64_t>(shard) + 1));
+}
+
+std::size_t Placer::place(const std::string& name, const std::vector<std::size_t>& live,
+                          const std::vector<double>& load) const {
+  if (live.empty()) throw std::invalid_argument("Placer::place: no live shards");
+  std::size_t best = live.front();
+  if (config_.policy == PlacementPolicy::Rendezvous) {
+    std::uint64_t best_score = score(name, best);
+    for (std::size_t i = 1; i < live.size(); ++i) {
+      const std::uint64_t s = score(name, live[i]);
+      if (s > best_score) {
+        best = live[i];
+        best_score = s;
+      }
+    }
+    return best;
+  }
+  // LeastLoaded: smallest accumulated weight, rendezvous tie-break so
+  // equal-load ties stay deterministic and seed-dependent.
+  double best_load = best < load.size() ? load[best] : 0.0;
+  std::uint64_t best_score = score(name, best);
+  for (std::size_t i = 1; i < live.size(); ++i) {
+    const std::size_t id = live[i];
+    const double l = id < load.size() ? load[id] : 0.0;
+    const std::uint64_t s = score(name, id);
+    if (l < best_load || (l == best_load && s > best_score)) {
+      best = id;
+      best_load = l;
+      best_score = s;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> Placer::place_all(const std::vector<serving::StreamConfig>& streams,
+                                           std::size_t shard_count) const {
+  if (shard_count == 0) throw std::invalid_argument("Placer::place_all: no shards");
+  std::vector<std::size_t> live(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) live[s] = s;
+  std::vector<double> load(shard_count, 0.0);
+  std::vector<std::size_t> assignment;
+  assignment.reserve(streams.size());
+  for (const serving::StreamConfig& sc : streams) {
+    const std::size_t shard = place(sc.name, live, load);
+    load[shard] += stream_weight(sc);
+    assignment.push_back(shard);
+  }
+  return assignment;
+}
+
+}  // namespace safecross::fleet

@@ -1,0 +1,71 @@
+#pragma once
+// Deterministic stream → shard placement for the fleet layer.
+//
+// Two policies, both pure functions of (seed, stream name, live shard
+// set [, accumulated load]) so a fleet run — and its same-seed reference
+// run, and any failover re-placement — always maps the same stream to
+// the same shard given the same inputs:
+//
+//   * Rendezvous (highest-random-weight) hashing: each (stream, shard)
+//     pair gets a seeded 64-bit score; the live shard with the highest
+//     score wins. Removing a shard moves *only* that shard's streams
+//     (minimal disruption), which is exactly what failover re-placement
+//     wants.
+//   * LeastLoaded: the live shard with the smallest accumulated stream
+//     weight wins, rendezvous score as the deterministic tie-break.
+//     Balances skewed traffic at initial placement.
+//
+// Placement decides *where work runs*, never *what the work decides*:
+// stream verdicts are a function of per-stream seeded state and the
+// (bit-identical) per-shard engines, so moving a stream cannot change a
+// single verdict — the property the fleet parity oracle pins.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serving/stream.h"
+
+namespace safecross::fleet {
+
+enum class PlacementPolicy { Rendezvous = 0, LeastLoaded = 1 };
+
+const char* placement_policy_name(PlacementPolicy p);
+
+struct PlacementConfig {
+  PlacementPolicy policy = PlacementPolicy::Rendezvous;
+  std::uint64_t seed = 0xF1EE7u;
+};
+
+/// Relative serving cost of one stream: decisions per frame scale with
+/// 1/decision_stride, which is how the bench skews traffic. Always > 0.
+double stream_weight(const serving::StreamConfig& sc);
+
+class Placer {
+ public:
+  explicit Placer(PlacementConfig config) : config_(config) {}
+
+  const PlacementConfig& config() const { return config_; }
+
+  /// Seeded rendezvous score for (stream name, shard).
+  std::uint64_t score(const std::string& name, std::size_t shard) const;
+
+  /// Choose a shard for `name` among the `live` shard ids. `load` is the
+  /// accumulated weight per shard id (indexed by shard id, may be larger
+  /// than live.size()); only consulted by LeastLoaded. `live` must be
+  /// non-empty.
+  std::size_t place(const std::string& name, const std::vector<std::size_t>& live,
+                    const std::vector<double>& load) const;
+
+  /// Place every stream onto shards {0..shard_count-1}, accumulating
+  /// weight as it goes (so LeastLoaded balances). Returns stream index →
+  /// shard id.
+  std::vector<std::size_t> place_all(const std::vector<serving::StreamConfig>& streams,
+                                     std::size_t shard_count) const;
+
+ private:
+  PlacementConfig config_;
+};
+
+}  // namespace safecross::fleet

@@ -1,0 +1,69 @@
+#include "fleet/scorecard.h"
+
+#include <iomanip>
+
+namespace safecross::fleet {
+
+void RecoveryDamage::add(const serving::RecoveryReport& r) {
+  ++recoveries;
+  if (r.recovered_from_snapshot) ++recovered_from_snapshot;
+  journal_records += r.journal_records;
+  journal_pending += r.journal_pending;
+  journal_pending_recalibrations += r.journal_pending_recalibrations;
+  journal_bytes_dropped += r.journal_bytes_dropped;
+  if (r.journal_torn_tail) ++journal_torn_tails;
+  if (r.journal_bad_header) ++journal_bad_headers;
+  snapshots_rejected += r.snapshots_rejected.size();
+  rejection_reasons.insert(rejection_reasons.end(), r.snapshots_rejected.begin(),
+                           r.snapshots_rejected.end());
+}
+
+bool FleetReport::reconciled() const {
+  if (windows_shed_total != 0) return false;
+  if (windows_produced_total != decisions_total) return false;
+  for (const StreamResult& s : streams) {
+    if (s.windows_produced != s.decisions) return false;
+    if (s.opportunities != s.windows_produced) return false;
+    if (s.model_decisions + s.fail_safe_decisions != s.decisions) return false;
+  }
+  return true;
+}
+
+void print_fleet_report(std::ostream& os, const FleetReport& report) {
+  os << "fleet: " << report.streams.size() << " streams on " << report.shards.size()
+     << " shards, " << report.failovers.size() << " failover(s)\n";
+  os << "  decisions " << report.decisions_total << " (model "
+     << report.model_decisions_total << ", fail-safe " << report.fail_safe_total
+     << ", of which fleet-degraded " << report.degraded_decisions_total << ")\n";
+  os << "  degraded streams " << report.streams_degraded << ", windows shed "
+     << report.windows_shed_total << ", reconciled "
+     << (report.reconciled() ? "yes" : "NO") << "\n";
+  for (const ShardSummary& sh : report.shards) {
+    os << "  shard " << sh.id << ": " << sh.incarnations << " incarnation(s), "
+       << sh.streams_final << " stream(s) ended here, " << sh.beats_published
+       << " heartbeats (" << sh.beats_evicted << " evicted), controller saw "
+       << runtime::health_state_name(sh.controller_view) << ", queue high-water "
+       << sh.queue_high_water << ", latency watermark " << std::fixed
+       << std::setprecision(2) << sh.latency_watermark_ms << " ms\n";
+  }
+  for (const FailoverEvent& f : report.failovers) {
+    os << "  failover: wave " << f.wave << " shard " << f.shard << " died at "
+       << runtime::crash_point_name(f.point) << "; detected " << std::fixed
+       << std::setprecision(1) << f.detect_ms << " ms after the crash, recovered+drained in "
+       << f.recover_ms << " ms, " << f.streams_moved << " stream(s) re-placed\n";
+  }
+  if (report.damage.recoveries > 0) {
+    const RecoveryDamage& d = report.damage;
+    os << "  replay damage absorbed: " << d.journal_records
+       << " journal records replayed (" << d.journal_pending << " pending decisions, "
+       << d.journal_pending_recalibrations << " pending recalibrations), "
+       << d.journal_bytes_dropped << " torn-tail byte(s) dropped across "
+       << d.journal_torn_tails << " torn tail(s), " << d.journal_bad_headers
+       << " bad header(s), " << d.snapshots_rejected << " snapshot(s) rejected\n";
+    for (const std::string& reason : d.rejection_reasons) {
+      os << "    snapshot rejected: " << reason << "\n";
+    }
+  }
+}
+
+}  // namespace safecross::fleet

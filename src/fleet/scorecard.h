@@ -1,0 +1,111 @@
+#pragma once
+// Fleet-wide scorecard aggregation: every per-stream scorecard, every
+// shard's health/heartbeat story, every failover's recovery damage,
+// rolled into one report — so a failover (and the corruption it
+// tolerated) is observable, never silent.
+//
+// The report also carries the reconciliation invariant the chaos tests
+// pin: with shedding off, every window a stream produced must have been
+// decided (windows_produced == decisions per stream, opportunities ==
+// produced), and every degrade is accounted by source — so "no window
+// silently dropped" is checkable arithmetic, not a hope.
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/stream_policy.h"
+#include "runtime/health_monitor.h"
+#include "serving/stream.h"
+#include "serving/stream_server.h"
+
+namespace safecross::fleet {
+
+/// Rollup of RecoveryReport damage counters across every failover the
+/// fleet performed: what the journals and snapshot stores had to
+/// tolerate to keep the decision streams bit-identical.
+struct RecoveryDamage {
+  std::size_t recoveries = 0;
+  std::size_t recovered_from_snapshot = 0;
+  std::uint64_t journal_records = 0;
+  std::uint64_t journal_pending = 0;
+  std::uint64_t journal_pending_recalibrations = 0;
+  std::uint64_t journal_bytes_dropped = 0;  // torn/corrupt tail bytes truncated
+  std::size_t journal_torn_tails = 0;
+  std::size_t journal_bad_headers = 0;
+  std::size_t snapshots_rejected = 0;
+  std::vector<std::string> rejection_reasons;  // "file: reason"
+
+  void add(const serving::RecoveryReport& r);
+};
+
+/// One shard death the controller handled.
+struct FailoverEvent {
+  std::size_t wave = 0;
+  std::size_t shard = 0;
+  runtime::CrashPoint point = runtime::CrashPoint::MidJournalAppend;  // planned point
+  double detect_ms = 0.0;   // crash instant → declared dead (missed heartbeats)
+  double recover_ms = 0.0;  // recover() + drain_streams() wall time
+  std::size_t streams_moved = 0;
+  serving::RecoveryReport recovery;
+};
+
+/// One stream's final, merged outcome (after any number of hand-offs).
+struct StreamResult {
+  std::string name;
+  core::StreamPriority priority = core::StreamPriority::Standard;
+  bool degraded = false;     // admission-control degrade (static, placement-time)
+  std::size_t first_shard = 0;
+  std::size_t final_shard = 0;
+  std::size_t moves = 0;     // failover hand-offs this stream rode
+  std::size_t frames_run = 0;
+  std::size_t windows_produced = 0;
+  std::size_t opportunities = 0;
+  std::size_t decisions = 0;
+  std::size_t model_decisions = 0;
+  std::size_t fail_safe_decisions = 0;
+  std::size_t degraded_decisions = 0;  // by_source[FleetDegraded]
+  std::size_t warnings = 0;
+  std::size_t correct = 0;
+  double accuracy = 0.0;
+  std::vector<serving::DecisionRecord> trace;  // merged per-seq verdicts
+};
+
+struct ShardSummary {
+  std::size_t id = 0;
+  int final_status = 0;  // shard.h ShardStatus as int (no include cycle)
+  std::size_t incarnations = 0;
+  std::size_t streams_final = 0;     // streams whose last home this was
+  std::size_t beats_published = 0;
+  std::size_t beats_evicted = 0;
+  runtime::HealthState controller_view = runtime::HealthState::Nominal;
+  std::size_t windows_shed = 0;      // must stay 0: degrade-before-drop
+  std::size_t queue_high_water = 0;
+  double latency_watermark_ms = 0.0;
+};
+
+struct FleetReport {
+  std::vector<StreamResult> streams;
+  std::vector<ShardSummary> shards;
+  std::vector<FailoverEvent> failovers;
+  RecoveryDamage damage;
+  std::size_t streams_degraded = 0;
+  std::size_t windows_produced_total = 0;
+  std::size_t decisions_total = 0;
+  std::size_t model_decisions_total = 0;
+  std::size_t fail_safe_total = 0;
+  std::size_t degraded_decisions_total = 0;
+  std::size_t windows_shed_total = 0;  // must stay 0
+  std::size_t uncaught_exceptions = 0;  // non-injected shard deaths
+
+  /// The no-window-silently-dropped invariant: every produced window was
+  /// decided, nothing was shed, every opportunity produced a window.
+  bool reconciled() const;
+};
+
+/// Human-readable dump (examples/multi_camera, bench verbose mode).
+void print_fleet_report(std::ostream& os, const FleetReport& report);
+
+}  // namespace safecross::fleet

@@ -1,0 +1,110 @@
+#include "fleet/shard.h"
+
+#include <thread>
+
+#include "models/slowfast.h"
+
+namespace safecross::fleet {
+
+const char* shard_status_name(ShardStatus s) {
+  switch (s) {
+    case ShardStatus::Idle: return "idle";
+    case ShardStatus::Running: return "running";
+    case ShardStatus::Completed: return "completed";
+    case ShardStatus::Crashed: return "crashed";
+  }
+  return "?";
+}
+
+ShardHost::ShardHost(std::size_t id, const ShardSpec& spec, ShardServingConfig serving)
+    : id_(id), serving_(std::move(serving)) {
+  engine_ = std::make_unique<core::SafeCross>(spec.engine);
+  for (dataset::Weather w : spec.weathers) {
+    models::SlowFastConfig mc = spec.engine.model;
+    mc.init_seed = spec.model_init_seed_base + static_cast<std::uint64_t>(w);
+    engine_->set_model(w, std::make_unique<models::SlowFast>(mc));
+  }
+}
+
+serving::StreamServerConfig ShardHost::server_config(const ShardAssignment& a) const {
+  serving::StreamServerConfig cfg;
+  cfg.streams = a.streams;
+  cfg.frames = serving_.frames;
+  cfg.batcher = serving_.batcher;
+  cfg.queue_capacity = serving_.queue_capacity;
+  cfg.push_timeout_ms = serving_.push_timeout_ms;
+  // Degrade-before-drop: the fleet's only pressure valves are admission
+  // degradation and producer backpressure — a window silently shed at a
+  // wall-clock-dependent instant could never reconcile, nor recover.
+  cfg.shed_on_overload = false;
+  cfg.record_traces = serving_.record_traces;
+  if (!a.durability_dir.empty()) {
+    cfg.durability.dir = a.durability_dir;
+    cfg.durability.snapshot_every_decisions = serving_.snapshot_every_decisions;
+    cfg.durability.keep_snapshots = serving_.keep_snapshots;
+    cfg.durability.crash = a.crash;
+  }
+  return cfg;
+}
+
+bool ShardHost::run_assignment(const ShardAssignment& a) {
+  auto server = std::make_unique<serving::StreamServer>(*engine_, server_config(a));
+  for (std::size_t i = 0; i < a.handoffs.size(); ++i) {
+    if (!a.handoffs[i].state.empty()) server->adopt_stream(i, a.handoffs[i]);
+  }
+  status_.store(static_cast<int>(ShardStatus::Running), std::memory_order_release);
+
+  // Heartbeat sidecar: liveness + progress + watermarks on a fixed
+  // cadence, for as long as the serving loop is on-CPU. publish() never
+  // blocks; the controller's silence-based detection does the rest.
+  std::atomic<bool> stop{false};
+  const auto interval = std::chrono::duration<double, std::milli>(
+      serving_.heartbeat_interval_ms > 0.0 ? serving_.heartbeat_interval_ms : 1.0);
+  std::thread beater([&] {
+    std::uint64_t seq = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      runtime::Heartbeat hb;
+      hb.shard = id_;
+      hb.seq = seq++;
+      hb.decisions = server->decisions_applied();
+      hb.queue_depth = server->live_queue_depth();
+      hb.latency_watermark_ms = server->latency_watermark_ms();
+      channel_.publish(hb);
+      std::this_thread::sleep_for(interval);
+    }
+  });
+
+  bool ok = false;
+  std::string what;
+  try {
+    if (serving_.batched) {
+      server->run();
+    } else {
+      server->run_sequential();
+    }
+    ok = true;
+  } catch (const runtime::CrashInjected&) {
+    // The scripted kill: on-disk state is exactly what a SIGKILL at the
+    // armed crash point would leave.
+  } catch (const std::exception& e) {
+    what = e.what();
+  }
+  stop.store(true, std::memory_order_release);
+  beater.join();
+
+  if (ok) {
+    std::vector<std::string> names;
+    names.reserve(a.streams.size());
+    for (const serving::StreamConfig& sc : a.streams) names.push_back(sc.name);
+    incarnations_.push_back({a.wave, std::move(names), std::move(server)});
+    status_.store(static_cast<int>(ShardStatus::Completed), std::memory_order_release);
+  } else {
+    server.reset();  // a dead process keeps no in-memory state
+    crashed_at_ = std::chrono::steady_clock::now();
+    crash_what_ = std::move(what);
+    status_.store(static_cast<int>(ShardStatus::Crashed), std::memory_order_release);
+  }
+  return ok;
+}
+
+}  // namespace safecross::fleet

@@ -1,0 +1,127 @@
+#pragma once
+// ShardHost: one simulated camera-serving host in the fleet.
+//
+// A shard owns its own SafeCross engine — built from the fleet-shared
+// ShardSpec, whose seeded model init makes every shard's weights
+// bit-identical, which is what makes streams *portable*: a stream's
+// verdicts depend only on its own seeded state plus the (identical)
+// models, so failover re-placement can move it anywhere without changing
+// a single decision.
+//
+// run_assignment() is one server incarnation: build a StreamServer over
+// the assignment's streams (adopting hand-offs when the assignment is a
+// failover wave), run it synchronously on the calling thread, and
+// publish heartbeats from a sidecar thread for the duration. A crash
+// (the fault injector's CrashInjected, or any real exception) destroys
+// the incarnation — a dead process keeps no in-memory state; what the
+// durable dir holds is what failover gets. The same host can then run a
+// later wave: hosts survive their incarnations.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/safecross.h"
+#include "runtime/crash_point.h"
+#include "runtime/heartbeat.h"
+#include "serving/stream_server.h"
+
+namespace safecross::fleet {
+
+/// The fleet-shared engine recipe. Every shard builds the same models
+/// from the same seeds; a fleet is only correct if this is identical
+/// across shards (and across the reference run the parity oracle uses).
+struct ShardSpec {
+  core::SafeCrossConfig engine;
+  std::vector<dataset::Weather> weathers = {dataset::Weather::Daytime};
+  /// Per-weather model init seed = base + static_cast<uint>(weather),
+  /// the same recipe the serving chaos harness uses.
+  std::uint64_t model_init_seed_base = 100;
+};
+
+/// Server knobs shared by every incarnation a host runs.
+struct ShardServingConfig {
+  std::size_t frames = 30 * 60;
+  bool batched = true;  // batched serving loop vs sequential reference
+  serving::BatcherConfig batcher;
+  std::size_t queue_capacity = 4;
+  double push_timeout_ms = 250.0;
+  bool record_traces = true;
+  std::size_t snapshot_every_decisions = 16;
+  std::size_t keep_snapshots = 2;
+  double heartbeat_interval_ms = 4.0;
+};
+
+/// One incarnation's worth of work: which streams, resuming from which
+/// hand-offs (empty for the primary wave), journaling into which dir.
+struct ShardAssignment {
+  std::size_t wave = 0;
+  std::vector<serving::StreamConfig> streams;
+  /// Parallel to `streams` on failover waves (handoffs[i].config is
+  /// streams[i]); empty for a fresh primary assignment.
+  std::vector<serving::StreamHandoff> handoffs;
+  std::filesystem::path durability_dir;  // empty → not durable, no failover
+  runtime::CrashInjector* crash = nullptr;  // armed by the fault injector
+};
+
+enum class ShardStatus { Idle = 0, Running = 1, Completed = 2, Crashed = 3 };
+
+const char* shard_status_name(ShardStatus s);
+
+class ShardHost {
+ public:
+  ShardHost(std::size_t id, const ShardSpec& spec, ShardServingConfig serving);
+
+  ShardHost(const ShardHost&) = delete;
+  ShardHost& operator=(const ShardHost&) = delete;
+
+  std::size_t id() const { return id_; }
+  const ShardServingConfig& serving() const { return serving_; }
+  core::SafeCross& engine() { return *engine_; }
+
+  /// Cross-thread status: Running while an incarnation is on-CPU; the
+  /// release store at the transition publishes crashed_at()/crash_what()
+  /// to a controller that acquire-loads Crashed.
+  ShardStatus status() const {
+    return static_cast<ShardStatus>(status_.load(std::memory_order_acquire));
+  }
+  runtime::HeartbeatChannel& channel() { return channel_; }
+  std::chrono::steady_clock::time_point crashed_at() const { return crashed_at_; }
+  /// Non-CrashInjected death reason (empty for the simulated kill).
+  const std::string& crash_what() const { return crash_what_; }
+
+  /// Run one incarnation synchronously; returns true on clean
+  /// completion, false on a crash. See file header.
+  bool run_assignment(const ShardAssignment& a);
+
+  /// The exact server config an assignment runs under — also what a
+  /// recovery server must be built from, so controller-side recovery can
+  /// never drift from what the dead incarnation journaled against.
+  serving::StreamServerConfig server_config(const ShardAssignment& a) const;
+
+  /// Completed incarnations, oldest first. Crashed incarnations are not
+  /// here — their state lives in the durable dir.
+  struct Incarnation {
+    std::size_t wave = 0;
+    std::vector<std::string> stream_names;
+    std::unique_ptr<serving::StreamServer> server;
+  };
+  const std::vector<Incarnation>& incarnations() const { return incarnations_; }
+
+ private:
+  std::size_t id_;
+  ShardServingConfig serving_;
+  std::unique_ptr<core::SafeCross> engine_;
+  runtime::HeartbeatChannel channel_;
+  std::atomic<int> status_{static_cast<int>(ShardStatus::Idle)};
+  std::chrono::steady_clock::time_point crashed_at_{};
+  std::string crash_what_;
+  std::vector<Incarnation> incarnations_;
+};
+
+}  // namespace safecross::fleet

@@ -64,8 +64,24 @@ class BoundedQueue {
     return true;
   }
 
-  /// Non-blocking push; false when full or closed.
-  bool try_push(T item) { return push(std::move(item), std::chrono::milliseconds(0)); }
+  /// Non-blocking push; false when full or closed. Unlike
+  /// push(item, 0ms) this never touches the space condition variable's
+  /// wait path, so a caller that must not stall — the fleet controller
+  /// probing a sick shard's channel, a heartbeat publisher on the shard
+  /// side — pays one uncontended lock and nothing else. The rejected
+  /// item is NOT counted as shed: the caller kept it and decides what
+  /// the refusal means (retry, drop-oldest, give up).
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      ++pushed_;
+      if (items_.size() > high_water_) high_water_ = items_.size();
+    }
+    cv_item_.notify_one();
+    return true;
+  }
 
   /// Load-shedding push: never blocks. When full, evicts the oldest
   /// queued item to make room (newest data wins in a real-time stream).

@@ -22,6 +22,7 @@ const char* decision_source_name(DecisionSource s) {
     case DecisionSource::FailSafeDeadline: return "failsafe-deadline";
     case DecisionSource::FailSafeStageDown: return "failsafe-stage-down";
     case DecisionSource::FailSafeMiscalibrated: return "failsafe-miscalibrated";
+    case DecisionSource::FleetDegraded: return "fleet-degraded";
   }
   return "?";
 }

@@ -41,9 +41,11 @@ enum class DecisionSource {
   FailSafeDeadline,          // classifier blew the per-decision deadline
   FailSafeStageDown,         // a pipeline stage exhausted its retry budget
   FailSafeMiscalibrated,     // camera drifted past the calibration threshold
+  FleetDegraded,             // admission control degraded a low-priority
+                             // stream on a hot shard to conservative warns
 };
 
-constexpr int kDecisionSourceCount = 7;
+constexpr int kDecisionSourceCount = 8;
 
 const char* decision_source_name(DecisionSource s);
 

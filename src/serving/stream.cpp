@@ -93,7 +93,13 @@ std::optional<ReadyWindow> StreamContext::tick() {
   w.seq = produced_++;
   w.frame = frame_;
   w.danger_truth = sim_.dangerous_to_turn(config_.vp.approach);
-  w.gate = core::gate_reason(health_, collector_, config_.vp.frames_per_segment);
+  // Admission-control degrade wins over the health gates: the whole point
+  // is to shed the model's compute, so the window copy below must not
+  // happen either. The outcome (conservative warn) is what every health
+  // gate would deliver anyway; only the tagged source differs.
+  w.gate = config_.fleet_degraded
+               ? DecisionSource::FleetDegraded
+               : core::gate_reason(health_, collector_, config_.vp.frames_per_segment);
   w.model_weather = model_weather_;
   if (w.gate == DecisionSource::Model) {
     w.window.assign(collector_.window().begin(), collector_.window().end());

@@ -76,6 +76,17 @@ struct StreamConfig {
   // default: no estimator is built and every frame runs the exact legacy
   // code path. Frame dims are taken from the stream's camera.
   runtime::RecalibrationConfig recalib;
+  // Fleet admission control. `priority` is the stream's tier;
+  // `fleet_degraded` is stamped by the fleet's AdmissionController when
+  // the stream's shard is oversubscribed: every model-gated decision is
+  // answered with a conservative warn (DecisionSource::FleetDegraded)
+  // and the 32-frame window copy + inference are skipped entirely —
+  // degrading compute before any window is dropped. Both fields are part
+  // of the decision stream and of config_fingerprint(), and both ride
+  // the hand-off config during failover, so a degraded stream stays
+  // degraded (and bit-identical) wherever it lands.
+  core::StreamPriority priority = core::StreamPriority::Standard;
+  bool fleet_degraded = false;
   std::vector<ModelSwitchEvent> model_schedule;  // ascending at_frame
   // Producer-crash schedule (1-based frame ordinals): the supervised
   // stream worker throws immediately *before* processing these frames.

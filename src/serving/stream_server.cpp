@@ -101,6 +101,8 @@ std::uint64_t StreamServer::config_fingerprint() const {
     w.u64(sc.fault_seed);
     w.i32(sc.decision_stride);
     w.i32(sc.warmup_frames);
+    w.u8(static_cast<std::uint8_t>(sc.priority));
+    w.boolean(sc.fleet_degraded);
     w.i32(sc.vp.frames_per_segment);
     w.u8(static_cast<std::uint8_t>(sc.vp.approach));
     w.i32(sc.vp.grid_w);
@@ -220,6 +222,7 @@ bool StreamServer::apply_replayed(const ReadyWindow& w) {
                             static_cast<DecisionSource>(e.source), e.latency_ms);
   pend.erase(it);
   ++decisions_since_snapshot_;
+  note_applied(e.latency_ms);
   return true;
 }
 
@@ -356,6 +359,57 @@ RecoveryReport StreamServer::recover() {
   return report;
 }
 
+std::vector<StreamHandoff> StreamServer::drain_streams() {
+  if (!recovered_) {
+    throw std::logic_error("StreamServer::drain_streams: call recover() first");
+  }
+  if (ran_) {
+    throw std::logic_error("StreamServer::drain_streams: server already ran (or drained)");
+  }
+  ran_ = true;  // consumed: the hand-off is this server's run
+  std::vector<StreamHandoff> out;
+  out.reserve(streams_.size());
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    StreamHandoff h;
+    h.config = config_.streams[i];
+    common::StateWriter w;
+    streams_[i]->save_state(w);
+    h.state = w.take();
+    h.down = down_[i] != 0;
+    h.pending = std::move(pending_[i]);
+    h.pending_recalib = std::move(pending_recalib_[i]);
+    h.frames_run = streams_[i]->frames_run();
+    h.windows_produced = streams_[i]->windows_produced();
+    pending_[i].clear();
+    pending_recalib_[i].clear();
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+void StreamServer::adopt_stream(std::size_t i, const StreamHandoff& h) {
+  if (ran_) {
+    throw std::logic_error("StreamServer::adopt_stream: must be called before run");
+  }
+  if (i >= streams_.size() || config_.streams[i].name != h.config.name) {
+    throw std::logic_error(
+        "StreamServer::adopt_stream: slot does not match the hand-off stream");
+  }
+  common::StateReader r(h.state);
+  streams_[i]->load_state(r);
+  down_[i] = h.down ? 1 : 0;
+  pending_[i] = h.pending;
+  pending_recalib_[i] = h.pending_recalib;
+  // Producer crash schedules compare against the *next* frame ordinal;
+  // skip entries the restored stream already lived through (same rule as
+  // recover()).
+  const auto& crashes = config_.streams[i].crash_frames;
+  while (crash_pos_[i] < crashes.size() &&
+         crashes[crash_pos_[i]] <= streams_[i]->frames_run()) {
+    ++crash_pos_[i];
+  }
+}
+
 // --- deciding paths ---
 
 void StreamServer::decide_fail_safe(const ReadyWindow& w) {
@@ -365,6 +419,7 @@ void StreamServer::decide_fail_safe(const ReadyWindow& w) {
   journal_decision(w, d, latency);
   streams_[w.stream]->apply(w, d.predicted_class, d.prob_danger, d.warn, d.source, latency);
   ++decisions_since_snapshot_;
+  note_applied(latency);
 }
 
 void StreamServer::decide_batch(Batch& batch) {
@@ -401,6 +456,7 @@ void StreamServer::decide_batch(Batch& batch) {
     journal_decision(item, d, latency);
     ctx.apply(item, d.predicted_class, d.prob_danger, d.warn, d.source, latency);
     ++decisions_since_snapshot_;
+    note_applied(latency);
   }
   windows_batched_ += batch.items.size();
   batch_log_.push_back(
@@ -557,6 +613,16 @@ void StreamServer::run() {
         if (!q.drained()) all_drained = false;
       }
       rr = (rr + 1) % k;
+      // Live queue-depth watermark for fleet heartbeats: what is queued
+      // right after a full drain pass is genuine backlog the consumer
+      // could not keep ahead of.
+      {
+        std::size_t depth = 0;
+        for (std::size_t i = 0; i < k; ++i) depth += queues[i]->size();
+        if (depth > live_queue_depth_.load(std::memory_order_relaxed)) {
+          live_queue_depth_.store(depth, std::memory_order_relaxed);
+        }
+      }
 
       const auto now = Clock::now();
       while (std::optional<Batch> batch = batcher.next_due(now)) {
@@ -651,6 +717,7 @@ void StreamServer::run_sequential() {
       journal_decision(*w, d, ms);
       ctx.apply(*w, d.predicted_class, d.prob_danger, d.warn, d.source, ms);
       ++decisions_since_snapshot_;
+      note_applied(ms);
       if (snapshot_due()) write_snapshot_now();
     }
   }

@@ -104,6 +104,24 @@ struct RecoveryReport {
   std::string journal_tail_error;
 };
 
+/// One stream's complete resumable identity, drained from a recovered
+/// server for re-placement onto another server (fleet failover). Carries
+/// the stream's config, its serialized StreamContext state (which
+/// includes the per-seq verdict trace — the merged-decision-sequence
+/// vehicle), and the journal replay sets newer than the snapshot, so the
+/// adopting server continues the stream bit-identically: re-produced
+/// windows dedupe against `pending` exactly as an in-place recovery
+/// would.
+struct StreamHandoff {
+  StreamConfig config;
+  std::string state;  // StreamContext::save_state payload
+  bool down = false;  // gave up in the dead run; stays down after adoption
+  std::map<std::uint64_t, runtime::DecisionEntry> pending;
+  std::map<std::uint64_t, runtime::RecalibrationEntry> pending_recalib;
+  std::size_t frames_run = 0;        // progress at the snapshot cut
+  std::size_t windows_produced = 0;  // decision ordinal resume point
+};
+
 struct StreamServerConfig {
   std::vector<StreamConfig> streams;
   std::size_t frames = 30 * 60;  // frame slots per stream (~60 s at 30 Hz)
@@ -165,6 +183,25 @@ class StreamServer {
   bool recovered() const { return recovered_; }
   const RecoveryReport& recovery_report() const { return recovery_; }
 
+  /// Fleet failover, step 2 (after recover()): extract every stream's
+  /// resumable state for re-placement onto surviving servers. Consumes
+  /// this server — it can no longer run; the hand-off *is* the drain.
+  /// Deterministic: two independent recover()+drain_streams() passes over
+  /// the same durable dir yield byte-identical hand-offs (double-failover
+  /// safe — the dir is read-mostly, only the torn tail is truncated).
+  std::vector<StreamHandoff> drain_streams();
+
+  /// Fleet failover, step 3: restore stream i from a hand-off drained
+  /// from a dead server. Must be called before run()/run_sequential();
+  /// config_.streams[i] must be the hand-off's config (name-checked).
+  /// The adopting server picks up mid-stream: the context resumes at the
+  /// snapshot cut, journaled-but-unsnapshotted verdicts replay via the
+  /// pending set, and the producer-crash schedule fast-forwards past
+  /// frames already lived. A durable adopting server journals the
+  /// continuation into its *own* dir — the dead shard's dir plus the
+  /// wave dirs together form the audit trail.
+  void adopt_stream(std::size_t i, const StreamHandoff& h);
+
   std::size_t stream_count() const { return streams_.size(); }
   const StreamContext& stream(std::size_t i) const { return *streams_[i]; }
   StreamContext& stream(std::size_t i) { return *streams_[i]; }
@@ -177,6 +214,23 @@ class StreamServer {
   std::size_t queue_high_water(std::size_t i) const { return high_water_[i]; }
 
   std::size_t total_decisions() const;
+
+  // --- live progress (fleet heartbeat observability) ---
+  // Readable from another thread while run() is on-CPU: relaxed atomics,
+  // single writer (the deciding thread). Never decision-bearing — a fleet
+  // heartbeat samples these, and wall-clock jitter in when it looks can
+  // never perturb a verdict.
+  std::uint64_t decisions_applied() const {
+    return applied_.load(std::memory_order_relaxed);
+  }
+  /// Max capture→verdict latency seen so far (ms).
+  double latency_watermark_ms() const {
+    return latency_watermark_ms_.load(std::memory_order_relaxed);
+  }
+  /// Sum of ready-window queue depths at the consumer's last pass.
+  std::size_t live_queue_depth() const {
+    return live_queue_depth_.load(std::memory_order_relaxed);
+  }
 
   // --- batched-mode scorecard ---
   const std::vector<BatchRecord>& batch_log() const { return batch_log_; }
@@ -201,6 +255,14 @@ class StreamServer {
   /// the batcher.
   void accept(MicroBatcher& batcher, ReadyWindow w);
   void decide_fail_safe(const ReadyWindow& w);
+  /// Progress + latency-watermark bookkeeping for every applied decision
+  /// (deciding thread only; read by fleet heartbeats).
+  void note_applied(double latency_ms) {
+    applied_.fetch_add(1, std::memory_order_relaxed);
+    if (latency_ms > latency_watermark_ms_.load(std::memory_order_relaxed)) {
+      latency_watermark_ms_.store(latency_ms, std::memory_order_relaxed);
+    }
+  }
   /// One batched forward pass + scatter; appends to the batch log.
   void decide_batch(Batch& batch);
   /// Make `weather`'s model serve (engine switch accounting lives here);
@@ -260,6 +322,9 @@ class StreamServer {
   std::size_t stage_restarts_ = 0;
   std::size_t streams_gave_up_ = 0;
   std::atomic<std::size_t> crashes_injected_{0};
+  std::atomic<std::uint64_t> applied_{0};
+  std::atomic<double> latency_watermark_ms_{0.0};
+  std::atomic<std::size_t> live_queue_depth_{0};
   bool ran_ = false;
 
   // --- durability state ---

@@ -83,6 +83,44 @@ TEST(BoundedQueue, DropOldestEvictsHeadAndCountsShed) {
   EXPECT_EQ(q.pop(kNoWait).value_or(-1), 4);
 }
 
+TEST(BoundedQueue, TryPushSucceedsWhileSpaceAndDelivers) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_EQ(q.pushed(), 2u);
+  EXPECT_EQ(q.high_water(), 2u);
+  EXPECT_EQ(q.pop(kNoWait).value_or(-1), 1);
+  EXPECT_EQ(q.pop(kNoWait).value_or(-1), 2);
+}
+
+TEST(BoundedQueue, TryPushRefusesWhenFullWithoutShedding) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3)) << "full queue must refuse, never block";
+  // The refusal is the caller's signal, not data loss: nothing was
+  // evicted, nothing counted as shed, the queue is untouched.
+  EXPECT_EQ(q.shed(), 0u);
+  EXPECT_EQ(q.pushed(), 2u);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(kNoWait).value_or(-1), 1);
+  EXPECT_TRUE(q.try_push(3)) << "space freed, the retry must land";
+  EXPECT_EQ(q.pop(kNoWait).value_or(-1), 2);
+  EXPECT_EQ(q.pop(kNoWait).value_or(-1), 3);
+}
+
+TEST(BoundedQueue, TryPushWakesABlockedConsumer) {
+  BoundedQueue<int> q(1);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(kShortWait);
+    EXPECT_TRUE(q.try_push(42));
+  });
+  // The consumer blocks first; try_push's notify must wake it well
+  // before the long timeout.
+  EXPECT_EQ(q.pop(kLongWait).value_or(-1), 42);
+  producer.join();
+}
+
 TEST(BoundedQueue, CloseWakesProducersAndConsumersDrain) {
   BoundedQueue<int> q(1);
   EXPECT_TRUE(q.push(7, kNoWait));

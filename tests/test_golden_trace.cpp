@@ -162,6 +162,12 @@ std::unique_ptr<core::SafeCross> engine_with(const std::vector<dataset::Weather>
 // drift scenario pins all current sources.
 constexpr int kLegacyDecisionSources = 6;
 
+// The drift-recover trace was committed when the enum ended at
+// FailSafeMiscalibrated (7 sources). FleetDegraded was appended for the
+// fleet admission layer and can never fire in a single-server scenario,
+// so freezing at 7 keeps that trace byte-valid too.
+constexpr int kPreFleetDecisionSources = 7;
+
 void append_scorecard_meta(GoldenTrace& trace, const core::StreamScorecard& s,
                            int sources = runtime::kDecisionSourceCount) {
   trace.meta.emplace_back("decisions", static_cast<long long>(s.decisions()));
@@ -448,7 +454,7 @@ TEST(GoldenTrace, DriftRecoverMatchesSnapshot) {
     l.prob = trace[s].prob_danger;
     got.lines.push_back(l);
   }
-  append_scorecard_meta(got, server.stream(0).scorecard());
+  append_scorecard_meta(got, server.stream(0).scorecard(), kPreFleetDecisionSources);
   fs::remove_all(dir);
   ASSERT_GT(got.lines.size(), 0u) << "the scenario produced no decisions to pin";
   EXPECT_GT(loop->recalibrations(), 0u) << "drift never forced a recalibration";

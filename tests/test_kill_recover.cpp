@@ -575,6 +575,70 @@ TEST(KillRecover, RecoverOnFreshDirIsAFreshStart) {
   expect_servers_agree(*recovered, reference);
 }
 
+// Double failover: the fleet controller may recover the SAME damaged dir
+// twice — once for a failover wave that itself dies before completing,
+// once more from a later wave. recover() + drain_streams() must be
+// idempotent reads: a second recovery of an already-consumed dir yields
+// byte-identical hand-offs (the first recovery's torn-tail truncation
+// is the only on-disk mutation, and it must not change the replay), and
+// a server that adopts those hand-offs into a fresh dir finishes
+// bit-identical to the uninterrupted reference.
+TEST(KillRecover, RecoverFromAnAlreadyConsumedDirYieldsIdenticalHandoffs) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain});
+  constexpr std::uint64_t kBase = 91000;
+  StreamServer reference(*sc, chaos_config(kBase, {}, nullptr));
+  reference.run_sequential();
+  ASSERT_GE(reference.total_decisions(), 24u);
+
+  ScratchDir scratch("double_recover_consumed");
+  CrashInjector injector;
+  injector.arm(CrashPoint::MidJournalAppend, 9);  // torn tail on disk
+  StreamServerConfig cfg = chaos_config(kBase, scratch.path, &injector);
+  ASSERT_TRUE(run_killed(*sc, cfg, Mode::Sequential));
+  injector.disarm();
+  cfg.durability.crash = nullptr;
+
+  StreamServer first(*sc, cfg);
+  RecoveryReport first_report = first.recover();
+  const std::vector<StreamHandoff> a = first.drain_streams();
+  EXPECT_TRUE(first_report.journal_torn_tail);
+
+  StreamServer second(*sc, cfg);
+  RecoveryReport second_report = second.recover();
+  const std::vector<StreamHandoff> b = second.drain_streams();
+  // The first recovery truncated the torn tail in place; the second sees
+  // a clean journal holding the identical records.
+  EXPECT_FALSE(second_report.journal_torn_tail);
+  EXPECT_EQ(second_report.journal_pending, first_report.journal_pending);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("stream " + a[i].config.name);
+    EXPECT_EQ(a[i].config.name, b[i].config.name);
+    EXPECT_EQ(a[i].state, b[i].state) << "recovery must be a read, not a consume";
+    EXPECT_EQ(a[i].down, b[i].down);
+    EXPECT_EQ(a[i].frames_run, b[i].frames_run);
+    EXPECT_EQ(a[i].windows_produced, b[i].windows_produced);
+    ASSERT_EQ(a[i].pending.size(), b[i].pending.size());
+    for (const auto& [seq, entry] : a[i].pending) {
+      const auto it = b[i].pending.find(seq);
+      ASSERT_NE(it, b[i].pending.end());
+      EXPECT_EQ(entry.prob_danger, it->second.prob_danger);
+      EXPECT_EQ(entry.warn, it->second.warn);
+    }
+    EXPECT_EQ(a[i].pending_recalib.size(), b[i].pending_recalib.size());
+  }
+
+  // Adopt the second drain into a fresh durable dir (the fleet's
+  // failover-wave shape) and finish: still bit-identical.
+  ScratchDir fresh("double_recover_fresh_wave");
+  StreamServerConfig wave_cfg = chaos_config(kBase, fresh.path, nullptr);
+  StreamServer wave(*sc, wave_cfg);
+  for (std::size_t i = 0; i < b.size(); ++i) wave.adopt_stream(i, b[i]);
+  wave.run_sequential();
+  expect_servers_agree(wave, reference);
+}
+
 // --- operator errors stay loud (corruption degrades; misuse throws) ---
 
 TEST(KillRecover, DurabilityRejectsSheddingConfigs) {

@@ -5,8 +5,10 @@
 
 #include "serving/snapshot.h"
 
+#include <atomic>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -195,6 +197,45 @@ TEST(SnapshotStore, KillAfterRenameHasPublishedTheGeneration) {
   EXPECT_EQ(loaded.payload, "landed");
   EXPECT_TRUE(fs::exists(SnapshotStore::generation_path(tmp.path, 1)))
       << "pruning must never run before the new generation is durable";
+}
+
+// The failover race: a fleet controller recovering one dead shard walks
+// that shard's generations while other incarnations keep publishing (and
+// pruning) their own snapshots — and, in the restart-in-place case, the
+// very same dir can be re-written while an observability reader walks
+// it. A reader overlapping prune must always come back with an intact
+// generation and never a torn or partially pruned view.
+TEST(SnapshotStore, PruneConcurrentWithReaderWalkAlwaysFindsIntactGeneration) {
+  TempDir tmp;
+  constexpr std::size_t kWrites = 40;
+  // keep = 4: a generation a reader just scanned survives four more
+  // fsynced publishes — far longer than one directory walk.
+  SnapshotStore store(tmp.path, /*keep=*/4);
+  store.write("gen payload 0");  // the walk never races an empty dir
+
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> reads{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto loaded = SnapshotStore::load_newest_valid(tmp.path);
+      ASSERT_TRUE(loaded.found) << "prune ran ahead of the reader's whole walk";
+      // Whatever generation won the walk, it must be one this test
+      // published, intact end to end — CRC already vouched for it, the
+      // payload shape vouches for the read being complete.
+      EXPECT_EQ(loaded.payload.rfind("gen payload ", 0), 0u);
+      EXPECT_LE(loaded.payload.size(), sizeof("gen payload ") + 2);
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 1; i <= kWrites; ++i) {
+    store.write("gen payload " + std::to_string(i));
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_GT(reads.load(), 0u) << "the reader never overlapped the writer";
+  const auto last = SnapshotStore::load_newest_valid(tmp.path);
+  ASSERT_TRUE(last.found);
+  EXPECT_EQ(last.payload, "gen payload " + std::to_string(kWrites));
 }
 
 }  // namespace
