@@ -1,0 +1,273 @@
+// Switch-storm serving bench — tail latency of zero-downtime weather
+// switching vs the stop-and-start ablation (DESIGN.md §14).
+//
+// Six cameras over three weathers run the same storm (staggered weather
+// flips every 150 frames, delay 0 so every verdict stays model-gated)
+// three ways:
+//   * oracle     — StreamServer::run_sequential(): the switch-free
+//     Legacy reference. Not a deployment mode; it defines the correct
+//     verdicts, lineage (model_weather, epoch) included.
+//   * stopstart  — batched run() under SwitchMode::StopAndStart: a
+//     single-resident cache, so every flip stalls the deciding thread
+//     for a real sequential weight load (transfer then compute, no
+//     overlap) and every window queued behind it eats the stall.
+//   * pipelined  — batched run() under SwitchMode::Pipelined: dual
+//     residency, the old model keeps serving while the incoming weights
+//     stream layer-group by layer-group through the switching executor
+//     on a loader thread.
+// Both batched arms must match the oracle bit-for-bit — any divergence
+// is a hard failure (nonzero exit), because verdict parity is what makes
+// the latency numbers comparable at all.
+//
+// Headline metric: p99 of capture→verdict latency per arm (median over
+// reps). The CI gate (compare_benches.py) requires pipelined p99
+// strictly below stop-and-start.
+//
+// Usage: bench_switch_storm [--frames N] [--reps R] [--json PATH]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "serving/stream_server.h"
+
+using namespace safecross;
+using namespace safecross::serving;
+
+namespace {
+
+constexpr dataset::Weather kStormWeathers[] = {
+    dataset::Weather::Daytime, dataset::Weather::Rain, dataset::Weather::Snow};
+constexpr std::size_t kStreams = 6;
+
+core::SafeCrossConfig tiny_config() {
+  core::SafeCrossConfig cfg;
+  cfg.model.slow_channels = 4;
+  cfg.model.fast_channels = 2;
+  return cfg;
+}
+
+/// The storm: per-stream staggered flips every 150 frames cycling the
+/// three weathers, always to a different weather, always delay 0.
+StreamServerConfig storm_config(std::size_t frames) {
+  StreamServerConfig cfg;
+  cfg.frames = frames;
+  cfg.record_traces = true;
+  cfg.shed_on_overload = false;  // parity runs must lose nothing
+  cfg.queue_capacity = 8;
+  // Loads sized so a stop-and-start stall is unmistakably a stall:
+  // ~85 ms of throttled transfer plus ~75 ms of compute per load, big
+  // enough to dominate the queueing tail the episode bursts already put
+  // on the single deciding thread. Near-balanced transfer/compute is the
+  // pipelined executor's best case — wall approaches
+  // max(transfer, compute) + fill instead of the sum.
+  cfg.model_cache.capacity_models = 2;  // forced to 1 under StopAndStart
+  cfg.model_cache.bytes_scale = 1.0 / 8.0;
+  cfg.model_cache.executor.bandwidth_gbps = 0.2;
+  cfg.model_cache.executor.compute_scale = 0.05;
+  for (std::size_t i = 0; i < kStreams; ++i) {
+    StreamConfig s;
+    s.name = "cam" + std::to_string(i);
+    s.weather = kStormWeathers[i % 3];
+    s.sim_seed = 9000 + 10 * i;
+    s.collector_seed = 9001 + 10 * i;
+    dataset::Weather current = s.weather;
+    for (std::size_t k = 0; 200 + 25 * i + 150 * k < frames; ++k) {
+      dataset::Weather next = kStormWeathers[(static_cast<std::size_t>(current) + 1 + k % 2) % 3];
+      if (next == current) next = kStormWeathers[(static_cast<std::size_t>(next) + 1) % 3];
+      s.model_schedule.push_back({200 + 25 * i + 150 * k, next, 0.0});
+      current = next;
+    }
+    cfg.streams.push_back(std::move(s));
+  }
+  return cfg;
+}
+
+struct RunResult {
+  std::string mode;
+  std::size_t decisions = 0;
+  std::size_t switches_committed = 0;
+  std::size_t cache_loads = 0;
+  std::size_t shed = 0;
+  double p99_ms = 0.0;   // median over reps
+  double wall_ms = 0.0;  // median over reps
+  int uncaught_exceptions = 0;
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+/// One arm, `reps` fresh servers; keeps the final rep's server for the
+/// parity audit (determinism makes every rep's verdicts identical).
+RunResult measure(core::SafeCross& sc, const StreamServerConfig& cfg, const std::string& mode,
+                  SwitchMode sw, std::size_t reps, std::unique_ptr<StreamServer>& keep) {
+  RunResult r;
+  r.mode = mode;
+  StreamServerConfig arm = cfg;
+  arm.switch_mode = sw;
+  std::vector<double> walls, p99s;
+  try {
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      keep = std::make_unique<StreamServer>(sc, arm);
+      const auto t0 = std::chrono::steady_clock::now();
+      if (mode == "oracle") {
+        keep->run_sequential();
+      } else {
+        keep->run();
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      walls.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+      p99s.push_back(percentile(keep->latency_log(), 0.99));
+    }
+    r.wall_ms = median(walls);
+    r.p99_ms = median(p99s);
+    r.decisions = keep->total_decisions();
+    r.switches_committed = keep->switches_committed();
+    r.shed = keep->windows_shed_total();
+    if (keep->model_cache() != nullptr) r.cache_loads = keep->model_cache()->stats().loads;
+  } catch (const std::exception& e) {
+    ++r.uncaught_exceptions;
+    std::printf("  !! uncaught exception (%s): %s\n", mode.c_str(), e.what());
+  }
+  return r;
+}
+
+/// Bitwise parity of every stream against the oracle, lineage included.
+bool matches_oracle(const StreamServer& got, const StreamServer& oracle) {
+  if (got.stream_count() != oracle.stream_count()) return false;
+  for (std::size_t i = 0; i < got.stream_count(); ++i) {
+    const auto& gt = got.stream(i).trace();
+    const auto& wt = oracle.stream(i).trace();
+    if (gt.size() != wt.size()) return false;
+    for (std::size_t s = 0; s < gt.size(); ++s) {
+      if (gt[s].frame != wt[s].frame || gt[s].predicted_class != wt[s].predicted_class ||
+          gt[s].prob_danger != wt[s].prob_danger || gt[s].warn != wt[s].warn ||
+          gt[s].source != wt[s].source || gt[s].model_weather != wt[s].model_weather ||
+          gt[s].epoch != wt[s].epoch) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void print_result(const RunResult& r) {
+  std::printf("  %-10s %7zu %6zu %6zu %5zu %9.2f %9.1f %4d\n", r.mode.c_str(), r.decisions,
+              r.switches_committed, r.cache_loads, r.shed, r.p99_ms, r.wall_ms,
+              r.uncaught_exceptions);
+}
+
+void json_result(std::FILE* f, const RunResult& r, bool last) {
+  std::fprintf(f,
+               "    {\"mode\": \"%s\", \"decisions\": %zu, \"switches_committed\": %zu, "
+               "\"cache_loads\": %zu, \"windows_shed\": %zu, \"p99_ms\": %.3f, "
+               "\"wall_ms\": %.2f, \"uncaught_exceptions\": %d}%s\n",
+               r.mode.c_str(), r.decisions, r.switches_committed, r.cache_loads, r.shed,
+               r.p99_ms, r.wall_ms, r.uncaught_exceptions, last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::quiet_logs();
+  std::size_t frames = 3600;  // two simulated minutes per stream
+  std::size_t reps = 3;       // median-of-N p99 per arm
+  std::string json_path = "BENCH_switch.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
+      frames = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = static_cast<std::size_t>(std::atoll(argv[++i]));
+      if (reps == 0) reps = 1;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::printf("usage: %s [--frames N] [--reps R] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::print_header("Switch storm: pipelined serving-path switching vs stop-and-start");
+  // Untrained but deterministically initialised per-weather models: the
+  // bench measures switch-stall tail latency and parity, not accuracy.
+  auto sc = std::make_unique<core::SafeCross>(tiny_config());
+  for (dataset::Weather w : kStormWeathers) {
+    models::SlowFastConfig mc = tiny_config().model;
+    mc.init_seed = 100u + static_cast<std::uint64_t>(w);
+    sc->set_model(w, std::make_unique<models::SlowFast>(mc));
+  }
+  const StreamServerConfig cfg = storm_config(frames);
+  std::size_t flips = 0;
+  for (const StreamConfig& s : cfg.streams) flips += s.model_schedule.size();
+  std::printf("  %zu streams x %zu frames, %zu scheduled flips, median of %zu reps\n",
+              kStreams, frames, flips, reps);
+  std::printf("  %-10s %7s %6s %6s %5s %9s %9s %4s\n", "mode", "decis", "swch", "loads",
+              "shed", "p99-ms", "wall-ms", "exc");
+
+  std::unique_ptr<StreamServer> oracle, stop, pipe;
+  std::vector<RunResult> results;
+  results.push_back(measure(*sc, cfg, "oracle", SwitchMode::Legacy, reps, oracle));
+  print_result(results.back());
+  results.push_back(measure(*sc, cfg, "stopstart", SwitchMode::StopAndStart, reps, stop));
+  print_result(results.back());
+  const RunResult stop_r = results.back();
+  results.push_back(measure(*sc, cfg, "pipelined", SwitchMode::Pipelined, reps, pipe));
+  print_result(results.back());
+  const RunResult pipe_r = results.back();
+
+  bool parity_ok = oracle != nullptr && stop != nullptr && pipe != nullptr;
+  if (parity_ok) {
+    for (const auto* arm : {&stop, &pipe}) {
+      if (!matches_oracle(**arm, *oracle)) {
+        parity_ok = false;
+        std::printf("  !! PARITY FAILURE (%s): verdicts diverge from the switch-free\n"
+                    "     oracle — the latency numbers are meaningless.\n",
+                    arm == &stop ? "stopstart" : "pipelined");
+      }
+    }
+  }
+  int total_exceptions = 0;
+  for (const auto& r : results) total_exceptions += r.uncaught_exceptions;
+
+  const double ratio =
+      stop_r.p99_ms > 0.0 && pipe_r.p99_ms > 0.0 ? pipe_r.p99_ms / stop_r.p99_ms : -1.0;
+  std::printf("\n  verdict: parity %s; p99 %.2f ms pipelined vs %.2f ms stop-and-start "
+              "(%.2fx)\n",
+              parity_ok ? "holds bit-for-bit" : "FAILED", pipe_r.p99_ms, stop_r.p99_ms, ratio);
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"switch_storm\",\n  \"frames_per_stream\": %zu,\n"
+               "  \"reps\": %zu,\n  \"streams\": %zu,\n  \"scheduled_flips\": %zu,\n",
+               frames, reps, kStreams, flips);
+  std::fprintf(f, "  \"parity_ok\": %s,\n", parity_ok ? "true" : "false");
+  std::fprintf(f, "  \"p99_ms_stop_and_start\": %.3f,\n", stop_r.p99_ms);
+  std::fprintf(f, "  \"p99_ms_pipelined\": %.3f,\n", pipe_r.p99_ms);
+  std::fprintf(f, "  \"p99_ratio_pipelined_vs_stop_and_start\": %.4f,\n", ratio);
+  std::fprintf(f, "  \"uncaught_exceptions_total\": %d,\n  \"runs\": [\n", total_exceptions);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    json_result(f, results[i], i + 1 == results.size());
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("  wrote %s\n", json_path.c_str());
+  return (parity_ok && total_exceptions == 0) ? 0 : 1;
+}

@@ -25,6 +25,15 @@ Compares freshly produced bench JSON against bench/baselines/ and fails
     times are gated against a generous ceiling — max(500 ms, 10x the
     baseline) — because they are wall-clock and machine-dependent, but a
     10x blowup means the heartbeat watch loop or recovery path broke.
+  * BENCH_switch.json (custom format): hard fail on parity_ok == false
+    (both batched switch arms must stay bit-identical, lineage included,
+    to the switch-free oracle) or uncaught exceptions. Gated on
+    p99_ratio_pipelined_vs_stop_and_start: any ratio >= 1.0 fails
+    outright (pipelined p99 must be strictly below stop-and-start — the
+    ISSUE's headline claim), and the ceiling max(0.85, baseline x
+    (1 + threshold)) keeps noise from eroding the margin while absolute
+    p99 values stay ungated (they are wall-clock and machine-dependent;
+    the ratio is not).
 
 Usage:
   bench/compare_benches.py [--baseline-dir bench/baselines] [--fresh-dir .]
@@ -33,7 +42,7 @@ Usage:
 Refreshing baselines (after an intentional perf change):
   bench/run_benches.sh --smoke && \
       cp BENCH_micro_nn.json BENCH_multistream.json BENCH_drift.json \
-         BENCH_fleet.json bench/baselines/
+         BENCH_fleet.json BENCH_switch.json bench/baselines/
 Commit the result in the same PR as the change that shifted the numbers,
 and say why in the PR description.
 
@@ -180,6 +189,39 @@ def gate_fleet(baseline_path, fresh_path, threshold):
     return failures
 
 
+def gate_switch(baseline_path, fresh_path, threshold):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    failures = []
+    print("-- switch gate")
+    if not fresh.get("parity_ok", False):
+        failures.append("switch: a batched switch arm diverged from the switch-free "
+                        "oracle (verdicts or model lineage not bit-identical)")
+    if fresh.get("uncaught_exceptions_total", 0) != 0:
+        failures.append("switch: uncaught exceptions during the sweep")
+    key = "p99_ratio_pipelined_vs_stop_and_start"
+    base, new = baseline.get(key), fresh.get(key)
+    if base is None or new is None or new < 0:
+        failures.append(f"switch: {key} missing or invalid "
+                        f"(baseline: {base}, fresh: {new})")
+        return failures
+    # Two ceilings: >= 1.0 always fails (the headline claim is that the
+    # pipelined arm's p99 is STRICTLY below stop-and-start), and the
+    # noise ceiling keeps the margin from silently eroding. Absolute p99
+    # values stay ungated — wall-clock, machine-dependent — the ratio of
+    # the two arms on the same machine is not.
+    ceiling = min(max(0.85, base * (1 + threshold)), 0.9999)
+    verdict = "FAIL" if new > ceiling else "ok"
+    print(f"   {verdict:8s} {key}: {base:.2f}x -> {new:.2f}x (ceiling {ceiling:.2f}x)")
+    if verdict == "FAIL":
+        failures.append(f"{key}: {base:.2f}x -> {new:.2f}x (ceiling {ceiling:.2f}x)"
+                        + (" — pipelined p99 is no longer strictly below stop-and-start"
+                           if new >= 1.0 else ""))
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -194,7 +236,8 @@ def main():
     for name, gate in (("BENCH_micro_nn.json", gate_micro),
                        ("BENCH_multistream.json", gate_multistream),
                        ("BENCH_drift.json", gate_drift),
-                       ("BENCH_fleet.json", gate_fleet)):
+                       ("BENCH_fleet.json", gate_fleet),
+                       ("BENCH_switch.json", gate_switch)):
         baseline, fresh = args.baseline_dir / name, args.fresh_dir / name
         if not baseline.exists():
             print(f"-- {name}: no committed baseline, skipping")

@@ -136,6 +136,21 @@ if [[ -x "$multistream_bin" ]]; then
   ran=$((ran + 1))
 fi
 
+# Switch-storm sweep: pipelined serving-path switching vs the stop-and-
+# start ablation under staggered weather flips. Writes its JSON itself;
+# exits non-zero if either batched arm's verdicts diverge bit-for-bit
+# (lineage included) from the switch-free sequential oracle.
+switch_bin="$build_dir/bench/bench_switch_storm"
+if [[ -x "$switch_bin" ]]; then
+  switch_args=(--json BENCH_switch.json)
+  if [[ $smoke -eq 1 ]]; then
+    switch_args+=(--frames 2400 --reps 2)  # ~80 simulated seconds per stream
+  fi
+  echo "== bench_switch_storm -> BENCH_switch.json"
+  "$switch_bin" "${switch_args[@]}"
+  ran=$((ran + 1))
+fi
+
 # Fleet sweep: K streams x S shards, no-kill vs one-kill-failover with a
 # planned mid-journal shard kill. Writes its JSON itself; exits non-zero
 # if any killed-and-failed-over fleet's merged decision sequences diverge

@@ -1,5 +1,6 @@
 #include "core/model_store.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -52,6 +53,26 @@ std::vector<dataset::Weather> ModelStore::available() const {
   for (const auto weather : kAllWeathers) {
     if (std::filesystem::exists(path_for(weather))) out.push_back(weather);
   }
+  return out;
+}
+
+std::vector<dataset::Weather> ModelStore::warm_manifest(std::size_t max_models) const {
+  struct Candidate {
+    dataset::Weather weather;
+    std::uintmax_t bytes;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto weather : available()) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path_for(weather), ec);
+    candidates.push_back({weather, ec ? 0 : size});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) { return a.bytes > b.bytes; });
+  if (max_models > 0 && candidates.size() > max_models) candidates.resize(max_models);
+  std::vector<dataset::Weather> out;
+  out.reserve(candidates.size());
+  for (const Candidate& c : candidates) out.push_back(c.weather);
   return out;
 }
 

@@ -68,6 +68,13 @@ class ModelStore {
   /// Weathers with a checkpoint on disk.
   std::vector<dataset::Weather> available() const;
 
+  /// Cache warm-up order: available checkpoints sorted by on-disk size
+  /// descending, so the costliest cold loads are resident before traffic
+  /// arrives. `max_models` > 0 truncates to the cache capacity; 0 keeps
+  /// every available checkpoint. Equal sizes keep the stable
+  /// kAllWeathers enumeration order, so the manifest is deterministic.
+  std::vector<dataset::Weather> warm_manifest(std::size_t max_models = 0) const;
+
   std::filesystem::path path_for(dataset::Weather weather) const;
 
   /// Retry policy for transient read failures during load: a checkpoint

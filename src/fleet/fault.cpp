@@ -12,7 +12,7 @@ ShardFaultInjector::ShardFaultInjector(ShardFaultConfig config) : config_(config
     kill.wave = k;
     kill.victim = static_cast<std::size_t>(rng.next_u64());  // reduced at arm time
     kill.point = static_cast<runtime::CrashPoint>(
-        rng.uniform_int(static_cast<std::uint64_t>(runtime::kCrashPointCount)));
+        rng.uniform_int(static_cast<std::uint64_t>(runtime::kDurabilityCrashPointCount)));
     // Journal points are hit once per decision — any small ordinal fires
     // early in the run. Snapshot points only fire on the snapshot
     // cadence, so keep their ordinal tiny or the run completes first.

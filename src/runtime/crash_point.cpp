@@ -11,22 +11,29 @@ const char* crash_point_name(CrashPoint p) {
     case CrashPoint::MidSnapshotWrite: return "mid-snapshot-write";
     case CrashPoint::BeforeSnapshotRename: return "before-snapshot-rename";
     case CrashPoint::AfterSnapshotRename: return "after-snapshot-rename";
+    case CrashPoint::AfterSwitchBegin: return "after-switch-begin";
+    case CrashPoint::MidModelLoad: return "mid-model-load";
+    case CrashPoint::MidCacheEviction: return "mid-cache-eviction";
   }
   return "?";
 }
 
 void CrashInjector::arm(CrashPoint point, std::size_t nth) {
-  armed_ = true;
-  fired_ = false;
   point_ = point;
   nth_ = nth == 0 ? 1 : nth;
+  fired_.store(false, std::memory_order_release);
+  armed_.store(true, std::memory_order_release);
 }
 
 bool CrashInjector::fire_now(CrashPoint point) {
-  const std::size_t hit = ++hits_[static_cast<int>(point)];
-  if (!armed_ || fired_ || point != point_ || hit != nth_) return false;
-  fired_ = true;
-  return true;
+  const std::size_t hit =
+      hits_[static_cast<int>(point)].fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!armed_.load(std::memory_order_acquire) || point != point_ || hit != nth_) {
+    return false;
+  }
+  // At most one kill per arm(), even if two threads hit the point together.
+  bool expected = false;
+  return fired_.compare_exchange_strong(expected, true, std::memory_order_acq_rel);
 }
 
 void CrashInjector::maybe_crash(CrashPoint point) {

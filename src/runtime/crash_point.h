@@ -17,6 +17,7 @@
 // a schedule is a sequence of (point, nth-hit) pairs consumed one crash
 // per server incarnation.
 
+#include <atomic>
 #include <cstddef>
 #include <stdexcept>
 #include <string>
@@ -31,9 +32,21 @@ enum class CrashPoint {
   MidSnapshotWrite,         // partial snapshot temp file on disk
   BeforeSnapshotRename,     // complete temp file, rename not issued
   AfterSnapshotRename,      // new generation durable, old ones not yet pruned
+  // Serving-path model-switch instants (DESIGN.md §14). These fire only in
+  // StreamServer runs with a realized switch mode (stop-and-start or
+  // pipelined); the legacy discrete-event path never reaches them.
+  AfterSwitchBegin,         // SwitchBegin durable, load not started
+  MidModelLoad,             // some layer groups transferred, load incomplete
+  MidCacheEviction,         // a resident model released, replacement not placed
 };
 
-constexpr int kCrashPointCount = 7;
+constexpr int kCrashPointCount = 10;
+
+/// The durability-layer subset (journal/snapshot) — points every durable
+/// run reaches regardless of serving mode. Harnesses that pick random
+/// points for arbitrary runs (the fleet fault injector) draw from this
+/// range; the switch points only fire under a realized switch mode.
+constexpr int kDurabilityCrashPointCount = 7;
 
 const char* crash_point_name(CrashPoint p);
 
@@ -47,6 +60,23 @@ struct CrashInjected {
 
 class CrashInjector {
  public:
+  CrashInjector() = default;
+  // Copyable for container storage in harness setup code (non-atomic
+  // member-wise copy; never copy an injector that live threads are using).
+  CrashInjector(const CrashInjector& other) { *this = other; }
+  CrashInjector& operator=(const CrashInjector& other) {
+    if (this == &other) return *this;
+    point_ = other.point_;
+    nth_ = other.nth_;
+    armed_.store(other.armed_.load(std::memory_order_acquire), std::memory_order_release);
+    fired_.store(other.fired_.load(std::memory_order_acquire), std::memory_order_release);
+    for (int i = 0; i < kCrashPointCount; ++i) {
+      hits_[i].store(other.hits_[i].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
   /// Arm the injector: the `nth` (1-based) time execution reaches `point`,
   /// maybe_crash()/fire_now() fires. Re-arming resets the fired latch;
   /// hit counters keep accumulating across arms.
@@ -63,17 +93,20 @@ class CrashInjector {
   /// Fires at most once per arm().
   bool fire_now(CrashPoint point);
 
-  bool fired() const { return fired_; }
+  bool fired() const { return fired_.load(std::memory_order_acquire); }
   std::size_t hits(CrashPoint point) const {
-    return hits_[static_cast<int>(point)];
+    return hits_[static_cast<int>(point)].load(std::memory_order_relaxed);
   }
 
  private:
-  bool armed_ = false;
-  bool fired_ = false;
+  // Atomics because the pipelined serving path fires switch crash points
+  // from a loader thread while the deciding thread fires journal/snapshot
+  // points; arm()/disarm() remain single-threaded (harness setup).
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> fired_{false};
   CrashPoint point_ = CrashPoint::BeforeJournalAppend;
   std::size_t nth_ = 0;
-  std::size_t hits_[kCrashPointCount] = {};
+  std::atomic<std::size_t> hits_[kCrashPointCount] = {};
 };
 
 }  // namespace safecross::runtime

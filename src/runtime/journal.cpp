@@ -57,6 +57,17 @@ bool decode_body(common::StateReader& r, JournalRecord& out) {
     c.residual_rms = r.f64();
     c.drift_px = r.f64();
     c.attempts = r.u32();
+  } else if (type == static_cast<std::uint8_t>(JournalRecordType::ModelSwitchBegin) ||
+             type == static_cast<std::uint8_t>(JournalRecordType::ModelSwitchCommit) ||
+             type == static_cast<std::uint8_t>(JournalRecordType::ModelSwitchAbort)) {
+    out.type = static_cast<JournalRecordType>(type);
+    SwitchPhaseEntry& p = out.switch_phase;
+    p.switch_id = r.u64();
+    p.weather = r.u8();
+    p.mode = r.u8();
+    p.reason = r.u8();
+    p.wall_ms = r.f64();
+    p.at_decision = r.u64();
   } else {
     return false;
   }
@@ -121,6 +132,16 @@ std::string Journal::encode(const JournalRecord& record) {
     payload.u8(s.weather);
     payload.f64(s.delay_ms);
     payload.u64(s.at_decision);
+  } else if (record.type == JournalRecordType::ModelSwitchBegin ||
+             record.type == JournalRecordType::ModelSwitchCommit ||
+             record.type == JournalRecordType::ModelSwitchAbort) {
+    const SwitchPhaseEntry& p = record.switch_phase;
+    payload.u64(p.switch_id);
+    payload.u8(p.weather);
+    payload.u8(p.mode);
+    payload.u8(p.reason);
+    payload.f64(p.wall_ms);
+    payload.u64(p.at_decision);
   } else {
     const RecalibrationEntry& c = record.recalibration;
     payload.u32(c.stream);

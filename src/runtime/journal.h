@@ -54,6 +54,13 @@ enum class JournalRecordType : std::uint8_t {
   Decision = 1,
   ModelSwitch = 2,
   Recalibration = 3,
+  // Serving-path switch protocol (DESIGN.md §14): a switch is write-ahead
+  // as Begin, then exactly one terminal record — Commit when the pipelined
+  // load lands, Abort when the load fails or recovery finds the Begin
+  // dangling after a mid-switch kill.
+  ModelSwitchBegin = 4,
+  ModelSwitchCommit = 5,
+  ModelSwitchAbort = 6,
 };
 
 /// One emitted decision. Weather/source enums travel as raw bytes so the
@@ -94,11 +101,26 @@ struct RecalibrationEntry {
   std::uint32_t attempts = 0;        // estimate attempts (retry_with_backoff)
 };
 
+/// One phase transition of a serving-path model switch. All three phase
+/// record types (Begin/Commit/Abort) share this body; `switch_id` pairs a
+/// Begin with its terminal record so recovery can audit exactly-once.
+/// `reason` is meaningful on Abort only: 0 = unused, 1 = dangling Begin
+/// closed by recovery after a mid-switch kill, 2 = load failure at run time.
+struct SwitchPhaseEntry {
+  std::uint64_t switch_id = 0;
+  std::uint8_t weather = 0;   // Weather the switch targets (raw byte)
+  std::uint8_t mode = 0;      // serving::SwitchMode the server ran under
+  std::uint8_t reason = 0;
+  double wall_ms = 0.0;       // load wall time (Commit only; 0 otherwise)
+  std::uint64_t at_decision = 0;  // decisions journaled before this phase
+};
+
 struct JournalRecord {
   JournalRecordType type = JournalRecordType::Decision;
   DecisionEntry decision;
   SwitchEntry model_switch;
   RecalibrationEntry recalibration;
+  SwitchPhaseEntry switch_phase;
 };
 
 class Journal {

@@ -13,16 +13,25 @@ double ms_between(MicroBatcher::Clock::time_point from, MicroBatcher::Clock::tim
 }  // namespace
 
 void MicroBatcher::stage(ReadyWindow w, Clock::time_point now) {
-  groups_[w.model_weather].push_back(Staged{std::move(w), now});
+  // Anchor the delay budget at capture time when the stream stamped one:
+  // time the window already spent queued upstream of the batcher counts
+  // against its deadline (a stalled consumer must not grant staged
+  // windows a fresh budget). Unstamped windows (fake-clock tests) and
+  // clock skew (captured "after" now) fall back to the stage clock.
+  const Clock::time_point at =
+      (w.captured != Clock::time_point{} && w.captured < now) ? w.captured : now;
+  const GroupKey key{w.model_weather, w.epoch};
+  groups_[key].push_back(Staged{std::move(w), at});
   ++staged_;
 }
 
-Batch MicroBatcher::fire(Weather weather, std::size_t count, Clock::time_point now,
+Batch MicroBatcher::fire(const GroupKey& key, std::size_t count, Clock::time_point now,
                          bool by_deadline) {
-  auto it = groups_.find(weather);
+  auto it = groups_.find(key);
   std::deque<Staged>& group = it->second;
   Batch batch;
-  batch.weather = weather;
+  batch.weather = key.first;
+  batch.epoch = key.second;
   batch.fired_by_deadline = by_deadline;
   batch.max_wait_ms = ms_between(group.front().at, now);
   batch.items.reserve(count);
@@ -36,39 +45,54 @@ Batch MicroBatcher::fire(Weather weather, std::size_t count, Clock::time_point n
 }
 
 std::optional<Batch> MicroBatcher::next_due(Clock::time_point now) {
-  // Full groups first: the largest backlog, ties broken by enum order so
+  // Full groups first: the largest backlog, ties broken by key order so
   // the firing sequence is deterministic for a deterministic arrival
-  // order (the fake-clock property tests rely on this).
-  const Weather* fullest = nullptr;
+  // order (the fake-clock property tests rely on this). Groups whose
+  // weather is mid-load are held back — their windows keep aging against
+  // the capture-anchored deadline and fire as soon as the model lands.
+  const GroupKey* fullest = nullptr;
   std::size_t fullest_size = 0;
-  for (const auto& [weather, group] : groups_) {
+  for (const auto& [key, group] : groups_) {
+    if (!servable(key.first)) continue;
     if (group.size() >= config_.max_batch && group.size() > fullest_size) {
-      fullest = &weather;
+      fullest = &key;
       fullest_size = group.size();
     }
   }
   if (fullest != nullptr) return fire(*fullest, config_.max_batch, now, /*by_deadline=*/false);
 
-  for (const auto& [weather, group] : groups_) {
+  for (const auto& [key, group] : groups_) {
+    if (!servable(key.first)) continue;
     if (!group.empty() && ms_between(group.front().at, now) >= config_.max_batch_delay_ms) {
       const std::size_t count = std::min(group.size(), config_.max_batch);
-      return fire(weather, count, now, /*by_deadline=*/true);
+      return fire(key, count, now, /*by_deadline=*/true);
     }
   }
   return std::nullopt;
 }
 
 std::optional<Batch> MicroBatcher::flush() {
+  // Conservation beats servability at shutdown: every staged window must
+  // leave in some batch even if its model never finished loading (the
+  // server resolves residency synchronously before deciding it).
   if (groups_.empty()) return std::nullopt;
   auto it = groups_.begin();
   const std::size_t count = std::min(it->second.size(), config_.max_batch);
   return fire(it->first, count, it->second.back().at, /*by_deadline=*/false);
 }
 
+std::size_t MicroBatcher::staged_for(Weather weather) const {
+  std::size_t n = 0;
+  for (const auto& [key, group] : groups_) {
+    if (key.first == weather) n += group.size();
+  }
+  return n;
+}
+
 double MicroBatcher::ms_until_deadline(Clock::time_point now) const {
   double soonest = std::numeric_limits<double>::max();
-  for (const auto& [weather, group] : groups_) {
-    if (group.empty()) continue;
+  for (const auto& [key, group] : groups_) {
+    if (group.empty() || !servable(key.first)) continue;
     const double left = config_.max_batch_delay_ms - ms_between(group.front().at, now);
     if (left < soonest) soonest = left;
   }

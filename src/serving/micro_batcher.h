@@ -1,20 +1,35 @@
 #pragma once
 // Deadline-aware, weather-grouped micro-batcher for the stream server.
 //
-// Ready windows from K streams are staged into per-weather groups. A
-// group fires as a Batch when it reaches max_batch items, or when its
-// oldest item has waited max_batch_delay_ms — whichever comes first. The
-// two rules bound both throughput loss (batches fill when load allows)
-// and added latency (no window waits longer than the delay knob before
-// the engine sees it).
+// Ready windows from K streams are staged into per-(weather, switch-epoch)
+// groups. A group fires as a Batch when it reaches max_batch items, or
+// when its oldest item has waited max_batch_delay_ms — whichever comes
+// first. The two rules bound both throughput loss (batches fill when load
+// allows) and added latency (no window waits longer than the delay knob
+// before the engine sees it).
 //
 // Invariants, pinned by the property suite:
-//   * a batch never mixes weathers — the engine runs one model per
-//     forward pass, so a batch must never straddle a model switch;
+//   * a batch never mixes weathers OR switch epochs — the engine runs one
+//     model per forward pass, so a batch must never straddle a model
+//     switch, even an A→B→A flip back to the same weather;
 //   * a batch never exceeds max_batch items;
-//   * no starvation — once staged, a window is emitted by next_due()
-//     within max_batch_delay_ms (given the caller polls), or by flush();
+//   * no starvation — once staged, a *servable* window is emitted by
+//     next_due() within max_batch_delay_ms (given the caller polls), or
+//     by flush();
 //   * conservation — every staged window appears in exactly one batch.
+//
+// Deadlines anchor at the window's CAPTURE time when the stream stamped
+// one, not at arrival-at-batcher: under a stalled consumer, windows queue
+// upstream of the batcher, and anchoring at stage() time would silently
+// grant them a fresh delay budget on top of the time already lost
+// (deadline drift). Windows without a capture stamp (the fake-clock
+// property tests) fall back to the stage() clock.
+//
+// Servability: the server may install a predicate marking a weather
+// temporarily unservable (its model is still loading in the warm cache).
+// next_due()/ms_until_deadline() hold those groups back — the whole point
+// of pipelined switching is that other weathers keep batching meanwhile —
+// but flush() ignores the predicate so conservation survives shutdown.
 //
 // The batcher is deliberately threadless and clock-agnostic: callers
 // pass `now` into stage()/next_due(), so the property tests drive it
@@ -24,9 +39,12 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "serving/stream.h"
@@ -41,6 +59,7 @@ struct BatcherConfig {
 /// One weather-uniform batch ready for a single (N,1,T,H,W) forward pass.
 struct Batch {
   Weather weather = Weather::Daytime;
+  std::uint32_t epoch = 0;  // switch epoch shared by every item
   std::vector<ReadyWindow> items;
   double max_wait_ms = 0.0;  // staging wait of the oldest item at fire time
   bool fired_by_deadline = false;
@@ -49,6 +68,7 @@ struct Batch {
 class MicroBatcher {
  public:
   using Clock = std::chrono::steady_clock;
+  using ServablePredicate = std::function<bool(Weather)>;
 
   explicit MicroBatcher(BatcherConfig config) : config_(config) {
     if (config_.max_batch == 0) config_.max_batch = 1;
@@ -56,36 +76,49 @@ class MicroBatcher {
 
   const BatcherConfig& config() const { return config_; }
 
-  /// Stage one model-gated window into its weather group.
+  /// Stage one model-gated window into its (weather, epoch) group.
   void stage(ReadyWindow w, Clock::time_point now);
 
-  /// The next batch that must fire at `now`: a full group first (largest
-  /// backlog wins, then enum order — deterministic), else the group whose
-  /// oldest item has exceeded the delay budget. nullopt when nothing is
-  /// due yet.
+  /// The next batch that must fire at `now`: a full servable group first
+  /// (largest backlog wins, then key order — deterministic), else the
+  /// servable group whose oldest item has exceeded the delay budget.
+  /// nullopt when nothing is due yet.
   std::optional<Batch> next_due(Clock::time_point now);
 
-  /// Drain one remaining group regardless of size/deadline (end of run).
+  /// Drain one remaining group regardless of size/deadline/servability
+  /// (end of run).
   std::optional<Batch> flush();
 
   bool empty() const { return staged_ == 0; }
   std::size_t staged() const { return staged_; }
 
-  /// Milliseconds until the oldest staged item's deadline expires at
-  /// `now` (<= 0 when already due); a very large value when empty. The
-  /// server uses this to size its idle wait.
+  /// Staged windows whose model weather is `weather`, across all epochs.
+  /// The server's eviction filter protects weathers with a backlog.
+  std::size_t staged_for(Weather weather) const;
+
+  /// Install (or clear, with {}) the weather-servability predicate.
+  void set_servable(ServablePredicate servable) { servable_ = std::move(servable); }
+
+  /// Milliseconds until the oldest servable staged item's deadline expires
+  /// at `now` (<= 0 when already due); a very large value when empty or
+  /// everything is held back. The server uses this to size its idle wait.
   double ms_until_deadline(Clock::time_point now) const;
 
  private:
+  // Key order = weather enum order, then epoch — deterministic tie-break.
+  using GroupKey = std::pair<Weather, std::uint32_t>;
+
   struct Staged {
     ReadyWindow w;
-    Clock::time_point at;
+    Clock::time_point at;  // deadline anchor (capture time when stamped)
   };
 
-  Batch fire(Weather weather, std::size_t count, Clock::time_point now, bool by_deadline);
+  Batch fire(const GroupKey& key, std::size_t count, Clock::time_point now, bool by_deadline);
+  bool servable(Weather weather) const { return !servable_ || servable_(weather); }
 
   BatcherConfig config_;
-  std::map<Weather, std::deque<Staged>> groups_;
+  std::map<GroupKey, std::deque<Staged>> groups_;
+  ServablePredicate servable_;
   std::size_t staged_ = 0;
 };
 

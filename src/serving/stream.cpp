@@ -57,6 +57,7 @@ std::optional<ReadyWindow> StreamContext::tick() {
     const ModelSwitchEvent& ev = config_.model_schedule[schedule_pos_++];
     if (ev.to != model_weather_) {
       model_weather_ = ev.to;
+      ++switch_epoch_;
       if (ev.delay_ms > 0.0) health_.switch_started(ev.delay_ms);
     }
   }
@@ -101,6 +102,7 @@ std::optional<ReadyWindow> StreamContext::tick() {
                ? DecisionSource::FleetDegraded
                : core::gate_reason(health_, collector_, config_.vp.frames_per_segment);
   w.model_weather = model_weather_;
+  w.epoch = switch_epoch_;
   if (w.gate == DecisionSource::Model) {
     w.window.assign(collector_.window().begin(), collector_.window().end());
   }
@@ -114,7 +116,8 @@ void StreamContext::apply(const ReadyWindow& w, int predicted_class, float prob_
   scorecard_.record_latency(latency_ms);
   if (record_trace_) {
     if (trace_.size() <= w.seq) trace_.resize(w.seq + 1);
-    trace_[w.seq] = {w.frame, w.danger_truth, predicted_class, prob_danger, warn, source};
+    trace_[w.seq] = {w.frame,       w.danger_truth, predicted_class, prob_danger,
+                     warn,          source,         w.model_weather, w.epoch};
   }
 }
 
@@ -131,6 +134,7 @@ void StreamContext::save_state(common::StateWriter& w) const {
   if (recalib_) recalib_->save_state(w);
   w.u8(static_cast<std::uint8_t>(model_weather_));
   w.u64(schedule_pos_);
+  w.u32(switch_epoch_);
   w.u64(frame_);
   w.u64(produced_);
   w.i32(frames_since_decision_);
@@ -144,6 +148,8 @@ void StreamContext::save_state(common::StateWriter& w) const {
     w.f32(d.prob_danger);
     w.boolean(d.warn);
     w.u8(static_cast<std::uint8_t>(d.source));
+    w.u8(static_cast<std::uint8_t>(d.model_weather));
+    w.u32(d.epoch);
   }
 }
 
@@ -163,6 +169,7 @@ void StreamContext::load_state(common::StateReader& r) {
   if (recalib_) recalib_->load_state(r);
   model_weather_ = static_cast<Weather>(r.u8());
   schedule_pos_ = static_cast<std::size_t>(r.u64());
+  switch_epoch_ = r.u32();
   frame_ = static_cast<std::size_t>(r.u64());
   produced_ = static_cast<std::size_t>(r.u64());
   frames_since_decision_ = r.i32();
@@ -179,6 +186,8 @@ void StreamContext::load_state(common::StateReader& r) {
     d.prob_danger = r.f32();
     d.warn = r.boolean();
     d.source = static_cast<runtime::DecisionSource>(r.u8());
+    d.model_weather = static_cast<Weather>(r.u8());
+    d.epoch = r.u32();
     trace_.push_back(d);
   }
 }

@@ -104,6 +104,12 @@ struct ReadyWindow {
   bool danger_truth = false;
   runtime::DecisionSource gate = runtime::DecisionSource::Model;
   Weather model_weather = Weather::Daytime;
+  // Switch epoch: increments every time this stream's scheduled model
+  // weather actually changes. The batcher keys groups on (weather, epoch)
+  // so a batch never straddles a switch even when the stream flips
+  // A→B→A — pre- and post-switch windows of the same weather must not
+  // co-batch (they may be judged by different cache residencies).
+  std::uint32_t epoch = 0;
   std::vector<vision::Image> window;  // populated only when gate == Model
   std::chrono::steady_clock::time_point captured;  // latency budget start
 };
@@ -118,6 +124,11 @@ struct DecisionRecord {
   float prob_danger = 1.0f;
   bool warn = true;
   runtime::DecisionSource source = runtime::DecisionSource::Model;
+  // Model lineage: which weather's model the decision wanted and the
+  // stream's switch epoch at capture time. Part of the bit-identical
+  // stream contract (the golden switch-storm trace pins both).
+  Weather model_weather = Weather::Daytime;
+  std::uint32_t epoch = 0;
 };
 
 class StreamContext {
@@ -132,6 +143,7 @@ class StreamContext {
   std::size_t frames_run() const { return frame_; }
   std::size_t windows_produced() const { return produced_; }
   Weather model_weather() const { return model_weather_; }
+  std::uint32_t switch_epoch() const { return switch_epoch_; }
 
   /// Advance one frame slot; returns a ReadyWindow when a decision is
   /// due. Producer-side only — never called concurrently with itself.
@@ -189,6 +201,7 @@ class StreamContext {
   std::mutex recalib_mu_;  // guards recalib_outbox_ (producer vs consumer)
   std::vector<runtime::RecalibrationEntry> recalib_outbox_;
   Weather model_weather_;
+  std::uint32_t switch_epoch_ = 0;  // bumps on every realized weather change
   std::size_t schedule_pos_ = 0;
   std::size_t frame_ = 0;
   std::size_t produced_ = 0;

@@ -7,6 +7,8 @@
 #include "common/checksum.h"
 #include "common/state_io.h"
 #include "common/timer.h"
+#include "switching/grouping.h"
+#include "vision/danger_zone.h"
 
 namespace safecross::serving {
 
@@ -21,7 +23,21 @@ std::chrono::milliseconds to_ms(double ms) {
   return std::chrono::milliseconds(static_cast<long long>(ms));
 }
 
+constexpr Weather kCacheWeathers[] = {Weather::Daytime, Weather::Rain, Weather::Snow,
+                                      Weather::Night, Weather::Fog};
+
+std::string scene_name(Weather weather) { return vision::weather_name(weather); }
+
 }  // namespace
+
+const char* switch_mode_name(SwitchMode m) {
+  switch (m) {
+    case SwitchMode::Legacy: return "legacy";
+    case SwitchMode::StopAndStart: return "stop-and-start";
+    case SwitchMode::Pipelined: return "pipelined";
+  }
+  return "?";
+}
 
 StreamServer::StreamServer(core::SafeCross& engine, StreamServerConfig config)
     : engine_(engine), config_(std::move(config)) {
@@ -92,6 +108,9 @@ std::uint64_t StreamServer::config_fingerprint() const {
   common::StateWriter w;
   w.u64(config_.frames);
   w.boolean(config_.shed_on_overload);
+  w.u8(static_cast<std::uint8_t>(config_.switch_mode));
+  w.u64(config_.model_cache.capacity_models);
+  w.f64(config_.model_cache.bytes_scale);
   w.u64(config_.streams.size());
   for (const StreamConfig& sc : config_.streams) {
     w.str(sc.name);
@@ -197,6 +216,16 @@ void StreamServer::prepare_durability() {
     snapshots_ = std::make_unique<SnapshotStore>(dir, config_.durability.keep_snapshots);
   }
   journal_.open(dir / kJournalFile, config_.durability.journal, config_.durability.crash);
+  // Close every dangling switch the killed run left: its Begin is durable
+  // but no load ever landed, so the decision stream stayed fully on the
+  // old model — exactly what an Abort records. Appending these first
+  // keeps the per-switch_id exactly-once (one Begin, one terminal)
+  // invariant auditable from the final journal alone.
+  for (const DanglingSwitch& d : dangling_switches_) {
+    journal_switch_phase(runtime::JournalRecordType::ModelSwitchAbort, d.switch_id,
+                         d.weather, 0.0, /*reason=*/1);
+  }
+  dangling_switches_.clear();
 }
 
 void StreamServer::finish_durability() {
@@ -314,6 +343,9 @@ RecoveryReport StreamServer::recover() {
   // 3. Decisions journaled after the snapshot was cut become the replay
   // set: when the deterministic re-run re-produces those windows, the
   // journaled verdict is applied instead of re-deciding (exactly-once).
+  // Switch-phase records are audited alongside: a Begin with no terminal
+  // is a mid-switch kill; prepare_durability() closes each with an Abort.
+  std::map<std::uint64_t, std::uint8_t> open_switches;  // id -> weather
   for (const runtime::JournalRecord& rec : replay.records) {
     if (rec.type == runtime::JournalRecordType::Decision) {
       const std::size_t stream = rec.decision.stream;
@@ -328,8 +360,24 @@ RecoveryReport StreamServer::recover() {
       if (stream >= streams_.size()) continue;
       if (rec.recalibration.frame <= streams_[stream]->frames_run()) continue;
       pending_recalib_[stream].insert_or_assign(rec.recalibration.frame, rec.recalibration);
+    } else if (rec.type == runtime::JournalRecordType::ModelSwitchBegin) {
+      ++report.journal_switch_begins;
+      open_switches[rec.switch_phase.switch_id] = rec.switch_phase.weather;
+      if (rec.switch_phase.switch_id >= next_switch_id_) {
+        next_switch_id_ = rec.switch_phase.switch_id + 1;
+      }
+    } else if (rec.type == runtime::JournalRecordType::ModelSwitchCommit) {
+      ++report.journal_switch_commits;
+      open_switches.erase(rec.switch_phase.switch_id);
+    } else if (rec.type == runtime::JournalRecordType::ModelSwitchAbort) {
+      ++report.journal_switch_aborts;
+      open_switches.erase(rec.switch_phase.switch_id);
     }
   }
+  for (const auto& [id, weather] : open_switches) {
+    dangling_switches_.push_back({id, weather});
+  }
+  report.switches_aborted_on_recovery = dangling_switches_.size();
   for (const auto& pend : pending_) report.journal_pending += pend.size();
   for (const auto& pend : pending_recalib_) {
     report.journal_pending_recalibrations += pend.size();
@@ -427,6 +475,14 @@ void StreamServer::decide_batch(Batch& batch) {
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(config_.decide_delay_ms));
   }
+  if (cache_ != nullptr) {
+    ensure_resident_blocking(batch.weather);
+    const std::string scene = scene_name(batch.weather);
+    if (cache_->resident(scene)) {
+      cache_->touch(scene);
+      last_served_scene_ = scene;
+    }
+  }
   const std::optional<Weather> served = serve_weather(batch.weather);
   std::vector<const std::vector<vision::Image>*> windows;
   windows.reserve(batch.items.size());
@@ -459,8 +515,8 @@ void StreamServer::decide_batch(Batch& batch) {
     note_applied(latency);
   }
   windows_batched_ += batch.items.size();
-  batch_log_.push_back(
-      {batch.weather, batch.items.size(), batch.max_wait_ms, batch.fired_by_deadline});
+  batch_log_.push_back({batch.weather, batch.epoch, batch.items.size(), batch.max_wait_ms,
+                        batch.fired_by_deadline});
 }
 
 void StreamServer::accept(MicroBatcher& batcher, ReadyWindow w) {
@@ -469,7 +525,203 @@ void StreamServer::accept(MicroBatcher& batcher, ReadyWindow w) {
     decide_fail_safe(w);
     return;
   }
+  if (cache_ != nullptr && config_.switch_mode == SwitchMode::Pipelined) {
+    request_load(w.model_weather);
+  }
   batcher.stage(std::move(w), Clock::now());
+}
+
+// --- serving-path switching ---
+
+void StreamServer::setup_model_cache() {
+  if (config_.switch_mode == SwitchMode::Legacy) return;
+  switching::ModelCacheConfig mc = config_.model_cache;
+  if (config_.switch_mode == SwitchMode::StopAndStart) mc.capacity_models = 1;
+  cache_ = std::make_unique<switching::ModelCache>(mc);
+  // Seed from the engine's switcher registry — the serving cache holds the
+  // same per-weather models the discrete-event path accounts for. A
+  // weather with no registered model stays out of the cache and degrades
+  // through the daytime fallback exactly as before.
+  const switching::ModelSwitcher& sw = engine_.switcher();
+  for (const Weather weather : kCacheWeathers) {
+    const std::string scene = scene_name(weather);
+    const switching::ModelProfile* profile = sw.profile_for(scene);
+    if (profile == nullptr) continue;
+    const std::vector<int>* grouping = sw.grouping_for(scene);
+    std::vector<int> groups = grouping == nullptr ? std::vector<int>{} : *grouping;
+    if (groups.empty() && config_.switch_mode == SwitchMode::Pipelined) {
+      // The engine may run the StopAndStart ablation policy (no grouping
+      // computed); the serving pipeline still wants overlapped loads.
+      groups = switching::optimal_grouping(*profile, switching::GpuModelConfig{});
+    }
+    cache_->register_model(scene, *profile, std::move(groups));
+  }
+  last_served_scene_ = scene_name(engine_.active_weather());
+}
+
+void StreamServer::request_load(Weather weather) {
+  const std::string scene = scene_name(weather);
+  if (!cache_->registered(scene) || cache_->resident(scene)) return;
+  if (load_ != nullptr && load_->weather == weather) return;
+  for (const Weather w : want_) {
+    if (w == weather) return;
+  }
+  want_.push_back(weather);
+}
+
+void StreamServer::journal_switch_phase(runtime::JournalRecordType type,
+                                        std::uint64_t switch_id, std::uint8_t weather,
+                                        double wall_ms, std::uint8_t reason) {
+  if (!journal_.is_open()) return;
+  runtime::JournalRecord rec;
+  rec.type = type;
+  rec.switch_phase.switch_id = switch_id;
+  rec.switch_phase.weather = weather;
+  rec.switch_phase.mode = static_cast<std::uint8_t>(config_.switch_mode);
+  rec.switch_phase.reason = reason;
+  rec.switch_phase.wall_ms = wall_ms;
+  rec.switch_phase.at_decision = journal_.records_appended();
+  journal_.append(rec);
+}
+
+void StreamServer::start_next_load(MicroBatcher& batcher) {
+  runtime::CrashInjector* crash = config_.durability.crash;
+  // Protect the scene that served the last batch (it may be mid-use as the
+  // "old" model of this very switch) and any weather with a staged
+  // backlog — evicting those would starve their groups behind a reload.
+  const auto may_evict = [this, &batcher](const std::string& scene) {
+    if (scene == last_served_scene_) return false;
+    for (const Weather w : kCacheWeathers) {
+      if (scene_name(w) == scene) return batcher.staged_for(w) == 0;
+    }
+    return true;
+  };
+  const auto on_evict = [crash](const std::string&) {
+    if (crash != nullptr) crash->maybe_crash(runtime::CrashPoint::MidCacheEviction);
+  };
+
+  const std::size_t rounds = want_.size();
+  for (std::size_t t = 0; t < rounds; ++t) {
+    const Weather weather = want_.front();
+    want_.pop_front();
+    const std::string scene = scene_name(weather);
+    if (cache_->resident(scene)) continue;  // landed via a blocking path
+    if (!cache_->can_prepare(scene, may_evict)) {
+      // Un-evictable right now (its victims still have backlogs): rotate
+      // to the back WITHOUT journaling — a Begin is only written for a
+      // switch that actually starts loading.
+      want_.push_back(weather);
+      continue;
+    }
+    const std::uint64_t id = next_switch_id_++;
+    journal_switch_phase(runtime::JournalRecordType::ModelSwitchBegin, id,
+                         static_cast<std::uint8_t>(weather), 0.0);
+    if (crash != nullptr) crash->maybe_crash(runtime::CrashPoint::AfterSwitchBegin);
+    try {
+      cache_->prepare(scene, may_evict, on_evict);
+    } catch (const std::exception&) {
+      // can_prepare raced a staged-backlog change, or fragmentation beat
+      // the byte arithmetic: close the Begin and retry later.
+      journal_switch_phase(runtime::JournalRecordType::ModelSwitchAbort, id,
+                           static_cast<std::uint8_t>(weather), 0.0, /*reason=*/2);
+      ++switches_aborted_;
+      want_.push_back(weather);
+      continue;
+    }
+    load_ = std::make_unique<LoadOp>();
+    load_->weather = weather;
+    load_->scene = scene;
+    load_->switch_id = id;
+    LoadOp* op = load_.get();
+    op->worker = std::thread([this, op, crash] {
+      try {
+        op->result = cache_->transfer(
+            op->scene, /*pipelined=*/true, [crash](std::size_t) {
+              if (crash != nullptr) crash->maybe_crash(runtime::CrashPoint::MidModelLoad);
+            });
+      } catch (...) {
+        op->error = std::current_exception();
+      }
+      op->done.store(true, std::memory_order_release);
+    });
+    return;
+  }
+}
+
+void StreamServer::finish_load() {
+  std::unique_ptr<LoadOp> op = std::move(load_);
+  if (op->worker.joinable()) op->worker.join();
+  if (op->error) {
+    try {
+      std::rethrow_exception(op->error);
+    } catch (const std::exception&) {
+      // Real load failure: roll back the reservation, close the Begin,
+      // requeue — the old model keeps serving, no verdict is affected.
+      cache_->abort_prepare();
+      journal_switch_phase(runtime::JournalRecordType::ModelSwitchAbort, op->switch_id,
+                           static_cast<std::uint8_t>(op->weather), 0.0, /*reason=*/2);
+      ++switches_aborted_;
+      want_.push_back(op->weather);
+      return;
+    }
+    // CrashInjected (deliberately not a std::exception) falls through the
+    // handler above and propagates: the simulated kill struck mid-load,
+    // and run()'s unwind path presents recovery with a dangling Begin.
+  }
+  cache_->commit(op->scene, op->result.wall_ms);
+  journal_switch_phase(runtime::JournalRecordType::ModelSwitchCommit, op->switch_id,
+                       static_cast<std::uint8_t>(op->weather), op->result.wall_ms);
+  ++switches_committed_;
+}
+
+void StreamServer::poll_load(MicroBatcher& batcher) {
+  if (cache_ == nullptr || config_.switch_mode != SwitchMode::Pipelined) return;
+  if (load_ != nullptr && load_->done.load(std::memory_order_acquire)) finish_load();
+  if (load_ == nullptr && !want_.empty()) start_next_load(batcher);
+}
+
+void StreamServer::ensure_resident_blocking(Weather weather) {
+  if (cache_ == nullptr) return;
+  if (load_ != nullptr) {
+    // Finalize the in-flight load first — it may be this very weather's,
+    // and two concurrent transfers would share one executor.
+    while (!load_->done.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    finish_load();
+  }
+  const std::string scene = scene_name(weather);
+  if (!cache_->registered(scene) || cache_->resident(scene)) return;
+
+  runtime::CrashInjector* crash = config_.durability.crash;
+  const std::uint64_t id = next_switch_id_++;
+  journal_switch_phase(runtime::JournalRecordType::ModelSwitchBegin, id,
+                       static_cast<std::uint8_t>(weather), 0.0);
+  if (crash != nullptr) crash->maybe_crash(runtime::CrashPoint::AfterSwitchBegin);
+  const bool pipelined = config_.switch_mode == SwitchMode::Pipelined;
+  switching::ExecutorResult result;
+  try {
+    // Permissive eviction (anything but the incoming scene): this path
+    // must make room or the batch in hand could never be served warm.
+    result = cache_->load_blocking(
+        scene, pipelined, /*may_evict=*/{},
+        [crash](const std::string&) {
+          if (crash != nullptr) crash->maybe_crash(runtime::CrashPoint::MidCacheEviction);
+        },
+        [crash](std::size_t) {
+          if (crash != nullptr) crash->maybe_crash(runtime::CrashPoint::MidModelLoad);
+        });
+  } catch (const std::exception&) {
+    // Load failure never blocks a verdict: journal the Abort and decide
+    // the batch anyway — residency is a latency model, not correctness.
+    journal_switch_phase(runtime::JournalRecordType::ModelSwitchAbort, id,
+                         static_cast<std::uint8_t>(weather), 0.0, /*reason=*/2);
+    ++switches_aborted_;
+    return;
+  }
+  journal_switch_phase(runtime::JournalRecordType::ModelSwitchCommit, id,
+                       static_cast<std::uint8_t>(weather), result.wall_ms);
+  ++switches_committed_;
 }
 
 void StreamServer::produce(std::size_t i, runtime::BoundedQueue<ReadyWindow>& queue,
@@ -561,6 +813,7 @@ void StreamServer::barrier_snapshot(
 void StreamServer::run() {
   if (ran_) throw std::logic_error("StreamServer: a server instance runs once");
   ran_ = true;
+  setup_model_cache();
   prepare_durability();
 
   const std::size_t k = streams_.size();
@@ -594,11 +847,23 @@ void StreamServer::run() {
   BatcherConfig bcfg = config_.batcher;
   bcfg.max_batch = effective_max_batch();
   MicroBatcher batcher(bcfg);
+  if (config_.switch_mode == SwitchMode::Pipelined) {
+    // Hold back groups whose model is still loading; the other weathers
+    // keep batching on their resident models meanwhile — the zero-downtime
+    // property. Scenes outside the cache (no registered model) stay
+    // servable: they degrade through the daytime fallback at serve time
+    // and must never deadlock the batcher.
+    batcher.set_servable([this](Weather w) {
+      const std::string scene = scene_name(w);
+      return !cache_->registered(scene) || cache_->resident(scene);
+    });
+  }
 
   try {
     std::size_t rr = 0;  // rotate which queue takes the idle block
     for (;;) {
       if (snapshot_due()) barrier_snapshot(queues, batcher);
+      poll_load(batcher);
 
       bool all_drained = true;
       bool progressed = false;
@@ -651,11 +916,20 @@ void StreamServer::run() {
     // The loop only exits with the batcher empty; flush defends against a
     // future policy change leaving a remainder.
     while (std::optional<Batch> batch = batcher.flush()) decide_batch(*batch);
+    // A load still in flight at the end (its windows were all served via
+    // blocking paths) must land before the cache stats are read.
+    if (load_ != nullptr) {
+      while (!load_->done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      finish_load();
+    }
   } catch (...) {
     // The simulated kill (or a real I/O failure) struck the consumer.
     // Lower the barrier so parked producers can observe the stop flag,
     // stop everything, and let the exception carry the crash out — the
     // on-disk journal/snapshot state is exactly what recovery must face.
+    load_.reset();  // LoadOp's destructor joins the loader thread
     {
       std::lock_guard<std::mutex> lk(park_mu_);
       snapshot_gate_.store(false, std::memory_order_release);

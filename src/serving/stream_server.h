@@ -43,11 +43,14 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/safecross.h"
@@ -57,8 +60,29 @@
 #include "serving/micro_batcher.h"
 #include "serving/snapshot.h"
 #include "serving/stream.h"
+#include "switching/model_cache.h"
 
 namespace safecross::serving {
+
+/// How the batched server realizes model switches (DESIGN.md §14).
+///
+/// Legacy      — the engine's discrete-event switcher models the delay;
+///               no warm cache, no real data movement (every pre-existing
+///               behaviour, golden trace and parity assertion unchanged).
+/// StopAndStart— a single-resident ModelCache; every batch whose weather
+///               is not resident stalls the deciding thread for a real
+///               sequential weight load (the paper's ablation arm).
+/// Pipelined   — a dual-resident ModelCache; the old model keeps serving
+///               batches while the incoming model loads layer-group by
+///               layer-group through the switching executor on a loader
+///               thread, with Begin/Commit/Abort write-ahead journaled.
+///
+/// All three modes produce bit-identical verdicts: residency is a latency
+/// model, never verdict-bearing — a verdict depends only on the window
+/// bytes and the target weather's weights.
+enum class SwitchMode : std::uint8_t { Legacy = 0, StopAndStart = 1, Pipelined = 2 };
+
+const char* switch_mode_name(SwitchMode m);
 
 /// Crash-consistent durability for a server run. When `dir` is set the
 /// server keeps a write-ahead journal of every emitted decision (appended
@@ -102,6 +126,14 @@ struct RecoveryReport {
   bool journal_bad_header = false;
   bool journal_torn_tail = false;
   std::string journal_tail_error;
+  // Serving-path switch protocol audit (ModelSwitch{Begin,Commit,Abort}).
+  std::uint64_t journal_switch_begins = 0;
+  std::uint64_t journal_switch_commits = 0;
+  std::uint64_t journal_switch_aborts = 0;
+  /// Begins with no terminal record — a mid-switch kill. The resumed run
+  /// closes each with an Abort (reason = closed-by-recovery) as soon as
+  /// the journal re-opens, so every switch_id ends exactly-once terminal.
+  std::uint64_t switches_aborted_on_recovery = 0;
 };
 
 /// One stream's complete resumable identity, drained from a recovered
@@ -140,11 +172,19 @@ struct StreamServerConfig {
   std::uint64_t supervisor_seed = 0x5EB7E55u;
   bool record_traces = false;          // keep per-seq verdict traces
   DurabilityConfig durability;         // checkpoint/journal layer (off by default)
+  /// Serving-path switch realization; Legacy preserves every pre-existing
+  /// behaviour bit-for-bit. Batched run() only — run_sequential() is the
+  /// switch-free-equivalent oracle and always runs the Legacy path.
+  SwitchMode switch_mode = SwitchMode::Legacy;
+  /// Warm-cache geometry for StopAndStart/Pipelined (capacity is forced
+  /// to 1 under StopAndStart — single residency IS the ablation).
+  switching::ModelCacheConfig model_cache;
 };
 
 /// One fired batch, for the bench/tests to audit batching behaviour.
 struct BatchRecord {
   Weather weather = Weather::Daytime;
+  std::uint32_t epoch = 0;
   std::size_t size = 0;
   double max_wait_ms = 0.0;
   bool fired_by_deadline = false;
@@ -244,6 +284,18 @@ class StreamServer {
     return crashes_injected_.load(std::memory_order_relaxed);
   }
 
+  // --- serving-path switching (non-Legacy modes) ---
+  /// The warm per-weather model cache, or nullptr under SwitchMode::Legacy
+  /// (also null before run()). Loads/evictions/wall time in its stats.
+  const switching::ModelCache* model_cache() const { return cache_.get(); }
+  /// Switches committed / aborted at run time (recovery-closed aborts are
+  /// counted in RecoveryReport::switches_aborted_on_recovery instead).
+  std::size_t switches_committed() const { return switches_committed_; }
+  std::size_t switches_aborted() const { return switches_aborted_; }
+  /// Capture→verdict latency of every applied decision, in apply order
+  /// (deciding thread only; the switch-storm bench reads p99 from this).
+  const std::vector<double>& latency_log() const { return latency_log_; }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -262,6 +314,7 @@ class StreamServer {
     if (latency_ms > latency_watermark_ms_.load(std::memory_order_relaxed)) {
       latency_watermark_ms_.store(latency_ms, std::memory_order_relaxed);
     }
+    latency_log_.push_back(latency_ms);
   }
   /// One batched forward pass + scatter; appends to the batch log.
   void decide_batch(Batch& batch);
@@ -273,6 +326,48 @@ class StreamServer {
   std::size_t effective_max_batch() const {
     return config_.batcher.max_batch == 0 ? streams_.size() : config_.batcher.max_batch;
   }
+
+  // --- serving-path switching (non-Legacy modes; deciding thread only
+  // unless noted) ---
+
+  /// One in-flight pipelined load: the loader thread runs the cache
+  /// transfer (real data movement) while the deciding thread keeps serving
+  /// batches on the resident models. The destructor joins.
+  struct LoadOp {
+    Weather weather = Weather::Daytime;
+    std::string scene;
+    std::uint64_t switch_id = 0;
+    std::atomic<bool> done{false};
+    std::exception_ptr error;  // written before done; read after
+    switching::ExecutorResult result;
+    std::thread worker;
+    ~LoadOp() {
+      if (worker.joinable()) worker.join();
+    }
+  };
+
+  /// Build + seed the cache from the engine's switcher registry (batched
+  /// run() under non-Legacy modes).
+  void setup_model_cache();
+  /// Queue a (deduped) async load request for a non-resident weather.
+  void request_load(Weather weather);
+  /// Drive the async load machinery one step: finalize a finished load
+  /// (commit + journal), then start the next wanted one that fits.
+  void poll_load(MicroBatcher& batcher);
+  void start_next_load(MicroBatcher& batcher);
+  /// Join + commit (or abort) the in-flight load. A CrashInjected captured
+  /// on the loader thread rethrows here, on the deciding thread.
+  void finish_load();
+  /// Synchronous residency for a batch about to be decided: finalize any
+  /// in-flight load, then block-load if still not resident. The normal
+  /// pipelined path never stalls here (servability held the batch until
+  /// commit); flush/barrier edges and the whole StopAndStart mode do —
+  /// under StopAndStart this stall IS the measured switch. Load failure
+  /// journals an Abort and returns: residency is a latency model only,
+  /// never verdict-bearing, so the batch is decided regardless.
+  void ensure_resident_blocking(Weather weather);
+  void journal_switch_phase(runtime::JournalRecordType type, std::uint64_t switch_id,
+                            std::uint8_t weather, double wall_ms, std::uint8_t reason = 0);
 
   // --- durability layer ---
   bool durable() const { return config_.durability.enabled(); }
@@ -325,7 +420,24 @@ class StreamServer {
   std::atomic<std::uint64_t> applied_{0};
   std::atomic<double> latency_watermark_ms_{0.0};
   std::atomic<std::size_t> live_queue_depth_{0};
+  std::vector<double> latency_log_;  // deciding thread only
   bool ran_ = false;
+
+  // --- serving-path switching state (deciding thread only) ---
+  std::unique_ptr<switching::ModelCache> cache_;  // null under Legacy
+  std::unique_ptr<LoadOp> load_;                  // at most one in flight
+  std::deque<Weather> want_;      // deduped async load requests, FIFO-ish
+  std::string last_served_scene_;  // never evicted while a load runs
+  std::uint64_t next_switch_id_ = 1;
+  std::size_t switches_committed_ = 0;
+  std::size_t switches_aborted_ = 0;
+  /// Begin records recovery found without a terminal; closed with Abort
+  /// (reason = closed-by-recovery) when the journal re-opens.
+  struct DanglingSwitch {
+    std::uint64_t switch_id = 0;
+    std::uint8_t weather = 0;
+  };
+  std::vector<DanglingSwitch> dangling_switches_;
 
   // --- durability state ---
   runtime::Journal journal_;

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
+#include <exception>
 #include <mutex>
 #include <thread>
 
@@ -37,14 +38,18 @@ double PipelinedExecutor::transfer_group(std::size_t offset, std::size_t bytes) 
   return t.elapsed_ms();
 }
 
-ExecutorResult PipelinedExecutor::run_sequential(const ModelProfile& profile) {
+ExecutorResult PipelinedExecutor::run_sequential(const ModelProfile& profile,
+                                                 const GroupHook& on_unit) {
   ensure_buffers(profile.total_bytes());
   ExecutorResult r;
   safecross::Timer wall;
   std::size_t offset = 0;
+  std::size_t index = 0;
   for (const LayerDesc& l : profile.layers) {
     r.transfer_ms += transfer_group(offset, l.param_bytes);
     offset += l.param_bytes;
+    if (on_unit) on_unit(index);
+    ++index;
   }
   safecross::Timer c;
   for (const LayerDesc& l : profile.layers) wait_ms(l.compute_ms * config_.compute_scale);
@@ -54,7 +59,8 @@ ExecutorResult PipelinedExecutor::run_sequential(const ModelProfile& profile) {
 }
 
 ExecutorResult PipelinedExecutor::run_pipelined(const ModelProfile& profile,
-                                                const std::vector<int>& groups) {
+                                                const std::vector<int>& groups,
+                                                const GroupHook& on_unit) {
   ensure_buffers(profile.total_bytes());
 
   // Pre-compute each group's byte range and compute cost.
@@ -81,12 +87,28 @@ ExecutorResult PipelinedExecutor::run_pipelined(const ModelProfile& profile,
   ExecutorResult r;
   std::mutex mutex;
   std::condition_variable cv;
-  std::size_t ready = 0;  // groups fully transferred
+  std::size_t ready = 0;        // groups fully transferred
+  bool aborted = false;         // hook threw; compute must stop waiting
+  std::exception_ptr hook_error;
 
   safecross::Timer wall;
   std::thread transfer([&] {
-    for (const Group& g : plan) {
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const Group& g = plan[i];
       r.transfer_ms += transfer_group(g.offset, g.bytes);
+      if (on_unit) {
+        try {
+          on_unit(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            hook_error = std::current_exception();
+            aborted = true;
+          }
+          cv.notify_one();
+          return;
+        }
+      }
       {
         std::lock_guard<std::mutex> lock(mutex);
         ++ready;
@@ -100,13 +122,15 @@ ExecutorResult PipelinedExecutor::run_pipelined(const ModelProfile& profile,
   for (std::size_t i = 0; i < plan.size(); ++i) {
     {
       std::unique_lock<std::mutex> lock(mutex);
-      cv.wait(lock, [&] { return ready > i; });
+      cv.wait(lock, [&] { return ready > i || aborted; });
+      if (aborted && ready <= i) break;
     }
     safecross::Timer c;
     wait_ms(plan[i].compute_ms * config_.compute_scale);
     compute_busy += c.elapsed_ms();
   }
   transfer.join();
+  if (hook_error) std::rethrow_exception(hook_error);
   r.compute_ms = compute_busy;
   r.wall_ms = wall.elapsed_ms();
   return r;

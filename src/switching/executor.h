@@ -15,11 +15,19 @@
 // real on any machine.
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "switching/profile.h"
 
 namespace safecross::switching {
+
+/// Called once per transferred unit (layer for run_sequential, group for
+/// run_pipelined) with its 0-based index, AFTER the unit's bytes landed in
+/// staging. The serving layer uses it for chaos injection (mid-model-load
+/// kills); hooks may throw — the run aborts and the exception surfaces on
+/// the calling thread even when the hook ran on the transfer thread.
+using GroupHook = std::function<void(std::size_t)>;
 
 struct ExecutorConfig {
   double bandwidth_gbps = 6.0;  // simulated link bandwidth for the memcpy
@@ -37,10 +45,14 @@ class PipelinedExecutor {
   explicit PipelinedExecutor(ExecutorConfig config = {});
 
   /// Transfer then compute, no overlap (stop-and-start's data path).
-  ExecutorResult run_sequential(const ModelProfile& profile);
+  ExecutorResult run_sequential(const ModelProfile& profile,
+                                const GroupHook& on_unit = {});
 
-  /// Overlapped transfer/compute with the given grouping.
-  ExecutorResult run_pipelined(const ModelProfile& profile, const std::vector<int>& groups);
+  /// Overlapped transfer/compute with the given grouping. `on_unit` runs
+  /// on the transfer thread; if it throws, the compute side unblocks, the
+  /// transfer thread is joined, and the exception rethrows here.
+  ExecutorResult run_pipelined(const ModelProfile& profile, const std::vector<int>& groups,
+                               const GroupHook& on_unit = {});
 
  private:
   ExecutorConfig config_;

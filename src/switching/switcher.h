@@ -43,6 +43,19 @@ class ModelSwitcher {
   bool has_model(const std::string& scene) const { return entries_.count(scene) > 0; }
   const std::string& active_scene() const { return active_; }
 
+  /// Registered profile / PipeSwitch grouping for a scene; nullptr when the
+  /// scene is unregistered. The grouping is empty under StopAndStart. Used
+  /// by the serving-path ModelCache to seed its own entries from the same
+  /// registry the discrete-event path uses.
+  const ModelProfile* profile_for(const std::string& scene) const {
+    auto it = entries_.find(scene);
+    return it == entries_.end() ? nullptr : &it->second.profile;
+  }
+  const std::vector<int>* grouping_for(const std::string& scene) const {
+    auto it = entries_.find(scene);
+    return it == entries_.end() ? nullptr : &it->second.grouping;
+  }
+
   /// Switch to the scene's model; returns the switching delay in ms
   /// (0 when the scene is already active). Throws std::invalid_argument
   /// if unregistered and std::runtime_error on any other failure.

@@ -58,6 +58,11 @@ struct TraceLine {
   int warn = 0;
   int source = 0;
   double prob = 0.0;
+  // Model lineage (serving-path switching): which weather's model the
+  // decision wanted and the stream's switch epoch at capture. -1 = not
+  // recorded — the legacy snapshots predate lineage and stay byte-valid.
+  int weather = -1;
+  int epoch = -1;
 };
 
 struct GoldenTrace {
@@ -75,8 +80,14 @@ void write_golden(const std::string& path, const GoldenTrace& trace) {
   out << '\n';
   char buf[160];
   for (const TraceLine& l : trace.lines) {
-    std::snprintf(buf, sizeof(buf), "d %d %zu %zu %d %d %d %d %.4f\n", l.stream, l.seq,
-                  l.frame, l.truth, l.pred, l.warn, l.source, l.prob);
+    if (l.weather >= 0) {
+      std::snprintf(buf, sizeof(buf), "d %d %zu %zu %d %d %d %d %.4f %d %d\n", l.stream,
+                    l.seq, l.frame, l.truth, l.pred, l.warn, l.source, l.prob, l.weather,
+                    l.epoch);
+    } else {
+      std::snprintf(buf, sizeof(buf), "d %d %zu %zu %d %d %d %d %.4f\n", l.stream, l.seq,
+                    l.frame, l.truth, l.pred, l.warn, l.source, l.prob);
+    }
     out << buf;
   }
 }
@@ -101,6 +112,11 @@ GoldenTrace read_golden(const std::string& path) {
     } else if (tag == "d") {
       TraceLine l;
       ss >> l.stream >> l.seq >> l.frame >> l.truth >> l.pred >> l.warn >> l.source >> l.prob;
+      // Optional trailing lineage columns (switch-storm snapshots only).
+      if (!(ss >> l.weather >> l.epoch)) {
+        l.weather = -1;
+        l.epoch = -1;
+      }
       trace.lines.push_back(l);
     }
   }
@@ -135,6 +151,8 @@ void check_against_golden(const std::string& name, const GoldenTrace& got) {
     EXPECT_EQ(want.lines[i].warn, got.lines[i].warn);
     EXPECT_EQ(want.lines[i].source, got.lines[i].source) << "a gate reason changed";
     EXPECT_NEAR(want.lines[i].prob, got.lines[i].prob, 2e-3);
+    EXPECT_EQ(want.lines[i].weather, got.lines[i].weather) << "model lineage drifted";
+    EXPECT_EQ(want.lines[i].epoch, got.lines[i].epoch) << "switch-epoch lineage drifted";
   }
 }
 
@@ -465,6 +483,105 @@ TEST(GoldenTrace, DriftRecoverMatchesSnapshot) {
   EXPECT_GT(server.stream(0).scorecard().model_decisions(), 0u)
       << "the snapshot must pin recovered model verdicts";
   check_against_golden("drift_recover.txt", got);
+}
+
+// The serving-path switching layer end to end, pinned with full model
+// lineage: a durable BATCHED run under SwitchMode::Pipelined rides a
+// three-weather switch storm, is killed right after a SwitchBegin record
+// becomes durable (a dangling mid-switch Begin on disk), recovers
+// against the damaged directory — closing the Begin with a
+// reason=closed-by-recovery Abort — and finishes, still batched and
+// pipelined. Every decision line carries (weather, epoch) lineage, so a
+// refactor that serves one window under the wrong model or lets a batch
+// straddle a switch epoch diffs here even when the verdict happens to
+// survive. Timing-dependent counters (journal progress at the kill,
+// snapshot generation, switch commit tallies) are deliberately NOT
+// pinned: thread scheduling moves them without moving any verdict.
+TEST(GoldenTrace, SwitchStormRecoverMatchesSnapshot) {
+  namespace fs = std::filesystem;
+  auto sc = engine_with({dataset::Weather::Daytime, dataset::Weather::Rain,
+                         dataset::Weather::Snow});
+
+  const fs::path dir =
+      fs::temp_directory_path() / ("safecross_golden_storm_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  serving::StreamServerConfig cfg;
+  cfg.frames = 3600;
+  cfg.record_traces = true;
+  cfg.shed_on_overload = false;
+  cfg.queue_capacity = 2;
+  cfg.switch_mode = serving::SwitchMode::Pipelined;
+  cfg.model_cache.capacity_models = 2;  // three weathers force evictions
+  cfg.model_cache.bytes_scale = 1.0 / 4096.0;
+  cfg.model_cache.executor.bandwidth_gbps = 64.0;
+  cfg.model_cache.executor.compute_scale = 0.001;
+  const dataset::Weather cycle[2][3] = {
+      {dataset::Weather::Rain, dataset::Weather::Snow, dataset::Weather::Daytime},
+      {dataset::Weather::Snow, dataset::Weather::Daytime, dataset::Weather::Rain}};
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    serving::StreamConfig s;
+    s.name = i == 0 ? "storm-day" : "storm-rain";
+    s.weather = i == 0 ? dataset::Weather::Daytime : dataset::Weather::Rain;
+    s.sim_seed = 88000 + 10 * i;
+    s.collector_seed = 88000 + 10 * i + 1;
+    s.fault_seed = 88000 + 10 * i + 2;
+    for (std::size_t k = 0; 200 + 150 * k < cfg.frames; ++k) {
+      s.model_schedule.push_back({200 + 150 * k, cycle[i][k % 3], 0.0});
+    }
+    cfg.streams.push_back(s);
+  }
+  cfg.durability.dir = dir;
+  cfg.durability.snapshot_every_decisions = 8;
+
+  runtime::CrashInjector injector;
+  injector.arm(runtime::CrashPoint::AfterSwitchBegin, 2);
+  cfg.durability.crash = &injector;
+  bool crashed = false;
+  {
+    serving::StreamServer doomed(*sc, cfg);
+    try {
+      doomed.run();
+    } catch (const runtime::CrashInjected&) {
+      crashed = true;
+    }
+  }
+  ASSERT_TRUE(crashed) << "the scripted mid-switch kill never fired";
+  injector.disarm();
+
+  serving::StreamServer server(*sc, cfg);
+  const serving::RecoveryReport report = server.recover();
+  server.run();
+
+  EXPECT_GE(report.switches_aborted_on_recovery, 1u)
+      << "the mid-switch kill must leave a dangling Begin for recovery to close";
+  EXPECT_GE(server.switches_committed(), 1u) << "the resumed storm must commit switches";
+
+  GoldenTrace got;
+  for (std::size_t i = 0; i < server.stream_count(); ++i) {
+    const auto& trace = server.stream(i).trace();
+    for (std::size_t s = 0; s < trace.size(); ++s) {
+      TraceLine l;
+      l.stream = static_cast<int>(i);
+      l.seq = s;
+      l.frame = trace[s].frame;
+      l.truth = trace[s].danger_truth ? 1 : 0;
+      l.pred = trace[s].predicted_class;
+      l.warn = trace[s].warn ? 1 : 0;
+      l.source = static_cast<int>(trace[s].source);
+      l.prob = trace[s].prob_danger;
+      l.weather = static_cast<int>(trace[s].model_weather);
+      l.epoch = static_cast<int>(trace[s].epoch);
+      got.lines.push_back(l);
+    }
+    append_scorecard_meta(got, server.stream(i).scorecard());
+  }
+  fs::remove_all(dir);
+  ASSERT_GT(got.lines.size(), 0u) << "the scenario produced no decisions to pin";
+  std::size_t epochs_pinned = 0;
+  for (const TraceLine& l : got.lines) epochs_pinned += l.epoch > 0 ? 1 : 0;
+  EXPECT_GT(epochs_pinned, 0u) << "the snapshot must pin post-switch lineage";
+  check_against_golden("switch_storm_recover.txt", got);
 }
 
 }  // namespace

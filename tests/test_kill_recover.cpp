@@ -159,6 +159,8 @@ void expect_servers_agree(const StreamServer& got, const StreamServer& want) {
       EXPECT_EQ(gt[s].prob_danger, wt[s].prob_danger) << "verdicts must be bit-identical";
       EXPECT_EQ(gt[s].warn, wt[s].warn);
       EXPECT_EQ(gt[s].source, wt[s].source);
+      EXPECT_EQ(gt[s].model_weather, wt[s].model_weather) << "model lineage diverged";
+      EXPECT_EQ(gt[s].epoch, wt[s].epoch) << "switch-epoch lineage diverged";
     }
     EXPECT_EQ(g.scorecard().decisions(), w.scorecard().decisions());
     EXPECT_EQ(g.scorecard().warnings(), w.scorecard().warnings());
@@ -229,7 +231,9 @@ TEST(KillRecover, EveryCrashPointRecoversAndJournalIsExactlyOnce) {
   reference.run_sequential();
   ASSERT_GE(reference.total_decisions(), 24u);
 
-  for (int p = 0; p < runtime::kCrashPointCount; ++p) {
+  // The sequential path only reaches the durability points; the three
+  // serving-path switch points are exercised by the SwitchStorm cases below.
+  for (int p = 0; p < runtime::kDurabilityCrashPointCount; ++p) {
     const CrashPoint point = static_cast<CrashPoint>(p);
     SCOPED_TRACE(crash_point_name(point));
     ScratchDir scratch(std::string("exhaustive_") + crash_point_name(point));
@@ -265,6 +269,139 @@ TEST(KillRecover, EveryCrashPointRecoversAndJournalIsExactlyOnce) {
       EXPECT_EQ(entry.source, static_cast<std::uint8_t>(want.source));
     }
   }
+}
+
+// --- serving-path switch storms: the three switch crash points ---
+
+/// chaos_config plus a pipelined switch storm: three weathers cycling
+/// every 150 frames over a two-resident cache (so evictions really
+/// happen), delay_ms = 0 (no fail-safe gating — every decision stays
+/// model-gated and bit-comparable to the oracle), a longer run so the
+/// sim's sparse turn-wait bursts land in many different switch epochs,
+/// and a scaled-down cache so a load moves ~33 KB instead of ~136 MB.
+StreamServerConfig storm_config(std::uint64_t base, const fs::path& dir,
+                                CrashInjector* crash) {
+  StreamServerConfig cfg = chaos_config(base, dir, crash);
+  cfg.frames = 3600;
+  cfg.switch_mode = SwitchMode::Pipelined;
+  cfg.model_cache.capacity_models = 2;
+  cfg.model_cache.bytes_scale = 1.0 / 4096.0;
+  cfg.model_cache.executor.bandwidth_gbps = 64.0;
+  cfg.model_cache.executor.compute_scale = 0.001;
+  const Weather cycle[2][3] = {{Weather::Rain, Weather::Snow, Weather::Daytime},
+                               {Weather::Snow, Weather::Daytime, Weather::Rain}};
+  for (std::size_t i = 0; i < cfg.streams.size(); ++i) {
+    for (std::size_t k = 0; 200 + 150 * k < cfg.frames; ++k) {
+      cfg.streams[i].model_schedule.push_back({200 + 150 * k, cycle[i][k % 3], 0.0});
+    }
+  }
+  return cfg;
+}
+
+/// On-disk exactly-once for the switch protocol: every switch_id in the
+/// final journal has exactly one Begin and exactly one terminal record
+/// (Commit or Abort); `expect_recovery_close` additionally requires at
+/// least one Abort with reason = 1 (closed-by-recovery).
+void audit_switch_journal(const fs::path& wal, bool expect_recovery_close) {
+  const auto replay = runtime::Journal::replay(wal);
+  EXPECT_FALSE(replay.torn_tail) << "recovery must have truncated the torn tail";
+  struct Tally {
+    int begins = 0;
+    int terminals = 0;
+  };
+  std::map<std::uint64_t, Tally> switches;
+  std::size_t recovery_aborts = 0;
+  for (const runtime::JournalRecord& rec : replay.records) {
+    switch (rec.type) {
+      case runtime::JournalRecordType::ModelSwitchBegin:
+        ++switches[rec.switch_phase.switch_id].begins;
+        break;
+      case runtime::JournalRecordType::ModelSwitchCommit:
+        ++switches[rec.switch_phase.switch_id].terminals;
+        break;
+      case runtime::JournalRecordType::ModelSwitchAbort:
+        ++switches[rec.switch_phase.switch_id].terminals;
+        recovery_aborts += rec.switch_phase.reason == 1 ? 1 : 0;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_FALSE(switches.empty()) << "a switch storm must journal switches";
+  for (const auto& [id, tally] : switches) {
+    EXPECT_EQ(tally.begins, 1) << "switch " << id << " must Begin exactly once";
+    EXPECT_EQ(tally.terminals, 1)
+        << "switch " << id << " must end in exactly one Commit or Abort";
+  }
+  if (expect_recovery_close) {
+    EXPECT_GE(recovery_aborts, 1u)
+        << "the dangling Begin must be closed by a reason=1 Abort";
+  }
+}
+
+// Kill the pipelined server at each of the three switch crash points —
+// right after the Begin record is durable, mid layer-group transfer on
+// the loader thread, and mid cache eviction — then recover against the
+// damaged dir and finish. The merged decision stream must be
+// bit-identical to the switch-free sequential oracle, the dangling Begin
+// must be closed by recovery, and the final journal must hold exactly
+// one Begin + one terminal per switch_id.
+TEST(KillRecover, SwitchStormKillsAtEverySwitchPointRecoverBitIdentical) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain, Weather::Snow});
+  constexpr std::uint64_t kBase = 88000;
+  StreamServer reference(*sc, storm_config(kBase, {}, nullptr));
+  reference.run_sequential();
+  ASSERT_GE(reference.total_decisions(), 24u);
+
+  struct Kill {
+    CrashPoint point;
+    std::size_t nth;
+  };
+  // MidModelLoad hits once per transferred unit, so nth=4 lands inside
+  // the very first pipelined load (loader thread); the eviction point
+  // first fires when the third distinct weather displaces a resident.
+  for (const Kill kill : {Kill{CrashPoint::AfterSwitchBegin, 2},
+                          Kill{CrashPoint::MidModelLoad, 4},
+                          Kill{CrashPoint::MidCacheEviction, 1}}) {
+    SCOPED_TRACE(crash_point_name(kill.point));
+    ScratchDir scratch(std::string("switch_storm_") + crash_point_name(kill.point));
+    CrashInjector injector;
+    injector.arm(kill.point, kill.nth);
+    StreamServerConfig cfg = storm_config(kBase, scratch.path, &injector);
+    ASSERT_TRUE(run_killed(*sc, cfg, Mode::Batched))
+        << "armed switch kill (nth=" << kill.nth << ") never fired";
+    injector.disarm();
+    RecoveryReport report;
+    auto recovered = recover_and_finish(*sc, cfg, Mode::Batched, &report);
+    EXPECT_GE(report.switches_aborted_on_recovery, 1u)
+        << "a mid-switch kill leaves a dangling Begin for recovery to close";
+    EXPECT_EQ(report.journal_switch_begins,
+              report.journal_switch_commits + report.journal_switch_aborts +
+                  report.switches_aborted_on_recovery)
+        << "every journaled Begin is either terminated or dangling";
+    expect_servers_agree(*recovered, reference);
+    audit_switch_journal(scratch.path / "journal.wal", /*expect_recovery_close=*/true);
+  }
+}
+
+// The same storm without a kill: the pipelined batched run commits real
+// switches, stays bit-identical to the oracle, and journals exactly one
+// Begin + one Commit per switch (no Aborts, nothing dangling).
+TEST(KillRecover, SwitchStormUninterruptedCommitsExactlyOnce) {
+  auto sc = engine_with_models({Weather::Daytime, Weather::Rain, Weather::Snow});
+  constexpr std::uint64_t kBase = 88000;
+  StreamServer reference(*sc, storm_config(kBase, {}, nullptr));
+  reference.run_sequential();
+
+  ScratchDir scratch("switch_storm_clean");
+  StreamServerConfig cfg = storm_config(kBase, scratch.path, nullptr);
+  StreamServer server(*sc, cfg);
+  server.run();
+  EXPECT_GE(server.switches_committed(), 3u) << "the storm must commit real switches";
+  EXPECT_GT(server.model_cache()->stats().evictions, 0u)
+      << "three weathers over two residencies must evict";
+  expect_servers_agree(server, reference);
+  audit_switch_journal(scratch.path / "journal.wal", /*expect_recovery_close=*/false);
 }
 
 // A second kill during the recovered run (here: mid-snapshot-write) must

@@ -279,5 +279,43 @@ TEST(ModelStore, RetryBudgetIsConfigurable) {
   EXPECT_EQ(report.errors[0].attempts, 1);
 }
 
+// The warm-up manifest orders checkpoints by on-disk size descending
+// (costliest cold loads first), truncates to the cache capacity, and
+// breaks size ties in the stable weather enumeration order.
+TEST(ModelStore, WarmManifestOrdersBySizeAndTruncatesToCapacity) {
+  TempDir tmp;
+  fs::create_directories(tmp.path);
+  ModelStore store(tmp.path);
+  // Fabricated checkpoints: the manifest reads sizes only, never content.
+  runtime::FaultInjector::write_garbage(store.path_for(dataset::Weather::Daytime), 100, 1);
+  runtime::FaultInjector::write_garbage(store.path_for(dataset::Weather::Rain), 300, 2);
+  runtime::FaultInjector::write_garbage(store.path_for(dataset::Weather::Snow), 200, 3);
+  runtime::FaultInjector::write_garbage(store.path_for(dataset::Weather::Fog), 300, 4);
+
+  const auto all = store.warm_manifest();
+  ASSERT_EQ(all.size(), 4u);
+  // Rain and Fog tie at 300 bytes: enumeration order (Rain before Fog).
+  EXPECT_EQ(all[0], dataset::Weather::Rain);
+  EXPECT_EQ(all[1], dataset::Weather::Fog);
+  EXPECT_EQ(all[2], dataset::Weather::Snow);
+  EXPECT_EQ(all[3], dataset::Weather::Daytime);
+
+  const auto top2 = store.warm_manifest(2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], dataset::Weather::Rain);
+  EXPECT_EQ(top2[1], dataset::Weather::Fog);
+
+  // Capacity larger than the inventory keeps everything.
+  EXPECT_EQ(store.warm_manifest(16).size(), 4u);
+}
+
+TEST(ModelStore, WarmManifestOnEmptyDirectoryIsEmpty) {
+  TempDir tmp;
+  fs::create_directories(tmp.path);
+  ModelStore store(tmp.path);
+  EXPECT_TRUE(store.warm_manifest().empty());
+  EXPECT_TRUE(store.warm_manifest(3).empty());
+}
+
 }  // namespace
 }  // namespace safecross::core

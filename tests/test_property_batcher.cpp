@@ -28,10 +28,13 @@ Clock::time_point fake_time(double ms) {
                                    std::chrono::duration<double, std::milli>(ms));
 }
 
-ReadyWindow make_window(std::size_t id, Weather weather) {
+ReadyWindow make_window(std::size_t id, Weather weather, std::uint32_t epoch = 0,
+                        Clock::time_point captured = Clock::time_point{}) {
   ReadyWindow w;
   w.seq = id;  // unique id for conservation tracking
   w.model_weather = weather;
+  w.epoch = epoch;
+  w.captured = captured;
   return w;
 }
 
@@ -180,6 +183,138 @@ TEST(MicroBatcherProperty, DeadlineFiresPartialGroup) {
   EXPECT_TRUE(batch->fired_by_deadline);
   EXPECT_EQ(batch->items.size(), 2u) << "the whole waiting group rides the deadline batch";
   EXPECT_NEAR(batch->max_wait_ms, 5.0, 1e-9);
+}
+
+// Regression: the deadline anchors at the oldest window's CAPTURE time,
+// not its arrival at the batcher. A consumer stalled 50 ms (a blocking
+// model load, a snapshot barrier) must not grant every queued window a
+// fresh deadline budget on top of the wait it already served — that
+// drift compounds across switches.
+TEST(MicroBatcherProperty, DeadlineAnchorsAtCaptureTimeNotArrival) {
+  BatcherConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_batch_delay_ms = 5.0;
+  MicroBatcher batcher(cfg);
+  // Captured at t=1, but the consumer only drains its queue at t=51.
+  batcher.stage(make_window(0, Weather::Rain, 0, fake_time(1.0)), fake_time(51.0));
+  auto batch = batcher.next_due(fake_time(51.0));
+  ASSERT_TRUE(batch.has_value()) << "deadline drifted: budget restarted at arrival";
+  EXPECT_TRUE(batch->fired_by_deadline);
+  EXPECT_NEAR(batch->max_wait_ms, 50.0, 1e-9)
+      << "the wait already served in the queue must count against the budget";
+
+  // A window with no capture stamp (fake-clock harnesses, fail-safe
+  // replays) keeps the old arrival anchor.
+  batcher.stage(make_window(1, Weather::Rain), fake_time(10.0));
+  EXPECT_FALSE(batcher.next_due(fake_time(14.9)).has_value());
+  auto fallback = batcher.next_due(fake_time(15.0));
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_TRUE(fallback->fired_by_deadline);
+}
+
+// A stalled consumer must not let deadline drift accumulate: windows
+// captured at a steady cadence but drained in one burst all fire the
+// moment the consumer looks, each reporting its true capture→fire wait.
+TEST(MicroBatcherProperty, StalledConsumerDoesNotAccumulateDeadlineDrift) {
+  for (std::uint64_t seed = 66; seed <= 75; ++seed) {
+    Rng rng(seed);
+    BatcherConfig cfg;
+    cfg.max_batch = 64;  // only deadlines fire
+    cfg.max_batch_delay_ms = rng.uniform(1.0, 6.0);
+    MicroBatcher batcher(cfg);
+    const double stall_ms = 40.0 + rng.uniform(0.0, 40.0);
+    constexpr std::size_t kWindows = 16;
+    for (std::size_t i = 0; i < kWindows; ++i) {
+      // Captured 1 ms apart while the consumer was stalled (t=0 is the
+      // "unstamped" sentinel, so stamps start at 1).
+      batcher.stage(make_window(i, Weather::Snow, 0, fake_time(1.0 + double(i))),
+                    fake_time(stall_ms));
+    }
+    std::size_t seen = 0;
+    while (auto batch = batcher.next_due(fake_time(stall_ms))) {
+      EXPECT_TRUE(batch->fired_by_deadline);
+      EXPECT_GE(batch->max_wait_ms, stall_ms - double(kWindows))
+          << "seed " << seed << ": drift hid the wait served before arrival";
+      seen += batch->items.size();
+    }
+    EXPECT_EQ(seen, kWindows) << "seed " << seed << ": all overdue windows fire at once";
+  }
+}
+
+// Batches never straddle a switch epoch, even A→B→A: same-weather
+// windows from different epochs must not co-batch (they may be judged
+// under different cache residencies).
+TEST(MicroBatcherProperty, BatchesNeverMixSwitchEpochs) {
+  for (std::uint64_t seed = 76; seed <= 90; ++seed) {
+    Rng rng(seed);
+    BatcherConfig cfg;
+    cfg.max_batch = 1 + rng.uniform_int(std::uint64_t{6});
+    cfg.max_batch_delay_ms = rng.uniform(0.5, 6.0);
+    MicroBatcher batcher(cfg);
+    std::vector<Batch> fired;
+    double clock_ms = 0.0;
+    std::uint32_t epoch = 0;
+    for (std::size_t id = 0; id < 150; ++id) {
+      if (rng.bernoulli(0.15)) ++epoch;  // a switch storm in miniature
+      const Weather w = kWeathers[rng.uniform_int(std::uint64_t{3})];
+      batcher.stage(make_window(id, w, epoch), fake_time(clock_ms));
+      while (auto batch = batcher.next_due(fake_time(clock_ms))) {
+        fired.push_back(std::move(*batch));
+      }
+      clock_ms += rng.uniform(0.0, 2.0);
+    }
+    while (auto batch = batcher.flush()) fired.push_back(std::move(*batch));
+    std::size_t total = 0;
+    for (const Batch& b : fired) {
+      total += b.items.size();
+      for (const ReadyWindow& w : b.items) {
+        ASSERT_EQ(w.model_weather, b.weather) << "seed " << seed;
+        ASSERT_EQ(w.epoch, b.epoch)
+            << "seed " << seed << ": a batch straddled a switch epoch";
+      }
+    }
+    EXPECT_EQ(total, 150u) << "seed " << seed;
+  }
+}
+
+// The servability gate: next_due holds back groups whose weather the
+// predicate rejects (their model is still loading) without starving the
+// servable ones; flush ignores the gate (conservation at end-of-run).
+TEST(MicroBatcherProperty, UnservableGroupsAreHeldBackNotDropped) {
+  BatcherConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_batch_delay_ms = 2.0;
+  MicroBatcher batcher(cfg);
+  bool rain_resident = false;
+  batcher.set_servable([&](Weather w) { return w != Weather::Rain || rain_resident; });
+
+  batcher.stage(make_window(0, Weather::Rain), fake_time(0.0));
+  batcher.stage(make_window(1, Weather::Daytime), fake_time(0.0));
+  EXPECT_EQ(batcher.staged_for(Weather::Rain), 1u);
+
+  // Far past every deadline: only the servable group fires.
+  auto first = batcher.next_due(fake_time(10.0));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->weather, Weather::Daytime);
+  EXPECT_FALSE(batcher.next_due(fake_time(10.0)).has_value())
+      << "an unservable group fired while its model was still loading";
+  EXPECT_FALSE(batcher.empty()) << "held back, not dropped";
+
+  // The load commits: the held group fires with its full served wait.
+  rain_resident = true;
+  auto second = batcher.next_due(fake_time(12.0));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->weather, Weather::Rain);
+  EXPECT_NEAR(second->max_wait_ms, 12.0, 1e-9);
+  EXPECT_TRUE(batcher.empty());
+
+  // flush() drains even unservable groups — end-of-run conservation.
+  rain_resident = false;
+  batcher.stage(make_window(2, Weather::Rain), fake_time(20.0));
+  auto flushed = batcher.flush();
+  ASSERT_TRUE(flushed.has_value());
+  EXPECT_EQ(flushed->weather, Weather::Rain);
+  EXPECT_TRUE(batcher.empty());
 }
 
 }  // namespace
