@@ -1,0 +1,388 @@
+// Partition-tolerance sweep — control-plane fault rate x failure
+// detector, measuring what each detector pays and what it saves.
+//
+// For every fault rate r (a seeded NetFaultPlan mixing drop/dup/delay/
+// reorder scaled by r) and each detector in {hard-threshold, suspicion}
+// the same 4-stream x 2-shard workload is run two ways:
+//   * partition arm — the faulty fabric plus a full two-way partition
+//     window that heals mid-wave, no crash. The hard-threshold detector
+//     false-declares the silent shard (reconciliation saves the run);
+//     the phi-accrual suspicion detector rides the window out. Reported:
+//     false deaths, failovers, partition-window drops.
+//   * kill arm — the faulty fabric plus one planned MidJournalAppend
+//     kill halfway through the busiest shard's appends. Reported:
+//     detection wall (crash instant → declared dead) and recovery wall
+//     per detector — the price suspicion pays for its partition calm.
+// Every arm's merged per-stream decision sequences must be bit-identical
+// to the same-config perfect-network run, and the post-run epoch audit
+// must prove no decision was journaled under a stale ownership epoch —
+// either failure is hard (nonzero exit): a control plane that changes
+// verdicts has no business being benchmarked.
+//
+// Writes the sweep as JSON (default BENCH_partition.json); the perf gate
+// (compare_benches.py) hard-fails on parity/audit violations and on
+// suspicion false deaths, and ceilings the detection walls.
+//
+// Usage: bench_partition [--frames N] [--reps R] [--json PATH]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "fleet/controller.h"
+
+using namespace safecross;
+using namespace safecross::fleet;
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+using runtime::NetFaultPlan;
+using runtime::NetPartition;
+
+ShardSpec tiny_spec() {
+  ShardSpec spec;
+  spec.engine.model.slow_channels = 4;
+  spec.engine.model.fast_channels = 2;
+  spec.weathers = {dataset::Weather::Daytime, dataset::Weather::Rain};
+  return spec;
+}
+
+FleetConfig fleet_config(std::size_t frames) {
+  FleetConfig cfg;
+  cfg.shards = 2;
+  cfg.shard = tiny_spec();
+  cfg.serving.frames = frames;
+  cfg.serving.queue_capacity = 2;
+  cfg.serving.snapshot_every_decisions = 8;
+  cfg.serving.heartbeat_interval_ms = 1.0;
+  cfg.watch_interval_ms = 2.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    serving::StreamConfig s;
+    s.name = "cam" + std::to_string(i);
+    s.weather = i % 2 == 0 ? dataset::Weather::Daytime : dataset::Weather::Rain;
+    s.sim_seed = 81000 + 10 * i;
+    s.collector_seed = 81001 + 10 * i;
+    s.fault_seed = 81002 + 10 * i;
+    s.decision_stride = i % 3 == 0 ? 4 : 8;
+    s.priority = static_cast<core::StreamPriority>(i % 3);
+    cfg.streams.push_back(std::move(s));
+  }
+  return cfg;
+}
+
+/// The seeded per-message fault mix at sweep rate r. Partition windows
+/// are added per-arm.
+NetFaultPlan fault_mix(double rate) {
+  NetFaultPlan plan;
+  plan.seed = 0xBE9C'0001ull;
+  plan.drop_prob = rate;
+  plan.dup_prob = rate / 2.0;
+  plan.delay_prob = rate / 2.0;
+  plan.reorder_prob = rate / 4.0;
+  plan.delay_min_ms = 1.0;
+  plan.delay_max_ms = 4.0;
+  return plan;
+}
+
+void apply_detector(FleetConfig& cfg, DetectorKind kind) {
+  cfg.detector = kind;
+  if (kind == DetectorKind::Suspicion) {
+    // Tuned so the 100 ms partition window below stays under threshold
+    // (phi(140 ms) ~ 2.3) while a genuinely dead shard is declared after
+    // ~240 ms of silence — the detect-wall price the kill arm measures.
+    cfg.suspicion.bootstrap_gap_ms = 60.0;
+    cfg.suspicion.threshold = 4.0;
+    cfg.suspicion.confirm_ticks = 2;
+  }
+}
+
+struct PointResult {
+  double fault_rate = 0.0;
+  DetectorKind detector = DetectorKind::HardThreshold;
+  std::size_t decisions = 0;
+  // partition arm
+  double partition_wall_ms = 0.0;
+  std::size_t false_deaths = 0;
+  std::size_t partition_failovers = 0;
+  std::uint64_t partition_drops = 0;  // transport drops owed to the window
+  // kill arm
+  double kill_wall_ms = 0.0;
+  double detect_ms = 0.0;
+  double recover_ms = 0.0;
+  std::size_t kills_fired = 0;
+  bool parity_ok = false;
+  bool audit_ok = false;
+  int uncaught_exceptions = 0;
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& name)
+      : path(fs::current_path() / "bench_partition_scratch" / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+bool traces_agree(const FleetReport& got, const FleetReport& want) {
+  if (got.streams.size() != want.streams.size()) return false;
+  for (std::size_t i = 0; i < got.streams.size(); ++i) {
+    const auto& gt = got.streams[i].trace;
+    const auto& wt = want.streams[i].trace;
+    if (gt.size() != wt.size()) return false;
+    for (std::size_t s = 0; s < gt.size(); ++s) {
+      if (gt[s].frame != wt[s].frame || gt[s].predicted_class != wt[s].predicted_class ||
+          gt[s].prob_danger != wt[s].prob_danger || gt[s].warn != wt[s].warn ||
+          gt[s].source != wt[s].source) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// The launched-slot index (rank among stream-hosting shards, id order)
+/// and reference decision count of the busiest shard — the only victim
+/// guaranteed to reach a mid-journal kill ordinal.
+std::pair<std::size_t, std::size_t> busiest_slot(const FleetController& ref,
+                                                 std::size_t shards) {
+  std::vector<std::size_t> decisions(shards, 0);
+  std::vector<bool> hosts(shards, false);
+  const auto& assignment = ref.placement();
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    hosts[assignment[i]] = true;
+    decisions[assignment[i]] += ref.report().streams[i].decisions;
+  }
+  std::size_t slot = 0, best_slot = 0, best = 0;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    if (!hosts[shard]) continue;
+    if (decisions[shard] > best) {
+      best = decisions[shard];
+      best_slot = slot;
+    }
+    ++slot;
+  }
+  return {best_slot, best};
+}
+
+PointResult measure_point(const FleetController& reference, double rate,
+                          DetectorKind kind, std::size_t frames) {
+  PointResult r;
+  r.fault_rate = rate;
+  r.detector = kind;
+  r.decisions = reference.report().decisions_total;
+  std::string tag = detector_kind_name(kind);
+  tag += "_r";
+  tag += std::to_string(static_cast<int>(rate * 100));
+  bool parity = true;
+  bool audit = true;
+  try {
+    // Partition arm: faulty fabric + a full two-way window that heals
+    // mid-wave. No crash is planned, so any failover here is a false
+    // declaration that escaped reconciliation.
+    {
+      ScratchDir scratch(tag + "_partition");
+      FleetConfig cfg = fleet_config(frames);
+      cfg.durability_root = scratch.path;
+      cfg.net_fault = fault_mix(rate);
+      cfg.net_fault.partitions.push_back(
+          NetPartition{.from_ms = 40.0, .until_ms = 140.0});
+      apply_detector(cfg, kind);
+      FleetController fleet(cfg);
+      const auto t0 = Clock::now();
+      fleet.run();
+      r.partition_wall_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+      const FleetReport& report = fleet.report();
+      r.false_deaths = report.false_deaths;
+      r.partition_failovers = report.failovers.size();
+      r.partition_drops = report.transport.partitioned;
+      parity = parity && report.reconciled() && report.windows_shed_total == 0 &&
+               traces_agree(report, reference.report());
+      audit = audit && fleet.epoch_audit().ok();
+    }
+
+    // Kill arm: same fabric, one planned mid-journal kill at the busiest
+    // shard — the detection/recovery wall per detector.
+    {
+      const auto [victim, victim_decisions] = busiest_slot(reference, 2);
+      ScratchDir scratch(tag + "_kill");
+      FleetConfig cfg = fleet_config(frames);
+      cfg.durability_root = scratch.path;
+      cfg.net_fault = fault_mix(rate);
+      cfg.fault.enabled = true;
+      apply_detector(cfg, kind);
+      FleetController fleet(cfg);
+      fleet.fault().set_plan(
+          {{.wave = 0,
+            .victim = victim,
+            .point = runtime::CrashPoint::MidJournalAppend,
+            .nth = std::max<std::size_t>(1, victim_decisions / 2)}});
+      const auto t0 = Clock::now();
+      fleet.run();
+      r.kill_wall_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+      r.kills_fired = fleet.kills_fired();
+      const FleetReport& report = fleet.report();
+      for (const FailoverEvent& ev : report.failovers) {
+        r.detect_ms = std::max(r.detect_ms, ev.detect_ms);
+        r.recover_ms = std::max(r.recover_ms, ev.recover_ms);
+      }
+      parity = parity && r.kills_fired == 1 && report.failovers.size() == 1 &&
+               report.reconciled() && traces_agree(report, reference.report());
+      audit = audit && fleet.epoch_audit().ok();
+    }
+    r.parity_ok = parity;
+    r.audit_ok = audit;
+  } catch (const std::exception& e) {
+    ++r.uncaught_exceptions;
+    std::printf("  !! uncaught exception (%s): %s\n", tag.c_str(), e.what());
+  }
+  return r;
+}
+
+void print_point(const PointResult& r) {
+  std::printf("  %5.2f %10s %6zu %9.1f %6zu %6zu %8llu %9.1f %9.1f %9.2f %6s %5s %4d\n",
+              r.fault_rate, detector_kind_name(r.detector), r.decisions,
+              r.partition_wall_ms, r.false_deaths, r.partition_failovers,
+              static_cast<unsigned long long>(r.partition_drops), r.kill_wall_ms,
+              r.detect_ms, r.recover_ms, r.parity_ok ? "ok" : "FAIL",
+              r.audit_ok ? "ok" : "FAIL", r.uncaught_exceptions);
+}
+
+void json_point(std::FILE* f, const PointResult& r, bool last) {
+  std::fprintf(f,
+               "    {\"fault_rate\": %.2f, \"detector\": \"%s\", \"decisions\": %zu, "
+               "\"partition_wall_ms\": %.2f, \"false_deaths\": %zu, "
+               "\"partition_failovers\": %zu, \"partition_drops\": %llu, "
+               "\"kill_wall_ms\": %.2f, \"detect_ms\": %.3f, \"recover_ms\": %.3f, "
+               "\"kills_fired\": %zu, \"parity_ok\": %s, \"audit_ok\": %s, "
+               "\"uncaught_exceptions\": %d}%s\n",
+               r.fault_rate, detector_kind_name(r.detector), r.decisions,
+               r.partition_wall_ms, r.false_deaths, r.partition_failovers,
+               static_cast<unsigned long long>(r.partition_drops), r.kill_wall_ms,
+               r.detect_ms, r.recover_ms, r.kills_fired, r.parity_ok ? "true" : "false",
+               r.audit_ok ? "true" : "false", r.uncaught_exceptions, last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::quiet_logs();
+  std::size_t frames = 30 * 60;  // one simulated minute per stream
+  std::size_t reps = 2;          // median-of-N wall for the reference arm
+  std::string json_path = "BENCH_partition.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
+      frames = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = static_cast<std::size_t>(std::atoll(argv[++i]));
+      if (reps == 0) reps = 1;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::printf("usage: %s [--frames N] [--reps R] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::print_header("Partition tolerance: fault rate x failure detector");
+  std::printf("  %zu frames per stream, 4 streams x 2 shards\n", frames);
+
+  // Perfect-network reference: the parity oracle for every arm, and the
+  // placement the kill plans are derived from.
+  std::vector<double> walls;
+  std::unique_ptr<FleetController> reference;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    reference = std::make_unique<FleetController>(fleet_config(frames));
+    const auto t0 = Clock::now();
+    reference->run();
+    walls.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+  }
+  const double reference_wall_ms = median(walls);
+  std::printf("  reference: %zu decisions, %.1f ms\n",
+              reference->report().decisions_total, reference_wall_ms);
+
+  std::printf("  %5s %10s %6s %9s %6s %6s %8s %9s %9s %9s %6s %5s %4s\n", "rate",
+              "detector", "decis", "part-ms", "false", "fails", "pdrops", "kill-ms",
+              "detect-ms", "recov-ms", "parity", "audit", "exc");
+
+  std::vector<PointResult> results;
+  bool all_parity = true;
+  bool all_audit = true;
+  int total_exceptions = 0;
+  std::size_t suspicion_false_deaths = 0;
+  std::size_t hard_false_deaths = 0;
+  double suspicion_detect_max = 0.0;
+  double hard_detect_max = 0.0;
+  for (const double rate : {0.0, 0.1, 0.25}) {
+    for (const DetectorKind kind :
+         {DetectorKind::HardThreshold, DetectorKind::Suspicion}) {
+      results.push_back(measure_point(*reference, rate, kind, frames));
+      const PointResult& r = results.back();
+      print_point(r);
+      all_parity = all_parity && r.parity_ok;
+      all_audit = all_audit && r.audit_ok;
+      total_exceptions += r.uncaught_exceptions;
+      if (kind == DetectorKind::Suspicion) {
+        suspicion_false_deaths += r.false_deaths;
+        suspicion_detect_max = std::max(suspicion_detect_max, r.detect_ms);
+      } else {
+        hard_false_deaths += r.false_deaths;
+        hard_detect_max = std::max(hard_detect_max, r.detect_ms);
+      }
+    }
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"partition\",\n  \"frames_per_stream\": %zu,\n"
+               "  \"reference_wall_ms\": %.2f,\n",
+               frames, reference_wall_ms);
+  std::fprintf(f, "  \"parity_ok\": %s,\n", all_parity ? "true" : "false");
+  std::fprintf(f, "  \"audit_ok\": %s,\n", all_audit ? "true" : "false");
+  std::fprintf(f, "  \"uncaught_exceptions_total\": %d,\n", total_exceptions);
+  std::fprintf(f, "  \"suspicion_false_deaths_total\": %zu,\n", suspicion_false_deaths);
+  std::fprintf(f, "  \"hard_false_deaths_total\": %zu,\n", hard_false_deaths);
+  std::fprintf(f, "  \"suspicion_detect_ms_max\": %.3f,\n", suspicion_detect_max);
+  std::fprintf(f, "  \"hard_detect_ms_max\": %.3f,\n  \"points\": [\n", hard_detect_max);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    json_point(f, results[i], i + 1 == results.size());
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("  wrote %s\n", json_path.c_str());
+
+  std::error_code ec;
+  fs::remove_all(fs::current_path() / "bench_partition_scratch", ec);
+  if (!all_parity || !all_audit) {
+    std::printf("  !! %s FAILURE: a faulted fleet diverged from the perfect-network\n"
+                "     run or journaled under a stale epoch — timings are meaningless.\n",
+                all_parity ? "EPOCH AUDIT" : "PARITY");
+    return 1;
+  }
+  return total_exceptions == 0 ? 0 : 1;
+}

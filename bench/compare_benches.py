@@ -25,6 +25,14 @@ Compares freshly produced bench JSON against bench/baselines/ and fails
     times are gated against a generous ceiling — max(500 ms, 10x the
     baseline) — because they are wall-clock and machine-dependent, but a
     10x blowup means the heartbeat watch loop or recovery path broke.
+  * BENCH_partition.json (custom format): hard fail on parity_ok ==
+    false (every faulted-fabric arm must merge bit-identical decision
+    sequences), audit_ok == false (no decision journaled under a stale
+    ownership epoch), uncaught exceptions, or ANY suspicion-detector
+    false death (the phi-accrual detector must ride out a healed
+    partition — absolute zero, not baseline-relative). Both detectors'
+    detection walls get the same generous max(500 ms, 10x baseline)
+    ceiling as the fleet gate.
   * BENCH_switch.json (custom format): hard fail on parity_ok == false
     (both batched switch arms must stay bit-identical, lineage included,
     to the switch-free oracle) or uncaught exceptions. Gated on
@@ -42,7 +50,7 @@ Usage:
 Refreshing baselines (after an intentional perf change):
   bench/run_benches.sh --smoke && \
       cp BENCH_micro_nn.json BENCH_multistream.json BENCH_drift.json \
-         BENCH_fleet.json BENCH_switch.json bench/baselines/
+         BENCH_fleet.json BENCH_partition.json BENCH_switch.json bench/baselines/
 Commit the result in the same PR as the change that shifted the numbers,
 and say why in the PR description.
 
@@ -189,6 +197,51 @@ def gate_fleet(baseline_path, fresh_path, threshold):
     return failures
 
 
+def gate_partition(baseline_path, fresh_path, threshold):
+    del threshold  # the partition gate uses its own absolute-floor ceilings
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    failures = []
+    print("-- partition gate")
+    if not fresh.get("parity_ok", False):
+        failures.append("partition: a faulted fleet diverged from the perfect-network "
+                        "run (merged sequences not bit-identical)")
+    if not fresh.get("audit_ok", False):
+        failures.append("partition: the epoch audit found a decision journaled under "
+                        "a stale ownership epoch")
+    if fresh.get("uncaught_exceptions_total", 0) != 0:
+        failures.append("partition: uncaught exceptions during the sweep")
+    # The headline claim: the suspicion detector rides out a healed
+    # partition without ever false-declaring a shard dead. Absolute zero,
+    # not baseline-relative — one false death is a regression.
+    sfd = fresh.get("suspicion_false_deaths_total")
+    if sfd is None:
+        failures.append("partition: suspicion_false_deaths_total missing")
+    elif sfd != 0:
+        failures.append(f"partition: suspicion detector false-declared {sfd} "
+                        "partitioned shard(s) dead")
+    else:
+        print(f"   {'ok':8s} suspicion_false_deaths_total: {sfd}")
+    # Detection-wall ceilings, deliberately loose (same shape as the
+    # fleet gate): an absolute 500 ms floor for slow-but-sane runners,
+    # 10x baseline so a broken detector cannot hide behind it.
+    for key in ("hard_detect_ms_max", "suspicion_detect_ms_max"):
+        base, new = baseline.get(key), fresh.get(key)
+        if base is None or new is None:
+            failures.append(f"partition: {key} missing (baseline: {base}, fresh: {new})")
+            continue
+        ceiling = max(500.0, 10.0 * base)
+        verdict = "FAIL" if new > ceiling else "ok"
+        print(f"   {verdict:8s} {key}: {base:.1f} ms -> {new:.1f} ms "
+              f"(ceiling {ceiling:.0f} ms)")
+        if verdict == "FAIL":
+            failures.append(f"{key}: {base:.1f} ms -> {new:.1f} ms "
+                            f"(ceiling {ceiling:.0f} ms)")
+    return failures
+
+
 def gate_switch(baseline_path, fresh_path, threshold):
     with open(baseline_path) as f:
         baseline = json.load(f)
@@ -237,6 +290,7 @@ def main():
                        ("BENCH_multistream.json", gate_multistream),
                        ("BENCH_drift.json", gate_drift),
                        ("BENCH_fleet.json", gate_fleet),
+                       ("BENCH_partition.json", gate_partition),
                        ("BENCH_switch.json", gate_switch)):
         baseline, fresh = args.baseline_dir / name, args.fresh_dir / name
         if not baseline.exists():

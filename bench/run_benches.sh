@@ -168,6 +168,24 @@ if [[ -x "$fleet_bin" ]]; then
   ran=$((ran + 1))
 fi
 
+# Partition-tolerance sweep: control-plane fault rate x failure detector
+# (hard-threshold vs phi-accrual suspicion), partition-heal and one-kill
+# arms. Writes its JSON itself; exits non-zero if any faulted arm's
+# merged decision sequences diverge from the perfect-network run or the
+# epoch audit finds a decision journaled under a stale ownership epoch.
+partition_bin="$build_dir/bench/bench_partition"
+if [[ -x "$partition_bin" ]]; then
+  partition_args=(--json BENCH_partition.json)
+  if [[ $smoke -eq 1 ]]; then
+    # Half a simulated minute, one reference rep: a "do both detectors
+    # still hold parity and fencing" guard, not a perf measurement.
+    partition_args+=(--frames 900 --reps 1)
+  fi
+  echo "== bench_partition -> BENCH_partition.json"
+  "$partition_bin" "${partition_args[@]}"
+  ran=$((ran + 1))
+fi
+
 # Durability sweep: snapshot interval x journal fsync policy, steady-state
 # overhead vs recovery time. Writes its JSON itself; exits non-zero if a
 # killed-and-recovered run diverges from the uninterrupted baseline.

@@ -1,0 +1,60 @@
+#include "fleet/dynamic_admission.h"
+
+#include <algorithm>
+
+#include "fleet/placement.h"
+
+namespace safecross::fleet {
+
+DynamicAdmission::Action DynamicAdmission::observe(double latency_watermark_ms) {
+  if (!config_.enabled) return Action::None;
+  if (latency_watermark_ms > config_.degrade_watermark_ms) {
+    ++hot_;
+    cool_ = 0;
+  } else if (latency_watermark_ms <= config_.undegrade_watermark_ms) {
+    ++cool_;
+    hot_ = 0;
+  } else {
+    // In-band (including exactly at the degrade watermark): ambiguity
+    // interrupts both streaks — the no-flapping guarantee.
+    hot_ = 0;
+    cool_ = 0;
+  }
+  if (degraded_ < config_.max_degraded && hot_ >= config_.breach_streak) {
+    hot_ = 0;
+    ++degraded_;
+    ++degrades_;
+    return Action::Degrade;
+  }
+  if (degraded_ > 0 && cool_ >= config_.recover_streak) {
+    cool_ = 0;
+    --degraded_;
+    ++undegrades_;
+    return Action::Undegrade;
+  }
+  return Action::None;
+}
+
+std::vector<std::string> degrade_order(const std::vector<serving::StreamConfig>& streams) {
+  // Same sacrifice order as static admission: lowest tier first, heaviest
+  // first within a tier, name ascending as the tie-break; Critical never.
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    if (streams[i].priority != core::StreamPriority::Critical) candidates.push_back(i);
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](std::size_t a, std::size_t b) {
+    if (streams[a].priority != streams[b].priority) {
+      return static_cast<int>(streams[a].priority) > static_cast<int>(streams[b].priority);
+    }
+    const double wa = stream_weight(streams[a]);
+    const double wb = stream_weight(streams[b]);
+    if (wa != wb) return wa > wb;
+    return streams[a].name < streams[b].name;
+  });
+  std::vector<std::string> order;
+  order.reserve(candidates.size());
+  for (std::size_t i : candidates) order.push_back(streams[i].name);
+  return order;
+}
+
+}  // namespace safecross::fleet

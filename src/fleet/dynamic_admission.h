@@ -1,0 +1,79 @@
+#pragma once
+// Watermark-driven dynamic admission: the gray-failure fidelity valve.
+//
+// Static admission (admission.h) degrades streams once, at placement
+// time, as a pure function of the config — parity-safe but blind to a
+// shard that turns slow mid-run. DynamicAdmission closes that gap: the
+// controller feeds it each shard's heartbeat latency watermark, and it
+// answers with Degrade/Undegrade actions the controller applies through
+// ShardHost::set_stream_degraded (the stream's live_degraded gate).
+//
+// Hysteresis discipline, pinned by tests/test_dynamic_admission.cpp:
+//   * a sample strictly ABOVE degrade_watermark_ms is a breach; a sample
+//     AT the watermark is in-band — so a shard sitting exactly on the
+//     line flaps nothing;
+//   * a sample at/below undegrade_watermark_ms (set it strictly below
+//     the degrade mark) is a cool sample;
+//   * in-band samples reset BOTH streaks: neither escalation nor
+//     recovery may ride a streak interrupted by ambiguity;
+//   * Degrade fires after breach_streak consecutive breaches,
+//     Undegrade after recover_streak consecutive cools — asymmetric on
+//     purpose (degrade fast, recover slow).
+//
+// Victim selection reuses static admission's sacrifice order: BestEffort
+// before Standard, heaviest first, name tie-break — and Critical streams
+// are NEVER degraded, even when every other stream already is.
+//
+// Live degradation is wall-clock reactive and therefore NOT part of the
+// deterministic parity contract; chaos parity runs keep it disabled.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "serving/stream.h"
+
+namespace safecross::fleet {
+
+struct DynamicAdmissionConfig {
+  bool enabled = false;
+  double degrade_watermark_ms = 0.0;    // strictly above → breach
+  double undegrade_watermark_ms = 0.0;  // at/below → cool
+  std::size_t breach_streak = 3;   // consecutive breaches → Degrade
+  std::size_t recover_streak = 5;  // consecutive cools → Undegrade
+  /// Streams this shard may hold degraded at once (degrade_order caps
+  /// what is eligible anyway — Critical never appears in it).
+  std::size_t max_degraded = 1;
+};
+
+/// Per-shard hysteresis state machine. The controller owns one per
+/// launched incarnation and applies the actions it emits.
+class DynamicAdmission {
+ public:
+  enum class Action { None, Degrade, Undegrade };
+
+  explicit DynamicAdmission(DynamicAdmissionConfig config) : config_(config) {}
+
+  /// Feed one heartbeat's latency watermark; returns the action due now.
+  Action observe(double latency_watermark_ms);
+
+  std::size_t degraded() const { return degraded_; }
+  std::size_t degrades() const { return degrades_; }
+  std::size_t undegrades() const { return undegrades_; }
+  const DynamicAdmissionConfig& config() const { return config_; }
+
+ private:
+  DynamicAdmissionConfig config_;
+  std::size_t hot_ = 0;       // consecutive breach samples
+  std::size_t cool_ = 0;      // consecutive cool samples
+  std::size_t degraded_ = 0;  // streams currently held degraded
+  std::size_t degrades_ = 0;
+  std::size_t undegrades_ = 0;
+};
+
+/// The sacrifice order for live degradation on one shard: BestEffort
+/// first, then Standard, heaviest first within a tier, name as the
+/// deterministic tie-break. Critical streams are excluded entirely.
+std::vector<std::string> degrade_order(const std::vector<serving::StreamConfig>& streams);
+
+}  // namespace safecross::fleet

@@ -46,6 +46,26 @@ void print_fleet_report(std::ostream& os, const FleetReport& report) {
        << sh.queue_high_water << ", latency watermark " << std::fixed
        << std::setprecision(2) << sh.latency_watermark_ms << " ms\n";
   }
+  if (report.transport.sent > 0) {
+    const runtime::LinkStats& t = report.transport;
+    os << "  transport: " << t.sent << " sent, " << t.delivered << " delivered, "
+       << t.dropped << " dropped (" << t.partitioned << " to partitions), "
+       << t.duplicated << " duplicated, " << t.delayed << " delayed, " << t.reordered
+       << " reordered; " << report.transport_fallbacks << " console-cable fallback(s)\n";
+  }
+  if (report.false_deaths > 0) {
+    os << "  false deaths: " << report.false_deaths
+       << " (declared dead, actually completed — reconciled, not failed over)\n";
+  }
+  if (report.live_degrades + report.live_undegrades > 0) {
+    os << "  dynamic admission: " << report.live_degrades << " degrade(s), "
+       << report.live_undegrades << " recovery(ies)\n";
+  }
+  for (const DrainEvent& d : report.drains) {
+    os << "  live drain: wave " << d.wave << " shard " << d.from_shard << " -> shard "
+       << d.to_shard << ", " << d.streams_moved << " stream(s) in " << std::fixed
+       << std::setprecision(1) << d.request_ms << " ms\n";
+  }
   for (const FailoverEvent& f : report.failovers) {
     os << "  failover: wave " << f.wave << " shard " << f.shard << " died at "
        << runtime::crash_point_name(f.point) << "; detected " << std::fixed

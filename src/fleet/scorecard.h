@@ -18,6 +18,7 @@
 
 #include "core/stream_policy.h"
 #include "runtime/health_monitor.h"
+#include "runtime/message_channel.h"
 #include "serving/stream.h"
 #include "serving/stream_server.h"
 
@@ -50,6 +51,16 @@ struct FailoverEvent {
   double recover_ms = 0.0;  // recover() + drain_streams() wall time
   std::size_t streams_moved = 0;
   serving::RecoveryReport recovery;
+};
+
+/// One live (cooperative) drain the controller orchestrated: a gray
+/// shard handed streams to an idle peer mid-run, no crash, no recovery.
+struct DrainEvent {
+  std::size_t wave = 0;        // fleet wave the drain interrupted
+  std::size_t from_shard = 0;
+  std::size_t to_shard = 0;
+  std::size_t streams_moved = 0;
+  double request_ms = 0.0;  // trigger → hand-offs received (wall)
 };
 
 /// One stream's final, merged outcome (after any number of hand-offs).
@@ -90,6 +101,7 @@ struct FleetReport {
   std::vector<StreamResult> streams;
   std::vector<ShardSummary> shards;
   std::vector<FailoverEvent> failovers;
+  std::vector<DrainEvent> drains;  // live drains (no recovery involved)
   RecoveryDamage damage;
   std::size_t streams_degraded = 0;
   std::size_t windows_produced_total = 0;
@@ -99,6 +111,17 @@ struct FleetReport {
   std::size_t degraded_decisions_total = 0;
   std::size_t windows_shed_total = 0;  // must stay 0
   std::size_t uncaught_exceptions = 0;  // non-injected shard deaths
+  /// Shards declared dead by the failure detector that had in fact
+  /// completed — the false-positive count the suspicion detector exists
+  /// to drive to zero (reconciliation kept them from failing over).
+  std::size_t false_deaths = 0;
+  /// Control commands the faulty fabric ate past RpcPolicy::max_attempts,
+  /// delivered over the reliable local path instead ("console cable").
+  std::size_t transport_fallbacks = 0;
+  std::size_t live_degrades = 0;    // dynamic-admission degrade actions applied
+  std::size_t live_undegrades = 0;  // ...and recoveries
+  /// Delivery accounting summed over every control-plane link.
+  runtime::LinkStats transport;
 
   /// The no-window-silently-dropped invariant: every produced window was
   /// decided, nothing was shed, every opportunity produced a window.

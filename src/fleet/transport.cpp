@@ -1,0 +1,43 @@
+#include "fleet/transport.h"
+
+#include "fleet/shard.h"
+
+namespace safecross::fleet {
+
+const char* fleet_msg_type_name(FleetMsgType t) {
+  switch (t) {
+    case FleetMsgType::Heartbeat: return "heartbeat";
+    case FleetMsgType::PlacementCmd: return "placement-cmd";
+    case FleetMsgType::PlacementAck: return "placement-ack";
+    case FleetMsgType::DrainRequest: return "drain-request";
+    case FleetMsgType::DrainComplete: return "drain-complete";
+    case FleetMsgType::DrainAck: return "drain-ack";
+  }
+  return "?";
+}
+
+FleetTransport::FleetTransport(runtime::NetFaultPlan plan, std::size_t shards)
+    : fabric_(std::move(plan)) {
+  up_.reserve(shards);
+  down_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    up_.push_back(std::make_unique<Channel>(&fabric_, s,
+                                            runtime::FaultFabric::Direction::ToController));
+    down_.push_back(std::make_unique<Channel>(&fabric_, s,
+                                              runtime::FaultFabric::Direction::ToShard));
+  }
+}
+
+void FleetTransport::close_all() {
+  for (auto& c : up_) c->close();
+  for (auto& c : down_) c->close();
+}
+
+runtime::LinkStats FleetTransport::total_stats() const {
+  runtime::LinkStats total;
+  for (const auto& c : up_) total += c->stats();
+  for (const auto& c : down_) total += c->stats();
+  return total;
+}
+
+}  // namespace safecross::fleet

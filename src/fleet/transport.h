@@ -1,0 +1,84 @@
+#pragma once
+// The fleet control plane's wire format and link fabric.
+//
+// Every FleetController ↔ ShardHost exchange rides a FleetMsg over a
+// runtime::MessageChannel pair per shard (uplink shard→controller,
+// downlink controller→shard), all sharing one FaultFabric so a seeded
+// NetFaultPlan perturbs the whole control plane coherently. With the
+// default (all-zero) plan the fabric is perfect and the fleet behaves
+// exactly as the pre-transport in-process implementation did.
+//
+// Reliability discipline (datagram fabric — see message_channel.h):
+//   * commands (PlacementCmd, DrainRequest) carry a req_id; the receiver
+//     acks (PlacementAck / DrainComplete) and dedupes re-sends;
+//   * the controller retries unacked commands per RpcPolicy and, after
+//     max_attempts, falls back to the shard agent's local queue — the
+//     "console cable": in a real deployment this is the operator path
+//     that bypasses the flaky fabric; here it guarantees liveness under
+//     a total permanent partition so a chaos run always terminates;
+//   * DrainComplete (which carries stream hand-off state) is
+//     retransmitted by the shard agent until a DrainAck lands; the
+//     controller dedupes by req_id and discards duplicated hand-offs by
+//     ownership epoch — at-most-once adoption under duplication and
+//     reordering.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/heartbeat.h"
+#include "runtime/message_channel.h"
+#include "serving/stream_server.h"
+
+namespace safecross::fleet {
+
+struct ShardAssignment;  // fleet/shard.h (which includes this header)
+
+enum class FleetMsgType : std::uint8_t {
+  Heartbeat = 0,      // shard → controller: liveness + progress + watermarks
+  PlacementCmd = 1,   // controller → shard: run this assignment
+  PlacementAck = 2,   // shard → controller: assignment accepted (req_id)
+  DrainRequest = 3,   // controller → shard: hand these streams off live
+  DrainComplete = 4,  // shard → controller: the drained hand-offs (req_id)
+  DrainAck = 5,       // controller → shard: hand-offs received, stop resending
+};
+
+const char* fleet_msg_type_name(FleetMsgType t);
+
+/// One control-plane datagram. Copyable by design: the fault fabric
+/// duplicates and the rpc layer retransmits. Only the fields relevant to
+/// `type` are populated.
+struct FleetMsg {
+  FleetMsgType type = FleetMsgType::Heartbeat;
+  std::uint64_t req_id = 0;  // command/ack pairing + receiver-side dedupe
+  std::size_t shard = 0;     // sender (uplink) or addressee (downlink)
+  runtime::Heartbeat beat;                            // Heartbeat
+  std::shared_ptr<const ShardAssignment> assignment;  // PlacementCmd (immutable payload)
+  std::vector<std::size_t> drain_streams;             // DrainRequest (local indices)
+  std::vector<serving::StreamHandoff> handoffs;       // DrainComplete
+};
+
+/// The star: one uplink + one downlink per shard, one shared fabric.
+class FleetTransport {
+ public:
+  using Channel = runtime::MessageChannel<FleetMsg>;
+
+  FleetTransport(runtime::NetFaultPlan plan, std::size_t shards);
+
+  Channel& uplink(std::size_t shard) { return *up_[shard]; }
+  Channel& downlink(std::size_t shard) { return *down_[shard]; }
+  runtime::FaultFabric& fabric() { return fabric_; }
+
+  /// Close every channel (wakes blocked receivers; sends become no-ops).
+  void close_all();
+  /// Delivery accounting summed over every link, both directions.
+  runtime::LinkStats total_stats() const;
+
+ private:
+  runtime::FaultFabric fabric_;
+  std::vector<std::unique_ptr<Channel>> up_;
+  std::vector<std::unique_ptr<Channel>> down_;
+};
+
+}  // namespace safecross::fleet

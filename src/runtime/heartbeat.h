@@ -18,6 +18,14 @@
 //   * the controller drains with pop(0ms) — it must never block on a
 //     sick shard's queue.
 //
+// Close semantics (pinned by test_heartbeat_close.cpp): close() is a
+// *publisher-side* seal. Beats already buffered at close survive and
+// remain drainable — the controller's last look at a finished shard must
+// see the final beats, not an empty channel — while publish() after
+// close is a silent no-op: it returns false, buffers nothing, and counts
+// nothing (neither beats_published() nor beats_evicted() moves). A late
+// beat from a shard's dying breath must not masquerade as an eviction.
+//
 // Heartbeats are observability-only: nothing decision-bearing flows
 // through this channel, so wall-clock jitter here can never perturb the
 // deterministic verdict streams.
@@ -32,6 +40,7 @@ namespace safecross::runtime {
 
 struct Heartbeat {
   std::size_t shard = 0;            // publishing shard's index
+  std::uint64_t incarnation = 0;    // host-monotonic incarnation ordinal
   std::uint64_t seq = 0;            // beat ordinal, monotonic per incarnation
   std::uint64_t decisions = 0;      // decisions applied so far (progress)
   std::size_t queue_depth = 0;      // inflight windows across stream queues
@@ -44,8 +53,10 @@ class HeartbeatChannel {
 
   /// Shard side. Never blocks: try_push first, evict-oldest when the
   /// controller has fallen behind. Returns false when a stale beat was
-  /// evicted (or the channel is closed) — purely informational.
+  /// evicted or the channel is closed — purely informational. After
+  /// close() this is a pure no-op: nothing buffered, nothing counted.
   bool publish(Heartbeat hb) {
+    if (q_.closed()) return false;
     if (q_.try_push(hb)) return true;
     q_.push_drop_oldest(hb);
     return false;
@@ -62,7 +73,9 @@ class HeartbeatChannel {
     return latest;
   }
 
+  /// Seal the publisher side. Buffered beats stay drainable via take().
   void close() { q_.close(); }
+  bool closed() const { return q_.closed(); }
   std::size_t beats_published() const { return q_.pushed(); }
   std::size_t beats_evicted() const { return q_.shed(); }
 

@@ -42,6 +42,7 @@ bool decode_body(common::StateReader& r, JournalRecord& out) {
     d.warn = r.boolean();
     d.source = r.u8();
     d.latency_ms = r.f64();
+    d.owner_epoch = r.u64();
   } else if (type == static_cast<std::uint8_t>(JournalRecordType::ModelSwitch)) {
     out.type = JournalRecordType::ModelSwitch;
     SwitchEntry& s = out.model_switch;
@@ -127,6 +128,7 @@ std::string Journal::encode(const JournalRecord& record) {
     payload.boolean(d.warn);
     payload.u8(d.source);
     payload.f64(d.latency_ms);
+    payload.u64(d.owner_epoch);
   } else if (record.type == JournalRecordType::ModelSwitch) {
     const SwitchEntry& s = record.model_switch;
     payload.u8(s.weather);

@@ -77,6 +77,11 @@ struct DecisionEntry {
   bool warn = true;
   std::uint8_t source = 0;  // runtime::DecisionSource
   double latency_ms = 0.0;
+  // Ownership epoch the serving incarnation held when it decided (fleet
+  // split-brain fencing, DESIGN.md §16). 0 = pre-fleet standalone serving;
+  // the fleet mints epochs starting at 1. The post-run epoch audit walks
+  // journals and rejects any decision recorded under a stale epoch.
+  std::uint64_t owner_epoch = 0;
 };
 
 /// One actual engine model swap (audit trail for the switch-amortisation
@@ -126,7 +131,7 @@ struct JournalRecord {
 class Journal {
  public:
   static constexpr std::uint32_t kMagic = 0x4C4A5853u;  // "SXJL"
-  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint32_t kVersion = 2;  // v2: DecisionEntry.owner_epoch
   static constexpr std::size_t kHeaderBytes = 8;
   static constexpr std::size_t kMaxRecordBytes = 1u << 20;
 

@@ -1,0 +1,96 @@
+#include "runtime/message_channel.h"
+
+namespace safecross::runtime {
+
+namespace {
+
+/// splitmix64: the per-message fate generator. Statelessly mixes
+/// (seed, link, ordinal) so fates are reproducible regardless of thread
+/// interleaving — two runs with the same plan fault the same ordinals.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+}
+
+}  // namespace
+
+FaultFabric::FaultFabric(NetFaultPlan plan)
+    : plan_(std::move(plan)), epoch_(std::chrono::steady_clock::now()) {}
+
+double FaultFabric::now_ms() const {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   epoch_)
+      .count();
+}
+
+bool FaultFabric::partitioned_now(std::size_t shard, Direction direction,
+                                  double now) const {
+  for (const NetPartition& p : plan_.partitions) {
+    if (p.shard != NetPartition::kAllLinks && p.shard != shard) continue;
+    if (p.wave != NetPartition::kAnyWave && p.wave != wave()) continue;
+    if (now < p.from_ms || now >= p.until_ms) continue;
+    if (p.direction == NetPartition::Direction::Both) return true;
+    if (p.direction == NetPartition::Direction::ToController &&
+        direction == Direction::ToController) {
+      return true;
+    }
+    if (p.direction == NetPartition::Direction::ToShard &&
+        direction == Direction::ToShard) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultFabric::Fate FaultFabric::fate(std::size_t shard, Direction direction) {
+  Fate f;
+  std::uint64_t ordinal = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shard >= counters_.size()) counters_.resize(shard + 1, {0, 0});
+    ordinal = counters_[shard][static_cast<std::size_t>(direction)]++;
+  }
+  if (partitioned_now(shard, direction, now_ms())) {
+    f.drop = true;
+    f.partitioned = true;
+    return f;
+  }
+  const std::uint64_t h = mix64(plan_.seed ^ mix64((shard << 2) |
+                                                   static_cast<std::uint64_t>(direction)) ^
+                                mix64(ordinal));
+  // Independent sub-draws from one hash: disjoint bit lanes re-mixed.
+  const double u_drop = unit(mix64(h ^ 0x1ull));
+  const double u_dup = unit(mix64(h ^ 0x2ull));
+  const double u_delay = unit(mix64(h ^ 0x3ull));
+  const double u_reorder = unit(mix64(h ^ 0x4ull));
+  const double u_amount = unit(mix64(h ^ 0x5ull));
+  if (u_drop < plan_.drop_prob) {
+    f.drop = true;
+    return f;
+  }
+  const double span = plan_.delay_max_ms > plan_.delay_min_ms
+                          ? plan_.delay_max_ms - plan_.delay_min_ms
+                          : 0.0;
+  if (u_delay < plan_.delay_prob) {
+    f.delay_ms = plan_.delay_min_ms + u_amount * span;
+  }
+  if (u_reorder < plan_.reorder_prob) {
+    // Hold just long enough for the next message(s) to overtake.
+    f.reorder = true;
+    f.delay_ms += plan_.delay_min_ms > 0.0 ? plan_.delay_min_ms : 1.0;
+  }
+  if (u_dup < plan_.dup_prob) {
+    f.duplicate = true;
+    // The ghost copy lands after the primary, like a late retransmit.
+    f.dup_delay_ms = f.delay_ms + (plan_.delay_min_ms > 0.0 ? plan_.delay_min_ms : 1.0);
+  }
+  return f;
+}
+
+}  // namespace safecross::runtime

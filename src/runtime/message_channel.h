@@ -1,0 +1,293 @@
+#pragma once
+// Fault-injectable point-to-point transport for the fleet control plane.
+//
+// Every FleetController ↔ ShardHost exchange (heartbeats, placement
+// commands, drain requests, hand-off transfers) flows through a
+// MessageChannel instead of a direct function call, so the control plane
+// can be tested against the failure modes a real multi-machine
+// deployment faces: lost, delayed, duplicated and reordered messages,
+// one-way and full partitions — all *seeded* through a NetFaultPlan so a
+// chaos run is reproducible bit-for-bit.
+//
+// Topology is a star: the controller sits on one end of every link, a
+// shard on the other. A link is identified by (shard id, direction);
+// FaultFabric derives each message's fate deterministically from
+// (plan.seed, shard, direction, per-link send ordinal), never from wall
+// clock — except partitions, which are *windows* on the fabric clock
+// (ms since the fabric was built) and/or scoped to a fleet wave, because
+// a partition is a condition of the world, not of a message.
+//
+// Delivery semantics mirror a UDP-ish datagram fabric:
+//   * send() never blocks and never fails visibly — fate is applied
+//     silently (the sender cannot know a packet died);
+//   * recv()/try_recv() deliver in deliver_at order, so a delayed or
+//     reordered message genuinely arrives late / out of order;
+//   * duplication re-enqueues a copy with its own (slightly later)
+//     delivery time, the classic retransmit-ghost shape.
+//
+// Reliability is therefore the *caller's* job: the fleet layer wraps
+// every command in request-id + ack + retry-with-backoff (RpcPolicy),
+// and every consumer dedupes by request id — exactly the discipline a
+// socket transport would force. With a default (all-zero) plan the
+// fabric is perfect: every message delivers immediately, in order,
+// exactly once — which is how the non-chaos fleet paths run.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace safecross::runtime {
+
+/// One partition window: messages on the matching link(s) in the blocked
+/// direction(s) are dropped while the window is open. `shard` narrows to
+/// one controller↔shard link (kAllLinks = every link); `wave` narrows to
+/// one fleet wave (kAnyWave = any). The window is [from_ms, until_ms) on
+/// the fabric clock.
+struct NetPartition {
+  static constexpr std::size_t kAllLinks = std::numeric_limits<std::size_t>::max();
+  static constexpr std::size_t kAnyWave = std::numeric_limits<std::size_t>::max();
+  enum class Direction : std::uint8_t {
+    Both = 0,          // full partition
+    ToController = 1,  // one-way: shard→controller blocked (beats lost)
+    ToShard = 2,       // one-way: controller→shard blocked (commands lost)
+  };
+
+  std::size_t shard = kAllLinks;
+  Direction direction = Direction::Both;
+  double from_ms = 0.0;
+  double until_ms = std::numeric_limits<double>::infinity();
+  std::size_t wave = kAnyWave;
+};
+
+/// Seeded per-message fault mix plus partition windows. All-zero (the
+/// default) means a perfect network.
+struct NetFaultPlan {
+  std::uint64_t seed = 0x9E7F1A57ull;
+  double drop_prob = 0.0;     // message silently lost
+  double dup_prob = 0.0;      // message delivered twice
+  double delay_prob = 0.0;    // message held for delay_min..delay_max ms
+  double reorder_prob = 0.0;  // message held just long enough to be overtaken
+  double delay_min_ms = 1.0;
+  double delay_max_ms = 8.0;
+  std::vector<NetPartition> partitions;
+
+  bool enabled() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0 ||
+           reorder_prob > 0.0 || !partitions.empty();
+  }
+};
+
+/// Per-link delivery accounting, aggregated into the fleet report so a
+/// chaos run shows what the transport did to it.
+struct LinkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;  // envelopes enqueued for the receiver
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t partitioned = 0;  // drops owed to an open partition window
+
+  LinkStats& operator+=(const LinkStats& o) {
+    sent += o.sent;
+    delivered += o.delivered;
+    dropped += o.dropped;
+    duplicated += o.duplicated;
+    delayed += o.delayed;
+    reordered += o.reordered;
+    partitioned += o.partitioned;
+    return *this;
+  }
+};
+
+/// The seeded fate oracle shared by every channel of one fleet. Owns the
+/// fabric clock (epoch = construction) and the current wave (set by the
+/// controller at each wave launch; partitions may be wave-scoped).
+/// fate() is thread-safe; each call consumes one per-link ordinal.
+class FaultFabric {
+ public:
+  enum class Direction : std::uint8_t { ToController = 0, ToShard = 1 };
+
+  struct Fate {
+    bool drop = false;
+    bool partitioned = false;  // implies drop
+    bool duplicate = false;
+    bool reorder = false;
+    double delay_ms = 0.0;      // applied to the primary copy
+    double dup_delay_ms = 0.0;  // applied to the duplicate copy
+  };
+
+  explicit FaultFabric(NetFaultPlan plan);
+
+  /// Current wave for wave-scoped partitions (controller side).
+  void set_wave(std::size_t wave) { wave_.store(wave, std::memory_order_relaxed); }
+  std::size_t wave() const { return wave_.load(std::memory_order_relaxed); }
+
+  /// Milliseconds since the fabric was built (partition-window clock).
+  double now_ms() const;
+
+  /// Decide the fate of the next message on (shard, direction).
+  Fate fate(std::size_t shard, Direction direction);
+
+  const NetFaultPlan& plan() const { return plan_; }
+
+ private:
+  bool partitioned_now(std::size_t shard, Direction direction, double now) const;
+
+  NetFaultPlan plan_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::size_t> wave_{0};
+  std::mutex mu_;  // guards counters_
+  // Per-(shard, direction) send ordinals; grown on demand.
+  std::vector<std::array<std::uint64_t, 2>> counters_;
+};
+
+/// One direction of one controller↔shard link. M must be copyable
+/// (duplication and retransmission both copy).
+template <typename M>
+class MessageChannel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `fabric` may be null → perfect link (no fault plan at all).
+  MessageChannel(FaultFabric* fabric, std::size_t shard, FaultFabric::Direction direction)
+      : fabric_(fabric), shard_(shard), direction_(direction) {}
+
+  MessageChannel(const MessageChannel&) = delete;
+  MessageChannel& operator=(const MessageChannel&) = delete;
+
+  /// Fire-and-forget datagram send; fate applied here. Never blocks.
+  void send(M msg) {
+    FaultFabric::Fate fate;
+    if (fabric_ != nullptr) fate = fabric_->fate(shard_, direction_);
+    const auto now = Clock::now();
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.sent;
+    if (closed_) return;
+    if (fate.drop) {
+      ++stats_.dropped;
+      if (fate.partitioned) ++stats_.partitioned;
+      return;
+    }
+    if (fate.delay_ms > 0.0) ++stats_.delayed;
+    if (fate.reorder) ++stats_.reordered;
+    if (fate.duplicate) {
+      ++stats_.duplicated;
+      enqueue_locked(msg, now, fate.dup_delay_ms);
+    }
+    enqueue_locked(std::move(msg), now, fate.delay_ms);
+    cv_.notify_all();
+  }
+
+  /// Deliver the earliest message whose delivery time has arrived;
+  /// nullopt when nothing is deliverable yet (messages still in flight
+  /// are NOT waited for — the receiver polls on its own cadence, like a
+  /// non-blocking socket read).
+  std::optional<M> try_recv() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return pop_due_locked(Clock::now());
+  }
+
+  /// As try_recv(), but waits up to `timeout` for something to become
+  /// deliverable.
+  std::optional<M> recv(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lk(mu_);
+    const auto deadline = Clock::now() + timeout;
+    for (;;) {
+      if (auto m = pop_due_locked(Clock::now())) return m;
+      if (closed_) return std::nullopt;
+      const auto now = Clock::now();
+      if (now >= deadline) return std::nullopt;
+      auto wait_until = deadline;
+      if (!q_.empty() && q_.front().deliver_at < wait_until) {
+        wait_until = q_.front().deliver_at;
+      }
+      cv_.wait_until(lk, wait_until);
+    }
+  }
+
+  /// Messages queued but not yet deliverable (in flight).
+  std::size_t in_flight() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return q_.size();
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  LinkStats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+
+ private:
+  struct Envelope {
+    M msg;
+    Clock::time_point deliver_at;
+    std::uint64_t order = 0;  // FIFO tie-break for equal delivery times
+  };
+
+  void enqueue_locked(M msg, Clock::time_point now, double delay_ms) {
+    Envelope e{std::move(msg),
+               now + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(delay_ms)),
+               order_++};
+    // Sorted insert by (deliver_at, order): delivery order IS the faulted
+    // order, so a delayed message is genuinely overtaken.
+    auto it = q_.begin();
+    while (it != q_.end() && (it->deliver_at < e.deliver_at ||
+                              (it->deliver_at == e.deliver_at && it->order < e.order))) {
+      ++it;
+    }
+    q_.insert(it, std::move(e));
+    ++stats_.delivered;
+  }
+
+  std::optional<M> pop_due_locked(Clock::time_point now) {
+    if (q_.empty() || q_.front().deliver_at > now) return std::nullopt;
+    M msg = std::move(q_.front().msg);
+    q_.erase(q_.begin());
+    return msg;
+  }
+
+  FaultFabric* fabric_;
+  std::size_t shard_;
+  FaultFabric::Direction direction_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Envelope> q_;
+  std::uint64_t order_ = 0;
+  bool closed_ = false;
+  LinkStats stats_;
+};
+
+/// Retry-with-backoff policy for control-plane RPCs (command + ack over
+/// two MessageChannels). The fleet layer resends an unacked command every
+/// time its deadline lapses, doubling the wait up to max_timeout_ms;
+/// after max_attempts the caller falls back to its reliable path (in
+/// this in-process simulation, direct delivery — the "console cable").
+struct RpcPolicy {
+  double timeout_ms = 8.0;
+  double max_timeout_ms = 64.0;
+  std::size_t max_attempts = 8;
+
+  double timeout_for_attempt(std::size_t attempt) const {
+    double t = timeout_ms;
+    for (std::size_t i = 1; i < attempt && t < max_timeout_ms; ++i) t *= 2.0;
+    return t < max_timeout_ms ? t : max_timeout_ms;
+  }
+};
+
+}  // namespace safecross::runtime

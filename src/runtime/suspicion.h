@@ -1,0 +1,105 @@
+#pragma once
+// Suspicion-based failure detection (phi-accrual style, simplified).
+//
+// The hard-threshold detector the fleet shipped with (N consecutive
+// missed watch ticks → dead) cannot tell *dead* from *partitioned or
+// slow*: a network partition a few ticks long looks exactly like a
+// crash, and the controller pays a full failover for a shard that was
+// about to come back. The accrual detector instead tracks the largest
+// heartbeat inter-arrival gap it has ever observed on the link and
+// scales its suspicion to it:
+//
+//   phi(now) = elapsed_since_last_beat / max(observed_max_gap × slack,
+//                                            bootstrap_floor)
+//
+// A link that has already survived jittery delivery (delays, short
+// partitions that healed) has a large observed_max_gap, so the same
+// silence accrues suspicion more slowly — a healed partition *teaches*
+// the detector, which is what lets the fleet ride out gray weather
+// without false failovers. A genuinely dead shard stays silent forever,
+// phi grows without bound, and the declaration still happens — just at
+// a threshold scaled to the link's demonstrated worst case.
+//
+// suspected() additionally requires `confirm_ticks` consecutive
+// over-threshold polls, so one slow watch-loop iteration (scheduler
+// hiccup on the controller side) never declares anything by itself.
+//
+// Wall-clock based and observability-only, like every liveness verdict
+// in the fleet: suspicion decides *where work runs*, never what a
+// stream decides, so the parity oracle is untouched.
+
+#include <chrono>
+#include <cstddef>
+
+namespace safecross::runtime {
+
+struct SuspicionConfig {
+  /// Declare when phi stays at/above this for confirm_ticks polls.
+  double threshold = 4.0;
+  /// Assumed max inter-arrival before anything was observed (ms); also
+  /// the floor under the learned gap so early noise cannot collapse the
+  /// scale to ~0.
+  double bootstrap_gap_ms = 10.0;
+  /// Headroom multiplier on the learned max gap.
+  double slack = 1.5;
+  /// Consecutive over-threshold polls required to declare.
+  std::size_t confirm_ticks = 2;
+};
+
+class SuspicionDetector {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit SuspicionDetector(SuspicionConfig config) : config_(config) {}
+
+  /// A heartbeat arrived. Learns the inter-arrival gap and clears any
+  /// accrued suspicion streak.
+  void on_beat(Clock::time_point now) {
+    if (seen_any_) {
+      const double gap = ms_between(last_beat_, now);
+      if (gap > max_gap_ms_) max_gap_ms_ = gap;
+    }
+    last_beat_ = now;
+    seen_any_ = true;
+    streak_ = 0;
+  }
+
+  /// Current accrued suspicion. 0 until the first beat (startup is not
+  /// silence — the shard may simply not be on-CPU yet).
+  double phi(Clock::time_point now) const {
+    if (!seen_any_) return 0.0;
+    const double elapsed = ms_between(last_beat_, now);
+    return elapsed / expected_gap_ms();
+  }
+
+  /// One watch-loop poll with no fresh beat: accrue, and report whether
+  /// the confirm streak is complete.
+  bool poll_silent(Clock::time_point now) {
+    if (phi(now) >= config_.threshold) {
+      ++streak_;
+    } else {
+      streak_ = 0;
+    }
+    return streak_ >= config_.confirm_ticks;
+  }
+
+  /// The silence scale currently in force (ms).
+  double expected_gap_ms() const {
+    const double learned = max_gap_ms_ * config_.slack;
+    return learned > config_.bootstrap_gap_ms ? learned : config_.bootstrap_gap_ms;
+  }
+  double max_observed_gap_ms() const { return max_gap_ms_; }
+
+ private:
+  static double ms_between(Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  }
+
+  SuspicionConfig config_;
+  Clock::time_point last_beat_{};
+  bool seen_any_ = false;
+  double max_gap_ms_ = 0.0;
+  std::size_t streak_ = 0;
+};
+
+}  // namespace safecross::runtime

@@ -35,7 +35,7 @@ namespace safecross::serving {
 class SnapshotStore {
  public:
   static constexpr std::uint32_t kMagic = 0x4E535853u;  // "SXSN"
-  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint32_t kVersion = 2;  // v2: detached flags in the payload
 
   /// Opens (and creates) `dir`; scans existing generations so the next
   /// write() continues the sequence instead of reusing a burned number.

@@ -98,7 +98,7 @@ std::optional<ReadyWindow> StreamContext::tick() {
   // is to shed the model's compute, so the window copy below must not
   // happen either. The outcome (conservative warn) is what every health
   // gate would deliver anyway; only the tagged source differs.
-  w.gate = config_.fleet_degraded
+  w.gate = (config_.fleet_degraded || live_degraded())
                ? DecisionSource::FleetDegraded
                : core::gate_reason(health_, collector_, config_.vp.frames_per_segment);
   w.model_weather = model_weather_;

@@ -26,6 +26,7 @@
 // disjoint scorecard fields (tick counts opportunities, apply scores
 // verdicts), so the pair is data-race-free without a lock.
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -87,6 +88,13 @@ struct StreamConfig {
   // degraded (and bit-identical) wherever it lands.
   core::StreamPriority priority = core::StreamPriority::Standard;
   bool fleet_degraded = false;
+  // Split-brain fencing (DESIGN.md §16). The fleet controller mints a
+  // fresh epoch for every (re-)placement of a stream; a StreamServer
+  // rejects adopt_stream() for an epoch at or below one it has already
+  // seen for the name, and every journaled decision records the epoch it
+  // was made under. Part of config_fingerprint() and the hand-off config.
+  // 0 = standalone serving (no fleet, fencing inert).
+  std::uint64_t owner_epoch = 0;
   std::vector<ModelSwitchEvent> model_schedule;  // ascending at_frame
   // Producer-crash schedule (1-based frame ordinals): the supervised
   // stream worker throws immediately *before* processing these frames.
@@ -178,6 +186,16 @@ class StreamContext {
   void set_record_trace(bool on) { record_trace_ = on; }
   const std::vector<DecisionRecord>& trace() const { return trace_; }
 
+  /// Live (runtime-toggled) admission degrade, flipped by the fleet's
+  /// watermark-driven DynamicAdmission while the stream is serving.
+  /// Unlike config().fleet_degraded it reacts to *measured* load, so it
+  /// is wall-clock-coupled and therefore NOT part of the deterministic
+  /// stream contract — chaos parity runs keep it off. When set, every
+  /// model-gated decision resolves FleetDegraded exactly as the static
+  /// flag does.
+  void set_live_degraded(bool on) { live_degraded_.store(on, std::memory_order_relaxed); }
+  bool live_degraded() const { return live_degraded_.load(std::memory_order_relaxed); }
+
   // --- checkpoint serialization ---
   // The complete resumable state: sim + collector + health + fault RNG
   // streams, switch-schedule position, frame/seq counters, scorecard and
@@ -207,6 +225,7 @@ class StreamContext {
   std::size_t produced_ = 0;
   int frames_since_decision_ = 0;
   core::StreamScorecard scorecard_;
+  std::atomic<bool> live_degraded_{false};
   bool record_trace_ = false;
   std::vector<DecisionRecord> trace_;  // indexed by ReadyWindow::seq
 };

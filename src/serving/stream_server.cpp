@@ -59,7 +59,10 @@ StreamServer::StreamServer(core::SafeCross& engine, StreamServerConfig config)
   const std::size_t k = streams_.size();
   crash_pos_.assign(k, 0);
   down_.assign(k, 0);
+  detached_.assign(k, 0);
   shed_.assign(k, 0);
+  last_window_weather_.reserve(k);
+  for (const StreamConfig& sc : config_.streams) last_window_weather_.push_back(sc.weather);
   high_water_.assign(k, 0);
   pending_.resize(k);
   pending_recalib_.resize(k);
@@ -122,6 +125,7 @@ std::uint64_t StreamServer::config_fingerprint() const {
     w.i32(sc.warmup_frames);
     w.u8(static_cast<std::uint8_t>(sc.priority));
     w.boolean(sc.fleet_degraded);
+    w.u64(sc.owner_epoch);
     w.i32(sc.vp.frames_per_segment);
     w.u8(static_cast<std::uint8_t>(sc.vp.approach));
     w.i32(sc.vp.grid_w);
@@ -169,6 +173,9 @@ std::string StreamServer::snapshot_payload() const {
   w.u64(windows_batched_);
   w.u64(streams_.size());
   for (char d : down_) w.boolean(d != 0);
+  // Detached flags are durable: a crash after a cooperative drain must
+  // not resurrect streams that already moved to a peer.
+  for (char d : detached_) w.boolean(d != 0);
   for (const auto& ctx : streams_) ctx->save_state(w);
   return w.take();
 }
@@ -189,6 +196,7 @@ void StreamServer::load_snapshot_payload(const std::string& payload) {
     throw std::runtime_error("StreamServer::recover: snapshot stream count mismatch");
   }
   for (std::size_t i = 0; i < streams_.size(); ++i) down_[i] = r.boolean() ? 1 : 0;
+  for (std::size_t i = 0; i < streams_.size(); ++i) detached_[i] = r.boolean() ? 1 : 0;
   for (auto& ctx : streams_) ctx->load_state(r);
   // Re-arm the weather model that was serving when the snapshot was cut.
   // The audit counter was restored above; this switch is re-setup, not a
@@ -269,6 +277,10 @@ void StreamServer::journal_decision(const ReadyWindow& w, const core::SafeCross:
   rec.decision.warn = d.warn;
   rec.decision.source = static_cast<std::uint8_t>(d.source);
   rec.decision.latency_ms = latency_ms;
+  // Fencing: the epoch this incarnation owns the stream under. The fleet
+  // audits journals post-run — a decision under a stale epoch is a
+  // split-brain bug.
+  rec.decision.owner_epoch = config_.streams[w.stream].owner_epoch;
   journal_.append(rec);
 }
 
@@ -407,6 +419,22 @@ RecoveryReport StreamServer::recover() {
   return report;
 }
 
+StreamHandoff StreamServer::package_handoff(std::size_t i) {
+  StreamHandoff h;
+  h.config = config_.streams[i];
+  common::StateWriter w;
+  streams_[i]->save_state(w);
+  h.state = w.take();
+  h.down = down_[i] != 0;
+  h.pending = std::move(pending_[i]);
+  h.pending_recalib = std::move(pending_recalib_[i]);
+  h.frames_run = streams_[i]->frames_run();
+  h.windows_produced = streams_[i]->windows_produced();
+  pending_[i].clear();
+  pending_recalib_[i].clear();
+  return h;
+}
+
 std::vector<StreamHandoff> StreamServer::drain_streams() {
   if (!recovered_) {
     throw std::logic_error("StreamServer::drain_streams: call recover() first");
@@ -418,19 +446,12 @@ std::vector<StreamHandoff> StreamServer::drain_streams() {
   std::vector<StreamHandoff> out;
   out.reserve(streams_.size());
   for (std::size_t i = 0; i < streams_.size(); ++i) {
-    StreamHandoff h;
-    h.config = config_.streams[i];
-    common::StateWriter w;
-    streams_[i]->save_state(w);
-    h.state = w.take();
-    h.down = down_[i] != 0;
-    h.pending = std::move(pending_[i]);
-    h.pending_recalib = std::move(pending_recalib_[i]);
-    h.frames_run = streams_[i]->frames_run();
-    h.windows_produced = streams_[i]->windows_produced();
-    pending_[i].clear();
-    pending_recalib_[i].clear();
-    out.push_back(std::move(h));
+    // A stream detached before the crash already moved to a peer through
+    // the live drain; its state here is a stale duplicate — re-handing it
+    // off would double-own the stream (the fleet's epoch filter is the
+    // backstop, this is the front door).
+    if (detached_[i]) continue;
+    out.push_back(package_handoff(i));
   }
   return out;
 }
@@ -443,8 +464,20 @@ void StreamServer::adopt_stream(std::size_t i, const StreamHandoff& h) {
     throw std::logic_error(
         "StreamServer::adopt_stream: slot does not match the hand-off stream");
   }
+  // Split-brain fence: this slot was configured by the controller with
+  // the epoch it minted for the current placement. A hand-off stamped
+  // with any other epoch is from a superseded placement (a duplicated or
+  // reordered transfer) — adopting it would let two incarnations decide
+  // the same stream.
+  if (h.config.owner_epoch != config_.streams[i].owner_epoch) {
+    throw std::logic_error(
+        "StreamServer::adopt_stream: stale ownership epoch for '" + h.config.name +
+        "' (hand-off " + std::to_string(h.config.owner_epoch) + ", owned " +
+        std::to_string(config_.streams[i].owner_epoch) + ")");
+  }
   common::StateReader r(h.state);
   streams_[i]->load_state(r);
+  last_window_weather_[i] = streams_[i]->model_weather();
   down_[i] = h.down ? 1 : 0;
   pending_[i] = h.pending;
   pending_recalib_[i] = h.pending_recalib;
@@ -520,6 +553,9 @@ void StreamServer::decide_batch(Batch& batch) {
 }
 
 void StreamServer::accept(MicroBatcher& batcher, ReadyWindow w) {
+  // Live demand signal for the stale-load drop: the freshest window's
+  // weather is what this stream wants *now* (deciding thread only).
+  last_window_weather_[w.stream] = w.model_weather;
   if (apply_replayed(w)) return;
   if (w.gate != DecisionSource::Model) {
     decide_fail_safe(w);
@@ -557,6 +593,24 @@ void StreamServer::setup_model_cache() {
     cache_->register_model(scene, *profile, std::move(groups));
   }
   last_served_scene_ = scene_name(engine_.active_weather());
+  // Boot prewarm (config.prewarm, typically ModelStore::warm_manifest):
+  // fill the cold cache before the first window so it never pays the
+  // servability holdback. Fill-only — never evicts, stops at the first
+  // weather that does not fit. Runs before prepare_durability(), so
+  // nothing is journaled and a recovered run re-warms deterministically;
+  // these are not switches (switches_committed() stays 0).
+  const auto no_evict = [](const std::string&) { return false; };
+  for (const Weather weather : config_.prewarm) {
+    const std::string scene = scene_name(weather);
+    if (!cache_->registered(scene) || cache_->resident(scene)) continue;
+    try {
+      cache_->load_blocking(scene, config_.switch_mode == SwitchMode::Pipelined,
+                            no_evict, {}, {});
+      ++models_prewarmed_;
+    } catch (const std::exception&) {
+      break;  // cache full: the manifest is ordered most-valuable-first
+    }
+  }
 }
 
 void StreamServer::request_load(Weather weather) {
@@ -600,12 +654,32 @@ void StreamServer::start_next_load(MicroBatcher& batcher) {
     if (crash != nullptr) crash->maybe_crash(runtime::CrashPoint::MidCacheEviction);
   };
 
+  // A queued load is stale when nothing wants its weather anymore: no
+  // staged window and no stream whose freshest window asked for it. An
+  // A→B→A switch storm queues B while A's windows are still landing;
+  // by the time B's load could start every stream is back on A, and
+  // starting it would be pure wasted transfer (and an eviction risk for
+  // a model that IS wanted).
+  const auto demanded = [this, &batcher](Weather weather) {
+    if (batcher.staged_for(weather) > 0) return true;
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      if (!down_[i] && !detached_[i] && last_window_weather_[i] == weather) return true;
+    }
+    return false;
+  };
+
   const std::size_t rounds = want_.size();
   for (std::size_t t = 0; t < rounds; ++t) {
     const Weather weather = want_.front();
     want_.pop_front();
     const std::string scene = scene_name(weather);
     if (cache_->resident(scene)) continue;  // landed via a blocking path
+    if (!demanded(weather)) {
+      // Dropped without a Begin: a switch that never starts is not a
+      // switch, just a want that expired.
+      ++loads_dropped_stale_;
+      continue;
+    }
     if (!cache_->can_prepare(scene, may_evict)) {
       // Un-evictable right now (its victims still have backlogs): rotate
       // to the back WITHOUT journaling — a Begin is only written for a
@@ -726,7 +800,7 @@ void StreamServer::ensure_resident_blocking(Weather weather) {
 
 void StreamServer::produce(std::size_t i, runtime::BoundedQueue<ReadyWindow>& queue,
                            runtime::Supervisor& supervisor) {
-  if (down_[i]) return;  // gave up in the killed run; stays down after recovery
+  if (down_[i] || detached_[i]) return;  // gave up / already handed off
   StreamContext& ctx = *streams_[i];
   const auto push_timeout = to_ms(config_.push_timeout_ms);
   const std::vector<std::size_t>& crashes = ctx.config().crash_frames;
@@ -744,6 +818,10 @@ void StreamServer::produce(std::size_t i, runtime::BoundedQueue<ReadyWindow>& qu
       parked_[i].store(0, std::memory_order_release);
       continue;
     }
+    // The consumer may have detached this stream (cooperative drain)
+    // while the producer was parked: its state belongs to a peer now —
+    // one more tick here would fork the stream.
+    if (detached_[i]) return;
     // Injected crash *before* the frame is processed: the restarted
     // incarnation resumes at this exact frame, so within-budget crashes
     // are invisible to the verdict stream.
@@ -766,9 +844,10 @@ void StreamServer::produce(std::size_t i, runtime::BoundedQueue<ReadyWindow>& qu
   }
 }
 
-void StreamServer::barrier_snapshot(
+template <typename Fn>
+void StreamServer::quiesce(
     std::vector<std::unique_ptr<runtime::BoundedQueue<ReadyWindow>>>& queues,
-    MicroBatcher& batcher) {
+    MicroBatcher& batcher, Fn&& at_quiescence) {
   snapshot_gate_.store(true, std::memory_order_release);
   const std::size_t k = queues.size();
   for (;;) {
@@ -799,15 +878,85 @@ void StreamServer::barrier_snapshot(
     }
   }
   while (std::optional<Batch> batch = batcher.flush()) decide_batch(*batch);
-  // Every recalibration the snapshot will bake in must already be durable
-  // in the journal (the snapshot deliberately carries no outbox state).
-  for (std::size_t i = 0; i < k; ++i) journal_recalibrations(i);
-  write_snapshot_now();
+  at_quiescence();
   {
     std::lock_guard<std::mutex> lk(park_mu_);
     snapshot_gate_.store(false, std::memory_order_release);
   }
   park_cv_.notify_all();
+}
+
+void StreamServer::barrier_snapshot(
+    std::vector<std::unique_ptr<runtime::BoundedQueue<ReadyWindow>>>& queues,
+    MicroBatcher& batcher) {
+  quiesce(queues, batcher, [this, &queues] {
+    // Every recalibration the snapshot will bake in must already be
+    // durable in the journal (the snapshot deliberately carries no
+    // outbox state).
+    for (std::size_t i = 0; i < queues.size(); ++i) journal_recalibrations(i);
+    write_snapshot_now();
+  });
+}
+
+void StreamServer::request_drain(std::vector<std::size_t> streams) {
+  {
+    std::lock_guard<std::mutex> lk(drain_mu_);
+    for (std::size_t i : streams) {
+      bool dup = false;
+      for (std::size_t j : drain_set_) dup = dup || j == i;
+      if (!dup && i < streams_.size()) drain_set_.push_back(i);
+    }
+  }
+  drain_requested_.store(true, std::memory_order_release);
+}
+
+std::vector<StreamHandoff> StreamServer::take_drained() {
+  std::lock_guard<std::mutex> lk(drain_mu_);
+  drain_ready_.store(false, std::memory_order_release);
+  return std::move(drained_out_);
+}
+
+std::size_t StreamServer::streams_detached() const {
+  std::size_t n = 0;
+  for (char d : detached_) n += d != 0;
+  return n;
+}
+
+void StreamServer::cooperative_drain(
+    std::vector<std::unique_ptr<runtime::BoundedQueue<ReadyWindow>>>& queues,
+    MicroBatcher& batcher) {
+  std::vector<std::size_t> wanted;
+  {
+    std::lock_guard<std::mutex> lk(drain_mu_);
+    wanted = std::move(drain_set_);
+    drain_set_.clear();
+  }
+  drain_requested_.store(false, std::memory_order_release);
+
+  std::vector<StreamHandoff> out;
+  quiesce(queues, batcher, [this, &queues, &wanted, &out] {
+    // Quiescent: every produced window is decided, producers are parked
+    // between ticks. Each wanted stream's state is a clean cut a peer can
+    // adopt and continue bit-identically.
+    for (std::size_t i = 0; i < queues.size(); ++i) journal_recalibrations(i);
+    for (std::size_t i : wanted) {
+      if (detached_[i]) continue;  // duplicated drain request
+      StreamHandoff h = package_handoff(i);
+      h.live_drain = true;
+      out.push_back(std::move(h));
+      detached_[i] = 1;  // producers see this after the gate lowers
+    }
+    // Make the detachment durable before publishing the hand-offs: once
+    // a peer adopts, a crash+recovery here must not re-hand these
+    // streams off (drain_streams skips detached).
+    if (durable() && !out.empty()) write_snapshot_now();
+  });
+
+  {
+    std::lock_guard<std::mutex> lk(drain_mu_);
+    for (StreamHandoff& h : out) drained_out_.push_back(std::move(h));
+  }
+  drain_ready_.store(true, std::memory_order_release);
 }
 
 void StreamServer::run() {
@@ -862,6 +1011,12 @@ void StreamServer::run() {
   try {
     std::size_t rr = 0;  // rotate which queue takes the idle block
     for (;;) {
+      // Cooperative drain point: a slow-but-alive shard honors the
+      // fleet's hand-off request here, between batches, with no crash
+      // and no recovery pass.
+      if (drain_requested_.load(std::memory_order_acquire)) {
+        cooperative_drain(queues, batcher);
+      }
       if (snapshot_due()) barrier_snapshot(queues, batcher);
       poll_load(batcher);
 

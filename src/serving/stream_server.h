@@ -152,6 +152,9 @@ struct StreamHandoff {
   std::map<std::uint64_t, runtime::RecalibrationEntry> pending_recalib;
   std::size_t frames_run = 0;        // progress at the snapshot cut
   std::size_t windows_produced = 0;  // decision ordinal resume point
+  // True when the hand-off left a *live* server through the cooperative
+  // drain point (request_drain) rather than a post-mortem recovery.
+  bool live_drain = false;
 };
 
 struct StreamServerConfig {
@@ -179,6 +182,15 @@ struct StreamServerConfig {
   /// Warm-cache geometry for StopAndStart/Pipelined (capacity is forced
   /// to 1 under StopAndStart — single residency IS the ablation).
   switching::ModelCacheConfig model_cache;
+  /// Weathers to load into the cache at boot (non-Legacy modes), in
+  /// order, before the first window is served — typically
+  /// ModelStore::warm_manifest. Pre-warmed weathers are resident from
+  /// decision one, so the first serving window never pays the
+  /// servability holdback. Prewarm never evicts: it fills empty cache
+  /// capacity and stops at the first weather that no longer fits.
+  /// Unjournaled and deterministic, so recovered runs re-warm
+  /// identically.
+  std::vector<Weather> prewarm;
 };
 
 /// One fired batch, for the bench/tests to audit batching behaviour.
@@ -242,6 +254,29 @@ class StreamServer {
   /// wave dirs together form the audit trail.
   void adopt_stream(std::size_t i, const StreamHandoff& h);
 
+  // --- cooperative drain (fleet gray-failure path) ---
+  // A slow-but-alive shard hands streams to idle peers *mid-run*, without
+  // a crash or a recovery pass. request_drain() (any thread) marks the
+  // wanted streams; the deciding thread honors it at its next drain
+  // point: producers park at the snapshot barrier, every produced window
+  // is decided (batcher fully flushed — parity-safe, verdicts are
+  // batch-composition invariant), the drained streams' quiescent state
+  // is packaged into StreamHandoffs exactly as a recovery drain would,
+  // the streams are marked detached (their producers exit; a durable
+  // server also snapshots, so a later crash cannot resurrect them), and
+  // the rest of the server keeps serving. take_drained() (any thread)
+  // collects the hand-offs once drain_ready() turns true.
+
+  /// Ask the serving loop to hand off these streams at its next
+  /// quiescent point. Batched run() only; indices out of range or
+  /// already-detached are ignored.
+  void request_drain(std::vector<std::size_t> streams);
+  bool drain_ready() const { return drain_ready_.load(std::memory_order_acquire); }
+  std::vector<StreamHandoff> take_drained();
+  /// Streams handed off through the cooperative drain point so far.
+  std::size_t streams_detached() const;
+  bool stream_detached(std::size_t i) const { return detached_[i] != 0; }
+
   std::size_t stream_count() const { return streams_.size(); }
   const StreamContext& stream(std::size_t i) const { return *streams_[i]; }
   StreamContext& stream(std::size_t i) { return *streams_[i]; }
@@ -292,6 +327,11 @@ class StreamServer {
   /// counted in RecoveryReport::switches_aborted_on_recovery instead).
   std::size_t switches_committed() const { return switches_committed_; }
   std::size_t switches_aborted() const { return switches_aborted_; }
+  /// Queued pipelined loads dropped because their weather's demand had
+  /// already flipped away before the load started (switch-storm dedupe).
+  std::size_t loads_dropped_stale() const { return loads_dropped_stale_; }
+  /// Models loaded at boot from config.prewarm.
+  std::size_t models_prewarmed() const { return models_prewarmed_; }
   /// Capture→verdict latency of every applied decision, in apply order
   /// (deciding thread only; the switch-storm bench reads p99 from this).
   const std::vector<double>& latency_log() const { return latency_log_; }
@@ -403,12 +443,25 @@ class StreamServer {
   /// invariant, so early firing is parity-safe), snapshot, release.
   void barrier_snapshot(std::vector<std::unique_ptr<runtime::BoundedQueue<ReadyWindow>>>& queues,
                         MicroBatcher& batcher);
+  /// Park everyone at the barrier and decide every produced window, then
+  /// run `at_quiescence` before releasing — the shared skeleton of
+  /// barrier_snapshot and the cooperative drain.
+  template <typename Fn>
+  void quiesce(std::vector<std::unique_ptr<runtime::BoundedQueue<ReadyWindow>>>& queues,
+               MicroBatcher& batcher, Fn&& at_quiescence);
+  /// Execute a pending request_drain at the deciding thread's drain point.
+  void cooperative_drain(std::vector<std::unique_ptr<runtime::BoundedQueue<ReadyWindow>>>& queues,
+                         MicroBatcher& batcher);
+  /// Package stream i's quiescent state as a hand-off (shared by
+  /// drain_streams and cooperative_drain).
+  StreamHandoff package_handoff(std::size_t i);
 
   core::SafeCross& engine_;
   StreamServerConfig config_;
   std::vector<std::unique_ptr<StreamContext>> streams_;
   std::vector<std::size_t> crash_pos_;  // next crash_frames index, per stream
   std::vector<char> down_;
+  std::vector<char> detached_;  // handed off mid-run via cooperative drain
   std::vector<std::size_t> shed_;
   std::vector<std::size_t> high_water_;
   std::vector<BatchRecord> batch_log_;
@@ -428,9 +481,14 @@ class StreamServer {
   std::unique_ptr<LoadOp> load_;                  // at most one in flight
   std::deque<Weather> want_;      // deduped async load requests, FIFO-ish
   std::string last_served_scene_;  // never evicted while a load runs
+  /// Most recent window weather per stream (deciding thread) — the live
+  /// demand signal the stale-load drop checks queued loads against.
+  std::vector<Weather> last_window_weather_;
   std::uint64_t next_switch_id_ = 1;
   std::size_t switches_committed_ = 0;
   std::size_t switches_aborted_ = 0;
+  std::size_t loads_dropped_stale_ = 0;
+  std::size_t models_prewarmed_ = 0;
   /// Begin records recovery found without a terminal; closed with Abort
   /// (reason = closed-by-recovery) when the journal re-opens.
   struct DanglingSwitch {
@@ -460,6 +518,14 @@ class StreamServer {
   std::condition_variable park_cv_;
   std::unique_ptr<std::atomic<char>[]> parked_;
   std::unique_ptr<std::atomic<char>[]> finished_;
+
+  // Cooperative-drain rendezvous (request side: any thread; execution:
+  // the deciding thread at its drain point).
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> drain_ready_{false};
+  std::mutex drain_mu_;                 // guards drain_set_ / drained_out_
+  std::vector<std::size_t> drain_set_;
+  std::vector<StreamHandoff> drained_out_;
 };
 
 }  // namespace safecross::serving

@@ -1,0 +1,183 @@
+// Dynamic (watermark-driven) admission hysteresis and the split-brain
+// fence on adoption — the ISSUE's boundary pins:
+//   * a latency sample exactly AT the degrade watermark flaps nothing:
+//     it is in-band and resets BOTH streaks;
+//   * Degrade fires only after breach_streak consecutive breaches,
+//     Undegrade only after recover_streak consecutive cools (asymmetric:
+//     degrade fast, recover slow), capped by max_degraded;
+//   * the live sacrifice order never contains a Critical stream;
+//   * StreamServer::adopt_stream rejects a hand-off stamped with any
+//     ownership epoch other than the one the controller granted this
+//     placement — stale OR future, exact match only.
+
+#include "fleet/dynamic_admission.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "models/slowfast.h"
+#include "serving/stream_server.h"
+
+namespace safecross::fleet {
+namespace {
+
+using Action = DynamicAdmission::Action;
+using serving::StreamConfig;
+
+DynamicAdmissionConfig tuned() {
+  DynamicAdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.degrade_watermark_ms = 100.0;
+  cfg.undegrade_watermark_ms = 50.0;
+  cfg.breach_streak = 3;
+  cfg.recover_streak = 5;
+  cfg.max_degraded = 1;
+  return cfg;
+}
+
+TEST(DynamicAdmission, DisabledNeverActs) {
+  DynamicAdmissionConfig cfg = tuned();
+  cfg.enabled = false;
+  DynamicAdmission dyn(cfg);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(dyn.observe(1e6), Action::None);
+  EXPECT_EQ(dyn.degraded(), 0u);
+}
+
+TEST(DynamicAdmission, DegradesOnlyAfterTheBreachStreak) {
+  DynamicAdmission dyn(tuned());
+  EXPECT_EQ(dyn.observe(150.0), Action::None);
+  EXPECT_EQ(dyn.observe(150.0), Action::None);
+  EXPECT_EQ(dyn.observe(150.0), Action::Degrade);
+  EXPECT_EQ(dyn.degraded(), 1u);
+  EXPECT_EQ(dyn.degrades(), 1u);
+}
+
+TEST(DynamicAdmission, ExactlyAtTheWatermarkNeverFlaps) {
+  DynamicAdmission dyn(tuned());
+  // A shard sitting exactly on the line, forever: no action, ever.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(dyn.observe(100.0), Action::None) << "sample " << i;
+  }
+  EXPECT_EQ(dyn.degraded(), 0u);
+  // An at-watermark sample interrupts an escalation in progress...
+  EXPECT_EQ(dyn.observe(150.0), Action::None);
+  EXPECT_EQ(dyn.observe(150.0), Action::None);
+  EXPECT_EQ(dyn.observe(100.0), Action::None);  // in-band: both streaks reset
+  EXPECT_EQ(dyn.observe(150.0), Action::None);
+  EXPECT_EQ(dyn.observe(150.0), Action::None) << "the streak restarted from zero";
+  EXPECT_EQ(dyn.observe(150.0), Action::Degrade);
+}
+
+TEST(DynamicAdmission, InBandSamplesInterruptRecoveryToo) {
+  DynamicAdmission dyn(tuned());
+  for (int i = 0; i < 3; ++i) dyn.observe(150.0);  // → degraded
+  ASSERT_EQ(dyn.degraded(), 1u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(dyn.observe(40.0), Action::None);
+  EXPECT_EQ(dyn.observe(75.0), Action::None);  // in-band: recovery streak dies
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(dyn.observe(40.0), Action::None) << "cool " << i << " of a fresh streak";
+  }
+  EXPECT_EQ(dyn.observe(40.0), Action::Undegrade);
+  EXPECT_EQ(dyn.degraded(), 0u);
+  EXPECT_EQ(dyn.undegrades(), 1u);
+}
+
+TEST(DynamicAdmission, RecoveryIsSlowerThanEscalationByConfig) {
+  DynamicAdmission dyn(tuned());
+  for (int i = 0; i < 3; ++i) dyn.observe(150.0);
+  ASSERT_EQ(dyn.degraded(), 1u);
+  // At the undegrade watermark counts as cool (at/below).
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(dyn.observe(50.0), Action::None);
+  EXPECT_EQ(dyn.observe(50.0), Action::Undegrade) << "fifth consecutive cool";
+}
+
+TEST(DynamicAdmission, MaxDegradedCapsEscalation) {
+  DynamicAdmission dyn(tuned());  // max_degraded = 1
+  for (int i = 0; i < 3; ++i) dyn.observe(150.0);
+  ASSERT_EQ(dyn.degraded(), 1u);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(dyn.observe(150.0), Action::None) << "already at the cap";
+  }
+  EXPECT_EQ(dyn.degrades(), 1u);
+  // After recovery the budget is back.
+  for (int i = 0; i < 5; ++i) dyn.observe(40.0);
+  ASSERT_EQ(dyn.degraded(), 0u);
+  for (int i = 0; i < 2; ++i) EXPECT_EQ(dyn.observe(150.0), Action::None);
+  EXPECT_EQ(dyn.observe(150.0), Action::Degrade);
+  EXPECT_EQ(dyn.degrades(), 2u);
+}
+
+StreamConfig prioritized(const std::string& name, core::StreamPriority p, int stride) {
+  StreamConfig sc;
+  sc.name = name;
+  sc.priority = p;
+  sc.decision_stride = stride;  // weight = 8 / stride
+  return sc;
+}
+
+TEST(DynamicAdmission, SacrificeOrderSparesCriticalAndSortsByTierThenWeight) {
+  std::vector<StreamConfig> streams = {
+      prioritized("crit", core::StreamPriority::Critical, 4),
+      prioritized("std-heavy", core::StreamPriority::Standard, 4),
+      prioritized("std-light", core::StreamPriority::Standard, 8),
+      prioritized("be-light", core::StreamPriority::BestEffort, 8),
+      prioritized("be-b", core::StreamPriority::BestEffort, 4),
+      prioritized("be-a", core::StreamPriority::BestEffort, 4),
+  };
+  const std::vector<std::string> order = degrade_order(streams);
+  const std::vector<std::string> want = {"be-a", "be-b", "be-light", "std-heavy",
+                                         "std-light"};
+  EXPECT_EQ(order, want)
+      << "BestEffort first, heaviest first within a tier, name tie-break";
+  for (const std::string& name : order) {
+    EXPECT_NE(name, "crit") << "Critical streams are never degraded";
+  }
+}
+
+// --- split-brain fence: adopt_stream epoch exact-match ---
+
+std::unique_ptr<core::SafeCross> tiny_engine() {
+  core::SafeCrossConfig cfg;
+  cfg.model.slow_channels = 4;
+  cfg.model.fast_channels = 2;
+  auto sc = std::make_unique<core::SafeCross>(cfg);
+  models::SlowFastConfig mc = cfg.model;
+  mc.init_seed = 100u + static_cast<std::uint64_t>(dataset::Weather::Daytime);
+  sc->set_model(dataset::Weather::Daytime, std::make_unique<models::SlowFast>(mc));
+  return sc;
+}
+
+TEST(EpochFence, AdoptRejectsAnyEpochButTheGrantedOne) {
+  auto engine = tiny_engine();
+  serving::StreamServerConfig cfg;
+  StreamConfig sc;
+  sc.name = "cam0";
+  sc.owner_epoch = 2;  // the controller granted this placement epoch 2
+  cfg.streams.push_back(sc);
+  cfg.frames = 8;
+  serving::StreamServer server(*engine, cfg);
+
+  serving::StreamHandoff stale;
+  stale.config = sc;
+  stale.config.owner_epoch = 1;  // a superseded placement's transfer
+  stale.state = "bogus";
+  EXPECT_THROW(server.adopt_stream(0, stale), std::logic_error)
+      << "a stale-epoch hand-off is a duplicated/reordered transfer";
+
+  serving::StreamHandoff future;
+  future.config = sc;
+  future.config.owner_epoch = 3;  // not granted either: exact match only
+  future.state = "bogus";
+  EXPECT_THROW(server.adopt_stream(0, future), std::logic_error);
+
+  serving::StreamHandoff wrong_name;
+  wrong_name.config = sc;
+  wrong_name.config.name = "cam9";
+  wrong_name.state = "bogus";
+  EXPECT_THROW(server.adopt_stream(0, wrong_name), std::logic_error);
+}
+
+}  // namespace
+}  // namespace safecross::fleet

@@ -1,0 +1,370 @@
+// Fault-injectable control-plane transport: the MessageChannel /
+// FaultFabric contract the partition-tolerant fleet is built on.
+//
+// Pinned here: seeded fates are reproducible (same plan → same faults,
+// regardless of wall clock or thread interleaving), each fault mode
+// (drop, duplicate, delay, reorder, partition windows — full, one-way,
+// wave-scoped) does exactly what it says with exact LinkStats
+// accounting, a perfect (all-zero) plan delivers exactly once in order,
+// and RpcPolicy backs off by doubling up to its cap. Plus the suspicion
+// (phi-accrual) failure detector: zero before the first beat, scaled to
+// the largest observed gap — a healed partition teaches it — and gated
+// by a confirm streak.
+
+#include "runtime/message_channel.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/suspicion.h"
+
+namespace safecross::runtime {
+namespace {
+
+using Direction = FaultFabric::Direction;
+using Fate = FaultFabric::Fate;
+
+NetFaultPlan mixed_plan(std::uint64_t seed) {
+  NetFaultPlan plan;
+  plan.seed = seed;
+  plan.drop_prob = 0.3;
+  plan.dup_prob = 0.3;
+  plan.delay_prob = 0.2;
+  plan.reorder_prob = 0.2;
+  return plan;
+}
+
+std::vector<Fate> draw(FaultFabric& fabric, std::size_t shard, Direction d, std::size_t n) {
+  std::vector<Fate> fates;
+  fates.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) fates.push_back(fabric.fate(shard, d));
+  return fates;
+}
+
+bool same_fate(const Fate& a, const Fate& b) {
+  return a.drop == b.drop && a.partitioned == b.partitioned &&
+         a.duplicate == b.duplicate && a.reorder == b.reorder &&
+         a.delay_ms == b.delay_ms && a.dup_delay_ms == b.dup_delay_ms;
+}
+
+TEST(FaultFabric, SameSeedSameFates) {
+  FaultFabric a(mixed_plan(0xBEEF));
+  FaultFabric b(mixed_plan(0xBEEF));
+  const auto fa = draw(a, 3, Direction::ToShard, 200);
+  const auto fb = draw(b, 3, Direction::ToShard, 200);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    SCOPED_TRACE("ordinal " + std::to_string(i));
+    EXPECT_TRUE(same_fate(fa[i], fb[i])) << "fates must depend only on (seed, link, ordinal)";
+  }
+}
+
+TEST(FaultFabric, DifferentSeedsDiverge) {
+  FaultFabric a(mixed_plan(0xBEEF));
+  FaultFabric b(mixed_plan(0xF00D));
+  const auto fa = draw(a, 0, Direction::ToController, 200);
+  const auto fb = draw(b, 0, Direction::ToController, 200);
+  bool any_differ = false;
+  for (std::size_t i = 0; i < fa.size(); ++i) any_differ |= !same_fate(fa[i], fb[i]);
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(FaultFabric, LinksFaultIndependently) {
+  FaultFabric fabric(mixed_plan(0xBEEF));
+  const auto up = draw(fabric, 0, Direction::ToController, 200);
+  FaultFabric fabric2(mixed_plan(0xBEEF));
+  const auto other = draw(fabric2, 1, Direction::ToController, 200);
+  bool any_differ = false;
+  for (std::size_t i = 0; i < up.size(); ++i) any_differ |= !same_fate(up[i], other[i]);
+  EXPECT_TRUE(any_differ) << "every link must draw its own fate stream";
+}
+
+TEST(MessageChannel, PerfectPlanDeliversExactlyOnceInOrder) {
+  FaultFabric fabric(NetFaultPlan{});  // all-zero mix, no partitions
+  MessageChannel<int> ch(&fabric, 0, Direction::ToShard);
+  for (int i = 0; i < 50; ++i) ch.send(i);
+  for (int i = 0; i < 50; ++i) {
+    auto m = ch.try_recv();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(*m, i) << "a perfect link must preserve send order";
+  }
+  EXPECT_FALSE(ch.try_recv().has_value());
+  const LinkStats s = ch.stats();
+  EXPECT_EQ(s.sent, 50u);
+  EXPECT_EQ(s.delivered, 50u);
+  EXPECT_EQ(s.dropped, 0u);
+  EXPECT_EQ(s.duplicated, 0u);
+  EXPECT_EQ(s.delayed, 0u);
+  EXPECT_EQ(s.reordered, 0u);
+  EXPECT_EQ(s.partitioned, 0u);
+}
+
+TEST(MessageChannel, NullFabricIsAPerfectLink) {
+  MessageChannel<int> ch(nullptr, 0, Direction::ToShard);
+  ch.send(7);
+  auto m = ch.try_recv();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, 7);
+}
+
+TEST(MessageChannel, CertainDropLosesEverythingSilently) {
+  NetFaultPlan plan;
+  plan.drop_prob = 1.0;
+  FaultFabric fabric(plan);
+  MessageChannel<int> ch(&fabric, 2, Direction::ToController);
+  for (int i = 0; i < 20; ++i) ch.send(i);  // send() never fails visibly
+  EXPECT_FALSE(ch.recv(std::chrono::milliseconds(20)).has_value());
+  const LinkStats s = ch.stats();
+  EXPECT_EQ(s.sent, 20u);
+  EXPECT_EQ(s.dropped, 20u);
+  EXPECT_EQ(s.delivered, 0u);
+  EXPECT_EQ(s.partitioned, 0u) << "a probabilistic drop is not a partition";
+}
+
+TEST(MessageChannel, DuplicationDeliversARetransmitGhost) {
+  NetFaultPlan plan;
+  plan.dup_prob = 1.0;
+  FaultFabric fabric(plan);
+  MessageChannel<int> ch(&fabric, 0, Direction::ToShard);
+  ch.send(42);
+  auto first = ch.recv(std::chrono::milliseconds(500));
+  auto second = ch.recv(std::chrono::milliseconds(500));
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, 42);
+  EXPECT_EQ(*second, 42) << "the ghost copy must carry the same payload";
+  EXPECT_FALSE(ch.try_recv().has_value()) << "duplication is exactly twice";
+  const LinkStats s = ch.stats();
+  EXPECT_EQ(s.sent, 1u);
+  EXPECT_EQ(s.duplicated, 1u);
+  EXPECT_EQ(s.delivered, 2u);
+}
+
+TEST(MessageChannel, DelayHoldsDeliveryUntilDue) {
+  NetFaultPlan plan;
+  plan.delay_prob = 1.0;
+  plan.delay_min_ms = 40.0;
+  plan.delay_max_ms = 40.0;
+  FaultFabric fabric(plan);
+  MessageChannel<int> ch(&fabric, 0, Direction::ToShard);
+  ch.send(9);
+  EXPECT_FALSE(ch.try_recv().has_value()) << "a delayed message must not be early";
+  EXPECT_EQ(ch.in_flight(), 1u);
+  auto m = ch.recv(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, 9);
+  EXPECT_EQ(ch.stats().delayed, 1u);
+}
+
+TEST(MessageChannel, ReorderedMessageIsGenuinelyOvertaken) {
+  // Find a seed whose first fate on the link is reorder and second is
+  // clean — the fates are pure functions of (seed, link, ordinal), so
+  // the search is deterministic.
+  NetFaultPlan plan;
+  plan.reorder_prob = 0.5;
+  plan.delay_min_ms = 60.0;  // hold long enough that the test cannot race it
+  plan.delay_max_ms = 60.0;
+  std::uint64_t seed = 0;
+  for (std::uint64_t candidate = 1; candidate < 4096; ++candidate) {
+    plan.seed = candidate;
+    FaultFabric probe(plan);
+    const Fate f0 = probe.fate(0, Direction::ToShard);
+    const Fate f1 = probe.fate(0, Direction::ToShard);
+    if (f0.reorder && !f1.reorder && !f1.drop) {
+      seed = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(seed, 0u) << "no seed with the reorder-then-clean pattern";
+
+  plan.seed = seed;
+  FaultFabric fabric(plan);
+  MessageChannel<int> ch(&fabric, 0, Direction::ToShard);
+  ch.send(1);  // held
+  ch.send(2);  // overtakes
+  auto first = ch.recv(std::chrono::milliseconds(2000));
+  auto second = ch.recv(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, 2) << "the later send must arrive first";
+  EXPECT_EQ(*second, 1);
+  EXPECT_EQ(ch.stats().reordered, 1u);
+}
+
+TEST(MessageChannel, FullPartitionWindowDropsThenHeals) {
+  NetFaultPlan plan;
+  plan.partitions.push_back(NetPartition{.from_ms = 0.0, .until_ms = 50.0});
+  FaultFabric fabric(plan);
+  MessageChannel<int> ch(&fabric, 1, Direction::ToController);
+  ch.send(1);
+  EXPECT_FALSE(ch.try_recv().has_value());
+  EXPECT_EQ(ch.stats().partitioned, 1u) << "partition drops are accounted as such";
+  EXPECT_EQ(ch.stats().dropped, 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));  // heal
+  ch.send(2);
+  auto m = ch.recv(std::chrono::milliseconds(500));
+  ASSERT_TRUE(m.has_value()) << "a healed link must deliver again";
+  EXPECT_EQ(*m, 2);
+}
+
+TEST(MessageChannel, OneWayPartitionBlocksOnlyThatDirection) {
+  NetFaultPlan plan;
+  plan.partitions.push_back(
+      NetPartition{.direction = NetPartition::Direction::ToController});
+  FaultFabric fabric(plan);
+  MessageChannel<int> up(&fabric, 0, Direction::ToController);
+  MessageChannel<int> down(&fabric, 0, Direction::ToShard);
+  up.send(1);
+  down.send(2);
+  EXPECT_FALSE(up.try_recv().has_value()) << "the blocked direction drops";
+  auto m = down.try_recv();
+  ASSERT_TRUE(m.has_value()) << "the other direction is untouched";
+  EXPECT_EQ(*m, 2);
+}
+
+TEST(MessageChannel, PartitionCanTargetOneLink) {
+  NetFaultPlan plan;
+  plan.partitions.push_back(NetPartition{.shard = 1});
+  FaultFabric fabric(plan);
+  MessageChannel<int> hit(&fabric, 1, Direction::ToShard);
+  MessageChannel<int> spared(&fabric, 0, Direction::ToShard);
+  hit.send(1);
+  spared.send(2);
+  EXPECT_FALSE(hit.try_recv().has_value());
+  EXPECT_TRUE(spared.try_recv().has_value());
+}
+
+TEST(MessageChannel, WaveScopedPartitionBitesOnlyItsWave) {
+  NetFaultPlan plan;
+  plan.partitions.push_back(NetPartition{.wave = 2});
+  FaultFabric fabric(plan);
+  MessageChannel<int> ch(&fabric, 0, Direction::ToShard);
+  ch.send(1);  // fabric wave is 0: spared
+  EXPECT_TRUE(ch.try_recv().has_value());
+  fabric.set_wave(2);
+  ch.send(2);
+  EXPECT_FALSE(ch.try_recv().has_value()) << "the scoped wave must drop";
+  fabric.set_wave(3);
+  ch.send(3);
+  auto m = ch.try_recv();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, 3);
+}
+
+TEST(MessageChannel, CloseSealsSendsAndWakesBlockedReceiver) {
+  MessageChannel<int> ch(nullptr, 0, Direction::ToShard);
+  ch.send(1);
+  ch.close();
+  ch.send(2);  // after close: silently discarded
+  auto m = ch.try_recv();
+  ASSERT_TRUE(m.has_value()) << "messages buffered at close stay drainable";
+  EXPECT_EQ(*m, 1);
+  EXPECT_FALSE(ch.try_recv().has_value());
+  EXPECT_EQ(ch.stats().delivered, 1u);
+
+  MessageChannel<int> blocked(nullptr, 0, Direction::ToShard);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread receiver([&] {
+    EXPECT_FALSE(blocked.recv(std::chrono::milliseconds(5000)).has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  blocked.close();
+  receiver.join();
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(waited, std::chrono::milliseconds(4000))
+      << "close must wake a blocked recv immediately";
+}
+
+TEST(RpcPolicy, BackoffDoublesUpToTheCap) {
+  RpcPolicy rpc;  // 8ms doubling to 64ms
+  EXPECT_DOUBLE_EQ(rpc.timeout_for_attempt(1), 8.0);
+  EXPECT_DOUBLE_EQ(rpc.timeout_for_attempt(2), 16.0);
+  EXPECT_DOUBLE_EQ(rpc.timeout_for_attempt(3), 32.0);
+  EXPECT_DOUBLE_EQ(rpc.timeout_for_attempt(4), 64.0);
+  EXPECT_DOUBLE_EQ(rpc.timeout_for_attempt(5), 64.0) << "capped, not unbounded";
+  EXPECT_DOUBLE_EQ(rpc.timeout_for_attempt(100), 64.0);
+}
+
+// --- suspicion (phi-accrual) failure detector ---
+
+using Clock = SuspicionDetector::Clock;
+
+Clock::time_point at_ms(double ms) {
+  return Clock::time_point{} + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(ms));
+}
+
+TEST(SuspicionDetector, SilentBeforeFirstBeatIsNotSuspicion) {
+  SuspicionDetector det(SuspicionConfig{});
+  EXPECT_DOUBLE_EQ(det.phi(at_ms(1000.0)), 0.0)
+      << "startup is not silence — the shard may not be on-CPU yet";
+  EXPECT_FALSE(det.poll_silent(at_ms(1000.0)));
+  EXPECT_FALSE(det.poll_silent(at_ms(2000.0)));
+}
+
+TEST(SuspicionDetector, PhiScalesToTheLearnedGap) {
+  SuspicionConfig cfg;
+  cfg.bootstrap_gap_ms = 10.0;
+  cfg.slack = 1.5;
+  SuspicionDetector det(cfg);
+  det.on_beat(at_ms(0.0));
+  EXPECT_DOUBLE_EQ(det.expected_gap_ms(), 10.0) << "bootstrap floor before any gap";
+  det.on_beat(at_ms(20.0));  // learned max gap: 20ms
+  EXPECT_DOUBLE_EQ(det.max_observed_gap_ms(), 20.0);
+  EXPECT_DOUBLE_EQ(det.expected_gap_ms(), 30.0);  // 20 × 1.5 slack
+  EXPECT_DOUBLE_EQ(det.phi(at_ms(80.0)), 2.0);    // 60ms silence / 30ms scale
+}
+
+TEST(SuspicionDetector, DeclaresOnlyAfterTheConfirmStreak) {
+  SuspicionConfig cfg;
+  cfg.threshold = 2.0;
+  cfg.bootstrap_gap_ms = 10.0;
+  cfg.confirm_ticks = 3;
+  SuspicionDetector det(cfg);
+  det.on_beat(at_ms(0.0));
+  EXPECT_FALSE(det.poll_silent(at_ms(25.0)));  // phi 2.5, streak 1
+  EXPECT_FALSE(det.poll_silent(at_ms(27.0)));  // streak 2
+  EXPECT_TRUE(det.poll_silent(at_ms(29.0)));   // streak 3: declared
+}
+
+TEST(SuspicionDetector, ABeatClearsTheAccruedStreak) {
+  SuspicionConfig cfg;
+  cfg.threshold = 2.0;
+  cfg.bootstrap_gap_ms = 10.0;
+  cfg.confirm_ticks = 2;
+  SuspicionDetector det(cfg);
+  det.on_beat(at_ms(0.0));
+  EXPECT_FALSE(det.poll_silent(at_ms(25.0)));
+  det.on_beat(at_ms(26.0));  // the shard was slow, not dead
+  EXPECT_FALSE(det.poll_silent(at_ms(30.0))) << "phi is low again after the beat";
+  // The streak restarted from zero: two fresh over-threshold polls needed.
+  EXPECT_FALSE(det.poll_silent(at_ms(130.0)));
+  EXPECT_TRUE(det.poll_silent(at_ms(132.0)));
+}
+
+TEST(SuspicionDetector, AHealedPartitionTeachesTheDetector) {
+  SuspicionConfig cfg;
+  cfg.threshold = 2.0;
+  cfg.bootstrap_gap_ms = 10.0;
+  cfg.slack = 1.5;
+  cfg.confirm_ticks = 1;
+  // A naive detector that never saw trouble declares on 100ms of silence.
+  SuspicionDetector naive(cfg);
+  naive.on_beat(at_ms(0.0));
+  naive.on_beat(at_ms(5.0));
+  EXPECT_TRUE(naive.poll_silent(at_ms(105.0)));
+  // One that already survived a 100ms partition has learned the gap, so
+  // the same silence accrues far less suspicion.
+  SuspicionDetector seasoned(cfg);
+  seasoned.on_beat(at_ms(0.0));
+  seasoned.on_beat(at_ms(100.0));  // the healed partition's gap
+  EXPECT_FALSE(seasoned.poll_silent(at_ms(200.0)))
+      << "100ms silence / 150ms scale is below threshold";
+  // A genuinely dead shard is still declared, just later.
+  EXPECT_TRUE(seasoned.poll_silent(at_ms(100.0 + 2.0 * 150.0 + 1.0)));
+}
+
+}  // namespace
+}  // namespace safecross::runtime
